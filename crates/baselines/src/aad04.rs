@@ -1,0 +1,467 @@
+//! The **Abraham–Amit–Dolev (OPODIS 2004)** optimal-resilience
+//! asynchronous approximate agreement algorithm for *complete* networks
+//! (`n > 3f`) — the algorithm that the paper's BW generalizes to directed
+//! networks.
+//!
+//! Reconstruction (per the paper's Section 2 description of \[1\]): each
+//! round, a node reliably broadcasts its value, collects the first `n−f`
+//! delivered values into a *report*, reliably broadcasts the report, and
+//! waits for `n−f` **witnesses** — nodes whose report and all reported
+//! values it has itself RBC-delivered. Any two honest nodes then share
+//! `n−2f ≥ f+1` witnesses, hence at least one *honest* witness, whose
+//! report both hold: the pooled, `f`-trimmed value sets overlap, and the
+//! midpoint update halves the spread per round exactly as BW's
+//! Filter-and-Average does.
+
+use crate::reliable_broadcast::{RbcEngine, RbcMsg};
+use dbac_core::config::num_rounds;
+use dbac_graph::{generators, NodeId, NodeSet};
+use dbac_sim::process::{Context, Process, Silent};
+use dbac_sim::scheduler::RandomDelay;
+use dbac_sim::sim::{SimStats, Simulation};
+use dbac_sim::SimError;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+/// RBC payloads exchanged by the algorithm.
+///
+/// Values are carried as ordered bit patterns so the payload is `Eq + Hash`
+/// (RBC counts votes on payload identity).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum AadPayload {
+    /// A round's state value (`f64` bits).
+    Value {
+        /// Round index.
+        round: u32,
+        /// `f64::to_bits` of the value.
+        bits: u64,
+    },
+    /// A round's report: the first `n−f` `(sender, value-bits)` pairs.
+    Report {
+        /// Round index.
+        round: u32,
+        /// The collected pairs, sorted by sender.
+        entries: Vec<(NodeId, u64)>,
+    },
+}
+
+/// Wire message: RBC transport of [`AadPayload`].
+pub type AadMsg = RbcMsg<AadPayload>;
+
+struct AadRound {
+    values: BTreeMap<NodeId, u64>,
+    reported: bool,
+    reports: BTreeMap<NodeId, Vec<(NodeId, u64)>>,
+    witnesses: HashSet<NodeId>,
+    fired: bool,
+}
+
+impl AadRound {
+    fn new() -> Self {
+        AadRound {
+            values: BTreeMap::new(),
+            reported: false,
+            reports: BTreeMap::new(),
+            witnesses: HashSet::new(),
+            fired: false,
+        }
+    }
+}
+
+/// An honest AAD04 node.
+pub struct AadNode {
+    me: NodeId,
+    n: usize,
+    f: usize,
+    rounds_total: u32,
+    rbc: RbcEngine<AadPayload>,
+    x: Vec<f64>,
+    rounds: HashMap<u32, AadRound>,
+    output: Option<f64>,
+    /// Messages sent (for the E9 message-complexity comparison).
+    pub sent: u64,
+}
+
+impl AadNode {
+    /// Creates a node with the given input.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n > 3f`.
+    #[must_use]
+    pub fn new(me: NodeId, n: usize, f: usize, input: f64, epsilon: f64, range: (f64, f64)) -> Self {
+        AadNode {
+            me,
+            n,
+            f,
+            rounds_total: num_rounds(range.1 - range.0, epsilon),
+            rbc: RbcEngine::new(me, n, f),
+            x: vec![input],
+            rounds: HashMap::new(),
+            output: None,
+            sent: 0,
+        }
+    }
+
+    /// The decided output, once available.
+    #[must_use]
+    pub fn output(&self) -> Option<f64> {
+        self.output
+    }
+
+    /// The state trajectory.
+    #[must_use]
+    pub fn x_history(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Returns `true` once decided.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.output.is_some()
+    }
+
+    fn rbc_send(&mut self, ctx: &mut Context<AadMsg>, msg: AadMsg) {
+        // RBC messages go to everyone; self-processing is immediate.
+        for w in ctx.out_neighbors().iter() {
+            self.sent += 1;
+            ctx.send(w, msg.clone());
+        }
+        self.handle_rbc(ctx, self.me, msg);
+    }
+
+    fn begin_round(&mut self, ctx: &mut Context<AadMsg>, round: u32) {
+        let bits = self.x[round as usize].to_bits();
+        let (_, init) = self.rbc.broadcast(AadPayload::Value { round, bits });
+        self.rounds.entry(round).or_insert_with(AadRound::new);
+        self.rbc_send(ctx, init);
+    }
+
+    fn handle_rbc(&mut self, ctx: &mut Context<AadMsg>, from: NodeId, msg: AadMsg) {
+        let (outs, deliveries) = self.rbc.on_message(from, msg);
+        for m in outs {
+            for w in ctx.out_neighbors().iter() {
+                self.sent += 1;
+                ctx.send(w, m.clone());
+            }
+            // Feed our own sends back into the local engine (a node is a
+            // participant in its own broadcasts).
+            self.handle_rbc(ctx, self.me, m);
+        }
+        for d in deliveries {
+            match d.payload {
+                AadPayload::Value { round, bits } => self.on_value(ctx, round, d.origin, bits),
+                AadPayload::Report { round, entries } => {
+                    self.on_report(ctx, round, d.origin, entries);
+                }
+            }
+        }
+    }
+
+    fn on_value(&mut self, ctx: &mut Context<AadMsg>, round: u32, sender: NodeId, bits: u64) {
+        if round >= self.rounds_total {
+            return;
+        }
+        let state = self.rounds.entry(round).or_insert_with(AadRound::new);
+        state.values.entry(sender).or_insert(bits);
+        self.refresh(ctx, round);
+    }
+
+    fn on_report(
+        &mut self,
+        ctx: &mut Context<AadMsg>,
+        round: u32,
+        sender: NodeId,
+        entries: Vec<(NodeId, u64)>,
+    ) {
+        if round >= self.rounds_total || entries.len() != self.n - self.f {
+            return;
+        }
+        let state = self.rounds.entry(round).or_insert_with(AadRound::new);
+        state.reports.entry(sender).or_insert(entries);
+        self.refresh(ctx, round);
+    }
+
+    /// Re-evaluates report emission, witness sets and round completion.
+    fn refresh(&mut self, ctx: &mut Context<AadMsg>, round: u32) {
+        // Borrow-friendly staging: compute decisions, then act.
+        let (emit_report, advance): (Option<Vec<(NodeId, u64)>>, Option<f64>) = {
+            let state = self.rounds.get_mut(&round).expect("state exists");
+            let emit = if !state.reported && state.values.len() >= self.n - self.f {
+                state.reported = true;
+                Some(state.values.iter().take(self.n - self.f).map(|(&s, &b)| (s, b)).collect())
+            } else {
+                None
+            };
+            // Witness check: u is a witness if we hold u's report and every
+            // reported (sender, value) pair matches our delivered values.
+            for (&u, entries) in &state.reports {
+                if state.witnesses.contains(&u) {
+                    continue;
+                }
+                let confirmed = entries
+                    .iter()
+                    .all(|(s, b)| state.values.get(s).is_some_and(|mine| mine == b));
+                if confirmed {
+                    state.witnesses.insert(u);
+                }
+            }
+            let advance = if !state.fired && state.witnesses.len() >= self.n - self.f {
+                state.fired = true;
+                // Pool all witnessed reports' values, dedup per sender
+                // (RBC gives one value per sender), trim f per side.
+                let mut pool: BTreeMap<NodeId, u64> = BTreeMap::new();
+                for u in &state.witnesses {
+                    if let Some(entries) = state.reports.get(u) {
+                        for &(s, b) in entries {
+                            pool.entry(s).or_insert(b);
+                        }
+                    }
+                }
+                let mut vals: Vec<f64> = pool.values().map(|&b| f64::from_bits(b)).collect();
+                vals.sort_by(f64::total_cmp);
+                let kept = &vals[self.f..vals.len() - self.f];
+                Some((kept[0] + kept[kept.len() - 1]) / 2.0)
+            } else {
+                None
+            };
+            (emit, advance)
+        };
+        if let Some(entries) = emit_report {
+            let (_, init) = self.rbc.broadcast(AadPayload::Report { round, entries });
+            self.rbc_send(ctx, init);
+        }
+        if let Some(next) = advance {
+            self.x.push(next);
+            let next_round = round + 1;
+            if next_round >= self.rounds_total {
+                self.output = Some(next);
+            } else {
+                self.begin_round(ctx, next_round);
+            }
+        }
+    }
+}
+
+impl Process for AadNode {
+    type Message = AadMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<AadMsg>) {
+        if self.rounds_total == 0 {
+            self.output = Some(self.x[0]);
+            return;
+        }
+        self.begin_round(ctx, 0);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<AadMsg>, from: NodeId, msg: AadMsg) {
+        self.handle_rbc(ctx, from, msg);
+    }
+}
+
+impl std::fmt::Debug for AadNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AadNode").field("me", &self.me).field("output", &self.output).finish()
+    }
+}
+
+/// Byzantine behaviours for the AAD04 comparison runs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AadAdversary {
+    /// Silent from the start.
+    Crash,
+    /// Participates correctly but broadcasts an extreme input value.
+    ConstantLiar {
+        /// The injected value.
+        value: f64,
+    },
+}
+
+/// Outcome of an AAD04 run.
+#[derive(Clone, Debug)]
+pub struct AadOutcome {
+    /// Per node outputs (`None` for Byzantine nodes).
+    pub outputs: Vec<Option<f64>>,
+    /// Honest set.
+    pub honest: NodeSet,
+    /// ε of the run.
+    pub epsilon: f64,
+    /// Honest input hull.
+    pub honest_input_range: (f64, f64),
+    /// Runtime statistics.
+    pub sim_stats: SimStats,
+    /// Total protocol messages sent by honest nodes.
+    pub honest_messages: u64,
+}
+
+impl AadOutcome {
+    /// All honest nodes decided within ε.
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        let outs: Vec<f64> =
+            self.honest.iter().filter_map(|v| self.outputs[v.index()]).collect();
+        if outs.len() < self.honest.len() {
+            return false;
+        }
+        let hi = outs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let lo = outs.iter().cloned().fold(f64::INFINITY, f64::min);
+        hi - lo < self.epsilon
+    }
+
+    /// Outputs lie within the honest input hull.
+    #[must_use]
+    pub fn valid(&self) -> bool {
+        let (lo, hi) = self.honest_input_range;
+        self.honest
+            .iter()
+            .filter_map(|v| self.outputs[v.index()])
+            .all(|v| v >= lo - 1e-12 && v <= hi + 1e-12)
+    }
+}
+
+/// Runs AAD04 on the complete `n`-node network.
+///
+/// # Errors
+///
+/// Propagates runtime failures.
+///
+/// # Panics
+///
+/// Panics unless `n > 3f` and `inputs.len() == n`.
+pub fn run_aad04(
+    n: usize,
+    f: usize,
+    inputs: &[f64],
+    epsilon: f64,
+    byzantine: &[(NodeId, AadAdversary)],
+    seed: u64,
+) -> Result<AadOutcome, SimError> {
+    assert!(n > 3 * f, "AAD04 requires n > 3f");
+    assert_eq!(inputs.len(), n, "one input per node");
+    let byz: NodeSet = byzantine.iter().map(|&(v, _)| v).collect();
+    assert!(byz.len() <= f, "at most f Byzantine nodes");
+    let honest = NodeSet::universe(n) - byz;
+    let honest_range = honest
+        .iter()
+        .map(|v| inputs[v.index()])
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| (lo.min(v), hi.max(v)));
+    let range = honest_range;
+    let graph = Arc::new(generators::clique(n));
+    let mut sim: Simulation<AadNode> =
+        Simulation::new(graph, Box::new(RandomDelay::new(seed, 1, 15)));
+    for v in honest.iter() {
+        sim.set_honest(v, AadNode::new(v, n, f, inputs[v.index()], epsilon, range));
+    }
+    for &(v, kind) in byzantine {
+        match kind {
+            AadAdversary::Crash => {
+                sim.set_byzantine(v, Box::new(Silent));
+            }
+            AadAdversary::ConstantLiar { value } => {
+                sim.set_byzantine(v, Box::new(LiarAdversary::new(v, n, f, value, epsilon, range)));
+            }
+        }
+    }
+    let stats = sim.run()?;
+    let mut outputs = vec![None; n];
+    let mut honest_messages = 0;
+    for v in honest.iter() {
+        let node = sim.honest(v).expect("honest");
+        outputs[v.index()] = node.output();
+        honest_messages += node.sent;
+    }
+    Ok(AadOutcome {
+        outputs,
+        honest,
+        epsilon,
+        honest_input_range: honest_range,
+        sim_stats: stats,
+        honest_messages,
+    })
+}
+
+/// A liar that follows the protocol with a planted extreme value — RBC
+/// prevents equivocation, so this is the strongest "value attack".
+struct LiarAdversary {
+    inner: AadNode,
+}
+
+impl LiarAdversary {
+    fn new(me: NodeId, n: usize, f: usize, value: f64, epsilon: f64, range: (f64, f64)) -> Self {
+        LiarAdversary { inner: AadNode::new(me, n, f, value, epsilon, range) }
+    }
+}
+
+impl dbac_sim::process::Adversary<AadMsg> for LiarAdversary {
+    fn on_start(&mut self, ctx: &mut Context<AadMsg>) {
+        self.inner.on_start(ctx);
+    }
+    fn on_message(&mut self, ctx: &mut Context<AadMsg>, from: NodeId, msg: AadMsg) {
+        self.inner.on_message(ctx, from, msg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn all_honest_converges() {
+        let out = run_aad04(4, 1, &[0.0, 10.0, 4.0, 6.0], 0.5, &[], 3).unwrap();
+        assert!(out.converged(), "{:?}", out.outputs);
+        assert!(out.valid());
+        assert!(out.honest_messages > 0);
+    }
+
+    #[test]
+    fn tolerates_crash() {
+        let out = run_aad04(4, 1, &[0.0, 10.0, 4.0, 0.0], 0.5, &[(id(3), AadAdversary::Crash)], 9)
+            .unwrap();
+        assert!(out.converged(), "{:?}", out.outputs);
+        assert!(out.valid());
+    }
+
+    #[test]
+    fn liar_cannot_break_validity() {
+        let out = run_aad04(
+            4,
+            1,
+            &[2.0, 4.0, 6.0, 0.0],
+            0.5,
+            &[(id(3), AadAdversary::ConstantLiar { value: 1e9 })],
+            5,
+        )
+        .unwrap();
+        assert!(out.converged(), "{:?}", out.outputs);
+        assert!(out.valid(), "{:?}", out.outputs);
+    }
+
+    #[test]
+    fn larger_network_with_two_faults() {
+        let inputs: Vec<f64> = (0..7).map(|i| i as f64).collect();
+        let out = run_aad04(
+            7,
+            2,
+            &inputs,
+            0.5,
+            &[
+                (id(5), AadAdversary::Crash),
+                (id(6), AadAdversary::ConstantLiar { value: -1e6 }),
+            ],
+            11,
+        )
+        .unwrap();
+        assert!(out.converged(), "{:?}", out.outputs);
+        assert!(out.valid());
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 3f")]
+    fn resilience_bound() {
+        let _ = run_aad04(3, 1, &[0.0; 3], 0.5, &[], 0);
+    }
+}

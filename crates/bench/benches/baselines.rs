@@ -1,0 +1,44 @@
+//! Criterion benches for the baselines (E9/E10): AAD04 end-to-end and the
+//! iterative W-MSR round, for comparison against BW's kernels.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbac_baselines::aad04::{run_aad04, AadAdversary};
+use dbac_baselines::iterative::{is_r_s_robust, run_iterative, wmsr_step};
+use dbac_graph::{generators, NodeId};
+
+fn bench_aad(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aad04");
+    group.sample_size(10);
+    for n in [4usize, 7] {
+        let f = (n - 1) / 3;
+        let inputs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        group.bench_with_input(BenchmarkId::new("with_crash", n), &n, |b, &n| {
+            b.iter(|| {
+                black_box(
+                    run_aad04(n, f, &inputs, 0.5, &[(NodeId::new(n - 1), AadAdversary::Crash)], 3)
+                        .unwrap()
+                        .honest_messages,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_iterative(c: &mut Criterion) {
+    c.bench_function("wmsr_step_16", |b| {
+        let received: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        b.iter(|| black_box(wmsr_step(8.0, received.clone(), 2)));
+    });
+    let g = generators::clique(6);
+    let inputs: Vec<f64> = (0..6).map(|i| i as f64).collect();
+    c.bench_function("iterative_50_rounds_k6", |b| {
+        b.iter(|| black_box(run_iterative(&g, 1, &inputs, &[], 50).final_spread()));
+    });
+    c.bench_function("robustness_check_k6", |b| {
+        b.iter(|| black_box(is_r_s_robust(&g, 2, 2)));
+    });
+}
+
+criterion_group!(benches, bench_aad, bench_iterative);
+criterion_main!(benches);

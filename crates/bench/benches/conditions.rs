@@ -1,0 +1,51 @@
+//! Criterion benches for the condition checkers (E11 kernels): the cost of
+//! deciding 1/2/3-reach, the partition conditions, and source components.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbac_conditions::kreach::{one_reach, three_reach, two_reach};
+use dbac_conditions::partition::bcs;
+use dbac_conditions::reduced::source_component_of_silenced;
+use dbac_graph::{generators, NodeId, NodeSet};
+
+fn bench_kreach(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kreach");
+    for n in [5usize, 6, 7, 8] {
+        let g = generators::clique(n);
+        group.bench_with_input(BenchmarkId::new("three_reach_clique_f1", n), &g, |b, g| {
+            b.iter(|| black_box(three_reach(g, 1).holds()));
+        });
+    }
+    let fig = generators::figure_1b_small();
+    group.bench_function("three_reach_fig1b_small_f1", |b| {
+        b.iter(|| black_box(three_reach(&fig, 1).holds()));
+    });
+    group.bench_function("one_reach_fig1b_small_f1", |b| {
+        b.iter(|| black_box(one_reach(&fig, 1).holds()));
+    });
+    group.bench_function("two_reach_fig1b_small_f1", |b| {
+        b.iter(|| black_box(two_reach(&fig, 1).holds()));
+    });
+    group.finish();
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition");
+    for n in [5usize, 6, 7] {
+        let g = generators::clique(n);
+        group.bench_with_input(BenchmarkId::new("bcs_clique_f1", n), &g, |b, g| {
+            b.iter(|| black_box(bcs(g, 1).holds()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_source_components(c: &mut Criterion) {
+    let g = generators::figure_1b();
+    let silenced: NodeSet = [NodeId::new(0), NodeId::new(8)].into_iter().collect();
+    c.bench_function("source_component_fig1b", |b| {
+        b.iter(|| black_box(source_component_of_silenced(&g, silenced)));
+    });
+}
+
+criterion_group!(benches, bench_kreach, bench_partition, bench_source_components);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion benches for full end-to-end BW consensus runs (E11): the
+//! headline cost of one complete protocol execution.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbac_core::adversary::AdversaryKind;
+use dbac_core::run::{run_byzantine_consensus, RunConfig};
+use dbac_graph::{generators, NodeId};
+
+fn bench_bw_cliques(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bw_end_to_end");
+    group.sample_size(10);
+    for n in [4usize, 5] {
+        let inputs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        group.bench_with_input(BenchmarkId::new("clique_all_honest", n), &n, |b, &n| {
+            b.iter(|| {
+                let cfg = RunConfig::builder(generators::clique(n), 1)
+                    .inputs(inputs.clone())
+                    .epsilon(1.0)
+                    .seed(5)
+                    .build()
+                    .unwrap();
+                black_box(run_byzantine_consensus(&cfg).unwrap().spread())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("clique_with_liar", n), &n, |b, &n| {
+            b.iter(|| {
+                let cfg = RunConfig::builder(generators::clique(n), 1)
+                    .inputs(inputs.clone())
+                    .epsilon(1.0)
+                    .byzantine(NodeId::new(n - 1), AdversaryKind::ConstantLiar { value: 1e5 })
+                    .seed(5)
+                    .build()
+                    .unwrap();
+                black_box(run_byzantine_consensus(&cfg).unwrap().spread())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_bw_directed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bw_directed");
+    group.sample_size(10);
+    let g = generators::figure_1b_small();
+    let inputs: Vec<f64> = (0..8).map(|i| i as f64).collect();
+    group.bench_function("fig1b_small_with_crash", |b| {
+        b.iter(|| {
+            let cfg = RunConfig::builder(g.clone(), 1)
+                .inputs(inputs.clone())
+                .epsilon(1.0)
+                .byzantine(NodeId::new(7), AdversaryKind::Crash)
+                .seed(2)
+                .build()
+                .unwrap();
+            black_box(run_byzantine_consensus(&cfg).unwrap().spread())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bw_cliques, bench_bw_directed);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion benches for the protocol's inner kernels: topology
+//! precomputation, Filter-and-Average trimming, and f-cover search.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbac_conditions::cover::has_cover;
+use dbac_core::config::FloodMode;
+use dbac_core::filter::filter_and_average;
+use dbac_core::message_set::MessageSet;
+use dbac_core::precompute::Topology;
+use dbac_graph::{generators, NodeId, NodeSet, Path, PathBudget};
+
+fn bench_precompute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology_precompute");
+    group.sample_size(10);
+    for n in [4usize, 5] {
+        group.bench_with_input(BenchmarkId::new("clique_f1", n), &n, |b, &n| {
+            b.iter(|| {
+                black_box(
+                    Topology::new(
+                        generators::clique(n),
+                        1,
+                        FloodMode::Redundant,
+                        PathBudget::default(),
+                    )
+                    .unwrap()
+                    .guesses()
+                    .len(),
+                )
+            });
+        });
+    }
+    group.bench_function("fig1b_small_f1", |b| {
+        b.iter(|| {
+            black_box(
+                Topology::new(
+                    generators::figure_1b_small(),
+                    1,
+                    FloodMode::Redundant,
+                    PathBudget::default(),
+                )
+                .unwrap()
+                .guesses()
+                .len(),
+            )
+        });
+    });
+    group.finish();
+}
+
+/// Builds a realistic message set: every redundant path of K5 toward node
+/// 0 carrying its initiator's value, plus a liar's extremes.
+fn k5_message_set() -> MessageSet {
+    let topo =
+        Topology::new(generators::clique(5), 1, FloodMode::Redundant, PathBudget::default())
+            .unwrap();
+    let values = [2.0, 4.0, 6.0, 8.0, -100.0];
+    topo.required_paths_to(NodeId::new(0))
+        .iter()
+        .map(|p| (p.clone(), values[p.init().index()]))
+        .collect()
+}
+
+fn bench_filter(c: &mut Criterion) {
+    let mset = k5_message_set();
+    c.bench_function("filter_and_average_k5", |b| {
+        b.iter(|| black_box(filter_and_average(&mset, 1, NodeId::new(0), 5)));
+    });
+}
+
+fn bench_cover(c: &mut Criterion) {
+    let mset = k5_message_set();
+    let paths: Vec<NodeSet> = mset.paths().map(Path::node_set).collect();
+    let allowed = NodeSet::universe(5) - NodeSet::singleton(NodeId::new(0));
+    let mut group = c.benchmark_group("f_cover");
+    for f in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::new("k5_pool", f), &f, |b, &f| {
+            b.iter(|| black_box(has_cover(&paths, f, allowed)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_precompute, bench_filter, bench_cover);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion benches for the graph substrate: disjoint paths (Menger),
+//! vertex connectivity, and path enumeration — the kernels behind the
+//! Figure 1 analyses and the flood precomputation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbac_graph::connectivity::vertex_connectivity;
+use dbac_graph::maxflow::max_vertex_disjoint_paths;
+use dbac_graph::paths::{redundant_paths_ending_at, simple_paths_ending_at};
+use dbac_graph::{generators, NodeId, NodeSet, PathBudget};
+
+fn bench_maxflow(c: &mut Criterion) {
+    let fig = generators::figure_1b();
+    c.bench_function("disjoint_paths_fig1b_v1_w1", |b| {
+        b.iter(|| black_box(max_vertex_disjoint_paths(&fig, NodeId::new(0), NodeId::new(7))));
+    });
+    let k7 = generators::clique(7);
+    c.bench_function("disjoint_paths_k7", |b| {
+        b.iter(|| black_box(max_vertex_disjoint_paths(&k7, NodeId::new(0), NodeId::new(1))));
+    });
+}
+
+fn bench_connectivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vertex_connectivity");
+    for n in [5usize, 7, 9] {
+        let g = generators::wheel(n);
+        group.bench_with_input(BenchmarkId::new("wheel", n), &g, |b, g| {
+            b.iter(|| black_box(vertex_connectivity(g)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_path_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paths");
+    for n in [4usize, 5] {
+        let g = generators::clique(n);
+        group.bench_with_input(BenchmarkId::new("simple_ending_at_clique", n), &g, |b, g| {
+            b.iter(|| {
+                black_box(
+                    simple_paths_ending_at(g, NodeId::new(0), NodeSet::EMPTY, PathBudget::default())
+                        .unwrap()
+                        .len(),
+                )
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("redundant_ending_at_clique", n), &g, |b, g| {
+            b.iter(|| {
+                black_box(
+                    redundant_paths_ending_at(
+                        g,
+                        NodeId::new(0),
+                        NodeSet::EMPTY,
+                        PathBudget::default(),
+                    )
+                    .unwrap()
+                    .len(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_maxflow, bench_connectivity, bench_path_enumeration);
+criterion_main!(benches);

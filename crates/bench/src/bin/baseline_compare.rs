@@ -1,0 +1,140 @@
+//! Experiments **E9 / E10 — baselines**.
+//!
+//! * E9: on cliques (the setting of Abraham–Amit–Dolev 2004), BW and AAD04
+//!   both converge with optimal resilience; BW pays exponential messages
+//!   for generality, AAD04 pays reliable-broadcast rounds.
+//! * E10: on `figure_1b_small` — which satisfies 3-reach but is **not**
+//!   `(2,2)`-robust — the purely local iterative algorithm stalls at full
+//!   spread *even with zero actual faults* (its `f`-filtering discards the
+//!   scarce cross-clique edges), while BW converges with a live adversary.
+//!
+//! Run: `cargo run --release -p dbac-bench --bin baseline_compare`
+
+use dbac_baselines::aad04::{run_aad04, AadAdversary};
+use dbac_baselines::iterative::{is_r_s_robust, run_iterative, IterStrategy};
+use dbac_bench::table::{num, yes_no, Table};
+use dbac_conditions::kreach::three_reach;
+use dbac_core::adversary::AdversaryKind;
+use dbac_core::run::{run_byzantine_consensus, RunConfig};
+use dbac_graph::{generators, NodeId};
+
+fn main() {
+    e9_aad_comparison();
+    e10_iterative_contrast();
+}
+
+fn e9_aad_comparison() {
+    println!("E9 — BW (this paper) vs AAD04 on complete networks\n");
+    let mut t = Table::new(vec![
+        "n", "f", "adversary", "algorithm", "converged", "valid", "honest messages",
+    ]);
+    for (n, f) in [(4usize, 1usize), (5, 1)] {
+        let inputs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let byz = NodeId::new(n - 1);
+        for (label, bw_kind, aad_kind) in [
+            ("crash", AdversaryKind::Crash, AadAdversary::Crash),
+            (
+                "liar",
+                AdversaryKind::ConstantLiar { value: 1e6 },
+                AadAdversary::ConstantLiar { value: 1e6 },
+            ),
+        ] {
+            let cfg = RunConfig::builder(generators::clique(n), f)
+                .inputs(inputs.clone())
+                .epsilon(0.5)
+                .byzantine(byz, bw_kind)
+                .seed(4)
+                .build()
+                .unwrap();
+            let bw = run_byzantine_consensus(&cfg).unwrap();
+            assert!(bw.converged() && bw.valid(), "BW n={n} {label}");
+            t.row(vec![
+                n.to_string(),
+                f.to_string(),
+                label.into(),
+                "BW".into(),
+                yes_no(bw.converged()),
+                yes_no(bw.valid()),
+                bw.sim_stats.messages_sent.to_string(),
+            ]);
+            let aad = run_aad04(n, f, &inputs, 0.5, &[(byz, aad_kind)], 4).unwrap();
+            assert!(aad.converged() && aad.valid(), "AAD n={n} {label}");
+            t.row(vec![
+                n.to_string(),
+                f.to_string(),
+                label.into(),
+                "AAD04".into(),
+                yes_no(aad.converged()),
+                yes_no(aad.valid()),
+                aad.honest_messages.to_string(),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "Both achieve optimal resilience on cliques; BW's generality to directed,\n\
+         incomplete networks costs redundant-path flooding (message counts above).\n"
+    );
+}
+
+fn e10_iterative_contrast() {
+    println!("E10 — BW vs the iterative (W-MSR) algorithm off the robustness regime\n");
+    let g = generators::figure_1b_small();
+    let f = 1usize;
+    println!(
+        "figure_1b_small: 3-reach(f=1)={}  (2,2)-robust={}",
+        yes_no(three_reach(&g, f).holds()),
+        yes_no(is_r_s_robust(&g, 2, 2)),
+    );
+    assert!(three_reach(&g, f).holds());
+    assert!(!is_r_s_robust(&g, 2, 2));
+
+    // Iterative, zero actual faults, clique-polarized inputs: stalls.
+    let inputs = vec![0.0, 0.0, 0.0, 0.0, 10.0, 10.0, 10.0, 10.0];
+    let run = run_iterative(&g, f, &inputs, &[], 60);
+    println!(
+        "iterative (no faults, f=1 filtering): spread after 60 rounds = {}",
+        num(run.final_spread())
+    );
+    assert!(run.final_spread() > 9.0, "expected a stall at full spread");
+
+    // BW on the same graph, same inputs, WITH a Byzantine node: converges.
+    let cfg = RunConfig::builder(g.clone(), f)
+        .inputs(inputs.clone())
+        .epsilon(0.5)
+        .byzantine(NodeId::new(3), AdversaryKind::ConstantLiar { value: 1e5 })
+        .seed(8)
+        .build()
+        .unwrap();
+    let out = run_byzantine_consensus(&cfg).unwrap();
+    println!(
+        "BW (liar at v4): converged={} valid={} spread={} messages={}",
+        yes_no(out.converged()),
+        yes_no(out.valid()),
+        num(out.spread()),
+        out.sim_stats.messages_delivered,
+    );
+    assert!(out.converged() && out.valid());
+
+    // On a robust clique the iterative algorithm is fine — the conditions
+    // genuinely differ, matching the paper's related-work positioning.
+    let k5 = generators::clique(5);
+    assert!(is_r_s_robust(&k5, 2, 2));
+    let run = run_iterative(
+        &k5,
+        1,
+        &[0.0, 1.0, 2.0, 3.0, 0.0],
+        &[(NodeId::new(4), IterStrategy::Constant(999.0))],
+        60,
+    );
+    println!(
+        "iterative on K5 (malicious constant): spread after 60 rounds = {} valid={}",
+        num(run.final_spread()),
+        yes_no(run.valid()),
+    );
+    assert!(run.final_spread() < 1e-6 && run.valid());
+    println!(
+        "\nRESULT: local filtering needs robustness; BW's global witnesses need only 3-reach —\n\
+         figure_1b_small separates the two exactly as the paper's related-work section claims."
+    );
+}

@@ -1,0 +1,100 @@
+//! Experiments **E5 / E6 — convergence**: Lemma 15's per-round halving and
+//! Section 4.6's termination bound, measured.
+//!
+//! Run: `cargo run --release -p dbac-bench --bin convergence`
+
+use dbac_bench::table::{num, yes_no, Table};
+use dbac_core::adversary::AdversaryKind;
+use dbac_core::config::num_rounds;
+use dbac_core::run::{run_byzantine_consensus, RunConfig};
+use dbac_graph::{generators, NodeId};
+
+fn main() {
+    halving();
+    termination_bound();
+}
+
+/// E5: measured spread per round vs the `K/2^r` bound, across adversaries.
+fn halving() {
+    println!("E5 / Lemma 15 — spread halves every round\n");
+    let g = generators::clique(4);
+    let inputs = vec![0.0, 16.0, 4.0, 12.0];
+    let k = 16.0;
+    let cases: Vec<(&str, Option<(NodeId, AdversaryKind)>)> = vec![
+        ("all honest", None),
+        ("crash", Some((NodeId::new(3), AdversaryKind::Crash))),
+        ("liar 1e6", Some((NodeId::new(3), AdversaryKind::ConstantLiar { value: 1e6 }))),
+        (
+            "equivocator",
+            Some((NodeId::new(3), AdversaryKind::Equivocator { low: -1e3, high: 1e3 })),
+        ),
+        ("chaotic", Some((NodeId::new(3), AdversaryKind::Chaotic { seed: 5 }))),
+    ];
+    for (label, byz) in cases {
+        let mut builder = RunConfig::builder(g.clone(), 1)
+            .inputs(inputs.clone())
+            .epsilon(0.05)
+            .range((0.0, 16.0))
+            .rounds(6)
+            .seed(31);
+        if let Some((v, kind)) = byz.clone() {
+            builder = builder.byzantine(v, kind);
+        }
+        let out = run_byzantine_consensus(&builder.build().unwrap()).unwrap();
+        assert!(out.all_decided(), "{label}: some node undecided");
+        let spreads = out.spread_by_round();
+        let mut t = Table::new(vec!["round", "spread U[r]-mu[r]", "bound K/2^r", "within bound"]);
+        let mut ok = true;
+        for (r, &s) in spreads.iter().enumerate() {
+            let bound = k / 2f64.powi(r as i32);
+            ok &= s <= bound + 1e-9;
+            t.row(vec![r.to_string(), num(s), num(bound), yes_no(s <= bound + 1e-9)]);
+        }
+        println!("adversary: {label}\n{}", t.render());
+        assert!(ok, "{label}: halving bound violated");
+        assert!(out.valid(), "{label}: validity violated");
+    }
+}
+
+/// E6: rounds needed for ε-agreement vs the a-priori bound `⌈log₂(K/ε)⌉`.
+fn termination_bound() {
+    println!("E6 / Section 4.6 — termination bound sweep\n");
+    let g = generators::clique(4);
+    let inputs = vec![0.0, 8.0, 2.0, 6.0];
+    let k = 8.0;
+    let mut t = Table::new(vec![
+        "epsilon",
+        "rounds bound",
+        "final spread",
+        "spread < eps",
+        "earliest conforming round",
+    ]);
+    for epsilon in [4.0, 2.0, 1.0, 0.5, 0.25] {
+        let bound = num_rounds(k, epsilon);
+        let cfg = RunConfig::builder(g.clone(), 1)
+            .inputs(inputs.clone())
+            .epsilon(epsilon)
+            .range((0.0, k))
+            .byzantine(NodeId::new(3), AdversaryKind::ConstantLiar { value: -1e4 })
+            .seed(77)
+            .build()
+            .unwrap();
+        let out = run_byzantine_consensus(&cfg).unwrap();
+        let spreads = out.spread_by_round();
+        let final_spread = *spreads.last().unwrap();
+        let earliest = spreads.iter().position(|&s| s < epsilon).unwrap_or(spreads.len());
+        t.row(vec![
+            num(epsilon),
+            bound.to_string(),
+            num(final_spread),
+            yes_no(final_spread < epsilon),
+            earliest.to_string(),
+        ]);
+        assert!(final_spread < epsilon, "ε={epsilon}: bound insufficient");
+    }
+    println!("{}", t.render());
+    println!(
+        "RESULT: running exactly ⌈log2(K/ε)⌉⁺ rounds suffices, often with slack —\n\
+         the paper's bound is a worst-case guarantee."
+    );
+}

@@ -1,0 +1,92 @@
+//! Named graph instances used across the experiments.
+
+use dbac_graph::{generators, Digraph};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A named test network with its intended fault bound.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    /// Display name.
+    pub name: String,
+    /// The network.
+    pub graph: Digraph,
+    /// Intended fault bound `f`.
+    pub f: usize,
+}
+
+impl Instance {
+    fn new(name: &str, graph: Digraph, f: usize) -> Self {
+        Instance { name: name.into(), graph, f }
+    }
+}
+
+/// Small instances on which the full BW protocol is tractable, all
+/// satisfying 3-reach for their `f`.
+#[must_use]
+pub fn feasible_instances() -> Vec<Instance> {
+    vec![
+        Instance::new("K4 (f=1)", generators::clique(4), 1),
+        Instance::new("K5 (f=1)", generators::clique(5), 1),
+        Instance::new("figure-1a (f=1)", generators::figure_1a(), 1),
+        Instance::new("two-K4-bridged (f=1)", generators::figure_1b_small(), 1),
+    ]
+}
+
+/// Instances violating 3-reach for their `f` (infeasibility side).
+#[must_use]
+pub fn infeasible_instances() -> Vec<Instance> {
+    vec![
+        Instance::new("K3 (f=1)", generators::clique(3), 1),
+        Instance::new("directed-cycle-5 (f=1)", generators::directed_cycle(5), 1),
+        Instance::new("directed-path-4 (f=1)", generators::directed_path(4), 1),
+    ]
+}
+
+/// A deterministic batch of random digraphs for sweeps.
+#[must_use]
+pub fn random_digraphs(n: usize, p: f64, count: usize, seed: u64) -> Vec<Digraph> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..count).map(|_| generators::random_digraph(n, p, &mut rng)).collect()
+}
+
+/// A deterministic batch of random undirected (bidirectional) networks.
+#[must_use]
+pub fn random_undirected(n: usize, p: f64, count: usize, seed: u64) -> Vec<Digraph> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..count).map(|_| generators::random_undirected(n, p, &mut rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbac_conditions::kreach::three_reach;
+
+    #[test]
+    fn feasible_instances_satisfy_three_reach() {
+        for inst in feasible_instances() {
+            assert!(
+                three_reach(&inst.graph, inst.f).holds(),
+                "{} should satisfy 3-reach",
+                inst.name
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_instances_violate_three_reach() {
+        for inst in infeasible_instances() {
+            assert!(
+                !three_reach(&inst.graph, inst.f).holds(),
+                "{} should violate 3-reach",
+                inst.name
+            );
+        }
+    }
+
+    #[test]
+    fn random_batches_are_deterministic() {
+        assert_eq!(random_digraphs(6, 0.4, 3, 9), random_digraphs(6, 0.4, 3, 9));
+        assert_eq!(random_undirected(6, 0.4, 2, 9), random_undirected(6, 0.4, 2, 9));
+    }
+}

@@ -1,0 +1,13 @@
+//! # dbac-bench
+//!
+//! Experiment harness regenerating every table and figure of the paper
+//! (see DESIGN.md §4 for the experiment index E1–E11), plus shared
+//! utilities: text tables, graph catalogs, and the Appendix-B
+//! indistinguishability splice.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod impossibility;
+pub mod table;

@@ -1,0 +1,262 @@
+//! The Tseng–Vaidya partition conditions **CCS**, **CCA**, **BCS**
+//! (Definitions 16–18, from PODC'15), which Theorem 17 proves equivalent to
+//! 1-reach, 2-reach and 3-reach respectively.
+//!
+//! Implementing both formulations lets the experiment harness *check* the
+//! equivalence theorem on sampled graphs instead of assuming it
+//! (experiment E7).
+//!
+//! All three checkers enumerate vertex partitions, which is `Θ(3^n)` —
+//! fine for the graph sizes on which the equivalences are validated.
+
+use dbac_graph::subsets::SubsetsUpTo;
+use dbac_graph::{Digraph, NodeSet};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Returns `true` if `B` has at least `x` incoming neighbors in `A` — the
+/// paper's `A →ˣ B` (Definition 14).
+#[must_use]
+pub fn has_x_incoming(g: &Digraph, a: NodeSet, b: NodeSet, x: usize) -> bool {
+    (g.in_neighbors_of_set(b) & a).len() >= x
+}
+
+/// A partition `F, L, C, R` witnessing the violation of a partition
+/// condition (`F` is empty for CCA).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionViolation {
+    /// The fault part `F` (empty for CCA).
+    pub f: NodeSet,
+    /// The left part `L` (non-empty).
+    pub l: NodeSet,
+    /// The center part `C`.
+    pub c: NodeSet,
+    /// The right part `R` (non-empty).
+    pub r: NodeSet,
+    /// The in-neighbor threshold `x` that both directions failed to meet.
+    pub threshold: usize,
+}
+
+impl fmt::Display for PartitionViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "partition F={} L={} C={} R={} with L∪C ↛{} R and R∪C ↛{} L",
+            self.f, self.l, self.c, self.r, self.threshold, self.threshold
+        )
+    }
+}
+
+/// Result of evaluating a partition condition.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartitionOutcome {
+    /// Every admissible partition satisfies one of the two directions.
+    Holds,
+    /// A violating partition exists.
+    Violated(PartitionViolation),
+}
+
+impl PartitionOutcome {
+    /// Returns `true` if the condition holds.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        matches!(self, PartitionOutcome::Holds)
+    }
+
+    /// The violating partition, if any.
+    #[must_use]
+    pub fn violation(&self) -> Option<&PartitionViolation> {
+        match self {
+            PartitionOutcome::Holds => None,
+            PartitionOutcome::Violated(w) => Some(w),
+        }
+    }
+}
+
+/// **Condition CCS** (Definition 16) — synchronous crash consensus: for
+/// every partition `F, L, C, R` with `|F| ≤ f` and `L, R ≠ ∅`, either
+/// `L∪C →¹ R` or `R∪C →¹ L`.
+#[must_use]
+pub fn ccs(g: &Digraph, f: usize) -> PartitionOutcome {
+    check_partitions(g, f, |_| 1)
+}
+
+/// **Condition CCA** (Definition 17) — asynchronous crash approximate
+/// consensus: for every partition `L, C, R` (no fault part) with
+/// `L, R ≠ ∅`, either `L∪C →^{f+1} R` or `R∪C →^{f+1} L`.
+#[must_use]
+pub fn cca(g: &Digraph, f: usize) -> PartitionOutcome {
+    check_partitions(g, 0, |_| f + 1)
+}
+
+/// **Condition BCS** (Definition 18) — synchronous Byzantine consensus
+/// (and, by this paper, asynchronous Byzantine approximate consensus): for
+/// every partition `F, L, C, R` with `|F| ≤ f` and `L, R ≠ ∅`, either
+/// `L∪C →^{f+1} R` or `R∪C →^{f+1} L`.
+#[must_use]
+pub fn bcs(g: &Digraph, f: usize) -> PartitionOutcome {
+    check_partitions(g, f, move |_| f + 1)
+}
+
+fn check_partitions(
+    g: &Digraph,
+    max_fault: usize,
+    threshold: impl Fn(&NodeSet) -> usize,
+) -> PartitionOutcome {
+    let all = g.vertex_set();
+    for fset in SubsetsUpTo::new(all, max_fault) {
+        let rest: Vec<_> = (all - fset).iter().collect();
+        let k = rest.len();
+        if k < 2 {
+            continue;
+        }
+        let x = threshold(&fset);
+        // Assign each remaining node to L (0), C (1) or R (2).
+        let mut assignment = vec![0u8; k];
+        loop {
+            let mut l = NodeSet::EMPTY;
+            let mut c = NodeSet::EMPTY;
+            let mut r = NodeSet::EMPTY;
+            for (i, &node) in rest.iter().enumerate() {
+                match assignment[i] {
+                    0 => l.insert(node),
+                    1 => c.insert(node),
+                    _ => r.insert(node),
+                };
+            }
+            if !l.is_empty()
+                && !r.is_empty()
+                && !has_x_incoming(g, l | c, r, x)
+                && !has_x_incoming(g, r | c, l, x)
+            {
+                return PartitionOutcome::Violated(PartitionViolation {
+                    f: fset,
+                    l,
+                    c,
+                    r,
+                    threshold: x,
+                });
+            }
+            // Next base-3 assignment.
+            let mut i = 0;
+            loop {
+                if i == k {
+                    break;
+                }
+                if assignment[i] == 2 {
+                    assignment[i] = 0;
+                    i += 1;
+                } else {
+                    assignment[i] += 1;
+                    break;
+                }
+            }
+            if i == k {
+                break;
+            }
+        }
+    }
+    PartitionOutcome::Holds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kreach;
+    use dbac_graph::generators;
+    use dbac_graph::NodeId;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn ns(ids: &[usize]) -> NodeSet {
+        ids.iter().map(|&i| NodeId::new(i)).collect()
+    }
+
+    #[test]
+    fn incoming_threshold() {
+        let g = Digraph::from_edges(4, &[(0, 2), (1, 2), (0, 3)]).unwrap();
+        let b = ns(&[2, 3]);
+        assert!(has_x_incoming(&g, ns(&[0, 1]), b, 2));
+        assert!(!has_x_incoming(&g, ns(&[0, 1]), b, 3));
+        assert!(has_x_incoming(&g, ns(&[1]), b, 1));
+        // Edges from inside B do not count (N⁻ excludes B).
+        assert!(!has_x_incoming(&g, b, b, 1));
+    }
+
+    #[test]
+    fn clique_thresholds() {
+        // In a clique: CCA ⇔ n > 2f, BCS ⇔ n > 3f. CCS, like 1-reach,
+        // holds unconditionally in a clique (any non-empty L has an
+        // incoming neighbor from the rest), consistent with Theorem 17.
+        for f in 1..=2 {
+            for n in 2..=7 {
+                let g = generators::clique(n);
+                assert!(ccs(&g, f).holds(), "CCS n={n} f={f}");
+                assert_eq!(cca(&g, f).holds(), n > 2 * f, "CCA n={n} f={f}");
+                assert_eq!(bcs(&g, f).holds(), n > 3 * f, "BCS n={n} f={f}");
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_17_equivalences_on_random_graphs() {
+        // CCS ⇔ 1-reach, CCA ⇔ 2-reach, BCS ⇔ 3-reach.
+        let mut rng = SmallRng::seed_from_u64(2024);
+        for trial in 0..15 {
+            let g = generators::random_digraph(5, 0.45, &mut rng);
+            for f in 0..=1 {
+                assert_eq!(
+                    ccs(&g, f).holds(),
+                    kreach::one_reach(&g, f).holds(),
+                    "CCS≠1-reach trial={trial} f={f} g={g:?}"
+                );
+                assert_eq!(
+                    cca(&g, f).holds(),
+                    kreach::two_reach(&g, f).holds(),
+                    "CCA≠2-reach trial={trial} f={f} g={g:?}"
+                );
+                assert_eq!(
+                    bcs(&g, f).holds(),
+                    kreach::three_reach(&g, f).holds(),
+                    "BCS≠3-reach trial={trial} f={f} g={g:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn violation_witness_is_genuine() {
+        let g = generators::clique(3);
+        match bcs(&g, 1) {
+            PartitionOutcome::Holds => panic!("K3 violates BCS for f=1"),
+            PartitionOutcome::Violated(w) => {
+                assert!(!w.l.is_empty() && !w.r.is_empty());
+                assert!(w.f.len() <= 1);
+                // The four parts partition V.
+                assert_eq!(w.f | w.l | w.c | w.r, g.vertex_set());
+                assert_eq!(w.f.len() + w.l.len() + w.c.len() + w.r.len(), 3);
+                assert!(!has_x_incoming(&g, w.l | w.c, w.r, w.threshold));
+                assert!(!has_x_incoming(&g, w.r | w.c, w.l, w.threshold));
+                assert!(w.to_string().contains("partition"));
+            }
+        }
+    }
+
+    #[test]
+    fn figure_1a_satisfies_bcs_f1() {
+        assert!(bcs(&generators::figure_1a(), 1).holds());
+    }
+
+    #[test]
+    fn directed_cycle_fails_bcs() {
+        assert!(!bcs(&generators::directed_cycle(4), 1).holds());
+    }
+
+    #[test]
+    fn single_node_graph_holds_vacuously() {
+        let g = Digraph::new(1).unwrap();
+        assert!(ccs(&g, 1).holds());
+        assert!(cca(&g, 1).holds());
+        assert!(bcs(&g, 1).holds());
+    }
+}

@@ -1,0 +1,459 @@
+//! Asynchronous **crash**-tolerant approximate consensus under the
+//! 2-reach condition (the upper-left asynchronous cell of the paper's
+//! Table 2, due to Tseng & Vaidya 2012).
+//!
+//! Faithful-in-spirit reconstruction (DESIGN.md §2.5): with crash faults
+//! nobody lies, so redundant paths, witnesses and trimming are all
+//! unnecessary. Each round a node floods its value along **simple** paths;
+//! one thread per guess `F_v` waits for fullness over the paths avoiding
+//! `F_v`; the first full thread updates to the midpoint of *all* values
+//! received this round.
+//!
+//! Correctness sketch: every received value is a genuine round-`r` state
+//! value (validity); under 2-reach any two nodes' fired reach sets share an
+//! influencer `z`, and both nodes' min/max brackets `x_z[r]`, so midpoints
+//! are within half the previous spread (convergence halves per round, as
+//! in Lemma 15).
+
+use crate::config::num_rounds;
+use crate::error::RunError;
+use dbac_graph::paths::simple_paths_ending_at;
+use dbac_graph::subsets::SubsetsUpTo;
+use dbac_graph::{Digraph, NodeId, NodeSet, Path, PathBudget};
+use dbac_sim::process::{Adversary, Context, Process};
+use dbac_sim::scheduler::RandomDelay;
+use dbac_sim::sim::Simulation;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Wire message of the crash-tolerant protocol: a value flooded along a
+/// simple path (the path ends at the sender).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CrashMsg {
+    /// Asynchronous round.
+    pub round: u32,
+    /// The flooded state value.
+    pub value: f64,
+    /// Propagation path so far.
+    pub path: Path,
+}
+
+/// Shared precomputation for the crash protocol.
+#[derive(Debug)]
+pub struct CrashTopology {
+    graph: Digraph,
+    f: usize,
+    /// Per terminal: all simple paths ending there.
+    simple_to: Vec<Vec<Path>>,
+    guesses: Vec<NodeSet>,
+}
+
+impl CrashTopology {
+    /// Precomputes simple-path pools and fault guesses.
+    ///
+    /// # Errors
+    ///
+    /// Returns the path-budget error if enumeration explodes.
+    pub fn new(graph: Digraph, f: usize, budget: PathBudget) -> Result<Self, RunError> {
+        let mut simple_to = Vec::with_capacity(graph.node_count());
+        for v in graph.nodes() {
+            simple_to.push(simple_paths_ending_at(&graph, v, NodeSet::EMPTY, budget)?);
+        }
+        let guesses = SubsetsUpTo::new(graph.vertex_set(), f).collect();
+        Ok(CrashTopology { graph, f, simple_to, guesses })
+    }
+
+    /// The network.
+    #[must_use]
+    pub fn graph(&self) -> &Digraph {
+        &self.graph
+    }
+
+    /// The fault bound.
+    #[must_use]
+    pub fn f(&self) -> usize {
+        self.f
+    }
+}
+
+struct CrashRound {
+    started: bool,
+    fired: bool,
+    values: HashMap<Path, f64>,
+    /// Per guess: required simple paths avoiding the guess not yet seen.
+    remaining: Vec<usize>,
+}
+
+/// An honest node of the crash-tolerant protocol.
+pub struct CrashNode {
+    topo: Arc<CrashTopology>,
+    me: NodeId,
+    rounds_total: u32,
+    x: Vec<f64>,
+    rounds: HashMap<u32, CrashRound>,
+    my_guesses: Vec<NodeSet>,
+    output: Option<f64>,
+}
+
+impl CrashNode {
+    /// Creates a node with the given input, running enough rounds for
+    /// ε-agreement over the a-priori range.
+    #[must_use]
+    pub fn new(topo: Arc<CrashTopology>, me: NodeId, input: f64, epsilon: f64, range: (f64, f64)) -> Self {
+        let my_guesses: Vec<NodeSet> =
+            topo.guesses.iter().filter(|g| !g.contains(me)).copied().collect();
+        CrashNode {
+            topo,
+            me,
+            rounds_total: num_rounds(range.1 - range.0, epsilon),
+            x: vec![input],
+            rounds: HashMap::new(),
+            my_guesses,
+            output: None,
+        }
+    }
+
+    /// The decided output, once available.
+    #[must_use]
+    pub fn output(&self) -> Option<f64> {
+        self.output
+    }
+
+    /// The state trajectory.
+    #[must_use]
+    pub fn x_history(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Returns `true` once decided.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.output.is_some()
+    }
+
+    fn new_round(&self) -> CrashRound {
+        let pool = &self.topo.simple_to[self.me.index()];
+        let remaining = self
+            .my_guesses
+            .iter()
+            .map(|g| pool.iter().filter(|p| !p.intersects(*g)).count())
+            .collect();
+        CrashRound { started: false, fired: false, values: HashMap::new(), remaining }
+    }
+
+    fn begin_round(&mut self, round: u32, ctx: &mut Context<CrashMsg>) {
+        let value = self.x[round as usize];
+        let path = Path::single(self.me);
+        for w in ctx.out_neighbors().iter() {
+            ctx.send(w, CrashMsg { round, value, path: path.clone() });
+        }
+        // Do not clobber state created by early-arriving buffered messages.
+        if !self.rounds.contains_key(&round) {
+            let r = self.new_round();
+            self.rounds.insert(round, r);
+        }
+        self.record(round, Path::single(self.me), value, ctx);
+    }
+
+    fn record(&mut self, round: u32, stored: Path, value: f64, ctx: &mut Context<CrashMsg>) {
+        let core = match self.rounds.get_mut(&round) {
+            Some(c) => c,
+            None => {
+                let fresh = self.new_round();
+                self.rounds.entry(round).or_insert(fresh)
+            }
+        };
+        if core.values.contains_key(&stored) {
+            return;
+        }
+        if stored.init() == self.me && stored.is_empty() {
+            core.started = true;
+        }
+        let node_set = stored.node_set();
+        core.values.insert(stored, value);
+        let mut fire = false;
+        for (i, guess) in self.my_guesses.iter().enumerate() {
+            if node_set.is_disjoint(*guess) {
+                core.remaining[i] -= 1;
+                if core.remaining[i] == 0 && core.started && !core.fired {
+                    fire = true;
+                }
+            }
+        }
+        if fire && !core.fired {
+            core.fired = true;
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for &v in core.values.values() {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            let next = (lo + hi) / 2.0;
+            self.x.push(next);
+            let next_round = round + 1;
+            if next_round >= self.rounds_total {
+                self.output = Some(next);
+            } else {
+                self.begin_round(next_round, ctx);
+            }
+        }
+    }
+}
+
+impl Process for CrashNode {
+    type Message = CrashMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<CrashMsg>) {
+        if self.rounds_total == 0 {
+            self.output = Some(self.x[0]);
+            return;
+        }
+        self.begin_round(0, ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<CrashMsg>, from: NodeId, msg: CrashMsg) {
+        if msg.round >= self.rounds_total {
+            return;
+        }
+        // Validate and extend, as in the BW flood but simple-paths only.
+        if msg.path.ter() != from || !msg.path.is_valid_in(&self.topo.graph) {
+            return;
+        }
+        let Ok(stored) = msg.path.extended(self.me) else {
+            return;
+        };
+        if !stored.is_simple() {
+            return;
+        }
+        let already = self
+            .rounds
+            .get(&msg.round)
+            .is_some_and(|c| c.values.contains_key(&stored));
+        if already {
+            return;
+        }
+        // Relay first (the relay set does not depend on our round state).
+        for w in ctx.out_neighbors().iter() {
+            if let Ok(ext) = stored.extended(w) {
+                if ext.is_simple() {
+                    ctx.send(w, CrashMsg { round: msg.round, value: msg.value, path: stored.clone() });
+                }
+            }
+        }
+        self.record(msg.round, stored, msg.value, ctx);
+    }
+}
+
+impl std::fmt::Debug for CrashNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CrashNode").field("me", &self.me).field("output", &self.output).finish()
+    }
+}
+
+/// A node that behaves honestly for its first `budget` sends, then crashes
+/// — the classic mid-protocol crash fault.
+pub struct CrashAfter {
+    inner: CrashNode,
+    budget: usize,
+}
+
+impl CrashAfter {
+    /// Wraps an honest crash-protocol node that dies after `budget` sends.
+    #[must_use]
+    pub fn new(inner: CrashNode, budget: usize) -> Self {
+        CrashAfter { inner, budget }
+    }
+}
+
+impl Adversary<CrashMsg> for CrashAfter {
+    fn on_start(&mut self, ctx: &mut Context<CrashMsg>) {
+        if self.budget == 0 {
+            return;
+        }
+        self.inner.on_start(ctx);
+        self.truncate(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<CrashMsg>, from: NodeId, msg: CrashMsg) {
+        if self.budget == 0 {
+            return;
+        }
+        self.inner.on_message(ctx, from, msg);
+        self.truncate(ctx);
+    }
+}
+
+impl CrashAfter {
+    fn truncate(&mut self, ctx: &mut Context<CrashMsg>) {
+        let mut sends = ctx.take_outbox();
+        if sends.len() > self.budget {
+            sends.truncate(self.budget);
+        }
+        self.budget -= sends.len();
+        for (to, msg) in sends {
+            ctx.send(to, msg);
+        }
+    }
+}
+
+/// Outcome of a crash-consensus run.
+#[derive(Clone, Debug)]
+pub struct CrashOutcome {
+    /// Per node: decided output (`None` for crashed nodes).
+    pub outputs: Vec<Option<f64>>,
+    /// The non-crashed node set.
+    pub honest: NodeSet,
+    /// ε of the run.
+    pub epsilon: f64,
+    /// Hull of the honest inputs.
+    pub honest_input_range: (f64, f64),
+}
+
+impl CrashOutcome {
+    /// All honest nodes decided within ε.
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        let outs: Vec<f64> =
+            self.honest.iter().filter_map(|v| self.outputs[v.index()]).collect();
+        if outs.len() < self.honest.len() {
+            return false;
+        }
+        let hi = outs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let lo = outs.iter().cloned().fold(f64::INFINITY, f64::min);
+        hi - lo < self.epsilon
+    }
+
+    /// All decided outputs lie within the honest input hull.
+    #[must_use]
+    pub fn valid(&self) -> bool {
+        let (lo, hi) = self.honest_input_range;
+        self.honest
+            .iter()
+            .filter_map(|v| self.outputs[v.index()])
+            .all(|v| v >= lo - 1e-12 && v <= hi + 1e-12)
+    }
+}
+
+/// Runs the crash-tolerant protocol; `crashed` maps nodes to the number of
+/// sends they perform before dying (0 = crashed from the start).
+///
+/// # Errors
+///
+/// Propagates configuration, topology and runtime errors.
+pub fn run_crash_consensus(
+    graph: Digraph,
+    f: usize,
+    inputs: &[f64],
+    epsilon: f64,
+    crashed: &[(NodeId, usize)],
+    seed: u64,
+) -> Result<CrashOutcome, RunError> {
+    let n = graph.node_count();
+    if inputs.len() != n {
+        return Err(RunError::InvalidConfig {
+            reason: format!("expected {n} inputs, got {}", inputs.len()),
+        });
+    }
+    let crashed_set: NodeSet = crashed.iter().map(|&(v, _)| v).collect();
+    if crashed_set.len() > f {
+        return Err(RunError::TooManyFaults { configured: crashed_set.len(), f });
+    }
+    let honest = graph.vertex_set() - crashed_set;
+    let honest_range = honest
+        .iter()
+        .map(|v| inputs[v.index()])
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| (lo.min(v), hi.max(v)));
+    // The a-priori range must cover every potential input, including the
+    // crashed nodes' (they are honest until they crash).
+    let range = inputs
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let topo = Arc::new(CrashTopology::new(graph.clone(), f, PathBudget::default())?);
+    let mut sim: Simulation<CrashNode> =
+        Simulation::new(Arc::new(graph.clone()), Box::new(RandomDelay::new(seed, 1, 15)));
+    for v in graph.nodes() {
+        if honest.contains(v) {
+            sim.set_honest(v, CrashNode::new(Arc::clone(&topo), v, inputs[v.index()], epsilon, range));
+        }
+    }
+    for &(v, budget) in crashed {
+        let inner = CrashNode::new(Arc::clone(&topo), v, inputs[v.index()], epsilon, range);
+        sim.set_byzantine(v, Box::new(CrashAfter::new(inner, budget)));
+    }
+    sim.run()?;
+    let mut outputs = vec![None; n];
+    for v in honest.iter() {
+        outputs[v.index()] = sim.honest(v).expect("honest node").output();
+    }
+    Ok(CrashOutcome { outputs, honest, epsilon, honest_input_range: honest_range })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbac_conditions::kreach::two_reach;
+    use dbac_graph::generators;
+
+    fn id(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn all_honest_clique_converges() {
+        let out =
+            run_crash_consensus(generators::clique(3), 1, &[0.0, 6.0, 3.0], 0.5, &[], 1).unwrap();
+        assert!(out.converged(), "{:?}", out.outputs);
+        assert!(out.valid());
+    }
+
+    #[test]
+    fn tolerates_immediate_crash() {
+        // K3 satisfies 2-reach for f = 1 (n > 2f).
+        let g = generators::clique(3);
+        assert!(two_reach(&g, 1).holds());
+        let out = run_crash_consensus(g, 1, &[0.0, 6.0, 100.0], 0.5, &[(id(2), 0)], 7).unwrap();
+        assert!(out.converged(), "{:?}", out.outputs);
+        assert!(out.valid());
+        assert!(out.outputs[2].is_none());
+    }
+
+    #[test]
+    fn tolerates_mid_protocol_crash() {
+        for budget in [1, 3, 10, 50] {
+            let out = run_crash_consensus(
+                generators::clique(4),
+                1,
+                &[0.0, 8.0, 4.0, 2.0],
+                0.5,
+                &[(id(1), budget)],
+                budget as u64,
+            )
+            .unwrap();
+            assert!(out.converged(), "budget {budget}: {:?}", out.outputs);
+            assert!(out.valid(), "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn works_on_directed_two_reach_graph() {
+        // figure_1b_small satisfies 3-reach ⊃ 2-reach for f = 1.
+        let g = generators::figure_1b_small();
+        assert!(two_reach(&g, 1).holds());
+        let inputs: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let out = run_crash_consensus(g, 1, &inputs, 0.5, &[(id(5), 4)], 3).unwrap();
+        assert!(out.converged(), "{:?}", out.outputs);
+        assert!(out.valid());
+    }
+
+    #[test]
+    fn too_many_crashes_rejected() {
+        let err = run_crash_consensus(
+            generators::clique(3),
+            1,
+            &[0.0; 3],
+            0.5,
+            &[(id(0), 0), (id(1), 0)],
+            0,
+        );
+        assert!(matches!(err, Err(RunError::TooManyFaults { .. })));
+    }
+}

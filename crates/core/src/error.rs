@@ -1,0 +1,88 @@
+//! Error types for protocol configuration and runs.
+
+use dbac_graph::GraphError;
+use dbac_sim::SimError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors building or executing a consensus run.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum RunError {
+    /// The configuration was inconsistent (wrong input count, bad ε, …).
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// More Byzantine nodes were configured than the fault bound `f`.
+    TooManyFaults {
+        /// Configured faulty nodes.
+        configured: usize,
+        /// The bound `f`.
+        f: usize,
+    },
+    /// Topology precomputation failed (typically: path enumeration budget).
+    Graph(GraphError),
+    /// The underlying runtime failed (event budget, timeout, …).
+    Sim(SimError),
+    /// An honest node failed to produce an output although the runtime
+    /// quiesced — the graph most likely violates 3-reach, so the algorithm
+    /// (correctly) cannot guarantee progress.
+    NoOutput {
+        /// Index of the stuck node.
+        node: usize,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            RunError::TooManyFaults { configured, f: bound } => {
+                write!(f, "{configured} Byzantine nodes exceed the fault bound f = {bound}")
+            }
+            RunError::Graph(e) => write!(f, "topology precomputation failed: {e}"),
+            RunError::Sim(e) => write!(f, "runtime failure: {e}"),
+            RunError::NoOutput { node } => {
+                write!(f, "node {node} produced no output (does the graph satisfy 3-reach?)")
+            }
+        }
+    }
+}
+
+impl Error for RunError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RunError::Graph(e) => Some(e),
+            RunError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for RunError {
+    fn from(e: GraphError) -> Self {
+        RunError::Graph(e)
+    }
+}
+
+impl From<SimError> for RunError {
+    fn from(e: SimError) -> Self {
+        RunError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = RunError::from(GraphError::EmptyGraph);
+        assert!(e.to_string().contains("topology"));
+        assert!(e.source().is_some());
+        let e = RunError::TooManyFaults { configured: 2, f: 1 };
+        assert!(e.to_string().contains("f = 1"));
+        assert!(e.source().is_none());
+    }
+}

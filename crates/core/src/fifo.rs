@@ -1,0 +1,231 @@
+//! FIFO flooding and FIFO reception (Appendix F).
+//!
+//! Each node keeps one monotone FIFO counter shared by all of its parallel
+//! threads; every `COMPLETE` it initiates carries the next counter value
+//! and travels along **all simple paths**. A receiver *FIFO-receives* a
+//! message with counter `k` through path `p` once it holds counters
+//! `1..k-1` from the same initiator through the same path — exactly the
+//! ordering a fully nonfaulty path preserves.
+
+use crate::message::{ProtocolMsg, Round};
+use crate::message_set::CompletePayload;
+use crate::precompute::Topology;
+use dbac_graph::{NodeId, NodeSet, Path};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// The initial FIFO flood of a `COMPLETE` message (Algorithm 1 line 11).
+#[must_use]
+pub fn initial_complete(
+    topo: &Topology,
+    me: NodeId,
+    round: Round,
+    suspects: NodeSet,
+    payload: &Arc<CompletePayload>,
+    seq: u64,
+) -> Vec<(NodeId, ProtocolMsg)> {
+    let path = Path::single(me);
+    topo.graph()
+        .out_neighbors(me)
+        .iter()
+        .map(|w| {
+            (
+                w,
+                ProtocolMsg::Complete {
+                    round,
+                    suspects,
+                    payload: Arc::clone(payload),
+                    path: path.clone(),
+                    seq,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Forwards for a freshly received `COMPLETE` whose stored path ends at
+/// `me`: relayed to each `w` keeping the path simple.
+#[must_use]
+pub fn complete_forwards(
+    topo: &Topology,
+    me: NodeId,
+    round: Round,
+    suspects: NodeSet,
+    payload: &Arc<CompletePayload>,
+    stored: &Path,
+    seq: u64,
+) -> Vec<(NodeId, ProtocolMsg)> {
+    debug_assert_eq!(stored.ter(), me);
+    let mut out = Vec::new();
+    for w in topo.graph().out_neighbors(me).iter() {
+        let Ok(extended) = stored.extended(w) else {
+            continue;
+        };
+        if extended.is_simple() {
+            out.push((
+                w,
+                ProtocolMsg::Complete {
+                    round,
+                    suspects,
+                    payload: Arc::clone(payload),
+                    path: stored.clone(),
+                    seq,
+                },
+            ));
+        }
+    }
+    out
+}
+
+/// A message that became FIFO-received and is ready for the witness logic.
+#[derive(Clone, Debug)]
+pub struct FifoDelivery {
+    /// The initiator `c` (the first node of the delivery path).
+    pub initiator: NodeId,
+    /// The full delivery path (ends at the local node).
+    pub path: Path,
+    /// Round tag of the `COMPLETE`.
+    pub round: Round,
+    /// The suspect set `F` in `COMPLETE(F)`.
+    pub suspects: NodeSet,
+    /// The payload snapshot.
+    pub payload: Arc<CompletePayload>,
+    /// Cached payload fingerprint.
+    pub fingerprint: u64,
+}
+
+/// Per-(initiator, path) reassembly buffers implementing FIFO reception.
+#[derive(Debug, Default)]
+pub struct FifoReceiver {
+    channels: HashMap<(NodeId, Path), Channel>,
+}
+
+#[derive(Debug)]
+struct Channel {
+    next: u64,
+    buffer: BTreeMap<u64, Vec<(Round, NodeSet, Arc<CompletePayload>, u64)>>,
+}
+
+impl FifoReceiver {
+    /// Creates an empty receiver.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accepts a validated `COMPLETE` arrival and returns every message
+    /// that became FIFO-received as a result (possibly several, when a gap
+    /// closes; possibly none, when earlier counters are still missing).
+    pub fn accept(
+        &mut self,
+        path: &Path,
+        seq: u64,
+        round: Round,
+        suspects: NodeSet,
+        payload: Arc<CompletePayload>,
+    ) -> Vec<FifoDelivery> {
+        let initiator = path.init();
+        let channel = self
+            .channels
+            .entry((initiator, path.clone()))
+            .or_insert_with(|| Channel { next: 1, buffer: BTreeMap::new() });
+        if seq >= channel.next {
+            let fp = payload.fingerprint();
+            let slot = channel.buffer.entry(seq).or_default();
+            // Exact duplicates (Byzantine replays) are dropped.
+            if !slot.iter().any(|(r, s, _, f)| *r == round && *s == suspects && *f == fp) {
+                slot.push((round, suspects, payload, fp));
+            }
+        }
+        let mut out = Vec::new();
+        while let Some(batch) = channel.buffer.remove(&channel.next) {
+            for (round, suspects, payload, fingerprint) in batch {
+                out.push(FifoDelivery {
+                    initiator,
+                    path: path.clone(),
+                    round,
+                    suspects,
+                    payload,
+                    fingerprint,
+                });
+            }
+            channel.next += 1;
+        }
+        out
+    }
+
+    /// Number of open (initiator, path) channels.
+    #[must_use]
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message_set::MessageSet;
+
+    fn payload(tag: f64) -> Arc<CompletePayload> {
+        let mut m = MessageSet::new();
+        m.insert(Path::from_indices(&[1, 0]).unwrap(), tag);
+        Arc::new(CompletePayload::from_message_set(&m))
+    }
+
+    fn p(idx: &[usize]) -> Path {
+        Path::from_indices(idx).unwrap()
+    }
+
+    #[test]
+    fn in_order_messages_deliver_immediately() {
+        let mut rx = FifoReceiver::new();
+        let d1 = rx.accept(&p(&[1, 0]), 1, 0, NodeSet::EMPTY, payload(1.0));
+        assert_eq!(d1.len(), 1);
+        assert_eq!(d1[0].initiator, dbac_graph::NodeId::new(1));
+        let d2 = rx.accept(&p(&[1, 0]), 2, 0, NodeSet::EMPTY, payload(2.0));
+        assert_eq!(d2.len(), 1);
+    }
+
+    #[test]
+    fn gaps_hold_messages_back() {
+        let mut rx = FifoReceiver::new();
+        let d = rx.accept(&p(&[1, 0]), 2, 0, NodeSet::EMPTY, payload(2.0));
+        assert!(d.is_empty(), "seq 1 missing");
+        let d = rx.accept(&p(&[1, 0]), 3, 1, NodeSet::EMPTY, payload(3.0));
+        assert!(d.is_empty());
+        let d = rx.accept(&p(&[1, 0]), 1, 0, NodeSet::EMPTY, payload(1.0));
+        assert_eq!(d.len(), 3, "gap closes, everything drains in order");
+        let rounds: Vec<u32> = d.iter().map(|x| x.round).collect();
+        assert_eq!(rounds, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn channels_are_per_path() {
+        let mut rx = FifoReceiver::new();
+        let d = rx.accept(&p(&[1, 0]), 1, 0, NodeSet::EMPTY, payload(1.0));
+        assert_eq!(d.len(), 1);
+        // Same initiator, different path: independent channel, needs seq 1.
+        let d = rx.accept(&p(&[1, 2, 0]), 2, 0, NodeSet::EMPTY, payload(2.0));
+        assert!(d.is_empty());
+        assert_eq!(rx.channel_count(), 2);
+    }
+
+    #[test]
+    fn exact_duplicates_are_dropped_but_conflicts_kept() {
+        let mut rx = FifoReceiver::new();
+        rx.accept(&p(&[1, 0]), 2, 0, NodeSet::EMPTY, payload(9.0));
+        rx.accept(&p(&[1, 0]), 2, 0, NodeSet::EMPTY, payload(9.0)); // replay
+        rx.accept(&p(&[1, 0]), 2, 0, NodeSet::EMPTY, payload(8.0)); // conflict
+        let d = rx.accept(&p(&[1, 0]), 1, 0, NodeSet::EMPTY, payload(1.0));
+        // seq 1 + the two *distinct* seq-2 contents.
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn stale_seq_is_ignored() {
+        let mut rx = FifoReceiver::new();
+        rx.accept(&p(&[1, 0]), 1, 0, NodeSet::EMPTY, payload(1.0));
+        let d = rx.accept(&p(&[1, 0]), 1, 0, NodeSet::EMPTY, payload(7.0));
+        assert!(d.is_empty(), "counter 1 already drained");
+    }
+}

@@ -1,0 +1,169 @@
+//! Wire messages of the BW protocol.
+
+use crate::message_set::CompletePayload;
+use dbac_graph::{Digraph, NodeId, NodeSet, Path};
+use std::sync::Arc;
+
+/// Protocol round index.
+pub type Round = u32;
+
+/// A message on a directed link.
+///
+/// Paths on the wire end at the **sender**; the receiver extends them with
+/// itself before storing or forwarding (Appendix E). Links are
+/// authenticated: on receipt the runtime supplies the true edge tail, so a
+/// message whose claimed path does not end at its sender is provably forged
+/// and dropped (see [`validate_flood`] / [`validate_complete`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProtocolMsg {
+    /// RedundantFlood of a state value (Algorithm 1 line 4 / Algorithm 4).
+    Flood {
+        /// Asynchronous round the value belongs to.
+        round: Round,
+        /// The propagated state value.
+        value: f64,
+        /// Propagation path so far (ends at the sender).
+        path: Path,
+    },
+    /// FIFO-flooded `(M_c, COMPLETE(F))` (Algorithm 1 line 11, Appendix F).
+    Complete {
+        /// Round of the originating Maximal-Consistency event.
+        round: Round,
+        /// The suspect set `F` in `COMPLETE(F)`.
+        suspects: NodeSet,
+        /// Snapshot of the initiator's `M_c|_F̄`.
+        payload: Arc<CompletePayload>,
+        /// Propagation path so far (simple; ends at the sender).
+        path: Path,
+        /// The initiator's FIFO counter for this flood (Appendix F).
+        seq: u64,
+    },
+}
+
+impl ProtocolMsg {
+    /// The round a message belongs to.
+    #[must_use]
+    pub fn round(&self) -> Round {
+        match self {
+            ProtocolMsg::Flood { round, .. } | ProtocolMsg::Complete { round, .. } => *round,
+        }
+    }
+}
+
+/// Validates an incoming flood message at node `me` and returns the stored
+/// path (wire path extended with `me`). Returns `None` for forged or
+/// malformed messages, which the paper's model allows a receiver to drop:
+///
+/// * the wire path must be a valid directed path of `g` ending at the
+///   authenticated sender;
+/// * the extension with `me` must still be a redundant path (honest relays
+///   check this before forwarding, so violations prove Byzantine origin).
+#[must_use]
+pub fn validate_flood(g: &Digraph, me: NodeId, from: NodeId, path: &Path) -> Option<Path> {
+    if path.ter() != from || from == me {
+        return None;
+    }
+    if !path.is_valid_in(g) {
+        return None;
+    }
+    let extended = path.extended(me).ok()?;
+    if !g.has_edge(from, me) || !extended.is_redundant() {
+        return None;
+    }
+    Some(extended)
+}
+
+/// Validates an incoming `COMPLETE` message at `me`: the wire path must be
+/// a valid **simple** path ending at the sender, extend simply to `me`,
+/// carry a positive FIFO sequence number, and its initiator must not be in
+/// its own suspect set (honest initiators never suspect themselves,
+/// Algorithm 1 line 5). Returns the extended path.
+#[must_use]
+pub fn validate_complete(
+    g: &Digraph,
+    me: NodeId,
+    from: NodeId,
+    path: &Path,
+    suspects: NodeSet,
+    seq: u64,
+) -> Option<Path> {
+    if path.ter() != from || from == me || seq == 0 {
+        return None;
+    }
+    if !path.is_valid_in(g) || !path.is_simple() {
+        return None;
+    }
+    if suspects.contains(path.init()) {
+        return None;
+    }
+    let extended = path.extended(me).ok()?;
+    if !g.has_edge(from, me) || !extended.is_simple() {
+        return None;
+    }
+    Some(extended)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message_set::MessageSet;
+    use dbac_graph::generators;
+
+    fn id(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn p(idx: &[usize]) -> Path {
+        Path::from_indices(idx).unwrap()
+    }
+
+    #[test]
+    fn flood_validation_accepts_honest_extension() {
+        let g = generators::clique(4);
+        let ext = validate_flood(&g, id(2), id(1), &p(&[0, 1])).unwrap();
+        assert_eq!(ext, p(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn flood_validation_rejects_forgeries() {
+        let g = generators::clique(4);
+        // Path does not end at the authenticated sender.
+        assert!(validate_flood(&g, id(2), id(1), &p(&[0, 3])).is_none());
+        // Path uses a non-edge.
+        let sparse = Digraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        assert!(validate_flood(&sparse, id(2), id(1), &p(&[2, 1])).is_none());
+        // Extension not redundant (three traversals of the same pair).
+        let ext_breaker = p(&[0, 2, 0, 2, 0]);
+        assert!(validate_flood(&g, id(2), id(0), &ext_breaker).is_none());
+    }
+
+    #[test]
+    fn complete_validation_requires_simple_paths() {
+        let g = generators::clique(4);
+        assert!(validate_complete(&g, id(2), id(1), &p(&[0, 1]), NodeSet::EMPTY, 1).is_some());
+        // Cycle in the wire path.
+        assert!(validate_complete(&g, id(3), id(1), &p(&[0, 2, 0, 1]), NodeSet::EMPTY, 1).is_none());
+        // Extension would repeat `me`.
+        assert!(validate_complete(&g, id(0), id(1), &p(&[0, 1]), NodeSet::EMPTY, 1).is_none());
+        // Zero sequence number.
+        assert!(validate_complete(&g, id(2), id(1), &p(&[0, 1]), NodeSet::EMPTY, 0).is_none());
+        // Initiator inside its own suspect set.
+        let sus = NodeSet::singleton(id(0));
+        assert!(validate_complete(&g, id(2), id(1), &p(&[0, 1]), sus, 1).is_none());
+    }
+
+    #[test]
+    fn message_round_accessor() {
+        let m = ProtocolMsg::Flood { round: 3, value: 1.0, path: p(&[0]) };
+        assert_eq!(m.round(), 3);
+        let payload = Arc::new(CompletePayload::from_message_set(&MessageSet::new()));
+        let c = ProtocolMsg::Complete {
+            round: 7,
+            suspects: NodeSet::EMPTY,
+            payload,
+            path: p(&[0]),
+            seq: 1,
+        };
+        assert_eq!(c.round(), 7);
+    }
+}

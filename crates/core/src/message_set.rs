@@ -1,0 +1,313 @@
+//! Message sets (Section 4.1 of the paper, Definitions 7–9).
+//!
+//! A message set `M` accumulates value–path pairs `(x, p)`; the paper's
+//! three operations on it drive Algorithm BW:
+//!
+//! * **exclusion** `M|_Ā` — keep only messages whose path avoids `A`;
+//! * **consistency** — all paths from the same initiator report one value;
+//! * **fullness** for `(A, v)` — every redundant path avoiding `A` and
+//!   terminating at `v` has reported.
+
+use dbac_graph::{NodeId, NodeSet, Path};
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+/// An accumulated set of `(value, path)` messages, keyed by path.
+///
+/// The first value received for a path wins (matching RedundantFlood's
+/// "first message with path p" rule); a path can therefore never report two
+/// values *within one set*.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MessageSet {
+    entries: BTreeMap<Path, f64>,
+}
+
+impl MessageSet {
+    /// Creates an empty message set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts `(value, path)`; returns `false` (and keeps the original) if
+    /// the path already reported.
+    pub fn insert(&mut self, path: Path, value: f64) -> bool {
+        match self.entries.entry(path) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(value);
+                true
+            }
+            std::collections::btree_map::Entry::Occupied(_) => false,
+        }
+    }
+
+    /// Number of messages.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no message has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns `true` if `path` has reported.
+    #[must_use]
+    pub fn contains_path(&self, path: &Path) -> bool {
+        self.entries.contains_key(path)
+    }
+
+    /// The value reported along `path`, if any.
+    #[must_use]
+    pub fn value_on_path(&self, path: &Path) -> Option<f64> {
+        self.entries.get(path).copied()
+    }
+
+    /// Iterates over `(path, value)` in deterministic (path) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Path, f64)> + '_ {
+        self.entries.iter().map(|(p, &v)| (p, v))
+    }
+
+    /// The paper's `P(M)`: the set of propagation paths.
+    pub fn paths(&self) -> impl Iterator<Item = &Path> + '_ {
+        self.entries.keys()
+    }
+
+    /// The exclusion `M|_Ā` (Definition 7): messages whose path avoids `A`.
+    #[must_use]
+    pub fn exclusion(&self, a: NodeSet) -> MessageSet {
+        MessageSet {
+            entries: self
+                .entries
+                .iter()
+                .filter(|(p, _)| !p.intersects(a))
+                .map(|(p, &v)| (p.clone(), v))
+                .collect(),
+        }
+    }
+
+    /// Consistency (Definition 8): every initiator reports a unique value.
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        let mut seen: BTreeMap<NodeId, f64> = BTreeMap::new();
+        for (p, &v) in &self.entries {
+            match seen.entry(p.init()) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(v);
+                }
+                std::collections::btree_map::Entry::Occupied(e) => {
+                    if e.get().to_bits() != v.to_bits() {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// The paper's `value_q(M)`: the value reported by initiator `q`.
+    /// Unique when the set is consistent; otherwise the first in path
+    /// order.
+    #[must_use]
+    pub fn value_of(&self, q: NodeId) -> Option<f64> {
+        self.entries.iter().find(|(p, _)| p.init() == q).map(|(_, &v)| v)
+    }
+
+    /// Fullness (Definition 9) against a pre-enumerated requirement list:
+    /// every required path has reported.
+    #[must_use]
+    pub fn is_full_for(&self, required: &[Path]) -> bool {
+        required.iter().all(|p| self.entries.contains_key(p))
+    }
+
+    /// The set of initiators appearing in the set.
+    #[must_use]
+    pub fn initiators(&self) -> NodeSet {
+        self.entries.keys().map(Path::init).collect()
+    }
+}
+
+impl FromIterator<(Path, f64)> for MessageSet {
+    fn from_iter<I: IntoIterator<Item = (Path, f64)>>(iter: I) -> Self {
+        let mut m = MessageSet::new();
+        for (p, v) in iter {
+            m.insert(p, v);
+        }
+        m
+    }
+}
+
+/// The immutable payload of a `COMPLETE` message: a snapshot of the
+/// initiator's `M_c|_F̄` at the moment its Maximal-Consistency condition
+/// fired (Algorithm 1, line 11). Entries are kept sorted by path so two
+/// payloads are equal iff their contents are.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CompletePayload {
+    entries: Vec<(Path, f64)>,
+}
+
+impl CompletePayload {
+    /// Snapshots a message set into a canonical payload.
+    #[must_use]
+    pub fn from_message_set(m: &MessageSet) -> Self {
+        CompletePayload { entries: m.iter().map(|(p, v)| (p.clone(), v)).collect() }
+    }
+
+    /// The `(path, value)` entries in canonical (path) order.
+    #[must_use]
+    pub fn entries(&self) -> &[(Path, f64)] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the payload carries no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Consistency of the payload (Definition 8).
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        let mut seen: BTreeMap<NodeId, f64> = BTreeMap::new();
+        for (p, v) in &self.entries {
+            match seen.entry(p.init()) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(*v);
+                }
+                std::collections::btree_map::Entry::Occupied(e) => {
+                    if e.get().to_bits() != v.to_bits() {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// `value_q` of the payload: the (first) value reported by initiator `q`.
+    #[must_use]
+    pub fn value_of(&self, q: NodeId) -> Option<f64> {
+        self.entries.iter().find(|(p, _)| p.init() == q).map(|(_, v)| *v)
+    }
+
+    /// A content fingerprint used to compare payloads received over
+    /// different paths ("the same message", Algorithm 1 line 12).
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        for (p, v) in &self.entries {
+            p.nodes().hash(&mut h);
+            v.to_bits().hash(&mut h);
+        }
+        self.entries.len().hash(&mut h);
+        h.finish()
+    }
+
+    /// Rebuilds a [`MessageSet`] view of the payload.
+    #[must_use]
+    pub fn to_message_set(&self) -> MessageSet {
+        self.entries.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(idx: &[usize]) -> Path {
+        Path::from_indices(idx).unwrap()
+    }
+
+    fn ns(ids: &[usize]) -> NodeSet {
+        ids.iter().map(|&i| NodeId::new(i)).collect()
+    }
+
+    #[test]
+    fn first_value_per_path_wins() {
+        let mut m = MessageSet::new();
+        assert!(m.insert(p(&[0, 1]), 1.0));
+        assert!(!m.insert(p(&[0, 1]), 9.0));
+        assert_eq!(m.value_on_path(&p(&[0, 1])), Some(1.0));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn exclusion_filters_by_path_nodes() {
+        let m: MessageSet =
+            [(p(&[0, 1, 2]), 1.0), (p(&[3, 2]), 2.0), (p(&[2]), 3.0)].into_iter().collect();
+        let e = m.exclusion(ns(&[1]));
+        assert_eq!(e.len(), 2);
+        assert!(!e.contains_path(&p(&[0, 1, 2])));
+        // Exclusion on nothing is identity.
+        assert_eq!(m.exclusion(NodeSet::EMPTY), m);
+    }
+
+    #[test]
+    fn consistency_per_initiator() {
+        let mut m = MessageSet::new();
+        m.insert(p(&[0, 2]), 5.0);
+        m.insert(p(&[0, 1, 2]), 5.0);
+        assert!(m.is_consistent());
+        m.insert(p(&[0, 3, 2]), 6.0);
+        assert!(!m.is_consistent());
+        // … but excluding the offending path restores consistency.
+        assert!(m.exclusion(ns(&[3])).is_consistent());
+    }
+
+    #[test]
+    fn value_of_initiator() {
+        let m: MessageSet = [(p(&[4, 2]), 8.0), (p(&[1, 2]), 3.0)].into_iter().collect();
+        assert_eq!(m.value_of(NodeId::new(4)), Some(8.0));
+        assert_eq!(m.value_of(NodeId::new(9)), None);
+        assert_eq!(m.initiators(), ns(&[1, 4]));
+    }
+
+    #[test]
+    fn fullness_against_requirements() {
+        let m: MessageSet = [(p(&[0, 2]), 1.0), (p(&[2]), 0.0)].into_iter().collect();
+        assert!(m.is_full_for(&[p(&[2]), p(&[0, 2])]));
+        assert!(!m.is_full_for(&[p(&[2]), p(&[1, 2])]));
+        assert!(m.is_full_for(&[]));
+    }
+
+    #[test]
+    fn payload_round_trip_and_fingerprint() {
+        let m: MessageSet = [(p(&[0, 2]), 1.5), (p(&[1, 2]), 2.5)].into_iter().collect();
+        let pay = CompletePayload::from_message_set(&m);
+        assert_eq!(pay.len(), 2);
+        assert!(pay.is_consistent());
+        assert_eq!(pay.value_of(NodeId::new(1)), Some(2.5));
+        assert_eq!(pay.to_message_set(), m);
+
+        let same = CompletePayload::from_message_set(&m.clone());
+        assert_eq!(pay.fingerprint(), same.fingerprint());
+        let different: MessageSet = [(p(&[0, 2]), 1.5)].into_iter().collect();
+        assert_ne!(pay.fingerprint(), CompletePayload::from_message_set(&different).fingerprint());
+    }
+
+    #[test]
+    fn payload_inconsistency_detected() {
+        let m: MessageSet = [(p(&[0, 2]), 1.0), (p(&[0, 1, 2]), 2.0)].into_iter().collect();
+        assert!(!CompletePayload::from_message_set(&m).is_consistent());
+    }
+
+    #[test]
+    fn deterministic_iteration_order() {
+        let m: MessageSet =
+            [(p(&[2]), 0.0), (p(&[0, 2]), 1.0), (p(&[1, 2]), 2.0)].into_iter().collect();
+        let order: Vec<Path> = m.paths().cloned().collect();
+        let mut sorted = order.clone();
+        sorted.sort();
+        assert_eq!(order, sorted);
+    }
+}

@@ -1,0 +1,276 @@
+//! Per-graph precomputation shared by all nodes.
+//!
+//! The paper assumes every node knows the topology `G` (reach sets, source
+//! components and redundant-path enumerations all require it). [`Topology`]
+//! computes, once per graph:
+//!
+//! * the fault-set guesses `F ⊆ V`, `|F| ≤ f` (one BW thread each);
+//! * per terminal `v`, the full list of redundant (or simple, in the
+//!   ablation mode) paths ending at `v` — the fullness requirement pool;
+//! * per terminal `v`, all simple paths ending at `v` (FIFO flooding);
+//! * reach sets `reach_v(F)` for every guess;
+//! * source components `S_{F1,F2}` for every silenced union `|·| ≤ 2f`;
+//! * per guess `F_u`, the deduplicated Completeness obligations
+//!   `(S_{F_u,F_w}, q)` of Algorithm 2.
+//!
+//! Everything is immutable after construction and shared via `Arc`.
+
+use crate::config::FloodMode;
+use dbac_conditions::reduced::source_component_of_silenced;
+use dbac_graph::paths::{
+    redundant_paths_ending_at, reaching_to, simple_paths_ending_at,
+};
+use dbac_graph::subsets::SubsetsUpTo;
+use dbac_graph::{Digraph, GraphError, NodeId, NodeSet, Path, PathBudget};
+use std::collections::HashMap;
+
+/// Immutable, shared protocol-relevant knowledge about one network.
+#[derive(Debug)]
+pub struct Topology {
+    graph: Digraph,
+    f: usize,
+    flood_mode: FloodMode,
+    guesses: Vec<NodeSet>,
+    /// Per terminal: the value-flood requirement pool (redundant paths in
+    /// the paper's mode, simple paths in the ablation).
+    required_to: Vec<Vec<Path>>,
+    /// Per terminal: all simple paths ending there.
+    simple_to: Vec<Vec<Path>>,
+    /// Guess bits → per-node reach sets.
+    reach: HashMap<u128, Vec<NodeSet>>,
+    /// Silenced-set bits (size ≤ 2f) → source component.
+    sources: HashMap<u128, NodeSet>,
+    /// Guess bits (the `F_u`) → deduplicated `(S_{F_u,F_w}, q)` pairs.
+    obligations: HashMap<u128, Vec<(NodeSet, NodeId)>>,
+}
+
+impl Topology {
+    /// Precomputes everything for `graph` with fault bound `f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::BudgetExceeded`] if the path enumeration
+    /// exceeds `budget` — the algorithm is intrinsically exponential, and
+    /// the budget keeps that explicit.
+    pub fn new(
+        graph: Digraph,
+        f: usize,
+        flood_mode: FloodMode,
+        budget: PathBudget,
+    ) -> Result<Self, GraphError> {
+        let n = graph.node_count();
+        let all = graph.vertex_set();
+        let guesses: Vec<NodeSet> = SubsetsUpTo::new(all, f).collect();
+
+        let mut required_to = Vec::with_capacity(n);
+        let mut simple_to = Vec::with_capacity(n);
+        for v in graph.nodes() {
+            let simple = simple_paths_ending_at(&graph, v, NodeSet::EMPTY, budget)?;
+            let required = match flood_mode {
+                FloodMode::Redundant => {
+                    redundant_paths_ending_at(&graph, v, NodeSet::EMPTY, budget)?
+                }
+                FloodMode::SimpleOnly => simple.clone(),
+            };
+            required_to.push(required);
+            simple_to.push(simple);
+        }
+
+        let mut reach = HashMap::with_capacity(guesses.len());
+        for &guess in &guesses {
+            let keep = guess.complement_in(n);
+            let sub = graph.induced(keep);
+            let per_node: Vec<NodeSet> = graph
+                .nodes()
+                .map(|v| if guess.contains(v) { NodeSet::EMPTY } else { reaching_to(&sub, v) & keep })
+                .collect();
+            reach.insert(guess.bits(), per_node);
+        }
+
+        let mut sources = HashMap::new();
+        for silenced in SubsetsUpTo::new(all, 2 * f) {
+            sources.insert(silenced.bits(), source_component_of_silenced(&graph, silenced));
+        }
+
+        let mut obligations = HashMap::with_capacity(guesses.len());
+        for &fu in &guesses {
+            let mut pairs: Vec<(NodeSet, NodeId)> = Vec::new();
+            let mut seen_components: Vec<NodeSet> = Vec::new();
+            for &fw in &guesses {
+                if fw == fu {
+                    continue;
+                }
+                let s = sources[&(fu | fw).bits()];
+                if s.is_empty() || seen_components.contains(&s) {
+                    continue;
+                }
+                seen_components.push(s);
+                for q in s.iter() {
+                    pairs.push((s, q));
+                }
+            }
+            obligations.insert(fu.bits(), pairs);
+        }
+
+        Ok(Topology { graph, f, flood_mode, guesses, required_to, simple_to, reach, sources, obligations })
+    }
+
+    /// The network.
+    #[must_use]
+    pub fn graph(&self) -> &Digraph {
+        &self.graph
+    }
+
+    /// The fault bound `f`.
+    #[must_use]
+    pub fn f(&self) -> usize {
+        self.f
+    }
+
+    /// The value-flood path discipline.
+    #[must_use]
+    pub fn flood_mode(&self) -> FloodMode {
+        self.flood_mode
+    }
+
+    /// All fault-set guesses `|F| ≤ f`, in deterministic order.
+    #[must_use]
+    pub fn guesses(&self) -> &[NodeSet] {
+        &self.guesses
+    }
+
+    /// The value-flood requirement pool ending at `v` (fullness is checked
+    /// against the subset of these avoiding the guess).
+    #[must_use]
+    pub fn required_paths_to(&self, v: NodeId) -> &[Path] {
+        &self.required_to[v.index()]
+    }
+
+    /// All simple paths ending at `v`.
+    #[must_use]
+    pub fn simple_paths_to(&self, v: NodeId) -> &[Path] {
+        &self.simple_to[v.index()]
+    }
+
+    /// `reach_v(guess)` — precomputed for every guess.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `guess` is not one of [`Topology::guesses`].
+    #[must_use]
+    pub fn reach_of(&self, v: NodeId, guess: NodeSet) -> NodeSet {
+        self.reach.get(&guess.bits()).expect("guess was enumerated")[v.index()]
+    }
+
+    /// `S_{F1,F2}` — precomputed for every silenced union of size ≤ 2f.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `|F1 ∪ F2| > 2f`.
+    #[must_use]
+    pub fn source_component(&self, f1: NodeSet, f2: NodeSet) -> NodeSet {
+        *self.sources.get(&(f1 | f2).bits()).expect("silenced union within 2f")
+    }
+
+    /// Algorithm 2's obligation list for suspect set `F_u`: the
+    /// deduplicated `(S_{F_u,F_w}, q ∈ S)` pairs over all `F_w ≠ F_u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fu` is not one of [`Topology::guesses`].
+    #[must_use]
+    pub fn completeness_obligations(&self, fu: NodeSet) -> &[(NodeSet, NodeId)] {
+        self.obligations.get(&fu.bits()).expect("fu is an enumerated guess")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbac_graph::generators;
+
+    fn id(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn topo(g: Digraph, f: usize) -> Topology {
+        Topology::new(g, f, FloodMode::Redundant, PathBudget::default()).unwrap()
+    }
+
+    #[test]
+    fn guesses_enumerate_all_small_subsets() {
+        let t = topo(generators::clique(4), 1);
+        assert_eq!(t.guesses().len(), 5); // ∅ + 4 singletons
+        assert_eq!(t.f(), 1);
+    }
+
+    #[test]
+    fn required_paths_include_trivial_and_are_redundant() {
+        let t = topo(generators::clique(4), 1);
+        for v in t.graph().nodes() {
+            let req = t.required_paths_to(v);
+            assert!(req.contains(&Path::single(v)));
+            assert!(req.iter().all(|p| p.ter() == v && p.is_redundant()));
+        }
+    }
+
+    #[test]
+    fn simple_mode_uses_simple_pool() {
+        let g = generators::clique(4);
+        let t = Topology::new(g, 1, FloodMode::SimpleOnly, PathBudget::default()).unwrap();
+        assert_eq!(t.flood_mode(), FloodMode::SimpleOnly);
+        for v in t.graph().nodes() {
+            assert_eq!(t.required_paths_to(v).len(), t.simple_paths_to(v).len());
+            assert!(t.required_paths_to(v).iter().all(Path::is_simple));
+        }
+    }
+
+    #[test]
+    fn reach_matches_direct_computation() {
+        let t = topo(generators::figure_1b_small(), 1);
+        for &guess in t.guesses() {
+            for v in t.graph().nodes() {
+                assert_eq!(
+                    t.reach_of(v, guess),
+                    dbac_conditions::reach::reach_set(t.graph(), v, guess)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn source_components_match_direct_computation() {
+        let t = topo(generators::clique(5), 1);
+        let f1 = NodeSet::singleton(id(0));
+        let f2 = NodeSet::singleton(id(2));
+        assert_eq!(
+            t.source_component(f1, f2),
+            dbac_conditions::reduced::source_component(t.graph(), f1, f2)
+        );
+    }
+
+    #[test]
+    fn obligations_are_deduplicated_and_inside_components() {
+        let t = topo(generators::clique(4), 1);
+        for &fu in t.guesses() {
+            let obs = t.completeness_obligations(fu);
+            for &(s, q) in obs {
+                assert!(s.contains(q));
+                assert!(!s.is_empty());
+            }
+            // Dedup: no repeated (S, q) pair.
+            let mut keys: Vec<(u128, usize)> =
+                obs.iter().map(|&(s, q)| (s.bits(), q.index())).collect();
+            keys.sort_unstable();
+            let before = keys.len();
+            keys.dedup();
+            assert_eq!(keys.len(), before);
+        }
+    }
+
+    #[test]
+    fn budget_propagates() {
+        let err = Topology::new(generators::clique(6), 1, FloodMode::Redundant, PathBudget::new(5));
+        assert!(matches!(err.unwrap_err(), GraphError::BudgetExceeded { .. }));
+    }
+}

@@ -1,0 +1,547 @@
+//! High-level run orchestration: configure a network, inputs, faults and a
+//! schedule; execute the full BW protocol; inspect outputs and per-round
+//! convergence.
+
+use crate::adversary::AdversaryKind;
+use crate::config::{FloodMode, ProtocolConfig};
+use crate::error::RunError;
+use crate::node::HonestNode;
+use crate::precompute::Topology;
+use dbac_graph::{Digraph, NodeId, NodeSet, PathBudget};
+use dbac_sim::scheduler::{FixedDelay, RandomDelay};
+use dbac_sim::sim::{SimStats, Simulation};
+use dbac_sim::threaded::{Threaded, ThreadedConfig};
+use dbac_sim::DeliveryPolicy;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Message-delivery schedule for a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedulerSpec {
+    /// Constant per-message delay.
+    Fixed(u64),
+    /// Seeded uniform-random delays in `[min, max]`.
+    Random {
+        /// RNG seed.
+        seed: u64,
+        /// Minimum delay.
+        min: u64,
+        /// Maximum delay.
+        max: u64,
+    },
+}
+
+impl SchedulerSpec {
+    fn build(self) -> Box<dyn DeliveryPolicy + Send> {
+        match self {
+            SchedulerSpec::Fixed(d) => Box::new(FixedDelay::new(d)),
+            SchedulerSpec::Random { seed, min, max } => Box::new(RandomDelay::new(seed, min, max)),
+        }
+    }
+}
+
+/// A fully specified consensus run.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    graph: Digraph,
+    f: usize,
+    inputs: Vec<f64>,
+    epsilon: f64,
+    range: (f64, f64),
+    byzantine: Vec<(NodeId, AdversaryKind)>,
+    scheduler: SchedulerSpec,
+    flood_mode: FloodMode,
+    budget: PathBudget,
+    max_events: u64,
+    rounds_override: Option<u32>,
+}
+
+impl RunConfig {
+    /// Starts building a run over `graph` with fault bound `f`.
+    #[must_use]
+    pub fn builder(graph: Digraph, f: usize) -> RunConfigBuilder {
+        RunConfigBuilder {
+            graph,
+            f,
+            inputs: Vec::new(),
+            epsilon: 0.1,
+            range: None,
+            byzantine: Vec::new(),
+            scheduler: SchedulerSpec::Fixed(1),
+            flood_mode: FloodMode::Redundant,
+            budget: PathBudget::default(),
+            max_events: 50_000_000,
+            rounds_override: None,
+        }
+    }
+
+    /// The network.
+    #[must_use]
+    pub fn graph(&self) -> &Digraph {
+        &self.graph
+    }
+
+    /// The derived protocol parameters.
+    #[must_use]
+    pub fn protocol(&self) -> ProtocolConfig {
+        let mut p =
+            ProtocolConfig::new(self.f, self.epsilon, self.range).with_flood_mode(self.flood_mode);
+        if let Some(r) = self.rounds_override {
+            p = p.with_rounds(r);
+        }
+        p
+    }
+
+    /// The set of honest nodes.
+    #[must_use]
+    pub fn honest_set(&self) -> NodeSet {
+        let byz: NodeSet = self.byzantine.iter().map(|&(v, _)| v).collect();
+        self.graph.vertex_set() - byz
+    }
+}
+
+/// Builder for [`RunConfig`].
+#[derive(Clone, Debug)]
+pub struct RunConfigBuilder {
+    graph: Digraph,
+    f: usize,
+    inputs: Vec<f64>,
+    epsilon: f64,
+    range: Option<(f64, f64)>,
+    byzantine: Vec<(NodeId, AdversaryKind)>,
+    scheduler: SchedulerSpec,
+    flood_mode: FloodMode,
+    budget: PathBudget,
+    max_events: u64,
+    rounds_override: Option<u32>,
+}
+
+impl RunConfigBuilder {
+    /// Sets one input per node (Byzantine nodes' entries are ignored).
+    #[must_use]
+    pub fn inputs(mut self, inputs: Vec<f64>) -> Self {
+        self.inputs = inputs;
+        self
+    }
+
+    /// Sets the agreement parameter ε (default 0.1).
+    #[must_use]
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the a-priori known input range (default: the hull of the
+    /// honest inputs).
+    #[must_use]
+    pub fn range(mut self, range: (f64, f64)) -> Self {
+        self.range = Some(range);
+        self
+    }
+
+    /// Uses a seeded random schedule with delays in `[1, 20]`.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.scheduler = SchedulerSpec::Random { seed, min: 1, max: 20 };
+        self
+    }
+
+    /// Uses an explicit scheduler spec.
+    #[must_use]
+    pub fn scheduler(mut self, spec: SchedulerSpec) -> Self {
+        self.scheduler = spec;
+        self
+    }
+
+    /// Marks `v` Byzantine with the given behaviour.
+    #[must_use]
+    pub fn byzantine(mut self, v: NodeId, kind: AdversaryKind) -> Self {
+        self.byzantine.push((v, kind));
+        self
+    }
+
+    /// Selects the flood mode (default: redundant, as in the paper).
+    #[must_use]
+    pub fn flood_mode(mut self, mode: FloodMode) -> Self {
+        self.flood_mode = mode;
+        self
+    }
+
+    /// Sets the path-enumeration budget.
+    #[must_use]
+    pub fn budget(mut self, budget: PathBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Caps the simulator's event budget.
+    #[must_use]
+    pub fn max_events(mut self, max_events: u64) -> Self {
+        self.max_events = max_events;
+        self
+    }
+
+    /// Overrides the round count (default: the paper's termination bound).
+    #[must_use]
+    pub fn rounds(mut self, rounds: u32) -> Self {
+        self.rounds_override = Some(rounds);
+        self
+    }
+
+    /// Validates and produces the [`RunConfig`].
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::InvalidConfig`] for malformed inputs,
+    /// [`RunError::TooManyFaults`] if more Byzantine nodes than `f`.
+    pub fn build(self) -> Result<RunConfig, RunError> {
+        let n = self.graph.node_count();
+        if self.inputs.len() != n {
+            return Err(RunError::InvalidConfig {
+                reason: format!("expected {n} inputs, got {}", self.inputs.len()),
+            });
+        }
+        if self.inputs.iter().any(|v| !v.is_finite()) {
+            return Err(RunError::InvalidConfig { reason: "inputs must be finite".into() });
+        }
+        if !(self.epsilon > 0.0 && self.epsilon.is_finite()) {
+            return Err(RunError::InvalidConfig { reason: "epsilon must be positive".into() });
+        }
+        let mut byz = NodeSet::EMPTY;
+        for &(v, _) in &self.byzantine {
+            if v.index() >= n {
+                return Err(RunError::InvalidConfig {
+                    reason: format!("byzantine node {v} out of range"),
+                });
+            }
+            if !byz.insert(v) {
+                return Err(RunError::InvalidConfig {
+                    reason: format!("byzantine node {v} listed twice"),
+                });
+            }
+        }
+        if byz.len() > self.f {
+            return Err(RunError::TooManyFaults { configured: byz.len(), f: self.f });
+        }
+        if byz.len() == n {
+            return Err(RunError::InvalidConfig { reason: "no honest nodes".into() });
+        }
+        let honest_inputs: Vec<f64> = self
+            .inputs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !byz.contains(NodeId::new(*i)))
+            .map(|(_, &v)| v)
+            .collect();
+        let derived = honest_inputs
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        let range = self.range.unwrap_or(derived);
+        if range.0 > range.1 || !range.0.is_finite() || !range.1.is_finite() {
+            return Err(RunError::InvalidConfig { reason: "invalid input range".into() });
+        }
+        if honest_inputs.iter().any(|&v| v < range.0 || v > range.1) {
+            return Err(RunError::InvalidConfig {
+                reason: "honest inputs fall outside the a-priori range".into(),
+            });
+        }
+        Ok(RunConfig {
+            graph: self.graph,
+            f: self.f,
+            inputs: self.inputs,
+            epsilon: self.epsilon,
+            range,
+            byzantine: self.byzantine,
+            scheduler: self.scheduler,
+            flood_mode: self.flood_mode,
+            budget: self.budget,
+            max_events: self.max_events,
+            rounds_override: self.rounds_override,
+        })
+    }
+}
+
+/// The result of a consensus run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Per node: the decided output (`None` for Byzantine nodes and for
+    /// honest nodes that could not progress — e.g. when the graph violates
+    /// 3-reach).
+    pub outputs: Vec<Option<f64>>,
+    /// The honest node set.
+    pub honest: NodeSet,
+    /// Agreement parameter of the run.
+    pub epsilon: f64,
+    /// The hull of the honest inputs (for validity checking).
+    pub honest_input_range: (f64, f64),
+    /// Rounds each node was configured to execute.
+    pub rounds: u32,
+    /// Runtime counters (zeroed for the threaded runtime).
+    pub sim_stats: SimStats,
+    /// Per node: the state-value trajectory (honest nodes only).
+    pub histories: Vec<Option<Vec<f64>>>,
+}
+
+impl RunOutcome {
+    /// The decided honest outputs (skips undecided nodes).
+    #[must_use]
+    pub fn honest_outputs(&self) -> Vec<f64> {
+        self.honest.iter().filter_map(|v| self.outputs[v.index()]).collect()
+    }
+
+    /// Returns `true` if every honest node decided.
+    #[must_use]
+    pub fn all_decided(&self) -> bool {
+        self.honest.iter().all(|v| self.outputs[v.index()].is_some())
+    }
+
+    /// Max − min over decided honest outputs (0 when fewer than two).
+    #[must_use]
+    pub fn spread(&self) -> f64 {
+        let outs = self.honest_outputs();
+        if outs.len() < 2 {
+            return 0.0;
+        }
+        outs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - outs.iter().cloned().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Convergence (Definition 1.1): all honest nodes decided within ε.
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        self.all_decided() && self.spread() < self.epsilon
+    }
+
+    /// Validity (Definition 1.2): every decided output lies in the hull of
+    /// the honest inputs.
+    #[must_use]
+    pub fn valid(&self) -> bool {
+        let (lo, hi) = self.honest_input_range;
+        self.honest_outputs().iter().all(|&v| v >= lo - 1e-12 && v <= hi + 1e-12)
+    }
+
+    /// The per-round honest spread `U[r] − µ[r]`, for the convergence
+    /// experiments (Lemma 15: it at least halves every round).
+    #[must_use]
+    pub fn spread_by_round(&self) -> Vec<f64> {
+        let histories: Vec<&Vec<f64>> =
+            self.honest.iter().filter_map(|v| self.histories[v.index()].as_ref()).collect();
+        if histories.is_empty() {
+            return Vec::new();
+        }
+        let rounds = histories.iter().map(|h| h.len()).min().unwrap_or(0);
+        (0..rounds)
+            .map(|r| {
+                let vals = histories.iter().map(|h| h[r]);
+                let hi = vals.clone().fold(f64::NEG_INFINITY, f64::max);
+                let lo = vals.fold(f64::INFINITY, f64::min);
+                hi - lo
+            })
+            .collect()
+    }
+}
+
+/// Executes the full BW protocol on the deterministic discrete-event
+/// simulator.
+///
+/// # Errors
+///
+/// Propagates topology ([`RunError::Graph`]) and runtime
+/// ([`RunError::Sim`]) failures. An honest node failing to decide is *not*
+/// an error — it is reported through [`RunOutcome::all_decided`], because
+/// on graphs violating 3-reach that is the expected observable behaviour.
+pub fn run_byzantine_consensus(cfg: &RunConfig) -> Result<RunOutcome, RunError> {
+    let topo =
+        Arc::new(Topology::new(cfg.graph.clone(), cfg.f, cfg.flood_mode, cfg.budget)?);
+    let protocol = cfg.protocol();
+    let honest = cfg.honest_set();
+    let mut sim: Simulation<HonestNode> =
+        Simulation::new(Arc::new(cfg.graph.clone()), cfg.scheduler.build());
+    sim.set_max_events(cfg.max_events);
+    for v in cfg.graph.nodes() {
+        if honest.contains(v) {
+            sim.set_honest(v, HonestNode::new(Arc::clone(&topo), protocol, v, cfg.inputs[v.index()]));
+        }
+    }
+    for (v, kind) in &cfg.byzantine {
+        sim.set_byzantine(*v, kind.build(Arc::clone(&topo), *v, protocol.rounds));
+    }
+    let stats = sim.run()?;
+    let mut outputs = vec![None; cfg.graph.node_count()];
+    let mut histories = vec![None; cfg.graph.node_count()];
+    for v in honest.iter() {
+        let node = sim.honest(v).expect("honest node present");
+        outputs[v.index()] = node.output();
+        histories[v.index()] = Some(node.x_history().to_vec());
+    }
+    Ok(RunOutcome {
+        outputs,
+        honest,
+        epsilon: cfg.epsilon,
+        honest_input_range: honest_range(cfg),
+        rounds: protocol.rounds,
+        sim_stats: stats,
+        histories,
+    })
+}
+
+/// Executes the same protocol on the thread-per-node runtime (true OS
+/// concurrency; non-deterministic interleavings).
+///
+/// # Errors
+///
+/// As [`run_byzantine_consensus`], plus [`RunError::Sim`] on timeout.
+pub fn run_byzantine_consensus_threaded(
+    cfg: &RunConfig,
+    timeout: Duration,
+) -> Result<RunOutcome, RunError> {
+    let topo =
+        Arc::new(Topology::new(cfg.graph.clone(), cfg.f, cfg.flood_mode, cfg.budget)?);
+    let protocol = cfg.protocol();
+    let honest = cfg.honest_set();
+    let mut runtime: Threaded<HonestNode> = Threaded::new(Arc::new(cfg.graph.clone()));
+    for v in cfg.graph.nodes() {
+        if honest.contains(v) {
+            runtime
+                .set_honest(v, HonestNode::new(Arc::clone(&topo), protocol, v, cfg.inputs[v.index()]));
+        }
+    }
+    for (v, kind) in &cfg.byzantine {
+        runtime.set_byzantine(*v, kind.build(Arc::clone(&topo), *v, protocol.rounds));
+    }
+    let seed = match cfg.scheduler {
+        SchedulerSpec::Random { seed, .. } => seed,
+        SchedulerSpec::Fixed(_) => 0,
+    };
+    let nodes = runtime.run(
+        HonestNode::is_done,
+        ThreadedConfig { timeout, jitter_micros: 30, seed },
+    )?;
+    let mut outputs = vec![None; cfg.graph.node_count()];
+    let mut histories = vec![None; cfg.graph.node_count()];
+    for (i, node) in nodes.into_iter().enumerate() {
+        if let Some(node) = node {
+            outputs[i] = node.output();
+            histories[i] = Some(node.x_history().to_vec());
+        }
+    }
+    Ok(RunOutcome {
+        outputs,
+        honest,
+        epsilon: cfg.epsilon,
+        honest_input_range: honest_range(cfg),
+        rounds: protocol.rounds,
+        sim_stats: SimStats::default(),
+        histories,
+    })
+}
+
+fn honest_range(cfg: &RunConfig) -> (f64, f64) {
+    let honest = cfg.honest_set();
+    honest
+        .iter()
+        .map(|v| cfg.inputs[v.index()])
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| (lo.min(v), hi.max(v)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbac_graph::generators;
+
+    fn id(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn builder_validation() {
+        let g = generators::clique(3);
+        // Wrong input count.
+        assert!(matches!(
+            RunConfig::builder(g.clone(), 1).inputs(vec![1.0]).build(),
+            Err(RunError::InvalidConfig { .. })
+        ));
+        // Too many faults.
+        let err = RunConfig::builder(g.clone(), 0)
+            .inputs(vec![0.0; 3])
+            .byzantine(id(0), AdversaryKind::Crash)
+            .build();
+        assert!(matches!(err, Err(RunError::TooManyFaults { configured: 1, f: 0 })));
+        // Duplicate Byzantine node.
+        let err = RunConfig::builder(g.clone(), 2)
+            .inputs(vec![0.0; 3])
+            .byzantine(id(0), AdversaryKind::Crash)
+            .byzantine(id(0), AdversaryKind::Crash)
+            .build();
+        assert!(matches!(err, Err(RunError::InvalidConfig { .. })));
+        // Honest input outside declared range.
+        let err = RunConfig::builder(g, 1)
+            .inputs(vec![0.0, 5.0, 99.0])
+            .range((0.0, 10.0))
+            .build();
+        assert!(matches!(err, Err(RunError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn all_honest_run_converges_and_is_valid() {
+        let cfg = RunConfig::builder(generators::clique(4), 1)
+            .inputs(vec![0.0, 10.0, 2.0, 8.0])
+            .epsilon(0.5)
+            .seed(11)
+            .build()
+            .unwrap();
+        let out = run_byzantine_consensus(&cfg).unwrap();
+        assert!(out.all_decided());
+        assert!(out.converged(), "outputs {:?}", out.outputs);
+        assert!(out.valid());
+        assert_eq!(out.rounds, 5);
+        let spreads = out.spread_by_round();
+        assert_eq!(spreads.len(), 6);
+        assert_eq!(spreads[0], 10.0);
+        assert!(spreads[5] < 0.5);
+    }
+
+    #[test]
+    fn crash_fault_tolerated_on_k4() {
+        let cfg = RunConfig::builder(generators::clique(4), 1)
+            .inputs(vec![0.0, 10.0, 2.0, 0.0])
+            .epsilon(1.0)
+            .byzantine(id(3), AdversaryKind::Crash)
+            .seed(3)
+            .build()
+            .unwrap();
+        let out = run_byzantine_consensus(&cfg).unwrap();
+        assert!(out.converged(), "outputs {:?}", out.outputs);
+        assert!(out.valid());
+        assert!(out.outputs[3].is_none());
+    }
+
+    #[test]
+    fn constant_liar_cannot_break_validity_on_k4() {
+        let cfg = RunConfig::builder(generators::clique(4), 1)
+            .inputs(vec![2.0, 4.0, 6.0, 0.0])
+            .epsilon(0.5)
+            .byzantine(id(3), AdversaryKind::ConstantLiar { value: 1_000.0 })
+            .seed(17)
+            .build()
+            .unwrap();
+        let out = run_byzantine_consensus(&cfg).unwrap();
+        assert!(out.converged(), "outputs {:?}", out.outputs);
+        assert!(out.valid(), "liar dragged outputs outside [2, 6]: {:?}", out.outputs);
+    }
+
+    #[test]
+    fn spread_by_round_halves() {
+        let cfg = RunConfig::builder(generators::clique(4), 1)
+            .inputs(vec![0.0, 16.0, 4.0, 12.0])
+            .epsilon(0.25)
+            .seed(23)
+            .build()
+            .unwrap();
+        let out = run_byzantine_consensus(&cfg).unwrap();
+        let spreads = out.spread_by_round();
+        for w in spreads.windows(2) {
+            assert!(w[1] <= w[0] / 2.0 + 1e-12, "halving violated: {spreads:?}");
+        }
+    }
+}

@@ -1,0 +1,767 @@
+//! Algorithm 1 (**Byzantine Witness**) and Algorithm 2 (**Completeness**):
+//! the per-round, per-node state machine.
+//!
+//! Each node runs one *thread* per fault-set guess `F_v ⊆ V ∖ {v}`,
+//! `|F_v| ≤ f` (Algorithm 1 line 5). A thread progresses through:
+//!
+//! 1. **Maximal-Consistency** (line 10): `M_v|_F̄v` is consistent and full
+//!    — then the node FIFO-floods `(M_v|_F̄v, COMPLETE(F_v))`. Detection
+//!    continues even after the round has fired: other nodes' liveness
+//!    depends on these witnesses.
+//! 2. **FIFO-Receive-All** (line 12): for every `c ∈ reach_v(F̄v)`, the
+//!    same `(M_c, COMPLETE(F_v))` arrived over *all* simple `(c,v)`-paths
+//!    inside the reach set.
+//! 3. **Verify** (line 20): every consistent `COMPLETE(F_u)` received over
+//!    a path inside the reach set passes `Completeness(M_v, M_c, F_u)` —
+//!    each value of each source component `S_{F_u,F_w}` was confirmed over
+//!    a path set with no `f`-cover avoiding the component.
+//!
+//! The first thread to pass Verify runs Filter-and-Average; the shared
+//! `nextround` flag (here [`RoundCore::fired`]) ensures it happens once.
+
+use crate::filter::{filter_and_average, FilterOutcome};
+use crate::message_set::{CompletePayload, MessageSet};
+use crate::precompute::Topology;
+use dbac_conditions::cover::has_cover;
+use dbac_graph::{NodeId, NodeSet, Path};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Static per-node plan: one entry per fault-set guess excluding the node.
+#[derive(Debug)]
+pub struct NodePlan {
+    me: NodeId,
+    guesses: Vec<GuessPlan>,
+}
+
+/// Precomputed constants for one guess `F_v`.
+#[derive(Debug)]
+pub struct GuessPlan {
+    /// The guessed fault set.
+    pub guess: NodeSet,
+    /// `reach_me(F_v)`.
+    pub reach: NodeSet,
+    /// Number of required flood paths (pool paths avoiding the guess).
+    pub flood_required: usize,
+    /// Per witness `c ∈ reach`: number of simple `(c, me)`-paths inside
+    /// the reach set (the FIFO-Receive-All requirement).
+    pub fra_required: Vec<(NodeId, usize)>,
+}
+
+impl NodePlan {
+    /// Builds the plan for node `me`.
+    #[must_use]
+    pub fn new(topo: &Topology, me: NodeId) -> Self {
+        let pool = topo.required_paths_to(me);
+        let simple = topo.simple_paths_to(me);
+        let mut guesses = Vec::new();
+        for &guess in topo.guesses() {
+            if guess.contains(me) {
+                continue;
+            }
+            let reach = topo.reach_of(me, guess);
+            let flood_required = pool.iter().filter(|p| !p.intersects(guess)).count();
+            let mut per_c: HashMap<NodeId, usize> = HashMap::new();
+            for p in simple {
+                if p.is_within(reach) {
+                    *per_c.entry(p.init()).or_insert(0) += 1;
+                }
+            }
+            let mut fra_required: Vec<(NodeId, usize)> = per_c.into_iter().collect();
+            fra_required.sort_unstable_by_key(|&(c, _)| c);
+            guesses.push(GuessPlan { guess, reach, flood_required, fra_required });
+        }
+        NodePlan { me, guesses }
+    }
+
+    /// The node this plan belongs to.
+    #[must_use]
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// The per-guess plans.
+    #[must_use]
+    pub fn guesses(&self) -> &[GuessPlan] {
+        &self.guesses
+    }
+}
+
+/// An action the node must perform as a result of a state transition.
+#[derive(Clone, Debug)]
+pub enum RoundAction {
+    /// A thread passed Maximal-Consistency: FIFO-flood
+    /// `(payload, COMPLETE(guess))` (the node assigns the FIFO counter).
+    FloodComplete {
+        /// The guess `F_v` of the thread that fired.
+        guess: NodeSet,
+        /// The snapshot `M_v|_F̄v`.
+        payload: Arc<CompletePayload>,
+    },
+    /// Verify passed in some thread: Filter-and-Average produced the next
+    /// state value; the node advances to the next round.
+    Advance {
+        /// The guess of the winning thread (telemetry: which suspicion
+        /// unblocked the round).
+        guess: NodeSet,
+        /// The Filter-and-Average outcome.
+        outcome: FilterOutcome,
+    },
+}
+
+struct ThreadState {
+    plan_idx: usize,
+    consistent: bool,
+    value_by_init: HashMap<NodeId, u64>,
+    flood_remaining: usize,
+    mc_fired: bool,
+    fra: HashMap<NodeId, FraProgress>,
+    fra_remaining: usize,
+    relevant_trackers: Vec<usize>,
+}
+
+struct FraProgress {
+    required: usize,
+    seen: HashSet<(Path, u64)>,
+    counts: HashMap<u64, usize>,
+    done: bool,
+}
+
+struct Obligation {
+    component: NodeSet,
+    q: NodeId,
+    xq_bits: u64,
+    satisfied: bool,
+}
+
+struct CompletenessTracker {
+    consistent: bool,
+    impossible: bool,
+    pending: usize,
+    obligations: Vec<Obligation>,
+}
+
+impl CompletenessTracker {
+    /// A tracker blocks Verify iff its payload is consistent (inconsistent
+    /// ones are skipped per Algorithm 1 line 24) but Completeness fails.
+    fn blocking(&self) -> bool {
+        self.consistent && (self.impossible || self.pending > 0)
+    }
+}
+
+/// Per-round BW state for one node.
+pub struct RoundCore {
+    me: NodeId,
+    n: usize,
+    f: usize,
+    started: bool,
+    fired: bool,
+    mset: MessageSet,
+    paths_by_init_value: HashMap<(NodeId, u64), Vec<NodeSet>>,
+    threads: Vec<ThreadState>,
+    trackers: Vec<CompletenessTracker>,
+    tracker_index: HashMap<(u128, u64), usize>,
+    /// (q, value-bits) → obligations waiting on new paths carrying it.
+    waiters: HashMap<(NodeId, u64), Vec<(usize, usize)>>,
+}
+
+impl RoundCore {
+    /// Creates the round state for node `me`.
+    #[must_use]
+    pub fn new(topo: &Topology, plan: &NodePlan) -> Self {
+        let threads = plan
+            .guesses
+            .iter()
+            .enumerate()
+            .map(|(i, g)| ThreadState {
+                plan_idx: i,
+                consistent: true,
+                value_by_init: HashMap::new(),
+                flood_remaining: g.flood_required,
+                mc_fired: false,
+                fra: g
+                    .fra_required
+                    .iter()
+                    .map(|&(c, required)| {
+                        (
+                            c,
+                            FraProgress {
+                                required,
+                                seen: HashSet::new(),
+                                counts: HashMap::new(),
+                                done: false,
+                            },
+                        )
+                    })
+                    .collect(),
+                fra_remaining: g.fra_required.len(),
+                relevant_trackers: Vec::new(),
+            })
+            .collect();
+        RoundCore {
+            me: plan.me,
+            n: topo.graph().node_count(),
+            f: topo.f(),
+            started: false,
+            fired: false,
+            mset: MessageSet::new(),
+            paths_by_init_value: HashMap::new(),
+            threads,
+            trackers: Vec::new(),
+            tracker_index: HashMap::new(),
+            waiters: HashMap::new(),
+        }
+    }
+
+    /// Whether the node has begun this round (own value recorded).
+    #[must_use]
+    pub fn started(&self) -> bool {
+        self.started
+    }
+
+    /// Whether Filter-and-Average already ran (the `nextround` flag).
+    #[must_use]
+    pub fn fired(&self) -> bool {
+        self.fired
+    }
+
+    /// The accumulated message history `M_v` for this round.
+    #[must_use]
+    pub fn message_set(&self) -> &MessageSet {
+        &self.mset
+    }
+
+    /// Begins the round with the node's current state value: records
+    /// `(x, ⟨me⟩)` (the trivial path required by fullness).
+    pub fn start(&mut self, value: f64, topo: &Topology, plan: &NodePlan) -> Vec<RoundAction> {
+        debug_assert!(!self.started, "round started twice");
+        self.started = true;
+        let mut actions = Vec::new();
+        self.ingest(Path::single(self.me), value, topo, plan, &mut actions);
+        self.check_progress(plan, &mut actions);
+        actions
+    }
+
+    /// Records a validated flood arrival. `stored` is the wire path
+    /// extended with `me`. Returns `(fresh, actions)`; relays happen only
+    /// when `fresh` (RedundantFlood's "first message with path p").
+    pub fn add_flood(
+        &mut self,
+        stored: Path,
+        value: f64,
+        topo: &Topology,
+        plan: &NodePlan,
+    ) -> (bool, Vec<RoundAction>) {
+        if self.mset.contains_path(&stored) {
+            return (false, Vec::new());
+        }
+        let mut actions = Vec::new();
+        self.ingest(stored, value, topo, plan, &mut actions);
+        self.check_progress(plan, &mut actions);
+        (true, actions)
+    }
+
+    fn ingest(
+        &mut self,
+        stored: Path,
+        value: f64,
+        topo: &Topology,
+        plan: &NodePlan,
+        actions: &mut Vec<RoundAction>,
+    ) {
+        let node_set = stored.node_set();
+        let init = stored.init();
+        let bits = value.to_bits();
+        let counts_for_pool = match topo.flood_mode() {
+            crate::config::FloodMode::Redundant => true,
+            crate::config::FloodMode::SimpleOnly => stored.is_simple(),
+        };
+        let inserted = self.mset.insert(stored, value);
+        debug_assert!(inserted, "caller checked freshness");
+
+        if !self.fired {
+            // Feed Completeness obligations (Algorithm 2, incremental).
+            self.paths_by_init_value.entry((init, bits)).or_default().push(node_set);
+            if let Some(waiting) = self.waiters.get(&(init, bits)) {
+                let waiting = waiting.clone();
+                let paths = self.paths_by_init_value[&(init, bits)].clone();
+                for (t_idx, o_idx) in waiting {
+                    let tracker = &mut self.trackers[t_idx];
+                    let ob = &mut tracker.obligations[o_idx];
+                    debug_assert_eq!((ob.q, ob.xq_bits), (init, bits), "waiter key mismatch");
+                    if ob.satisfied {
+                        continue;
+                    }
+                    let allowed = NodeSet::universe(self.n)
+                        - ob.component
+                        - NodeSet::singleton(self.me);
+                    if !has_cover(&paths, self.f, allowed) {
+                        ob.satisfied = true;
+                        tracker.pending -= 1;
+                    }
+                }
+            }
+        }
+
+        // Maximal-Consistency tracking — continues after `fired` (other
+        // nodes depend on our COMPLETE witnesses).
+        for thread in &mut self.threads {
+            if thread.mc_fired {
+                continue;
+            }
+            let gp = &plan.guesses[thread.plan_idx];
+            if !node_set.is_disjoint(gp.guess) {
+                continue;
+            }
+            if counts_for_pool {
+                thread.flood_remaining -= 1;
+            }
+            if thread.consistent {
+                match thread.value_by_init.entry(init) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(bits);
+                    }
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        if *e.get() != bits {
+                            thread.consistent = false;
+                        }
+                    }
+                }
+            }
+            if thread.consistent && thread.flood_remaining == 0 {
+                thread.mc_fired = true;
+                let payload =
+                    Arc::new(CompletePayload::from_message_set(&self.mset.exclusion(gp.guess)));
+                actions.push(RoundAction::FloodComplete { guess: gp.guess, payload });
+            }
+        }
+    }
+
+    /// Records a FIFO-received `COMPLETE` (including the node's own, via
+    /// the trivial path).
+    pub fn add_fifo_delivery(
+        &mut self,
+        initiator: NodeId,
+        delivery_path: &Path,
+        suspects: NodeSet,
+        payload: &Arc<CompletePayload>,
+        fingerprint: u64,
+        topo: &Topology,
+        plan: &NodePlan,
+    ) -> Vec<RoundAction> {
+        let mut actions = Vec::new();
+        if self.fired {
+            return actions;
+        }
+        let tracker_idx = self.obtain_tracker(suspects, payload, fingerprint, topo);
+        let path_nodes = delivery_path.node_set();
+
+        for thread in &mut self.threads {
+            let gp = &plan.guesses[thread.plan_idx];
+            if !path_nodes.is_subset(gp.reach) {
+                continue;
+            }
+            // Verify-relevance (Algorithm 1 line 24).
+            if !thread.relevant_trackers.contains(&tracker_idx) {
+                thread.relevant_trackers.push(tracker_idx);
+            }
+            // FIFO-Receive-All progress (line 12) — only for this guess.
+            if suspects == gp.guess {
+                if let Some(progress) = thread.fra.get_mut(&initiator) {
+                    if !progress.done
+                        && progress.seen.insert((delivery_path.clone(), fingerprint))
+                    {
+                        let count = progress.counts.entry(fingerprint).or_insert(0);
+                        *count += 1;
+                        if *count == progress.required {
+                            progress.done = true;
+                            thread.fra_remaining -= 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.check_progress(plan, &mut actions);
+        actions
+    }
+
+    fn obtain_tracker(
+        &mut self,
+        suspects: NodeSet,
+        payload: &Arc<CompletePayload>,
+        fingerprint: u64,
+        topo: &Topology,
+    ) -> usize {
+        if let Some(&idx) = self.tracker_index.get(&(suspects.bits(), fingerprint)) {
+            return idx;
+        }
+        let consistent = payload.is_consistent();
+        let mut tracker = CompletenessTracker {
+            consistent,
+            impossible: false,
+            pending: 0,
+            obligations: Vec::new(),
+        };
+        let idx = self.trackers.len();
+        if consistent {
+            for &(component, q) in topo.completeness_obligations(suspects) {
+                let Some(xq) = payload.value_of(q) else {
+                    tracker.impossible = true;
+                    continue;
+                };
+                let xq_bits = xq.to_bits();
+                let allowed =
+                    NodeSet::universe(self.n) - component - NodeSet::singleton(self.me);
+                let already = self
+                    .paths_by_init_value
+                    .get(&(q, xq_bits))
+                    .is_some_and(|paths| !has_cover(paths, self.f, allowed));
+                let o_idx = tracker.obligations.len();
+                tracker.obligations.push(Obligation {
+                    component,
+                    q,
+                    xq_bits,
+                    satisfied: already,
+                });
+                if !already {
+                    tracker.pending += 1;
+                    self.waiters.entry((q, xq_bits)).or_default().push((idx, o_idx));
+                }
+            }
+        }
+        self.trackers.push(tracker);
+        self.tracker_index.insert((suspects.bits(), fingerprint), idx);
+        idx
+    }
+
+    fn check_progress(&mut self, plan: &NodePlan, actions: &mut Vec<RoundAction>) {
+        if self.fired || !self.started {
+            return;
+        }
+        for thread in &self.threads {
+            if thread.fra_remaining != 0 {
+                continue;
+            }
+            if thread.relevant_trackers.iter().any(|&t| self.trackers[t].blocking()) {
+                continue;
+            }
+            // Verify passed: Filter-and-Average, once per round.
+            let outcome = filter_and_average(&self.mset, self.f, self.me, self.n)
+                .expect("own trivial path keeps the trimmed vector non-empty");
+            self.fired = true;
+            actions.push(RoundAction::Advance {
+                guess: plan.guesses[thread.plan_idx].guess,
+                outcome,
+            });
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FloodMode;
+    use dbac_graph::{generators, PathBudget};
+
+    fn id(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn setup(n: usize, f: usize) -> (Topology, NodePlan) {
+        let topo =
+            Topology::new(generators::clique(n), f, FloodMode::Redundant, PathBudget::default())
+                .unwrap();
+        let plan = NodePlan::new(&topo, id(0));
+        (topo, plan)
+    }
+
+    #[test]
+    fn plan_excludes_self_from_guesses() {
+        let (_, plan) = setup(4, 1);
+        assert_eq!(plan.me(), id(0));
+        // ∅ plus the three singletons not containing node 0.
+        assert_eq!(plan.guesses().len(), 4);
+        assert!(plan.guesses().iter().all(|g| !g.guess.contains(id(0))));
+    }
+
+    #[test]
+    fn plan_counts_required_paths() {
+        let (topo, plan) = setup(4, 1);
+        let pool = topo.required_paths_to(id(0)).len();
+        let empty_guess = plan.guesses().iter().find(|g| g.guess.is_empty()).unwrap();
+        assert_eq!(empty_guess.flood_required, pool);
+        // A singleton guess shrinks the requirement strictly.
+        let singleton = plan.guesses().iter().find(|g| g.guess.len() == 1).unwrap();
+        assert!(singleton.flood_required < pool);
+        // FRA witnesses = everyone outside the guess (clique reach).
+        assert_eq!(empty_guess.fra_required.len(), 4);
+        assert_eq!(singleton.fra_required.len(), 3);
+    }
+
+    #[test]
+    fn start_records_trivial_path() {
+        let (topo, plan) = setup(4, 1);
+        let mut core = RoundCore::new(&topo, &plan);
+        assert!(!core.started());
+        let actions = core.start(2.5, &topo, &plan);
+        assert!(core.started());
+        assert!(actions.is_empty(), "one value cannot complete a clique's pool");
+        assert_eq!(core.message_set().value_on_path(&Path::single(id(0))), Some(2.5));
+    }
+
+    #[test]
+    fn duplicate_flood_is_not_fresh() {
+        let (topo, plan) = setup(4, 1);
+        let mut core = RoundCore::new(&topo, &plan);
+        core.start(0.0, &topo, &plan);
+        let p = Path::from_indices(&[1, 0]).unwrap();
+        let (fresh, _) = core.add_flood(p.clone(), 1.0, &topo, &plan);
+        assert!(fresh);
+        let (fresh, _) = core.add_flood(p, 9.0, &topo, &plan);
+        assert!(!fresh, "same path must not relay twice");
+    }
+
+    #[test]
+    fn maximal_consistency_fires_when_pool_complete() {
+        // Feed node 0 every pool path with consistent per-initiator values.
+        let (topo, plan) = setup(3, 0);
+        // f = 0: single guess (the empty set), pool = all redundant paths.
+        let mut core = RoundCore::new(&topo, &plan);
+        let mut actions = core.start(0.5, &topo, &plan);
+        let values = [0.5, 1.0, 2.0];
+        for path in topo.required_paths_to(id(0)) {
+            if path.is_empty() {
+                continue; // own trivial path already in
+            }
+            let v = values[path.init().index()];
+            let (_, mut acts) = core.add_flood(path.clone(), v, &topo, &plan);
+            actions.append(&mut acts);
+        }
+        let completes: Vec<_> = actions
+            .iter()
+            .filter(|a| matches!(a, RoundAction::FloodComplete { .. }))
+            .collect();
+        assert_eq!(completes.len(), 1, "single guess fires exactly once");
+        match completes[0] {
+            RoundAction::FloodComplete { guess, payload } => {
+                assert!(guess.is_empty());
+                assert_eq!(payload.len(), topo.required_paths_to(id(0)).len());
+                assert!(payload.is_consistent());
+            }
+            RoundAction::Advance { .. } => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn inconsistent_values_block_a_guess() {
+        let (topo, plan) = setup(3, 0);
+        let mut core = RoundCore::new(&topo, &plan);
+        core.start(0.5, &topo, &plan);
+        let mut fired = Vec::new();
+        for path in topo.required_paths_to(id(0)).to_vec() {
+            if path.is_empty() {
+                continue;
+            }
+            // Value depends on the whole path, so initiators equivocate.
+            let v = path.node_count() as f64;
+            let (_, acts) = core.add_flood(path, v, &topo, &plan);
+            fired.extend(acts);
+        }
+        assert!(
+            fired.iter().all(|a| !matches!(a, RoundAction::FloodComplete { .. })),
+            "equivocation must block Maximal-Consistency"
+        );
+    }
+
+    #[test]
+    fn full_round_on_tiny_clique_advances() {
+        // f = 0 on K3: feed all floods, then deliver every node's COMPLETE
+        // over every simple path — the round must advance.
+        let (topo, plan) = setup(3, 0);
+        let mut core = RoundCore::new(&topo, &plan);
+        let mut all_actions = core.start(1.0, &topo, &plan);
+        let values = [1.0, 2.0, 3.0];
+        for path in topo.required_paths_to(id(0)).to_vec() {
+            if path.is_empty() {
+                continue;
+            }
+            let value = values[path.init().index()];
+            let (_, acts) = core.add_flood(path, value, &topo, &plan);
+            all_actions.extend(acts);
+        }
+        // Own COMPLETE fired; simulate the self-delivery.
+        let own = all_actions
+            .iter()
+            .find_map(|a| match a {
+                RoundAction::FloodComplete { payload, .. } => Some(Arc::clone(payload)),
+                RoundAction::Advance { .. } => None,
+            })
+            .expect("own MC fired");
+        let fp = own.fingerprint();
+        let mut acts = core.add_fifo_delivery(
+            id(0),
+            &Path::single(id(0)),
+            NodeSet::EMPTY,
+            &own,
+            fp,
+            &topo,
+            &plan,
+        );
+        all_actions.append(&mut acts);
+
+        // Peers 1 and 2 send the same COMPLETE (their view: same values on
+        // all their pool paths). Build each peer's payload from its pool.
+        for c in [id(1), id(2)] {
+            let mut m = MessageSet::new();
+            for path in topo.required_paths_to(c) {
+                m.insert(path.clone(), values[path.init().index()]);
+            }
+            let payload = Arc::new(CompletePayload::from_message_set(&m));
+            let fp = payload.fingerprint();
+            // Deliver over every simple (c, 0)-path.
+            for p in topo.simple_paths_to(id(0)).to_vec() {
+                if p.init() != c || p.is_empty() {
+                    continue;
+                }
+                let mut acts = core.add_fifo_delivery(
+                    c,
+                    &p,
+                    NodeSet::EMPTY,
+                    &payload,
+                    fp,
+                    &topo,
+                    &plan,
+                );
+                all_actions.append(&mut acts);
+            }
+        }
+        let advance = all_actions.iter().find_map(|a| match a {
+            RoundAction::Advance { outcome, .. } => Some(*outcome),
+            RoundAction::FloodComplete { .. } => None,
+        });
+        let outcome = advance.expect("round must advance");
+        assert!(core.fired());
+        // f = 0: no trimming; midpoint of 1 and 3.
+        assert_eq!(outcome.value, 2.0);
+    }
+
+    #[test]
+    fn inconsistent_complete_payloads_never_block_verify() {
+        // Algorithm 1 line 24: only *consistent* M_c impose Completeness
+        // conjuncts; a tampered, self-contradicting payload is ignored.
+        let (topo, plan) = setup(4, 1);
+        let mut core = RoundCore::new(&topo, &plan);
+        core.start(1.0, &topo, &plan);
+        let mut m = MessageSet::new();
+        m.insert(Path::from_indices(&[1, 0]).unwrap(), 3.0);
+        m.insert(Path::from_indices(&[1, 2, 0]).unwrap(), 9.0); // equivocation
+        let payload = Arc::new(CompletePayload::from_message_set(&m));
+        assert!(!payload.is_consistent());
+        let fp = payload.fingerprint();
+        core.add_fifo_delivery(
+            id(1),
+            &Path::from_indices(&[1, 0]).unwrap(),
+            NodeSet::singleton(id(2)),
+            &payload,
+            fp,
+            &topo,
+            &plan,
+        );
+        assert_eq!(core.trackers.len(), 1);
+        assert!(!core.trackers[0].blocking(), "inconsistent payloads are skipped");
+    }
+
+    #[test]
+    fn missing_source_value_blocks_forever() {
+        // A consistent payload that lacks a source-component value can
+        // never pass Completeness: M' stays empty, the empty f-cover
+        // exists, output is false (Algorithm 2).
+        let (topo, plan) = setup(4, 1);
+        let mut core = RoundCore::new(&topo, &plan);
+        core.start(1.0, &topo, &plan);
+        // Payload with a single entry from node 1 — nodes 2 and 3 are in
+        // source components of some (F_u, F_w) pair but absent here.
+        let mut m = MessageSet::new();
+        m.insert(Path::from_indices(&[1, 0]).unwrap(), 3.0);
+        let payload = Arc::new(CompletePayload::from_message_set(&m));
+        let fp = payload.fingerprint();
+        core.add_fifo_delivery(
+            id(1),
+            &Path::from_indices(&[1, 0]).unwrap(),
+            NodeSet::singleton(id(2)),
+            &payload,
+            fp,
+            &topo,
+            &plan,
+        );
+        assert_eq!(core.trackers.len(), 1);
+        assert!(core.trackers[0].impossible);
+        assert!(core.trackers[0].blocking());
+        // Feeding matching floods does not unblock an impossible tracker.
+        for path in topo.required_paths_to(id(0)).to_vec() {
+            if path.is_empty() {
+                continue;
+            }
+            let _ = core.add_flood(path, 3.0, &topo, &plan);
+        }
+        assert!(core.trackers[0].blocking());
+    }
+
+    #[test]
+    fn trackers_deduplicate_by_suspects_and_content() {
+        let (topo, plan) = setup(4, 1);
+        let mut core = RoundCore::new(&topo, &plan);
+        core.start(1.0, &topo, &plan);
+        let mut m = MessageSet::new();
+        m.insert(Path::from_indices(&[1, 0]).unwrap(), 3.0);
+        let payload = Arc::new(CompletePayload::from_message_set(&m));
+        let fp = payload.fingerprint();
+        for p in [
+            Path::from_indices(&[1, 0]).unwrap(),
+            Path::from_indices(&[1, 2, 0]).unwrap(),
+        ] {
+            core.add_fifo_delivery(id(1), &p, NodeSet::singleton(id(3)), &payload, fp, &topo, &plan);
+        }
+        assert_eq!(core.trackers.len(), 1, "same (F_u, content) → one tracker");
+        // A different suspect set is a distinct Completeness instance.
+        core.add_fifo_delivery(
+            id(1),
+            &Path::from_indices(&[1, 0]).unwrap(),
+            NodeSet::singleton(id(2)),
+            &payload,
+            fp,
+            &topo,
+            &plan,
+        );
+        assert_eq!(core.trackers.len(), 2);
+    }
+
+    #[test]
+    fn mc_detection_continues_after_fired() {
+        // After the round fires, a still-pending guess whose pool completes
+        // must still emit FloodComplete (peer liveness).
+        let (topo, plan) = setup(3, 1);
+        let mut core = RoundCore::new(&topo, &plan);
+        core.fired = true; // simulate an already-advanced round
+        core.started = true;
+        let mut actions = Vec::new();
+        core.ingest(Path::single(id(0)), 1.0, &topo, &plan, &mut actions);
+        for path in topo.required_paths_to(id(0)).to_vec() {
+            if path.is_empty() {
+                continue;
+            }
+            let (fresh, acts) = core.add_flood(path, 1.0, &topo, &plan);
+            assert!(fresh);
+            actions.extend(acts);
+        }
+        assert!(
+            actions.iter().any(|a| matches!(a, RoundAction::FloodComplete { .. })),
+            "witness flooding must survive round advancement"
+        );
+        assert!(
+            !actions.iter().any(|a| matches!(a, RoundAction::Advance { .. })),
+            "a fired round cannot advance again"
+        );
+    }
+}

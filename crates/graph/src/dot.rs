@@ -1,0 +1,51 @@
+//! Graphviz DOT export, used by the experiment binaries to render the
+//! networks they analyze (e.g. the Figure 1 reconstructions).
+
+use crate::digraph::Digraph;
+use crate::nodeset::NodeSet;
+use std::fmt::Write as _;
+
+/// Renders `g` in DOT format. Nodes in `highlight` (e.g. a fault set or a
+/// source component) are filled red; bidirectional edge pairs are drawn as
+/// a single undirected-looking edge with `dir=both`.
+#[must_use]
+pub fn to_dot(g: &Digraph, name: &str, highlight: NodeSet) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph {name} {{");
+    let _ = writeln!(s, "  rankdir=LR;");
+    for v in g.nodes() {
+        if highlight.contains(v) {
+            let _ = writeln!(s, "  n{} [style=filled, fillcolor=salmon];", v.index());
+        } else {
+            let _ = writeln!(s, "  n{};", v.index());
+        }
+    }
+    for (u, v) in g.edges() {
+        if g.has_edge(v, u) {
+            if u < v {
+                let _ = writeln!(s, "  n{} -> n{} [dir=both];", u.index(), v.index());
+            }
+        } else {
+            let _ = writeln!(s, "  n{} -> n{};", u.index(), v.index());
+        }
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+
+    #[test]
+    fn renders_nodes_edges_and_highlights() {
+        let g = Digraph::from_edges(3, &[(0, 1), (1, 0), (1, 2)]).unwrap();
+        let dot = to_dot(&g, "g", NodeSet::singleton(NodeId::new(2)));
+        assert!(dot.contains("digraph g {"));
+        assert!(dot.contains("n2 [style=filled"));
+        assert!(dot.contains("n0 -> n1 [dir=both];"));
+        assert!(dot.contains("n1 -> n2;"));
+        assert!(!dot.contains("n1 -> n0 [dir=both];"), "pair rendered once");
+    }
+}

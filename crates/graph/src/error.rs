@@ -1,0 +1,86 @@
+//! Error types for the graph substrate.
+
+use crate::node::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by graph construction and path enumeration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// Requested more nodes than [`MAX_NODES`](crate::nodeset::MAX_NODES).
+    TooManyNodes {
+        /// The requested node count.
+        requested: usize,
+    },
+    /// A graph must have at least one node.
+    EmptyGraph,
+    /// A node identifier referenced a node outside the graph.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// The graph's node count.
+        node_count: usize,
+    },
+    /// The paper's model uses simple digraphs without self-loops
+    /// (Section 2, System Model).
+    SelfLoop {
+        /// The node with the attempted self-loop.
+        node: NodeId,
+    },
+    /// A path failed validation against the graph.
+    InvalidPath {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Path enumeration exceeded its budget (the paper's algorithm is
+    /// intrinsically exponential; budgets keep enumeration explicit).
+    BudgetExceeded {
+        /// The budget that was exceeded.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::TooManyNodes { requested } => write!(
+                f,
+                "requested {requested} nodes but at most {} are supported",
+                crate::nodeset::MAX_NODES
+            ),
+            GraphError::EmptyGraph => write!(f, "graph must have at least one node"),
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} is out of range for a {node_count}-node graph")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop at {node} is not allowed in a simple digraph")
+            }
+            GraphError::InvalidPath { reason } => write!(f, "invalid path: {reason}"),
+            GraphError::BudgetExceeded { limit } => {
+                write!(f, "path enumeration exceeded the budget of {limit}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GraphError::SelfLoop { node: NodeId::new(2) };
+        assert!(e.to_string().contains("n2"));
+        let e = GraphError::BudgetExceeded { limit: 10 };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn takes_error<E: Error>(_: E) {}
+        takes_error(GraphError::EmptyGraph);
+    }
+}

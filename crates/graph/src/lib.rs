@@ -1,0 +1,62 @@
+//! # dbac-graph
+//!
+//! Directed-graph substrate for the `dbac` workspace — the reproduction of
+//! *"Asynchronous Byzantine Approximate Consensus in Directed Networks"*
+//! (Sakavalas, Tseng, Vaidya — PODC 2020).
+//!
+//! The paper models the network as a simple directed graph `G(V, E)` and its
+//! algorithm and conditions are intrinsically graph-theoretic: *reach sets*,
+//! *redundant paths*, *source components*, *vertex-disjoint propagation
+//! paths*. This crate provides the pieces everything else is built on:
+//!
+//! * [`NodeId`] — a typed node identifier.
+//! * [`NodeSet`] — a bitset over nodes (`|V| ≤ 128`), the workhorse for the
+//!   paper's ubiquitous "for any `F ⊆ V` with `|F| ≤ f`" quantifiers.
+//! * [`Digraph`] — the directed network.
+//! * [`Path`] — directed paths, with the paper's *simple* and *redundant*
+//!   path notions (Section 3) and exhaustive enumeration with budget guards.
+//! * [`scc`] — Tarjan strongly-connected components.
+//! * [`maxflow`] — maximum vertex-disjoint paths (Menger), used by the
+//!   propagation condition (Definition 10) and the Figure 1(b) analysis.
+//! * [`connectivity`] — vertex connectivity `κ(G)` for the Table 1 checks.
+//! * [`generators`] — named graph families, including the paper's
+//!   Figure 1(a) and Figure 1(b) constructions.
+//!
+//! # Example
+//!
+//! ```
+//! use dbac_graph::{generators, NodeId, paths};
+//!
+//! // The paper's Figure 1(b): two 7-cliques joined by 8 directed edges.
+//! let g = generators::figure_1b();
+//! assert_eq!(g.node_count(), 14);
+//!
+//! // v1 -> w1 is connected by exactly 2f = 4 vertex-disjoint paths,
+//! // so all-pair reliable message transmission is infeasible for f = 2 …
+//! let v1 = NodeId::new(0);
+//! let w1 = NodeId::new(7);
+//! assert_eq!(dbac_graph::maxflow::max_vertex_disjoint_paths(&g, v1, w1), 4);
+//! # let _ = paths::is_reachable(&g, v1, w1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod connectivity;
+pub mod digraph;
+pub mod dot;
+pub mod error;
+pub mod generators;
+pub mod maxflow;
+pub mod node;
+pub mod nodeset;
+pub mod paths;
+pub mod scc;
+pub mod subsets;
+
+pub use digraph::Digraph;
+pub use error::GraphError;
+pub use node::NodeId;
+pub use nodeset::NodeSet;
+pub use paths::{Path, PathBudget};
+pub use subsets::SubsetsUpTo;

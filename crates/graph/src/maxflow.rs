@@ -1,0 +1,249 @@
+//! Maximum vertex-disjoint directed paths (Menger's theorem via unit-capacity
+//! max-flow with node splitting).
+//!
+//! The paper uses vertex-disjoint path counts in two places:
+//!
+//! * the propagation relation `A ⇝_C B` (Definition 10) requires `f + 1`
+//!   node-disjoint `(A, b)`-paths for every `b ∈ B`;
+//! * the Figure 1(b) discussion observes that `v1` and `w1` are connected by
+//!   only `2f = 4` disjoint paths, so all-pair reliable message transmission
+//!   is infeasible even though consensus is possible.
+
+use crate::digraph::Digraph;
+use crate::node::NodeId;
+use crate::nodeset::NodeSet;
+
+/// Maximum number of internally-vertex-disjoint directed paths from `s` to
+/// `t` (`s ≠ t`). Paths share only their endpoints; a direct edge `s → t`
+/// counts as one path.
+///
+/// # Example
+///
+/// ```
+/// use dbac_graph::{generators, maxflow, NodeId};
+///
+/// // In K5 there are 4 disjoint paths between any ordered pair.
+/// let g = generators::clique(5);
+/// let k = maxflow::max_vertex_disjoint_paths(&g, NodeId::new(0), NodeId::new(1));
+/// assert_eq!(k, 4);
+/// ```
+#[must_use]
+pub fn max_vertex_disjoint_paths(g: &Digraph, s: NodeId, t: NodeId) -> usize {
+    assert_ne!(s, t, "disjoint paths are defined for distinct endpoints");
+    let mut net = SplitNetwork::new(g, NodeSet::EMPTY);
+    net.uncap_node(s);
+    net.uncap_node(t);
+    net.max_flow(SplitNetwork::out_of(s), SplitNetwork::into(t))
+}
+
+/// Maximum number of *node-disjoint* `(A, t)`-paths inside the subgraph
+/// induced by `within` — the quantity bounded in Definition 10. Paths are
+/// pairwise disjoint including their initial nodes (each node of `A` starts
+/// at most one path); they share only the terminal `t`.
+///
+/// Returns 0 if `t ∉ within` or `A ∩ within = ∅`.
+#[must_use]
+pub fn max_disjoint_paths_from_set(g: &Digraph, a: NodeSet, t: NodeId, within: NodeSet) -> usize {
+    if !within.contains(t) {
+        return 0;
+    }
+    let a = (a & within) - NodeSet::singleton(t);
+    if a.is_empty() {
+        return 0;
+    }
+    let forbidden = within.complement_in(g.node_count());
+    let mut net = SplitNetwork::new(g, forbidden);
+    net.uncap_node(t);
+    // Super-source feeding every a ∈ A through its (unit) node capacity.
+    let super_source = net.add_node();
+    for v in a.iter() {
+        net.add_arc(super_source, SplitNetwork::into(v), 1);
+    }
+    net.max_flow(super_source, SplitNetwork::into(t))
+}
+
+/// Unit-capacity flow network with each graph node split into
+/// `in`/`out` halves connected by a capacity-1 arc.
+struct SplitNetwork {
+    /// cap[u][v]: residual capacity of arc u -> v.
+    cap: Vec<Vec<u32>>,
+    /// adjacency (forward + backward arcs share the list).
+    adj: Vec<Vec<usize>>,
+}
+
+impl SplitNetwork {
+    fn into(v: NodeId) -> usize {
+        2 * v.index()
+    }
+
+    fn out_of(v: NodeId) -> usize {
+        2 * v.index() + 1
+    }
+
+    fn new(g: &Digraph, forbidden: NodeSet) -> Self {
+        let n = g.node_count();
+        let size = 2 * n;
+        let mut net = SplitNetwork {
+            cap: vec![vec![0; size + 2]; size + 2],
+            adj: vec![Vec::new(); size + 2],
+        };
+        for v in g.nodes() {
+            if forbidden.contains(v) {
+                continue;
+            }
+            net.add_arc(Self::into(v), Self::out_of(v), 1);
+        }
+        for (u, v) in g.edges() {
+            if forbidden.contains(u) || forbidden.contains(v) {
+                continue;
+            }
+            net.add_arc(Self::out_of(u), Self::into(v), 1);
+        }
+        net
+    }
+
+    /// Lifts the unit capacity of `v`'s split arc (used for path endpoints,
+    /// which may be shared by all paths).
+    fn uncap_node(&mut self, v: NodeId) {
+        self.cap[Self::into(v)][Self::out_of(v)] = u32::MAX / 2;
+    }
+
+    fn add_node(&mut self) -> usize {
+        // The constructor pre-allocated two spare slots.
+        self.adj.len() - 2
+    }
+
+    fn add_arc(&mut self, u: usize, v: usize, c: u32) {
+        if self.cap[u][v] == 0 && self.cap[v][u] == 0 {
+            self.adj[u].push(v);
+            self.adj[v].push(u);
+        }
+        self.cap[u][v] = self.cap[u][v].saturating_add(c);
+    }
+
+    /// Edmonds–Karp; unit capacities make each augmentation add one path.
+    fn max_flow(&mut self, s: usize, t: usize) -> usize {
+        let mut flow = 0;
+        loop {
+            let n = self.adj.len();
+            let mut parent = vec![usize::MAX; n];
+            parent[s] = s;
+            let mut queue = std::collections::VecDeque::new();
+            queue.push_back(s);
+            'bfs: while let Some(u) = queue.pop_front() {
+                for &v in &self.adj[u] {
+                    if parent[v] == usize::MAX && self.cap[u][v] > 0 {
+                        parent[v] = u;
+                        if v == t {
+                            break 'bfs;
+                        }
+                        queue.push_back(v);
+                    }
+                }
+            }
+            if parent[t] == usize::MAX {
+                return flow;
+            }
+            // Unit augmentation along the BFS path.
+            let mut v = t;
+            while v != s {
+                let u = parent[v];
+                self.cap[u][v] -= 1;
+                self.cap[v][u] += 1;
+                v = u;
+            }
+            flow += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn id(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn clique_disjoint_paths() {
+        for n in 3..7 {
+            let g = generators::clique(n);
+            assert_eq!(max_vertex_disjoint_paths(&g, id(0), id(1)), n - 1);
+        }
+    }
+
+    #[test]
+    fn single_path_graph() {
+        let g = Digraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(max_vertex_disjoint_paths(&g, id(0), id(3)), 1);
+        assert_eq!(max_vertex_disjoint_paths(&g, id(3), id(0)), 0);
+    }
+
+    #[test]
+    fn diamond_has_two() {
+        let g = Digraph::from_edges(4, &[(0, 1), (1, 3), (0, 2), (2, 3)]).unwrap();
+        assert_eq!(max_vertex_disjoint_paths(&g, id(0), id(3)), 2);
+    }
+
+    #[test]
+    fn direct_edge_plus_detour() {
+        // s -> t directly plus s -> a -> t: 2 internally disjoint paths.
+        let g = Digraph::from_edges(3, &[(0, 2), (0, 1), (1, 2)]).unwrap();
+        assert_eq!(max_vertex_disjoint_paths(&g, id(0), id(2)), 2);
+    }
+
+    #[test]
+    fn bottleneck_node_limits_flow() {
+        // Two routes that both pass through node 1.
+        let g = Digraph::from_edges(5, &[(0, 1), (1, 2), (1, 3), (2, 4), (3, 4)]).unwrap();
+        assert_eq!(max_vertex_disjoint_paths(&g, id(0), id(4)), 1);
+    }
+
+    #[test]
+    fn figure_1b_has_exactly_2f_disjoint_paths() {
+        // The paper's headline observation: v1 -> w1 only 4 = 2f disjoint paths.
+        let g = generators::figure_1b();
+        assert_eq!(max_vertex_disjoint_paths(&g, id(0), id(7)), 4);
+        assert_eq!(max_vertex_disjoint_paths(&g, id(7), id(0)), 4);
+        // Within a clique it is still 6.
+        assert_eq!(max_vertex_disjoint_paths(&g, id(0), id(1)), 6);
+    }
+
+    #[test]
+    fn from_set_counts_distinct_sources() {
+        // a0 -> t, a1 -> t: two disjoint (A,t)-paths.
+        let g = Digraph::from_edges(3, &[(0, 2), (1, 2)]).unwrap();
+        let a: NodeSet = [id(0), id(1)].into_iter().collect();
+        assert_eq!(max_disjoint_paths_from_set(&g, a, id(2), g.vertex_set()), 2);
+    }
+
+    #[test]
+    fn from_set_respects_within() {
+        // a0 -> m -> t and a1 -> m -> t share m; only 1 path. Removing m
+        // from `within` gives 0.
+        let g = Digraph::from_edges(4, &[(0, 2), (1, 2), (2, 3)]).unwrap();
+        let a: NodeSet = [id(0), id(1)].into_iter().collect();
+        assert_eq!(max_disjoint_paths_from_set(&g, a, id(3), g.vertex_set()), 1);
+        let without_m = g.vertex_set() - NodeSet::singleton(id(2));
+        assert_eq!(max_disjoint_paths_from_set(&g, a, id(3), without_m), 0);
+    }
+
+    #[test]
+    fn from_set_with_target_in_set() {
+        let g = generators::clique(4);
+        let a: NodeSet = [id(0), id(1), id(3)].into_iter().collect();
+        // t=3 excluded from sources; 0 and 1 give two disjoint paths.
+        assert_eq!(max_disjoint_paths_from_set(&g, a, id(3), g.vertex_set()), 2);
+    }
+
+    #[test]
+    fn from_set_empty_cases() {
+        let g = generators::clique(3);
+        assert_eq!(max_disjoint_paths_from_set(&g, NodeSet::EMPTY, id(0), g.vertex_set()), 0);
+        let a = NodeSet::singleton(id(1));
+        let within_without_t = g.vertex_set() - NodeSet::singleton(id(0));
+        assert_eq!(max_disjoint_paths_from_set(&g, a, id(0), within_without_t), 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Typed node identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node in a [`Digraph`](crate::Digraph).
+///
+/// Nodes are dense indices `0..n`; the paper writes `V = {1, …, n}`, we use
+/// zero-based indices throughout. The inner index is private so that the
+/// representation can evolve; use [`NodeId::new`] and [`NodeId::index`].
+///
+/// # Example
+///
+/// ```
+/// use dbac_graph::NodeId;
+/// let v = NodeId::new(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(v.to_string(), "n3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node identifier from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds the maximum supported node count (128),
+    /// which is the capacity of [`NodeSet`](crate::NodeSet).
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        assert!(
+            index < crate::nodeset::MAX_NODES,
+            "node index {index} exceeds the supported maximum of {}",
+            crate::nodeset::MAX_NODES
+        );
+        NodeId(index as u32)
+    }
+
+    /// Returns the dense index of this node.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> usize {
+        id.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_index_round_trip() {
+        for i in [0, 1, 17, 127] {
+            assert_eq!(NodeId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the supported maximum")]
+    fn new_rejects_out_of_range() {
+        let _ = NodeId::new(128);
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(NodeId::new(2) < NodeId::new(5));
+        assert_eq!(NodeId::new(4), NodeId::new(4));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(format!("{}", NodeId::new(9)), "n9");
+        assert_eq!(format!("{:?}", NodeId::new(9)), "n9");
+    }
+}

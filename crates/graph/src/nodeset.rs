@@ -1,0 +1,363 @@
+//! Bitset over node identifiers.
+//!
+//! The paper quantifies over node subsets constantly ("for any `F ⊆ V` such
+//! that `|F| ≤ f` …"). [`NodeSet`] makes those subsets cheap values: a
+//! `u128` bitset with *O(1)* union/intersection/containment, `Copy`
+//! semantics and deterministic iteration order.
+
+use crate::node::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, Sub, SubAssign};
+
+/// Maximum number of nodes representable in a [`NodeSet`].
+pub const MAX_NODES: usize = 128;
+
+/// A set of [`NodeId`]s backed by a 128-bit mask.
+///
+/// # Example
+///
+/// ```
+/// use dbac_graph::{NodeId, NodeSet};
+///
+/// let f: NodeSet = [NodeId::new(1), NodeId::new(4)].into_iter().collect();
+/// assert_eq!(f.len(), 2);
+/// assert!(f.contains(NodeId::new(4)));
+///
+/// // The complement within a 6-node universe — the paper's `F̄ = V \ F`.
+/// let complement = f.complement_in(6);
+/// assert_eq!(complement.len(), 4);
+/// assert!(complement.is_disjoint(f));
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeSet(u128);
+
+impl NodeSet {
+    /// The empty set.
+    pub const EMPTY: NodeSet = NodeSet(0);
+
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        NodeSet(0)
+    }
+
+    /// Creates a set containing exactly one node.
+    #[must_use]
+    pub fn singleton(v: NodeId) -> Self {
+        NodeSet(1u128 << v.index())
+    }
+
+    /// Creates the full universe `{0, …, n-1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 128`.
+    #[must_use]
+    pub fn universe(n: usize) -> Self {
+        assert!(n <= MAX_NODES, "universe size {n} exceeds {MAX_NODES}");
+        if n == MAX_NODES {
+            NodeSet(u128::MAX)
+        } else {
+            NodeSet((1u128 << n) - 1)
+        }
+    }
+
+    /// Inserts a node; returns `true` if it was not already present.
+    pub fn insert(&mut self, v: NodeId) -> bool {
+        let bit = 1u128 << v.index();
+        let was_absent = self.0 & bit == 0;
+        self.0 |= bit;
+        was_absent
+    }
+
+    /// Removes a node; returns `true` if it was present.
+    pub fn remove(&mut self, v: NodeId) -> bool {
+        let bit = 1u128 << v.index();
+        let was_present = self.0 & bit != 0;
+        self.0 &= !bit;
+        was_present
+    }
+
+    /// Returns `true` if the set contains `v`.
+    #[must_use]
+    pub fn contains(self, v: NodeId) -> bool {
+        self.0 & (1u128 << v.index()) != 0
+    }
+
+    /// Number of nodes in the set.
+    #[must_use]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Returns `true` if the set is empty.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Set union `self ∪ other`.
+    #[must_use]
+    pub fn union(self, other: NodeSet) -> NodeSet {
+        NodeSet(self.0 | other.0)
+    }
+
+    /// Set intersection `self ∩ other`.
+    #[must_use]
+    pub fn intersection(self, other: NodeSet) -> NodeSet {
+        NodeSet(self.0 & other.0)
+    }
+
+    /// Set difference `self ∖ other`.
+    #[must_use]
+    pub fn difference(self, other: NodeSet) -> NodeSet {
+        NodeSet(self.0 & !other.0)
+    }
+
+    /// Complement within the universe `{0, …, n-1}` — the paper's `X̄`.
+    #[must_use]
+    pub fn complement_in(self, n: usize) -> NodeSet {
+        NodeSet(!self.0 & NodeSet::universe(n).0)
+    }
+
+    /// Returns `true` if `self ⊆ other`.
+    #[must_use]
+    pub fn is_subset(self, other: NodeSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Returns `true` if the sets share no node.
+    #[must_use]
+    pub fn is_disjoint(self, other: NodeSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Smallest node in the set, if non-empty.
+    #[must_use]
+    pub fn first(self) -> Option<NodeId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(NodeId::new(self.0.trailing_zeros() as usize))
+        }
+    }
+
+    /// Iterates over the nodes in ascending index order.
+    pub fn iter(self) -> Iter {
+        Iter(self.0)
+    }
+
+    /// Returns the raw 128-bit mask (for hashing / compact serialization).
+    #[must_use]
+    pub fn bits(self) -> u128 {
+        self.0
+    }
+
+    /// Reconstructs a set from a raw mask produced by [`NodeSet::bits`].
+    #[must_use]
+    pub fn from_bits(bits: u128) -> Self {
+        NodeSet(bits)
+    }
+}
+
+/// Iterator over the nodes of a [`NodeSet`], produced by [`NodeSet::iter`].
+#[derive(Clone, Debug)]
+pub struct Iter(u128);
+
+impl Iterator for Iter {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if self.0 == 0 {
+            None
+        } else {
+            let idx = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(NodeId::new(idx))
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+impl IntoIterator for NodeSet {
+    type Item = NodeId;
+    type IntoIter = Iter;
+
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        let mut s = NodeSet::new();
+        for v in iter {
+            s.insert(v);
+        }
+        s
+    }
+}
+
+impl Extend<NodeId> for NodeSet {
+    fn extend<I: IntoIterator<Item = NodeId>>(&mut self, iter: I) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+impl BitOr for NodeSet {
+    type Output = NodeSet;
+    fn bitor(self, rhs: NodeSet) -> NodeSet {
+        self.union(rhs)
+    }
+}
+
+impl BitOrAssign for NodeSet {
+    fn bitor_assign(&mut self, rhs: NodeSet) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for NodeSet {
+    type Output = NodeSet;
+    fn bitand(self, rhs: NodeSet) -> NodeSet {
+        self.intersection(rhs)
+    }
+}
+
+impl BitAndAssign for NodeSet {
+    fn bitand_assign(&mut self, rhs: NodeSet) {
+        self.0 &= rhs.0;
+    }
+}
+
+impl Sub for NodeSet {
+    type Output = NodeSet;
+    fn sub(self, rhs: NodeSet) -> NodeSet {
+        self.difference(rhs)
+    }
+}
+
+impl SubAssign for NodeSet {
+    fn sub_assign(&mut self, rhs: NodeSet) {
+        self.0 &= !rhs.0;
+    }
+}
+
+impl fmt::Debug for NodeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for NodeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for v in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", v.index())?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl From<NodeId> for NodeSet {
+    fn from(v: NodeId) -> NodeSet {
+        NodeSet::singleton(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(ids: &[usize]) -> NodeSet {
+        ids.iter().map(|&i| NodeId::new(i)).collect()
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = NodeSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(NodeId::new(3)));
+        assert!(!s.insert(NodeId::new(3)));
+        assert!(s.contains(NodeId::new(3)));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(NodeId::new(3)));
+        assert!(!s.remove(NodeId::new(3)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = ns(&[0, 1, 2]);
+        let b = ns(&[2, 3]);
+        assert_eq!(a.union(b), ns(&[0, 1, 2, 3]));
+        assert_eq!(a.intersection(b), ns(&[2]));
+        assert_eq!(a.difference(b), ns(&[0, 1]));
+        assert_eq!(a | b, a.union(b));
+        assert_eq!(a & b, a.intersection(b));
+        assert_eq!(a - b, a.difference(b));
+    }
+
+    #[test]
+    fn complement_matches_paper_overline() {
+        let f = ns(&[1, 4]);
+        let c = f.complement_in(6);
+        assert_eq!(c, ns(&[0, 2, 3, 5]));
+        assert_eq!(f.union(c), NodeSet::universe(6));
+        assert!(f.is_disjoint(c));
+    }
+
+    #[test]
+    fn universe_edges() {
+        assert_eq!(NodeSet::universe(0), NodeSet::EMPTY);
+        assert_eq!(NodeSet::universe(128).len(), 128);
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        assert!(ns(&[1]).is_subset(ns(&[0, 1])));
+        assert!(!ns(&[2]).is_subset(ns(&[0, 1])));
+        assert!(NodeSet::EMPTY.is_subset(NodeSet::EMPTY));
+        assert!(ns(&[0]).is_disjoint(ns(&[1])));
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let s = ns(&[5, 1, 9]);
+        let order: Vec<usize> = s.iter().map(NodeId::index).collect();
+        assert_eq!(order, vec![1, 5, 9]);
+        assert_eq!(s.iter().len(), 3);
+    }
+
+    #[test]
+    fn first_returns_minimum() {
+        assert_eq!(ns(&[7, 3]).first(), Some(NodeId::new(3)));
+        assert_eq!(NodeSet::EMPTY.first(), None);
+    }
+
+    #[test]
+    fn display_lists_indices() {
+        assert_eq!(ns(&[0, 2]).to_string(), "{0,2}");
+        assert_eq!(NodeSet::EMPTY.to_string(), "{}");
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        let s = ns(&[0, 64, 127]);
+        assert_eq!(NodeSet::from_bits(s.bits()), s);
+    }
+}

@@ -1,0 +1,220 @@
+//! Enumeration of bounded-size subsets.
+//!
+//! The paper's conditions quantify over "any `F ⊆ V` with `|F| ≤ f`" and the
+//! BW algorithm runs a parallel execution per such set (Algorithm 1,
+//! line 5). [`SubsetsUpTo`] enumerates exactly these sets, smallest first,
+//! in a deterministic order.
+
+use crate::node::NodeId;
+use crate::nodeset::NodeSet;
+
+/// Iterator over all subsets of a universe with size at most `k`,
+/// in order of increasing size (and lexicographic within one size).
+///
+/// # Example
+///
+/// ```
+/// use dbac_graph::{NodeSet, SubsetsUpTo};
+///
+/// let universe = NodeSet::universe(4);
+/// let subsets: Vec<NodeSet> = SubsetsUpTo::new(universe, 1).collect();
+/// // The empty set plus the four singletons.
+/// assert_eq!(subsets.len(), 5);
+/// assert_eq!(subsets[0], NodeSet::EMPTY);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SubsetsUpTo {
+    elements: Vec<NodeId>,
+    max_size: usize,
+    current_size: usize,
+    /// Indices into `elements` for the current combination; empty when the
+    /// current size is 0 and we have not yet emitted the empty set.
+    indices: Vec<usize>,
+    started: bool,
+    done: bool,
+}
+
+impl SubsetsUpTo {
+    /// Creates an iterator over all subsets of `universe` of size `≤ max_size`.
+    #[must_use]
+    pub fn new(universe: NodeSet, max_size: usize) -> Self {
+        let elements: Vec<NodeId> = universe.iter().collect();
+        let max_size = max_size.min(elements.len());
+        SubsetsUpTo {
+            elements,
+            max_size,
+            current_size: 0,
+            indices: Vec::new(),
+            started: false,
+            done: false,
+        }
+    }
+
+    /// Total number of subsets this iterator will produce:
+    /// `Σ_{i=0..=k} C(n, i)`.
+    #[must_use]
+    pub fn count_total(universe_len: usize, max_size: usize) -> u128 {
+        let k = max_size.min(universe_len);
+        let mut total: u128 = 0;
+        for i in 0..=k {
+            total += binomial(universe_len, i);
+        }
+        total
+    }
+
+    fn emit(&self) -> NodeSet {
+        self.indices.iter().map(|&i| self.elements[i]).collect()
+    }
+
+    /// Advances `indices` to the next combination of the current size.
+    /// Returns false when the current size is exhausted.
+    fn advance_same_size(&mut self) -> bool {
+        let n = self.elements.len();
+        let k = self.indices.len();
+        if k == 0 {
+            return false;
+        }
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return false;
+            }
+            i -= 1;
+            if self.indices[i] != i + n - k {
+                break;
+            }
+        }
+        self.indices[i] += 1;
+        for j in i + 1..k {
+            self.indices[j] = self.indices[j - 1] + 1;
+        }
+        true
+    }
+}
+
+impl Iterator for SubsetsUpTo {
+    type Item = NodeSet;
+
+    fn next(&mut self) -> Option<NodeSet> {
+        if self.done {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            return Some(NodeSet::EMPTY); // size 0
+        }
+        // Try the next combination of the current size.
+        if self.advance_same_size() {
+            return Some(self.emit());
+        }
+        // Move to the next size.
+        if self.current_size >= self.max_size {
+            self.done = true;
+            return None;
+        }
+        self.current_size += 1;
+        if self.current_size > self.elements.len() {
+            self.done = true;
+            return None;
+        }
+        self.indices = (0..self.current_size).collect();
+        Some(self.emit())
+    }
+}
+
+/// Binomial coefficient `C(n, k)` as `u128`, saturating at `u128::MAX` if
+/// an intermediate product would overflow (only conceivable near
+/// `C(128, 64)`; the small fault-set sizes this crate enumerates stay far
+/// below that).
+#[must_use]
+pub fn binomial(n: usize, k: usize) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result: u128 = 1;
+    for i in 0..k {
+        match result.checked_mul((n - i) as u128) {
+            Some(prod) => result = prod / (i + 1) as u128,
+            None => return u128::MAX,
+        }
+    }
+    result
+}
+
+/// Convenience: all subsets of `universe` with `|S| ≤ max_size`, collected.
+#[must_use]
+pub fn subsets_up_to(universe: NodeSet, max_size: usize) -> Vec<NodeSet> {
+    SubsetsUpTo::new(universe, max_size).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerates_all_sizes() {
+        let u = NodeSet::universe(5);
+        let all: Vec<NodeSet> = SubsetsUpTo::new(u, 2).collect();
+        // C(5,0) + C(5,1) + C(5,2) = 1 + 5 + 10
+        assert_eq!(all.len(), 16);
+        assert!(all.iter().all(|s| s.len() <= 2));
+        // No duplicates.
+        let mut sorted: Vec<u128> = all.iter().map(|s| s.bits()).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 16);
+    }
+
+    #[test]
+    fn respects_sub_universe() {
+        let u: NodeSet = [2usize, 5, 9]
+            .into_iter()
+            .map(crate::node::NodeId::new)
+            .collect();
+        let all = subsets_up_to(u, 3);
+        assert_eq!(all.len(), 8);
+        assert!(all.iter().all(|s| s.is_subset(u)));
+    }
+
+    #[test]
+    fn zero_max_size_gives_only_empty() {
+        let all = subsets_up_to(NodeSet::universe(6), 0);
+        assert_eq!(all, vec![NodeSet::EMPTY]);
+    }
+
+    #[test]
+    fn empty_universe() {
+        let all = subsets_up_to(NodeSet::EMPTY, 3);
+        assert_eq!(all, vec![NodeSet::EMPTY]);
+    }
+
+    #[test]
+    fn count_total_matches_enumeration() {
+        for n in 0..7 {
+            for k in 0..4 {
+                let u = NodeSet::universe(n);
+                let got = SubsetsUpTo::new(u, k).count() as u128;
+                assert_eq!(got, SubsetsUpTo::count_total(n, k), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_basics() {
+        assert_eq!(binomial(14, 2), 91);
+        assert_eq!(binomial(7, 0), 1);
+        assert_eq!(binomial(3, 5), 0);
+        assert_eq!(binomial(128, 64) > 0, true);
+    }
+
+    #[test]
+    fn sizes_are_non_decreasing() {
+        let sizes: Vec<usize> = SubsetsUpTo::new(NodeSet::universe(6), 3)
+            .map(|s| s.len())
+            .collect();
+        for w in sizes.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Runtime errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the simulation runtimes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A node index had no actor assigned before `run`.
+    UnassignedNode {
+        /// The node missing an actor.
+        node: usize,
+    },
+    /// The event budget was exhausted before quiescence — either the
+    /// protocol livelocked or the budget was too small for the instance.
+    EventBudgetExhausted {
+        /// Events delivered before giving up.
+        delivered: u64,
+    },
+    /// The threaded runtime hit its wall-clock timeout before every honest
+    /// node reported completion.
+    Timeout {
+        /// Nodes that had completed when the timeout fired.
+        completed: usize,
+        /// Total honest nodes expected to complete.
+        expected: usize,
+    },
+    /// A worker thread panicked.
+    WorkerPanicked,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnassignedNode { node } => {
+                write!(f, "node {node} has no process or adversary assigned")
+            }
+            SimError::EventBudgetExhausted { delivered } => {
+                write!(f, "event budget exhausted after {delivered} deliveries")
+            }
+            SimError::Timeout { completed, expected } => {
+                write!(f, "timed out with {completed}/{expected} nodes complete")
+            }
+            SimError::WorkerPanicked => write!(f, "a worker thread panicked"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(SimError::UnassignedNode { node: 3 }.to_string().contains('3'));
+        assert!(SimError::EventBudgetExhausted { delivered: 9 }.to_string().contains('9'));
+        assert!(SimError::Timeout { completed: 1, expected: 4 }.to_string().contains("1/4"));
+    }
+
+    #[test]
+    fn is_error() {
+        fn assert_error<E: Error>(_: E) {}
+        assert_error(SimError::WorkerPanicked);
+    }
+}

@@ -1,0 +1,383 @@
+//! The deterministic discrete-event simulator.
+
+use crate::error::SimError;
+use crate::process::{Adversary, Context, Process};
+use crate::scheduler::DeliveryPolicy;
+use crate::time::VirtualTime;
+use crate::trace::Trace;
+use dbac_graph::{Digraph, NodeId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// Counters describing a finished (or aborted) run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Messages handed to the delivery queue.
+    pub messages_sent: u64,
+    /// Messages delivered to a recipient's handler.
+    pub messages_delivered: u64,
+    /// Messages still queued past the horizon when the run stopped
+    /// (non-zero only with adversarial far-future delays).
+    pub messages_undelivered: u64,
+    /// Virtual time of the last delivery.
+    pub final_time: VirtualTime,
+}
+
+enum Actor<P: Process> {
+    Honest(P),
+    Byzantine(Box<dyn Adversary<P::Message> + Send>),
+}
+
+/// A deterministic event-driven run of one protocol instance over a fixed
+/// directed network.
+///
+/// Construction: [`Simulation::new`], then assign an actor to **every**
+/// node with [`set_honest`](Simulation::set_honest) /
+/// [`set_byzantine`](Simulation::set_byzantine), then [`run`](Simulation::run).
+///
+/// Determinism: events are ordered by `(delivery time, enqueue sequence)`;
+/// with a deterministic [`DeliveryPolicy`] the entire execution — including
+/// every adversarial interleaving decision — is a pure function of the
+/// configuration.
+pub struct Simulation<P: Process> {
+    graph: Arc<Digraph>,
+    actors: Vec<Option<Actor<P>>>,
+    policy: Box<dyn DeliveryPolicy + Send>,
+    queue: BinaryHeap<Reverse<QueuedEvent<P::Message>>>,
+    now: VirtualTime,
+    seq: u64,
+    stats: SimStats,
+    max_events: u64,
+    horizon: VirtualTime,
+    trace: Option<Trace<P::Message>>,
+}
+
+struct QueuedEvent<M> {
+    at: VirtualTime,
+    seq: u64,
+    from: NodeId,
+    to: NodeId,
+    msg: M,
+}
+
+impl<M> PartialEq for QueuedEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for QueuedEvent<M> {}
+impl<M> PartialOrd for QueuedEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for QueuedEvent<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl<P: Process> Simulation<P> {
+    /// Creates a simulation over `graph` with the given delivery policy.
+    #[must_use]
+    pub fn new(graph: Arc<Digraph>, policy: Box<dyn DeliveryPolicy + Send>) -> Self {
+        let n = graph.node_count();
+        Simulation {
+            graph,
+            actors: (0..n).map(|_| None).collect(),
+            policy,
+            queue: BinaryHeap::new(),
+            now: VirtualTime::ZERO,
+            seq: 0,
+            stats: SimStats::default(),
+            max_events: 50_000_000,
+            horizon: VirtualTime::FAR_FUTURE,
+            trace: None,
+        }
+    }
+
+    /// Assigns an honest process to `v`.
+    pub fn set_honest(&mut self, v: NodeId, process: P) -> &mut Self {
+        self.actors[v.index()] = Some(Actor::Honest(process));
+        self
+    }
+
+    /// Assigns a Byzantine adversary to `v`.
+    pub fn set_byzantine(
+        &mut self,
+        v: NodeId,
+        adversary: Box<dyn Adversary<P::Message> + Send>,
+    ) -> &mut Self {
+        self.actors[v.index()] = Some(Actor::Byzantine(adversary));
+        self
+    }
+
+    /// Caps the number of deliveries before the run aborts with
+    /// [`SimError::EventBudgetExhausted`] (default: 5·10⁷).
+    pub fn set_max_events(&mut self, max_events: u64) -> &mut Self {
+        self.max_events = max_events;
+        self
+    }
+
+    /// Stops delivering events scheduled after `horizon`; remaining events
+    /// are counted in [`SimStats::messages_undelivered`]. Models "delayed
+    /// past the decision point" (Appendix B).
+    pub fn set_horizon(&mut self, horizon: VirtualTime) -> &mut Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Enables trace recording of every delivery.
+    pub fn record_trace(&mut self) -> &mut Self {
+        self.trace = Some(Trace::new());
+        self
+    }
+
+    /// The recorded trace, if [`record_trace`](Simulation::record_trace)
+    /// was enabled.
+    #[must_use]
+    pub fn trace(&self) -> Option<&Trace<P::Message>> {
+        self.trace.as_ref()
+    }
+
+    /// The network.
+    #[must_use]
+    pub fn graph(&self) -> &Digraph {
+        &self.graph
+    }
+
+    /// Shared handle to the network.
+    #[must_use]
+    pub fn graph_arc(&self) -> Arc<Digraph> {
+        Arc::clone(&self.graph)
+    }
+
+    /// Immutable access to the honest process at `v` (e.g. to read its
+    /// output after the run). Returns `None` for Byzantine nodes.
+    #[must_use]
+    pub fn honest(&self, v: NodeId) -> Option<&P> {
+        match self.actors[v.index()] {
+            Some(Actor::Honest(ref p)) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> VirtualTime {
+        self.now
+    }
+
+    /// Runs `on_start` everywhere, then delivers events in order until
+    /// quiescence (or the horizon / event budget).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnassignedNode`] if a node has no actor;
+    /// [`SimError::EventBudgetExhausted`] if the budget runs out.
+    pub fn run(&mut self) -> Result<SimStats, SimError> {
+        if let Some(missing) = self.actors.iter().position(Option::is_none) {
+            return Err(SimError::UnassignedNode { node: missing });
+        }
+        // Start phase.
+        for i in 0..self.actors.len() {
+            let v = NodeId::new(i);
+            let mut ctx = Context::new(v, self.graph.out_neighbors(v));
+            match self.actors[i].as_mut().expect("checked above") {
+                Actor::Honest(p) => p.on_start(&mut ctx),
+                Actor::Byzantine(a) => a.on_start(&mut ctx),
+            }
+            self.dispatch(v, &mut ctx);
+        }
+        // Delivery loop.
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.at > self.horizon {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked");
+            if self.stats.messages_delivered >= self.max_events {
+                return Err(SimError::EventBudgetExhausted {
+                    delivered: self.stats.messages_delivered,
+                });
+            }
+            self.now = ev.at;
+            self.stats.messages_delivered += 1;
+            self.stats.final_time = ev.at;
+            if let Some(trace) = self.trace.as_mut() {
+                trace.record(ev.at, ev.from, ev.to, ev.msg.clone());
+            }
+            let mut ctx = Context::new(ev.to, self.graph.out_neighbors(ev.to));
+            match self.actors[ev.to.index()].as_mut().expect("checked above") {
+                Actor::Honest(p) => p.on_message(&mut ctx, ev.from, ev.msg),
+                Actor::Byzantine(a) => a.on_message(&mut ctx, ev.from, ev.msg),
+            }
+            let sender = ev.to;
+            self.dispatch(sender, &mut ctx);
+        }
+        self.stats.messages_undelivered = self.queue.len() as u64;
+        Ok(self.stats)
+    }
+
+    fn dispatch(&mut self, from: NodeId, ctx: &mut Context<P::Message>) {
+        for (to, msg) in ctx.take_outbox() {
+            let mut at = self.policy.delivery_time(self.now, from, to);
+            if at < self.now {
+                at = self.now;
+            }
+            self.stats.messages_sent += 1;
+            self.seq += 1;
+            self.queue.push(Reverse(QueuedEvent { at, seq: self.seq, from, to, msg }));
+        }
+    }
+}
+
+impl<P: Process> std::fmt::Debug for Simulation<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("nodes", &self.graph.node_count())
+            .field("now", &self.now)
+            .field("queued", &self.queue.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::Silent;
+    use crate::scheduler::{EdgeDelay, FixedDelay, RandomDelay};
+    use dbac_graph::generators;
+
+    fn id(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// Floods a counter value; each node remembers everything it heard.
+    struct Gossip {
+        input: u64,
+        heard: Vec<(NodeId, u64)>,
+    }
+
+    impl Process for Gossip {
+        type Message = u64;
+        fn on_start(&mut self, ctx: &mut Context<u64>) {
+            ctx.broadcast(&self.input);
+        }
+        fn on_message(&mut self, _ctx: &mut Context<u64>, from: NodeId, msg: u64) {
+            self.heard.push((from, msg));
+        }
+    }
+
+    fn gossip_sim(n: usize, policy: Box<dyn DeliveryPolicy + Send>) -> Simulation<Gossip> {
+        let g = Arc::new(generators::clique(n));
+        let mut sim = Simulation::new(g, policy);
+        for i in 0..n {
+            sim.set_honest(id(i), Gossip { input: i as u64 * 10, heard: Vec::new() });
+        }
+        sim
+    }
+
+    #[test]
+    fn delivers_every_broadcast() {
+        let mut sim = gossip_sim(4, Box::new(FixedDelay::new(1)));
+        let stats = sim.run().unwrap();
+        assert_eq!(stats.messages_sent, 12);
+        assert_eq!(stats.messages_delivered, 12);
+        assert_eq!(stats.messages_undelivered, 0);
+        for i in 0..4 {
+            let p = sim.honest(id(i)).unwrap();
+            assert_eq!(p.heard.len(), 3);
+        }
+    }
+
+    #[test]
+    fn unassigned_node_is_an_error() {
+        let g = Arc::new(generators::clique(2));
+        let mut sim: Simulation<Gossip> = Simulation::new(g, Box::new(FixedDelay::new(1)));
+        sim.set_honest(id(0), Gossip { input: 0, heard: Vec::new() });
+        assert_eq!(sim.run().unwrap_err(), SimError::UnassignedNode { node: 1 });
+    }
+
+    #[test]
+    fn deterministic_under_random_policy() {
+        let run = |seed: u64| {
+            let mut sim = gossip_sim(5, Box::new(RandomDelay::new(seed, 1, 9)));
+            sim.record_trace();
+            sim.run().unwrap();
+            sim.trace().unwrap().clone()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4), "different seeds give different schedules");
+    }
+
+    #[test]
+    fn horizon_holds_back_far_future_messages() {
+        let g = Arc::new(generators::clique(2));
+        let mut policy = EdgeDelay::new(Box::new(FixedDelay::new(1)));
+        policy.delay_edge(id(0), id(1), VirtualTime::FAR_FUTURE.ticks());
+        let mut sim = Simulation::new(g, Box::new(policy));
+        sim.set_honest(id(0), Gossip { input: 1, heard: Vec::new() });
+        sim.set_honest(id(1), Gossip { input: 2, heard: Vec::new() });
+        sim.set_horizon(VirtualTime::new(1_000));
+        let stats = sim.run().unwrap();
+        assert_eq!(stats.messages_delivered, 1, "only 1 -> 0 arrives");
+        assert_eq!(stats.messages_undelivered, 1);
+        assert!(sim.honest(id(1)).unwrap().heard.is_empty());
+    }
+
+    #[test]
+    fn byzantine_silent_node_sends_nothing() {
+        let g = Arc::new(generators::clique(3));
+        let mut sim: Simulation<Gossip> = Simulation::new(g, Box::new(FixedDelay::new(1)));
+        sim.set_honest(id(0), Gossip { input: 0, heard: Vec::new() });
+        sim.set_honest(id(1), Gossip { input: 1, heard: Vec::new() });
+        sim.set_byzantine(id(2), Box::new(Silent));
+        let stats = sim.run().unwrap();
+        assert_eq!(stats.messages_sent, 4, "two honest broadcasts of two messages");
+        assert_eq!(sim.honest(id(0)).unwrap().heard.len(), 1);
+    }
+
+    #[test]
+    fn event_budget_enforced() {
+        /// Two nodes ping-pong forever.
+        struct PingPong;
+        impl Process for PingPong {
+            type Message = u64;
+            fn on_start(&mut self, ctx: &mut Context<u64>) {
+                ctx.broadcast(&0);
+            }
+            fn on_message(&mut self, ctx: &mut Context<u64>, _from: NodeId, msg: u64) {
+                ctx.broadcast(&(msg + 1));
+            }
+        }
+        let g = Arc::new(generators::clique(2));
+        let mut sim = Simulation::new(g, Box::new(FixedDelay::new(1)));
+        sim.set_honest(id(0), PingPong);
+        sim.set_honest(id(1), PingPong);
+        sim.set_max_events(100);
+        assert!(matches!(sim.run().unwrap_err(), SimError::EventBudgetExhausted { .. }));
+    }
+
+    #[test]
+    fn trace_records_deliveries_in_order() {
+        let mut sim = gossip_sim(3, Box::new(FixedDelay::new(2)));
+        sim.record_trace();
+        sim.run().unwrap();
+        let trace = sim.trace().unwrap();
+        assert_eq!(trace.len(), 6);
+        let times: Vec<u64> = trace.events().iter().map(|e| e.at.ticks()).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted);
+    }
+
+    #[test]
+    fn stats_final_time_matches_last_delivery() {
+        let mut sim = gossip_sim(2, Box::new(FixedDelay::new(7)));
+        let stats = sim.run().unwrap();
+        assert_eq!(stats.final_time, VirtualTime::new(7));
+        assert_eq!(sim.now(), VirtualTime::new(7));
+    }
+}

@@ -1,0 +1,299 @@
+//! Thread-per-node runtime over crossbeam channels.
+//!
+//! The discrete-event simulator is the primary, deterministic runtime;
+//! this runtime runs the *same* [`Process`] state machines under genuine
+//! OS-level concurrency, with reliable unbounded channels standing in for
+//! the paper's reliable asynchronous links. It demonstrates that the
+//! protocol logic is event-driven and insensitive to real interleavings,
+//! and it backs the crate's stress tests.
+
+use crate::error::SimError;
+use crate::process::{Adversary, Context, Process};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use dbac_graph::{Digraph, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration for a threaded run.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadedConfig {
+    /// Wall-clock limit for the whole run.
+    pub timeout: Duration,
+    /// Upper bound (exclusive) on the random per-send delay, in
+    /// microseconds; 0 disables injected jitter.
+    pub jitter_micros: u64,
+    /// Seed for the per-thread jitter generators.
+    pub seed: u64,
+}
+
+impl Default for ThreadedConfig {
+    fn default() -> Self {
+        ThreadedConfig { timeout: Duration::from_secs(30), jitter_micros: 50, seed: 0 }
+    }
+}
+
+enum Actor<P: Process> {
+    Honest(P),
+    Byzantine(Box<dyn Adversary<P::Message> + Send>),
+}
+
+/// A thread-per-node execution. Assign an actor to every node, then
+/// [`run`](Threaded::run).
+pub struct Threaded<P: Process> {
+    graph: Arc<Digraph>,
+    actors: Vec<Option<Actor<P>>>,
+}
+
+impl<P> Threaded<P>
+where
+    P: Process + Send + 'static,
+    P::Message: Send,
+{
+    /// Creates a threaded execution over `graph`.
+    #[must_use]
+    pub fn new(graph: Arc<Digraph>) -> Self {
+        let n = graph.node_count();
+        Threaded { graph, actors: (0..n).map(|_| None).collect() }
+    }
+
+    /// Assigns an honest process to `v`.
+    pub fn set_honest(&mut self, v: NodeId, process: P) -> &mut Self {
+        self.actors[v.index()] = Some(Actor::Honest(process));
+        self
+    }
+
+    /// Assigns a Byzantine adversary to `v`.
+    pub fn set_byzantine(
+        &mut self,
+        v: NodeId,
+        adversary: Box<dyn Adversary<P::Message> + Send>,
+    ) -> &mut Self {
+        self.actors[v.index()] = Some(Actor::Byzantine(adversary));
+        self
+    }
+
+    /// Runs every node on its own thread until each honest node satisfies
+    /// `done` (nodes keep relaying after finishing, so slower nodes are
+    /// never starved), then stops the network and hands back the final
+    /// process states (`None` for Byzantine slots).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnassignedNode`] if a node has no actor,
+    /// [`SimError::Timeout`] if the wall-clock limit expires first, and
+    /// [`SimError::WorkerPanicked`] if a node thread panicked.
+    pub fn run(
+        mut self,
+        done: impl Fn(&P) -> bool + Send + Sync + 'static,
+        config: ThreadedConfig,
+    ) -> Result<Vec<Option<P>>, SimError> {
+        if let Some(missing) = self.actors.iter().position(Option::is_none) {
+            return Err(SimError::UnassignedNode { node: missing });
+        }
+        let n = self.graph.node_count();
+        let honest_total =
+            self.actors.iter().filter(|a| matches!(a, Some(Actor::Honest(_)))).count();
+
+        let mut senders: Vec<Sender<(NodeId, P::Message)>> = Vec::with_capacity(n);
+        let mut receivers: Vec<Option<Receiver<(NodeId, P::Message)>>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(Some(rx));
+        }
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let done_count = Arc::new(AtomicUsize::new(0));
+        let done = Arc::new(done);
+
+        let mut handles = Vec::with_capacity(n);
+        for i in 0..n {
+            let me = NodeId::new(i);
+            let actor = self.actors[i].take().expect("checked above");
+            let rx = receivers[i].take().expect("taken once");
+            let graph = Arc::clone(&self.graph);
+            let senders = senders.clone();
+            let stop = Arc::clone(&stop);
+            let done_count = Arc::clone(&done_count);
+            let done = Arc::clone(&done);
+            let jitter = config.jitter_micros;
+            let mut rng = SmallRng::seed_from_u64(config.seed ^ (i as u64).wrapping_mul(0x9E37));
+
+            handles.push(std::thread::spawn(move || {
+                let mut actor = actor;
+                let mut reported_done = false;
+                let out = graph.out_neighbors(me);
+                let dispatch = |ctx: &mut Context<P::Message>, rng: &mut SmallRng| {
+                    for (to, msg) in ctx.take_outbox() {
+                        if jitter > 0 {
+                            std::thread::sleep(Duration::from_micros(rng.gen_range(0..jitter)));
+                        }
+                        // Receiver may already have shut down; ignore.
+                        let _ = senders[to.index()].send((me, msg));
+                    }
+                };
+                let check_done = |actor: &Actor<P>, reported: &mut bool| {
+                    if !*reported {
+                        if let Actor::Honest(p) = actor {
+                            if done(p) {
+                                *reported = true;
+                                done_count.fetch_add(1, Ordering::SeqCst);
+                            }
+                        }
+                    }
+                };
+
+                let mut ctx = Context::new(me, out);
+                match &mut actor {
+                    Actor::Honest(p) => p.on_start(&mut ctx),
+                    Actor::Byzantine(a) => a.on_start(&mut ctx),
+                }
+                dispatch(&mut ctx, &mut rng);
+                check_done(&actor, &mut reported_done);
+
+                while !stop.load(Ordering::SeqCst) {
+                    match rx.recv_timeout(Duration::from_millis(1)) {
+                        Ok((from, msg)) => {
+                            let mut ctx = Context::new(me, out);
+                            match &mut actor {
+                                Actor::Honest(p) => p.on_message(&mut ctx, from, msg),
+                                Actor::Byzantine(a) => a.on_message(&mut ctx, from, msg),
+                            }
+                            dispatch(&mut ctx, &mut rng);
+                            check_done(&actor, &mut reported_done);
+                        }
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+                match actor {
+                    Actor::Honest(p) => Some(p),
+                    Actor::Byzantine(_) => None,
+                }
+            }));
+        }
+
+        // Wait for completion or timeout.
+        let deadline = Instant::now() + config.timeout;
+        let completed = loop {
+            let completed = done_count.load(Ordering::SeqCst);
+            if completed >= honest_total {
+                break completed;
+            }
+            if Instant::now() >= deadline {
+                break completed;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        stop.store(true, Ordering::SeqCst);
+        drop(senders);
+
+        let mut out = Vec::with_capacity(n);
+        let mut panicked = false;
+        for h in handles {
+            match h.join() {
+                Ok(p) => out.push(p),
+                Err(_) => {
+                    panicked = true;
+                    out.push(None);
+                }
+            }
+        }
+        if panicked {
+            return Err(SimError::WorkerPanicked);
+        }
+        if completed < honest_total {
+            return Err(SimError::Timeout { completed, expected: honest_total });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::Silent;
+    use dbac_graph::generators;
+
+    fn id(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// Collects one value from every in-neighbor, then is done.
+    #[derive(Debug)]
+    struct Collect {
+        expected: usize,
+        input: u64,
+        heard: Vec<u64>,
+    }
+
+    impl Process for Collect {
+        type Message = u64;
+        fn on_start(&mut self, ctx: &mut Context<u64>) {
+            ctx.broadcast(&self.input);
+        }
+        fn on_message(&mut self, _ctx: &mut Context<u64>, _from: NodeId, msg: u64) {
+            self.heard.push(msg);
+        }
+    }
+
+    #[test]
+    fn threaded_clique_gossip_completes() {
+        let g = Arc::new(generators::clique(4));
+        let mut t = Threaded::new(g);
+        for i in 0..4 {
+            t.set_honest(id(i), Collect { expected: 3, input: i as u64, heard: Vec::new() });
+        }
+        let out = t
+            .run(
+                |p| p.heard.len() >= p.expected,
+                ThreadedConfig { timeout: Duration::from_secs(10), jitter_micros: 20, seed: 1 },
+            )
+            .unwrap();
+        for p in out.iter().flatten() {
+            assert!(p.heard.len() >= 3);
+        }
+    }
+
+    #[test]
+    fn threaded_with_byzantine_silent() {
+        let g = Arc::new(generators::clique(3));
+        let mut t = Threaded::new(g);
+        t.set_honest(id(0), Collect { expected: 1, input: 0, heard: Vec::new() });
+        t.set_honest(id(1), Collect { expected: 1, input: 1, heard: Vec::new() });
+        t.set_byzantine(id(2), Box::new(Silent));
+        let out = t
+            .run(|p| p.heard.len() >= p.expected, ThreadedConfig::default())
+            .unwrap();
+        assert!(out[0].is_some() && out[1].is_some());
+        assert!(out[2].is_none(), "byzantine slot returns no process");
+    }
+
+    #[test]
+    fn threaded_timeout_reports_progress() {
+        let g = Arc::new(generators::clique(2));
+        let mut t = Threaded::new(g);
+        for i in 0..2 {
+            t.set_honest(id(i), Collect { expected: 99, input: 0, heard: Vec::new() });
+        }
+        let err = t
+            .run(
+                |p| p.heard.len() >= p.expected,
+                ThreadedConfig { timeout: Duration::from_millis(50), jitter_micros: 0, seed: 0 },
+            )
+            .unwrap_err();
+        assert!(matches!(err, SimError::Timeout { completed: 0, expected: 2 }));
+    }
+
+    #[test]
+    fn threaded_unassigned_node() {
+        let g = Arc::new(generators::clique(2));
+        let mut t: Threaded<Collect> = Threaded::new(g);
+        t.set_honest(id(0), Collect { expected: 0, input: 0, heard: Vec::new() });
+        let err = t.run(|_| true, ThreadedConfig::default()).unwrap_err();
+        assert_eq!(err, SimError::UnassignedNode { node: 1 });
+    }
+}

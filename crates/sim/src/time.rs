@@ -1,0 +1,77 @@
+//! Virtual time for the discrete-event simulator.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Add;
+
+/// A point in virtual time. Purely logical — the paper's asynchronous model
+/// has no clocks; virtual time only orders event delivery and expresses
+/// adversarial delays (e.g. the Appendix-B bound `T`).
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct VirtualTime(u64);
+
+impl VirtualTime {
+    /// Time zero, when `on_start` handlers run.
+    pub const ZERO: VirtualTime = VirtualTime(0);
+
+    /// A time far beyond any realistic simulation horizon; used by
+    /// adversarial schedulers to model "delayed past the decision point".
+    pub const FAR_FUTURE: VirtualTime = VirtualTime(u64::MAX / 2);
+
+    /// Creates a time from raw ticks.
+    #[must_use]
+    pub fn new(ticks: u64) -> Self {
+        VirtualTime(ticks)
+    }
+
+    /// Raw tick count.
+    #[must_use]
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// This time advanced by `delay` ticks (saturating).
+    #[must_use]
+    pub fn after(self, delay: u64) -> Self {
+        VirtualTime(self.0.saturating_add(delay))
+    }
+}
+
+impl Add<u64> for VirtualTime {
+    type Output = VirtualTime;
+    fn add(self, rhs: u64) -> VirtualTime {
+        self.after(rhs)
+    }
+}
+
+impl fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        let t = VirtualTime::new(5);
+        assert!(VirtualTime::ZERO < t);
+        assert_eq!(t.after(3), VirtualTime::new(8));
+        assert_eq!(t + 3, VirtualTime::new(8));
+        assert_eq!(t.ticks(), 5);
+    }
+
+    #[test]
+    fn saturation() {
+        assert_eq!(VirtualTime::new(u64::MAX).after(10).ticks(), u64::MAX);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(VirtualTime::new(42).to_string(), "t42");
+    }
+}

@@ -1,0 +1,31 @@
+//! The same protocol, real threads: runs BW over the crossbeam-channel
+//! thread-per-node runtime instead of the deterministic simulator —
+//! genuine OS-level asynchrony.
+//!
+//! ```text
+//! cargo run --release --example threaded_runtime
+//! ```
+
+use dbac::core::adversary::AdversaryKind;
+use dbac::core::run::{run_byzantine_consensus_threaded, RunConfig};
+use dbac::graph::{generators, NodeId};
+use std::time::Duration;
+
+fn main() {
+    let cfg = RunConfig::builder(generators::clique(4), 1)
+        .inputs(vec![1.0, 9.0, 3.0, 0.0])
+        .epsilon(0.5)
+        .byzantine(NodeId::new(3), AdversaryKind::Equivocator { low: -50.0, high: 50.0 })
+        .seed(1)
+        .build()
+        .expect("valid configuration");
+
+    let out = run_byzantine_consensus_threaded(&cfg, Duration::from_secs(60))
+        .expect("threaded run completes");
+    println!("outputs (threads, real concurrency):");
+    for v in out.honest.iter() {
+        println!("  node {v}: {:.4}", out.outputs[v.index()].unwrap());
+    }
+    println!("spread {:.4}, converged {}, valid {}", out.spread(), out.converged(), out.valid());
+    assert!(out.converged() && out.valid());
+}

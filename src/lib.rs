@@ -1,0 +1,50 @@
+//! # dbac — Directed Byzantine Approximate Consensus
+//!
+//! A production-quality reproduction of *"Asynchronous Byzantine Approximate
+//! Consensus in Directed Networks"* (Sakavalas, Tseng, Vaidya — PODC 2020,
+//! arXiv:2004.09054).
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`graph`] — the directed-network substrate (node sets, paths, SCC,
+//!   disjoint paths, generators including the paper's Figure 1 graphs).
+//! * [`conditions`] — the paper's topological conditions: reach sets,
+//!   reduced graphs, source components, the k-reach family, CCS/CCA/BCS,
+//!   f-covers and the propagation relation.
+//! * [`sim`] — asynchronous message-passing runtimes: a deterministic
+//!   discrete-event simulator with adversarial schedulers and a
+//!   thread-per-node runtime.
+//! * [`core`] — the paper's algorithm: RedundantFlood, FIFO flooding,
+//!   Algorithm BW (Byzantine Witness), Algorithm 2 (Completeness),
+//!   Algorithm 3 (Filter-and-Average), and the crash-tolerant 2-reach
+//!   variant.
+//! * [`baselines`] — Bracha reliable broadcast, the Abraham–Amit–Dolev 2004
+//!   witness algorithm for complete networks, and iterative trimmed-mean
+//!   consensus.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dbac::conditions::kreach;
+//! use dbac::core::run::{run_byzantine_consensus, RunConfig};
+//! use dbac::graph::generators;
+//!
+//! // A complete network on 4 nodes tolerates f = 1 (n > 3f ⇔ 3-reach).
+//! let g = generators::clique(4);
+//! assert!(kreach::three_reach(&g, 1).holds());
+//!
+//! let cfg = RunConfig::builder(g, 1)
+//!     .inputs(vec![0.0, 10.0, 4.0, 6.0])
+//!     .epsilon(0.5)
+//!     .seed(7)
+//!     .build()
+//!     .expect("valid configuration");
+//! let outcome = run_byzantine_consensus(&cfg).expect("run succeeds");
+//! assert!(outcome.converged());
+//! ```
+
+pub use dbac_baselines as baselines;
+pub use dbac_conditions as conditions;
+pub use dbac_core as core;
+pub use dbac_graph as graph;
+pub use dbac_sim as sim;

@@ -1,0 +1,92 @@
+//! Failure injection: every Byzantine strategy in the library against the
+//! full protocol. Convergence and validity must survive them all — the
+//! paper's Theorem 4 promises exactly that on 3-reach graphs.
+
+use dbac::core::adversary::AdversaryKind;
+use dbac::core::run::{run_byzantine_consensus, RunConfig};
+use dbac::graph::generators;
+use dbac::graph::NodeId;
+
+fn strategies() -> Vec<(&'static str, AdversaryKind)> {
+    vec![
+        ("crash", AdversaryKind::Crash),
+        ("liar-high", AdversaryKind::ConstantLiar { value: 1e9 }),
+        ("liar-low", AdversaryKind::ConstantLiar { value: -1e9 }),
+        ("equivocator", AdversaryKind::Equivocator { low: -500.0, high: 500.0 }),
+        ("relay-tamperer", AdversaryKind::RelayTamperer { spoof: 123.0 }),
+        ("path-fabricator", AdversaryKind::PathFabricator { forged_value: -77.0 }),
+        ("chaotic-1", AdversaryKind::Chaotic { seed: 1 }),
+        ("chaotic-2", AdversaryKind::Chaotic { seed: 2 }),
+    ]
+}
+
+#[test]
+fn every_strategy_on_k4() {
+    for (label, kind) in strategies() {
+        let cfg = RunConfig::builder(generators::clique(4), 1)
+            .inputs(vec![2.0, 4.0, 6.0, 0.0])
+            .epsilon(0.5)
+            .byzantine(NodeId::new(3), kind)
+            .seed(11)
+            .build()
+            .unwrap();
+        let out = run_byzantine_consensus(&cfg).unwrap();
+        assert!(out.all_decided(), "{label}: honest node undecided");
+        assert!(out.converged(), "{label}: spread {}", out.spread());
+        assert!(out.valid(), "{label}: validity broken: {:?}", out.outputs);
+    }
+}
+
+#[test]
+fn every_strategy_on_figure_1a() {
+    for (label, kind) in strategies() {
+        let cfg = RunConfig::builder(generators::figure_1a(), 1)
+            .inputs(vec![1.0, 3.0, 5.0, 7.0, 0.0])
+            .epsilon(1.0)
+            .byzantine(NodeId::new(4), kind)
+            .seed(17)
+            .build()
+            .unwrap();
+        let out = run_byzantine_consensus(&cfg).unwrap();
+        assert!(out.converged() && out.valid(), "{label} on figure 1a failed");
+    }
+}
+
+#[test]
+fn byzantine_position_does_not_matter_on_k4() {
+    for position in 0..4usize {
+        let mut inputs = vec![2.0, 4.0, 6.0, 8.0];
+        inputs[position] = 0.0; // ignored
+        let cfg = RunConfig::builder(generators::clique(4), 1)
+            .inputs(inputs)
+            .epsilon(0.5)
+            .byzantine(NodeId::new(position), AdversaryKind::ConstantLiar { value: -1e6 })
+            .seed(23)
+            .build()
+            .unwrap();
+        let out = run_byzantine_consensus(&cfg).unwrap();
+        assert!(out.converged() && out.valid(), "liar at position {position}");
+    }
+}
+
+#[test]
+fn spread_halving_survives_adversaries() {
+    for (label, kind) in strategies() {
+        let cfg = RunConfig::builder(generators::clique(4), 1)
+            .inputs(vec![0.0, 16.0, 4.0, 8.0])
+            .epsilon(0.25)
+            .range((0.0, 16.0))
+            .byzantine(NodeId::new(3), kind)
+            .seed(29)
+            .build()
+            .unwrap();
+        let out = run_byzantine_consensus(&cfg).unwrap();
+        let spreads = out.spread_by_round();
+        for (r, w) in spreads.windows(2).enumerate() {
+            assert!(
+                w[1] <= w[0] / 2.0 + 1e-12,
+                "{label}: halving broken at round {r}: {spreads:?}"
+            );
+        }
+    }
+}

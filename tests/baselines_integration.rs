@@ -1,0 +1,150 @@
+//! Integration across the baseline algorithms and the crash-tolerant
+//! variant: the Table 2 / E9 / E10 claims at test scale.
+
+use dbac::baselines::aad04::{run_aad04, AadAdversary};
+use dbac::baselines::iterative::{is_r_s_robust, run_iterative, IterStrategy};
+use dbac::conditions::kreach::{three_reach, two_reach};
+use dbac::core::adversary::AdversaryKind;
+use dbac::core::crash::run_crash_consensus;
+use dbac::core::run::{run_byzantine_consensus, RunConfig};
+use dbac::graph::{generators, NodeId};
+
+#[test]
+fn crash_protocol_matches_two_reach_feasibility() {
+    // K3 satisfies 2-reach for f=1: the crash protocol works there even
+    // though Byzantine consensus is impossible (3-reach fails).
+    let g = generators::clique(3);
+    assert!(two_reach(&g, 1).holds());
+    assert!(!three_reach(&g, 1).holds());
+    let out =
+        run_crash_consensus(g, 1, &[0.0, 6.0, 3.0], 0.5, &[(NodeId::new(2), 1)], 3).unwrap();
+    assert!(out.converged() && out.valid());
+}
+
+#[test]
+fn aad04_and_bw_agree_on_cliques() {
+    // E9: the generalization is conservative — both algorithms solve the
+    // same instances on complete networks.
+    let inputs = vec![1.0, 5.0, 3.0, 0.0];
+    let byz = NodeId::new(3);
+
+    let bw_cfg = RunConfig::builder(generators::clique(4), 1)
+        .inputs(inputs.clone())
+        .epsilon(0.5)
+        .byzantine(byz, AdversaryKind::ConstantLiar { value: -1e5 })
+        .seed(7)
+        .build()
+        .unwrap();
+    let bw = run_byzantine_consensus(&bw_cfg).unwrap();
+    assert!(bw.converged() && bw.valid());
+
+    let aad =
+        run_aad04(4, 1, &inputs, 0.5, &[(byz, AadAdversary::ConstantLiar { value: -1e5 })], 7)
+            .unwrap();
+    assert!(aad.converged() && aad.valid());
+
+    // Both respect the same honest hull [1, 5].
+    for v in bw.honest_outputs() {
+        assert!((1.0..=5.0).contains(&v));
+    }
+    for w in aad.honest.iter() {
+        let v = aad.outputs[w.index()].unwrap();
+        assert!((1.0..=5.0).contains(&v));
+    }
+}
+
+#[test]
+fn e10_separation_instance() {
+    // figure_1b_small: 3-reach holds, (2,2)-robustness fails — iterative
+    // local filtering stalls, BW converges.
+    let g = generators::figure_1b_small();
+    assert!(three_reach(&g, 1).holds());
+    assert!(!is_r_s_robust(&g, 2, 2));
+
+    let inputs = vec![0.0, 0.0, 0.0, 0.0, 10.0, 10.0, 10.0, 10.0];
+    let it = run_iterative(&g, 1, &inputs, &[], 60);
+    assert!(it.final_spread() > 9.0, "iterative should stall at {}", it.final_spread());
+
+    // A crashed node keeps this affordable in debug builds (the release
+    // `baseline_compare` binary runs the all-honest + liar variants).
+    let cfg = RunConfig::builder(g, 1)
+        .inputs(inputs)
+        .epsilon(4.0)
+        .byzantine(NodeId::new(7), dbac::core::adversary::AdversaryKind::Crash)
+        .seed(3)
+        .build()
+        .unwrap();
+    let out = run_byzantine_consensus(&cfg).unwrap();
+    assert!(out.converged() && out.valid(), "BW must converge where W-MSR stalls");
+}
+
+#[test]
+fn iterative_works_where_robustness_holds() {
+    let g = generators::clique(5);
+    assert!(is_r_s_robust(&g, 2, 2));
+    let run = run_iterative(
+        &g,
+        1,
+        &[0.0, 1.0, 2.0, 3.0, 0.0],
+        &[(NodeId::new(4), IterStrategy::Ramp { base: -10.0, slope: -5.0 })],
+        80,
+    );
+    assert!(run.final_spread() < 1e-6);
+    assert!(run.valid());
+}
+
+#[test]
+fn crash_protocol_with_two_faults() {
+    // f = 2 end-to-end (the BW protocol's f = 2 instances are beyond test
+    // budgets, but the simple-path crash protocol handles them easily).
+    let g = generators::clique(6);
+    assert!(two_reach(&g, 2).holds());
+    let inputs: Vec<f64> = (0..6).map(|i| i as f64).collect();
+    let out = run_crash_consensus(
+        g,
+        2,
+        &inputs,
+        0.5,
+        &[(NodeId::new(4), 0), (NodeId::new(5), 7)],
+        13,
+    )
+    .unwrap();
+    assert!(out.converged() && out.valid());
+    assert!(out.outputs[4].is_none() && out.outputs[5].is_none());
+}
+
+#[test]
+fn aad04_with_two_faults() {
+    let inputs: Vec<f64> = (0..7).map(|i| i as f64).collect();
+    let out = run_aad04(
+        7,
+        2,
+        &inputs,
+        0.5,
+        &[
+            (NodeId::new(5), AadAdversary::Crash),
+            (NodeId::new(6), AadAdversary::ConstantLiar { value: 1e8 }),
+        ],
+        21,
+    )
+    .unwrap();
+    assert!(out.converged() && out.valid());
+}
+
+#[test]
+fn crash_protocol_on_all_feasible_catalog_graphs() {
+    for inst in dbac_bench::catalog::feasible_instances() {
+        let n = inst.graph.node_count();
+        let inputs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let out = run_crash_consensus(
+            inst.graph.clone(),
+            inst.f,
+            &inputs,
+            0.5,
+            &[(NodeId::new(0), 3)],
+            11,
+        )
+        .unwrap();
+        assert!(out.converged() && out.valid(), "{} crash run failed", inst.name);
+    }
+}

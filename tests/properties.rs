@@ -1,0 +1,225 @@
+//! Property-based tests (proptest) over random digraphs: the paper's
+//! structural claims as universally quantified invariants.
+
+use dbac::conditions::cover::{find_cover, is_cover};
+use dbac::conditions::kreach::{one_reach, three_reach, two_reach};
+use dbac::conditions::partition::{bcs, cca, ccs};
+use dbac::conditions::reach::reach_set;
+use dbac::conditions::reduced::source_component;
+use dbac::graph::maxflow::max_vertex_disjoint_paths;
+use dbac::graph::paths::{is_reachable, redundant_paths_ending_at, simple_paths_ending_at};
+use dbac::graph::scc::is_strongly_connected_within;
+use dbac::graph::subsets::subsets_up_to;
+use dbac::graph::{Digraph, NodeId, NodeSet, Path, PathBudget};
+use proptest::prelude::*;
+
+/// Strategy: a digraph on `n` nodes from an edge bitmask.
+fn digraph(n: usize) -> impl Strategy<Value = Digraph> {
+    let pairs: Vec<(usize, usize)> =
+        (0..n).flat_map(|u| (0..n).filter(move |&v| v != u).map(move |v| (u, v))).collect();
+    let bits = pairs.len();
+    (0u64..(1u64 << bits)).prop_map(move |mask| {
+        let mut g = Digraph::new(n).unwrap();
+        for (i, &(u, v)) in pairs.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                g.add_edge(NodeId::new(u), NodeId::new(v)).unwrap();
+            }
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 17: the partition conditions coincide with the reach family.
+    #[test]
+    fn theorem_17_equivalences(g in digraph(4), f in 0usize..2) {
+        prop_assert_eq!(one_reach(&g, f).holds(), ccs(&g, f).holds());
+        prop_assert_eq!(two_reach(&g, f).holds(), cca(&g, f).holds());
+        prop_assert_eq!(three_reach(&g, f).holds(), bcs(&g, f).holds());
+    }
+
+    /// Reach sets are antitone in the removal set and always contain v.
+    #[test]
+    fn reach_set_monotonicity(g in digraph(5), a in 0u64..32, b in 0u64..32) {
+        let small = NodeSet::from_bits((a & b) as u128);
+        let large = NodeSet::from_bits((a | b) as u128);
+        for v in g.nodes() {
+            if large.contains(v) { continue; }
+            let r_small = reach_set(&g, v, small);
+            let r_large = reach_set(&g, v, large);
+            prop_assert!(r_large.is_subset(r_small), "antitone violated");
+            prop_assert!(r_small.contains(v));
+            // Every member really reaches v in the reduced graph.
+            let keep = small.complement_in(5);
+            let sub = g.induced(keep);
+            for u in r_small.iter() {
+                prop_assert!(is_reachable(&sub, u, v));
+            }
+        }
+    }
+
+    /// 3-reach ⇒ 2-reach ⇒ 1-reach (the conditions form a hierarchy).
+    #[test]
+    fn reach_condition_hierarchy(g in digraph(5), f in 0usize..2) {
+        if three_reach(&g, f).holds() {
+            prop_assert!(two_reach(&g, f).holds());
+        }
+        if two_reach(&g, f).holds() {
+            prop_assert!(one_reach(&g, f).holds());
+        }
+    }
+
+    /// Source components are strongly connected, silenced-free, and
+    /// symmetric in their two arguments (Definition 6 remarks).
+    #[test]
+    fn source_component_invariants(g in digraph(5), f1 in 0u64..32, f2 in 0u64..32) {
+        let f1 = NodeSet::from_bits(f1 as u128);
+        let f2 = NodeSet::from_bits(f2 as u128);
+        let s = source_component(&g, f1, f2);
+        prop_assert_eq!(s, source_component(&g, f2, f1));
+        prop_assert!(s.is_disjoint(f1 | f2));
+        let reduced = g.reduced(f1, f2);
+        prop_assert!(is_strongly_connected_within(&reduced, s));
+    }
+
+    /// Menger duality on small graphs: the max number of disjoint paths
+    /// equals the min vertex cut (brute-forced).
+    #[test]
+    fn menger_duality(g in digraph(5)) {
+        let s = NodeId::new(0);
+        let t = NodeId::new(4);
+        let flow = max_vertex_disjoint_paths(&g, s, t);
+        // Brute-force min cut: smallest C ⊆ V∖{s,t} whose removal breaks
+        // reachability; the direct edge is uncuttable.
+        let candidates = NodeSet::universe(5)
+            - NodeSet::singleton(s)
+            - NodeSet::singleton(t);
+        let mut min_cut = usize::MAX;
+        for cut in subsets_up_to(candidates, 3) {
+            let keep = cut.complement_in(5);
+            if !is_reachable(&g.induced(keep), s, t) {
+                min_cut = min_cut.min(cut.len());
+            }
+        }
+        if g.has_edge(s, t) {
+            // With a direct edge no vertex cut exists; flow ≥ 1.
+            prop_assert!(flow >= 1);
+        } else if min_cut != usize::MAX {
+            prop_assert_eq!(flow, min_cut, "Menger violated");
+        } else {
+            // Not disconnectable by removing ≤3 internals = all of them.
+            prop_assert!(flow >= 1 || !is_reachable(&g, s, t));
+        }
+    }
+
+    /// Path enumeration invariants: redundant ⊇ simple; all end correctly;
+    /// everything validates against the graph.
+    #[test]
+    fn path_enumeration_invariants(g in digraph(4)) {
+        let v = NodeId::new(0);
+        let budget = PathBudget::default();
+        let simple = simple_paths_ending_at(&g, v, NodeSet::EMPTY, budget).unwrap();
+        let redundant = redundant_paths_ending_at(&g, v, NodeSet::EMPTY, budget).unwrap();
+        prop_assert!(redundant.len() >= simple.len());
+        for p in &simple {
+            prop_assert!(p.is_simple() && p.ter() == v && p.is_valid_in(&g));
+            prop_assert!(redundant.contains(p));
+        }
+        for p in &redundant {
+            prop_assert!(p.is_redundant() && p.ter() == v && p.is_valid_in(&g));
+            prop_assert!(p.node_count() <= 2 * g.node_count());
+        }
+    }
+
+    /// Cover search returns genuine witnesses and agrees with brute force.
+    #[test]
+    fn cover_search_sound_and_complete(
+        paths in prop::collection::vec(0u64..64, 1..6),
+        f in 0usize..3,
+    ) {
+        let paths: Vec<NodeSet> = paths
+            .into_iter()
+            .map(|bits| NodeSet::from_bits((bits | 1) as u128)) // non-empty
+            .collect();
+        let allowed = NodeSet::universe(6);
+        let found = find_cover(&paths, f, allowed);
+        let brute = subsets_up_to(allowed, f)
+            .into_iter()
+            .any(|c| is_cover(&paths, f, c));
+        prop_assert_eq!(found.is_some(), brute);
+        if let Some(c) = found {
+            prop_assert!(is_cover(&paths, f, c));
+            prop_assert!(c.is_subset(allowed));
+        }
+    }
+
+    /// End-to-end protocol property: on K4 (3-reach for f = 1), any
+    /// inputs, any seed and any single Byzantine strategy yield
+    /// convergence and validity — Definition 1 as a random test.
+    #[test]
+    fn bw_end_to_end_on_k4(
+        raw in prop::collection::vec(0.0f64..100.0, 3),
+        seed in 0u64..1000,
+        strategy in 0usize..4,
+    ) {
+        use dbac::core::adversary::AdversaryKind;
+        use dbac::core::run::{run_byzantine_consensus, RunConfig};
+        let kind = match strategy {
+            0 => AdversaryKind::Crash,
+            1 => AdversaryKind::ConstantLiar { value: 1e6 },
+            2 => AdversaryKind::Equivocator { low: -1e3, high: 1e3 },
+            _ => AdversaryKind::Chaotic { seed },
+        };
+        let inputs = vec![raw[0], raw[1], raw[2], 0.0];
+        let cfg = RunConfig::builder(dbac::graph::generators::clique(4), 1)
+            .inputs(inputs)
+            .epsilon(1.0)
+            .byzantine(NodeId::new(3), kind)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let out = run_byzantine_consensus(&cfg).unwrap();
+        prop_assert!(out.all_decided());
+        prop_assert!(out.converged(), "spread {}", out.spread());
+        prop_assert!(out.valid(), "outputs {:?}", out.outputs);
+    }
+
+    /// Crash-protocol property: on any random 5-node digraph satisfying
+    /// 2-reach, the crash-tolerant protocol with a random mid-protocol
+    /// crash converges validly (the paper's Table 2 async-crash cell).
+    #[test]
+    fn crash_protocol_on_random_two_reach_graphs(
+        g in digraph(5),
+        victim in 0usize..5,
+        budget in 0usize..20,
+        seed in 0u64..100,
+    ) {
+        use dbac::core::crash::run_crash_consensus;
+        prop_assume!(two_reach(&g, 1).holds());
+        let inputs: Vec<f64> = (0..5).map(|i| i as f64 * 2.0).collect();
+        let out = run_crash_consensus(
+            g,
+            1,
+            &inputs,
+            0.5,
+            &[(NodeId::new(victim), budget)],
+            seed,
+        ).unwrap();
+        prop_assert!(out.converged(), "outputs {:?}", out.outputs);
+        prop_assert!(out.valid());
+    }
+
+    /// Paths concatenate associatively with endpoints preserved.
+    #[test]
+    fn path_concat_endpoints(a in 0usize..4, b in 0usize..4, c in 0usize..4) {
+        prop_assume!(a != b && b != c);
+        let p = Path::from_nodes(vec![NodeId::new(a), NodeId::new(b)]).unwrap();
+        let q = Path::from_nodes(vec![NodeId::new(b), NodeId::new(c)]).unwrap();
+        let pq = p.concat(&q).unwrap();
+        prop_assert_eq!(pq.init(), NodeId::new(a));
+        prop_assert_eq!(pq.ter(), NodeId::new(c));
+        prop_assert_eq!(pq.len(), 2);
+    }
+}

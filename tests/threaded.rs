@@ -1,0 +1,48 @@
+//! The protocol under real OS concurrency: the thread-per-node runtime
+//! must reach the same guarantees as the deterministic simulator.
+
+use dbac::core::adversary::AdversaryKind;
+use dbac::core::run::{run_byzantine_consensus_threaded, RunConfig};
+use dbac::graph::{generators, NodeId};
+use std::time::Duration;
+
+#[test]
+fn threaded_k4_all_honest() {
+    let cfg = RunConfig::builder(generators::clique(4), 1)
+        .inputs(vec![0.0, 10.0, 4.0, 6.0])
+        .epsilon(0.5)
+        .seed(1)
+        .build()
+        .unwrap();
+    let out = run_byzantine_consensus_threaded(&cfg, Duration::from_secs(120)).unwrap();
+    assert!(out.all_decided());
+    assert!(out.converged(), "spread {}", out.spread());
+    assert!(out.valid());
+}
+
+#[test]
+fn threaded_k4_with_crash() {
+    let cfg = RunConfig::builder(generators::clique(4), 1)
+        .inputs(vec![2.0, 8.0, 4.0, 0.0])
+        .epsilon(0.5)
+        .byzantine(NodeId::new(3), AdversaryKind::Crash)
+        .seed(2)
+        .build()
+        .unwrap();
+    let out = run_byzantine_consensus_threaded(&cfg, Duration::from_secs(120)).unwrap();
+    assert!(out.converged() && out.valid());
+    assert!(out.outputs[3].is_none());
+}
+
+#[test]
+fn threaded_k4_with_liar() {
+    let cfg = RunConfig::builder(generators::clique(4), 1)
+        .inputs(vec![2.0, 8.0, 4.0, 0.0])
+        .epsilon(1.0)
+        .byzantine(NodeId::new(3), AdversaryKind::ConstantLiar { value: 1e6 })
+        .seed(3)
+        .build()
+        .unwrap();
+    let out = run_byzantine_consensus_threaded(&cfg, Duration::from_secs(120)).unwrap();
+    assert!(out.converged() && out.valid());
+}
