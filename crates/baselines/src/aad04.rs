@@ -89,7 +89,14 @@ impl AadNode {
     ///
     /// Panics unless `n > 3f`.
     #[must_use]
-    pub fn new(me: NodeId, n: usize, f: usize, input: f64, epsilon: f64, range: (f64, f64)) -> Self {
+    pub fn new(
+        me: NodeId,
+        n: usize,
+        f: usize,
+        input: f64,
+        epsilon: f64,
+        range: (f64, f64),
+    ) -> Self {
         AadNode {
             me,
             n,
@@ -199,9 +206,8 @@ impl AadNode {
                 if state.witnesses.contains(&u) {
                     continue;
                 }
-                let confirmed = entries
-                    .iter()
-                    .all(|(s, b)| state.values.get(s).is_some_and(|mine| mine == b));
+                let confirmed =
+                    entries.iter().all(|(s, b)| state.values.get(s).is_some_and(|mine| mine == b));
                 if confirmed {
                     state.witnesses.insert(u);
                 }
@@ -298,8 +304,7 @@ impl AadOutcome {
     /// All honest nodes decided within ε.
     #[must_use]
     pub fn converged(&self) -> bool {
-        let outs: Vec<f64> =
-            self.honest.iter().filter_map(|v| self.outputs[v.index()]).collect();
+        let outs: Vec<f64> = self.honest.iter().filter_map(|v| self.outputs[v.index()]).collect();
         if outs.len() < self.honest.len() {
             return false;
         }
@@ -448,10 +453,7 @@ mod tests {
             2,
             &inputs,
             0.5,
-            &[
-                (id(5), AadAdversary::Crash),
-                (id(6), AadAdversary::ConstantLiar { value: -1e6 }),
-            ],
+            &[(id(5), AadAdversary::Crash), (id(6), AadAdversary::ConstantLiar { value: -1e6 })],
             11,
         )
         .unwrap();

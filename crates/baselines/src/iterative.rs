@@ -141,9 +141,7 @@ impl IterativeRun {
         let hi = self.honest.iter().map(|v| first[v.index()]).fold(f64::NEG_INFINITY, f64::max);
         let lo = self.honest.iter().map(|v| first[v.index()]).fold(f64::INFINITY, f64::min);
         self.history.iter().all(|row| {
-            self.honest
-                .iter()
-                .all(|v| row[v.index()] >= lo - 1e-9 && row[v.index()] <= hi + 1e-9)
+            self.honest.iter().all(|v| row[v.index()] >= lo - 1e-9 && row[v.index()] <= hi + 1e-9)
         })
     }
 }
@@ -181,8 +179,7 @@ pub fn run_iterative(
         assert!(strategies[v.index()].is_none(), "faulty node listed twice");
         strategies[v.index()] = Some(s);
     }
-    let honest: NodeSet =
-        g.nodes().filter(|v| strategies[v.index()].is_none()).collect();
+    let honest: NodeSet = g.nodes().filter(|v| strategies[v.index()].is_none()).collect();
     let mut values = inputs.to_vec();
     let mut history = vec![values.clone()];
     for round in 0..rounds {
@@ -299,13 +296,7 @@ mod tests {
     #[test]
     fn silent_fault_is_harmless() {
         let g = generators::clique(4);
-        let run = run_iterative(
-            &g,
-            1,
-            &[0.0, 4.0, 8.0, 0.0],
-            &[(id(3), IterStrategy::Silent)],
-            40,
-        );
+        let run = run_iterative(&g, 1, &[0.0, 4.0, 8.0, 0.0], &[(id(3), IterStrategy::Silent)], 40);
         assert!(run.final_spread() < 1e-6);
         assert!(run.valid());
     }

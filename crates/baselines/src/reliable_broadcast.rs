@@ -125,20 +125,14 @@ impl<T: Clone + Eq + Hash> RbcEngine<T> {
                 }
             }
             RbcMsg::Echo { origin, seq, payload } => {
-                let senders = self
-                    .echoes
-                    .entry((origin, seq, payload.clone()))
-                    .or_default();
+                let senders = self.echoes.entry((origin, seq, payload.clone())).or_default();
                 senders.insert(from);
                 if senders.len() >= 2 * self.f + 1 && self.readied.insert((origin, seq)) {
                     out.push(RbcMsg::Ready { origin, seq, payload });
                 }
             }
             RbcMsg::Ready { origin, seq, payload } => {
-                let senders = self
-                    .readies
-                    .entry((origin, seq, payload.clone()))
-                    .or_default();
+                let senders = self.readies.entry((origin, seq, payload.clone())).or_default();
                 senders.insert(from);
                 let count = senders.len();
                 if count >= self.f + 1 && self.readied.insert((origin, seq)) {
@@ -274,8 +268,8 @@ mod tests {
         let mut es = engines(4, 1);
         let (_, init) = es[1].broadcast(11);
         let deliveries = drive(&mut es, vec![(id(1), init)], &[3]);
-        for i in 0..3 {
-            assert_eq!(deliveries[i].len(), 1, "node {i} must deliver despite silence");
+        for (i, d) in deliveries.iter().take(3).enumerate() {
+            assert_eq!(d.len(), 1, "node {i} must deliver despite silence");
         }
     }
 

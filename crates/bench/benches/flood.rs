@@ -7,7 +7,7 @@ use dbac_core::config::FloodMode;
 use dbac_core::filter::filter_and_average;
 use dbac_core::message_set::MessageSet;
 use dbac_core::precompute::Topology;
-use dbac_graph::{generators, NodeId, NodeSet, Path, PathBudget};
+use dbac_graph::{generators, NodeId, NodeSet, PathBudget};
 
 fn bench_precompute(c: &mut Criterion) {
     let mut group = c.benchmark_group("topology_precompute");
@@ -49,27 +49,30 @@ fn bench_precompute(c: &mut Criterion) {
 
 /// Builds a realistic message set: every redundant path of K5 toward node
 /// 0 carrying its initiator's value, plus a liar's extremes.
-fn k5_message_set() -> MessageSet {
-    let topo =
-        Topology::new(generators::clique(5), 1, FloodMode::Redundant, PathBudget::default())
-            .unwrap();
+fn k5_topology() -> Topology {
+    Topology::new(generators::clique(5), 1, FloodMode::Redundant, PathBudget::default()).unwrap()
+}
+
+fn k5_message_set(topo: &Topology) -> MessageSet {
     let values = [2.0, 4.0, 6.0, 8.0, -100.0];
     topo.required_paths_to(NodeId::new(0))
         .iter()
-        .map(|p| (p.clone(), values[p.init().index()]))
+        .map(|&p| (p, values[topo.index().init(p).index()]))
         .collect()
 }
 
 fn bench_filter(c: &mut Criterion) {
-    let mset = k5_message_set();
+    let topo = k5_topology();
+    let mset = k5_message_set(&topo);
     c.bench_function("filter_and_average_k5", |b| {
-        b.iter(|| black_box(filter_and_average(&mset, 1, NodeId::new(0), 5)));
+        b.iter(|| black_box(filter_and_average(&mset, 1, NodeId::new(0), 5, topo.index())));
     });
 }
 
 fn bench_cover(c: &mut Criterion) {
-    let mset = k5_message_set();
-    let paths: Vec<NodeSet> = mset.paths().map(Path::node_set).collect();
+    let topo = k5_topology();
+    let mset = k5_message_set(&topo);
+    let paths: Vec<NodeSet> = mset.paths().map(|p| topo.index().node_set(p)).collect();
     let allowed = NodeSet::universe(5) - NodeSet::singleton(NodeId::new(0));
     let mut group = c.benchmark_group("f_cover");
     for f in [1usize, 2] {

@@ -37,9 +37,14 @@ fn bench_path_enumeration(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("simple_ending_at_clique", n), &g, |b, g| {
             b.iter(|| {
                 black_box(
-                    simple_paths_ending_at(g, NodeId::new(0), NodeSet::EMPTY, PathBudget::default())
-                        .unwrap()
-                        .len(),
+                    simple_paths_ending_at(
+                        g,
+                        NodeId::new(0),
+                        NodeSet::EMPTY,
+                        PathBudget::default(),
+                    )
+                    .unwrap()
+                    .len(),
                 )
             });
         });

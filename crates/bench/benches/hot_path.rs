@@ -1,0 +1,284 @@
+//! Hot-path microbenchmarks for the path-interning refactor.
+//!
+//! Measures the two per-message kernels the `PathId` interning targets —
+//! FIFO reception (`FifoReceiver::accept`: in-order, gap-close, replay) and
+//! `COMPLETE` relay fan-out (`complete_forwards`) — on `figure_1b_small`
+//! and a clique. A faithful reimplementation of the pre-interning design
+//! (channels keyed by `(initiator, owned Path)`, forwarding via
+//! clone + `extended()` + `is_simple()`) runs alongside as the *legacy*
+//! baseline, so one run reports the before/after numbers recorded in
+//! CHANGES.md.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbac_core::config::FloodMode;
+use dbac_core::fifo::{complete_forwards, FifoReceiver};
+use dbac_core::message_set::{CompletePayload, MessageSet};
+use dbac_core::precompute::Topology;
+use dbac_graph::{generators, Digraph, NodeId, NodeSet, Path, PathBudget, PathId};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Legacy (pre-interning) implementations, kept verbatim-in-spirit as the
+// baseline: owned-path channel keys, per-arrival Vec hash + clone, and
+// clone + re-scan forwarding.
+// ---------------------------------------------------------------------------
+
+struct LegacyFifo {
+    channels: HashMap<(NodeId, Path), LegacyChannel>,
+}
+
+type LegacyBuffered = (u32, NodeSet, Arc<CompletePayload>, u64);
+
+struct LegacyChannel {
+    next: u64,
+    buffer: BTreeMap<u64, Vec<LegacyBuffered>>,
+}
+
+struct LegacyDelivery {
+    #[allow(dead_code)]
+    initiator: NodeId,
+    #[allow(dead_code)]
+    path: Path,
+    #[allow(dead_code)]
+    round: u32,
+}
+
+impl LegacyFifo {
+    fn new() -> Self {
+        LegacyFifo { channels: HashMap::new() }
+    }
+
+    fn accept(
+        &mut self,
+        path: &Path,
+        seq: u64,
+        round: u32,
+        suspects: NodeSet,
+        payload: Arc<CompletePayload>,
+    ) -> Vec<LegacyDelivery> {
+        let initiator = path.init();
+        let channel = self
+            .channels
+            .entry((initiator, path.clone()))
+            .or_insert_with(|| LegacyChannel { next: 1, buffer: BTreeMap::new() });
+        if seq >= channel.next {
+            let fp = payload.fingerprint();
+            let slot = channel.buffer.entry(seq).or_default();
+            if !slot.iter().any(|(r, s, _, f)| *r == round && *s == suspects && *f == fp) {
+                slot.push((round, suspects, payload, fp));
+            }
+        }
+        let mut out = Vec::new();
+        while let Some(batch) = channel.buffer.remove(&channel.next) {
+            for (round, ..) in batch {
+                out.push(LegacyDelivery { initiator, path: path.clone(), round });
+            }
+            channel.next += 1;
+        }
+        out
+    }
+}
+
+fn legacy_complete_forwards(g: &Digraph, me: NodeId, stored: &Path) -> usize {
+    let mut sent = 0;
+    for w in g.out_neighbors(me).iter() {
+        let Ok(extended) = stored.extended(w) else {
+            continue;
+        };
+        if extended.is_simple() {
+            sent += 1; // the real code also cloned `stored` into a message
+            black_box(stored.clone());
+        }
+    }
+    sent
+}
+
+// ---------------------------------------------------------------------------
+// Fixtures
+// ---------------------------------------------------------------------------
+
+struct Fixture {
+    name: &'static str,
+    topo: Topology,
+    /// Simple non-trivial paths ending at node 0 (the FIFO channel space).
+    fifo_paths: Vec<PathId>,
+    payload: Arc<CompletePayload>,
+}
+
+fn fixture(name: &'static str, graph: Digraph) -> Fixture {
+    let topo =
+        Topology::new(graph, 1, FloodMode::Redundant, PathBudget::default()).expect("in budget");
+    let v0 = NodeId::new(0);
+    let fifo_paths: Vec<PathId> =
+        topo.simple_paths_to(v0).iter().copied().filter(|&p| !topo.index().is_trivial(p)).collect();
+    let mut m = MessageSet::new();
+    for (i, &p) in fifo_paths.iter().take(8).enumerate() {
+        m.insert(p, i as f64);
+    }
+    let payload = Arc::new(CompletePayload::from_message_set(&m));
+    Fixture { name, topo, fifo_paths, payload }
+}
+
+fn fixtures() -> Vec<Fixture> {
+    vec![
+        fixture("fig1b_small", generators::figure_1b_small()),
+        fixture("clique5", generators::clique(5)),
+    ]
+}
+
+const SEQS: u64 = 8;
+
+// ---------------------------------------------------------------------------
+// FifoReceiver::accept
+// ---------------------------------------------------------------------------
+
+fn bench_fifo_accept(c: &mut Criterion) {
+    for fx in fixtures() {
+        let index = fx.topo.index();
+        let owned: Vec<Path> = fx.fifo_paths.iter().map(|&p| index.path(p).clone()).collect();
+
+        let mut group = c.benchmark_group(format!("fifo_accept/{}", fx.name));
+        group.sample_size(30);
+
+        // In order: every arrival delivers immediately.
+        group.bench_function("in_order/interned", |b| {
+            b.iter(|| {
+                let mut rx = FifoReceiver::new();
+                let mut delivered = 0usize;
+                for &p in &fx.fifo_paths {
+                    let init = index.init(p);
+                    for seq in 1..=SEQS {
+                        delivered += rx
+                            .accept(p, init, seq, 0, NodeSet::EMPTY, Arc::clone(&fx.payload))
+                            .len();
+                    }
+                }
+                black_box(delivered)
+            });
+        });
+        group.bench_function("in_order/legacy", |b| {
+            b.iter(|| {
+                let mut rx = LegacyFifo::new();
+                let mut delivered = 0usize;
+                for p in &owned {
+                    for seq in 1..=SEQS {
+                        delivered +=
+                            rx.accept(p, seq, 0, NodeSet::EMPTY, Arc::clone(&fx.payload)).len();
+                    }
+                }
+                black_box(delivered)
+            });
+        });
+
+        // Gap close: counters 2..=N buffer, counter 1 drains the batch.
+        group.bench_function("gap_close/interned", |b| {
+            b.iter(|| {
+                let mut rx = FifoReceiver::new();
+                let mut delivered = 0usize;
+                for &p in &fx.fifo_paths {
+                    let init = index.init(p);
+                    for seq in 2..=SEQS {
+                        delivered += rx
+                            .accept(p, init, seq, 0, NodeSet::EMPTY, Arc::clone(&fx.payload))
+                            .len();
+                    }
+                    delivered +=
+                        rx.accept(p, init, 1, 0, NodeSet::EMPTY, Arc::clone(&fx.payload)).len();
+                }
+                black_box(delivered)
+            });
+        });
+        group.bench_function("gap_close/legacy", |b| {
+            b.iter(|| {
+                let mut rx = LegacyFifo::new();
+                let mut delivered = 0usize;
+                for p in &owned {
+                    for seq in 2..=SEQS {
+                        delivered +=
+                            rx.accept(p, seq, 0, NodeSet::EMPTY, Arc::clone(&fx.payload)).len();
+                    }
+                    delivered += rx.accept(p, 1, 0, NodeSet::EMPTY, Arc::clone(&fx.payload)).len();
+                }
+                black_box(delivered)
+            });
+        });
+
+        // Replay: Byzantine duplicates of an already-drained counter.
+        group.bench_function("replay/interned", |b| {
+            b.iter(|| {
+                let mut rx = FifoReceiver::new();
+                let mut delivered = 0usize;
+                for &p in &fx.fifo_paths {
+                    let init = index.init(p);
+                    for _ in 0..SEQS {
+                        delivered +=
+                            rx.accept(p, init, 1, 0, NodeSet::EMPTY, Arc::clone(&fx.payload)).len();
+                    }
+                }
+                black_box(delivered)
+            });
+        });
+        group.bench_function("replay/legacy", |b| {
+            b.iter(|| {
+                let mut rx = LegacyFifo::new();
+                let mut delivered = 0usize;
+                for p in &owned {
+                    for _ in 0..SEQS {
+                        delivered +=
+                            rx.accept(p, 1, 0, NodeSet::EMPTY, Arc::clone(&fx.payload)).len();
+                    }
+                }
+                black_box(delivered)
+            });
+        });
+
+        group.finish();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// complete_forwards
+// ---------------------------------------------------------------------------
+
+fn bench_complete_forwards(c: &mut Criterion) {
+    let mut group = c.benchmark_group("complete_forwards");
+    group.sample_size(30);
+    for fx in fixtures() {
+        let index = fx.topo.index();
+        // Stored simple paths ending at each node — what a relay holds.
+        let stored: Vec<PathId> = fx
+            .topo
+            .graph()
+            .nodes()
+            .flat_map(|v| fx.topo.simple_paths_to(v).iter().copied())
+            .collect();
+        let owned: Vec<(NodeId, Path)> =
+            stored.iter().map(|&p| (index.ter(p), index.path(p).clone())).collect();
+
+        group.bench_with_input(BenchmarkId::new("interned", fx.name), &(), |b, ()| {
+            b.iter(|| {
+                let mut sent = 0usize;
+                for &p in &stored {
+                    let me = index.ter(p);
+                    sent +=
+                        complete_forwards(&fx.topo, me, 0, NodeSet::EMPTY, &fx.payload, p, 1).len();
+                }
+                black_box(sent)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("legacy", fx.name), &(), |b, ()| {
+            b.iter(|| {
+                let mut sent = 0usize;
+                for (me, p) in &owned {
+                    sent += legacy_complete_forwards(fx.topo.graph(), *me, p);
+                }
+                black_box(sent)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fifo_accept, bench_complete_forwards);
+criterion_main!(benches);

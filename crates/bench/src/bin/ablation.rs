@@ -37,9 +37,8 @@ fn run_mode(
 
 fn main() {
     println!("E11b — redundant-path ablation\n");
-    let mut t = Table::new(vec![
-        "graph", "adversary", "mode", "decided", "converged", "valid", "messages",
-    ]);
+    let mut t =
+        Table::new(vec!["graph", "adversary", "mode", "decided", "converged", "valid", "messages"]);
     let cases: Vec<(String, Digraph, usize)> = vec![
         ("K4".into(), generators::clique(4), 1),
         ("K5".into(), generators::clique(5), 1),
@@ -67,10 +66,7 @@ fn main() {
                 ]);
                 // The paper's mode must always succeed.
                 if mode == FloodMode::Redundant {
-                    assert!(
-                        out.converged() && out.valid(),
-                        "{name}/{adv}: redundant mode failed"
-                    );
+                    assert!(out.converged() && out.valid(), "{name}/{adv}: redundant mode failed");
                 }
                 let _ = num(out.spread());
             }

@@ -26,7 +26,13 @@ fn main() {
 fn e9_aad_comparison() {
     println!("E9 — BW (this paper) vs AAD04 on complete networks\n");
     let mut t = Table::new(vec![
-        "n", "f", "adversary", "algorithm", "converged", "valid", "honest messages",
+        "n",
+        "f",
+        "adversary",
+        "algorithm",
+        "converged",
+        "valid",
+        "honest messages",
     ]);
     for (n, f) in [(4usize, 1usize), (5, 1)] {
         let inputs: Vec<f64> = (0..n).map(|i| i as f64).collect();

@@ -97,11 +97,7 @@ fn figure_1b() {
     // The scale-down preserves the structure and runs the full protocol.
     let small = generators::figure_1b_small();
     let mut t = Table::new(vec!["property", "expected", "measured"]);
-    t.row(vec![
-        "3-reach (f=1)".into(),
-        "yes".to_string(),
-        yes_no(three_reach(&small, 1).holds()),
-    ]);
+    t.row(vec!["3-reach (f=1)".into(), "yes".to_string(), yes_no(three_reach(&small, 1).holds())]);
     t.row(vec![
         "disjoint v1→w1 (= 2f)".into(),
         "2".into(),

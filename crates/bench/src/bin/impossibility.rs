@@ -35,7 +35,9 @@ fn main() {
         let feasible_substrate = two_reach(&g, f).holds();
         assert!(!three_reach(&g, f).holds(), "{name}: construction needs a 3-reach violation");
         if !feasible_substrate {
-            println!("{name}: violates 2-reach as well; the stand-in algorithm cannot run — skipped.");
+            println!(
+                "{name}: violates 2-reach as well; the stand-in algorithm cannot run — skipped."
+            );
             continue;
         }
         let report = run_construction(&g, f, k, epsilon).expect("construction runs");

@@ -21,7 +21,12 @@ fn main() {
 fn path_pool_growth() {
     println!("E11a — redundant-path pool size per terminal\n");
     let mut t = Table::new(vec![
-        "graph", "n", "edges", "simple paths -> v0", "redundant paths -> v0", "precompute (ms)",
+        "graph",
+        "n",
+        "edges",
+        "simple paths -> v0",
+        "redundant paths -> v0",
+        "precompute (ms)",
     ]);
     let cases: Vec<(String, Digraph)> = vec![
         ("K3".into(), generators::clique(3)),
@@ -52,7 +57,12 @@ fn path_pool_growth() {
 fn end_to_end_scaling() {
     println!("E11a — full protocol runs (one liar, ε = 1.0)\n");
     let mut t = Table::new(vec![
-        "graph", "f", "messages sent", "messages delivered", "wall (ms)", "converged",
+        "graph",
+        "f",
+        "messages sent",
+        "messages delivered",
+        "wall (ms)",
+        "converged",
     ]);
     let cases: Vec<(String, Digraph, usize)> = vec![
         ("K4".into(), generators::clique(4), 1),
@@ -70,8 +80,8 @@ fn end_to_end_scaling() {
             .seed(6)
             .max_events(100_000_000);
         if f > 0 {
-            builder = builder
-                .byzantine(NodeId::new(n - 1), AdversaryKind::ConstantLiar { value: 1e4 });
+            builder =
+                builder.byzantine(NodeId::new(n - 1), AdversaryKind::ConstantLiar { value: 1e4 });
         }
         let cfg = builder.build().unwrap();
         let start = Instant::now();

@@ -32,7 +32,14 @@ fn main() {
     let mut mismatches = 0usize;
     for f in 1..=2usize {
         let mut t = Table::new(vec![
-            "graph", "n", "kappa", "1-reach", "k>f", "2-reach", "n>2f&k>f", "3-reach",
+            "graph",
+            "n",
+            "kappa",
+            "1-reach",
+            "k>f",
+            "2-reach",
+            "n>2f&k>f",
+            "3-reach",
             "n>3f&k>2f",
         ]);
         for (name, g) in &graphs {

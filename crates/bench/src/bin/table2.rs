@@ -29,13 +29,7 @@ fn main() {
             let e2 = two_reach(&g, f).holds() == cca(&g, f).holds();
             let e3 = three_reach(&g, f).holds() == bcs(&g, f).holds();
             all_equal &= e1 && e2 && e3;
-            t.row(vec![
-                format!("random-5-{i}"),
-                f.to_string(),
-                yes_no(e1),
-                yes_no(e2),
-                yes_no(e3),
-            ]);
+            t.row(vec![format!("random-5-{i}"), f.to_string(), yes_no(e1), yes_no(e2), yes_no(e3)]);
         }
     }
     println!("Theorem 17 equivalences:\n{}", t.render());
@@ -50,12 +44,7 @@ fn main() {
         let holds = two_reach(&inst.graph, inst.f).holds();
         let out =
             run_crash_consensus(inst.graph.clone(), inst.f, &inputs, 0.5, &crashed, 5).unwrap();
-        t.row(vec![
-            inst.name.clone(),
-            yes_no(holds),
-            yes_no(out.converged()),
-            yes_no(out.valid()),
-        ]);
+        t.row(vec![inst.name.clone(), yes_no(holds), yes_no(out.converged()), yes_no(out.valid())]);
         assert!(holds && out.converged() && out.valid(), "{} failed", inst.name);
     }
     println!("Async crash approximate consensus (2-reach row):\n{}", t.render());
@@ -67,10 +56,9 @@ fn main() {
         let n = inst.graph.node_count();
         let inputs: Vec<f64> = (0..n).map(|i| i as f64).collect();
         let byz = NodeId::new(n - 1);
-        for (label, kind) in [
-            ("crash", AdversaryKind::Crash),
-            ("liar", AdversaryKind::ConstantLiar { value: 1e6 }),
-        ] {
+        for (label, kind) in
+            [("crash", AdversaryKind::Crash), ("liar", AdversaryKind::ConstantLiar { value: 1e6 })]
+        {
             let cfg = RunConfig::builder(inst.graph.clone(), inst.f)
                 .inputs(inputs.clone())
                 .epsilon(0.5)

@@ -106,8 +106,7 @@ pub fn run_construction(
 
     // e3: splice the two restricted traces over live nodes.
     let topo = Arc::new(
-        CrashTopology::new(graph.clone(), f, PathBudget::default())
-            .map_err(|e| e.to_string())?,
+        CrashTopology::new(graph.clone(), f, PathBudget::default()).map_err(|e| e.to_string())?,
     );
     let mut live: HashMap<NodeId, CrashNode> = HashMap::new();
     for w in side_v.iter() {
@@ -120,8 +119,9 @@ pub fn run_construction(
     // Pending send pool: every message a live node has emitted but the
     // script has not yet consumed.
     let mut pending: Vec<(NodeId, NodeId, CrashMsg)> = Vec::new();
-    let drain = |node: NodeId, ctx: &mut Context<CrashMsg>,
-                     pending: &mut Vec<(NodeId, NodeId, CrashMsg)>| {
+    let drain = |node: NodeId,
+                 ctx: &mut Context<CrashMsg>,
+                 pending: &mut Vec<(NodeId, NodeId, CrashMsg)>| {
         for (to, msg) in ctx.take_outbox() {
             pending.push((node, to, msg));
         }
@@ -204,8 +204,7 @@ fn reference_execution(
     range: (f64, f64),
 ) -> Result<(Trace<CrashMsg>, HashMap<NodeId, f64>), String> {
     let topo = Arc::new(
-        CrashTopology::new(graph.clone(), f, PathBudget::default())
-            .map_err(|e| e.to_string())?,
+        CrashTopology::new(graph.clone(), f, PathBudget::default()).map_err(|e| e.to_string())?,
     );
     let mut sim: Simulation<CrashNode> =
         Simulation::new(Arc::new(graph.clone()), Box::new(FixedDelay::new(1)));

@@ -59,10 +59,8 @@ impl Table {
         };
         out.push_str(&fmt_row(&self.header));
         out.push('\n');
-        let sep: String = format!(
-            "|{}|",
-            widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
-        );
+        let sep: String =
+            format!("|{}|", widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|"));
         out.push_str(&sep);
         out.push('\n');
         for row in &self.rows {
@@ -76,7 +74,11 @@ impl Table {
 /// Formats a boolean as a check-style cell.
 #[must_use]
 pub fn yes_no(b: bool) -> String {
-    if b { "yes".into() } else { "no".into() }
+    if b {
+        "yes".into()
+    } else {
+        "no".into()
+    }
 }
 
 /// Formats a float compactly.

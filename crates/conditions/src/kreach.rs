@@ -144,8 +144,7 @@ pub fn three_reach(g: &Digraph, f: usize) -> ConditionOutcome {
         unions.dedup();
         for &ru in &unions {
             for &rv in &unions {
-                if let Some(w) = check_pairwise(g, &mut cache, common, ru, rv, all - ru, all - rv)
-                {
+                if let Some(w) = check_pairwise(g, &mut cache, common, ru, rv, all - ru, all - rv) {
                     return ConditionOutcome::Violated(w);
                 }
             }
@@ -170,11 +169,8 @@ pub fn k_reach(g: &Digraph, k: usize, f: usize) -> ConditionOutcome {
     let per_side = (k / 2) * f;
     let mut cache = ReachCache::new();
     let all = g.vertex_set();
-    let commons: Vec<NodeSet> = if k % 2 == 1 {
-        SubsetsUpTo::new(all, f).collect()
-    } else {
-        vec![NodeSet::EMPTY]
-    };
+    let commons: Vec<NodeSet> =
+        if k % 2 == 1 { SubsetsUpTo::new(all, f).collect() } else { vec![NodeSet::EMPTY] };
     // A union of m sets of size ≤ f each is exactly an arbitrary set of
     // size ≤ m·f, so each side's removal is `common ∪ B` with |B| ≤ per_side.
     let sides: Vec<NodeSet> = SubsetsUpTo::new(all, per_side).collect();
@@ -184,8 +180,7 @@ pub fn k_reach(g: &Digraph, k: usize, f: usize) -> ConditionOutcome {
         unions.dedup();
         for &ru in &unions {
             for &rv in &unions {
-                if let Some(w) = check_pairwise(g, &mut cache, common, ru, rv, all - ru, all - rv)
-                {
+                if let Some(w) = check_pairwise(g, &mut cache, common, ru, rv, all - ru, all - rv) {
                     return ConditionOutcome::Violated(w);
                 }
             }

@@ -164,10 +164,7 @@ mod tests {
         for silenced in [ns(&[]), ns(&[0]), ns(&[4, 7])] {
             let s = source_component_of_silenced(&g, silenced);
             for q in g.nodes() {
-                assert_eq!(
-                    is_in_source_component(&g, silenced, NodeSet::EMPTY, q),
-                    s.contains(q)
-                );
+                assert_eq!(is_in_source_component(&g, silenced, NodeSet::EMPTY, q), s.contains(q));
             }
         }
     }

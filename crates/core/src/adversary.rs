@@ -6,11 +6,14 @@
 //! arbitrary (but well-formed) propagation paths ending at itself — but it
 //! cannot impersonate other senders or affect delivery schedules (timing
 //! belongs to the [`DeliveryPolicy`](dbac_sim::scheduler::DeliveryPolicy)).
+//! Paths are forged as interned ids: the shared topology is common
+//! knowledge, so an adversary may reference any path in the population —
+//! and receivers reject ids outside it at validation.
 
 use crate::flood;
 use crate::message::ProtocolMsg;
 use crate::precompute::Topology;
-use dbac_graph::{NodeId, NodeSet, Path};
+use dbac_graph::{NodeId, NodeSet, PathId};
 use dbac_sim::process::{Adversary, Context};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -93,10 +96,12 @@ impl AdversaryKind {
 }
 
 /// Relay deduplication shared by the strategies (mirrors the honest rule so
-/// adversaries do not flood the network into its event budget).
+/// adversaries do not flood the network into its event budget). Both sets
+/// key on wire-supplied bytes (unbounded rounds, payload fingerprints), so
+/// they use the seeded default hasher, not the fixed-key fast one.
 struct RelaySeen {
-    floods: HashSet<(u32, Path)>,
-    completes: HashSet<(Path, u64, u64)>,
+    floods: HashSet<(u32, PathId)>,
+    completes: HashSet<(PathId, u64, u64)>,
 }
 
 impl RelaySeen {
@@ -118,31 +123,30 @@ fn relay(
 ) {
     match msg {
         ProtocolMsg::Flood { round, value, path } => {
-            let Some(stored) = crate::message::validate_flood(topo.graph(), me, from, path)
-            else {
+            let Some(stored) = crate::message::validate_flood(topo, me, from, *path) else {
                 return;
             };
-            if !seen.floods.insert((*round, stored.clone())) {
+            if !seen.floods.insert((*round, stored)) {
                 return;
             }
             let forwarded = tamper(*value);
-            for (to, m) in flood::flood_forwards(topo, me, *round, forwarded, &stored) {
+            for (to, m) in flood::flood_forwards(topo, me, *round, forwarded, stored) {
                 ctx.send(to, m);
             }
         }
         ProtocolMsg::Complete { round, suspects, payload, path, seq } => {
             let Some(stored) =
-                crate::message::validate_complete(topo.graph(), me, from, path, *suspects, *seq)
+                crate::message::validate_complete(topo, me, from, *path, *suspects, *seq)
             else {
                 return;
             };
             let fp = payload.fingerprint();
-            if !seen.completes.insert((stored.clone(), *seq, fp)) {
+            if !seen.completes.insert((stored, *seq, fp)) {
                 return;
             }
-            for (to, m) in crate::fifo::complete_forwards(
-                topo, me, *round, *suspects, payload, &stored, *seq,
-            ) {
+            for (to, m) in
+                crate::fifo::complete_forwards(topo, me, *round, *suspects, payload, stored, *seq)
+            {
                 ctx.send(to, m);
             }
         }
@@ -187,10 +191,10 @@ impl Adversary<ProtocolMsg> for Equivocator {
         let neighbors: Vec<NodeId> = ctx.out_neighbors().iter().collect();
         let half = neighbors.len() / 2;
         for round in 0..self.rounds {
-            let path = Path::single(self.me);
+            let path = self.topo.index().trivial(self.me);
             for (i, &w) in neighbors.iter().enumerate() {
                 let value = if i < half { self.low } else { self.high };
-                ctx.send(w, ProtocolMsg::Flood { round, value, path: path.clone() });
+                ctx.send(w, ProtocolMsg::Flood { round, value, path });
             }
         }
     }
@@ -230,18 +234,12 @@ impl Adversary<ProtocolMsg> for PathFabricator {
     fn on_start(&mut self, ctx: &mut Context<ProtocolMsg>) {
         // Claim every simple path ending at me carried `forged_value` —
         // i.e. attribute the forged value to every other initiator.
-        let paths: Vec<Path> = self.topo.simple_paths_to(self.me).to_vec();
+        let paths: Vec<PathId> = self.topo.simple_paths_to(self.me).to_vec();
         for path in paths {
-            if path.is_empty() {
+            if self.topo.index().is_trivial(path) {
                 continue;
             }
-            for (to, m) in flood::flood_forwards(
-                &self.topo,
-                self.me,
-                0,
-                self.forged_value,
-                &path,
-            ) {
+            for (to, m) in flood::flood_forwards(&self.topo, self.me, 0, self.forged_value, path) {
                 ctx.send(to, m);
             }
         }
@@ -329,14 +327,10 @@ pub fn default_victims(n: usize, count: usize) -> NodeSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::FloodMode;
-    use dbac_graph::{generators, PathBudget};
+    use crate::test_support::clique_topo;
 
     fn topo(n: usize) -> Arc<Topology> {
-        Arc::new(
-            Topology::new(generators::clique(n), 1, FloodMode::Redundant, PathBudget::default())
-                .unwrap(),
-        )
+        Arc::new(clique_topo(n, 1))
     }
 
     fn ctx_for(topo: &Topology, me: NodeId) -> Context<ProtocolMsg> {
@@ -346,7 +340,8 @@ mod tests {
     #[test]
     fn constant_liar_floods_every_round() {
         let t = topo(4);
-        let mut a = AdversaryKind::ConstantLiar { value: 99.0 }.build(Arc::clone(&t), NodeId::new(0), 3);
+        let mut a =
+            AdversaryKind::ConstantLiar { value: 99.0 }.build(Arc::clone(&t), NodeId::new(0), 3);
         let mut ctx = ctx_for(&t, NodeId::new(0));
         a.on_start(&mut ctx);
         // 3 rounds × 3 neighbors.
@@ -356,8 +351,11 @@ mod tests {
     #[test]
     fn equivocator_splits_values() {
         let t = topo(5);
-        let mut a =
-            AdversaryKind::Equivocator { low: -5.0, high: 5.0 }.build(Arc::clone(&t), NodeId::new(0), 1);
+        let mut a = AdversaryKind::Equivocator { low: -5.0, high: 5.0 }.build(
+            Arc::clone(&t),
+            NodeId::new(0),
+            1,
+        );
         let mut ctx = ctx_for(&t, NodeId::new(0));
         a.on_start(&mut ctx);
         let out = ctx.take_outbox();
@@ -377,7 +375,8 @@ mod tests {
         let mut a =
             AdversaryKind::RelayTamperer { spoof: 42.0 }.build(Arc::clone(&t), NodeId::new(1), 1);
         let mut ctx = ctx_for(&t, NodeId::new(1));
-        let wire = ProtocolMsg::Flood { round: 0, value: 7.0, path: Path::single(NodeId::new(0)) };
+        let origin = t.index().trivial(NodeId::new(0));
+        let wire = ProtocolMsg::Flood { round: 0, value: 7.0, path: origin };
         a.on_message(&mut ctx, NodeId::new(0), wire);
         let out = ctx.take_outbox();
         assert!(!out.is_empty());
@@ -385,7 +384,7 @@ mod tests {
             match m {
                 ProtocolMsg::Flood { value, path, .. } => {
                     assert_eq!(*value, 42.0);
-                    assert_eq!(path.nodes().first().unwrap().index(), 0, "path preserved");
+                    assert_eq!(t.index().init(*path), NodeId::new(0), "path preserved");
                 }
                 ProtocolMsg::Complete { .. } => panic!("unexpected"),
             }
@@ -395,8 +394,10 @@ mod tests {
     #[test]
     fn relay_dedupes_replays() {
         let t = topo(4);
-        let mut a = AdversaryKind::ConstantLiar { value: 0.0 }.build(Arc::clone(&t), NodeId::new(1), 1);
-        let wire = ProtocolMsg::Flood { round: 0, value: 7.0, path: Path::single(NodeId::new(0)) };
+        let mut a =
+            AdversaryKind::ConstantLiar { value: 0.0 }.build(Arc::clone(&t), NodeId::new(1), 1);
+        let wire =
+            ProtocolMsg::Flood { round: 0, value: 7.0, path: t.index().trivial(NodeId::new(0)) };
         let mut ctx = ctx_for(&t, NodeId::new(1));
         a.on_message(&mut ctx, NodeId::new(0), wire.clone());
         let first = ctx.take_outbox().len();
@@ -407,14 +408,17 @@ mod tests {
     #[test]
     fn fabricator_attributes_values_to_others() {
         let t = topo(4);
-        let mut a =
-            AdversaryKind::PathFabricator { forged_value: -77.0 }.build(Arc::clone(&t), NodeId::new(2), 1);
+        let mut a = AdversaryKind::PathFabricator { forged_value: -77.0 }.build(
+            Arc::clone(&t),
+            NodeId::new(2),
+            1,
+        );
         let mut ctx = ctx_for(&t, NodeId::new(2));
         a.on_start(&mut ctx);
         let out = ctx.take_outbox();
         assert!(!out.is_empty());
         assert!(out.iter().any(|(_, m)| match m {
-            ProtocolMsg::Flood { path, .. } => path.init() != NodeId::new(2),
+            ProtocolMsg::Flood { path, .. } => t.index().init(*path) != NodeId::new(2),
             ProtocolMsg::Complete { .. } => false,
         }));
     }
@@ -422,26 +426,28 @@ mod tests {
     #[test]
     fn replayer_emits_in_order() {
         let t = topo(3);
+        let t0 = t.index().trivial(NodeId::new(0));
+        let t1 = t.index().trivial(NodeId::new(1));
         let script = vec![
-            (NodeId::new(1), ProtocolMsg::Flood { round: 0, value: 1.0, path: Path::single(NodeId::new(0)) }),
-            (NodeId::new(2), ProtocolMsg::Flood { round: 0, value: 2.0, path: Path::single(NodeId::new(0)) }),
+            (NodeId::new(1), ProtocolMsg::Flood { round: 0, value: 1.0, path: t0 }),
+            (NodeId::new(2), ProtocolMsg::Flood { round: 0, value: 2.0, path: t0 }),
         ];
         let mut r = Replayer::new(script, 1);
         let mut ctx = ctx_for(&t, NodeId::new(0));
         r.on_start(&mut ctx);
         assert_eq!(ctx.pending(), 1);
-        r.on_message(&mut ctx, NodeId::new(1), ProtocolMsg::Flood {
-            round: 0,
-            value: 0.0,
-            path: Path::single(NodeId::new(1)),
-        });
+        r.on_message(
+            &mut ctx,
+            NodeId::new(1),
+            ProtocolMsg::Flood { round: 0, value: 0.0, path: t1 },
+        );
         assert_eq!(ctx.pending(), 2);
         // Script exhausted: further triggers emit nothing.
-        r.on_message(&mut ctx, NodeId::new(1), ProtocolMsg::Flood {
-            round: 0,
-            value: 0.0,
-            path: Path::single(NodeId::new(1)),
-        });
+        r.on_message(
+            &mut ctx,
+            NodeId::new(1),
+            ProtocolMsg::Flood { round: 0, value: 0.0, path: t1 },
+        );
         assert_eq!(ctx.pending(), 2);
     }
 

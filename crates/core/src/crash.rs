@@ -99,7 +99,13 @@ impl CrashNode {
     /// Creates a node with the given input, running enough rounds for
     /// ε-agreement over the a-priori range.
     #[must_use]
-    pub fn new(topo: Arc<CrashTopology>, me: NodeId, input: f64, epsilon: f64, range: (f64, f64)) -> Self {
+    pub fn new(
+        topo: Arc<CrashTopology>,
+        me: NodeId,
+        input: f64,
+        epsilon: f64,
+        range: (f64, f64),
+    ) -> Self {
         let my_guesses: Vec<NodeSet> =
             topo.guesses.iter().filter(|g| !g.contains(me)).copied().collect();
         CrashNode {
@@ -224,10 +230,7 @@ impl Process for CrashNode {
         if !stored.is_simple() {
             return;
         }
-        let already = self
-            .rounds
-            .get(&msg.round)
-            .is_some_and(|c| c.values.contains_key(&stored));
+        let already = self.rounds.get(&msg.round).is_some_and(|c| c.values.contains_key(&stored));
         if already {
             return;
         }
@@ -235,7 +238,10 @@ impl Process for CrashNode {
         for w in ctx.out_neighbors().iter() {
             if let Ok(ext) = stored.extended(w) {
                 if ext.is_simple() {
-                    ctx.send(w, CrashMsg { round: msg.round, value: msg.value, path: stored.clone() });
+                    ctx.send(
+                        w,
+                        CrashMsg { round: msg.round, value: msg.value, path: stored.clone() },
+                    );
                 }
             }
         }
@@ -312,8 +318,7 @@ impl CrashOutcome {
     /// All honest nodes decided within ε.
     #[must_use]
     pub fn converged(&self) -> bool {
-        let outs: Vec<f64> =
-            self.honest.iter().filter_map(|v| self.outputs[v.index()]).collect();
+        let outs: Vec<f64> = self.honest.iter().filter_map(|v| self.outputs[v.index()]).collect();
         if outs.len() < self.honest.len() {
             return false;
         }
@@ -372,7 +377,10 @@ pub fn run_crash_consensus(
         Simulation::new(Arc::new(graph.clone()), Box::new(RandomDelay::new(seed, 1, 15)));
     for v in graph.nodes() {
         if honest.contains(v) {
-            sim.set_honest(v, CrashNode::new(Arc::clone(&topo), v, inputs[v.index()], epsilon, range));
+            sim.set_honest(
+                v,
+                CrashNode::new(Arc::clone(&topo), v, inputs[v.index()], epsilon, range),
+            );
         }
     }
     for &(v, budget) in crashed {

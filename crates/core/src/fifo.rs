@@ -6,12 +6,17 @@
 //! message with counter `k` through path `p` once it holds counters
 //! `1..k-1` from the same initiator through the same path — exactly the
 //! ordering a fully nonfaulty path preserves.
+//!
+//! Channels are keyed by interned [`PathId`] alone: a path determines its
+//! initiator, so the former `(initiator, Path)` composite key — a clone
+//! plus a `Vec<NodeId>` hash per arrival — collapses into one `u32` in a
+//! fast-hashed map.
 
 use crate::message::{ProtocolMsg, Round};
 use crate::message_set::CompletePayload;
 use crate::precompute::Topology;
-use dbac_graph::{NodeId, NodeSet, Path};
-use std::collections::{BTreeMap, HashMap};
+use dbac_graph::{FastHashMap, NodeId, NodeSet, PathId};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// The initial FIFO flood of a `COMPLETE` message (Algorithm 1 line 11).
@@ -24,27 +29,19 @@ pub fn initial_complete(
     payload: &Arc<CompletePayload>,
     seq: u64,
 ) -> Vec<(NodeId, ProtocolMsg)> {
-    let path = Path::single(me);
+    let path = topo.index().trivial(me);
     topo.graph()
         .out_neighbors(me)
         .iter()
         .map(|w| {
-            (
-                w,
-                ProtocolMsg::Complete {
-                    round,
-                    suspects,
-                    payload: Arc::clone(payload),
-                    path: path.clone(),
-                    seq,
-                },
-            )
+            (w, ProtocolMsg::Complete { round, suspects, payload: Arc::clone(payload), path, seq })
         })
         .collect()
 }
 
 /// Forwards for a freshly received `COMPLETE` whose stored path ends at
-/// `me`: relayed to each `w` keeping the path simple.
+/// `me`: relayed to each `w` keeping the path simple — one forwarding-table
+/// lookup per out-neighbor, no clone, no simplicity re-scan.
 #[must_use]
 pub fn complete_forwards(
     topo: &Topology,
@@ -52,23 +49,21 @@ pub fn complete_forwards(
     round: Round,
     suspects: NodeSet,
     payload: &Arc<CompletePayload>,
-    stored: &Path,
+    stored: PathId,
     seq: u64,
 ) -> Vec<(NodeId, ProtocolMsg)> {
-    debug_assert_eq!(stored.ter(), me);
+    let index = topo.index();
+    debug_assert_eq!(index.ter(stored), me);
     let mut out = Vec::new();
     for w in topo.graph().out_neighbors(me).iter() {
-        let Ok(extended) = stored.extended(w) else {
-            continue;
-        };
-        if extended.is_simple() {
+        if index.extend_simple(stored, w).is_some() {
             out.push((
                 w,
                 ProtocolMsg::Complete {
                     round,
                     suspects,
                     payload: Arc::clone(payload),
-                    path: stored.clone(),
+                    path: stored,
                     seq,
                 },
             ));
@@ -78,12 +73,15 @@ pub fn complete_forwards(
 }
 
 /// A message that became FIFO-received and is ready for the witness logic.
+///
+/// All fields are `Copy` except the payload `Arc` (a reference-count bump);
+/// draining a batch no longer clones any path.
 #[derive(Clone, Debug)]
 pub struct FifoDelivery {
     /// The initiator `c` (the first node of the delivery path).
     pub initiator: NodeId,
     /// The full delivery path (ends at the local node).
-    pub path: Path,
+    pub path: PathId,
     /// Round tag of the `COMPLETE`.
     pub round: Round,
     /// The suspect set `F` in `COMPLETE(F)`.
@@ -94,16 +92,19 @@ pub struct FifoDelivery {
     pub fingerprint: u64,
 }
 
-/// Per-(initiator, path) reassembly buffers implementing FIFO reception.
+/// Per-path reassembly buffers implementing FIFO reception.
 #[derive(Debug, Default)]
 pub struct FifoReceiver {
-    channels: HashMap<(NodeId, Path), Channel>,
+    channels: FastHashMap<PathId, Channel>,
 }
+
+/// A buffered arrival: round, suspect set, payload, cached fingerprint.
+type Buffered = (Round, NodeSet, Arc<CompletePayload>, u64);
 
 #[derive(Debug)]
 struct Channel {
     next: u64,
-    buffer: BTreeMap<u64, Vec<(Round, NodeSet, Arc<CompletePayload>, u64)>>,
+    buffer: BTreeMap<u64, Vec<Buffered>>,
 }
 
 impl FifoReceiver {
@@ -116,19 +117,30 @@ impl FifoReceiver {
     /// Accepts a validated `COMPLETE` arrival and returns every message
     /// that became FIFO-received as a result (possibly several, when a gap
     /// closes; possibly none, when earlier counters are still missing).
+    ///
+    /// `initiator` must be `init(path)`; the caller already holds it from
+    /// validation, so the receiver does not need the index.
     pub fn accept(
         &mut self,
-        path: &Path,
+        path: PathId,
+        initiator: NodeId,
         seq: u64,
         round: Round,
         suspects: NodeSet,
         payload: Arc<CompletePayload>,
     ) -> Vec<FifoDelivery> {
-        let initiator = path.init();
         let channel = self
             .channels
-            .entry((initiator, path.clone()))
+            .entry(path)
             .or_insert_with(|| Channel { next: 1, buffer: BTreeMap::new() });
+        // Fast path: the expected counter with nothing buffered delivers
+        // without touching the reorder buffer (the overwhelmingly common
+        // case on honest channels).
+        if seq == channel.next && channel.buffer.is_empty() {
+            channel.next += 1;
+            let fingerprint = payload.fingerprint();
+            return vec![FifoDelivery { initiator, path, round, suspects, payload, fingerprint }];
+        }
         if seq >= channel.next {
             let fp = payload.fingerprint();
             let slot = channel.buffer.entry(seq).or_default();
@@ -140,21 +152,14 @@ impl FifoReceiver {
         let mut out = Vec::new();
         while let Some(batch) = channel.buffer.remove(&channel.next) {
             for (round, suspects, payload, fingerprint) in batch {
-                out.push(FifoDelivery {
-                    initiator,
-                    path: path.clone(),
-                    round,
-                    suspects,
-                    payload,
-                    fingerprint,
-                });
+                out.push(FifoDelivery { initiator, path, round, suspects, payload, fingerprint });
             }
             channel.next += 1;
         }
         out
     }
 
-    /// Number of open (initiator, path) channels.
+    /// Number of open path channels.
     #[must_use]
     pub fn channel_count(&self) -> usize {
         self.channels.len()
@@ -165,35 +170,50 @@ impl FifoReceiver {
 mod tests {
     use super::*;
     use crate::message_set::MessageSet;
+    use crate::test_support::{clique_topo, pid};
 
-    fn payload(tag: f64) -> Arc<CompletePayload> {
+    fn topo() -> Topology {
+        clique_topo(3, 1)
+    }
+
+    fn payload(t: &Topology, tag: f64) -> Arc<CompletePayload> {
         let mut m = MessageSet::new();
-        m.insert(Path::from_indices(&[1, 0]).unwrap(), tag);
+        m.insert(pid(t, &[1, 0]), tag);
         Arc::new(CompletePayload::from_message_set(&m))
     }
 
-    fn p(idx: &[usize]) -> Path {
-        Path::from_indices(idx).unwrap()
+    fn accept(
+        rx: &mut FifoReceiver,
+        t: &Topology,
+        idx: &[usize],
+        seq: u64,
+        round: Round,
+        pay: Arc<CompletePayload>,
+    ) -> Vec<FifoDelivery> {
+        let path = pid(t, idx);
+        rx.accept(path, t.index().init(path), seq, round, NodeSet::EMPTY, pay)
     }
 
     #[test]
     fn in_order_messages_deliver_immediately() {
+        let t = topo();
         let mut rx = FifoReceiver::new();
-        let d1 = rx.accept(&p(&[1, 0]), 1, 0, NodeSet::EMPTY, payload(1.0));
+        let d1 = accept(&mut rx, &t, &[1, 0], 1, 0, payload(&t, 1.0));
         assert_eq!(d1.len(), 1);
-        assert_eq!(d1[0].initiator, dbac_graph::NodeId::new(1));
-        let d2 = rx.accept(&p(&[1, 0]), 2, 0, NodeSet::EMPTY, payload(2.0));
+        assert_eq!(d1[0].initiator, NodeId::new(1));
+        let d2 = accept(&mut rx, &t, &[1, 0], 2, 0, payload(&t, 2.0));
         assert_eq!(d2.len(), 1);
     }
 
     #[test]
     fn gaps_hold_messages_back() {
+        let t = topo();
         let mut rx = FifoReceiver::new();
-        let d = rx.accept(&p(&[1, 0]), 2, 0, NodeSet::EMPTY, payload(2.0));
+        let d = accept(&mut rx, &t, &[1, 0], 2, 0, payload(&t, 2.0));
         assert!(d.is_empty(), "seq 1 missing");
-        let d = rx.accept(&p(&[1, 0]), 3, 1, NodeSet::EMPTY, payload(3.0));
+        let d = accept(&mut rx, &t, &[1, 0], 3, 1, payload(&t, 3.0));
         assert!(d.is_empty());
-        let d = rx.accept(&p(&[1, 0]), 1, 0, NodeSet::EMPTY, payload(1.0));
+        let d = accept(&mut rx, &t, &[1, 0], 1, 0, payload(&t, 1.0));
         assert_eq!(d.len(), 3, "gap closes, everything drains in order");
         let rounds: Vec<u32> = d.iter().map(|x| x.round).collect();
         assert_eq!(rounds, vec![0, 0, 1]);
@@ -201,31 +221,61 @@ mod tests {
 
     #[test]
     fn channels_are_per_path() {
+        let t = topo();
         let mut rx = FifoReceiver::new();
-        let d = rx.accept(&p(&[1, 0]), 1, 0, NodeSet::EMPTY, payload(1.0));
+        let d = accept(&mut rx, &t, &[1, 0], 1, 0, payload(&t, 1.0));
         assert_eq!(d.len(), 1);
         // Same initiator, different path: independent channel, needs seq 1.
-        let d = rx.accept(&p(&[1, 2, 0]), 2, 0, NodeSet::EMPTY, payload(2.0));
+        let d = accept(&mut rx, &t, &[1, 2, 0], 2, 0, payload(&t, 2.0));
         assert!(d.is_empty());
         assert_eq!(rx.channel_count(), 2);
     }
 
     #[test]
     fn exact_duplicates_are_dropped_but_conflicts_kept() {
+        let t = topo();
         let mut rx = FifoReceiver::new();
-        rx.accept(&p(&[1, 0]), 2, 0, NodeSet::EMPTY, payload(9.0));
-        rx.accept(&p(&[1, 0]), 2, 0, NodeSet::EMPTY, payload(9.0)); // replay
-        rx.accept(&p(&[1, 0]), 2, 0, NodeSet::EMPTY, payload(8.0)); // conflict
-        let d = rx.accept(&p(&[1, 0]), 1, 0, NodeSet::EMPTY, payload(1.0));
+        accept(&mut rx, &t, &[1, 0], 2, 0, payload(&t, 9.0));
+        accept(&mut rx, &t, &[1, 0], 2, 0, payload(&t, 9.0)); // replay
+        accept(&mut rx, &t, &[1, 0], 2, 0, payload(&t, 8.0)); // conflict
+        let d = accept(&mut rx, &t, &[1, 0], 1, 0, payload(&t, 1.0));
         // seq 1 + the two *distinct* seq-2 contents.
         assert_eq!(d.len(), 3);
     }
 
     #[test]
     fn stale_seq_is_ignored() {
+        let t = topo();
         let mut rx = FifoReceiver::new();
-        rx.accept(&p(&[1, 0]), 1, 0, NodeSet::EMPTY, payload(1.0));
-        let d = rx.accept(&p(&[1, 0]), 1, 0, NodeSet::EMPTY, payload(7.0));
+        accept(&mut rx, &t, &[1, 0], 1, 0, payload(&t, 1.0));
+        let d = accept(&mut rx, &t, &[1, 0], 1, 0, payload(&t, 7.0));
         assert!(d.is_empty(), "counter 1 already drained");
+    }
+
+    /// Regression for the PathId re-keying: channel census and drain order
+    /// must match the original (initiator, owned-path) design exactly.
+    #[test]
+    fn rekeying_preserves_channel_count_and_drain_order() {
+        let t = topo();
+        let mut rx = FifoReceiver::new();
+        // Open one channel per simple (·,0)-path in K3 (⟨0⟩ excluded: a
+        // node does not FIFO-receive from itself over the network).
+        let paths: Vec<&[usize]> = vec![&[1, 0], &[2, 0], &[1, 2, 0], &[2, 1, 0]];
+        for (i, p) in paths.iter().enumerate() {
+            // Arrive out of order: seq 2 first, then seq 1.
+            let d = accept(&mut rx, &t, p, 2, 1, payload(&t, i as f64));
+            assert!(d.is_empty());
+        }
+        assert_eq!(rx.channel_count(), paths.len(), "one channel per path");
+        for p in &paths {
+            let d = accept(&mut rx, &t, p, 1, 0, payload(&t, -1.0));
+            // Gap closes: seq 1 then seq 2, rounds 0 then 1.
+            assert_eq!(d.len(), 2);
+            assert_eq!((d[0].round, d[1].round), (0, 1), "drain order per channel");
+            let want = pid(&t, p);
+            assert!(d.iter().all(|x| x.path == want));
+            assert!(d.iter().all(|x| x.initiator == t.index().init(want)));
+        }
+        assert_eq!(rx.channel_count(), paths.len(), "drained channels stay open");
     }
 }

@@ -16,7 +16,7 @@
 
 use crate::message_set::MessageSet;
 use dbac_conditions::cover::has_cover;
-use dbac_graph::{NodeId, NodeSet};
+use dbac_graph::{NodeId, NodeSet, PathId, PathIndex};
 use serde::{Deserialize, Serialize};
 
 /// The result of one Filter-and-Average step.
@@ -44,11 +44,13 @@ pub fn filter_and_average(
     f: usize,
     me: NodeId,
     n: usize,
+    index: &PathIndex,
 ) -> Option<FilterOutcome> {
-    // Line 1: sort by value; ties broken by path for determinism.
-    let mut entries: Vec<(&dbac_graph::Path, f64)> = mset.iter().collect();
-    entries.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(b.0)));
-    let sets: Vec<NodeSet> = entries.iter().map(|(p, _)| p.node_set()).collect();
+    // Line 1: sort by value; ties broken by path id for determinism (ids
+    // are canonical across nodes).
+    let mut entries: Vec<(PathId, f64)> = mset.iter().collect();
+    entries.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+    let sets: Vec<NodeSet> = entries.iter().map(|&(p, _)| index.node_set(p)).collect();
     let len = entries.len();
     if len == 0 {
         return None;
@@ -80,7 +82,7 @@ fn longest_coverable<'a>(
     // Largest k in [0, len] with a cover; k = 0 always qualifies.
     let (mut lo, mut hi) = (0usize, len);
     while lo < hi {
-        let mid = lo + (hi - lo + 1) / 2;
+        let mid = lo + (hi - lo).div_ceil(2);
         if has_cover(slice(mid), f, allowed) {
             lo = mid;
         } else {
@@ -93,22 +95,26 @@ fn longest_coverable<'a>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dbac_graph::Path;
+    use crate::precompute::Topology;
+    use crate::test_support::{clique_topo, pid};
 
     fn id(i: usize) -> NodeId {
         NodeId::new(i)
     }
 
-    fn p(idx: &[usize]) -> Path {
-        Path::from_indices(idx).unwrap()
+    fn topo(n: usize) -> Topology {
+        clique_topo(n, 1)
     }
 
     #[test]
     fn no_faults_no_trim() {
         // f = 0: nothing is coverable, midpoint of raw extremes.
+        let t = topo(4);
         let m: MessageSet =
-            [(p(&[1, 0]), 1.0), (p(&[2, 0]), 5.0), (p(&[0]), 3.0)].into_iter().collect();
-        let out = filter_and_average(&m, 0, id(0), 4).unwrap();
+            [(pid(&t, &[1, 0]), 1.0), (pid(&t, &[2, 0]), 5.0), (pid(&t, &[0]), 3.0)]
+                .into_iter()
+                .collect();
+        let out = filter_and_average(&m, 0, id(0), 4, t.index()).unwrap();
         assert_eq!(out.value, 3.0);
         assert_eq!((out.trimmed_low, out.trimmed_high, out.kept), (0, 0, 3));
     }
@@ -117,16 +123,17 @@ mod tests {
     fn single_liar_trimmed_from_low_end() {
         // Node 3 injects an extreme low value on all its paths; every such
         // path contains node 3, so {3} is a 1-cover and the prefix goes.
+        let t = topo(4);
         let m: MessageSet = [
-            (p(&[3, 0]), -100.0),
-            (p(&[3, 1, 0]), -100.0),
-            (p(&[1, 0]), 4.0),
-            (p(&[2, 0]), 6.0),
-            (p(&[0]), 5.0),
+            (pid(&t, &[3, 0]), -100.0),
+            (pid(&t, &[3, 1, 0]), -100.0),
+            (pid(&t, &[1, 0]), 4.0),
+            (pid(&t, &[2, 0]), 6.0),
+            (pid(&t, &[0]), 5.0),
         ]
         .into_iter()
         .collect();
-        let out = filter_and_average(&m, 1, id(0), 4).unwrap();
+        let out = filter_and_average(&m, 1, id(0), 4, t.index()).unwrap();
         assert_eq!(out.trimmed_low, 2);
         // The genuine high 6 also trims ({2} covers its only path); the
         // survivors are 4 and 5 — still inside the honest range.
@@ -138,15 +145,16 @@ mod tests {
     fn genuine_extremes_survive_when_uncoverable() {
         // The low value arrives over two node-disjoint paths — no single
         // node covers both, so it must be kept (it may be genuine).
+        let t = topo(5);
         let m: MessageSet = [
-            (p(&[3, 0]), -100.0),
-            (p(&[4, 0]), -100.0),
-            (p(&[1, 0]), 4.0),
-            (p(&[0]), 5.0),
+            (pid(&t, &[3, 0]), -100.0),
+            (pid(&t, &[4, 0]), -100.0),
+            (pid(&t, &[1, 0]), 4.0),
+            (pid(&t, &[0]), 5.0),
         ]
         .into_iter()
         .collect();
-        let out = filter_and_average(&m, 1, id(0), 5).unwrap();
+        let out = filter_and_average(&m, 1, id(0), 5, t.index()).unwrap();
         // The *first* -100 alone is coverable ({3}), but the prefix cannot
         // extend over both disjoint paths — one -100 message survives.
         assert_eq!(out.trimmed_low, 1);
@@ -156,29 +164,33 @@ mod tests {
     #[test]
     fn own_trivial_path_is_never_trimmed() {
         // Everything except ⟨0⟩ is coverable; the own value survives.
+        let t = topo(4);
         let m: MessageSet =
-            [(p(&[3, 0]), -9.0), (p(&[0]), 2.0), (p(&[3, 1, 0]), 11.0)].into_iter().collect();
-        let out = filter_and_average(&m, 1, id(0), 4).unwrap();
+            [(pid(&t, &[3, 0]), -9.0), (pid(&t, &[0]), 2.0), (pid(&t, &[3, 1, 0]), 11.0)]
+                .into_iter()
+                .collect();
+        let out = filter_and_average(&m, 1, id(0), 4, t.index()).unwrap();
         assert_eq!(out.kept, 1);
         assert_eq!(out.value, 2.0);
     }
 
     #[test]
     fn two_fault_budget_trims_two_liars() {
+        let t = topo(5);
         let m: MessageSet = [
-            (p(&[3, 0]), -50.0),
-            (p(&[4, 0]), -40.0),
-            (p(&[1, 0]), 1.0),
-            (p(&[0]), 2.0),
-            (p(&[2, 0]), 3.0),
+            (pid(&t, &[3, 0]), -50.0),
+            (pid(&t, &[4, 0]), -40.0),
+            (pid(&t, &[1, 0]), 1.0),
+            (pid(&t, &[0]), 2.0),
+            (pid(&t, &[2, 0]), 3.0),
         ]
         .into_iter()
         .collect();
         // f = 1 cannot cover paths through 3 and 4 together.
-        let out1 = filter_and_average(&m, 1, id(0), 5).unwrap();
+        let out1 = filter_and_average(&m, 1, id(0), 5, t.index()).unwrap();
         assert_eq!(out1.trimmed_low, 1, "only the single lowest is 1-coverable");
         // f = 2 can.
-        let out2 = filter_and_average(&m, 2, id(0), 5).unwrap();
+        let out2 = filter_and_average(&m, 2, id(0), 5, t.index()).unwrap();
         assert_eq!(out2.trimmed_low, 2);
         // Survivors: 1, 2 (the genuine 3 trims as a coverable suffix).
         assert_eq!(out2.value, 1.5);
@@ -186,23 +198,24 @@ mod tests {
 
     #[test]
     fn empty_set_returns_none() {
-        assert_eq!(filter_and_average(&MessageSet::new(), 1, id(0), 3), None);
+        let t = topo(3);
+        assert_eq!(filter_and_average(&MessageSet::new(), 1, id(0), 3, t.index()), None);
     }
 
     #[test]
     fn value_ties_keep_message_granularity() {
         // Two messages with the same value: trimming is by message, and the
-        // sort is deterministic under ties.
-        let m: MessageSet = [
-            (p(&[1, 0]), 5.0),
-            (p(&[2, 0]), 5.0),
-            (p(&[0]), 5.0),
-        ]
-        .into_iter()
-        .collect();
-        let out = filter_and_average(&m, 1, id(0), 3).unwrap();
+        // sort is deterministic under ties (id order puts ⟨0⟩ before
+        // ⟨1,0⟩ before ⟨2,0⟩ in the terminal-0 pool).
+        let t = topo(3);
+        let m: MessageSet =
+            [(pid(&t, &[1, 0]), 5.0), (pid(&t, &[2, 0]), 5.0), (pid(&t, &[0]), 5.0)]
+                .into_iter()
+                .collect();
+        assert!(pid(&t, &[0]) < pid(&t, &[1, 0]) && pid(&t, &[1, 0]) < pid(&t, &[2, 0]));
+        let out = filter_and_average(&m, 1, id(0), 3, t.index()).unwrap();
         assert_eq!(out.value, 5.0);
-        // Sorted (value, path): ⟨0⟩, ⟨1,0⟩, ⟨2,0⟩. The prefix starts at the
+        // Sorted (value, id): ⟨0⟩, ⟨1,0⟩, ⟨2,0⟩. The prefix starts at the
         // uncoverable ⟨0⟩ (lo = 0); the suffix trims only ⟨2,0⟩.
         assert_eq!((out.trimmed_low, out.trimmed_high, out.kept), (0, 1, 2));
     }

@@ -2,14 +2,15 @@
 //!
 //! A node that accepts `(x, p)` stores `(x, p‖v)` and forwards `(x, p‖v)`
 //! to each out-neighbor `w` for which `p‖v‖w` is still a redundant path
-//! (a simple path in the ablation mode). The helpers here are shared by
-//! honest nodes and by adversaries that need to *look* honest while
-//! tampering.
+//! (a simple path in the ablation mode). Admissibility is one lookup in
+//! the [`PathIndex`](dbac_graph::PathIndex) forwarding table — the interned
+//! population holds exactly the admissible paths of the active flood mode.
+//! The helpers here are shared by honest nodes and by adversaries that
+//! need to *look* honest while tampering.
 
-use crate::config::FloodMode;
 use crate::message::{ProtocolMsg, Round};
 use crate::precompute::Topology;
-use dbac_graph::{NodeId, Path};
+use dbac_graph::{NodeId, PathId};
 
 /// The initial flood of a state value: `(x, ⟨me⟩)` to every out-neighbor
 /// (Algorithm 4 line 1). The two-node extension is always admissible.
@@ -20,37 +21,31 @@ pub fn initial_flood(
     round: Round,
     value: f64,
 ) -> Vec<(NodeId, ProtocolMsg)> {
-    let path = Path::single(me);
+    let path = topo.index().trivial(me);
     topo.graph()
         .out_neighbors(me)
         .iter()
-        .map(|w| (w, ProtocolMsg::Flood { round, value, path: path.clone() }))
+        .map(|w| (w, ProtocolMsg::Flood { round, value, path }))
         .collect()
 }
 
 /// Forwards for a freshly stored flood path (which ends at `me`): sends
 /// `(value, stored)` to each `w` with `stored‖w` admissible under the
-/// flood mode.
+/// flood mode — i.e. present in the forwarding table.
 #[must_use]
 pub fn flood_forwards(
     topo: &Topology,
     me: NodeId,
     round: Round,
     value: f64,
-    stored: &Path,
+    stored: PathId,
 ) -> Vec<(NodeId, ProtocolMsg)> {
-    debug_assert_eq!(stored.ter(), me);
+    let index = topo.index();
+    debug_assert_eq!(index.ter(stored), me);
     let mut out = Vec::new();
     for w in topo.graph().out_neighbors(me).iter() {
-        let Ok(extended) = stored.extended(w) else {
-            continue;
-        };
-        let admissible = match topo.flood_mode() {
-            FloodMode::Redundant => extended.is_redundant(),
-            FloodMode::SimpleOnly => extended.is_simple(),
-        };
-        if admissible {
-            out.push((w, ProtocolMsg::Flood { round, value, path: stored.clone() }));
+        if index.extend(stored, w).is_some() {
+            out.push((w, ProtocolMsg::Flood { round, value, path: stored }));
         }
     }
     out
@@ -59,14 +54,16 @@ pub fn flood_forwards(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dbac_graph::{generators, PathBudget};
+    use crate::config::FloodMode;
+    use crate::test_support::{pid, topo_of};
+    use dbac_graph::generators;
 
     fn id(i: usize) -> NodeId {
         NodeId::new(i)
     }
 
     fn topo(n: usize, mode: FloodMode) -> Topology {
-        Topology::new(generators::clique(n), 1, mode, PathBudget::default()).unwrap()
+        topo_of(generators::clique(n), 1, mode)
     }
 
     #[test]
@@ -78,7 +75,7 @@ mod tests {
             match m {
                 ProtocolMsg::Flood { round, value, path } => {
                     assert_eq!((*round, *value), (0, 1.5));
-                    assert_eq!(*path, Path::single(id(0)));
+                    assert_eq!(*path, t.index().trivial(id(0)));
                 }
                 ProtocolMsg::Complete { .. } => panic!("wrong message kind"),
             }
@@ -91,14 +88,14 @@ mod tests {
         // Stored path ⟨1,2,0⟩ at node 0: forwarding to 3 gives ⟨1,2,0,3⟩
         // (redundant); forwarding to 1 gives ⟨1,2,0,1⟩ (also redundant —
         // splits as ⟨1,2,0⟩‖⟨0,1⟩).
-        let stored = Path::from_indices(&[1, 2, 0]).unwrap();
-        let fw = flood_forwards(&t, id(0), 2, 7.0, &stored);
+        let stored = pid(&t, &[1, 2, 0]);
+        let fw = flood_forwards(&t, id(0), 2, 7.0, stored);
         let targets: Vec<usize> = fw.iter().map(|(w, _)| w.index()).collect();
         assert!(targets.contains(&3));
         assert!(targets.contains(&1));
         for (_, m) in &fw {
             if let ProtocolMsg::Flood { path, .. } = m {
-                assert_eq!(path, &stored, "wire path ends at the sender");
+                assert_eq!(*path, stored, "wire path ends at the sender");
             }
         }
     }
@@ -106,14 +103,11 @@ mod tests {
     #[test]
     fn forwards_stop_when_redundancy_would_break() {
         let t = topo(3, FloodMode::Redundant);
-        // ⟨0,1,0,1… is not extensible past two simple halves:
-        // stored ⟨1,0,1,2,0⟩? Construct a path already using its budget:
-        // ⟨2,0,1,2,0⟩ splits ⟨2,0,1,2⟩? not simple. ⟨2,0⟩‖⟨0,1,2,0⟩? not
-        // simple. ⟨2,0,1⟩‖⟨1,2,0⟩: both simple ✓ so it is redundant; now
+        // ⟨2,0,1,2,0⟩ is redundant (⟨2,0,1⟩‖⟨1,2,0⟩, both simple), but
         // extending by 1 gives ⟨2,0,1,2,0,1⟩ which has no simple split.
-        let stored = Path::from_indices(&[2, 0, 1, 2, 0]).unwrap();
-        assert!(stored.is_redundant());
-        let fw = flood_forwards(&t, id(0), 0, 1.0, &stored);
+        let stored = pid(&t, &[2, 0, 1, 2, 0]);
+        assert!(t.index().path(stored).is_redundant());
+        let fw = flood_forwards(&t, id(0), 0, 1.0, stored);
         let targets: Vec<usize> = fw.iter().map(|(w, _)| w.index()).collect();
         assert!(!targets.contains(&1), "⟨2,0,1,2,0,1⟩ is not redundant");
     }
@@ -121,8 +115,8 @@ mod tests {
     #[test]
     fn simple_mode_blocks_cycles() {
         let t = topo(4, FloodMode::SimpleOnly);
-        let stored = Path::from_indices(&[1, 2, 0]).unwrap();
-        let fw = flood_forwards(&t, id(0), 0, 1.0, &stored);
+        let stored = pid(&t, &[1, 2, 0]);
+        let fw = flood_forwards(&t, id(0), 0, 1.0, stored);
         let targets: Vec<usize> = fw.iter().map(|(w, _)| w.index()).collect();
         assert_eq!(targets, vec![3], "only the cycle-free extension survives");
     }

@@ -57,6 +57,9 @@ pub mod precompute;
 pub mod run;
 pub mod witness;
 
+#[cfg(test)]
+pub(crate) mod test_support;
+
 pub use config::{num_rounds, FloodMode, ProtocolConfig};
 pub use error::RunError;
 pub use message::{ProtocolMsg, Round};

@@ -7,21 +7,28 @@
 //! * **consistency** — all paths from the same initiator report one value;
 //! * **fullness** for `(A, v)` — every redundant path avoiding `A` and
 //!   terminating at `v` has reported.
+//!
+//! Paths are held as interned [`PathId`]s: insertion and lookup compare
+//! one `u32` instead of hashing a node vector, and the set-theoretic
+//! operations read the [`PathIndex`]'s precomputed bitmasks. The index is
+//! passed into the operations that need path metadata; ids in a set are
+//! only meaningful relative to the topology whose index interned them.
 
-use dbac_graph::{NodeId, NodeSet, Path};
+use dbac_graph::{NodeId, NodeSet, PathId, PathIndex};
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 
-/// An accumulated set of `(value, path)` messages, keyed by path.
+/// An accumulated set of `(value, path)` messages, keyed by interned path.
 ///
 /// The first value received for a path wins (matching RedundantFlood's
 /// "first message with path p" rule); a path can therefore never report two
-/// values *within one set*.
+/// values *within one set*. Iteration order is id order, which is
+/// deterministic and identical at every node.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct MessageSet {
-    entries: BTreeMap<Path, f64>,
+    entries: BTreeMap<PathId, f64>,
 }
 
 impl MessageSet {
@@ -33,7 +40,7 @@ impl MessageSet {
 
     /// Inserts `(value, path)`; returns `false` (and keeps the original) if
     /// the path already reported.
-    pub fn insert(&mut self, path: Path, value: f64) -> bool {
+    pub fn insert(&mut self, path: PathId, value: f64) -> bool {
         match self.entries.entry(path) {
             std::collections::btree_map::Entry::Vacant(e) => {
                 e.insert(value);
@@ -57,82 +64,68 @@ impl MessageSet {
 
     /// Returns `true` if `path` has reported.
     #[must_use]
-    pub fn contains_path(&self, path: &Path) -> bool {
-        self.entries.contains_key(path)
+    pub fn contains_path(&self, path: PathId) -> bool {
+        self.entries.contains_key(&path)
     }
 
     /// The value reported along `path`, if any.
     #[must_use]
-    pub fn value_on_path(&self, path: &Path) -> Option<f64> {
-        self.entries.get(path).copied()
+    pub fn value_on_path(&self, path: PathId) -> Option<f64> {
+        self.entries.get(&path).copied()
     }
 
-    /// Iterates over `(path, value)` in deterministic (path) order.
-    pub fn iter(&self) -> impl Iterator<Item = (&Path, f64)> + '_ {
-        self.entries.iter().map(|(p, &v)| (p, v))
+    /// Iterates over `(path, value)` in deterministic (id) order.
+    pub fn iter(&self) -> impl Iterator<Item = (PathId, f64)> + '_ {
+        self.entries.iter().map(|(&p, &v)| (p, v))
     }
 
     /// The paper's `P(M)`: the set of propagation paths.
-    pub fn paths(&self) -> impl Iterator<Item = &Path> + '_ {
-        self.entries.keys()
+    pub fn paths(&self) -> impl Iterator<Item = PathId> + '_ {
+        self.entries.keys().copied()
     }
 
     /// The exclusion `M|_Ā` (Definition 7): messages whose path avoids `A`.
     #[must_use]
-    pub fn exclusion(&self, a: NodeSet) -> MessageSet {
+    pub fn exclusion(&self, a: NodeSet, index: &PathIndex) -> MessageSet {
         MessageSet {
             entries: self
                 .entries
                 .iter()
-                .filter(|(p, _)| !p.intersects(a))
-                .map(|(p, &v)| (p.clone(), v))
+                .filter(|(&p, _)| !index.intersects(p, a))
+                .map(|(&p, &v)| (p, v))
                 .collect(),
         }
     }
 
     /// Consistency (Definition 8): every initiator reports a unique value.
     #[must_use]
-    pub fn is_consistent(&self) -> bool {
-        let mut seen: BTreeMap<NodeId, f64> = BTreeMap::new();
-        for (p, &v) in &self.entries {
-            match seen.entry(p.init()) {
-                std::collections::btree_map::Entry::Vacant(e) => {
-                    e.insert(v);
-                }
-                std::collections::btree_map::Entry::Occupied(e) => {
-                    if e.get().to_bits() != v.to_bits() {
-                        return false;
-                    }
-                }
-            }
-        }
-        true
+    pub fn is_consistent(&self, index: &PathIndex) -> bool {
+        values_consistent(self.entries.iter().map(|(&p, &v)| (p, v)), index)
     }
 
     /// The paper's `value_q(M)`: the value reported by initiator `q`.
-    /// Unique when the set is consistent; otherwise the first in path
-    /// order.
+    /// Unique when the set is consistent; otherwise the first in id order.
     #[must_use]
-    pub fn value_of(&self, q: NodeId) -> Option<f64> {
-        self.entries.iter().find(|(p, _)| p.init() == q).map(|(_, &v)| v)
+    pub fn value_of(&self, q: NodeId, index: &PathIndex) -> Option<f64> {
+        self.entries.iter().find(|(&p, _)| index.init(p) == q).map(|(_, &v)| v)
     }
 
     /// Fullness (Definition 9) against a pre-enumerated requirement list:
     /// every required path has reported.
     #[must_use]
-    pub fn is_full_for(&self, required: &[Path]) -> bool {
+    pub fn is_full_for(&self, required: &[PathId]) -> bool {
         required.iter().all(|p| self.entries.contains_key(p))
     }
 
     /// The set of initiators appearing in the set.
     #[must_use]
-    pub fn initiators(&self) -> NodeSet {
-        self.entries.keys().map(Path::init).collect()
+    pub fn initiators(&self, index: &PathIndex) -> NodeSet {
+        self.entries.keys().map(|&p| index.init(p)).collect()
     }
 }
 
-impl FromIterator<(Path, f64)> for MessageSet {
-    fn from_iter<I: IntoIterator<Item = (Path, f64)>>(iter: I) -> Self {
+impl FromIterator<(PathId, f64)> for MessageSet {
+    fn from_iter<I: IntoIterator<Item = (PathId, f64)>>(iter: I) -> Self {
         let mut m = MessageSet::new();
         for (p, v) in iter {
             m.insert(p, v);
@@ -141,25 +134,95 @@ impl FromIterator<(Path, f64)> for MessageSet {
     }
 }
 
+fn fingerprint_entries(entries: &[(PathId, f64)]) -> u64 {
+    let mut h = DefaultHasher::new();
+    for &(p, v) in entries {
+        p.raw().hash(&mut h);
+        v.to_bits().hash(&mut h);
+    }
+    entries.len().hash(&mut h);
+    h.finish()
+}
+
+fn values_consistent(entries: impl Iterator<Item = (PathId, f64)>, index: &PathIndex) -> bool {
+    let mut seen: BTreeMap<NodeId, u64> = BTreeMap::new();
+    for (p, v) in entries {
+        match seen.entry(index.init(p)) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(v.to_bits());
+            }
+            std::collections::btree_map::Entry::Occupied(e) => {
+                if *e.get() != v.to_bits() {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
 /// The immutable payload of a `COMPLETE` message: a snapshot of the
 /// initiator's `M_c|_F̄` at the moment its Maximal-Consistency condition
-/// fired (Algorithm 1, line 11). Entries are kept sorted by path so two
-/// payloads are equal iff their contents are.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+/// fired (Algorithm 1, line 11). Entries are kept sorted by id — ids are
+/// canonical across nodes — so two payloads are equal iff their contents
+/// are.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(from = "Vec<(PathId, f64)>", into = "Vec<(PathId, f64)>")]
 pub struct CompletePayload {
-    entries: Vec<(Path, f64)>,
+    entries: Vec<(PathId, f64)>,
+    /// Content hash, computed once at construction — fingerprinting happens
+    /// on every arrival, so it must not rehash the entries each time.
+    ///
+    /// Trust boundary: the fingerprint is *derived* state and must never be
+    /// accepted from the wire — the witness logic counts "same message" by
+    /// fingerprint equality, so a forgeable hash would let a Byzantine
+    /// sender alias distinct payloads. The container-level `from`/`into`
+    /// attributes make the wire format the bare entry list: deserialization
+    /// is forced through [`CompletePayload::from_entries`], which recomputes
+    /// the hash, so wire ingress cannot supply its own.
+    fingerprint: u64,
+}
+
+impl From<Vec<(PathId, f64)>> for CompletePayload {
+    fn from(entries: Vec<(PathId, f64)>) -> Self {
+        CompletePayload::from_entries(entries)
+    }
+}
+
+impl From<CompletePayload> for Vec<(PathId, f64)> {
+    fn from(payload: CompletePayload) -> Self {
+        payload.entries
+    }
+}
+
+/// Equality is by entries alone: the fingerprint is derived state and is
+/// not serialized, so it must not participate in comparisons.
+impl PartialEq for CompletePayload {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
 }
 
 impl CompletePayload {
     /// Snapshots a message set into a canonical payload.
     #[must_use]
     pub fn from_message_set(m: &MessageSet) -> Self {
-        CompletePayload { entries: m.iter().map(|(p, v)| (p.clone(), v)).collect() }
+        CompletePayload::from_entries(m.iter().collect())
     }
 
-    /// The `(path, value)` entries in canonical (path) order.
+    /// Builds a payload from raw `(path, value)` entries — the only way to
+    /// construct one, so the cached fingerprint always matches the entries
+    /// (wire ingress cannot supply its own).
     #[must_use]
-    pub fn entries(&self) -> &[(Path, f64)] {
+    pub fn from_entries(mut entries: Vec<(PathId, f64)>) -> Self {
+        entries.sort_unstable_by_key(|&(p, _)| p);
+        let fingerprint = fingerprint_entries(&entries);
+        CompletePayload { entries, fingerprint }
+    }
+
+    /// The `(path, value)` entries in canonical (id) order.
+    #[must_use]
+    pub fn entries(&self) -> &[(PathId, f64)] {
         &self.entries
     }
 
@@ -177,55 +240,40 @@ impl CompletePayload {
 
     /// Consistency of the payload (Definition 8).
     #[must_use]
-    pub fn is_consistent(&self) -> bool {
-        let mut seen: BTreeMap<NodeId, f64> = BTreeMap::new();
-        for (p, v) in &self.entries {
-            match seen.entry(p.init()) {
-                std::collections::btree_map::Entry::Vacant(e) => {
-                    e.insert(*v);
-                }
-                std::collections::btree_map::Entry::Occupied(e) => {
-                    if e.get().to_bits() != v.to_bits() {
-                        return false;
-                    }
-                }
-            }
-        }
-        true
+    pub fn is_consistent(&self, index: &PathIndex) -> bool {
+        values_consistent(self.entries.iter().copied(), index)
     }
 
     /// `value_q` of the payload: the (first) value reported by initiator `q`.
     #[must_use]
-    pub fn value_of(&self, q: NodeId) -> Option<f64> {
-        self.entries.iter().find(|(p, _)| p.init() == q).map(|(_, v)| *v)
+    pub fn value_of(&self, q: NodeId, index: &PathIndex) -> Option<f64> {
+        self.entries.iter().find(|&&(p, _)| index.init(p) == q).map(|&(_, v)| v)
     }
 
     /// A content fingerprint used to compare payloads received over
-    /// different paths ("the same message", Algorithm 1 line 12).
+    /// different paths ("the same message", Algorithm 1 line 12). Ids are
+    /// canonical per topology, so fingerprints agree across nodes. O(1):
+    /// the hash is precomputed at construction.
     #[must_use]
     pub fn fingerprint(&self) -> u64 {
-        let mut h = DefaultHasher::new();
-        for (p, v) in &self.entries {
-            p.nodes().hash(&mut h);
-            v.to_bits().hash(&mut h);
-        }
-        self.entries.len().hash(&mut h);
-        h.finish()
+        self.fingerprint
     }
 
     /// Rebuilds a [`MessageSet`] view of the payload.
     #[must_use]
     pub fn to_message_set(&self) -> MessageSet {
-        self.entries.iter().cloned().collect()
+        self.entries.iter().copied().collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::precompute::Topology;
+    use crate::test_support::{clique_topo, pid};
 
-    fn p(idx: &[usize]) -> Path {
-        Path::from_indices(idx).unwrap()
+    fn topo() -> Topology {
+        clique_topo(4, 1)
     }
 
     fn ns(ids: &[usize]) -> NodeSet {
@@ -234,78 +282,94 @@ mod tests {
 
     #[test]
     fn first_value_per_path_wins() {
+        let t = topo();
+        let p01 = pid(&t, &[0, 1]);
         let mut m = MessageSet::new();
-        assert!(m.insert(p(&[0, 1]), 1.0));
-        assert!(!m.insert(p(&[0, 1]), 9.0));
-        assert_eq!(m.value_on_path(&p(&[0, 1])), Some(1.0));
+        assert!(m.insert(p01, 1.0));
+        assert!(!m.insert(p01, 9.0));
+        assert_eq!(m.value_on_path(p01), Some(1.0));
         assert_eq!(m.len(), 1);
     }
 
     #[test]
     fn exclusion_filters_by_path_nodes() {
+        let t = topo();
         let m: MessageSet =
-            [(p(&[0, 1, 2]), 1.0), (p(&[3, 2]), 2.0), (p(&[2]), 3.0)].into_iter().collect();
-        let e = m.exclusion(ns(&[1]));
+            [(pid(&t, &[0, 1, 2]), 1.0), (pid(&t, &[3, 2]), 2.0), (pid(&t, &[2]), 3.0)]
+                .into_iter()
+                .collect();
+        let e = m.exclusion(ns(&[1]), t.index());
         assert_eq!(e.len(), 2);
-        assert!(!e.contains_path(&p(&[0, 1, 2])));
+        assert!(!e.contains_path(pid(&t, &[0, 1, 2])));
         // Exclusion on nothing is identity.
-        assert_eq!(m.exclusion(NodeSet::EMPTY), m);
+        assert_eq!(m.exclusion(NodeSet::EMPTY, t.index()), m);
     }
 
     #[test]
     fn consistency_per_initiator() {
+        let t = topo();
         let mut m = MessageSet::new();
-        m.insert(p(&[0, 2]), 5.0);
-        m.insert(p(&[0, 1, 2]), 5.0);
-        assert!(m.is_consistent());
-        m.insert(p(&[0, 3, 2]), 6.0);
-        assert!(!m.is_consistent());
+        m.insert(pid(&t, &[0, 2]), 5.0);
+        m.insert(pid(&t, &[0, 1, 2]), 5.0);
+        assert!(m.is_consistent(t.index()));
+        m.insert(pid(&t, &[0, 3, 2]), 6.0);
+        assert!(!m.is_consistent(t.index()));
         // … but excluding the offending path restores consistency.
-        assert!(m.exclusion(ns(&[3])).is_consistent());
+        assert!(m.exclusion(ns(&[3]), t.index()).is_consistent(t.index()));
     }
 
     #[test]
     fn value_of_initiator() {
-        let m: MessageSet = [(p(&[4, 2]), 8.0), (p(&[1, 2]), 3.0)].into_iter().collect();
-        assert_eq!(m.value_of(NodeId::new(4)), Some(8.0));
-        assert_eq!(m.value_of(NodeId::new(9)), None);
-        assert_eq!(m.initiators(), ns(&[1, 4]));
+        let t = topo();
+        let m: MessageSet =
+            [(pid(&t, &[3, 2]), 8.0), (pid(&t, &[1, 2]), 3.0)].into_iter().collect();
+        assert_eq!(m.value_of(NodeId::new(3), t.index()), Some(8.0));
+        assert_eq!(m.value_of(NodeId::new(2), t.index()), None);
+        assert_eq!(m.initiators(t.index()), ns(&[1, 3]));
     }
 
     #[test]
     fn fullness_against_requirements() {
-        let m: MessageSet = [(p(&[0, 2]), 1.0), (p(&[2]), 0.0)].into_iter().collect();
-        assert!(m.is_full_for(&[p(&[2]), p(&[0, 2])]));
-        assert!(!m.is_full_for(&[p(&[2]), p(&[1, 2])]));
+        let t = topo();
+        let m: MessageSet = [(pid(&t, &[0, 2]), 1.0), (pid(&t, &[2]), 0.0)].into_iter().collect();
+        assert!(m.is_full_for(&[pid(&t, &[2]), pid(&t, &[0, 2])]));
+        assert!(!m.is_full_for(&[pid(&t, &[2]), pid(&t, &[1, 2])]));
         assert!(m.is_full_for(&[]));
     }
 
     #[test]
     fn payload_round_trip_and_fingerprint() {
-        let m: MessageSet = [(p(&[0, 2]), 1.5), (p(&[1, 2]), 2.5)].into_iter().collect();
+        let t = topo();
+        let m: MessageSet =
+            [(pid(&t, &[0, 2]), 1.5), (pid(&t, &[1, 2]), 2.5)].into_iter().collect();
         let pay = CompletePayload::from_message_set(&m);
         assert_eq!(pay.len(), 2);
-        assert!(pay.is_consistent());
-        assert_eq!(pay.value_of(NodeId::new(1)), Some(2.5));
+        assert!(pay.is_consistent(t.index()));
+        assert_eq!(pay.value_of(NodeId::new(1), t.index()), Some(2.5));
         assert_eq!(pay.to_message_set(), m);
 
         let same = CompletePayload::from_message_set(&m.clone());
         assert_eq!(pay.fingerprint(), same.fingerprint());
-        let different: MessageSet = [(p(&[0, 2]), 1.5)].into_iter().collect();
+        let different: MessageSet = [(pid(&t, &[0, 2]), 1.5)].into_iter().collect();
         assert_ne!(pay.fingerprint(), CompletePayload::from_message_set(&different).fingerprint());
     }
 
     #[test]
     fn payload_inconsistency_detected() {
-        let m: MessageSet = [(p(&[0, 2]), 1.0), (p(&[0, 1, 2]), 2.0)].into_iter().collect();
-        assert!(!CompletePayload::from_message_set(&m).is_consistent());
+        let t = topo();
+        let m: MessageSet =
+            [(pid(&t, &[0, 2]), 1.0), (pid(&t, &[0, 1, 2]), 2.0)].into_iter().collect();
+        assert!(!CompletePayload::from_message_set(&m).is_consistent(t.index()));
     }
 
     #[test]
     fn deterministic_iteration_order() {
+        let t = topo();
         let m: MessageSet =
-            [(p(&[2]), 0.0), (p(&[0, 2]), 1.0), (p(&[1, 2]), 2.0)].into_iter().collect();
-        let order: Vec<Path> = m.paths().cloned().collect();
+            [(pid(&t, &[2]), 0.0), (pid(&t, &[0, 2]), 1.0), (pid(&t, &[1, 2]), 2.0)]
+                .into_iter()
+                .collect();
+        let order: Vec<PathId> = m.paths().collect();
         let mut sorted = order.clone();
         sorted.sort();
         assert_eq!(order, sorted);

@@ -8,7 +8,7 @@ use crate::flood;
 use crate::message::{validate_complete, validate_flood, ProtocolMsg, Round};
 use crate::precompute::Topology;
 use crate::witness::{NodePlan, RoundAction, RoundCore};
-use dbac_graph::{NodeId, NodeSet, Path};
+use dbac_graph::{NodeId, NodeSet, PathId};
 use dbac_sim::process::{Context, Process};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
@@ -46,7 +46,9 @@ pub struct HonestNode {
     fa_outcomes: Vec<FilterOutcome>,
     fifo_counter: u64,
     fifo_rx: FifoReceiver,
-    seen_completes: HashSet<(Path, u64, u64)>,
+    /// Keyed partly by the payload fingerprint (Byzantine-influenced), so
+    /// this uses the seeded default hasher, not `FastHashSet`.
+    seen_completes: HashSet<(PathId, u64, u64)>,
     output: Option<f64>,
     stats: NodeStats,
 }
@@ -128,12 +130,7 @@ impl HonestNode {
         core.start(value, &topo, &plan)
     }
 
-    fn execute(
-        &mut self,
-        ctx: &mut Context<ProtocolMsg>,
-        round: Round,
-        initial: Vec<RoundAction>,
-    ) {
+    fn execute(&mut self, ctx: &mut Context<ProtocolMsg>, round: Round, initial: Vec<RoundAction>) {
         let mut queue: VecDeque<(Round, RoundAction)> =
             initial.into_iter().map(|a| (round, a)).collect();
         while let Some((r, action)) = queue.pop_front() {
@@ -155,7 +152,7 @@ impl HonestNode {
                     let core = self.rounds.get_mut(&r).expect("round exists when MC fires");
                     let acts = core.add_fifo_delivery(
                         self.me,
-                        &Path::single(self.me),
+                        topo.index().trivial(self.me),
                         guess,
                         &payload,
                         fp,
@@ -187,26 +184,26 @@ impl HonestNode {
         from: NodeId,
         round: Round,
         value: f64,
-        path: &Path,
+        path: PathId,
     ) {
         if round >= self.config.rounds || !value.is_finite() {
             self.stats.floods_rejected += 1;
             return;
         }
-        let Some(stored) = validate_flood(self.topo.graph(), self.me, from, path) else {
+        let Some(stored) = validate_flood(&self.topo, self.me, from, path) else {
             self.stats.floods_rejected += 1;
             return;
         };
         let topo = Arc::clone(&self.topo);
         let plan = Arc::clone(&self.plan);
         let core = self.rounds.entry(round).or_insert_with(|| RoundCore::new(&topo, &plan));
-        let (fresh, actions) = core.add_flood(stored.clone(), value, &topo, &plan);
+        let (fresh, actions) = core.add_flood(stored, value, &topo, &plan);
         if !fresh {
             self.stats.floods_duplicate += 1;
             return;
         }
         self.stats.floods_accepted += 1;
-        for (to, msg) in flood::flood_forwards(&self.topo, self.me, round, value, &stored) {
+        for (to, msg) in flood::flood_forwards(&self.topo, self.me, round, value, stored) {
             self.stats.messages_sent += 1;
             ctx.send(to, msg);
         }
@@ -221,7 +218,7 @@ impl HonestNode {
         round: Round,
         suspects: NodeSet,
         payload: Arc<crate::message_set::CompletePayload>,
-        path: &Path,
+        path: PathId,
         seq: u64,
     ) {
         let universe = self.topo.graph().vertex_set();
@@ -232,24 +229,24 @@ impl HonestNode {
             self.stats.completes_rejected += 1;
             return;
         }
-        let Some(stored) = validate_complete(self.topo.graph(), self.me, from, path, suspects, seq)
-        else {
+        let Some(stored) = validate_complete(&self.topo, self.me, from, path, suspects, seq) else {
             self.stats.completes_rejected += 1;
             return;
         };
         let fp = payload.fingerprint();
-        if !self.seen_completes.insert((stored.clone(), seq, fp)) {
+        if !self.seen_completes.insert((stored, seq, fp)) {
             self.stats.completes_rejected += 1;
             return;
         }
         self.stats.completes_accepted += 1;
         for (to, msg) in
-            fifo::complete_forwards(&self.topo, self.me, round, suspects, &payload, &stored, seq)
+            fifo::complete_forwards(&self.topo, self.me, round, suspects, &payload, stored, seq)
         {
             self.stats.messages_sent += 1;
             ctx.send(to, msg);
         }
-        let deliveries = self.fifo_rx.accept(&stored, seq, round, suspects, payload);
+        let initiator = self.topo.index().init(stored);
+        let deliveries = self.fifo_rx.accept(stored, initiator, seq, round, suspects, payload);
         for d in deliveries {
             // Note: d.suspects may legitimately contain this node — another
             // node's winning guess can suspect us, and Theorem 10 needs us
@@ -262,7 +259,7 @@ impl HonestNode {
             let core = self.rounds.entry(d.round).or_insert_with(|| RoundCore::new(&topo, &plan));
             let actions = core.add_fifo_delivery(
                 d.initiator,
-                &d.path,
+                d.path,
                 d.suspects,
                 &d.payload,
                 d.fingerprint,
@@ -290,10 +287,10 @@ impl Process for HonestNode {
     fn on_message(&mut self, ctx: &mut Context<ProtocolMsg>, from: NodeId, msg: ProtocolMsg) {
         match msg {
             ProtocolMsg::Flood { round, value, path } => {
-                self.on_flood(ctx, from, round, value, &path);
+                self.on_flood(ctx, from, round, value, path);
             }
             ProtocolMsg::Complete { round, suspects, payload, path, seq } => {
-                self.on_complete(ctx, from, round, suspects, payload, &path, seq);
+                self.on_complete(ctx, from, round, suspects, payload, path, seq);
             }
         }
     }
@@ -321,13 +318,7 @@ mod tests {
         NodeId::new(i)
     }
 
-    fn run_clique(
-        n: usize,
-        f: usize,
-        inputs: &[f64],
-        epsilon: f64,
-        seed: Option<u64>,
-    ) -> Vec<f64> {
+    fn run_clique(n: usize, f: usize, inputs: &[f64], epsilon: f64, seed: Option<u64>) -> Vec<f64> {
         let topo = Arc::new(
             Topology::new(
                 generators::clique(n),
@@ -337,25 +328,18 @@ mod tests {
             )
             .unwrap(),
         );
-        let (lo, hi) = inputs.iter().fold((f64::MAX, f64::MIN), |(l, h), &v| {
-            (l.min(v), h.max(v))
-        });
+        let (lo, hi) = inputs.iter().fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
         let config = ProtocolConfig::new(f, epsilon, (lo, hi));
         let policy: Box<dyn dbac_sim::DeliveryPolicy + Send> = match seed {
             Some(s) => Box::new(RandomDelay::new(s, 1, 20)),
             None => Box::new(FixedDelay::new(1)),
         };
         let mut sim = Simulation::new(Arc::new(generators::clique(n)), policy);
-        for i in 0..n {
-            sim.set_honest(
-                id(i),
-                HonestNode::new(Arc::clone(&topo), config, id(i), inputs[i]),
-            );
+        for (i, &input) in inputs.iter().enumerate() {
+            sim.set_honest(id(i), HonestNode::new(Arc::clone(&topo), config, id(i), input));
         }
         sim.run().expect("quiesces");
-        (0..n)
-            .map(|i| sim.honest(id(i)).unwrap().output().expect("node decided"))
-            .collect()
+        (0..n).map(|i| sim.honest(id(i)).unwrap().output().expect("node decided")).collect()
     }
 
     #[test]
@@ -397,10 +381,8 @@ mod tests {
             .unwrap(),
         );
         let config = ProtocolConfig::new(1, 0.5, (0.0, 8.0));
-        let mut sim = Simulation::new(
-            Arc::new(generators::clique(4)),
-            Box::new(FixedDelay::new(1)),
-        );
+        let mut sim =
+            Simulation::new(Arc::new(generators::clique(4)), Box::new(FixedDelay::new(1)));
         for (i, input) in [0.0, 8.0, 2.0, 6.0].into_iter().enumerate() {
             sim.set_honest(id(i), HonestNode::new(Arc::clone(&topo), config, id(i), input));
         }
@@ -432,32 +414,25 @@ mod tests {
         node.on_start(&mut ctx);
         let _ = ctx.take_outbox();
 
+        let path_23 =
+            topo.index().resolve(&dbac_graph::Path::from_indices(&[2, 3]).unwrap()).unwrap();
+        let trivial_1 = topo.index().trivial(id(1));
         let forgeries = vec![
             // Path does not end at the authenticated sender.
-            ProtocolMsg::Flood {
-                round: 0,
-                value: 5.0,
-                path: dbac_graph::Path::from_indices(&[2, 3]).unwrap(),
-            },
+            ProtocolMsg::Flood { round: 0, value: 5.0, path: path_23 },
             // Round beyond the protocol horizon.
-            ProtocolMsg::Flood {
-                round: 999,
-                value: 5.0,
-                path: dbac_graph::Path::from_indices(&[1]).unwrap(),
-            },
+            ProtocolMsg::Flood { round: 999, value: 5.0, path: trivial_1 },
             // Non-finite value.
-            ProtocolMsg::Flood {
-                round: 0,
-                value: f64::NAN,
-                path: dbac_graph::Path::from_indices(&[1]).unwrap(),
-            },
+            ProtocolMsg::Flood { round: 0, value: f64::NAN, path: trivial_1 },
+            // An id that interns nothing at all.
+            ProtocolMsg::Flood { round: 0, value: 5.0, path: PathId::from_raw(u32::MAX - 1) },
         ];
         let before = node.stats();
         for msg in forgeries {
             node.on_message(&mut ctx, id(1), msg);
         }
         let after = node.stats();
-        assert_eq!(after.floods_rejected - before.floods_rejected, 3);
+        assert_eq!(after.floods_rejected - before.floods_rejected, 4);
         assert_eq!(after.floods_accepted, before.floods_accepted);
         assert_eq!(ctx.pending(), 0, "forgeries must not be relayed");
 
@@ -469,13 +444,7 @@ mod tests {
         node.on_message(
             &mut ctx,
             id(1),
-            ProtocolMsg::Complete {
-                round: 0,
-                suspects: big,
-                payload,
-                path: dbac_graph::Path::from_indices(&[1]).unwrap(),
-                seq: 1,
-            },
+            ProtocolMsg::Complete { round: 0, suspects: big, payload, path: trivial_1, seq: 1 },
         );
         assert_eq!(node.stats().completes_rejected, after.completes_rejected + 1);
     }
@@ -501,11 +470,7 @@ mod tests {
         node.on_message(
             &mut ctx,
             id(1),
-            ProtocolMsg::Flood {
-                round: 2,
-                value: 5.0,
-                path: dbac_graph::Path::from_indices(&[1]).unwrap(),
-            },
+            ProtocolMsg::Flood { round: 2, value: 5.0, path: topo.index().trivial(id(1)) },
         );
         assert_eq!(node.stats().floods_accepted, 1);
         assert!(ctx.pending() > 0, "future-round messages still relay");
@@ -525,10 +490,8 @@ mod tests {
             .unwrap(),
         );
         let config = ProtocolConfig::new(1, 0.25, (0.0, 16.0));
-        let mut sim = Simulation::new(
-            Arc::new(generators::clique(4)),
-            Box::new(RandomDelay::new(5, 1, 30)),
-        );
+        let mut sim =
+            Simulation::new(Arc::new(generators::clique(4)), Box::new(RandomDelay::new(5, 1, 30)));
         let inputs = [0.0, 16.0, 4.0, 12.0];
         for (i, input) in inputs.into_iter().enumerate() {
             sim.set_honest(id(i), HonestNode::new(Arc::clone(&topo), config, id(i), input));

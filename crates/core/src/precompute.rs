@@ -5,24 +5,25 @@
 //! computes, once per graph:
 //!
 //! * the fault-set guesses `F ⊆ V`, `|F| ≤ f` (one BW thread each);
-//! * per terminal `v`, the full list of redundant (or simple, in the
-//!   ablation mode) paths ending at `v` — the fullness requirement pool;
-//! * per terminal `v`, all simple paths ending at `v` (FIFO flooding);
+//! * the full path population — redundant paths in the paper's mode,
+//!   simple paths in the ablation — interned into a [`PathIndex`], so the
+//!   protocol stack speaks dense [`PathId`]s instead of owned paths;
 //! * reach sets `reach_v(F)` for every guess;
 //! * source components `S_{F1,F2}` for every silenced union `|·| ≤ 2f`;
 //! * per guess `F_u`, the deduplicated Completeness obligations
 //!   `(S_{F_u,F_w}, q)` of Algorithm 2.
 //!
-//! Everything is immutable after construction and shared via `Arc`.
+//! The enumeration and reach passes are embarrassingly parallel and run
+//! across all cores ([`dbac_graph::par::par_map`]). Everything is immutable
+//! after construction and shared via `Arc`.
 
 use crate::config::FloodMode;
 use dbac_conditions::reduced::source_component_of_silenced;
-use dbac_graph::paths::{
-    redundant_paths_ending_at, reaching_to, simple_paths_ending_at,
-};
+use dbac_graph::par::par_map;
+use dbac_graph::paths::{reaching_to, redundant_paths_ending_at, simple_paths_ending_at};
 use dbac_graph::subsets::SubsetsUpTo;
-use dbac_graph::{Digraph, GraphError, NodeId, NodeSet, Path, PathBudget};
-use std::collections::HashMap;
+use dbac_graph::{Digraph, GraphError, NodeId, NodeSet, Path, PathBudget, PathId, PathIndex};
+use std::collections::{HashMap, HashSet};
 
 /// Immutable, shared protocol-relevant knowledge about one network.
 #[derive(Debug)]
@@ -30,12 +31,9 @@ pub struct Topology {
     graph: Digraph,
     f: usize,
     flood_mode: FloodMode,
+    /// The interned path population (the value-flood requirement pools).
+    index: PathIndex,
     guesses: Vec<NodeSet>,
-    /// Per terminal: the value-flood requirement pool (redundant paths in
-    /// the paper's mode, simple paths in the ablation).
-    required_to: Vec<Vec<Path>>,
-    /// Per terminal: all simple paths ending there.
-    simple_to: Vec<Vec<Path>>,
     /// Guess bits → per-node reach sets.
     reach: HashMap<u128, Vec<NodeSet>>,
     /// Silenced-set bits (size ≤ 2f) → source component.
@@ -62,49 +60,59 @@ impl Topology {
         let all = graph.vertex_set();
         let guesses: Vec<NodeSet> = SubsetsUpTo::new(all, f).collect();
 
-        let mut required_to = Vec::with_capacity(n);
-        let mut simple_to = Vec::with_capacity(n);
-        for v in graph.nodes() {
-            let simple = simple_paths_ending_at(&graph, v, NodeSet::EMPTY, budget)?;
-            let required = match flood_mode {
-                FloodMode::Redundant => {
-                    redundant_paths_ending_at(&graph, v, NodeSet::EMPTY, budget)?
-                }
-                FloodMode::SimpleOnly => simple.clone(),
-            };
-            required_to.push(required);
-            simple_to.push(simple);
-        }
+        // Per-terminal path enumeration, fanned out across cores. The pool
+        // is the fullness requirement population; under the paper's mode it
+        // is closed under redundant extension, under the ablation under
+        // simple extension — either way the PathIndex forwarding table is
+        // exact for the active flood discipline.
+        let nodes: Vec<NodeId> = graph.nodes().collect();
+        let pools: Vec<Vec<Path>> = par_map(&nodes, |_, &v| match flood_mode {
+            FloodMode::Redundant => redundant_paths_ending_at(&graph, v, NodeSet::EMPTY, budget),
+            FloodMode::SimpleOnly => simple_paths_ending_at(&graph, v, NodeSet::EMPTY, budget),
+        })
+        .into_iter()
+        .collect::<Result<_, _>>()?;
+        let index = PathIndex::build(&graph, &pools);
 
-        let mut reach = HashMap::with_capacity(guesses.len());
-        for &guess in &guesses {
+        // Per-guess reach sets, also in parallel.
+        let reach: HashMap<u128, Vec<NodeSet>> = par_map(&guesses, |_, &guess| {
             let keep = guess.complement_in(n);
             let sub = graph.induced(keep);
-            let per_node: Vec<NodeSet> = graph
-                .nodes()
-                .map(|v| if guess.contains(v) { NodeSet::EMPTY } else { reaching_to(&sub, v) & keep })
-                .collect();
-            reach.insert(guess.bits(), per_node);
-        }
+            let per_node: Vec<NodeSet> =
+                graph
+                    .nodes()
+                    .map(|v| {
+                        if guess.contains(v) {
+                            NodeSet::EMPTY
+                        } else {
+                            reaching_to(&sub, v) & keep
+                        }
+                    })
+                    .collect();
+            (guess.bits(), per_node)
+        })
+        .into_iter()
+        .collect();
 
-        let mut sources = HashMap::new();
-        for silenced in SubsetsUpTo::new(all, 2 * f) {
-            sources.insert(silenced.bits(), source_component_of_silenced(&graph, silenced));
-        }
+        let silenced_sets: Vec<NodeSet> = SubsetsUpTo::new(all, 2 * f).collect();
+        let sources: HashMap<u128, NodeSet> = par_map(&silenced_sets, |_, &silenced| {
+            (silenced.bits(), source_component_of_silenced(&graph, silenced))
+        })
+        .into_iter()
+        .collect();
 
         let mut obligations = HashMap::with_capacity(guesses.len());
         for &fu in &guesses {
             let mut pairs: Vec<(NodeSet, NodeId)> = Vec::new();
-            let mut seen_components: Vec<NodeSet> = Vec::new();
+            let mut seen_components: HashSet<u128> = HashSet::new();
             for &fw in &guesses {
                 if fw == fu {
                     continue;
                 }
                 let s = sources[&(fu | fw).bits()];
-                if s.is_empty() || seen_components.contains(&s) {
+                if s.is_empty() || !seen_components.insert(s.bits()) {
                     continue;
                 }
-                seen_components.push(s);
                 for q in s.iter() {
                     pairs.push((s, q));
                 }
@@ -112,7 +120,7 @@ impl Topology {
             obligations.insert(fu.bits(), pairs);
         }
 
-        Ok(Topology { graph, f, flood_mode, guesses, required_to, simple_to, reach, sources, obligations })
+        Ok(Topology { graph, f, flood_mode, index, guesses, reach, sources, obligations })
     }
 
     /// The network.
@@ -133,6 +141,12 @@ impl Topology {
         self.flood_mode
     }
 
+    /// The interned path population.
+    #[must_use]
+    pub fn index(&self) -> &PathIndex {
+        &self.index
+    }
+
     /// All fault-set guesses `|F| ≤ f`, in deterministic order.
     #[must_use]
     pub fn guesses(&self) -> &[NodeSet] {
@@ -142,14 +156,14 @@ impl Topology {
     /// The value-flood requirement pool ending at `v` (fullness is checked
     /// against the subset of these avoiding the guess).
     #[must_use]
-    pub fn required_paths_to(&self, v: NodeId) -> &[Path] {
-        &self.required_to[v.index()]
+    pub fn required_paths_to(&self, v: NodeId) -> &[PathId] {
+        self.index.paths_ending_at(v)
     }
 
     /// All simple paths ending at `v`.
     #[must_use]
-    pub fn simple_paths_to(&self, v: NodeId) -> &[Path] {
-        &self.simple_to[v.index()]
+    pub fn simple_paths_to(&self, v: NodeId) -> &[PathId] {
+        self.index.simple_paths_ending_at(v)
     }
 
     /// `reach_v(guess)` — precomputed for every guess.
@@ -194,7 +208,7 @@ mod tests {
     }
 
     fn topo(g: Digraph, f: usize) -> Topology {
-        Topology::new(g, f, FloodMode::Redundant, PathBudget::default()).unwrap()
+        crate::test_support::topo_of(g, f, FloodMode::Redundant)
     }
 
     #[test]
@@ -209,8 +223,25 @@ mod tests {
         let t = topo(generators::clique(4), 1);
         for v in t.graph().nodes() {
             let req = t.required_paths_to(v);
-            assert!(req.contains(&Path::single(v)));
-            assert!(req.iter().all(|p| p.ter() == v && p.is_redundant()));
+            assert!(req.contains(&t.index().trivial(v)));
+            assert!(req.iter().all(|&p| t.index().ter(p) == v && t.index().path(p).is_redundant()));
+        }
+    }
+
+    #[test]
+    fn pools_match_direct_enumeration() {
+        let t = topo(generators::two_cliques_bridged(3, &[(0, 0)], &[(2, 2)]), 1);
+        for v in t.graph().nodes() {
+            let direct =
+                redundant_paths_ending_at(t.graph(), v, NodeSet::EMPTY, PathBudget::default())
+                    .unwrap();
+            let interned: std::collections::HashSet<&Path> =
+                t.required_paths_to(v).iter().map(|&p| t.index().path(p)).collect();
+            assert_eq!(interned.len(), t.required_paths_to(v).len(), "no duplicate ids");
+            for p in &direct {
+                assert!(interned.contains(p), "missing {p}");
+            }
+            assert_eq!(direct.len(), interned.len());
         }
     }
 
@@ -221,7 +252,7 @@ mod tests {
         assert_eq!(t.flood_mode(), FloodMode::SimpleOnly);
         for v in t.graph().nodes() {
             assert_eq!(t.required_paths_to(v).len(), t.simple_paths_to(v).len());
-            assert!(t.required_paths_to(v).iter().all(Path::is_simple));
+            assert!(t.required_paths_to(v).iter().all(|&p| t.index().is_simple(p)));
         }
     }
 

@@ -351,8 +351,7 @@ impl RunOutcome {
 /// an error — it is reported through [`RunOutcome::all_decided`], because
 /// on graphs violating 3-reach that is the expected observable behaviour.
 pub fn run_byzantine_consensus(cfg: &RunConfig) -> Result<RunOutcome, RunError> {
-    let topo =
-        Arc::new(Topology::new(cfg.graph.clone(), cfg.f, cfg.flood_mode, cfg.budget)?);
+    let topo = Arc::new(Topology::new(cfg.graph.clone(), cfg.f, cfg.flood_mode, cfg.budget)?);
     let protocol = cfg.protocol();
     let honest = cfg.honest_set();
     let mut sim: Simulation<HonestNode> =
@@ -360,7 +359,10 @@ pub fn run_byzantine_consensus(cfg: &RunConfig) -> Result<RunOutcome, RunError> 
     sim.set_max_events(cfg.max_events);
     for v in cfg.graph.nodes() {
         if honest.contains(v) {
-            sim.set_honest(v, HonestNode::new(Arc::clone(&topo), protocol, v, cfg.inputs[v.index()]));
+            sim.set_honest(
+                v,
+                HonestNode::new(Arc::clone(&topo), protocol, v, cfg.inputs[v.index()]),
+            );
         }
     }
     for (v, kind) in &cfg.byzantine {
@@ -395,15 +397,16 @@ pub fn run_byzantine_consensus_threaded(
     cfg: &RunConfig,
     timeout: Duration,
 ) -> Result<RunOutcome, RunError> {
-    let topo =
-        Arc::new(Topology::new(cfg.graph.clone(), cfg.f, cfg.flood_mode, cfg.budget)?);
+    let topo = Arc::new(Topology::new(cfg.graph.clone(), cfg.f, cfg.flood_mode, cfg.budget)?);
     let protocol = cfg.protocol();
     let honest = cfg.honest_set();
     let mut runtime: Threaded<HonestNode> = Threaded::new(Arc::new(cfg.graph.clone()));
     for v in cfg.graph.nodes() {
         if honest.contains(v) {
-            runtime
-                .set_honest(v, HonestNode::new(Arc::clone(&topo), protocol, v, cfg.inputs[v.index()]));
+            runtime.set_honest(
+                v,
+                HonestNode::new(Arc::clone(&topo), protocol, v, cfg.inputs[v.index()]),
+            );
         }
     }
     for (v, kind) in &cfg.byzantine {
@@ -413,10 +416,8 @@ pub fn run_byzantine_consensus_threaded(
         SchedulerSpec::Random { seed, .. } => seed,
         SchedulerSpec::Fixed(_) => 0,
     };
-    let nodes = runtime.run(
-        HonestNode::is_done,
-        ThreadedConfig { timeout, jitter_micros: 30, seed },
-    )?;
+    let nodes =
+        runtime.run(HonestNode::is_done, ThreadedConfig { timeout, jitter_micros: 30, seed })?;
     let mut outputs = vec![None; cfg.graph.node_count()];
     let mut histories = vec![None; cfg.graph.node_count()];
     for (i, node) in nodes.into_iter().enumerate() {
@@ -475,10 +476,7 @@ mod tests {
             .build();
         assert!(matches!(err, Err(RunError::InvalidConfig { .. })));
         // Honest input outside declared range.
-        let err = RunConfig::builder(g, 1)
-            .inputs(vec![0.0, 5.0, 99.0])
-            .range((0.0, 10.0))
-            .build();
+        let err = RunConfig::builder(g, 1).inputs(vec![0.0, 5.0, 99.0]).range((0.0, 10.0)).build();
         assert!(matches!(err, Err(RunError::InvalidConfig { .. })));
     }
 

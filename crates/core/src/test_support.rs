@@ -1,0 +1,25 @@
+//! Shared helpers for this crate's unit tests: one place to build a test
+//! `Topology` and resolve explicit node sequences to interned ids.
+
+use crate::config::FloodMode;
+use crate::precompute::Topology;
+use dbac_graph::{generators, Digraph, Path, PathBudget, PathId};
+
+/// A `Topology` over `graph` with the default budget.
+pub(crate) fn topo_of(graph: Digraph, f: usize, mode: FloodMode) -> Topology {
+    Topology::new(graph, f, mode, PathBudget::default()).unwrap()
+}
+
+/// A redundant-mode clique topology — the workhorse test fixture.
+pub(crate) fn clique_topo(n: usize, f: usize) -> Topology {
+    topo_of(generators::clique(n), f, FloodMode::Redundant)
+}
+
+/// Resolves an index sequence to its interned id.
+///
+/// # Panics
+///
+/// Panics if the sequence is not in the topology's population.
+pub(crate) fn pid(t: &Topology, idx: &[usize]) -> PathId {
+    t.index().resolve(&Path::from_indices(idx).unwrap()).expect("path interned in test topology")
+}

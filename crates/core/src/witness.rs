@@ -18,12 +18,17 @@
 //!
 //! The first thread to pass Verify runs Filter-and-Average; the shared
 //! `nextround` flag (here [`RoundCore::fired`]) ensures it happens once.
+//!
+//! All per-message path state is interned: guess matching and reach
+//! containment read precomputed [`PathIndex`](dbac_graph::PathIndex)
+//! bitmasks, and the FIFO-Receive-All dedup set keys `(PathId, u64)`
+//! instead of hashing owned paths.
 
 use crate::filter::{filter_and_average, FilterOutcome};
 use crate::message_set::{CompletePayload, MessageSet};
 use crate::precompute::Topology;
 use dbac_conditions::cover::has_cover;
-use dbac_graph::{NodeId, NodeSet, Path};
+use dbac_graph::{FastHashMap, NodeId, NodeSet, PathId};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -52,6 +57,7 @@ impl NodePlan {
     /// Builds the plan for node `me`.
     #[must_use]
     pub fn new(topo: &Topology, me: NodeId) -> Self {
+        let index = topo.index();
         let pool = topo.required_paths_to(me);
         let simple = topo.simple_paths_to(me);
         let mut guesses = Vec::new();
@@ -60,11 +66,11 @@ impl NodePlan {
                 continue;
             }
             let reach = topo.reach_of(me, guess);
-            let flood_required = pool.iter().filter(|p| !p.intersects(guess)).count();
-            let mut per_c: HashMap<NodeId, usize> = HashMap::new();
-            for p in simple {
-                if p.is_within(reach) {
-                    *per_c.entry(p.init()).or_insert(0) += 1;
+            let flood_required = pool.iter().filter(|&&p| !index.intersects(p, guess)).count();
+            let mut per_c: FastHashMap<NodeId, usize> = FastHashMap::default();
+            for &p in simple {
+                if index.is_within(p, reach) {
+                    *per_c.entry(index.init(p)).or_insert(0) += 1;
                 }
             }
             let mut fra_required: Vec<(NodeId, usize)> = per_c.into_iter().collect();
@@ -112,17 +118,20 @@ pub enum RoundAction {
 struct ThreadState {
     plan_idx: usize,
     consistent: bool,
-    value_by_init: HashMap<NodeId, u64>,
+    value_by_init: FastHashMap<NodeId, u64>,
     flood_remaining: usize,
     mc_fired: bool,
-    fra: HashMap<NodeId, FraProgress>,
+    fra: FastHashMap<NodeId, FraProgress>,
     fra_remaining: usize,
     relevant_trackers: Vec<usize>,
 }
 
+/// FIFO-Receive-All progress for one witness. The dedup set and counters
+/// are keyed by payload fingerprints — Byzantine-influenced bytes — so they
+/// use the seeded default hasher rather than `FastHashMap`.
 struct FraProgress {
     required: usize,
-    seen: HashSet<(Path, u64)>,
+    seen: HashSet<(PathId, u64)>,
     counts: HashMap<u64, usize>,
     done: bool,
 }
@@ -157,6 +166,8 @@ pub struct RoundCore {
     started: bool,
     fired: bool,
     mset: MessageSet,
+    // The maps below key on value bits or payload fingerprints — bytes a
+    // Byzantine sender chooses — so they use the seeded default hasher.
     paths_by_init_value: HashMap<(NodeId, u64), Vec<NodeSet>>,
     threads: Vec<ThreadState>,
     trackers: Vec<CompletenessTracker>,
@@ -176,7 +187,7 @@ impl RoundCore {
             .map(|(i, g)| ThreadState {
                 plan_idx: i,
                 consistent: true,
-                value_by_init: HashMap::new(),
+                value_by_init: FastHashMap::default(),
                 flood_remaining: g.flood_required,
                 mc_fired: false,
                 fra: g
@@ -237,8 +248,8 @@ impl RoundCore {
         debug_assert!(!self.started, "round started twice");
         self.started = true;
         let mut actions = Vec::new();
-        self.ingest(Path::single(self.me), value, topo, plan, &mut actions);
-        self.check_progress(plan, &mut actions);
+        self.ingest(topo.index().trivial(self.me), value, topo, plan, &mut actions);
+        self.check_progress(topo, plan, &mut actions);
         actions
     }
 
@@ -247,35 +258,32 @@ impl RoundCore {
     /// when `fresh` (RedundantFlood's "first message with path p").
     pub fn add_flood(
         &mut self,
-        stored: Path,
+        stored: PathId,
         value: f64,
         topo: &Topology,
         plan: &NodePlan,
     ) -> (bool, Vec<RoundAction>) {
-        if self.mset.contains_path(&stored) {
+        if self.mset.contains_path(stored) {
             return (false, Vec::new());
         }
         let mut actions = Vec::new();
         self.ingest(stored, value, topo, plan, &mut actions);
-        self.check_progress(plan, &mut actions);
+        self.check_progress(topo, plan, &mut actions);
         (true, actions)
     }
 
     fn ingest(
         &mut self,
-        stored: Path,
+        stored: PathId,
         value: f64,
         topo: &Topology,
         plan: &NodePlan,
         actions: &mut Vec<RoundAction>,
     ) {
-        let node_set = stored.node_set();
-        let init = stored.init();
+        let index = topo.index();
+        let node_set = index.node_set(stored);
+        let init = index.init(stored);
         let bits = value.to_bits();
-        let counts_for_pool = match topo.flood_mode() {
-            crate::config::FloodMode::Redundant => true,
-            crate::config::FloodMode::SimpleOnly => stored.is_simple(),
-        };
         let inserted = self.mset.insert(stored, value);
         debug_assert!(inserted, "caller checked freshness");
 
@@ -292,9 +300,8 @@ impl RoundCore {
                     if ob.satisfied {
                         continue;
                     }
-                    let allowed = NodeSet::universe(self.n)
-                        - ob.component
-                        - NodeSet::singleton(self.me);
+                    let allowed =
+                        NodeSet::universe(self.n) - ob.component - NodeSet::singleton(self.me);
                     if !has_cover(&paths, self.f, allowed) {
                         ob.satisfied = true;
                         tracker.pending -= 1;
@@ -304,7 +311,9 @@ impl RoundCore {
         }
 
         // Maximal-Consistency tracking — continues after `fired` (other
-        // nodes depend on our COMPLETE witnesses).
+        // nodes depend on our COMPLETE witnesses). Every validated arrival
+        // is interned in the active mode's population, so every stored
+        // path counts toward the pools it avoids.
         for thread in &mut self.threads {
             if thread.mc_fired {
                 continue;
@@ -313,9 +322,7 @@ impl RoundCore {
             if !node_set.is_disjoint(gp.guess) {
                 continue;
             }
-            if counts_for_pool {
-                thread.flood_remaining -= 1;
-            }
+            thread.flood_remaining -= 1;
             if thread.consistent {
                 match thread.value_by_init.entry(init) {
                     std::collections::hash_map::Entry::Vacant(e) => {
@@ -330,8 +337,9 @@ impl RoundCore {
             }
             if thread.consistent && thread.flood_remaining == 0 {
                 thread.mc_fired = true;
-                let payload =
-                    Arc::new(CompletePayload::from_message_set(&self.mset.exclusion(gp.guess)));
+                let payload = Arc::new(CompletePayload::from_message_set(
+                    &self.mset.exclusion(gp.guess, index),
+                ));
                 actions.push(RoundAction::FloodComplete { guess: gp.guess, payload });
             }
         }
@@ -339,10 +347,11 @@ impl RoundCore {
 
     /// Records a FIFO-received `COMPLETE` (including the node's own, via
     /// the trivial path).
+    #[allow(clippy::too_many_arguments)]
     pub fn add_fifo_delivery(
         &mut self,
         initiator: NodeId,
-        delivery_path: &Path,
+        delivery_path: PathId,
         suspects: NodeSet,
         payload: &Arc<CompletePayload>,
         fingerprint: u64,
@@ -354,7 +363,7 @@ impl RoundCore {
             return actions;
         }
         let tracker_idx = self.obtain_tracker(suspects, payload, fingerprint, topo);
-        let path_nodes = delivery_path.node_set();
+        let path_nodes = topo.index().node_set(delivery_path);
 
         for thread in &mut self.threads {
             let gp = &plan.guesses[thread.plan_idx];
@@ -368,9 +377,7 @@ impl RoundCore {
             // FIFO-Receive-All progress (line 12) — only for this guess.
             if suspects == gp.guess {
                 if let Some(progress) = thread.fra.get_mut(&initiator) {
-                    if !progress.done
-                        && progress.seen.insert((delivery_path.clone(), fingerprint))
-                    {
+                    if !progress.done && progress.seen.insert((delivery_path, fingerprint)) {
                         let count = progress.counts.entry(fingerprint).or_insert(0);
                         *count += 1;
                         if *count == progress.required {
@@ -381,7 +388,7 @@ impl RoundCore {
                 }
             }
         }
-        self.check_progress(plan, &mut actions);
+        self.check_progress(topo, plan, &mut actions);
         actions
     }
 
@@ -395,7 +402,7 @@ impl RoundCore {
         if let Some(&idx) = self.tracker_index.get(&(suspects.bits(), fingerprint)) {
             return idx;
         }
-        let consistent = payload.is_consistent();
+        let consistent = payload.is_consistent(topo.index());
         let mut tracker = CompletenessTracker {
             consistent,
             impossible: false,
@@ -405,24 +412,18 @@ impl RoundCore {
         let idx = self.trackers.len();
         if consistent {
             for &(component, q) in topo.completeness_obligations(suspects) {
-                let Some(xq) = payload.value_of(q) else {
+                let Some(xq) = payload.value_of(q, topo.index()) else {
                     tracker.impossible = true;
                     continue;
                 };
                 let xq_bits = xq.to_bits();
-                let allowed =
-                    NodeSet::universe(self.n) - component - NodeSet::singleton(self.me);
+                let allowed = NodeSet::universe(self.n) - component - NodeSet::singleton(self.me);
                 let already = self
                     .paths_by_init_value
                     .get(&(q, xq_bits))
                     .is_some_and(|paths| !has_cover(paths, self.f, allowed));
                 let o_idx = tracker.obligations.len();
-                tracker.obligations.push(Obligation {
-                    component,
-                    q,
-                    xq_bits,
-                    satisfied: already,
-                });
+                tracker.obligations.push(Obligation { component, q, xq_bits, satisfied: already });
                 if !already {
                     tracker.pending += 1;
                     self.waiters.entry((q, xq_bits)).or_default().push((idx, o_idx));
@@ -434,7 +435,7 @@ impl RoundCore {
         idx
     }
 
-    fn check_progress(&mut self, plan: &NodePlan, actions: &mut Vec<RoundAction>) {
+    fn check_progress(&mut self, topo: &Topology, plan: &NodePlan, actions: &mut Vec<RoundAction>) {
         if self.fired || !self.started {
             return;
         }
@@ -446,13 +447,11 @@ impl RoundCore {
                 continue;
             }
             // Verify passed: Filter-and-Average, once per round.
-            let outcome = filter_and_average(&self.mset, self.f, self.me, self.n)
+            let outcome = filter_and_average(&self.mset, self.f, self.me, self.n, topo.index())
                 .expect("own trivial path keeps the trimmed vector non-empty");
             self.fired = true;
-            actions.push(RoundAction::Advance {
-                guess: plan.guesses[thread.plan_idx].guess,
-                outcome,
-            });
+            actions
+                .push(RoundAction::Advance { guess: plan.guesses[thread.plan_idx].guess, outcome });
             return;
         }
     }
@@ -461,17 +460,14 @@ impl RoundCore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::FloodMode;
-    use dbac_graph::{generators, PathBudget};
+    use crate::test_support::{clique_topo, pid};
 
     fn id(i: usize) -> NodeId {
         NodeId::new(i)
     }
 
     fn setup(n: usize, f: usize) -> (Topology, NodePlan) {
-        let topo =
-            Topology::new(generators::clique(n), f, FloodMode::Redundant, PathBudget::default())
-                .unwrap();
+        let topo = clique_topo(n, f);
         let plan = NodePlan::new(&topo, id(0));
         (topo, plan)
     }
@@ -507,7 +503,7 @@ mod tests {
         let actions = core.start(2.5, &topo, &plan);
         assert!(core.started());
         assert!(actions.is_empty(), "one value cannot complete a clique's pool");
-        assert_eq!(core.message_set().value_on_path(&Path::single(id(0))), Some(2.5));
+        assert_eq!(core.message_set().value_on_path(topo.index().trivial(id(0))), Some(2.5));
     }
 
     #[test]
@@ -515,8 +511,8 @@ mod tests {
         let (topo, plan) = setup(4, 1);
         let mut core = RoundCore::new(&topo, &plan);
         core.start(0.0, &topo, &plan);
-        let p = Path::from_indices(&[1, 0]).unwrap();
-        let (fresh, _) = core.add_flood(p.clone(), 1.0, &topo, &plan);
+        let p = pid(&topo, &[1, 0]);
+        let (fresh, _) = core.add_flood(p, 1.0, &topo, &plan);
         assert!(fresh);
         let (fresh, _) = core.add_flood(p, 9.0, &topo, &plan);
         assert!(!fresh, "same path must not relay twice");
@@ -530,24 +526,22 @@ mod tests {
         let mut core = RoundCore::new(&topo, &plan);
         let mut actions = core.start(0.5, &topo, &plan);
         let values = [0.5, 1.0, 2.0];
-        for path in topo.required_paths_to(id(0)) {
-            if path.is_empty() {
+        for &path in topo.required_paths_to(id(0)) {
+            if topo.index().is_trivial(path) {
                 continue; // own trivial path already in
             }
-            let v = values[path.init().index()];
-            let (_, mut acts) = core.add_flood(path.clone(), v, &topo, &plan);
+            let v = values[topo.index().init(path).index()];
+            let (_, mut acts) = core.add_flood(path, v, &topo, &plan);
             actions.append(&mut acts);
         }
-        let completes: Vec<_> = actions
-            .iter()
-            .filter(|a| matches!(a, RoundAction::FloodComplete { .. }))
-            .collect();
+        let completes: Vec<_> =
+            actions.iter().filter(|a| matches!(a, RoundAction::FloodComplete { .. })).collect();
         assert_eq!(completes.len(), 1, "single guess fires exactly once");
         match completes[0] {
             RoundAction::FloodComplete { guess, payload } => {
                 assert!(guess.is_empty());
                 assert_eq!(payload.len(), topo.required_paths_to(id(0)).len());
-                assert!(payload.is_consistent());
+                assert!(payload.is_consistent(topo.index()));
             }
             RoundAction::Advance { .. } => unreachable!(),
         }
@@ -559,12 +553,12 @@ mod tests {
         let mut core = RoundCore::new(&topo, &plan);
         core.start(0.5, &topo, &plan);
         let mut fired = Vec::new();
-        for path in topo.required_paths_to(id(0)).to_vec() {
-            if path.is_empty() {
+        for &path in topo.required_paths_to(id(0)) {
+            if topo.index().is_trivial(path) {
                 continue;
             }
             // Value depends on the whole path, so initiators equivocate.
-            let v = path.node_count() as f64;
+            let v = topo.index().node_count(path) as f64;
             let (_, acts) = core.add_flood(path, v, &topo, &plan);
             fired.extend(acts);
         }
@@ -582,11 +576,11 @@ mod tests {
         let mut core = RoundCore::new(&topo, &plan);
         let mut all_actions = core.start(1.0, &topo, &plan);
         let values = [1.0, 2.0, 3.0];
-        for path in topo.required_paths_to(id(0)).to_vec() {
-            if path.is_empty() {
+        for &path in topo.required_paths_to(id(0)) {
+            if topo.index().is_trivial(path) {
                 continue;
             }
-            let value = values[path.init().index()];
+            let value = values[topo.index().init(path).index()];
             let (_, acts) = core.add_flood(path, value, &topo, &plan);
             all_actions.extend(acts);
         }
@@ -601,7 +595,7 @@ mod tests {
         let fp = own.fingerprint();
         let mut acts = core.add_fifo_delivery(
             id(0),
-            &Path::single(id(0)),
+            topo.index().trivial(id(0)),
             NodeSet::EMPTY,
             &own,
             fp,
@@ -614,25 +608,18 @@ mod tests {
         // all their pool paths). Build each peer's payload from its pool.
         for c in [id(1), id(2)] {
             let mut m = MessageSet::new();
-            for path in topo.required_paths_to(c) {
-                m.insert(path.clone(), values[path.init().index()]);
+            for &path in topo.required_paths_to(c) {
+                m.insert(path, values[topo.index().init(path).index()]);
             }
             let payload = Arc::new(CompletePayload::from_message_set(&m));
             let fp = payload.fingerprint();
             // Deliver over every simple (c, 0)-path.
-            for p in topo.simple_paths_to(id(0)).to_vec() {
-                if p.init() != c || p.is_empty() {
+            for &p in topo.simple_paths_to(id(0)) {
+                if topo.index().init(p) != c || topo.index().is_trivial(p) {
                     continue;
                 }
-                let mut acts = core.add_fifo_delivery(
-                    c,
-                    &p,
-                    NodeSet::EMPTY,
-                    &payload,
-                    fp,
-                    &topo,
-                    &plan,
-                );
+                let mut acts =
+                    core.add_fifo_delivery(c, p, NodeSet::EMPTY, &payload, fp, &topo, &plan);
                 all_actions.append(&mut acts);
             }
         }
@@ -654,14 +641,14 @@ mod tests {
         let mut core = RoundCore::new(&topo, &plan);
         core.start(1.0, &topo, &plan);
         let mut m = MessageSet::new();
-        m.insert(Path::from_indices(&[1, 0]).unwrap(), 3.0);
-        m.insert(Path::from_indices(&[1, 2, 0]).unwrap(), 9.0); // equivocation
+        m.insert(pid(&topo, &[1, 0]), 3.0);
+        m.insert(pid(&topo, &[1, 2, 0]), 9.0); // equivocation
         let payload = Arc::new(CompletePayload::from_message_set(&m));
-        assert!(!payload.is_consistent());
+        assert!(!payload.is_consistent(topo.index()));
         let fp = payload.fingerprint();
         core.add_fifo_delivery(
             id(1),
-            &Path::from_indices(&[1, 0]).unwrap(),
+            pid(&topo, &[1, 0]),
             NodeSet::singleton(id(2)),
             &payload,
             fp,
@@ -683,12 +670,12 @@ mod tests {
         // Payload with a single entry from node 1 — nodes 2 and 3 are in
         // source components of some (F_u, F_w) pair but absent here.
         let mut m = MessageSet::new();
-        m.insert(Path::from_indices(&[1, 0]).unwrap(), 3.0);
+        m.insert(pid(&topo, &[1, 0]), 3.0);
         let payload = Arc::new(CompletePayload::from_message_set(&m));
         let fp = payload.fingerprint();
         core.add_fifo_delivery(
             id(1),
-            &Path::from_indices(&[1, 0]).unwrap(),
+            pid(&topo, &[1, 0]),
             NodeSet::singleton(id(2)),
             &payload,
             fp,
@@ -699,8 +686,8 @@ mod tests {
         assert!(core.trackers[0].impossible);
         assert!(core.trackers[0].blocking());
         // Feeding matching floods does not unblock an impossible tracker.
-        for path in topo.required_paths_to(id(0)).to_vec() {
-            if path.is_empty() {
+        for &path in topo.required_paths_to(id(0)) {
+            if topo.index().is_trivial(path) {
                 continue;
             }
             let _ = core.add_flood(path, 3.0, &topo, &plan);
@@ -714,20 +701,17 @@ mod tests {
         let mut core = RoundCore::new(&topo, &plan);
         core.start(1.0, &topo, &plan);
         let mut m = MessageSet::new();
-        m.insert(Path::from_indices(&[1, 0]).unwrap(), 3.0);
+        m.insert(pid(&topo, &[1, 0]), 3.0);
         let payload = Arc::new(CompletePayload::from_message_set(&m));
         let fp = payload.fingerprint();
-        for p in [
-            Path::from_indices(&[1, 0]).unwrap(),
-            Path::from_indices(&[1, 2, 0]).unwrap(),
-        ] {
-            core.add_fifo_delivery(id(1), &p, NodeSet::singleton(id(3)), &payload, fp, &topo, &plan);
+        for p in [pid(&topo, &[1, 0]), pid(&topo, &[1, 2, 0])] {
+            core.add_fifo_delivery(id(1), p, NodeSet::singleton(id(3)), &payload, fp, &topo, &plan);
         }
         assert_eq!(core.trackers.len(), 1, "same (F_u, content) → one tracker");
         // A different suspect set is a distinct Completeness instance.
         core.add_fifo_delivery(
             id(1),
-            &Path::from_indices(&[1, 0]).unwrap(),
+            pid(&topo, &[1, 0]),
             NodeSet::singleton(id(2)),
             &payload,
             fp,
@@ -746,9 +730,9 @@ mod tests {
         core.fired = true; // simulate an already-advanced round
         core.started = true;
         let mut actions = Vec::new();
-        core.ingest(Path::single(id(0)), 1.0, &topo, &plan, &mut actions);
-        for path in topo.required_paths_to(id(0)).to_vec() {
-            if path.is_empty() {
+        core.ingest(topo.index().trivial(id(0)), 1.0, &topo, &plan, &mut actions);
+        for &path in topo.required_paths_to(id(0)) {
+            if topo.index().is_trivial(path) {
                 continue;
             }
             let (fresh, acts) = core.add_flood(path, 1.0, &topo, &plan);

@@ -47,11 +47,7 @@ impl Digraph {
         if n > MAX_NODES {
             return Err(GraphError::TooManyNodes { requested: n });
         }
-        Ok(Digraph {
-            n,
-            out: vec![NodeSet::EMPTY; n],
-            inn: vec![NodeSet::EMPTY; n],
-        })
+        Ok(Digraph { n, out: vec![NodeSet::EMPTY; n], inn: vec![NodeSet::EMPTY; n] })
     }
 
     /// Builds a graph from a list of directed edges given as index pairs.
@@ -131,10 +127,16 @@ impl Digraph {
 
     fn add_edge_idx(&mut self, u: usize, v: usize) -> Result<bool, GraphError> {
         if u >= self.n {
-            return Err(GraphError::NodeOutOfRange { node: NodeId::new(u.min(MAX_NODES - 1)), node_count: self.n });
+            return Err(GraphError::NodeOutOfRange {
+                node: NodeId::new(u.min(MAX_NODES - 1)),
+                node_count: self.n,
+            });
         }
         if v >= self.n {
-            return Err(GraphError::NodeOutOfRange { node: NodeId::new(v.min(MAX_NODES - 1)), node_count: self.n });
+            return Err(GraphError::NodeOutOfRange {
+                node: NodeId::new(v.min(MAX_NODES - 1)),
+                node_count: self.n,
+            });
         }
         self.add_edge(NodeId::new(u), NodeId::new(v))
     }
@@ -196,8 +198,7 @@ impl Digraph {
 
     /// Iterates over all directed edges `(u, v)`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.nodes()
-            .flat_map(move |u| self.out[u.index()].iter().map(move |v| (u, v)))
+        self.nodes().flat_map(move |u| self.out[u.index()].iter().map(move |v| (u, v)))
     }
 
     /// The subgraph induced by `keep` — the paper's `G_Y`. Node indices are
@@ -240,18 +241,13 @@ impl Digraph {
     /// The reverse graph (every edge flipped).
     #[must_use]
     pub fn reverse(&self) -> Digraph {
-        Digraph {
-            n: self.n,
-            out: self.inn.clone(),
-            inn: self.out.clone(),
-        }
+        Digraph { n: self.n, out: self.inn.clone(), inn: self.out.clone() }
     }
 
     /// Returns `true` if every ordered pair of distinct nodes is an edge.
     #[must_use]
     pub fn is_complete(&self) -> bool {
-        self.nodes()
-            .all(|v| self.out[v.index()].len() == self.n - 1)
+        self.nodes().all(|v| self.out[v.index()].len() == self.n - 1)
     }
 
     /// Returns `true` if for every edge `(u, v)` the edge `(v, u)` also
@@ -310,10 +306,7 @@ mod tests {
     #[test]
     fn self_loops_rejected() {
         let mut g = Digraph::new(2).unwrap();
-        assert_eq!(
-            g.add_edge(id(1), id(1)).unwrap_err(),
-            GraphError::SelfLoop { node: id(1) }
-        );
+        assert_eq!(g.add_edge(id(1), id(1)).unwrap_err(), GraphError::SelfLoop { node: id(1) });
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! A fast, non-cryptographic hasher for protocol-internal maps.
+//!
+//! The per-message hot path keys maps by small integers (`PathId`, node
+//! ids, rounds). `std`'s default SipHash is DoS-resistant but
+//! costs more than the lookups it guards; protocol-internal keys are
+//! derived from the precomputed topology, not from attacker-controlled
+//! bytes, so an FxHash-style multiply-xor hasher is safe and measurably
+//! faster. Use [`FastHashMap`] / [`FastHashSet`] **only** for keys a
+//! Byzantine sender cannot choose (validated `PathId`s, node ids, rounds);
+//! anything incorporating payload fingerprints or value bits stays on the
+//! seeded default hasher to resist hash-flooding.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// FxHash-style streaming hasher (rotate, xor, multiply per word).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FastHasher {
+    hash: u64,
+}
+
+impl FastHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.add(v as u64);
+        self.add((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`].
+pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
+
+/// A `HashMap` using [`FastHasher`].
+pub type FastHashMap<K, V> = HashMap<K, V, FastBuildHasher>;
+
+/// A `HashSet` using [`FastHasher`].
+pub type FastHashSet<T> = HashSet<T, FastBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FastHashMap<u32, &str> = FastHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.len(), 2);
+
+        let mut s: FastHashSet<(u32, u64)> = FastHashSet::default();
+        assert!(s.insert((3, 4)));
+        assert!(!s.insert((3, 4)));
+    }
+
+    #[test]
+    fn hashes_are_stable_and_spread() {
+        let hash_of = |v: u64| {
+            let mut h = FastHasher::default();
+            h.write_u64(v);
+            h.finish()
+        };
+        assert_eq!(hash_of(7), hash_of(7));
+        let distinct: std::collections::HashSet<u64> = (0..1000).map(hash_of).collect();
+        assert_eq!(distinct.len(), 1000);
+    }
+
+    #[test]
+    fn byte_stream_tail_is_hashed() {
+        let mut a = FastHasher::default();
+        a.write(b"abcdefgh-tail");
+        let mut b = FastHasher::default();
+        b.write(b"abcdefgh-tail");
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FastHasher::default();
+        c.write(b"abcdefgh-takl");
+        assert_ne!(a.finish(), c.finish());
+    }
+}

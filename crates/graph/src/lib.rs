@@ -15,6 +15,9 @@
 //! * [`Digraph`] — the directed network.
 //! * [`Path`] — directed paths, with the paper's *simple* and *redundant*
 //!   path notions (Section 3) and exhaustive enumeration with budget guards.
+//! * [`PathIndex`] / [`PathId`] — interning of the enumerated path
+//!   population into dense ids with precomputed metadata and a forwarding
+//!   table, taking heap-allocated paths off the message hot path.
 //! * [`scc`] — Tarjan strongly-connected components.
 //! * [`maxflow`] — maximum vertex-disjoint paths (Menger), used by the
 //!   propagation condition (Definition 10) and the Figure 1(b) analysis.
@@ -46,17 +49,22 @@ pub mod connectivity;
 pub mod digraph;
 pub mod dot;
 pub mod error;
+pub mod fasthash;
 pub mod generators;
 pub mod maxflow;
 pub mod node;
 pub mod nodeset;
+pub mod par;
+pub mod path_index;
 pub mod paths;
 pub mod scc;
 pub mod subsets;
 
 pub use digraph::Digraph;
 pub use error::GraphError;
+pub use fasthash::{FastHashMap, FastHashSet};
 pub use node::NodeId;
 pub use nodeset::NodeSet;
+pub use path_index::{PathId, PathIndex};
 pub use paths::{Path, PathBudget};
 pub use subsets::SubsetsUpTo;

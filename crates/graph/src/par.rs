@@ -1,0 +1,87 @@
+//! Minimal data parallelism over scoped threads.
+//!
+//! `Topology` precomputation fans out per-terminal path enumeration and
+//! per-guess reach computation; both are embarrassingly parallel. The usual
+//! crate for this is rayon, which is unavailable in this offline build, so
+//! this module provides the one primitive the workspace needs — an indexed
+//! parallel map with work stealing via a shared atomic cursor — on plain
+//! `std::thread::scope`. Results come back in input order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every element of `items` across the available cores and
+/// returns the results in input order. `f` receives `(index, &item)`.
+///
+/// Falls back to a sequential loop for tiny inputs or single-core hosts;
+/// the closure therefore must not rely on running on a particular thread.
+///
+/// # Panics
+///
+/// Propagates a panic from any invocation of `f` (the scope joins all
+/// workers first).
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = std::thread::available_parallelism().map_or(1, |t| t.get()).min(n);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = f(i, &items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner().expect("result slot poisoned").expect("every index was processed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_covers_all() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map(&items, |i, &x| {
+            assert_eq!(i as u64, x);
+            x * 2
+        });
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let out: Vec<u32> = par_map(&[] as &[u32], |_, &x| x);
+        assert!(out.is_empty());
+        assert_eq!(par_map(&[5u32], |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn results_collect_errors() {
+        let items = [1usize, 2, 3, 4];
+        let out: Result<Vec<usize>, &str> =
+            par_map(&items, |_, &x| if x == 3 { Err("three") } else { Ok(x) })
+                .into_iter()
+                .collect();
+        assert_eq!(out, Err("three"));
+    }
+}

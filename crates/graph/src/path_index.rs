@@ -1,0 +1,516 @@
+//! Path interning: dense [`PathId`]s over a precomputed path population.
+//!
+//! # Why intern
+//!
+//! Algorithm BW's cost is dominated by path-indexed work: RedundantFlood
+//! propagates a value along *every* redundant path, and FIFO reception
+//! tracks one ordered channel per `(initiator, simple path)` pair. The path
+//! population is enumerated **once** per topology at startup — yet a naïve
+//! implementation keeps cloning and hashing owned `Path(Vec<NodeId>)`
+//! values per message, per hop. Interning replaces every hot-path `Path` by
+//! a `u32` [`PathId`] into a [`PathIndex`] that precomputes, per path:
+//!
+//! * its [`NodeSet`] bitmask — `intersects` / `is_within` become a single
+//!   `u128` AND;
+//! * `init` / `ter` endpoints and simple/trivial classification;
+//! * a forwarding table `extend: PathId × NodeId → Option<PathId>`, so
+//!   "does `p‖w` stay admissible, and which path is it?" is one array
+//!   lookup instead of clone + `extended()` + `is_simple()` re-scan.
+//!
+//! # Trust boundary: Byzantine-supplied paths
+//!
+//! Interning is an *optimization*, not an assumption. Honest nodes only
+//! ever produce interned paths (they start from trivial paths and extend
+//! through the table), but a Byzantine sender controls every bit it sends,
+//! so wire messages may carry ids that intern nothing. Receivers therefore
+//! **resolve** incoming references at the validation boundary —
+//! [`PathIndex::contains_id`] for id-carrying wires, [`PathIndex::resolve`]
+//! for explicit node sequences (adversary forging, serde ingress, debug
+//! tooling) — and drop anything unknown, exactly as the paper's model lets
+//! a receiver drop provably forged messages. Every id accepted past
+//! validation refers to a path that was enumerated from the real graph, so
+//! downstream code may use the precomputed metadata without re-checking
+//! path validity.
+//!
+//! # Population and closure
+//!
+//! The index is built from per-terminal enumerations (redundant paths in
+//! the paper's flood mode, simple paths in the ablation). Because the
+//! population contains *every* admissible path of its class, the class is
+//! closed under admissible extension: `extend` returns `Some` **iff** the
+//! extension is again in the population. Flood-mode admissibility checks
+//! thus collapse into table membership.
+
+use crate::digraph::Digraph;
+use crate::fasthash::{FastHashMap, FastHasher};
+use crate::node::NodeId;
+use crate::nodeset::NodeSet;
+use crate::paths::Path;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::hash::Hasher;
+
+/// Dense identifier of an interned path.
+///
+/// Ids are assigned in deterministic order (terminal-major, enumeration
+/// order within a terminal), so all nodes sharing a topology agree on the
+/// numbering and ids are valid on the wire.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PathId(u32);
+
+impl PathId {
+    /// Reconstructs an id from its raw wire representation. The result is
+    /// **unvalidated**: check [`PathIndex::contains_id`] before trusting it.
+    #[must_use]
+    pub fn from_raw(raw: u32) -> Self {
+        PathId(raw)
+    }
+
+    /// The raw wire representation.
+    #[must_use]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The id as a dense array index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for PathId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for PathId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Sentinel for "no interned extension" in the flat forwarding table.
+const NO_EXT: u32 = u32::MAX;
+
+/// Content hash of a node sequence, for the hash-keyed resolution map.
+fn seq_hash(nodes: &[NodeId]) -> u64 {
+    let mut h = FastHasher::default();
+    for &v in nodes {
+        h.write_u32(v.index() as u32);
+    }
+    h.write_usize(nodes.len());
+    h.finish()
+}
+
+fn path_hash(path: &Path) -> u64 {
+    seq_hash(path.nodes())
+}
+
+/// An immutable intern table over a graph's enumerated path population.
+#[derive(Debug)]
+pub struct PathIndex {
+    /// Out-neighborhoods of the graph, for extension-rank computation.
+    out: Vec<NodeSet>,
+    /// id → owned path (wire egress, debug, DOT output).
+    paths: Vec<Path>,
+    /// id → the path's node-set bitmask.
+    node_sets: Vec<NodeSet>,
+    /// id → `init(p)`.
+    inits: Vec<NodeId>,
+    /// id → `ter(p)`.
+    ters: Vec<NodeId>,
+    /// id → number of node occurrences (trivial paths have 1).
+    lens: Vec<u32>,
+    /// id → whether the path is simple.
+    simple: Vec<bool>,
+    /// node → id of the trivial path `⟨v⟩`.
+    trivial: Vec<PathId>,
+    /// terminal → ids of all interned paths ending there.
+    by_terminal: Vec<Vec<PathId>>,
+    /// terminal → ids of the *simple* interned paths ending there.
+    simple_by_terminal: Vec<Vec<PathId>>,
+    /// Resolution map for explicit node sequences (validation boundary):
+    /// content hash → candidate ids, verified against `paths` on lookup.
+    /// Keying by hash instead of by owned `Path` halves the index's
+    /// dominant allocation (the population is stored once, in `paths`).
+    ids: FastHashMap<u64, Vec<PathId>>,
+    /// id → offset into `ext_entries`.
+    ext_offsets: Vec<u32>,
+    /// Flat forwarding table: for each id, one entry per out-neighbor of
+    /// its terminal (ascending node order); `NO_EXT` if `p‖w` is not
+    /// interned.
+    ext_entries: Vec<u32>,
+}
+
+impl PathIndex {
+    /// Interns the given per-terminal path population over `graph`.
+    ///
+    /// `pools[v]` must list paths ending at node `v` that are valid in
+    /// `graph`; duplicates are tolerated (first occurrence wins). The
+    /// trivial path `⟨v⟩` is interned for every node even if a pool omits
+    /// it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pooled path does not end at its pool's terminal, is
+    /// invalid in `graph`, or if the population exceeds `u32::MAX` paths.
+    #[must_use]
+    pub fn build(graph: &Digraph, pools: &[Vec<Path>]) -> Self {
+        let n = graph.node_count();
+        assert_eq!(pools.len(), n, "one pool per node required");
+
+        let mut ids: FastHashMap<u64, Vec<PathId>> = FastHashMap::default();
+        let mut paths: Vec<Path> = Vec::new();
+        let mut by_terminal: Vec<Vec<PathId>> = vec![Vec::new(); n];
+        let mut trivial = Vec::with_capacity(n);
+
+        let mut intern = |path: Path, paths: &mut Vec<Path>| -> PathId {
+            let bucket = ids.entry(path_hash(&path)).or_default();
+            if let Some(&id) = bucket.iter().find(|&&id| paths[id.index()] == path) {
+                return id;
+            }
+            let raw = u32::try_from(paths.len()).expect("path population exceeds u32 ids");
+            assert_ne!(raw, NO_EXT, "path population exceeds u32 ids");
+            let id = PathId(raw);
+            bucket.push(id);
+            paths.push(path);
+            id
+        };
+
+        for (v, pool) in pools.iter().enumerate() {
+            let v = NodeId::new(v);
+            let before = paths.len();
+            let tid = intern(Path::single(v), &mut paths);
+            if paths.len() > before {
+                by_terminal[v.index()].push(tid);
+            }
+            trivial.push(tid);
+            for path in pool {
+                assert_eq!(path.ter(), v, "pooled path must end at its terminal");
+                assert!(path.is_valid_in(graph), "pooled path invalid in graph");
+                let before = paths.len();
+                let id = intern(path.clone(), &mut paths);
+                if paths.len() > before {
+                    by_terminal[v.index()].push(id);
+                }
+            }
+        }
+
+        let node_sets: Vec<NodeSet> = paths.iter().map(Path::node_set).collect();
+        let inits: Vec<NodeId> = paths.iter().map(Path::init).collect();
+        let ters: Vec<NodeId> = paths.iter().map(Path::ter).collect();
+        let lens: Vec<u32> = paths.iter().map(|p| p.node_count() as u32).collect();
+        let simple: Vec<bool> = paths.iter().map(Path::is_simple).collect();
+        let simple_by_terminal: Vec<Vec<PathId>> = by_terminal
+            .iter()
+            .map(|pool| pool.iter().copied().filter(|id| simple[id.index()]).collect())
+            .collect();
+
+        let out: Vec<NodeSet> = (0..n).map(|v| graph.out_neighbors(NodeId::new(v))).collect();
+        let mut ext_offsets = Vec::with_capacity(paths.len());
+        let mut total = 0usize;
+        for &t in &ters {
+            ext_offsets.push(u32::try_from(total).expect("extension table overflow"));
+            total += out[t.index()].len();
+        }
+        // Fill by prefix registration: every non-trivial interned path is
+        // the extension of its one-step prefix, and path classes are
+        // prefix-closed (dropping the last node keeps a path simple resp.
+        // redundant), so the prefix is always interned. One slice hash per
+        // path — no temporary extended paths, no per-neighbor misses.
+        let mut ext_entries = vec![NO_EXT; total];
+        for (id, path) in paths.iter().enumerate() {
+            let nodes = path.nodes();
+            let Some((&last, prefix)) = nodes.split_last() else { unreachable!("non-empty") };
+            if prefix.is_empty() {
+                continue; // trivial paths extend others, nothing precedes them
+            }
+            let pid = ids
+                .get(&seq_hash(prefix))
+                .and_then(|bucket| {
+                    bucket.iter().copied().find(|&c| paths[c.index()].nodes() == prefix)
+                })
+                .expect("one-step prefix of an interned path is interned");
+            let neighbors = out[prefix.last().expect("non-empty prefix").index()].bits();
+            let bit = 1u128 << last.index();
+            debug_assert!(neighbors & bit != 0, "pooled path uses a non-edge");
+            let rank = (neighbors & (bit - 1)).count_ones() as usize;
+            ext_entries[ext_offsets[pid.index()] as usize + rank] = id as u32;
+        }
+
+        PathIndex {
+            out,
+            paths,
+            node_sets,
+            inits,
+            ters,
+            lens,
+            simple,
+            trivial,
+            by_terminal,
+            simple_by_terminal,
+            ids,
+            ext_offsets,
+            ext_entries,
+        }
+    }
+
+    /// Number of interned paths.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Returns `true` if nothing is interned (never happens for a built
+    /// index: trivial paths are always present).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Returns `true` if `id` refers to an interned path. This is the
+    /// validation gate for ids arriving on the wire.
+    #[must_use]
+    pub fn contains_id(&self, id: PathId) -> bool {
+        id.index() < self.paths.len()
+    }
+
+    /// Resolves an explicit node sequence to its id, or `None` for paths
+    /// outside the population (forged, malformed, or simply inadmissible).
+    #[must_use]
+    pub fn resolve(&self, path: &Path) -> Option<PathId> {
+        self.ids.get(&path_hash(path))?.iter().copied().find(|&id| &self.paths[id.index()] == path)
+    }
+
+    /// The interned path (for wire egress, debugging, DOT output).
+    #[must_use]
+    pub fn path(&self, id: PathId) -> &Path {
+        &self.paths[id.index()]
+    }
+
+    /// The path's node-set bitmask.
+    #[must_use]
+    pub fn node_set(&self, id: PathId) -> NodeSet {
+        self.node_sets[id.index()]
+    }
+
+    /// `init(p)` — the path's first node.
+    #[must_use]
+    pub fn init(&self, id: PathId) -> NodeId {
+        self.inits[id.index()]
+    }
+
+    /// `ter(p)` — the path's last node.
+    #[must_use]
+    pub fn ter(&self, id: PathId) -> NodeId {
+        self.ters[id.index()]
+    }
+
+    /// Number of node occurrences (with repetition).
+    #[must_use]
+    pub fn node_count(&self, id: PathId) -> usize {
+        self.lens[id.index()] as usize
+    }
+
+    /// Returns `true` for a simple path.
+    #[must_use]
+    pub fn is_simple(&self, id: PathId) -> bool {
+        self.simple[id.index()]
+    }
+
+    /// Returns `true` for a trivial single-node path `⟨v⟩`.
+    #[must_use]
+    pub fn is_trivial(&self, id: PathId) -> bool {
+        self.lens[id.index()] == 1
+    }
+
+    /// The id of the trivial path `⟨v⟩`.
+    #[must_use]
+    pub fn trivial(&self, v: NodeId) -> PathId {
+        self.trivial[v.index()]
+    }
+
+    /// Returns `true` if the path shares a node with `set` — `C ∩ p ≠ ∅`
+    /// as one AND.
+    #[must_use]
+    pub fn intersects(&self, id: PathId, set: NodeSet) -> bool {
+        !self.node_sets[id.index()].is_disjoint(set)
+    }
+
+    /// Returns `true` if the path lies entirely inside `allowed` — `p ⊆ C`
+    /// as one AND.
+    #[must_use]
+    pub fn is_within(&self, id: PathId, allowed: NodeSet) -> bool {
+        self.node_sets[id.index()].is_subset(allowed)
+    }
+
+    /// All interned paths ending at `v`, in id order.
+    #[must_use]
+    pub fn paths_ending_at(&self, v: NodeId) -> &[PathId] {
+        &self.by_terminal[v.index()]
+    }
+
+    /// The simple interned paths ending at `v`, in id order.
+    #[must_use]
+    pub fn simple_paths_ending_at(&self, v: NodeId) -> &[PathId] {
+        &self.simple_by_terminal[v.index()]
+    }
+
+    /// The forwarding table: the id of `p‖w`, or `None` when the extension
+    /// leaves the population (inadmissible) or `(ter(p), w)` is not an
+    /// edge. One rank computation and one array load.
+    #[must_use]
+    pub fn extend(&self, id: PathId, w: NodeId) -> Option<PathId> {
+        let t = self.ters[id.index()];
+        let neighbors = self.out[t.index()].bits();
+        let bit = 1u128 << w.index();
+        if neighbors & bit == 0 {
+            return None;
+        }
+        let rank = (neighbors & (bit - 1)).count_ones() as usize;
+        let entry = self.ext_entries[self.ext_offsets[id.index()] as usize + rank];
+        (entry != NO_EXT).then_some(PathId(entry))
+    }
+
+    /// Like [`PathIndex::extend`], additionally requiring the extension to
+    /// be simple (the FIFO-flood discipline for `COMPLETE` messages).
+    #[must_use]
+    pub fn extend_simple(&self, id: PathId, w: NodeId) -> Option<PathId> {
+        self.extend(id, w).filter(|&ext| self.simple[ext.index()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::paths::{redundant_paths_ending_at, simple_paths_ending_at, PathBudget};
+
+    /// Two bridged K3s: directed, non-complete, population small enough
+    /// to check exhaustively in debug builds (the full figure-1b(small)
+    /// population is ~4·10⁵ paths).
+    fn small_bridged() -> Digraph {
+        generators::two_cliques_bridged(3, &[(0, 0)], &[(2, 2)])
+    }
+
+    fn build(graph: &Digraph) -> PathIndex {
+        let pools: Vec<Vec<Path>> = graph
+            .nodes()
+            .map(|v| {
+                redundant_paths_ending_at(graph, v, NodeSet::EMPTY, PathBudget::default()).unwrap()
+            })
+            .collect();
+        PathIndex::build(graph, &pools)
+    }
+
+    #[test]
+    fn round_trip_over_full_population() {
+        for graph in [generators::clique(4), small_bridged()] {
+            let index = build(&graph);
+            assert!(!index.is_empty());
+            // Path -> id -> Path is the identity over everything interned,
+            // and the metadata matches the owned path's own answers.
+            for raw in 0..index.len() as u32 {
+                let id = PathId::from_raw(raw);
+                assert!(index.contains_id(id));
+                let path = index.path(id).clone();
+                assert_eq!(index.resolve(&path), Some(id), "{path}");
+                assert_eq!(index.node_set(id), path.node_set());
+                assert_eq!(index.init(id), path.init());
+                assert_eq!(index.ter(id), path.ter());
+                assert_eq!(index.node_count(id), path.node_count());
+                assert_eq!(index.is_simple(id), path.is_simple());
+                assert_eq!(index.is_trivial(id), path.is_empty());
+                assert!(path.is_valid_in(&graph));
+            }
+            // Every enumerated path is present, with no duplicates.
+            for v in graph.nodes() {
+                let direct =
+                    redundant_paths_ending_at(&graph, v, NodeSet::EMPTY, PathBudget::default())
+                        .unwrap();
+                assert_eq!(direct.len(), index.paths_ending_at(v).len());
+                for p in &direct {
+                    let id = index.resolve(p).expect("enumerated path interned");
+                    assert!(index.paths_ending_at(v).contains(&id));
+                }
+                let simple =
+                    simple_paths_ending_at(&graph, v, NodeSet::EMPTY, PathBudget::default())
+                        .unwrap();
+                assert_eq!(simple.len(), index.simple_paths_ending_at(v).len());
+            }
+        }
+    }
+
+    #[test]
+    fn extend_table_agrees_with_owned_path_extension() {
+        for graph in [generators::clique(4), small_bridged()] {
+            let index = build(&graph);
+            for raw in 0..index.len() as u32 {
+                let id = PathId::from_raw(raw);
+                let path = index.path(id).clone();
+                for w in graph.nodes() {
+                    let expected = if graph.has_edge(path.ter(), w) {
+                        path.extended(w).ok().filter(|e| e.is_redundant())
+                    } else {
+                        None
+                    };
+                    let got = index.extend(id, w).map(|e| index.path(e).clone());
+                    assert_eq!(got, expected, "extend({path}, {w})");
+                    // extend_simple additionally demands simplicity.
+                    let got_simple = index.extend_simple(id, w).map(|e| index.path(e).clone());
+                    assert_eq!(got_simple, expected.filter(Path::is_simple));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_and_forged_paths_resolve_to_none() {
+        let graph = small_bridged();
+        let index = build(&graph);
+        // An id past the population is rejected, not a panic.
+        assert!(!index.contains_id(PathId::from_raw(index.len() as u32)));
+        assert!(!index.contains_id(PathId::from_raw(u32::MAX)));
+        // A sequence using a non-edge (w1 -> v1 is absent: only v1 -> w1).
+        let forged = Path::from_indices(&[3, 0]).unwrap();
+        assert!(!forged.is_valid_in(&graph));
+        assert_eq!(index.resolve(&forged), None);
+        // A non-redundant sequence over real edges.
+        let non_redundant = Path::from_indices(&[0, 1, 0, 1, 0, 1]).unwrap();
+        assert!(non_redundant.is_valid_in(&graph) && !non_redundant.is_redundant());
+        assert_eq!(index.resolve(&non_redundant), None);
+    }
+
+    #[test]
+    fn trivial_paths_always_interned() {
+        let graph = generators::directed_path(4); // sparse: tiny pools
+        let pools: Vec<Vec<Path>> = graph
+            .nodes()
+            .map(|v| {
+                simple_paths_ending_at(&graph, v, NodeSet::EMPTY, PathBudget::default()).unwrap()
+            })
+            .collect();
+        let index = PathIndex::build(&graph, &pools);
+        for v in graph.nodes() {
+            let t = index.trivial(v);
+            assert!(index.is_trivial(t));
+            assert_eq!(index.init(t), v);
+            assert_eq!(index.ter(t), v);
+        }
+    }
+
+    #[test]
+    fn bitmask_operations_match_path_semantics() {
+        let graph = generators::clique(4);
+        let index = build(&graph);
+        let set: NodeSet = [NodeId::new(1), NodeId::new(3)].into_iter().collect();
+        for raw in 0..index.len() as u32 {
+            let id = PathId::from_raw(raw);
+            let path = index.path(id);
+            assert_eq!(index.intersects(id, set), path.intersects(set));
+            assert_eq!(index.is_within(id, set), path.is_within(set));
+        }
+    }
+}

@@ -583,8 +583,7 @@ mod tests {
     fn redundant_paths_respect_forbidden_set() {
         let g = generators::clique(5);
         let forbidden = NodeSet::singleton(id(4));
-        let rs =
-            redundant_paths_ending_at(&g, id(0), forbidden, PathBudget::default()).unwrap();
+        let rs = redundant_paths_ending_at(&g, id(0), forbidden, PathBudget::default()).unwrap();
         assert!(rs.iter().all(|p| !p.contains(id(4))));
     }
 
@@ -611,9 +610,7 @@ mod tests {
         let f = NodeSet::singleton(id(0));
         assert!(simple_paths(&g, id(0), id(1), f, PathBudget::default()).unwrap().is_empty());
         assert!(simple_paths_ending_at(&g, id(0), f, PathBudget::default()).unwrap().is_empty());
-        assert!(redundant_paths_ending_at(&g, id(0), f, PathBudget::default())
-            .unwrap()
-            .is_empty());
+        assert!(redundant_paths_ending_at(&g, id(0), f, PathBudget::default()).unwrap().is_empty());
     }
 
     #[test]

@@ -168,10 +168,7 @@ mod tests {
 
     #[test]
     fn respects_sub_universe() {
-        let u: NodeSet = [2usize, 5, 9]
-            .into_iter()
-            .map(crate::node::NodeId::new)
-            .collect();
+        let u: NodeSet = [2usize, 5, 9].into_iter().map(crate::node::NodeId::new).collect();
         let all = subsets_up_to(u, 3);
         assert_eq!(all.len(), 8);
         assert!(all.iter().all(|s| s.is_subset(u)));
@@ -205,14 +202,13 @@ mod tests {
         assert_eq!(binomial(14, 2), 91);
         assert_eq!(binomial(7, 0), 1);
         assert_eq!(binomial(3, 5), 0);
-        assert_eq!(binomial(128, 64) > 0, true);
+        assert!(binomial(128, 64) > 0);
     }
 
     #[test]
     fn sizes_are_non_decreasing() {
-        let sizes: Vec<usize> = SubsetsUpTo::new(NodeSet::universe(6), 3)
-            .map(|s| s.len())
-            .collect();
+        let sizes: Vec<usize> =
+            SubsetsUpTo::new(NodeSet::universe(6), 3).map(|s| s.len()).collect();
         for w in sizes.windows(2) {
             assert!(w[0] <= w[1]);
         }

@@ -97,8 +97,9 @@ where
         let honest_total =
             self.actors.iter().filter(|a| matches!(a, Some(Actor::Honest(_)))).count();
 
-        let mut senders: Vec<Sender<(NodeId, P::Message)>> = Vec::with_capacity(n);
-        let mut receivers: Vec<Option<Receiver<(NodeId, P::Message)>>> = Vec::with_capacity(n);
+        type Envelope<M> = (NodeId, M);
+        let mut senders: Vec<Sender<Envelope<P::Message>>> = Vec::with_capacity(n);
+        let mut receivers: Vec<Option<Receiver<Envelope<P::Message>>>> = Vec::with_capacity(n);
         for _ in 0..n {
             let (tx, rx) = unbounded();
             senders.push(tx);
@@ -110,10 +111,10 @@ where
         let done = Arc::new(done);
 
         let mut handles = Vec::with_capacity(n);
-        for i in 0..n {
+        for (i, rx_slot) in receivers.iter_mut().enumerate() {
             let me = NodeId::new(i);
             let actor = self.actors[i].take().expect("checked above");
-            let rx = receivers[i].take().expect("taken once");
+            let rx = rx_slot.take().expect("taken once");
             let graph = Arc::clone(&self.graph);
             let senders = senders.clone();
             let stop = Arc::clone(&stop);
@@ -265,9 +266,7 @@ mod tests {
         t.set_honest(id(0), Collect { expected: 1, input: 0, heard: Vec::new() });
         t.set_honest(id(1), Collect { expected: 1, input: 1, heard: Vec::new() });
         t.set_byzantine(id(2), Box::new(Silent));
-        let out = t
-            .run(|p| p.heard.len() >= p.expected, ThreadedConfig::default())
-            .unwrap();
+        let out = t.run(|p| p.heard.len() >= p.expected, ThreadedConfig::default()).unwrap();
         assert!(out[0].is_some() && out[1].is_some());
         assert!(out[2].is_none(), "byzantine slot returns no process");
     }

@@ -65,9 +65,7 @@ impl<M> Trace<M> {
     where
         M: Clone,
     {
-        Trace {
-            events: self.events.iter().filter(|e| keep(e.to)).cloned().collect(),
-        }
+        Trace { events: self.events.iter().filter(|e| keep(e.to)).cloned().collect() }
     }
 }
 

@@ -30,9 +30,8 @@ fn main() {
     );
     // Source components survive silencing any 2f nodes — the "source of
     // common influence" behind the witness technique.
-    let silenced: NodeSet = [NodeId::new(0), NodeId::new(1), NodeId::new(7), NodeId::new(8)]
-        .into_iter()
-        .collect();
+    let silenced: NodeSet =
+        [NodeId::new(0), NodeId::new(1), NodeId::new(7), NodeId::new(8)].into_iter().collect();
     let s = source_component(&b, silenced, NodeSet::EMPTY);
     println!("source component after silencing {silenced}: {s}");
     assert!(!s.is_empty());

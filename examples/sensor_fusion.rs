@@ -24,9 +24,9 @@ use dbac::graph::{Digraph, NodeId};
 fn radio_topology(ranges: &[usize]) -> Digraph {
     let n = ranges.len();
     let mut g = Digraph::new(n).expect("valid size");
-    for i in 0..n {
+    for (i, &range) in ranges.iter().enumerate() {
         for j in 0..n {
-            if i != j && i.abs_diff(j) <= ranges[i] {
+            if i != j && i.abs_diff(j) <= range {
                 g.add_edge(NodeId::new(i), NodeId::new(j)).expect("valid edge");
             }
         }

@@ -1,0 +1,191 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A small wall-clock benchmark harness exposing the subset of the
+//! criterion API this workspace's benches use (`criterion_group!` /
+//! `criterion_main!`, `Criterion::bench_function`, benchmark groups with
+//! `bench_with_input`, `BenchmarkId`, `black_box`). Timing method: a short
+//! calibration pass picks an iteration batch size, then a fixed number of
+//! batch samples are measured and the per-iteration mean, minimum and
+//! maximum are reported. No statistics machinery, no plots — numbers good
+//! enough for before/after comparisons in this repository.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of a parameterized benchmark, mirroring criterion's.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { full: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+/// Runs closures under timing; handed to every benchmark body.
+pub struct Bencher {
+    /// Mean / min / max nanoseconds per iteration, filled in by `iter`.
+    result: Option<Sample>,
+    sample_count: usize,
+}
+
+#[derive(Clone, Copy)]
+struct Sample {
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
+/// Target measurement time per benchmark (total across samples).
+const MEASURE: Duration = Duration::from_millis(200);
+/// Warm-up before calibration.
+const WARMUP: Duration = Duration::from_millis(30);
+
+impl Bencher {
+    /// Measures `f`, recording per-iteration timing.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration: how many iterations fit in the warm-up
+        // window determines the batch size.
+        let start = Instant::now();
+        let mut calib_iters: u64 = 0;
+        loop {
+            black_box(f());
+            calib_iters += 1;
+            if start.elapsed() >= WARMUP {
+                break;
+            }
+        }
+        let per_iter = start.elapsed().as_secs_f64() / calib_iters as f64;
+        let samples = self.sample_count.max(2);
+        let budget_per_sample = MEASURE.as_secs_f64() / samples as f64;
+        let batch = ((budget_per_sample / per_iter) as u64).max(1);
+
+        let mut total = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = t.elapsed().as_secs_f64() * 1e9 / batch as f64;
+            total += ns;
+            min = min.min(ns);
+            max = max.max(ns);
+        }
+        self.result = Some(Sample { mean_ns: total / samples as f64, min_ns: min, max_ns: max });
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one(name: &str, sample_count: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { result: None, sample_count };
+    f(&mut b);
+    match b.result {
+        Some(s) => println!(
+            "{name:<50} time: [{} {} {}]",
+            fmt_ns(s.min_ns),
+            fmt_ns(s.mean_ns),
+            fmt_ns(s.max_ns)
+        ),
+        None => println!("{name:<50} (no measurement recorded)"),
+    }
+}
+
+/// The harness entry point, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepts and ignores CLI arguments (API compatibility).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, 20, &mut f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _c: self, name: name.into(), sample_count: 20 }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_count: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(2);
+        self
+    }
+
+    /// Runs a named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), self.sample_count, &mut f);
+        self
+    }
+
+    /// Runs a parameterized benchmark within the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.full);
+        run_one(&name, self.sample_count, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,41 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only the `channel` module surface the workspace uses is provided,
+//! backed by `std::sync::mpsc` (whose `Sender` is `Clone` and whose
+//! `recv_timeout` semantics match what the thread-per-node runtime needs).
+
+/// MPSC channels with the `crossbeam::channel` names.
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+
+    /// An unbounded channel, mirroring `crossbeam::channel::unbounded`.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_and_timeout() {
+        let (tx, rx) = unbounded();
+        tx.send(5u32).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(5));
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(RecvTimeoutError::Timeout));
+        drop(tx);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(RecvTimeoutError::Disconnected));
+    }
+
+    #[test]
+    fn senders_clone() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        tx2.send(1u8).unwrap();
+        drop((tx, tx2));
+        assert_eq!(rx.iter().count(), 1);
+    }
+}

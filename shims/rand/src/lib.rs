@@ -1,0 +1,160 @@
+//! Offline stand-in for `rand`.
+//!
+//! Implements exactly the surface this workspace uses: `SmallRng` (here a
+//! splitmix64 generator — statistically fine for simulation schedules and
+//! test-case generation, *not* cryptographic), `SeedableRng::seed_from_u64`,
+//! and `Rng::{gen_range, gen_bool}` over the integer and float range types
+//! that appear in the workspace. Deterministic per seed, as the simulator
+//! requires.
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next raw 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform draw from `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        // Top 53 bits -> [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Convenience sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range`.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.next_f64() < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Seeding interface, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Constructs the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A range that can be sampled uniformly.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+
+    /// Draws one sample.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+fn sample_u64_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Multiply-shift bounded sampling (Lemire); bias is negligible for the
+    // spans used here and determinism is all the workspace relies on.
+    ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + sample_u64_below(rng, span) as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + sample_u64_below(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(u64, u32, u16, u8, usize);
+
+impl SampleRange for core::ops::Range<f64> {
+    type Output = f64;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator (splitmix64).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        let differs = (0..100).any(|_| a.gen_range(0u64..1000) != c.gen_range(0u64..1000));
+        assert!(differs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!((3..9u64).contains(&rng.gen_range(3u64..9)));
+            assert!((3..=9u64).contains(&rng.gen_range(3u64..=9)));
+            let f = rng.gen_range(-2.0..5.0);
+            assert!((-2.0..5.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}

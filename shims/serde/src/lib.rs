@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! This build environment has no access to a crates registry, so the
+//! workspace ships a minimal local `serde` facade: marker traits plus no-op
+//! derive macros. Nothing in the workspace serializes at runtime — the
+//! derives only exist so the public types advertise serializability — so
+//! marker semantics are sufficient. Swapping the `path` dependency for the
+//! registry `serde` restores full functionality without code changes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T> Deserialize<'de> for T {}

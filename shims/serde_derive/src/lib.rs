@@ -1,0 +1,21 @@
+//! No-op stand-in for `serde_derive` used in offline builds.
+//!
+//! The derives expand to nothing: the workspace derives `Serialize` /
+//! `Deserialize` on its types so downstream users *can* serialize them, but
+//! nothing in the workspace itself performs serialization, so empty
+//! expansions keep every `#[derive(Serialize, Deserialize)]` compiling
+//! without the registry crate.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -16,8 +16,7 @@ fn crash_protocol_matches_two_reach_feasibility() {
     let g = generators::clique(3);
     assert!(two_reach(&g, 1).holds());
     assert!(!three_reach(&g, 1).holds());
-    let out =
-        run_crash_consensus(g, 1, &[0.0, 6.0, 3.0], 0.5, &[(NodeId::new(2), 1)], 3).unwrap();
+    let out = run_crash_consensus(g, 1, &[0.0, 6.0, 3.0], 0.5, &[(NodeId::new(2), 1)], 3).unwrap();
     assert!(out.converged() && out.valid());
 }
 
@@ -100,15 +99,9 @@ fn crash_protocol_with_two_faults() {
     let g = generators::clique(6);
     assert!(two_reach(&g, 2).holds());
     let inputs: Vec<f64> = (0..6).map(|i| i as f64).collect();
-    let out = run_crash_consensus(
-        g,
-        2,
-        &inputs,
-        0.5,
-        &[(NodeId::new(4), 0), (NodeId::new(5), 7)],
-        13,
-    )
-    .unwrap();
+    let out =
+        run_crash_consensus(g, 2, &inputs, 0.5, &[(NodeId::new(4), 0), (NodeId::new(5), 7)], 13)
+            .unwrap();
     assert!(out.converged() && out.valid());
     assert!(out.outputs[4].is_none() && out.outputs[5].is_none());
 }
