@@ -1,13 +1,14 @@
 //! Hot-path microbenchmarks for the path-interning refactor.
 //!
-//! Measures the two per-message kernels the `PathId` interning targets —
-//! FIFO reception (`FifoReceiver::accept`: in-order, gap-close, replay) and
-//! `COMPLETE` relay fan-out (`complete_forwards`) — on `figure_1b_small`
-//! and a clique. A faithful reimplementation of the pre-interning design
-//! (channels keyed by `(initiator, owned Path)`, forwarding via
-//! clone + `extended()` + `is_simple()`) runs alongside as the *legacy*
-//! baseline, so one run reports the before/after numbers recorded in
-//! CHANGES.md.
+//! Measures the per-message kernels the `PathId` interning targets —
+//! FIFO reception (`FifoReceiver::accept`: in-order, gap-close, replay),
+//! `COMPLETE` relay fan-out (`complete_forwards`), and the message-set
+//! algebra (`exclusion`, fullness) — on `figure_1b_small` and a clique.
+//! Faithful reimplementations of the pre-refactor designs (channels keyed
+//! by `(initiator, owned Path)`, forwarding via clone + `extended()` +
+//! `is_simple()`, message sets as `BTreeMap<PathId, f64>` with per-entry
+//! mask tests) run alongside as the *legacy* baselines, so one run reports
+//! the before/after numbers recorded in CHANGES.md.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use dbac_core::config::FloodMode;
@@ -92,6 +93,49 @@ fn legacy_complete_forwards(g: &Digraph, me: NodeId, stored: &Path) -> usize {
         }
     }
     sent
+}
+
+/// The pre-columnar message set (PR 1's design): a `BTreeMap<PathId, f64>`
+/// with set operations as per-entry filters through the index metadata.
+/// A deliberate frozen copy of `dbac_core::message_set::reference` (same
+/// idiom as `LegacyFifo` above): depending on the `reference-messageset`
+/// feature from here would, via feature unification, compile the reference
+/// module into every workspace build — and the baseline should stay the
+/// *historical* design even if the test oracle evolves.
+#[derive(Clone, Default)]
+struct LegacyMessageSet {
+    entries: BTreeMap<dbac_graph::PathId, f64>,
+}
+
+impl LegacyMessageSet {
+    fn insert(&mut self, path: PathId, value: f64) -> bool {
+        match self.entries.entry(path) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(value);
+                true
+            }
+            std::collections::btree_map::Entry::Occupied(_) => false,
+        }
+    }
+
+    fn exclusion(&self, a: NodeSet, index: &dbac_graph::PathIndex) -> LegacyMessageSet {
+        LegacyMessageSet {
+            entries: self
+                .entries
+                .iter()
+                .filter(|(&p, _)| !index.intersects(p, a))
+                .map(|(&p, &v)| (p, v))
+                .collect(),
+        }
+    }
+
+    fn is_full_avoiding(&self, a: NodeSet, v: NodeId, index: &dbac_graph::PathIndex) -> bool {
+        index
+            .paths_ending_at(v)
+            .iter()
+            .filter(|&&p| !index.intersects(p, a))
+            .all(|p| self.entries.contains_key(p))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -280,5 +324,106 @@ fn bench_complete_forwards(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fifo_accept, bench_complete_forwards);
+// ---------------------------------------------------------------------------
+// MessageSet algebra: exclusion and fullness, columnar vs BTreeMap
+// ---------------------------------------------------------------------------
+
+/// Builds node 0's full round history in both representations: every pool
+/// path toward node 0 carrying its initiator's value (the state a node is
+/// in when the Maximal-Consistency exclusions and fullness probes run).
+fn message_set_pair(topo: &Topology) -> (MessageSet, LegacyMessageSet) {
+    let v0 = NodeId::new(0);
+    let mut columnar = MessageSet::new();
+    let mut legacy = LegacyMessageSet::default();
+    for &p in topo.required_paths_to(v0) {
+        let value = topo.index().init(p).index() as f64;
+        columnar.insert(p, value);
+        legacy.insert(p, value);
+    }
+    (columnar, legacy)
+}
+
+fn bench_message_set_exclusion(c: &mut Criterion) {
+    for fx in fixtures() {
+        let index = fx.topo.index();
+        let guesses: Vec<NodeSet> = fx.topo.guesses().to_vec();
+        let (columnar, legacy) = message_set_pair(&fx.topo);
+
+        let mut group = c.benchmark_group(format!("mset_exclusion/{}", fx.name));
+        group.sample_size(30);
+        // One batch = M|_Ā for every fault-set guess (what a node does
+        // across its parallel witness threads).
+        group.bench_function("columnar", |b| {
+            b.iter(|| {
+                let mut kept = 0usize;
+                for &g in &guesses {
+                    kept += columnar.exclusion(g, index).len();
+                }
+                black_box(kept)
+            });
+        });
+        group.bench_function("legacy", |b| {
+            b.iter(|| {
+                let mut kept = 0usize;
+                for &g in &guesses {
+                    kept += legacy.exclusion(g, index).entries.len();
+                }
+                black_box(kept)
+            });
+        });
+        group.finish();
+    }
+}
+
+fn bench_message_set_fullness(c: &mut Criterion) {
+    for fx in fixtures() {
+        let index = fx.topo.index();
+        let guesses: Vec<NodeSet> = fx.topo.guesses().to_vec();
+        let v0 = NodeId::new(0);
+        let (full_col, full_leg) = message_set_pair(&fx.topo);
+        // A one-short set: fullness scans must also be fast when they fail.
+        let missing = *fx.topo.required_paths_to(v0).last().expect("non-empty pool");
+        let (mut part_col, mut part_leg) = (MessageSet::new(), LegacyMessageSet::default());
+        for (p, v) in full_col.iter() {
+            if p != missing {
+                part_col.insert(p, v);
+                part_leg.insert(p, v);
+            }
+        }
+
+        let mut group = c.benchmark_group(format!("mset_fullness/{}", fx.name));
+        group.sample_size(30);
+        // One batch = fullness for (guess, node 0) over every guess, on the
+        // full and the one-short history.
+        group.bench_function("columnar", |b| {
+            b.iter(|| {
+                let mut full_count = 0usize;
+                for &g in &guesses {
+                    full_count += usize::from(full_col.is_full_avoiding(g, v0, index));
+                    full_count += usize::from(part_col.is_full_avoiding(g, v0, index));
+                }
+                black_box(full_count)
+            });
+        });
+        group.bench_function("legacy", |b| {
+            b.iter(|| {
+                let mut full_count = 0usize;
+                for &g in &guesses {
+                    full_count += usize::from(full_leg.is_full_avoiding(g, v0, index));
+                    full_count += usize::from(part_leg.is_full_avoiding(g, v0, index));
+                }
+                black_box(full_count)
+            });
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_fifo_accept,
+    bench_complete_forwards,
+    bench_message_set_exclusion,
+    bench_message_set_fullness
+);
 criterion_main!(benches);

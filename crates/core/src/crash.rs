@@ -14,12 +14,19 @@
 //! influencer `z`, and both nodes' min/max brackets `x_z[r]`, so midpoints
 //! are within half the previous spread (convergence halves per round, as
 //! in Lemma 15).
+//!
+//! Paths are interned: the simple-path population is enumerated once into a
+//! [`PathIndex`], wire messages carry dense [`PathId`]s, per-round value
+//! maps are the columnar [`MessageSet`], and the per-guess fullness
+//! requirements are popcounts over the index's terminal/member masks — the
+//! same hot-path treatment the BW stack received.
 
 use crate::config::num_rounds;
 use crate::error::RunError;
+use crate::message_set::MessageSet;
 use dbac_graph::paths::simple_paths_ending_at;
 use dbac_graph::subsets::SubsetsUpTo;
-use dbac_graph::{Digraph, NodeId, NodeSet, Path, PathBudget};
+use dbac_graph::{Digraph, NodeId, NodeSet, PathBudget, PathId, PathIndex};
 use dbac_sim::process::{Adversary, Context, Process};
 use dbac_sim::scheduler::RandomDelay;
 use dbac_sim::sim::Simulation;
@@ -27,15 +34,15 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Wire message of the crash-tolerant protocol: a value flooded along a
-/// simple path (the path ends at the sender).
+/// simple path (the path ends at the sender, as an interned id).
 #[derive(Clone, Debug, PartialEq)]
 pub struct CrashMsg {
     /// Asynchronous round.
     pub round: u32,
     /// The flooded state value.
     pub value: f64,
-    /// Propagation path so far.
-    pub path: Path,
+    /// Propagation path so far (interned; ends at the sender).
+    pub path: PathId,
 }
 
 /// Shared precomputation for the crash protocol.
@@ -43,24 +50,25 @@ pub struct CrashMsg {
 pub struct CrashTopology {
     graph: Digraph,
     f: usize,
-    /// Per terminal: all simple paths ending there.
-    simple_to: Vec<Vec<Path>>,
+    /// The interned simple-path population.
+    index: PathIndex,
     guesses: Vec<NodeSet>,
 }
 
 impl CrashTopology {
-    /// Precomputes simple-path pools and fault guesses.
+    /// Precomputes the interned simple-path population and fault guesses.
     ///
     /// # Errors
     ///
     /// Returns the path-budget error if enumeration explodes.
     pub fn new(graph: Digraph, f: usize, budget: PathBudget) -> Result<Self, RunError> {
-        let mut simple_to = Vec::with_capacity(graph.node_count());
+        let mut pools = Vec::with_capacity(graph.node_count());
         for v in graph.nodes() {
-            simple_to.push(simple_paths_ending_at(&graph, v, NodeSet::EMPTY, budget)?);
+            pools.push(simple_paths_ending_at(&graph, v, NodeSet::EMPTY, budget)?);
         }
+        let index = PathIndex::build(&graph, &pools);
         let guesses = SubsetsUpTo::new(graph.vertex_set(), f).collect();
-        Ok(CrashTopology { graph, f, simple_to, guesses })
+        Ok(CrashTopology { graph, f, index, guesses })
     }
 
     /// The network.
@@ -74,12 +82,18 @@ impl CrashTopology {
     pub fn f(&self) -> usize {
         self.f
     }
+
+    /// The interned simple-path population.
+    #[must_use]
+    pub fn index(&self) -> &PathIndex {
+        &self.index
+    }
 }
 
 struct CrashRound {
     started: bool,
     fired: bool,
-    values: HashMap<Path, f64>,
+    values: MessageSet,
     /// Per guess: required simple paths avoiding the guess not yet seen.
     remaining: Vec<usize>,
 }
@@ -138,30 +152,28 @@ impl CrashNode {
     }
 
     fn new_round(&self) -> CrashRound {
-        let pool = &self.topo.simple_to[self.me.index()];
-        let remaining = self
-            .my_guesses
-            .iter()
-            .map(|g| pool.iter().filter(|p| !p.intersects(*g)).count())
-            .collect();
-        CrashRound { started: false, fired: false, values: HashMap::new(), remaining }
+        // Per-guess requirement counts straight off the masks.
+        let index = &self.topo.index;
+        let remaining = self.my_guesses.iter().map(|&g| index.required_count(g, self.me)).collect();
+        CrashRound { started: false, fired: false, values: MessageSet::new(), remaining }
     }
 
     fn begin_round(&mut self, round: u32, ctx: &mut Context<CrashMsg>) {
         let value = self.x[round as usize];
-        let path = Path::single(self.me);
+        let path = self.topo.index.trivial(self.me);
         for w in ctx.out_neighbors().iter() {
-            ctx.send(w, CrashMsg { round, value, path: path.clone() });
+            ctx.send(w, CrashMsg { round, value, path });
         }
         // Do not clobber state created by early-arriving buffered messages.
         if !self.rounds.contains_key(&round) {
             let r = self.new_round();
             self.rounds.insert(round, r);
         }
-        self.record(round, Path::single(self.me), value, ctx);
+        self.record(round, path, value, ctx);
     }
 
-    fn record(&mut self, round: u32, stored: Path, value: f64, ctx: &mut Context<CrashMsg>) {
+    fn record(&mut self, round: u32, stored: PathId, value: f64, ctx: &mut Context<CrashMsg>) {
+        let index = &self.topo.index;
         let core = match self.rounds.get_mut(&round) {
             Some(c) => c,
             None => {
@@ -169,14 +181,13 @@ impl CrashNode {
                 self.rounds.entry(round).or_insert(fresh)
             }
         };
-        if core.values.contains_key(&stored) {
+        if !core.values.insert(stored, value) {
             return;
         }
-        if stored.init() == self.me && stored.is_empty() {
+        if stored == index.trivial(self.me) {
             core.started = true;
         }
-        let node_set = stored.node_set();
-        core.values.insert(stored, value);
+        let node_set = index.node_set(stored);
         let mut fire = false;
         for (i, guess) in self.my_guesses.iter().enumerate() {
             if node_set.is_disjoint(*guess) {
@@ -189,7 +200,7 @@ impl CrashNode {
         if fire && !core.fired {
             core.fired = true;
             let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
-            for &v in core.values.values() {
+            for (_, v) in core.values.iter() {
                 lo = lo.min(v);
                 hi = hi.max(v);
             }
@@ -220,29 +231,25 @@ impl Process for CrashNode {
         if msg.round >= self.rounds_total {
             return;
         }
-        // Validate and extend, as in the BW flood but simple-paths only.
-        if msg.path.ter() != from || !msg.path.is_valid_in(&self.topo.graph) {
+        // Validate and extend, as in the BW flood but simple-paths only:
+        // the population holds exactly the simple paths, so an unknown id
+        // or a missing forwarding-table entry is a forged or inadmissible
+        // message. All O(1), as in `validate_flood`.
+        let index = &self.topo.index;
+        if !index.contains_id(msg.path) || index.ter(msg.path) != from {
             return;
         }
-        let Ok(stored) = msg.path.extended(self.me) else {
+        let Some(stored) = index.extend(msg.path, self.me) else {
             return;
         };
-        if !stored.is_simple() {
-            return;
-        }
-        let already = self.rounds.get(&msg.round).is_some_and(|c| c.values.contains_key(&stored));
+        let already = self.rounds.get(&msg.round).is_some_and(|c| c.values.contains_path(stored));
         if already {
             return;
         }
         // Relay first (the relay set does not depend on our round state).
         for w in ctx.out_neighbors().iter() {
-            if let Ok(ext) = stored.extended(w) {
-                if ext.is_simple() {
-                    ctx.send(
-                        w,
-                        CrashMsg { round: msg.round, value: msg.value, path: stored.clone() },
-                    );
-                }
+            if index.extend(stored, w).is_some() {
+                ctx.send(w, CrashMsg { round: msg.round, value: msg.value, path: stored });
             }
         }
         self.record(msg.round, stored, msg.value, ctx);
@@ -400,6 +407,7 @@ mod tests {
     use super::*;
     use dbac_conditions::kreach::two_reach;
     use dbac_graph::generators;
+    use dbac_graph::Path;
 
     fn id(i: usize) -> NodeId {
         NodeId::new(i)
@@ -450,6 +458,101 @@ mod tests {
         let out = run_crash_consensus(g, 1, &inputs, 0.5, &[(id(5), 4)], 3).unwrap();
         assert!(out.converged(), "{:?}", out.outputs);
         assert!(out.valid());
+    }
+
+    /// Regression for the PathId re-keying: the per-round value map (now
+    /// the columnar [`MessageSet`]) and the per-guess requirement census
+    /// (now mask popcounts) must match the original owned-`Path` design
+    /// exactly — same census, same dedup, same fire point, same relays.
+    #[test]
+    fn rekeying_preserves_census_dedup_and_fire_point() {
+        let g = generators::clique(3);
+        let topo = Arc::new(CrashTopology::new(g.clone(), 1, PathBudget::default()).unwrap());
+        let index = topo.index();
+        let me = id(0);
+        // Owned-path model of the requirement census (the old design).
+        let pool = simple_paths_ending_at(&g, me, NodeSet::EMPTY, PathBudget::default()).unwrap();
+
+        let mut node = CrashNode::new(Arc::clone(&topo), me, 5.0, 0.5, (0.0, 8.0));
+        let mut ctx = Context::new(me, g.out_neighbors(me));
+        node.on_start(&mut ctx);
+        let _ = ctx.take_outbox();
+        {
+            let round0 = node.rounds.get(&0).unwrap();
+            assert!(round0.started);
+            // ⟨0⟩ recorded; each guess still awaits its avoiding pool.
+            for (i, guess) in node.my_guesses.iter().enumerate() {
+                let census = pool.iter().filter(|p| !p.intersects(*guess)).count();
+                assert_eq!(round0.remaining[i], census - 1, "guess {guess:?}");
+            }
+        }
+
+        // Wire ⟨1,2⟩ from 2 → stored ⟨1,2,0⟩: meets both singleton guesses,
+        // so only the ∅-guess counter moves — no fire, and no relay (every
+        // extension of ⟨1,2,0⟩ repeats a node).
+        let wire_12 = index.resolve(&Path::from_indices(&[1, 2]).unwrap()).unwrap();
+        let stored_120 = index.resolve(&Path::from_indices(&[1, 2, 0]).unwrap()).unwrap();
+        node.on_message(&mut ctx, id(2), CrashMsg { round: 0, value: 3.0, path: wire_12 });
+        assert_eq!(ctx.pending(), 0, "⟨1,2,0⟩ has no simple extension in K3");
+        assert!(!node.rounds.get(&0).unwrap().fired);
+
+        // Exact duplicate: no relay, no re-record, first value wins.
+        node.on_message(&mut ctx, id(2), CrashMsg { round: 0, value: 9.0, path: wire_12 });
+        assert_eq!(ctx.pending(), 0, "duplicates must not relay");
+        let round0 = node.rounds.get(&0).unwrap();
+        assert_eq!(round0.values.value_on_path(stored_120), Some(3.0), "first value wins");
+        assert_eq!(round0.values.len(), 2);
+
+        // Wire ⟨1⟩ from 1 → stored ⟨1,0⟩ completes guess {2} (census
+        // {⟨0⟩, ⟨1,0⟩}): relay ⟨1,0⟩‖2, then fire — exactly where the
+        // owned-path census predicts — which begins round 1's own flood.
+        let wire_1 = index.resolve(&Path::from_indices(&[1]).unwrap()).unwrap();
+        let stored_10 = index.resolve(&Path::from_indices(&[1, 0]).unwrap()).unwrap();
+        node.on_message(&mut ctx, id(1), CrashMsg { round: 0, value: 1.0, path: wire_1 });
+        let sends = ctx.take_outbox();
+        assert!(
+            sends.iter().any(|(to, m)| *to == id(2) && m.round == 0 && m.path == stored_10),
+            "relay carries the stored id"
+        );
+        assert!(sends.iter().all(|(_, m)| m.round == 0 || m.path == index.trivial(me)));
+        let round0 = node.rounds.get(&0).unwrap();
+        assert!(round0.fired);
+        assert_eq!(node.x_history()[1], (1.0 + 5.0) / 2.0, "midpoint of all round values");
+
+        // Every recorded id resolves back into the owned-path pool.
+        for (p, _) in node.rounds.get(&0).unwrap().values.iter() {
+            assert!(pool.contains(index.path(p)), "{} outside the simple pool", index.path(p));
+        }
+    }
+
+    #[test]
+    fn forged_crash_paths_are_dropped() {
+        // Ids outside the population, wrong-terminal paths, and extensions
+        // that leave the simple class are all rejected at the boundary.
+        let g = generators::clique(3);
+        let topo = Arc::new(CrashTopology::new(g.clone(), 1, PathBudget::default()).unwrap());
+        let index = topo.index();
+        let mut node = CrashNode::new(Arc::clone(&topo), id(0), 5.0, 0.5, (0.0, 8.0));
+        let mut ctx = Context::new(id(0), g.out_neighbors(id(0)));
+        node.on_start(&mut ctx);
+        let _ = ctx.take_outbox();
+        let before = node.rounds.get(&0).unwrap().values.len();
+
+        // Unknown id.
+        node.on_message(
+            &mut ctx,
+            id(1),
+            CrashMsg { round: 0, value: 1.0, path: PathId::from_raw(u32::MAX - 1) },
+        );
+        // Path not ending at the authenticated sender.
+        let wire_2 = index.resolve(&Path::from_indices(&[2]).unwrap()).unwrap();
+        node.on_message(&mut ctx, id(1), CrashMsg { round: 0, value: 1.0, path: wire_2 });
+        // Extension would repeat `me`: ⟨0,1⟩ from 1 extends to ⟨0,1,0⟩.
+        let wire_01 = index.resolve(&Path::from_indices(&[0, 1]).unwrap()).unwrap();
+        node.on_message(&mut ctx, id(1), CrashMsg { round: 0, value: 1.0, path: wire_01 });
+
+        assert_eq!(ctx.pending(), 0, "forgeries must not relay");
+        assert_eq!(node.rounds.get(&0).unwrap().values.len(), before);
     }
 
     #[test]

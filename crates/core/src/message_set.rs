@@ -8,17 +8,60 @@
 //! * **fullness** for `(A, v)` — every redundant path avoiding `A` and
 //!   terminating at `v` has reported.
 //!
-//! Paths are held as interned [`PathId`]s: insertion and lookup compare
-//! one `u32` instead of hashing a node vector, and the set-theoretic
-//! operations read the [`PathIndex`]'s precomputed bitmasks. The index is
-//! passed into the operations that need path metadata; ids in a set are
-//! only meaningful relative to the topology whose index interned them.
+//! # Columnar layout
+//!
+//! [`PathId`]s are dense and topology-relative: the [`PathIndex`] numbers
+//! the whole enumerated population `0..P`, so a message set over that
+//! population needs no tree or hash structure at all. [`MessageSet`] stores
+//! two columns indexed directly by id:
+//!
+//! * a flat `f64` **value column** (`values[id]` is the value reported
+//!   along path `id`), and
+//! * a multi-word `u64` **presence bitmap** (bit `id` set iff path `id`
+//!   has reported).
+//!
+//! `insert`/`lookup` are O(1) array ops; iteration walks the set bits of
+//! the bitmap in id order (deterministic and identical at every node). The
+//! set operations pair the presence bitmap with the index's precomputed
+//! per-node masks ([`PathIndex::member_words`] et al.) and run word at a
+//! time: exclusion is `present & !excluded`, fullness for `(A, v)` is
+//! `terminal & !excluded & !present == 0`, with one AND/ANDNOT/popcount
+//! per 64 paths — branch-light scans the compiler can vectorize.
+//!
+//! Ids are only meaningful relative to the topology whose index interned
+//! them, and the columns assume the ids they hold are *dense*: memory is
+//! proportional to the highest inserted id, which for validated protocol
+//! traffic is bounded by the population size (and in practice by the local
+//! terminal's contiguous id range, since ids are assigned terminal-major).
+//! Never insert unvalidated wire ids — resolve them through the index
+//! first, exactly as the validation boundary already does.
+//!
+//! # Wire form
+//!
+//! The columnar layout is an in-memory representation only. On the wire
+//! (serde) a message set travels as the sparse `(PathId, f64)` entry list
+//! in id order — the same canonical form [`CompletePayload`] uses — so the
+//! representation can change without breaking wire compatibility. The
+//! container-level `from`/`into` attributes route (de)serialization
+//! through the sparse form.
+//!
+//! # Reference implementation
+//!
+//! The pre-columnar `BTreeMap<PathId, f64>` implementation survives as
+//! [`reference::MessageSet`] (feature `reference-messageset`, always on
+//! under `cfg(test)`), together with differential tests asserting the two
+//! backends agree on every observable. See `tests/differential.rs` for the
+//! generated-operation-sequence harness.
 
 use dbac_graph::{NodeId, NodeSet, PathId, PathIndex};
 use serde::{Deserialize, Serialize};
-use std::collections::hash_map::DefaultHasher;
+use std::collections::hash_map::RandomState;
 use std::collections::BTreeMap;
-use std::hash::{Hash, Hasher};
+use std::hash::{BuildHasher, Hash, Hasher};
+use std::sync::OnceLock;
+
+#[cfg(any(test, feature = "reference-messageset"))]
+pub mod reference;
 
 /// An accumulated set of `(value, path)` messages, keyed by interned path.
 ///
@@ -26,9 +69,20 @@ use std::hash::{Hash, Hasher};
 /// "first message with path p" rule); a path can therefore never report two
 /// values *within one set*. Iteration order is id order, which is
 /// deterministic and identical at every node.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Storage is columnar (see the module docs): a dense value column plus a
+/// presence bitmap, both indexed by [`PathId`]. Columns grow on demand to
+/// the highest inserted id; [`MessageSet::with_capacity`] pre-sizes them.
+#[derive(Clone, Default, Serialize, Deserialize)]
+#[serde(from = "Vec<(PathId, f64)>", into = "Vec<(PathId, f64)>")]
 pub struct MessageSet {
-    entries: BTreeMap<PathId, f64>,
+    /// Value column: `values[id]` is meaningful iff presence bit `id` is
+    /// set. Slots never inserted hold 0.0 but are never read.
+    values: Vec<f64>,
+    /// Presence bitmap, one bit per id, in `u64` words.
+    present: Vec<u64>,
+    /// Number of set presence bits (cached for O(1) `len`).
+    len: usize,
 }
 
 impl MessageSet {
@@ -38,89 +92,162 @@ impl MessageSet {
         Self::default()
     }
 
+    /// Creates an empty set with columns pre-sized for ids `0..capacity`
+    /// (use `index.len()` to cover a whole population).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        MessageSet {
+            values: Vec::with_capacity(capacity),
+            present: Vec::with_capacity(capacity.div_ceil(64)),
+            len: 0,
+        }
+    }
+
+    /// Grows the columns to cover `id`.
+    fn grow_to(&mut self, id: usize) {
+        if id >= self.values.len() {
+            self.values.resize(id + 1, 0.0);
+        }
+        let word = id / 64;
+        if word >= self.present.len() {
+            self.present.resize(word + 1, 0);
+        }
+    }
+
     /// Inserts `(value, path)`; returns `false` (and keeps the original) if
     /// the path already reported.
     pub fn insert(&mut self, path: PathId, value: f64) -> bool {
-        match self.entries.entry(path) {
-            std::collections::btree_map::Entry::Vacant(e) => {
-                e.insert(value);
-                true
-            }
-            std::collections::btree_map::Entry::Occupied(_) => false,
+        let id = path.index();
+        self.grow_to(id);
+        let (word, bit) = (id / 64, 1u64 << (id % 64));
+        if self.present[word] & bit != 0 {
+            return false;
         }
+        self.present[word] |= bit;
+        self.values[id] = value;
+        self.len += 1;
+        true
     }
 
     /// Number of messages.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// Returns `true` if no message has been recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// Returns `true` if `path` has reported.
     #[must_use]
     pub fn contains_path(&self, path: PathId) -> bool {
-        self.entries.contains_key(&path)
+        let id = path.index();
+        self.present.get(id / 64).is_some_and(|w| w & (1u64 << (id % 64)) != 0)
     }
 
     /// The value reported along `path`, if any.
     #[must_use]
     pub fn value_on_path(&self, path: PathId) -> Option<f64> {
-        self.entries.get(&path).copied()
+        self.contains_path(path).then(|| self.values[path.index()])
     }
 
     /// Iterates over `(path, value)` in deterministic (id) order.
     pub fn iter(&self) -> impl Iterator<Item = (PathId, f64)> + '_ {
-        self.entries.iter().map(|(&p, &v)| (p, v))
+        self.paths().map(|p| (p, self.values[p.index()]))
     }
 
-    /// The paper's `P(M)`: the set of propagation paths.
+    /// The paper's `P(M)`: the set of propagation paths, in id order.
     pub fn paths(&self) -> impl Iterator<Item = PathId> + '_ {
-        self.entries.keys().copied()
+        self.present.iter().enumerate().flat_map(|(w, &word)| {
+            let base = w * 64;
+            BitIter(word).map(move |b| PathId::from_raw((base + b) as u32))
+        })
     }
 
     /// The exclusion `M|_Ā` (Definition 7): messages whose path avoids `A`.
+    ///
+    /// One ANDNOT per word of the presence bitmap against the index's
+    /// precomputed member masks; the value column is shared by clone
+    /// (excluded slots simply become unreachable).
     #[must_use]
     pub fn exclusion(&self, a: NodeSet, index: &PathIndex) -> MessageSet {
-        MessageSet {
-            entries: self
-                .entries
-                .iter()
-                .filter(|(&p, _)| !index.intersects(p, a))
-                .map(|(&p, &v)| (p, v))
-                .collect(),
+        let mut out = self.clone();
+        if a.is_empty() || self.len == 0 {
+            return out;
         }
+        let mut len = 0usize;
+        for (w, word) in out.present.iter_mut().enumerate() {
+            *word &= !index.excluded_word(a, w);
+            len += word.count_ones() as usize;
+        }
+        out.len = len;
+        out
     }
 
     /// Consistency (Definition 8): every initiator reports a unique value.
     #[must_use]
     pub fn is_consistent(&self, index: &PathIndex) -> bool {
-        values_consistent(self.entries.iter().map(|(&p, &v)| (p, v)), index)
+        values_consistent(self.iter(), index)
     }
 
     /// The paper's `value_q(M)`: the value reported by initiator `q`.
     /// Unique when the set is consistent; otherwise the first in id order.
+    ///
+    /// A word-at-a-time AND of the presence bitmap against the initiator
+    /// mask; the answer is the first surviving bit.
     #[must_use]
     pub fn value_of(&self, q: NodeId, index: &PathIndex) -> Option<f64> {
-        self.entries.iter().find(|(&p, _)| index.init(p) == q).map(|(_, &v)| v)
+        let init = index.init_words(q);
+        for (w, &word) in self.present.iter().enumerate() {
+            let hit = word & init.get(w).copied().unwrap_or(0);
+            if hit != 0 {
+                let id = w * 64 + hit.trailing_zeros() as usize;
+                return Some(self.values[id]);
+            }
+        }
+        None
     }
 
     /// Fullness (Definition 9) against a pre-enumerated requirement list:
     /// every required path has reported.
     #[must_use]
     pub fn is_full_for(&self, required: &[PathId]) -> bool {
-        required.iter().all(|p| self.entries.contains_key(p))
+        required.iter().all(|&p| self.contains_path(p))
+    }
+
+    /// Fullness for `(a, v)` (Definition 9) straight off the masks: every
+    /// pool path ending at `v` and avoiding `a` has reported. One
+    /// AND/ANDNOT per word — no requirement list needs materializing.
+    #[must_use]
+    pub fn is_full_avoiding(&self, a: NodeSet, v: NodeId, index: &PathIndex) -> bool {
+        let terminal = index.terminal_words(v);
+        (0..index.word_count()).all(|w| {
+            let required = terminal[w] & !index.excluded_word(a, w);
+            required & !self.present.get(w).copied().unwrap_or(0) == 0
+        })
     }
 
     /// The set of initiators appearing in the set.
     #[must_use]
     pub fn initiators(&self, index: &PathIndex) -> NodeSet {
-        self.entries.keys().map(|&p| index.init(p)).collect()
+        self.paths().map(|p| index.init(p)).collect()
+    }
+}
+
+/// Equality is by contents — the `(path, value)` entries — not by column
+/// capacity: a grown-then-excluded set equals a never-grown one.
+impl PartialEq for MessageSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+
+impl std::fmt::Debug for MessageSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
     }
 }
 
@@ -134,8 +261,59 @@ impl FromIterator<(PathId, f64)> for MessageSet {
     }
 }
 
+/// Wire ingress: the sparse entry-list form (duplicate paths keep the
+/// first value, as everywhere else).
+///
+/// Trust boundary: this impl cannot see a [`PathIndex`], so it cannot
+/// validate ids — and the columns are dense, so memory is proportional to
+/// the *highest* id in the list, not the entry count. Deserialized bytes
+/// from an untrusted peer must be id-validated (`PathIndex::contains_id`)
+/// *before* a set is materialized from them, exactly as the protocol's
+/// validation boundary already does for every wire path; a set built from
+/// unvalidated ids can also panic later inside the index-based operations.
+impl From<Vec<(PathId, f64)>> for MessageSet {
+    fn from(entries: Vec<(PathId, f64)>) -> Self {
+        entries.into_iter().collect()
+    }
+}
+
+/// Wire egress: the sparse entry list in canonical id order.
+impl From<MessageSet> for Vec<(PathId, f64)> {
+    fn from(m: MessageSet) -> Self {
+        m.iter().collect()
+    }
+}
+
+/// Iterator over the set bit positions of one word, ascending.
+struct BitIter(u64);
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let b = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(b)
+    }
+}
+
+/// Process-wide random fingerprint seed. Payload entries are
+/// Byzantine-influenced bytes, so the fingerprint hash must not be
+/// predictable across processes (hash-flood resistance, same story as the
+/// seeded maps in `witness.rs`). One seed per process keeps fingerprints
+/// comparable everywhere they are actually compared — all comparisons are
+/// receiver-local, and the fingerprint never crosses the wire (ingress
+/// recomputes it).
+fn fingerprint_seed() -> &'static RandomState {
+    static SEED: OnceLock<RandomState> = OnceLock::new();
+    SEED.get_or_init(RandomState::new)
+}
+
 fn fingerprint_entries(entries: &[(PathId, f64)]) -> u64 {
-    let mut h = DefaultHasher::new();
+    let mut h = fingerprint_seed().build_hasher();
     for &(p, v) in entries {
         p.raw().hash(&mut h);
         v.to_bits().hash(&mut h);
@@ -252,8 +430,9 @@ impl CompletePayload {
 
     /// A content fingerprint used to compare payloads received over
     /// different paths ("the same message", Algorithm 1 line 12). Ids are
-    /// canonical per topology, so fingerprints agree across nodes. O(1):
-    /// the hash is precomputed at construction.
+    /// canonical per topology, so recomputing the fingerprint at any node
+    /// of this process yields the same value. O(1): the hash is
+    /// precomputed at construction.
     #[must_use]
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
@@ -338,6 +517,38 @@ mod tests {
     }
 
     #[test]
+    fn mask_fullness_matches_requirement_list() {
+        // is_full_avoiding ≡ is_full_for over the filtered pool, across
+        // every (guess, terminal) pair of a small topology.
+        let t = topo();
+        let index = t.index();
+        for v in t.graph().nodes() {
+            // A set holding v's full pool is full for every guess at v …
+            let full: MessageSet = t.required_paths_to(v).iter().map(|&p| (p, 1.0)).collect();
+            for &guess in t.guesses() {
+                let required: Vec<PathId> = t
+                    .required_paths_to(v)
+                    .iter()
+                    .copied()
+                    .filter(|&p| !index.intersects(p, guess))
+                    .collect();
+                assert_eq!(full.is_full_avoiding(guess, v, index), full.is_full_for(&required));
+                assert!(full.is_full_avoiding(guess, v, index));
+                // … and dropping any required path breaks exactly the
+                // guesses that still require it.
+                if let Some(&missing) = required.first() {
+                    let partial: MessageSet = full.iter().filter(|&(p, _)| p != missing).collect();
+                    assert!(!partial.is_full_avoiding(guess, v, index));
+                    assert_eq!(
+                        partial.is_full_avoiding(guess, v, index),
+                        partial.is_full_for(&required)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn payload_round_trip_and_fingerprint() {
         let t = topo();
         let m: MessageSet =
@@ -373,5 +584,210 @@ mod tests {
         let mut sorted = order.clone();
         sorted.sort();
         assert_eq!(order, sorted);
+    }
+
+    #[test]
+    fn sparse_wire_form_round_trips() {
+        let t = topo();
+        let m: MessageSet =
+            [(pid(&t, &[2]), 0.5), (pid(&t, &[0, 2]), -1.0), (pid(&t, &[1, 2]), 2.0)]
+                .into_iter()
+                .collect();
+        let wire: Vec<(PathId, f64)> = m.clone().into();
+        assert!(wire.windows(2).all(|w| w[0].0 < w[1].0), "canonical id order");
+        assert_eq!(MessageSet::from(wire), m);
+        // Duplicate wire entries: first value wins, as in live insertion.
+        let dup = vec![(pid(&t, &[2]), 7.0), (pid(&t, &[2]), 9.0)];
+        assert_eq!(MessageSet::from(dup).value_on_path(pid(&t, &[2])), Some(7.0));
+    }
+
+    /// Property tests: the columnar set and the BTreeMap reference model
+    /// agree on every observable under random operation interleavings over
+    /// arbitrary small topologies. The heavyweight generated-sequence
+    /// harness lives in `tests/differential.rs` (feature
+    /// `reference-messageset`); these run on every plain `cargo test`.
+    mod equivalence {
+        use super::super::{reference, MessageSet};
+        use crate::config::FloodMode;
+        use crate::precompute::Topology;
+        use crate::test_support::topo_of;
+        use dbac_graph::{generators, NodeSet, PathId};
+        use proptest::prelude::*;
+        use std::sync::OnceLock;
+
+        /// The topology classes the properties quantify over.
+        fn catalog() -> &'static Vec<Topology> {
+            static CATALOG: OnceLock<Vec<Topology>> = OnceLock::new();
+            CATALOG.get_or_init(|| {
+                vec![
+                    topo_of(generators::clique(4), 1, FloodMode::Redundant),
+                    topo_of(generators::clique(5), 1, FloodMode::SimpleOnly),
+                    topo_of(
+                        generators::two_cliques_bridged(3, &[(0, 0)], &[(2, 2)]),
+                        1,
+                        FloodMode::Redundant,
+                    ),
+                    topo_of(generators::figure_1a(), 1, FloodMode::Redundant),
+                ]
+            })
+        }
+
+        /// Decodes one op word into an insertion over the population.
+        fn decode(word: u64, population: usize) -> (PathId, f64) {
+            let path = PathId::from_raw((word % population as u64) as u32);
+            // A tiny value alphabet maximizes collisions (consistency and
+            // first-value-wins are only interesting under collisions);
+            // include the 0.0 / -0.0 bit distinction.
+            let value = [0.0, -0.0, 1.0, -1.5, 7.25][(word >> 32) as usize % 5];
+            (path, value)
+        }
+
+        /// Asserts every observable of the two backends is identical.
+        fn assert_equivalent(t: &Topology, col: &MessageSet, model: &reference::MessageSet) {
+            let index = t.index();
+            prop_assert_eq!(col.len(), model.len());
+            prop_assert_eq!(col.is_empty(), model.is_empty());
+            let col_entries: Vec<(PathId, u64)> =
+                col.iter().map(|(p, v)| (p, v.to_bits())).collect();
+            let model_entries: Vec<(PathId, u64)> =
+                model.iter().map(|(p, v)| (p, v.to_bits())).collect();
+            prop_assert_eq!(col_entries, model_entries, "iteration differs");
+            prop_assert_eq!(col.is_consistent(index), model.is_consistent(index));
+            prop_assert_eq!(col.initiators(index), model.initiators(index));
+            for v in t.graph().nodes() {
+                prop_assert_eq!(
+                    col.value_of(v, index).map(f64::to_bits),
+                    model.value_of(v, index).map(f64::to_bits),
+                    "value_of({}) differs",
+                    v
+                );
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Random insert interleavings leave identical sets, and every
+            /// per-path probe agrees.
+            #[test]
+            fn inserts_probe_identically(
+                topo_sel in 0usize..4,
+                words in prop::collection::vec(0u64..u64::MAX, 1..48),
+            ) {
+                let t = &catalog()[topo_sel];
+                let population = t.index().len();
+                let mut col = MessageSet::new();
+                let mut model = reference::MessageSet::new();
+                for &w in &words {
+                    let (p, v) = decode(w, population);
+                    prop_assert_eq!(col.insert(p, v), model.insert(p, v));
+                    prop_assert_eq!(col.contains_path(p), model.contains_path(p));
+                    prop_assert_eq!(
+                        col.value_on_path(p).map(f64::to_bits),
+                        model.value_on_path(p).map(f64::to_bits)
+                    );
+                }
+                assert_equivalent(t, &col, &model);
+            }
+
+            /// Exclusion agrees for every guess-sized fault set, and the
+            /// excluded sets are again equivalent (closure under the op).
+            #[test]
+            fn exclusion_agrees_on_every_guess(
+                topo_sel in 0usize..4,
+                words in prop::collection::vec(0u64..u64::MAX, 0..32),
+            ) {
+                let t = &catalog()[topo_sel];
+                let population = t.index().len();
+                let mut col = MessageSet::new();
+                let mut model = reference::MessageSet::new();
+                for &w in &words {
+                    let (p, v) = decode(w, population);
+                    col.insert(p, v);
+                    model.insert(p, v);
+                }
+                for &guess in t.guesses() {
+                    assert_equivalent(t, &col.exclusion(guess, t.index()), &model.exclusion(guess, t.index()));
+                }
+                // Arbitrary (non-guess) sets too, including the universe.
+                let n = t.graph().node_count();
+                for set in [NodeSet::universe(n), NodeSet::universe(n.min(2))] {
+                    assert_equivalent(t, &col.exclusion(set, t.index()), &model.exclusion(set, t.index()));
+                }
+            }
+
+            /// Mask-scan fullness agrees with the reference filter for every
+            /// (guess, terminal) pair, as does the requirement-list form.
+            #[test]
+            fn fullness_agrees_on_every_guess_terminal_pair(
+                topo_sel in 0usize..4,
+                words in prop::collection::vec(0u64..u64::MAX, 0..64),
+            ) {
+                let t = &catalog()[topo_sel];
+                let index = t.index();
+                let mut col = MessageSet::new();
+                let mut model = reference::MessageSet::new();
+                for &w in &words {
+                    let (p, v) = decode(w, index.len());
+                    col.insert(p, v);
+                    model.insert(p, v);
+                }
+                for &guess in t.guesses() {
+                    for v in t.graph().nodes() {
+                        prop_assert_eq!(
+                            col.is_full_avoiding(guess, v, index),
+                            model.is_full_avoiding(guess, v, index),
+                            "fullness({:?}, {}) differs", guess, v
+                        );
+                        let required: Vec<PathId> = index
+                            .paths_ending_at(v)
+                            .iter()
+                            .copied()
+                            .filter(|&p| !index.intersects(p, guess))
+                            .collect();
+                        prop_assert_eq!(col.is_full_for(&required), model.is_full_for(&required));
+                    }
+                }
+            }
+
+            /// The sparse wire form round-trips through both backends.
+            #[test]
+            fn wire_form_is_backend_agnostic(
+                topo_sel in 0usize..4,
+                words in prop::collection::vec(0u64..u64::MAX, 0..32),
+            ) {
+                let t = &catalog()[topo_sel];
+                let mut col = MessageSet::new();
+                let mut model = reference::MessageSet::new();
+                for &w in &words {
+                    let (p, v) = decode(w, t.index().len());
+                    col.insert(p, v);
+                    model.insert(p, v);
+                }
+                let wire: Vec<(PathId, f64)> = col.clone().into();
+                let model_wire: Vec<(PathId, f64)> = model.iter().collect();
+                prop_assert_eq!(
+                    wire.iter().map(|&(p, v)| (p, v.to_bits())).collect::<Vec<_>>(),
+                    model_wire.iter().map(|&(p, v)| (p, v.to_bits())).collect::<Vec<_>>()
+                );
+                prop_assert_eq!(&MessageSet::from(wire), &col);
+            }
+        }
+    }
+
+    #[test]
+    fn equality_ignores_column_capacity() {
+        let t = topo();
+        let (small, large) = (pid(&t, &[2]), pid(&t, &[0, 1, 2]));
+        let mut grown = MessageSet::new();
+        grown.insert(large, 1.0);
+        grown.insert(small, 2.0);
+        let excluded = grown.exclusion(ns(&[0]), t.index());
+        let mut fresh = MessageSet::new();
+        fresh.insert(small, 2.0);
+        // `excluded` still owns full-size columns; `fresh` never grew.
+        assert_eq!(excluded, fresh);
+        assert_eq!(fresh, excluded);
+        assert_ne!(grown, fresh);
     }
 }

@@ -118,6 +118,14 @@ impl HonestNode {
         self.stats
     }
 
+    /// The accumulated message history `M_v` for `round`, if the node
+    /// holds any state for it — the inspection surface the adversarial
+    /// regression tests pin message-set outcomes against.
+    #[must_use]
+    pub fn round_message_set(&self, round: Round) -> Option<&crate::message_set::MessageSet> {
+        self.rounds.get(&round).map(RoundCore::message_set)
+    }
+
     fn begin_round(&mut self, round: Round, ctx: &mut Context<ProtocolMsg>) -> Vec<RoundAction> {
         let value = self.x[round as usize];
         for (to, msg) in flood::initial_flood(&self.topo, self.me, round, value) {

@@ -58,7 +58,6 @@ impl NodePlan {
     #[must_use]
     pub fn new(topo: &Topology, me: NodeId) -> Self {
         let index = topo.index();
-        let pool = topo.required_paths_to(me);
         let simple = topo.simple_paths_to(me);
         let mut guesses = Vec::new();
         for &guess in topo.guesses() {
@@ -66,7 +65,7 @@ impl NodePlan {
                 continue;
             }
             let reach = topo.reach_of(me, guess);
-            let flood_required = pool.iter().filter(|&&p| !index.intersects(p, guess)).count();
+            let flood_required = index.required_count(guess, me);
             let mut per_c: FastHashMap<NodeId, usize> = FastHashMap::default();
             for &p in simple {
                 if index.is_within(p, reach) {

@@ -1,0 +1,199 @@
+//! Differential testing of the columnar [`MessageSet`] against the
+//! BTreeMap [`reference`](dbac_core::message_set::reference) model.
+//!
+//! Both backends are driven with **identical generated operation
+//! sequences** — inserts, exclusions, consistency probes, fullness probes,
+//! wire round-trips — and every observable must be byte-for-byte identical
+//! after every step (values compared as `f64` bit patterns, iteration in
+//! exact order). Sequences are drawn from a deterministic splitmix64
+//! stream, so failures reproduce by seed.
+//!
+//! ≥ 1,000 sequences run per topology class; the classes cover the
+//! population shapes the protocol actually meets (complete, directed
+//! non-complete, bridged, simple-only ablation).
+//!
+//! Gated on the `reference-messageset` feature:
+//! `cargo test -p dbac-core --features reference-messageset`.
+#![cfg(feature = "reference-messageset")]
+
+use dbac_core::config::FloodMode;
+use dbac_core::message_set::{reference, CompletePayload, MessageSet};
+use dbac_core::precompute::Topology;
+use dbac_graph::{generators, NodeSet, PathBudget, PathId};
+
+/// Deterministic stream: splitmix64.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, span: u64) -> u64 {
+        ((u128::from(self.next()) * u128::from(span)) >> 64) as u64
+    }
+}
+
+/// The value alphabet: small, collision-heavy, bit-distinguishable
+/// (`0.0` vs `-0.0`), with extremes.
+const VALUES: [f64; 7] = [0.0, -0.0, 1.0, -1.0, 7.25, 1e9, -1e9];
+
+/// Sparse bit-exact snapshot: the canonical wire form of either backend.
+fn snapshot_columnar(m: &MessageSet) -> Vec<(u32, u64)> {
+    m.iter().map(|(p, v)| (p.raw(), v.to_bits())).collect()
+}
+
+fn snapshot_reference(m: &reference::MessageSet) -> Vec<(u32, u64)> {
+    m.iter().map(|(p, v)| (p.raw(), v.to_bits())).collect()
+}
+
+/// Asserts every observable of the two backends is identical.
+fn assert_observables(t: &Topology, col: &MessageSet, model: &reference::MessageSet, ctx: &str) {
+    let index = t.index();
+    assert_eq!(col.len(), model.len(), "{ctx}: len");
+    assert_eq!(col.is_empty(), model.is_empty(), "{ctx}: is_empty");
+    assert_eq!(snapshot_columnar(col), snapshot_reference(model), "{ctx}: entries");
+    assert_eq!(
+        col.paths().collect::<Vec<_>>(),
+        model.paths().collect::<Vec<_>>(),
+        "{ctx}: path iteration"
+    );
+    assert_eq!(col.is_consistent(index), model.is_consistent(index), "{ctx}: consistency");
+    assert_eq!(col.initiators(index), model.initiators(index), "{ctx}: initiators");
+    for v in t.graph().nodes() {
+        assert_eq!(
+            col.value_of(v, index).map(f64::to_bits),
+            model.value_of(v, index).map(f64::to_bits),
+            "{ctx}: value_of({v})"
+        );
+    }
+}
+
+/// One generated sequence against one topology.
+fn run_sequence(t: &Topology, seed: u64) {
+    let index = t.index();
+    let population = index.len() as u64;
+    let n = t.graph().node_count();
+    let mut rng = Rng(seed);
+    let mut col = MessageSet::new();
+    let mut model = reference::MessageSet::new();
+    let ops = 8 + rng.below(40);
+    for op in 0..ops {
+        let ctx = format!("seed {seed} op {op}");
+        match rng.below(10) {
+            // Insert dominates: it is the only mutation and every other
+            // observable is only interesting on a populated set.
+            0..=5 => {
+                let p = PathId::from_raw(rng.below(population) as u32);
+                let v = VALUES[rng.below(VALUES.len() as u64) as usize];
+                assert_eq!(col.insert(p, v), model.insert(p, v), "{ctx}: insert({p}, {v})");
+                assert_eq!(col.contains_path(p), model.contains_path(p), "{ctx}: contains");
+                assert_eq!(
+                    col.value_on_path(p).map(f64::to_bits),
+                    model.value_on_path(p).map(f64::to_bits),
+                    "{ctx}: value_on_path"
+                );
+            }
+            // Exclusion on a random node set (guess-sized through universe).
+            6 => {
+                let set = NodeSet::from_bits(rng.next() as u128 & NodeSet::universe(n).bits());
+                let (ec, em) = (col.exclusion(set, index), model.exclusion(set, index));
+                assert_observables(t, &ec, &em, &format!("{ctx}: exclusion({set:?})"));
+                // Exclusion is the protocol's snapshot op: its payload form
+                // must agree too.
+                assert_eq!(
+                    CompletePayload::from_message_set(&ec).entries(),
+                    em.iter().collect::<Vec<_>>().as_slice(),
+                    "{ctx}: payload of exclusion"
+                );
+            }
+            // Fullness for a random (guess, terminal) pair, both forms.
+            7 => {
+                let set = NodeSet::from_bits(rng.next() as u128 & NodeSet::universe(n).bits());
+                let v = dbac_graph::NodeId::new(rng.below(n as u64) as usize);
+                assert_eq!(
+                    col.is_full_avoiding(set, v, index),
+                    model.is_full_avoiding(set, v, index),
+                    "{ctx}: is_full_avoiding({set:?}, {v})"
+                );
+                let required: Vec<PathId> = index
+                    .paths_ending_at(v)
+                    .iter()
+                    .copied()
+                    .filter(|&p| !index.intersects(p, set))
+                    .collect();
+                assert_eq!(
+                    col.is_full_for(&required),
+                    model.is_full_for(&required),
+                    "{ctx}: is_full_for"
+                );
+            }
+            // Wire round-trip: sparse egress, re-ingress, still equivalent.
+            8 => {
+                let wire: Vec<(PathId, f64)> = col.clone().into();
+                let back = MessageSet::from(wire);
+                assert_observables(t, &back, &model, &format!("{ctx}: wire round-trip"));
+            }
+            // Rebuild the model from the columnar iteration (and vice
+            // versa): FromIterator is observable too.
+            _ => {
+                let rebuilt_model: reference::MessageSet = col.iter().collect();
+                let rebuilt_col: MessageSet = model.iter().collect();
+                assert_observables(t, &col, &rebuilt_model, &format!("{ctx}: rebuild model"));
+                assert_observables(t, &rebuilt_col, &model, &format!("{ctx}: rebuild columnar"));
+            }
+        }
+        assert_observables(t, &col, &model, &ctx);
+    }
+}
+
+const SEQUENCES: u64 = 1200;
+
+fn run_class(name: &str, t: &Topology, salt: u64) {
+    for i in 0..SEQUENCES {
+        run_sequence(t, salt.wrapping_mul(0xD131_0BA6) ^ i);
+    }
+    // A final deterministic deep sequence: fill the whole population.
+    let mut col = MessageSet::new();
+    let mut model = reference::MessageSet::new();
+    for raw in 0..t.index().len() as u32 {
+        let p = PathId::from_raw(raw);
+        let v = VALUES[(raw as usize) % VALUES.len()];
+        assert_eq!(col.insert(p, v), model.insert(p, v));
+    }
+    assert_observables(t, &col, &model, &format!("{name}: full population"));
+    for &guess in t.guesses() {
+        for v in t.graph().nodes() {
+            assert!(col.is_full_avoiding(guess, v, t.index()), "{name}: full set must be full");
+        }
+    }
+}
+
+fn topo(g: dbac_graph::Digraph, f: usize, mode: FloodMode) -> Topology {
+    Topology::new(g, f, mode, PathBudget::default()).expect("in budget")
+}
+
+#[test]
+fn clique_redundant() {
+    run_class("K4/redundant", &topo(generators::clique(4), 1, FloodMode::Redundant), 1);
+}
+
+#[test]
+fn clique_simple_only() {
+    run_class("K5/simple", &topo(generators::clique(5), 1, FloodMode::SimpleOnly), 2);
+}
+
+#[test]
+fn bridged_cliques_redundant() {
+    let g = generators::two_cliques_bridged(3, &[(0, 0)], &[(2, 2)]);
+    run_class("2xK3/redundant", &topo(g, 1, FloodMode::Redundant), 3);
+}
+
+#[test]
+fn figure_1a_redundant() {
+    run_class("fig1a/redundant", &topo(generators::figure_1a(), 1, FloodMode::Redundant), 4);
+}

@@ -17,6 +17,14 @@
 //!   "does `p‖w` stay admissible, and which path is it?" is one array
 //!   lookup instead of clone + `extended()` + `is_simple()` re-scan.
 //!
+//! The index also exposes the *transposed* view: per node `v`, `u64`
+//! bitmaps over the whole id space marking the paths that contain `v`
+//! ([`PathIndex::member_words`]), start at `v` ([`PathIndex::init_words`])
+//! or end at `v` ([`PathIndex::terminal_words`]). A columnar message set
+//! whose presence bitmap shares this id-indexed layout turns the paper's
+//! set algebra — exclusion `M|_Ā`, fullness for `(A, v)` — into
+//! word-at-a-time AND/ANDNOT/popcount scans over these masks.
+//!
 //! # Trust boundary: Byzantine-supplied paths
 //!
 //! Interning is an *optimization*, not an assumption. Honest nodes only
@@ -142,6 +150,14 @@ pub struct PathIndex {
     /// its terminal (ascending node order); `NO_EXT` if `p‖w` is not
     /// interned.
     ext_entries: Vec<u32>,
+    /// Number of `u64` words covering the id space (`ceil(len / 64)`).
+    word_count: usize,
+    /// node → bitmap over ids: paths whose node set contains the node.
+    member_words: Vec<Vec<u64>>,
+    /// node → bitmap over ids: paths starting at the node.
+    init_words: Vec<Vec<u64>>,
+    /// node → bitmap over ids: paths ending at the node.
+    terminal_words: Vec<Vec<u64>>,
 }
 
 impl PathIndex {
@@ -240,6 +256,20 @@ impl PathIndex {
             ext_entries[ext_offsets[pid.index()] as usize + rank] = id as u32;
         }
 
+        // Transposed per-node masks over the id space, for columnar scans.
+        let word_count = paths.len().div_ceil(64);
+        let mut member_words = vec![vec![0u64; word_count]; n];
+        let mut init_words = vec![vec![0u64; word_count]; n];
+        let mut terminal_words = vec![vec![0u64; word_count]; n];
+        for id in 0..paths.len() {
+            let (word, bit) = (id / 64, 1u64 << (id % 64));
+            for v in node_sets[id].iter() {
+                member_words[v.index()][word] |= bit;
+            }
+            init_words[inits[id].index()][word] |= bit;
+            terminal_words[ters[id].index()][word] |= bit;
+        }
+
         PathIndex {
             out,
             paths,
@@ -254,6 +284,10 @@ impl PathIndex {
             ids,
             ext_offsets,
             ext_entries,
+            word_count,
+            member_words,
+            init_words,
+            terminal_words,
         }
     }
 
@@ -380,6 +414,54 @@ impl PathIndex {
     pub fn extend_simple(&self, id: PathId, w: NodeId) -> Option<PathId> {
         self.extend(id, w).filter(|&ext| self.simple[ext.index()])
     }
+
+    /// Number of `u64` words covering the id space (`ceil(len / 64)`).
+    /// All per-node masks below have exactly this length.
+    #[must_use]
+    pub fn word_count(&self) -> usize {
+        self.word_count
+    }
+
+    /// Bitmap over ids (bit `i` of word `i / 64`): paths containing `v`.
+    /// ANDNOT against a presence bitmap is the exclusion `M|_{v̄}` scan.
+    #[must_use]
+    pub fn member_words(&self, v: NodeId) -> &[u64] {
+        &self.member_words[v.index()]
+    }
+
+    /// Bitmap over ids: paths with `init(p) = v`. AND against a presence
+    /// bitmap finds the messages reported by initiator `v`.
+    #[must_use]
+    pub fn init_words(&self, v: NodeId) -> &[u64] {
+        &self.init_words[v.index()]
+    }
+
+    /// Bitmap over ids: paths with `ter(p) = v` — the fullness requirement
+    /// pool for terminal `v` in mask form.
+    #[must_use]
+    pub fn terminal_words(&self, v: NodeId) -> &[u64] {
+        &self.terminal_words[v.index()]
+    }
+
+    /// The word at `word` of the union mask `⋃_{a ∈ set} member_words(a)`:
+    /// the ids whose path meets `set`, one word at a time. This is the
+    /// kernel of the columnar exclusion and fullness scans.
+    #[must_use]
+    pub fn excluded_word(&self, set: NodeSet, word: usize) -> u64 {
+        set.iter().fold(0u64, |acc, a| acc | self.member_words[a.index()][word])
+    }
+
+    /// The fullness-requirement census for `(a, v)`: how many pool paths
+    /// end at `v` and avoid `a` — `popcount(terminal ∧ ¬excluded)` word at
+    /// a time. The single source of truth for every per-guess requirement
+    /// counter (BW witness threads, crash-protocol rounds).
+    #[must_use]
+    pub fn required_count(&self, a: NodeSet, v: NodeId) -> usize {
+        let terminal = &self.terminal_words[v.index()];
+        (0..self.word_count)
+            .map(|w| (terminal[w] & !self.excluded_word(a, w)).count_ones() as usize)
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -498,6 +580,73 @@ mod tests {
             assert!(index.is_trivial(t));
             assert_eq!(index.init(t), v);
             assert_eq!(index.ter(t), v);
+        }
+    }
+
+    #[test]
+    fn per_node_word_masks_transpose_the_metadata() {
+        for graph in [generators::clique(4), small_bridged()] {
+            let index = build(&graph);
+            assert_eq!(index.word_count(), index.len().div_ceil(64));
+            for v in graph.nodes() {
+                let member = index.member_words(v);
+                let init = index.init_words(v);
+                let terminal = index.terminal_words(v);
+                assert_eq!(member.len(), index.word_count());
+                assert_eq!(init.len(), index.word_count());
+                assert_eq!(terminal.len(), index.word_count());
+                for raw in 0..index.len() as u32 {
+                    let id = PathId::from_raw(raw);
+                    let (w, b) = (id.index() / 64, 1u64 << (id.index() % 64));
+                    assert_eq!(member[w] & b != 0, index.node_set(id).contains(v), "{id} ∋ {v}");
+                    assert_eq!(init[w] & b != 0, index.init(id) == v);
+                    assert_eq!(terminal[w] & b != 0, index.ter(id) == v);
+                }
+                // No mask bit past the population.
+                for (w, &word) in member.iter().enumerate() {
+                    let valid = if (w + 1) * 64 <= index.len() {
+                        u64::MAX
+                    } else {
+                        (1u64 << (index.len() % 64)) - 1
+                    };
+                    assert_eq!(word & !valid, 0, "ghost bits in word {w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn required_count_matches_pool_filter() {
+        for graph in [generators::clique(4), small_bridged()] {
+            let index = build(&graph);
+            let sets = [
+                NodeSet::EMPTY,
+                NodeSet::singleton(NodeId::new(1)),
+                [NodeId::new(0), NodeId::new(2)].into_iter().collect(),
+            ];
+            for v in graph.nodes() {
+                for &a in &sets {
+                    let direct = index
+                        .paths_ending_at(v)
+                        .iter()
+                        .filter(|&&p| !index.intersects(p, a))
+                        .count();
+                    assert_eq!(index.required_count(a, v), direct, "census({a:?}, {v})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn excluded_word_is_the_member_union() {
+        let graph = small_bridged();
+        let index = build(&graph);
+        let set: NodeSet = [NodeId::new(0), NodeId::new(4)].into_iter().collect();
+        for w in 0..index.word_count() {
+            let expected =
+                index.member_words(NodeId::new(0))[w] | index.member_words(NodeId::new(4))[w];
+            assert_eq!(index.excluded_word(set, w), expected);
+            assert_eq!(index.excluded_word(NodeSet::EMPTY, w), 0);
         }
     }
 

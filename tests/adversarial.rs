@@ -3,9 +3,13 @@
 //! paper's Theorem 4 promises exactly that on 3-reach graphs.
 
 use dbac::core::adversary::AdversaryKind;
+use dbac::core::config::{FloodMode, ProtocolConfig};
 use dbac::core::run::{run_byzantine_consensus, RunConfig};
+use dbac::core::{HonestNode, ProtocolMsg, Topology};
 use dbac::graph::generators;
-use dbac::graph::NodeId;
+use dbac::graph::{NodeId, Path, PathBudget};
+use dbac::sim::process::{Context, Process};
+use std::sync::Arc;
 
 fn strategies() -> Vec<(&'static str, AdversaryKind)> {
     vec![
@@ -67,6 +71,81 @@ fn byzantine_position_does_not_matter_on_k4() {
         let out = run_byzantine_consensus(&cfg).unwrap();
         assert!(out.converged() && out.valid(), "liar at position {position}");
     }
+}
+
+/// Regression for the PR 1 behavior note (experiment E11b): under the
+/// `SimpleOnly` ablation the interned population holds only simple paths,
+/// so a Byzantine-injected redundant-but-non-simple flood — here the wire
+/// path ⟨0,1⟩ whose extension at node 0 is ⟨0,1,0⟩ — is rejected at the
+/// validation boundary and **never enters `M_v`**. Under the paper's
+/// redundant mode the same message is legitimate traffic and is stored.
+/// The seed design instead stored such paths in `M_v` without
+/// pool-counting them; the flood discipline is now enforced at the
+/// boundary, and this test pins the message-set outcome on both sides.
+#[test]
+fn e11b_simple_only_rejects_non_simple_floods_before_m_v() {
+    let me = NodeId::new(0);
+    let run = |mode: FloodMode| {
+        let topo =
+            Arc::new(Topology::new(generators::clique(4), 1, mode, PathBudget::default()).unwrap());
+        let config = ProtocolConfig::new(1, 0.5, (0.0, 8.0)).with_flood_mode(mode);
+        let mut node = HonestNode::new(Arc::clone(&topo), config, me, 1.0);
+        let mut ctx = Context::new(me, topo.graph().out_neighbors(me));
+        node.on_start(&mut ctx);
+        let _ = ctx.take_outbox();
+        // The Byzantine neighbor 1 replays node 0's own flood back: wire
+        // path ⟨0,1⟩ (simple, interned in *both* populations) extends at
+        // node 0 to the redundant, non-simple ⟨0,1,0⟩.
+        let wire = topo.index().resolve(&Path::from_indices(&[0, 1]).unwrap()).unwrap();
+        let before = node.stats();
+        node.on_message(
+            &mut ctx,
+            NodeId::new(1),
+            ProtocolMsg::Flood { round: 0, value: 66.5, path: wire },
+        );
+        let relays = ctx.take_outbox().len();
+        (topo, node, before, relays)
+    };
+
+    // Paper mode: the extension is a legitimate redundant path — stored.
+    let (topo, node, before, relays) = run(FloodMode::Redundant);
+    let stored = topo.index().resolve(&Path::from_indices(&[0, 1, 0]).unwrap()).unwrap();
+    assert_eq!(node.stats().floods_accepted, before.floods_accepted + 1);
+    let mset = node.round_message_set(0).expect("round 0 started");
+    assert_eq!(mset.value_on_path(stored), Some(66.5), "redundant mode stores ⟨0,1,0⟩");
+    assert!(relays > 0, "redundant mode relays the flood onward");
+
+    // Ablation: rejected at validation; M_v never sees a non-simple path.
+    let (topo, node, before, relays) = run(FloodMode::SimpleOnly);
+    assert_eq!(node.stats().floods_rejected, before.floods_rejected + 1);
+    assert_eq!(node.stats().floods_accepted, before.floods_accepted, "nothing accepted");
+    assert_eq!(relays, 0, "rejected floods must not be relayed");
+    let mset = node.round_message_set(0).expect("round 0 started");
+    assert_eq!(mset.len(), 1, "M_v holds only the node's own trivial path, not the injected flood");
+    assert!(
+        mset.paths().all(|p| topo.index().is_simple(p)),
+        "no non-simple path can enter M_v under SimpleOnly"
+    );
+}
+
+/// E11b end-to-end: the ablation still converges against the path
+/// fabricator on K4 (the empirical outcome the ablation experiment
+/// records), with the boundary visibly rejecting traffic that redundant
+/// mode accepts.
+#[test]
+fn e11b_ablation_converges_against_path_fabricator() {
+    let cfg = RunConfig::builder(generators::clique(4), 1)
+        .inputs(vec![2.0, 4.0, 6.0, 0.0])
+        .epsilon(0.5)
+        .byzantine(NodeId::new(3), AdversaryKind::PathFabricator { forged_value: -77.0 })
+        .flood_mode(FloodMode::SimpleOnly)
+        .seed(11)
+        .build()
+        .unwrap();
+    let out = run_byzantine_consensus(&cfg).unwrap();
+    assert!(out.all_decided(), "ablation: honest node undecided");
+    assert!(out.converged(), "ablation: spread {}", out.spread());
+    assert!(out.valid(), "ablation: validity broken: {:?}", out.outputs);
 }
 
 #[test]
