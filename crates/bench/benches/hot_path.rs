@@ -1,21 +1,27 @@
-//! Hot-path microbenchmarks for the path-interning refactor.
+//! Hot-path microbenchmarks for the interning and columnar refactors.
 //!
-//! Measures the per-message kernels the `PathId` interning targets —
-//! FIFO reception (`FifoReceiver::accept`: in-order, gap-close, replay),
-//! `COMPLETE` relay fan-out (`complete_forwards`), and the message-set
-//! algebra (`exclusion`, fullness) — on `figure_1b_small` and a clique.
-//! Faithful reimplementations of the pre-refactor designs (channels keyed
-//! by `(initiator, owned Path)`, forwarding via clone + `extended()` +
-//! `is_simple()`, message sets as `BTreeMap<PathId, f64>` with per-entry
-//! mask tests) run alongside as the *legacy* baselines, so one run reports
-//! the before/after numbers recorded in CHANGES.md.
+//! Measures the per-message kernels the `PathId` interning and the
+//! columnar `MessageSet`/`RoundCore` rewrites target — FIFO reception
+//! (`FifoReceiver::accept`: in-order, gap-close, replay), `COMPLETE` relay
+//! fan-out (`complete_forwards`), the message-set algebra (`exclusion`,
+//! fullness), witness-thread flood ingest (`round_core_ingest`) and the
+//! all-guess Maximal-Consistency recompute (`mc_scan`) — on
+//! `figure_1b_small` and a clique. Faithful reimplementations of the
+//! pre-refactor designs (channels keyed by `(initiator, owned Path)`,
+//! forwarding via clone + `extended()` + `is_simple()`, message sets as
+//! `BTreeMap<PathId, f64>`, witness threads tracking per-guess progress
+//! with incremental hash-map counters) run alongside as the *legacy*
+//! baselines, so one run reports the before/after numbers recorded in
+//! CHANGES.md. With `-- --json <path>` the harness also writes the
+//! measurements consumed by the CI `bench-trend` gate.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use dbac_core::config::FloodMode;
 use dbac_core::fifo::{complete_forwards, FifoReceiver};
 use dbac_core::message_set::{CompletePayload, MessageSet};
 use dbac_core::precompute::Topology;
-use dbac_graph::{generators, Digraph, NodeId, NodeSet, Path, PathBudget, PathId};
+use dbac_core::witness::{NodePlan, RoundAction, RoundCore, WitnessScratch};
+use dbac_graph::{generators, Digraph, FastHashMap, NodeId, NodeSet, Path, PathBudget, PathId};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
@@ -136,6 +142,126 @@ impl LegacyMessageSet {
             .filter(|&&p| !index.intersects(p, a))
             .all(|p| self.entries.contains_key(p))
     }
+}
+
+/// The pre-mask witness-thread flood path (PR 2's design), frozen: one
+/// state machine per guess tracking Maximal-Consistency with an
+/// incremental `value_by_init` hash map and a `NodeSet` disjointness test
+/// per thread per arrival, firing the `COMPLETE` payload through a cloned
+/// exclusion set. A deliberate frozen copy of `dbac_core::witness::
+/// reference`'s ingest path (same isolation rationale as the legacy
+/// structures above: the `reference-witness` feature must not leak into
+/// workspace builds via unification, and the baseline should stay the
+/// historical design even if the test oracle evolves).
+struct LegacyRoundIngest {
+    mset: MessageSet,
+    paths_by_init_value: HashMap<(NodeId, u64), Vec<NodeSet>>,
+    threads: Vec<LegacyThread>,
+}
+
+struct LegacyThread {
+    guess: NodeSet,
+    consistent: bool,
+    value_by_init: FastHashMap<NodeId, u64>,
+    flood_remaining: usize,
+    mc_fired: bool,
+}
+
+impl LegacyRoundIngest {
+    fn new(topo: &Topology, me: NodeId) -> Self {
+        let threads = topo
+            .guesses()
+            .iter()
+            .filter(|g| !g.contains(me))
+            .map(|&guess| LegacyThread {
+                guess,
+                consistent: true,
+                value_by_init: FastHashMap::default(),
+                flood_remaining: topo.index().required_count(guess, me),
+                mc_fired: false,
+            })
+            .collect();
+        LegacyRoundIngest { mset: MessageSet::new(), paths_by_init_value: HashMap::new(), threads }
+    }
+
+    /// The counter-based ingest: returns the number of MC firings.
+    fn ingest(&mut self, stored: PathId, value: f64, topo: &Topology) -> usize {
+        let index = topo.index();
+        let node_set = index.node_set(stored);
+        let init = index.init(stored);
+        let bits = value.to_bits();
+        if !self.mset.insert(stored, value) {
+            return 0;
+        }
+        self.paths_by_init_value.entry((init, bits)).or_default().push(node_set);
+        let mut fired = 0;
+        for thread in &mut self.threads {
+            if thread.mc_fired {
+                continue;
+            }
+            if !node_set.is_disjoint(thread.guess) {
+                continue;
+            }
+            thread.flood_remaining -= 1;
+            if thread.consistent {
+                match thread.value_by_init.entry(init) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(bits);
+                    }
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        if *e.get() != bits {
+                            thread.consistent = false;
+                        }
+                    }
+                }
+            }
+            if thread.consistent && thread.flood_remaining == 0 {
+                thread.mc_fired = true;
+                black_box(CompletePayload::from_message_set(
+                    &self.mset.exclusion(thread.guess, index),
+                ));
+                fired += 1;
+            }
+        }
+        fired
+    }
+}
+
+/// The scalar all-guess Maximal-Consistency recompute: per guess, one
+/// per-entry pass over the whole history with an intersects filter, a
+/// hash-map consistency probe and a fullness count — what recomputation
+/// cost before the mask scans.
+fn legacy_mc_scan(
+    mset: &MessageSet,
+    guesses: &[(NodeSet, usize)],
+    topo: &Topology,
+) -> (usize, usize) {
+    let index = topo.index();
+    let (mut full, mut consistent) = (0usize, 0usize);
+    for &(guess, required) in guesses {
+        let mut count = 0usize;
+        let mut ok = true;
+        let mut by_init: FastHashMap<NodeId, u64> = FastHashMap::default();
+        for (p, v) in mset.iter() {
+            if index.intersects(p, guess) {
+                continue;
+            }
+            count += 1;
+            match by_init.entry(index.init(p)) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(v.to_bits());
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    if *e.get() != v.to_bits() {
+                        ok = false;
+                    }
+                }
+            }
+        }
+        full += usize::from(count == required);
+        consistent += usize::from(ok);
+    }
+    (full, consistent)
 }
 
 // ---------------------------------------------------------------------------
@@ -419,11 +545,231 @@ fn bench_message_set_fullness(c: &mut Criterion) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// RoundCore flood ingest: mask-batched witness threads vs counter-based
+// ---------------------------------------------------------------------------
+
+/// One batch = a node-0 round from `start` through every pool flood with
+/// per-initiator-consistent values — the arrival path where witness
+/// threads track their Maximal-Consistency census (and, at pool
+/// completion, fire the `COMPLETE` payloads).
+fn bench_round_core_ingest(c: &mut Criterion) {
+    for fx in fixtures() {
+        let v0 = NodeId::new(0);
+        let plan = NodePlan::new(&fx.topo, v0);
+        let index = fx.topo.index();
+        let floods: Vec<(PathId, f64)> = fx
+            .topo
+            .required_paths_to(v0)
+            .iter()
+            .filter(|&&p| !index.is_trivial(p))
+            .map(|&p| (p, index.init(p).index() as f64))
+            .collect();
+
+        let mut group = c.benchmark_group(format!("round_core_ingest/{}", fx.name));
+        group.sample_size(20);
+        group.bench_function("batched", |b| {
+            b.iter(|| {
+                let mut core = RoundCore::new(&fx.topo, &plan);
+                let mut scratch = WitnessScratch::new();
+                let mut fired = core.start(0.0, &fx.topo, &plan, &mut scratch).len();
+                for &(p, v) in &floods {
+                    let (_, acts) = core.add_flood(p, v, &fx.topo, &plan, &mut scratch);
+                    fired += acts
+                        .iter()
+                        .filter(|a| matches!(a, RoundAction::FloodComplete { .. }))
+                        .count();
+                }
+                black_box(fired)
+            });
+        });
+        group.bench_function("legacy", |b| {
+            b.iter(|| {
+                let mut legacy = LegacyRoundIngest::new(&fx.topo, v0);
+                let mut fired = legacy.ingest(index.trivial(v0), 0.0, &fx.topo);
+                for &(p, v) in &floods {
+                    fired += legacy.ingest(p, v, &fx.topo);
+                }
+                black_box(fired)
+            });
+        });
+        group.finish();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// All-guess Maximal-Consistency recompute: mask scans vs per-entry passes
+// ---------------------------------------------------------------------------
+
+/// One batch = recomputing fullness + consistency of `M|_F̄v` for every
+/// fault-set guess over node 0's full round history (the state in which
+/// the last arrivals decide Maximal-Consistency), on the consistent and
+/// on an equivocating history.
+fn bench_mc_scan(c: &mut Criterion) {
+    for fx in fixtures() {
+        let v0 = NodeId::new(0);
+        let plan = NodePlan::new(&fx.topo, v0);
+        let index = fx.topo.index();
+        let legacy_guesses: Vec<(NodeSet, usize)> = fx
+            .topo
+            .guesses()
+            .iter()
+            .filter(|g| !g.contains(v0))
+            .map(|&g| (g, index.required_count(g, v0)))
+            .collect();
+        let mut good = MessageSet::new();
+        let mut bad = MessageSet::new();
+        for &p in fx.topo.required_paths_to(v0) {
+            good.insert(p, index.init(p).index() as f64);
+            bad.insert(p, index.node_count(p) as f64); // equivocating
+        }
+
+        let mut group = c.benchmark_group(format!("mc_scan/{}", fx.name));
+        group.sample_size(20);
+        group.bench_function("batched", |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for m in [&good, &bad] {
+                    for i in 0..plan.guesses().len() {
+                        let st = plan.mc_status(i, m);
+                        hits += usize::from(st.full) + usize::from(st.consistent);
+                    }
+                }
+                black_box(hits)
+            });
+        });
+        group.bench_function("legacy", |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for m in [&good, &bad] {
+                    let (full, consistent) = legacy_mc_scan(m, &legacy_guesses, &fx.topo);
+                    hits += full + consistent;
+                }
+                black_box(hits)
+            });
+        });
+        group.finish();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FIFO-Receive-All progress: slot bitmaps vs HashSet/count-map tracking
+// ---------------------------------------------------------------------------
+
+/// The pre-mask FRA progress structures (frozen from the counter-based
+/// witness design): a `HashSet<(PathId, u64)>` dedup set plus a
+/// fingerprint-count hash map per witness.
+struct LegacyFra {
+    required: usize,
+    seen: std::collections::HashSet<(PathId, u64)>,
+    counts: HashMap<u64, usize>,
+    done: bool,
+}
+
+/// One batch = a full round of FIFO-Receive-All bookkeeping at node 0:
+/// every `(guess, witness, in-reach delivery path)` mark once, then a
+/// second Byzantine-replay pass of pure duplicates — the dedup-and-count
+/// path Algorithm 1 line 12 runs per delivery.
+fn bench_fra_scan(c: &mut Criterion) {
+    for fx in fixtures() {
+        let v0 = NodeId::new(0);
+        let plan = NodePlan::new(&fx.topo, v0);
+        let simple: Vec<PathId> = fx.topo.simple_paths_to(v0).to_vec();
+        let slot_words = simple.len().div_ceil(64);
+        // The delivery stream as (guess, witness, slot) triples, one
+        // fingerprint (the honest case).
+        let mut stream: Vec<(usize, usize, usize)> = Vec::new();
+        for (gi, gp) in plan.guesses().iter().enumerate() {
+            for (wi, w) in gp.fra_witnesses().iter().enumerate() {
+                for (word, &bits) in w.mask().iter().enumerate() {
+                    let mut bits = bits;
+                    while bits != 0 {
+                        stream.push((gi, wi, word * 64 + bits.trailing_zeros() as usize));
+                        bits &= bits - 1;
+                    }
+                }
+            }
+        }
+        const FP: u64 = 0x9E37_79B9_7F4A_7C15;
+
+        let mut group = c.benchmark_group(format!("fra_scan/{}", fx.name));
+        group.sample_size(20);
+        group.bench_function("batched", |b| {
+            b.iter(|| {
+                let mut states: Vec<Vec<(usize, Vec<u64>)>> = plan
+                    .guesses()
+                    .iter()
+                    .map(|gp| {
+                        gp.fra_witnesses()
+                            .iter()
+                            .map(|w| (w.required, vec![0u64; slot_words]))
+                            .collect()
+                    })
+                    .collect();
+                let mut done = 0usize;
+                for _pass in 0..2 {
+                    for &(gi, wi, s) in &stream {
+                        let (remaining, seen) = &mut states[gi][wi];
+                        let (w, bit) = (s / 64, 1u64 << (s % 64));
+                        if seen[w] & bit != 0 {
+                            continue;
+                        }
+                        seen[w] |= bit;
+                        *remaining -= 1;
+                        if *remaining == 0 {
+                            done += 1;
+                        }
+                    }
+                }
+                black_box(done)
+            });
+        });
+        group.bench_function("legacy", |b| {
+            b.iter(|| {
+                let mut states: Vec<Vec<LegacyFra>> = plan
+                    .guesses()
+                    .iter()
+                    .map(|gp| {
+                        gp.fra_witnesses()
+                            .iter()
+                            .map(|w| LegacyFra {
+                                required: w.required,
+                                seen: std::collections::HashSet::new(),
+                                counts: HashMap::new(),
+                                done: false,
+                            })
+                            .collect()
+                    })
+                    .collect();
+                let mut done = 0usize;
+                for _pass in 0..2 {
+                    for &(gi, wi, s) in &stream {
+                        let st = &mut states[gi][wi];
+                        if !st.done && st.seen.insert((simple[s], FP)) {
+                            let count = st.counts.entry(FP).or_insert(0);
+                            *count += 1;
+                            if *count == st.required {
+                                st.done = true;
+                                done += 1;
+                            }
+                        }
+                    }
+                }
+                black_box(done)
+            });
+        });
+        group.finish();
+    }
+}
+
 criterion_group!(
     benches,
     bench_fifo_accept,
     bench_complete_forwards,
     bench_message_set_exclusion,
-    bench_message_set_fullness
+    bench_message_set_fullness,
+    bench_round_core_ingest,
+    bench_mc_scan,
+    bench_fra_scan
 );
 criterion_main!(benches);

@@ -106,6 +106,10 @@ pub struct CrashNode {
     x: Vec<f64>,
     rounds: HashMap<u32, CrashRound>,
     my_guesses: Vec<NodeSet>,
+    /// Per-guess requirement census, computed once from the index masks
+    /// and cloned (one memcpy) into every round instead of re-running the
+    /// popcount scans per round.
+    census: Vec<usize>,
     output: Option<f64>,
 }
 
@@ -122,6 +126,7 @@ impl CrashNode {
     ) -> Self {
         let my_guesses: Vec<NodeSet> =
             topo.guesses.iter().filter(|g| !g.contains(me)).copied().collect();
+        let census = my_guesses.iter().map(|&g| topo.index.required_count(g, me)).collect();
         CrashNode {
             topo,
             me,
@@ -129,6 +134,7 @@ impl CrashNode {
             x: vec![input],
             rounds: HashMap::new(),
             my_guesses,
+            census,
             output: None,
         }
     }
@@ -152,10 +158,14 @@ impl CrashNode {
     }
 
     fn new_round(&self) -> CrashRound {
-        // Per-guess requirement counts straight off the masks.
-        let index = &self.topo.index;
-        let remaining = self.my_guesses.iter().map(|&g| index.required_count(g, self.me)).collect();
-        CrashRound { started: false, fired: false, values: MessageSet::new(), remaining }
+        // Per-guess requirement counts: the node-lifetime census computed
+        // once in `new` — a round allocates one cloned counter vector.
+        CrashRound {
+            started: false,
+            fired: false,
+            values: MessageSet::new(),
+            remaining: self.census.clone(),
+        }
     }
 
     fn begin_round(&mut self, round: u32, ctx: &mut Context<CrashMsg>) {

@@ -235,6 +235,23 @@ impl MessageSet {
     pub fn initiators(&self, index: &PathIndex) -> NodeSet {
         self.paths().map(|p| index.init(p)).collect()
     }
+
+    /// The presence-bitmap word at `w` (0 for words the columns never grew
+    /// to). The raw column the witness-thread mask scans AND against —
+    /// crate-internal so the columnar layout stays an implementation
+    /// detail.
+    #[must_use]
+    pub(crate) fn present_word(&self, w: usize) -> u64 {
+        self.present.get(w).copied().unwrap_or(0)
+    }
+
+    /// The value-column slot for `id`, without a presence check. Only
+    /// meaningful for ids whose presence bit is set — masked gathers read
+    /// this after ANDing the presence word, which also guarantees the
+    /// columns grew past `id`.
+    pub(crate) fn value_at(&self, id: usize) -> f64 {
+        self.values[id]
+    }
 }
 
 /// Equality is by contents — the `(path, value)` entries — not by column

@@ -7,7 +7,7 @@ use crate::filter::FilterOutcome;
 use crate::flood;
 use crate::message::{validate_complete, validate_flood, ProtocolMsg, Round};
 use crate::precompute::Topology;
-use crate::witness::{NodePlan, RoundAction, RoundCore};
+use crate::witness::{NodePlan, RoundAction, RoundCore, WitnessScratch};
 use dbac_graph::{NodeId, NodeSet, PathId};
 use dbac_sim::process::{Context, Process};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -49,6 +49,10 @@ pub struct HonestNode {
     /// Keyed partly by the payload fingerprint (Byzantine-influenced), so
     /// this uses the seeded default hasher, not `FastHashSet`.
     seen_completes: HashSet<(PathId, u64, u64)>,
+    /// The node's reusable witness scratch columns, shared by every
+    /// round's FIFO-Receive-All bitmaps (allocated once, recycled as
+    /// witnesses complete).
+    scratch: WitnessScratch,
     output: Option<f64>,
     stats: NodeStats,
 }
@@ -70,6 +74,7 @@ impl HonestNode {
             fifo_counter: 0,
             fifo_rx: FifoReceiver::new(),
             seen_completes: HashSet::new(),
+            scratch: WitnessScratch::new(),
             output: None,
             stats: NodeStats::default(),
         }
@@ -135,7 +140,7 @@ impl HonestNode {
         let topo = Arc::clone(&self.topo);
         let plan = Arc::clone(&self.plan);
         let core = self.rounds.entry(round).or_insert_with(|| RoundCore::new(&topo, &plan));
-        core.start(value, &topo, &plan)
+        core.start(value, &topo, &plan, &mut self.scratch)
     }
 
     fn execute(&mut self, ctx: &mut Context<ProtocolMsg>, round: Round, initial: Vec<RoundAction>) {
@@ -166,6 +171,7 @@ impl HonestNode {
                         fp,
                         &topo,
                         &plan,
+                        &mut self.scratch,
                     );
                     queue.extend(acts.into_iter().map(|a| (r, a)));
                 }
@@ -205,7 +211,7 @@ impl HonestNode {
         let topo = Arc::clone(&self.topo);
         let plan = Arc::clone(&self.plan);
         let core = self.rounds.entry(round).or_insert_with(|| RoundCore::new(&topo, &plan));
-        let (fresh, actions) = core.add_flood(stored, value, &topo, &plan);
+        let (fresh, actions) = core.add_flood(stored, value, &topo, &plan, &mut self.scratch);
         if !fresh {
             self.stats.floods_duplicate += 1;
             return;
@@ -273,6 +279,7 @@ impl HonestNode {
                 d.fingerprint,
                 &topo,
                 &plan,
+                &mut self.scratch,
             );
             self.execute(ctx, d.round, actions);
         }

@@ -462,6 +462,41 @@ impl PathIndex {
             .map(|w| (terminal[w] & !self.excluded_word(a, w)).count_ones() as usize)
             .sum()
     }
+
+    /// The word range of the id space covering every interned path ending
+    /// at `v`. Ids are assigned terminal-major, so a terminal's pool is a
+    /// contiguous id block; scans that pair a per-terminal mask with a
+    /// presence column only need to walk these words, not the whole id
+    /// space. Never empty: the trivial path `⟨v⟩` is always interned.
+    #[must_use]
+    pub fn terminal_word_range(&self, v: NodeId) -> std::ops::Range<usize> {
+        let pool = &self.by_terminal[v.index()];
+        let first = pool.first().expect("trivial path always interned").index();
+        let last = pool.last().expect("trivial path always interned").index();
+        debug_assert!(
+            pool.len() == last - first + 1,
+            "terminal-major id assignment keeps a pool contiguous"
+        );
+        (first / 64)..(last / 64 + 1)
+    }
+
+    /// Materializes the per-guess avoiding mask for `(set, v)` over a word
+    /// range: `terminal_words(v) ∧ ¬⋃_{a ∈ set} member_words(a)`, i.e. the
+    /// pool paths ending at `v` that avoid `set`, in word form. This is the
+    /// mask a witness thread probes per flood arrival (one load + AND
+    /// replaces a per-path `NodeSet` disjointness test) and scans for its
+    /// Maximal-Consistency census; `popcount` of the result equals
+    /// [`PathIndex::required_count`].
+    #[must_use]
+    pub fn avoiding_words(
+        &self,
+        set: NodeSet,
+        v: NodeId,
+        words: std::ops::Range<usize>,
+    ) -> Vec<u64> {
+        let terminal = &self.terminal_words[v.index()];
+        words.map(|w| terminal[w] & !self.excluded_word(set, w)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -632,6 +667,57 @@ mod tests {
                         .filter(|&&p| !index.intersects(p, a))
                         .count();
                     assert_eq!(index.required_count(a, v), direct, "census({a:?}, {v})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn terminal_word_range_covers_exactly_the_pool() {
+        for graph in [generators::clique(4), small_bridged()] {
+            let index = build(&graph);
+            for v in graph.nodes() {
+                let words = index.terminal_word_range(v);
+                assert!(!words.is_empty());
+                for raw in 0..index.len() as u32 {
+                    let id = PathId::from_raw(raw);
+                    if index.ter(id) == v {
+                        assert!(words.contains(&(id.index() / 64)), "{id} outside range of {v}");
+                    }
+                }
+                // The range is tight: its boundary words carry pool bits.
+                let terminal = index.terminal_words(v);
+                assert_ne!(terminal[words.start], 0);
+                assert_ne!(terminal[words.end - 1], 0);
+            }
+        }
+    }
+
+    #[test]
+    fn avoiding_words_match_the_filtered_pool() {
+        for graph in [generators::clique(4), small_bridged()] {
+            let index = build(&graph);
+            let sets = [
+                NodeSet::EMPTY,
+                NodeSet::singleton(NodeId::new(1)),
+                [NodeId::new(0), NodeId::new(2)].into_iter().collect(),
+            ];
+            for v in graph.nodes() {
+                let words = index.terminal_word_range(v);
+                for &a in &sets {
+                    let mask = index.avoiding_words(a, v, words.clone());
+                    assert_eq!(mask.len(), words.len());
+                    let count: usize = mask.iter().map(|w| w.count_ones() as usize).sum();
+                    assert_eq!(count, index.required_count(a, v), "census({a:?}, {v})");
+                    for (w, &word) in mask.iter().enumerate() {
+                        for b in 0..64 {
+                            let id = PathId::from_raw(((words.start + w) * 64 + b) as u32);
+                            let expected = index.contains_id(id)
+                                && index.ter(id) == v
+                                && !index.intersects(id, a);
+                            assert_eq!(word & (1 << b) != 0, expected, "{id} in mask({a:?}, {v})");
+                        }
+                    }
                 }
             }
         }

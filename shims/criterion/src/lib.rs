@@ -8,8 +8,23 @@
 //! batch samples are measured and the per-iteration mean, minimum and
 //! maximum are reported. No statistics machinery, no plots — numbers good
 //! enough for before/after comparisons in this repository.
+//!
+//! # JSON output (`--json <path>`)
+//!
+//! Passing `--json <path>` after `--` (`cargo bench --bench hot_path --
+//! --json out.json`) additionally writes every measurement to `path` as a
+//! flat JSON document:
+//!
+//! ```json
+//! { "kernels": { "<benchmark name>": { "mean_ns": 1.0, "min_ns": 0.9, "max_ns": 1.2 } } }
+//! ```
+//!
+//! The CI `bench-trend` job consumes this file and compares it against the
+//! checked-in `BENCH_BASELINE.json` (see `dbac-bench`'s `bench_trend`
+//! binary).
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Opaque value barrier, preventing the optimizer from deleting benched work.
@@ -96,18 +111,72 @@ fn fmt_ns(ns: f64) -> String {
     }
 }
 
+/// Measurements accumulated for the optional JSON report, in run order.
+fn recorded() -> &'static Mutex<Vec<(String, Sample)>> {
+    static RECORDED: Mutex<Vec<(String, Sample)>> = Mutex::new(Vec::new());
+    &RECORDED
+}
+
 fn run_one(name: &str, sample_count: usize, f: &mut dyn FnMut(&mut Bencher)) {
     let mut b = Bencher { result: None, sample_count };
     f(&mut b);
     match b.result {
-        Some(s) => println!(
-            "{name:<50} time: [{} {} {}]",
-            fmt_ns(s.min_ns),
-            fmt_ns(s.mean_ns),
-            fmt_ns(s.max_ns)
-        ),
+        Some(s) => {
+            println!(
+                "{name:<50} time: [{} {} {}]",
+                fmt_ns(s.min_ns),
+                fmt_ns(s.mean_ns),
+                fmt_ns(s.max_ns)
+            );
+            recorded().lock().expect("bench registry poisoned").push((name.to_string(), s));
+        }
         None => println!("{name:<50} (no measurement recorded)"),
     }
+}
+
+/// Minimal JSON string escape (benchmark names are plain ASCII, but stay
+/// correct for quotes and backslashes anyway).
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Writes the accumulated measurements as JSON when `--json <path>` was
+/// passed on the command line. Called by `criterion_main!` after all
+/// groups have run; a no-op otherwise.
+///
+/// # Panics
+///
+/// Panics if `--json` is given without a path or the file cannot be
+/// written — a CI pipeline must fail loudly, not silently skip its gate.
+pub fn write_json_if_requested() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(pos) = args.iter().position(|a| a == "--json") else {
+        return;
+    };
+    let path = args.get(pos + 1).expect("--json requires a path argument");
+    let results = recorded().lock().expect("bench registry poisoned");
+    let mut out = String::from("{\n  \"kernels\": {\n");
+    for (i, (name, s)) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    \"{}\": {{ \"mean_ns\": {:.3}, \"min_ns\": {:.3}, \"max_ns\": {:.3} }}{}\n",
+            json_escape(name),
+            s.mean_ns,
+            s.min_ns,
+            s.max_ns,
+            comma
+        ));
+    }
+    out.push_str("  }\n}\n");
+    std::fs::write(path, out).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("bench JSON written to {path}");
 }
 
 /// The harness entry point, mirroring `criterion::Criterion`.
@@ -180,12 +249,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares `main` running the listed groups.
+/// Declares `main` running the listed groups, then emitting the JSON
+/// report when `--json <path>` was requested.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_if_requested();
         }
     };
 }
