@@ -16,12 +16,10 @@
 use crate::reliable_broadcast::{RbcEngine, RbcMsg};
 use dbac_core::config::num_rounds;
 use dbac_graph::{generators, NodeId, NodeSet};
-use dbac_sim::process::{Context, Process, Silent};
-use dbac_sim::scheduler::RandomDelay;
-use dbac_sim::sim::{SimStats, Simulation};
+use dbac_sim::process::{Context, Process};
+use dbac_sim::sim::SimStats;
 use dbac_sim::SimError;
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::sync::Arc;
 
 /// RBC payloads exchanged by the algorithm.
 ///
@@ -126,6 +124,14 @@ impl AadNode {
     #[must_use]
     pub fn is_done(&self) -> bool {
         self.output.is_some()
+    }
+
+    /// Overrides the round count derived from ε and the range (used by the
+    /// scenario layer's `rounds` knob).
+    #[must_use]
+    pub fn with_rounds(mut self, rounds: u32) -> Self {
+        self.rounds_total = rounds;
+        self
     }
 
     fn rbc_send(&mut self, ctx: &mut Context<AadMsg>, msg: AadMsg) {
@@ -333,6 +339,10 @@ impl AadOutcome {
 /// # Panics
 ///
 /// Panics unless `n > 3f` and `inputs.len() == n`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use dbac_core::scenario::Scenario with the Aad04 protocol from this crate"
+)]
 pub fn run_aad04(
     n: usize,
     f: usize,
@@ -341,59 +351,53 @@ pub fn run_aad04(
     byzantine: &[(NodeId, AadAdversary)],
     seed: u64,
 ) -> Result<AadOutcome, SimError> {
+    use dbac_core::scenario::{FaultKind, Scenario, SchedulerSpec};
+    use std::collections::BTreeMap;
     assert!(n > 3 * f, "AAD04 requires n > 3f");
     assert_eq!(inputs.len(), n, "one input per node");
     let byz: NodeSet = byzantine.iter().map(|&(v, _)| v).collect();
     assert!(byz.len() <= f, "at most f Byzantine nodes");
-    let honest = NodeSet::universe(n) - byz;
-    let honest_range = honest
-        .iter()
-        .map(|v| inputs[v.index()])
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| (lo.min(v), hi.max(v)));
-    let range = honest_range;
-    let graph = Arc::new(generators::clique(n));
-    let mut sim: Simulation<AadNode> =
-        Simulation::new(graph, Box::new(RandomDelay::new(seed, 1, 15)));
-    for v in honest.iter() {
-        sim.set_honest(v, AadNode::new(v, n, f, inputs[v.index()], epsilon, range));
-    }
-    for &(v, kind) in byzantine {
-        match kind {
-            AadAdversary::Crash => {
-                sim.set_byzantine(v, Box::new(Silent));
-            }
-            AadAdversary::ConstantLiar { value } => {
-                sim.set_byzantine(v, Box::new(LiarAdversary::new(v, n, f, value, epsilon, range)));
-            }
-        }
-    }
-    let stats = sim.run()?;
-    let mut outputs = vec![None; n];
-    let mut honest_messages = 0;
-    for v in honest.iter() {
-        let node = sim.honest(v).expect("honest");
-        outputs[v.index()] = node.output();
-        honest_messages += node.sent;
-    }
+    // Historical behaviour: a node listed twice got its actor overwritten
+    // (last entry wins); fold duplicates before the stricter builder.
+    let byzantine: BTreeMap<NodeId, AadAdversary> = byzantine.iter().copied().collect();
+    let out = Scenario::builder(generators::clique(n), f)
+        .inputs(inputs.to_vec())
+        .epsilon(epsilon)
+        .faults(byzantine.iter().map(|(&v, &kind)| {
+            let fault = match kind {
+                AadAdversary::Crash => FaultKind::Crash,
+                AadAdversary::ConstantLiar { value } => FaultKind::ConstantLiar { value },
+            };
+            (v, fault)
+        }))
+        .scheduler(SchedulerSpec::legacy_random(seed))
+        .protocol(crate::scenario::Aad04)
+        .run()
+        .map_err(|e| match e {
+            dbac_core::RunError::Sim(e) => e,
+            other => panic!("scenario rejected a pre-validated AAD04 config: {other}"),
+        })?;
     Ok(AadOutcome {
-        outputs,
-        honest,
+        outputs: out.outputs,
+        honest: out.honest,
         epsilon,
-        honest_input_range: honest_range,
-        sim_stats: stats,
-        honest_messages,
+        honest_input_range: out.honest_input_range,
+        sim_stats: out.sim_stats,
+        honest_messages: out.honest_messages.unwrap_or(0),
     })
 }
 
 /// A liar that follows the protocol with a planted extreme value — RBC
 /// prevents equivocation, so this is the strongest "value attack".
-struct LiarAdversary {
+pub(crate) struct LiarAdversary {
     inner: AadNode,
 }
 
 impl LiarAdversary {
-    fn new(me: NodeId, n: usize, f: usize, value: f64, epsilon: f64, range: (f64, f64)) -> Self {
-        LiarAdversary { inner: AadNode::new(me, n, f, value, epsilon, range) }
+    /// Wraps a fully-configured node (input = the planted value); rounds
+    /// must match the honest nodes' so the liar stays live to the end.
+    pub(crate) fn from_node(inner: AadNode) -> Self {
+        LiarAdversary { inner }
     }
 }
 
@@ -407,6 +411,7 @@ impl dbac_sim::process::Adversary<AadMsg> for LiarAdversary {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the legacy shim on top of the scenario API
 mod tests {
     use super::*;
 

@@ -164,8 +164,24 @@ pub fn wmsr_step(own: f64, mut received: Vec<f64>, f: usize) -> f64 {
 /// # Panics
 ///
 /// Panics if `inputs.len() != n` or a faulty node is listed twice.
+#[deprecated(
+    since = "0.1.0",
+    note = "use dbac_core::scenario::Scenario with the IterativeTrimmedMean protocol from this crate"
+)]
 #[must_use]
 pub fn run_iterative(
+    g: &Digraph,
+    f: usize,
+    inputs: &[f64],
+    faulty: &[(NodeId, IterStrategy)],
+    rounds: usize,
+) -> IterativeRun {
+    iterate(g, f, inputs, faulty, rounds)
+}
+
+/// The synchronous W-MSR loop shared by the deprecated entry point and the
+/// scenario-layer `IterativeTrimmedMean` protocol.
+pub(crate) fn iterate(
     g: &Digraph,
     f: usize,
     inputs: &[f64],
@@ -205,6 +221,7 @@ pub fn run_iterative(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the legacy shim on top of the shared loop
 mod tests {
     use super::*;
     use dbac_graph::generators;

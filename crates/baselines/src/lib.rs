@@ -13,6 +13,9 @@
 //!   the related work ([13, 25]): purely local filtering, correct under
 //!   graph *robustness* rather than 3-reach; experiment E10 contrasts the
 //!   two conditions.
+//! * [`scenario`] — [`Protocol`](dbac_core::scenario::Protocol)
+//!   implementations plugging all three baselines into the workspace's
+//!   unified **Scenario → Outcome** experiment surface.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,3 +23,6 @@
 pub mod aad04;
 pub mod iterative;
 pub mod reliable_broadcast;
+pub mod scenario;
+
+pub use scenario::{Aad04, IterativeTrimmedMean, ReliableBroadcastProbe};

@@ -1,0 +1,577 @@
+//! Scenario-layer [`Protocol`] implementations for the baseline
+//! algorithms, completing the workspace's unified **Scenario → Outcome**
+//! surface (see `dbac_core::scenario` for the builder and the core
+//! protocols):
+//!
+//! | `Protocol` | Paper positioning |
+//! |------------|-------------------|
+//! | [`Aad04`] | Abraham–Amit–Dolev OPODIS 2004 (related work \[1\]): the complete-network algorithm BW generalizes |
+//! | [`IterativeTrimmedMean`] | W-MSR iterative consensus (related work \[13, 25\]): local filtering under `(f+1, f+1)`-robustness |
+//! | [`ReliableBroadcastProbe`] | Bracha reliable broadcast, AAD04's substrate, as a one-shot trimmed-agreement probe |
+//!
+//! Each implementation maps the protocol-agnostic
+//! [`FaultKind`] assignments onto its own adversary
+//! machinery and rejects behaviours it cannot express with typed errors,
+//! so a single scenario description sweeps cleanly across algorithms.
+
+#![deny(missing_docs)]
+
+use crate::aad04::{AadNode, LiarAdversary};
+use crate::iterative::{iterate, IterStrategy};
+use crate::reliable_broadcast::{RbcEngine, RbcMsg};
+use dbac_core::error::RunError;
+use dbac_core::scenario::{drive, FaultKind, Outcome, Protocol, Runtime, Scenario};
+use dbac_graph::{Digraph, NodeId};
+use dbac_sim::process::{Adversary, Context, Process, Silent};
+use std::collections::HashSet;
+
+fn is_complete(g: &Digraph) -> bool {
+    let n = g.node_count();
+    g.edge_count() == n * (n.saturating_sub(1))
+}
+
+// ---------------------------------------------------------------------------
+// AAD04
+// ---------------------------------------------------------------------------
+
+/// The **Abraham–Amit–Dolev 2004** optimal-resilience asynchronous
+/// approximate-agreement algorithm for complete networks (`n > 3f`),
+/// running on reliable broadcast with witness confirmation. The E9
+/// baseline that Algorithm BW generalizes to directed networks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Aad04;
+
+impl Protocol for Aad04 {
+    fn name(&self) -> &'static str {
+        "aad04"
+    }
+
+    fn check(&self, scenario: &Scenario) -> Result<(), RunError> {
+        let n = scenario.graph().node_count();
+        if !is_complete(scenario.graph()) {
+            return Err(RunError::IncompleteGraph { protocol: self.name() });
+        }
+        if n <= 3 * scenario.f() {
+            return Err(RunError::ResilienceExceeded {
+                protocol: self.name(),
+                n,
+                f: scenario.f(),
+                requires: "n > 3f",
+            });
+        }
+        for (_, kind) in scenario.faults() {
+            if !matches!(kind, FaultKind::Crash | FaultKind::ConstantLiar { .. }) {
+                return Err(RunError::UnsupportedFault {
+                    protocol: self.name(),
+                    fault: kind.label(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn execute(&self, scenario: &Scenario) -> Result<Outcome, RunError> {
+        let n = scenario.graph().node_count();
+        let f = scenario.f();
+        let rounds = scenario.rounds();
+        let make_node = |v: NodeId, input: f64| {
+            AadNode::new(v, n, f, input, scenario.epsilon(), scenario.range()).with_rounds(rounds)
+        };
+        let honest_set = scenario.honest_set();
+        let honest: Vec<(NodeId, AadNode)> =
+            honest_set.iter().map(|v| (v, make_node(v, scenario.inputs()[v.index()]))).collect();
+        let byzantine = scenario
+            .faults()
+            .iter()
+            .map(|&(v, ref kind)| {
+                let boxed: Box<dyn Adversary<<AadNode as Process>::Message> + Send> = match *kind {
+                    FaultKind::Crash => Box::new(Silent),
+                    // The liar's node goes through `make_node` so a rounds
+                    // override applies to it too — otherwise it would decide
+                    // early and degrade into a crash for the tail rounds.
+                    FaultKind::ConstantLiar { value } => {
+                        Box::new(LiarAdversary::from_node(make_node(v, value)))
+                    }
+                    _ => unreachable!("checked"),
+                };
+                (v, boxed)
+            })
+            .collect();
+        let mut outputs = vec![None; n];
+        let mut histories = vec![None; n];
+        let mut honest_messages = 0u64;
+        let (stats, trace) =
+            drive(scenario, honest, byzantine, AadNode::is_done, &mut |v, node| {
+                outputs[v.index()] = node.output();
+                histories[v.index()] = Some(node.x_history().to_vec());
+                honest_messages += node.sent;
+            })?;
+        Ok(Outcome {
+            protocol: self.name(),
+            outputs,
+            honest: honest_set,
+            epsilon: scenario.epsilon(),
+            honest_input_range: scenario.honest_input_range(),
+            rounds,
+            sim_stats: stats,
+            histories,
+            honest_messages: Some(honest_messages),
+            trace,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Iterative trimmed-mean (W-MSR)
+// ---------------------------------------------------------------------------
+
+/// The **iterative trimmed-mean** (W-MSR) algorithm of the related work:
+/// purely local `f`-filtering each synchronous round, correct under
+/// `(f+1, f+1)`-robustness rather than 3-reach (the E10 contrast).
+///
+/// Synchronous by construction — it supports [`Runtime::Sim`] only, and
+/// [`Outcome::sim_stats`] stays zeroed (there is no message passing to
+/// count). The round count is a protocol knob (default 60, enough for the
+/// experiments' geometric convergence), overridable per scenario via
+/// `ScenarioBuilder::rounds`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IterativeTrimmedMean {
+    /// Synchronous rounds to execute.
+    pub rounds: usize,
+}
+
+impl Default for IterativeTrimmedMean {
+    fn default() -> Self {
+        IterativeTrimmedMean { rounds: 60 }
+    }
+}
+
+impl IterativeTrimmedMean {
+    /// A configuration running exactly `rounds` synchronous rounds.
+    #[must_use]
+    pub fn with_rounds(rounds: usize) -> Self {
+        IterativeTrimmedMean { rounds }
+    }
+}
+
+impl Protocol for IterativeTrimmedMean {
+    fn name(&self) -> &'static str {
+        "iterative-trimmed-mean"
+    }
+
+    fn check(&self, scenario: &Scenario) -> Result<(), RunError> {
+        if !matches!(scenario.runtime(), Runtime::Sim) {
+            return Err(RunError::UnsupportedRuntime {
+                protocol: self.name(),
+                runtime: scenario.runtime().name(),
+            });
+        }
+        for (_, kind) in scenario.faults() {
+            if !matches!(
+                kind,
+                FaultKind::Crash | FaultKind::ConstantLiar { .. } | FaultKind::Ramp { .. }
+            ) {
+                return Err(RunError::UnsupportedFault {
+                    protocol: self.name(),
+                    fault: kind.label(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn execute(&self, scenario: &Scenario) -> Result<Outcome, RunError> {
+        let faulty: Vec<(NodeId, IterStrategy)> = scenario
+            .faults()
+            .iter()
+            .map(|&(v, ref kind)| {
+                let strategy = match *kind {
+                    FaultKind::Crash => IterStrategy::Silent,
+                    FaultKind::ConstantLiar { value } => IterStrategy::Constant(value),
+                    FaultKind::Ramp { base, slope } => IterStrategy::Ramp { base, slope },
+                    _ => unreachable!("checked"),
+                };
+                (v, strategy)
+            })
+            .collect();
+        let rounds = match scenario.rounds_override() {
+            Some(r) => r as usize,
+            None => self.rounds,
+        };
+        let run = iterate(scenario.graph(), scenario.f(), scenario.inputs(), &faulty, rounds);
+        let n = scenario.graph().node_count();
+        let mut outputs = vec![None; n];
+        let mut histories = vec![None; n];
+        let last = run.history.last().expect("history has the initial row");
+        for v in run.honest.iter() {
+            outputs[v.index()] = Some(last[v.index()]);
+            histories[v.index()] =
+                Some(run.history.iter().map(|row| row[v.index()]).collect::<Vec<f64>>());
+        }
+        Ok(Outcome {
+            protocol: self.name(),
+            outputs,
+            honest: run.honest,
+            epsilon: scenario.epsilon(),
+            honest_input_range: scenario.honest_input_range(),
+            rounds: rounds as u32,
+            sim_stats: Default::default(),
+            histories,
+            honest_messages: None,
+            trace: None,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reliable-broadcast probe
+// ---------------------------------------------------------------------------
+
+/// A one-shot **Bracha reliable-broadcast** probe (`n > 3f`, complete
+/// networks): every node RBC-broadcasts its input; each honest node
+/// decides the `f`-trimmed midpoint of the first `n − f` values it
+/// delivers. One communication round — it exercises AAD04's transport
+/// substrate under the scenario's schedule and faults, so ε-convergence is
+/// *not* guaranteed (validity is, by trimming).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReliableBroadcastProbe;
+
+/// Wire message of the probe: RBC transport of `f64::to_bits` payloads.
+type ProbeMsg = RbcMsg<u64>;
+
+/// An honest probe node.
+pub(crate) struct ProbeNode {
+    n: usize,
+    f: usize,
+    rbc: RbcEngine<u64>,
+    input: f64,
+    delivered_from: HashSet<NodeId>,
+    values: Vec<f64>,
+    output: Option<f64>,
+    sent: u64,
+}
+
+impl ProbeNode {
+    fn new(me: NodeId, n: usize, f: usize, input: f64) -> Self {
+        ProbeNode {
+            n,
+            f,
+            rbc: RbcEngine::new(me, n, f),
+            input,
+            delivered_from: HashSet::new(),
+            values: Vec::new(),
+            output: None,
+            sent: 0,
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.output.is_some()
+    }
+
+    fn handle_rbc(&mut self, ctx: &mut Context<ProbeMsg>, from: NodeId, msg: ProbeMsg) {
+        let (outs, deliveries) = self.rbc.on_message(from, msg);
+        for m in outs {
+            for w in ctx.out_neighbors().iter() {
+                self.sent += 1;
+                ctx.send(w, m.clone());
+            }
+            // A node participates in its own broadcasts.
+            let me = ctx.me();
+            self.handle_rbc(ctx, me, m);
+        }
+        for d in deliveries {
+            if self.delivered_from.insert(d.origin) && self.output.is_none() {
+                self.values.push(f64::from_bits(d.payload));
+                if self.values.len() >= self.n - self.f {
+                    let mut vals = self.values.clone();
+                    vals.sort_by(f64::total_cmp);
+                    let kept = &vals[self.f..vals.len() - self.f];
+                    self.output = Some((kept[0] + kept[kept.len() - 1]) / 2.0);
+                }
+            }
+        }
+    }
+}
+
+impl Process for ProbeNode {
+    type Message = ProbeMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<ProbeMsg>) {
+        let (_, init) = self.rbc.broadcast(self.input.to_bits());
+        for w in ctx.out_neighbors().iter() {
+            self.sent += 1;
+            ctx.send(w, init.clone());
+        }
+        let me = ctx.me();
+        self.handle_rbc(ctx, me, init);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<ProbeMsg>, from: NodeId, msg: ProbeMsg) {
+        self.handle_rbc(ctx, from, msg);
+    }
+}
+
+impl std::fmt::Debug for ProbeNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProbeNode").field("output", &self.output).finish()
+    }
+}
+
+/// A probe liar: participates honestly but broadcasts a planted value (RBC
+/// prevents equivocation, so this is the strongest value attack).
+struct ProbeLiar {
+    inner: ProbeNode,
+}
+
+impl Adversary<ProbeMsg> for ProbeLiar {
+    fn on_start(&mut self, ctx: &mut Context<ProbeMsg>) {
+        self.inner.on_start(ctx);
+    }
+    fn on_message(&mut self, ctx: &mut Context<ProbeMsg>, from: NodeId, msg: ProbeMsg) {
+        self.inner.on_message(ctx, from, msg);
+    }
+}
+
+impl Protocol for ReliableBroadcastProbe {
+    fn name(&self) -> &'static str {
+        "reliable-broadcast-probe"
+    }
+
+    fn check(&self, scenario: &Scenario) -> Result<(), RunError> {
+        let n = scenario.graph().node_count();
+        if !is_complete(scenario.graph()) {
+            return Err(RunError::IncompleteGraph { protocol: self.name() });
+        }
+        if n <= 3 * scenario.f() {
+            return Err(RunError::ResilienceExceeded {
+                protocol: self.name(),
+                n,
+                f: scenario.f(),
+                requires: "n > 3f",
+            });
+        }
+        for (_, kind) in scenario.faults() {
+            if !matches!(kind, FaultKind::Crash | FaultKind::ConstantLiar { .. }) {
+                return Err(RunError::UnsupportedFault {
+                    protocol: self.name(),
+                    fault: kind.label(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn execute(&self, scenario: &Scenario) -> Result<Outcome, RunError> {
+        let n = scenario.graph().node_count();
+        let f = scenario.f();
+        let honest_set = scenario.honest_set();
+        let honest: Vec<(NodeId, ProbeNode)> = honest_set
+            .iter()
+            .map(|v| (v, ProbeNode::new(v, n, f, scenario.inputs()[v.index()])))
+            .collect();
+        let byzantine = scenario
+            .faults()
+            .iter()
+            .map(|&(v, ref kind)| {
+                let boxed: Box<dyn Adversary<ProbeMsg> + Send> = match *kind {
+                    FaultKind::Crash => Box::new(Silent),
+                    FaultKind::ConstantLiar { value } => {
+                        Box::new(ProbeLiar { inner: ProbeNode::new(v, n, f, value) })
+                    }
+                    _ => unreachable!("checked"),
+                };
+                (v, boxed)
+            })
+            .collect();
+        let mut outputs = vec![None; n];
+        let mut histories = vec![None; n];
+        let mut honest_messages = 0u64;
+        let (stats, trace) =
+            drive(scenario, honest, byzantine, ProbeNode::is_done, &mut |v, node| {
+                outputs[v.index()] = node.output;
+                let mut h = vec![node.input];
+                h.extend(node.output);
+                histories[v.index()] = Some(h);
+                honest_messages += node.sent;
+            })?;
+        Ok(Outcome {
+            protocol: self.name(),
+            outputs,
+            honest: honest_set,
+            epsilon: scenario.epsilon(),
+            honest_input_range: scenario.honest_input_range(),
+            rounds: 1,
+            sim_stats: stats,
+            histories,
+            honest_messages: Some(honest_messages),
+            trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbac_core::scenario::SchedulerSpec;
+    use dbac_graph::generators;
+    use std::time::Duration;
+
+    fn id(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn aad04_scenario_with_liar_converges() {
+        let out = Scenario::builder(generators::clique(4), 1)
+            .inputs(vec![2.0, 4.0, 6.0, 0.0])
+            .epsilon(0.5)
+            .fault(id(3), FaultKind::ConstantLiar { value: 1e9 })
+            .scheduler(SchedulerSpec::legacy_random(5))
+            .protocol(Aad04)
+            .run()
+            .unwrap();
+        assert_eq!(out.protocol, "aad04");
+        assert!(out.converged(), "{:?}", out.outputs);
+        assert!(out.valid(), "{:?}", out.outputs);
+        assert!(out.honest_messages.unwrap() > 0);
+    }
+
+    /// A rounds override must reach the liar's inner node too: with the
+    /// honest nodes running 8 rounds, a liar stuck on the derived count
+    /// would fall silent mid-run and degrade into a crash.
+    #[test]
+    fn aad04_rounds_override_applies_to_the_liar() {
+        let out = Scenario::builder(generators::clique(4), 1)
+            .inputs(vec![2.0, 4.0, 6.0, 0.0])
+            .epsilon(0.5)
+            .rounds(8)
+            .fault(id(3), FaultKind::ConstantLiar { value: 1e6 })
+            .scheduler(SchedulerSpec::legacy_random(9))
+            .protocol(Aad04)
+            .run()
+            .unwrap();
+        assert_eq!(out.rounds, 8);
+        assert!(out.converged() && out.valid(), "{:?}", out.outputs);
+        // Every honest trajectory covers all 8 rounds — possible only if
+        // the liar kept broadcasting to the end (with it crashed, n−f
+        // witnesses still form, but the liar's own x-history would not).
+        for v in out.honest.iter() {
+            assert_eq!(out.histories[v.index()].as_ref().unwrap().len(), 9);
+        }
+    }
+
+    #[test]
+    fn aad04_rejects_incomplete_graphs_and_low_resilience() {
+        let err = Scenario::builder(generators::directed_cycle(5), 1)
+            .inputs(vec![0.0; 5])
+            .protocol(Aad04)
+            .run()
+            .unwrap_err();
+        assert_eq!(err, RunError::IncompleteGraph { protocol: "aad04" });
+
+        let err = Scenario::builder(generators::clique(3), 1)
+            .inputs(vec![0.0; 3])
+            .protocol(Aad04)
+            .run()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RunError::ResilienceExceeded { protocol: "aad04", n: 3, f: 1, requires: "n > 3f" }
+        );
+    }
+
+    #[test]
+    fn aad04_rejects_inexpressible_faults() {
+        let err = Scenario::builder(generators::clique(4), 1)
+            .inputs(vec![0.0; 4])
+            .fault(id(3), FaultKind::Equivocator { low: -1.0, high: 1.0 })
+            .protocol(Aad04)
+            .run()
+            .unwrap_err();
+        assert_eq!(err, RunError::UnsupportedFault { protocol: "aad04", fault: "equivocator" });
+    }
+
+    #[test]
+    fn iterative_scenario_on_robust_clique() {
+        let out = Scenario::builder(generators::clique(5), 1)
+            .inputs(vec![0.0, 1.0, 2.0, 3.0, 999.0])
+            .epsilon(1e-6)
+            .range((0.0, 999.0))
+            .fault(id(4), FaultKind::ConstantLiar { value: 999.0 })
+            .protocol(IterativeTrimmedMean::default())
+            .run()
+            .unwrap();
+        assert_eq!(out.protocol, "iterative-trimmed-mean");
+        assert!(out.spread() < 1e-6, "spread {}", out.spread());
+        assert!(out.valid());
+        assert_eq!(out.rounds, 60);
+        // Histories carry the full trajectory (initial row + 60 rounds).
+        let h = out.histories[0].as_ref().unwrap();
+        assert_eq!(h.len(), 61);
+        assert_eq!(h[0], 0.0);
+    }
+
+    #[test]
+    fn iterative_rejects_the_threaded_runtime() {
+        let err = Scenario::builder(generators::clique(4), 1)
+            .inputs(vec![0.0; 4])
+            .runtime(Runtime::Threaded { timeout: Duration::from_secs(1) })
+            .protocol(IterativeTrimmedMean::default())
+            .run()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RunError::UnsupportedRuntime {
+                protocol: "iterative-trimmed-mean",
+                runtime: "threaded"
+            }
+        );
+    }
+
+    #[test]
+    fn iterative_ramp_attack_supported() {
+        let out = Scenario::builder(generators::clique(5), 1)
+            .inputs(vec![0.0, 1.0, 2.0, 3.0, 0.0])
+            .epsilon(1e-3)
+            .fault(id(4), FaultKind::Ramp { base: 0.0, slope: 10.0 })
+            .protocol(IterativeTrimmedMean::default())
+            .run()
+            .unwrap();
+        assert!(out.spread() < 1e-3);
+        assert!(out.valid());
+    }
+
+    #[test]
+    fn rbc_probe_trims_a_liar() {
+        let out = Scenario::builder(generators::clique(4), 1)
+            .inputs(vec![2.0, 4.0, 6.0, 0.0])
+            .epsilon(10.0)
+            .fault(id(3), FaultKind::ConstantLiar { value: 1e9 })
+            .scheduler(SchedulerSpec::Random { seed: 2, min: 1, max: 9 })
+            .protocol(ReliableBroadcastProbe)
+            .run()
+            .unwrap();
+        assert_eq!(out.protocol, "reliable-broadcast-probe");
+        assert!(out.all_decided());
+        assert!(out.valid(), "trimming must keep outputs in [2, 6]: {:?}", out.outputs);
+        assert_eq!(out.rounds, 1);
+    }
+
+    #[test]
+    fn rbc_probe_all_honest_agrees_with_full_delivery() {
+        // f = 0: every node waits for all n broadcasts, so the probe is
+        // schedule-independent and every output is the same midpoint.
+        let out = Scenario::builder(generators::clique(4), 0)
+            .inputs(vec![1.0, 9.0, 3.0, 5.0])
+            .epsilon(0.5)
+            .seed(3)
+            .protocol(ReliableBroadcastProbe)
+            .run()
+            .unwrap();
+        assert!(out.converged(), "{:?}", out.outputs);
+        for v in out.honest_outputs() {
+            assert_eq!(v, 5.0, "midpoint of [1, 9]");
+        }
+    }
+}

@@ -2,8 +2,9 @@
 //! iterative W-MSR round, for comparison against BW's kernels.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use dbac_baselines::aad04::{run_aad04, AadAdversary};
-use dbac_baselines::iterative::{is_r_s_robust, run_iterative, wmsr_step};
+use dbac_baselines::iterative::{is_r_s_robust, wmsr_step};
+use dbac_baselines::{Aad04, IterativeTrimmedMean};
+use dbac_core::scenario::{FaultKind, Scenario, SchedulerSpec};
 use dbac_graph::{generators, NodeId};
 
 fn bench_aad(c: &mut Criterion) {
@@ -14,11 +15,15 @@ fn bench_aad(c: &mut Criterion) {
         let inputs: Vec<f64> = (0..n).map(|i| i as f64).collect();
         group.bench_with_input(BenchmarkId::new("with_crash", n), &n, |b, &n| {
             b.iter(|| {
-                black_box(
-                    run_aad04(n, f, &inputs, 0.5, &[(NodeId::new(n - 1), AadAdversary::Crash)], 3)
-                        .unwrap()
-                        .honest_messages,
-                )
+                let out = Scenario::builder(generators::clique(n), f)
+                    .inputs(inputs.clone())
+                    .epsilon(0.5)
+                    .fault(NodeId::new(n - 1), FaultKind::Crash)
+                    .scheduler(SchedulerSpec::legacy_random(3))
+                    .protocol(Aad04)
+                    .run()
+                    .unwrap();
+                black_box(out.honest_messages)
             });
         });
     }
@@ -33,7 +38,15 @@ fn bench_iterative(c: &mut Criterion) {
     let g = generators::clique(6);
     let inputs: Vec<f64> = (0..6).map(|i| i as f64).collect();
     c.bench_function("iterative_50_rounds_k6", |b| {
-        b.iter(|| black_box(run_iterative(&g, 1, &inputs, &[], 50).final_spread()));
+        b.iter(|| {
+            let out = Scenario::builder(g.clone(), 1)
+                .inputs(inputs.clone())
+                .epsilon(0.5)
+                .protocol(IterativeTrimmedMean::with_rounds(50))
+                .run()
+                .unwrap();
+            black_box(out.spread())
+        });
     });
     c.bench_function("robustness_check_k6", |b| {
         b.iter(|| black_box(is_r_s_robust(&g, 2, 2)));

@@ -2,8 +2,7 @@
 //! headline cost of one complete protocol execution.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use dbac_core::adversary::AdversaryKind;
-use dbac_core::run::{run_byzantine_consensus, RunConfig};
+use dbac_core::scenario::{ByzantineWitness, FaultKind, Scenario};
 use dbac_graph::{generators, NodeId};
 
 fn bench_bw_cliques(c: &mut Criterion) {
@@ -13,25 +12,27 @@ fn bench_bw_cliques(c: &mut Criterion) {
         let inputs: Vec<f64> = (0..n).map(|i| i as f64).collect();
         group.bench_with_input(BenchmarkId::new("clique_all_honest", n), &n, |b, &n| {
             b.iter(|| {
-                let cfg = RunConfig::builder(generators::clique(n), 1)
+                let out = Scenario::builder(generators::clique(n), 1)
                     .inputs(inputs.clone())
                     .epsilon(1.0)
                     .seed(5)
-                    .build()
+                    .protocol(ByzantineWitness::default())
+                    .run()
                     .unwrap();
-                black_box(run_byzantine_consensus(&cfg).unwrap().spread())
+                black_box(out.spread())
             });
         });
         group.bench_with_input(BenchmarkId::new("clique_with_liar", n), &n, |b, &n| {
             b.iter(|| {
-                let cfg = RunConfig::builder(generators::clique(n), 1)
+                let out = Scenario::builder(generators::clique(n), 1)
                     .inputs(inputs.clone())
                     .epsilon(1.0)
-                    .byzantine(NodeId::new(n - 1), AdversaryKind::ConstantLiar { value: 1e5 })
+                    .fault(NodeId::new(n - 1), FaultKind::ConstantLiar { value: 1e5 })
                     .seed(5)
-                    .build()
+                    .protocol(ByzantineWitness::default())
+                    .run()
                     .unwrap();
-                black_box(run_byzantine_consensus(&cfg).unwrap().spread())
+                black_box(out.spread())
             });
         });
     }
@@ -45,14 +46,15 @@ fn bench_bw_directed(c: &mut Criterion) {
     let inputs: Vec<f64> = (0..8).map(|i| i as f64).collect();
     group.bench_function("fig1b_small_with_crash", |b| {
         b.iter(|| {
-            let cfg = RunConfig::builder(g.clone(), 1)
+            let out = Scenario::builder(g.clone(), 1)
                 .inputs(inputs.clone())
                 .epsilon(1.0)
-                .byzantine(NodeId::new(7), AdversaryKind::Crash)
+                .fault(NodeId::new(7), FaultKind::Crash)
                 .seed(2)
-                .build()
+                .protocol(ByzantineWitness::default())
+                .run()
                 .unwrap();
-            black_box(run_byzantine_consensus(&cfg).unwrap().spread())
+            black_box(out.spread())
         });
     });
     group.finish();

@@ -10,29 +10,23 @@
 //! Run: `cargo run --release -p dbac-bench --bin ablation`
 
 use dbac_bench::table::{num, yes_no, Table};
-use dbac_core::adversary::AdversaryKind;
 use dbac_core::config::FloodMode;
-use dbac_core::run::{run_byzantine_consensus, RunConfig, RunOutcome};
+use dbac_core::scenario::{ByzantineWitness, FaultKind, Outcome, Scenario};
 use dbac_graph::{generators, Digraph, NodeId};
 
-fn run_mode(
-    g: &Digraph,
-    f: usize,
-    mode: FloodMode,
-    byz: Option<(NodeId, AdversaryKind)>,
-) -> RunOutcome {
+fn run_mode(g: &Digraph, f: usize, mode: FloodMode, byz: Option<(NodeId, FaultKind)>) -> Outcome {
     let n = g.node_count();
     let inputs: Vec<f64> = (0..n).map(|i| i as f64).collect();
-    let mut b = RunConfig::builder(g.clone(), f)
+    let mut b = Scenario::builder(g.clone(), f)
         .inputs(inputs)
         .epsilon(1.0)
         .seed(15)
-        .flood_mode(mode)
-        .max_events(100_000_000);
+        .max_events(100_000_000)
+        .protocol(ByzantineWitness::default().with_flood_mode(mode));
     if let Some((v, kind)) = byz {
-        b = b.byzantine(v, kind);
+        b = b.fault(v, kind);
     }
-    run_byzantine_consensus(&b.build().unwrap()).unwrap()
+    b.run().unwrap()
 }
 
 fn main() {
@@ -46,11 +40,11 @@ fn main() {
     ];
     for (name, g, f) in &cases {
         let byz_node = NodeId::new(g.node_count() - 1);
-        let scenarios: Vec<(&str, Option<(NodeId, AdversaryKind)>)> = vec![
+        let scenarios: Vec<(&str, Option<(NodeId, FaultKind)>)> = vec![
             ("none", None),
-            ("crash", Some((byz_node, AdversaryKind::Crash))),
-            ("liar", Some((byz_node, AdversaryKind::ConstantLiar { value: 1e5 }))),
-            ("tamperer", Some((byz_node, AdversaryKind::RelayTamperer { spoof: -1e5 }))),
+            ("crash", Some((byz_node, FaultKind::Crash))),
+            ("liar", Some((byz_node, FaultKind::ConstantLiar { value: 1e5 }))),
+            ("tamperer", Some((byz_node, FaultKind::RelayTamperer { spoof: -1e5 }))),
         ];
         for (adv, byz) in scenarios {
             for mode in [FloodMode::Redundant, FloodMode::SimpleOnly] {

@@ -4,9 +4,8 @@
 //! Run: `cargo run --release -p dbac-bench --bin convergence`
 
 use dbac_bench::table::{num, yes_no, Table};
-use dbac_core::adversary::AdversaryKind;
 use dbac_core::config::num_rounds;
-use dbac_core::run::{run_byzantine_consensus, RunConfig};
+use dbac_core::scenario::{ByzantineWitness, FaultKind, Scenario};
 use dbac_graph::{generators, NodeId};
 
 fn main() {
@@ -20,27 +19,25 @@ fn halving() {
     let g = generators::clique(4);
     let inputs = vec![0.0, 16.0, 4.0, 12.0];
     let k = 16.0;
-    let cases: Vec<(&str, Option<(NodeId, AdversaryKind)>)> = vec![
+    let cases: Vec<(&str, Option<(NodeId, FaultKind)>)> = vec![
         ("all honest", None),
-        ("crash", Some((NodeId::new(3), AdversaryKind::Crash))),
-        ("liar 1e6", Some((NodeId::new(3), AdversaryKind::ConstantLiar { value: 1e6 }))),
-        (
-            "equivocator",
-            Some((NodeId::new(3), AdversaryKind::Equivocator { low: -1e3, high: 1e3 })),
-        ),
-        ("chaotic", Some((NodeId::new(3), AdversaryKind::Chaotic { seed: 5 }))),
+        ("crash", Some((NodeId::new(3), FaultKind::Crash))),
+        ("liar 1e6", Some((NodeId::new(3), FaultKind::ConstantLiar { value: 1e6 }))),
+        ("equivocator", Some((NodeId::new(3), FaultKind::Equivocator { low: -1e3, high: 1e3 }))),
+        ("chaotic", Some((NodeId::new(3), FaultKind::Chaotic { seed: 5 }))),
     ];
     for (label, byz) in cases {
-        let mut builder = RunConfig::builder(g.clone(), 1)
+        let mut builder = Scenario::builder(g.clone(), 1)
             .inputs(inputs.clone())
             .epsilon(0.05)
             .range((0.0, 16.0))
             .rounds(6)
-            .seed(31);
+            .seed(31)
+            .protocol(ByzantineWitness::default());
         if let Some((v, kind)) = byz.clone() {
-            builder = builder.byzantine(v, kind);
+            builder = builder.fault(v, kind);
         }
-        let out = run_byzantine_consensus(&builder.build().unwrap()).unwrap();
+        let out = builder.run().unwrap();
         assert!(out.all_decided(), "{label}: some node undecided");
         let spreads = out.spread_by_round();
         let mut t = Table::new(vec!["round", "spread U[r]-mu[r]", "bound K/2^r", "within bound"]);
@@ -71,15 +68,15 @@ fn termination_bound() {
     ]);
     for epsilon in [4.0, 2.0, 1.0, 0.5, 0.25] {
         let bound = num_rounds(k, epsilon);
-        let cfg = RunConfig::builder(g.clone(), 1)
+        let out = Scenario::builder(g.clone(), 1)
             .inputs(inputs.clone())
             .epsilon(epsilon)
             .range((0.0, k))
-            .byzantine(NodeId::new(3), AdversaryKind::ConstantLiar { value: -1e4 })
+            .fault(NodeId::new(3), FaultKind::ConstantLiar { value: -1e4 })
             .seed(77)
-            .build()
+            .protocol(ByzantineWitness::default())
+            .run()
             .unwrap();
-        let out = run_byzantine_consensus(&cfg).unwrap();
         let spreads = out.spread_by_round();
         let final_spread = *spreads.last().unwrap();
         let earliest = spreads.iter().position(|&s| s < epsilon).unwrap_or(spreads.len());

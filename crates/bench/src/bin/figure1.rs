@@ -13,8 +13,7 @@
 use dbac_bench::table::{num, yes_no, Table};
 use dbac_conditions::kreach::three_reach;
 use dbac_conditions::partition::bcs;
-use dbac_core::adversary::AdversaryKind;
-use dbac_core::run::{run_byzantine_consensus, RunConfig};
+use dbac_core::scenario::{ByzantineWitness, FaultKind, Scenario};
 use dbac_graph::connectivity::vertex_connectivity;
 use dbac_graph::maxflow::max_vertex_disjoint_paths;
 use dbac_graph::{dot, generators, NodeId, NodeSet};
@@ -48,14 +47,14 @@ fn figure_1a() {
     assert!(kappa == 3 && minimal && three_reach(&g, 1).holds());
 
     // Run the asynchronous Byzantine protocol on it.
-    let cfg = RunConfig::builder(g.clone(), 1)
+    let out = Scenario::builder(g.clone(), 1)
         .inputs(vec![0.0, 10.0, 5.0, 2.0, 7.0])
         .epsilon(0.5)
-        .byzantine(NodeId::new(4), AdversaryKind::Equivocator { low: -1e3, high: 1e3 })
+        .fault(NodeId::new(4), FaultKind::Equivocator { low: -1e3, high: 1e3 })
         .seed(21)
-        .build()
+        .protocol(ByzantineWitness::default())
+        .run()
         .unwrap();
-    let out = run_byzantine_consensus(&cfg).unwrap();
     println!(
         "BW on Figure 1(a) with an equivocator at v5: converged={} valid={} spread={}\n",
         yes_no(out.converged()),
@@ -107,17 +106,17 @@ fn figure_1b() {
 
     let inputs: Vec<f64> = vec![0.0, 2.0, 4.0, 6.0, 10.0, 8.0, 7.0, 1.0];
     for (label, byz, kind) in [
-        ("crash in K1", NodeId::new(2), AdversaryKind::Crash),
-        ("liar in K2", NodeId::new(6), AdversaryKind::ConstantLiar { value: -1e5 }),
+        ("crash in K1", NodeId::new(2), FaultKind::Crash),
+        ("liar in K2", NodeId::new(6), FaultKind::ConstantLiar { value: -1e5 }),
     ] {
-        let cfg = RunConfig::builder(small.clone(), 1)
+        let out = Scenario::builder(small.clone(), 1)
             .inputs(inputs.clone())
             .epsilon(1.0)
-            .byzantine(byz, kind)
+            .fault(byz, kind)
             .seed(9)
-            .build()
+            .protocol(ByzantineWitness::default())
+            .run()
             .unwrap();
-        let out = run_byzantine_consensus(&cfg).unwrap();
         println!(
             "BW on scale-down with {label}: converged={} valid={} spread={} messages={}",
             yes_no(out.converged()),

@@ -6,10 +6,9 @@
 //! Run: `cargo run --release -p dbac-bench --bin scaling`
 
 use dbac_bench::table::{num, yes_no, Table};
-use dbac_core::adversary::AdversaryKind;
 use dbac_core::config::FloodMode;
 use dbac_core::precompute::Topology;
-use dbac_core::run::{run_byzantine_consensus, RunConfig};
+use dbac_core::scenario::{ByzantineWitness, FaultKind, Scenario};
 use dbac_graph::{generators, Digraph, NodeId, PathBudget};
 use std::time::Instant;
 
@@ -74,18 +73,18 @@ fn end_to_end_scaling() {
     for (name, g, f) in cases {
         let n = g.node_count();
         let inputs: Vec<f64> = (0..n).map(|i| (i % 5) as f64 * 2.0).collect();
-        let mut builder = RunConfig::builder(g.clone(), f)
+        let mut builder = Scenario::builder(g.clone(), f)
             .inputs(inputs)
             .epsilon(1.0)
             .seed(6)
-            .max_events(100_000_000);
+            .max_events(100_000_000)
+            .protocol(ByzantineWitness::default());
         if f > 0 {
-            builder =
-                builder.byzantine(NodeId::new(n - 1), AdversaryKind::ConstantLiar { value: 1e4 });
+            builder = builder.fault(NodeId::new(n - 1), FaultKind::ConstantLiar { value: 1e4 });
         }
-        let cfg = builder.build().unwrap();
+        let scenario = builder.build().unwrap();
         let start = Instant::now();
-        let out = run_byzantine_consensus(&cfg).unwrap();
+        let out = scenario.run().unwrap();
         let elapsed = start.elapsed().as_millis();
         t.row(vec![
             name.clone(),

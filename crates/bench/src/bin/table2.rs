@@ -12,9 +12,7 @@ use dbac_bench::catalog;
 use dbac_bench::table::{yes_no, Table};
 use dbac_conditions::kreach::{one_reach, three_reach, two_reach};
 use dbac_conditions::partition::{bcs, cca, ccs};
-use dbac_core::adversary::AdversaryKind;
-use dbac_core::crash::run_crash_consensus;
-use dbac_core::run::{run_byzantine_consensus, RunConfig};
+use dbac_core::scenario::{ByzantineWitness, CrashTwoReach, FaultKind, Scenario, SchedulerSpec};
 use dbac_graph::NodeId;
 
 fn main() {
@@ -40,10 +38,18 @@ fn main() {
     for inst in catalog::feasible_instances() {
         let n = inst.graph.node_count();
         let inputs: Vec<f64> = (0..n).map(|i| i as f64).collect();
-        let crashed = vec![(NodeId::new(n - 1), 2usize)];
         let holds = two_reach(&inst.graph, inst.f).holds();
-        let out =
-            run_crash_consensus(inst.graph.clone(), inst.f, &inputs, 0.5, &crashed, 5).unwrap();
+        let out = Scenario::builder(inst.graph.clone(), inst.f)
+            .inputs(inputs)
+            .epsilon(0.5)
+            // The a-priori range covers the crashed node's input too: it is
+            // honest until it crashes.
+            .range((0.0, (n - 1) as f64))
+            .fault(NodeId::new(n - 1), FaultKind::CrashAfter { sends: 2 })
+            .scheduler(SchedulerSpec::legacy_random(5))
+            .protocol(CrashTwoReach::default())
+            .run()
+            .unwrap();
         t.row(vec![inst.name.clone(), yes_no(holds), yes_no(out.converged()), yes_no(out.valid())]);
         assert!(holds && out.converged() && out.valid(), "{} failed", inst.name);
     }
@@ -57,16 +63,16 @@ fn main() {
         let inputs: Vec<f64> = (0..n).map(|i| i as f64).collect();
         let byz = NodeId::new(n - 1);
         for (label, kind) in
-            [("crash", AdversaryKind::Crash), ("liar", AdversaryKind::ConstantLiar { value: 1e6 })]
+            [("crash", FaultKind::Crash), ("liar", FaultKind::ConstantLiar { value: 1e6 })]
         {
-            let cfg = RunConfig::builder(inst.graph.clone(), inst.f)
+            let out = Scenario::builder(inst.graph.clone(), inst.f)
                 .inputs(inputs.clone())
                 .epsilon(0.5)
-                .byzantine(byz, kind)
+                .fault(byz, kind)
                 .seed(13)
-                .build()
+                .protocol(ByzantineWitness::default())
+                .run()
                 .unwrap();
-            let out = run_byzantine_consensus(&cfg).unwrap();
             t.row(vec![
                 inst.name.clone(),
                 yes_no(three_reach(&inst.graph, inst.f).holds()),
@@ -85,13 +91,13 @@ fn main() {
     for inst in catalog::infeasible_instances() {
         let n = inst.graph.node_count();
         let inputs: Vec<f64> = (0..n).map(|i| i as f64).collect();
-        let cfg = RunConfig::builder(inst.graph.clone(), inst.f)
+        let out = Scenario::builder(inst.graph.clone(), inst.f)
             .inputs(inputs)
             .epsilon(0.5)
             .seed(3)
-            .build()
+            .protocol(ByzantineWitness::default())
+            .run()
             .unwrap();
-        let out = run_byzantine_consensus(&cfg).unwrap();
         t.row(vec![
             inst.name.clone(),
             yes_no(three_reach(&inst.graph, inst.f).holds()),

@@ -28,8 +28,6 @@ use dbac_graph::paths::simple_paths_ending_at;
 use dbac_graph::subsets::SubsetsUpTo;
 use dbac_graph::{Digraph, NodeId, NodeSet, PathBudget, PathId, PathIndex};
 use dbac_sim::process::{Adversary, Context, Process};
-use dbac_sim::scheduler::RandomDelay;
-use dbac_sim::sim::Simulation;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -137,6 +135,14 @@ impl CrashNode {
             census,
             output: None,
         }
+    }
+
+    /// Overrides the round count derived from ε and the range (used by the
+    /// scenario layer's `rounds` knob).
+    #[must_use]
+    pub fn with_rounds(mut self, rounds: u32) -> Self {
+        self.rounds_total = rounds;
+        self
     }
 
     /// The decided output, once available.
@@ -361,6 +367,10 @@ impl CrashOutcome {
 /// # Errors
 ///
 /// Propagates configuration, topology and runtime errors.
+#[deprecated(
+    since = "0.1.0",
+    note = "use scenario::Scenario with the CrashTwoReach protocol and FaultKind::CrashAfter"
+)]
 pub fn run_crash_consensus(
     graph: Digraph,
     f: usize,
@@ -369,50 +379,35 @@ pub fn run_crash_consensus(
     crashed: &[(NodeId, usize)],
     seed: u64,
 ) -> Result<CrashOutcome, RunError> {
-    let n = graph.node_count();
-    if inputs.len() != n {
-        return Err(RunError::InvalidConfig {
-            reason: format!("expected {n} inputs, got {}", inputs.len()),
-        });
-    }
-    let crashed_set: NodeSet = crashed.iter().map(|&(v, _)| v).collect();
-    if crashed_set.len() > f {
-        return Err(RunError::TooManyFaults { configured: crashed_set.len(), f });
-    }
-    let honest = graph.vertex_set() - crashed_set;
-    let honest_range = honest
-        .iter()
-        .map(|v| inputs[v.index()])
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| (lo.min(v), hi.max(v)));
+    use crate::scenario::{CrashTwoReach, FaultKind, Scenario, SchedulerSpec};
+    use std::collections::BTreeMap;
     // The a-priori range must cover every potential input, including the
     // crashed nodes' (they are honest until they crash).
     let range = inputs
         .iter()
         .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
-    let topo = Arc::new(CrashTopology::new(graph.clone(), f, PathBudget::default())?);
-    let mut sim: Simulation<CrashNode> =
-        Simulation::new(Arc::new(graph.clone()), Box::new(RandomDelay::new(seed, 1, 15)));
-    for v in graph.nodes() {
-        if honest.contains(v) {
-            sim.set_honest(
-                v,
-                CrashNode::new(Arc::clone(&topo), v, inputs[v.index()], epsilon, range),
-            );
-        }
-    }
-    for &(v, budget) in crashed {
-        let inner = CrashNode::new(Arc::clone(&topo), v, inputs[v.index()], epsilon, range);
-        sim.set_byzantine(v, Box::new(CrashAfter::new(inner, budget)));
-    }
-    sim.run()?;
-    let mut outputs = vec![None; n];
-    for v in honest.iter() {
-        outputs[v.index()] = sim.honest(v).expect("honest node").output();
-    }
-    Ok(CrashOutcome { outputs, honest, epsilon, honest_input_range: honest_range })
+    // Historical behaviour: a node listed twice got its actor overwritten,
+    // so the last entry won. The scenario builder rejects duplicates; fold
+    // them here to keep published call sites running.
+    let crashed: BTreeMap<NodeId, usize> = crashed.iter().copied().collect();
+    let out = Scenario::builder(graph, f)
+        .inputs(inputs.to_vec())
+        .epsilon(epsilon)
+        .range(range)
+        .faults(crashed.iter().map(|(&v, &sends)| (v, FaultKind::CrashAfter { sends })))
+        .scheduler(SchedulerSpec::legacy_random(seed))
+        .protocol(CrashTwoReach::default())
+        .run()?;
+    Ok(CrashOutcome {
+        outputs: out.outputs,
+        honest: out.honest,
+        epsilon,
+        honest_input_range: out.honest_input_range,
+    })
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the legacy shim on top of the scenario API
 mod tests {
     use super::*;
     use dbac_conditions::kreach::two_reach;

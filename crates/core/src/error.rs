@@ -21,6 +21,61 @@ pub enum RunError {
         /// The bound `f`.
         f: usize,
     },
+    /// The input vector's length does not match the node count.
+    InputLengthMismatch {
+        /// One input per node is required.
+        expected: usize,
+        /// What the scenario supplied.
+        got: usize,
+    },
+    /// The agreement parameter must be strictly positive (and finite).
+    NonPositiveEpsilon {
+        /// The rejected value.
+        epsilon: f64,
+    },
+    /// A fault assignment names a node outside the graph.
+    FaultOutsideGraph {
+        /// The out-of-range node index.
+        node: usize,
+        /// Number of nodes in the graph.
+        nodes: usize,
+    },
+    /// The same node was assigned two fault behaviours.
+    DuplicateFault {
+        /// The doubly-assigned node index.
+        node: usize,
+    },
+    /// The selected protocol cannot express the requested fault behaviour.
+    UnsupportedFault {
+        /// Protocol name (see `Protocol::name`).
+        protocol: &'static str,
+        /// Display label of the rejected [`FaultKind`](crate::scenario::FaultKind).
+        fault: &'static str,
+    },
+    /// The selected protocol cannot execute on the requested runtime.
+    UnsupportedRuntime {
+        /// Protocol name.
+        protocol: &'static str,
+        /// Runtime name (see `Runtime::name`).
+        runtime: &'static str,
+    },
+    /// The protocol's resilience bound rejects this `(n, f)` pair — `f`
+    /// exceeds what the protocol tolerates on this network.
+    ResilienceExceeded {
+        /// Protocol name.
+        protocol: &'static str,
+        /// Network size.
+        n: usize,
+        /// Requested fault bound.
+        f: usize,
+        /// Human-readable statement of the bound (e.g. `"n > 3f"`).
+        requires: &'static str,
+    },
+    /// The protocol runs on complete networks only.
+    IncompleteGraph {
+        /// Protocol name.
+        protocol: &'static str,
+    },
     /// Topology precomputation failed (typically: path enumeration budget).
     Graph(GraphError),
     /// The underlying runtime failed (event budget, timeout, …).
@@ -40,6 +95,33 @@ impl fmt::Display for RunError {
             RunError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             RunError::TooManyFaults { configured, f: bound } => {
                 write!(f, "{configured} Byzantine nodes exceed the fault bound f = {bound}")
+            }
+            RunError::InputLengthMismatch { expected, got } => {
+                write!(f, "expected {expected} inputs (one per node), got {got}")
+            }
+            RunError::NonPositiveEpsilon { epsilon } => {
+                write!(f, "epsilon must be positive and finite, got {epsilon}")
+            }
+            RunError::FaultOutsideGraph { node, nodes } => {
+                write!(f, "fault assigned to node {node}, but the graph has only {nodes} nodes")
+            }
+            RunError::DuplicateFault { node } => {
+                write!(f, "node {node} was assigned two fault behaviours")
+            }
+            RunError::UnsupportedFault { protocol, fault } => {
+                write!(f, "protocol {protocol} cannot express the fault kind {fault}")
+            }
+            RunError::UnsupportedRuntime { protocol, runtime } => {
+                write!(f, "protocol {protocol} cannot execute on the {runtime} runtime")
+            }
+            RunError::ResilienceExceeded { protocol, n, f: bound, requires } => {
+                write!(
+                    f,
+                    "protocol {protocol} requires {requires}; n = {n}, f = {bound} violates it"
+                )
+            }
+            RunError::IncompleteGraph { protocol } => {
+                write!(f, "protocol {protocol} runs on complete networks only")
             }
             RunError::Graph(e) => write!(f, "topology precomputation failed: {e}"),
             RunError::Sim(e) => write!(f, "runtime failure: {e}"),

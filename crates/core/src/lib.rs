@@ -18,24 +18,26 @@
 //!   scripted replay for the Appendix-B construction).
 //! * [`crash`] — the asynchronous crash-tolerant 2-reach protocol
 //!   (Table 2's other asynchronous cell).
-//! * [`run`] — one-call orchestration over the deterministic simulator or
-//!   the threaded runtime.
+//! * [`scenario`] — the unified **Scenario → Outcome** experiment surface:
+//!   one builder over every protocol and runtime, plus the parallel
+//!   [`scenario::sweep`] grid layer.
+//! * [`run`] — the deprecated pre-scenario entry points, kept as thin
+//!   shims delegating to [`scenario`].
 //!
 //! # Example
 //!
 //! ```
-//! use dbac_core::adversary::AdversaryKind;
-//! use dbac_core::run::{run_byzantine_consensus, RunConfig};
+//! use dbac_core::scenario::{ByzantineWitness, FaultKind, Scenario};
 //! use dbac_graph::{generators, NodeId};
 //!
 //! // K4 tolerates one Byzantine node (n > 3f).
-//! let cfg = RunConfig::builder(generators::clique(4), 1)
+//! let outcome = Scenario::builder(generators::clique(4), 1)
 //!     .inputs(vec![1.0, 3.0, 2.0, 0.0])
 //!     .epsilon(0.5)
-//!     .byzantine(NodeId::new(3), AdversaryKind::ConstantLiar { value: 1e6 })
+//!     .fault(NodeId::new(3), FaultKind::ConstantLiar { value: 1e6 })
 //!     .seed(42)
-//!     .build()?;
-//! let outcome = run_byzantine_consensus(&cfg)?;
+//!     .protocol(ByzantineWitness::default())
+//!     .run()?;
 //! assert!(outcome.converged() && outcome.valid());
 //! # Ok::<(), dbac_core::error::RunError>(())
 //! ```
@@ -55,6 +57,7 @@ pub mod message_set;
 pub mod node;
 pub mod precompute;
 pub mod run;
+pub mod scenario;
 pub mod witness;
 
 #[cfg(test)]
@@ -66,4 +69,13 @@ pub use message::{ProtocolMsg, Round};
 pub use message_set::{CompletePayload, MessageSet};
 pub use node::HonestNode;
 pub use precompute::Topology;
-pub use run::{run_byzantine_consensus, RunConfig, RunOutcome};
+pub use scenario::{
+    ByzantineWitness, CrashTwoReach, FaultKind, Outcome, Protocol, Runtime, Scenario, SchedulerSpec,
+};
+
+// Legacy root paths: published call sites used `dbac_core::RunConfig` and
+// `dbac_core::run_byzantine_consensus` — keep them resolving (deprecation
+// fires at the use site, not at this re-export).
+#[allow(deprecated)]
+pub use run::run_byzantine_consensus;
+pub use run::{RunConfig, RunOutcome};

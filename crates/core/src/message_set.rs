@@ -48,7 +48,7 @@
 //! # Reference implementation
 //!
 //! The pre-columnar `BTreeMap<PathId, f64>` implementation survives as
-//! [`reference::MessageSet`] (feature `reference-messageset`, always on
+//! `reference::MessageSet` (feature `reference-messageset`, always on
 //! under `cfg(test)`), together with differential tests asserting the two
 //! backends agree on every observable. See `tests/differential.rs` for the
 //! generated-operation-sequence harness.

@@ -1,59 +1,43 @@
-//! High-level run orchestration: configure a network, inputs, faults and a
-//! schedule; execute the full BW protocol; inspect outputs and per-round
-//! convergence.
+//! **Deprecated** pre-scenario entry points, kept as thin compatibility
+//! shims.
+//!
+//! This module was the original BW-only run harness. The workspace now
+//! exposes one experiment surface for *every* protocol and runtime —
+//! [`scenario`](crate::scenario) — and everything here delegates to it:
+//!
+//! * [`RunConfig`] / [`RunConfigBuilder`] — a BW-shaped configuration that
+//!   validates through the scenario builder and converts via
+//!   [`RunConfig::to_scenario`];
+//! * [`run_byzantine_consensus`] / [`run_byzantine_consensus_threaded`] —
+//!   `#[deprecated]` wrappers around
+//!   `Scenario::builder(..).protocol(ByzantineWitness).runtime(..).run()`;
+//! * [`RunOutcome`] — the legacy result struct, now a plain re-shape of
+//!   the unified [`Outcome`] (`From` impl
+//!   provided).
+//!
+//! New code should use [`scenario`](crate::scenario) directly; this module
+//! exists so published call sites keep compiling while they migrate.
 
 use crate::adversary::AdversaryKind;
 use crate::config::{FloodMode, ProtocolConfig};
 use crate::error::RunError;
-use crate::node::HonestNode;
-use crate::precompute::Topology;
+use crate::scenario::{ByzantineWitness, Outcome, Runtime, Scenario};
 use dbac_graph::{Digraph, NodeId, NodeSet, PathBudget};
-use dbac_sim::scheduler::{FixedDelay, RandomDelay};
-use dbac_sim::sim::{SimStats, Simulation};
-use dbac_sim::threaded::{Threaded, ThreadedConfig};
-use dbac_sim::DeliveryPolicy;
-use std::sync::Arc;
+use dbac_sim::sim::SimStats;
 use std::time::Duration;
 
-/// Message-delivery schedule for a run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum SchedulerSpec {
-    /// Constant per-message delay.
-    Fixed(u64),
-    /// Seeded uniform-random delays in `[min, max]`.
-    Random {
-        /// RNG seed.
-        seed: u64,
-        /// Minimum delay.
-        min: u64,
-        /// Maximum delay.
-        max: u64,
-    },
-}
+pub use crate::scenario::SchedulerSpec;
 
-impl SchedulerSpec {
-    fn build(self) -> Box<dyn DeliveryPolicy + Send> {
-        match self {
-            SchedulerSpec::Fixed(d) => Box::new(FixedDelay::new(d)),
-            SchedulerSpec::Random { seed, min, max } => Box::new(RandomDelay::new(seed, min, max)),
-        }
-    }
-}
-
-/// A fully specified consensus run.
+/// A fully specified BW consensus run (legacy shape; converts to a
+/// [`Scenario`] via [`RunConfig::to_scenario`]).
 #[derive(Clone, Debug)]
 pub struct RunConfig {
-    graph: Digraph,
-    f: usize,
-    inputs: Vec<f64>,
-    epsilon: f64,
-    range: (f64, f64),
-    byzantine: Vec<(NodeId, AdversaryKind)>,
-    scheduler: SchedulerSpec,
+    // Only the knobs the type-erased scenario cannot return are shadowed
+    // here; everything else reads through `scenario`.
     flood_mode: FloodMode,
-    budget: PathBudget,
-    max_events: u64,
     rounds_override: Option<u32>,
+    /// The scenario validated once at build time; runs clone it.
+    scenario: Scenario,
 }
 
 impl RunConfig {
@@ -78,14 +62,15 @@ impl RunConfig {
     /// The network.
     #[must_use]
     pub fn graph(&self) -> &Digraph {
-        &self.graph
+        self.scenario.graph()
     }
 
     /// The derived protocol parameters.
     #[must_use]
     pub fn protocol(&self) -> ProtocolConfig {
         let mut p =
-            ProtocolConfig::new(self.f, self.epsilon, self.range).with_flood_mode(self.flood_mode);
+            ProtocolConfig::new(self.scenario.f(), self.scenario.epsilon(), self.scenario.range())
+                .with_flood_mode(self.flood_mode);
         if let Some(r) = self.rounds_override {
             p = p.with_rounds(r);
         }
@@ -95,8 +80,18 @@ impl RunConfig {
     /// The set of honest nodes.
     #[must_use]
     pub fn honest_set(&self) -> NodeSet {
-        let byz: NodeSet = self.byzantine.iter().map(|&(v, _)| v).collect();
-        self.graph.vertex_set() - byz
+        self.scenario.honest_set()
+    }
+
+    /// The equivalent scenario on the given runtime — the conversion the
+    /// deprecated entry points go through. Validation happened once in
+    /// [`RunConfigBuilder::build`]; this is a clone plus a runtime switch.
+    ///
+    /// # Errors
+    ///
+    /// None today (kept fallible for call-site compatibility).
+    pub fn to_scenario(&self, runtime: Runtime) -> Result<Scenario, RunError> {
+        Ok(self.scenario.clone().with_runtime(runtime))
     }
 }
 
@@ -188,80 +183,44 @@ impl RunConfigBuilder {
         self
     }
 
-    /// Validates and produces the [`RunConfig`].
+    /// Validates (through the scenario builder) and produces the
+    /// [`RunConfig`].
     ///
     /// # Errors
     ///
-    /// [`RunError::InvalidConfig`] for malformed inputs,
-    /// [`RunError::TooManyFaults`] if more Byzantine nodes than `f`.
+    /// The scenario layer's typed errors: [`RunError::InputLengthMismatch`],
+    /// [`RunError::NonPositiveEpsilon`], [`RunError::FaultOutsideGraph`],
+    /// [`RunError::DuplicateFault`], [`RunError::TooManyFaults`], or
+    /// [`RunError::InvalidConfig`] for the remaining shapes.
     pub fn build(self) -> Result<RunConfig, RunError> {
-        let n = self.graph.node_count();
-        if self.inputs.len() != n {
-            return Err(RunError::InvalidConfig {
-                reason: format!("expected {n} inputs, got {}", self.inputs.len()),
-            });
+        let mut builder = Scenario::builder(self.graph, self.f)
+            .inputs(self.inputs)
+            .epsilon(self.epsilon)
+            .faults(self.byzantine.into_iter().map(|(v, kind)| (v, kind.into())))
+            .scheduler(self.scheduler)
+            .max_events(self.max_events)
+            .protocol(
+                ByzantineWitness::default()
+                    .with_flood_mode(self.flood_mode)
+                    .with_budget(self.budget),
+            );
+        if let Some(r) = self.range {
+            builder = builder.range(r);
         }
-        if self.inputs.iter().any(|v| !v.is_finite()) {
-            return Err(RunError::InvalidConfig { reason: "inputs must be finite".into() });
+        if let Some(r) = self.rounds_override {
+            builder = builder.rounds(r);
         }
-        if !(self.epsilon > 0.0 && self.epsilon.is_finite()) {
-            return Err(RunError::InvalidConfig { reason: "epsilon must be positive".into() });
-        }
-        let mut byz = NodeSet::EMPTY;
-        for &(v, _) in &self.byzantine {
-            if v.index() >= n {
-                return Err(RunError::InvalidConfig {
-                    reason: format!("byzantine node {v} out of range"),
-                });
-            }
-            if !byz.insert(v) {
-                return Err(RunError::InvalidConfig {
-                    reason: format!("byzantine node {v} listed twice"),
-                });
-            }
-        }
-        if byz.len() > self.f {
-            return Err(RunError::TooManyFaults { configured: byz.len(), f: self.f });
-        }
-        if byz.len() == n {
-            return Err(RunError::InvalidConfig { reason: "no honest nodes".into() });
-        }
-        let honest_inputs: Vec<f64> = self
-            .inputs
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| !byz.contains(NodeId::new(*i)))
-            .map(|(_, &v)| v)
-            .collect();
-        let derived = honest_inputs
-            .iter()
-            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
-        let range = self.range.unwrap_or(derived);
-        if range.0 > range.1 || !range.0.is_finite() || !range.1.is_finite() {
-            return Err(RunError::InvalidConfig { reason: "invalid input range".into() });
-        }
-        if honest_inputs.iter().any(|&v| v < range.0 || v > range.1) {
-            return Err(RunError::InvalidConfig {
-                reason: "honest inputs fall outside the a-priori range".into(),
-            });
-        }
+        let scenario = builder.build()?;
         Ok(RunConfig {
-            graph: self.graph,
-            f: self.f,
-            inputs: self.inputs,
-            epsilon: self.epsilon,
-            range,
-            byzantine: self.byzantine,
-            scheduler: self.scheduler,
             flood_mode: self.flood_mode,
-            budget: self.budget,
-            max_events: self.max_events,
             rounds_override: self.rounds_override,
+            scenario,
         })
     }
 }
 
-/// The result of a consensus run.
+/// The result of a consensus run (legacy shape of
+/// [`Outcome`]).
 #[derive(Clone, Debug)]
 pub struct RunOutcome {
     /// Per node: the decided output (`None` for Byzantine nodes and for
@@ -280,6 +239,20 @@ pub struct RunOutcome {
     pub sim_stats: SimStats,
     /// Per node: the state-value trajectory (honest nodes only).
     pub histories: Vec<Option<Vec<f64>>>,
+}
+
+impl From<Outcome> for RunOutcome {
+    fn from(out: Outcome) -> Self {
+        RunOutcome {
+            outputs: out.outputs,
+            honest: out.honest,
+            epsilon: out.epsilon,
+            honest_input_range: out.honest_input_range,
+            rounds: out.rounds,
+            sim_stats: out.sim_stats,
+            histories: out.histories,
+        }
+    }
 }
 
 impl RunOutcome {
@@ -350,41 +323,12 @@ impl RunOutcome {
 /// ([`RunError::Sim`]) failures. An honest node failing to decide is *not*
 /// an error — it is reported through [`RunOutcome::all_decided`], because
 /// on graphs violating 3-reach that is the expected observable behaviour.
+#[deprecated(
+    since = "0.1.0",
+    note = "use scenario::Scenario with the ByzantineWitness protocol and Runtime::Sim"
+)]
 pub fn run_byzantine_consensus(cfg: &RunConfig) -> Result<RunOutcome, RunError> {
-    let topo = Arc::new(Topology::new(cfg.graph.clone(), cfg.f, cfg.flood_mode, cfg.budget)?);
-    let protocol = cfg.protocol();
-    let honest = cfg.honest_set();
-    let mut sim: Simulation<HonestNode> =
-        Simulation::new(Arc::new(cfg.graph.clone()), cfg.scheduler.build());
-    sim.set_max_events(cfg.max_events);
-    for v in cfg.graph.nodes() {
-        if honest.contains(v) {
-            sim.set_honest(
-                v,
-                HonestNode::new(Arc::clone(&topo), protocol, v, cfg.inputs[v.index()]),
-            );
-        }
-    }
-    for (v, kind) in &cfg.byzantine {
-        sim.set_byzantine(*v, kind.build(Arc::clone(&topo), *v, protocol.rounds));
-    }
-    let stats = sim.run()?;
-    let mut outputs = vec![None; cfg.graph.node_count()];
-    let mut histories = vec![None; cfg.graph.node_count()];
-    for v in honest.iter() {
-        let node = sim.honest(v).expect("honest node present");
-        outputs[v.index()] = node.output();
-        histories[v.index()] = Some(node.x_history().to_vec());
-    }
-    Ok(RunOutcome {
-        outputs,
-        honest,
-        epsilon: cfg.epsilon,
-        honest_input_range: honest_range(cfg),
-        rounds: protocol.rounds,
-        sim_stats: stats,
-        histories,
-    })
+    Ok(cfg.to_scenario(Runtime::Sim)?.run()?.into())
 }
 
 /// Executes the same protocol on the thread-per-node runtime (true OS
@@ -393,59 +337,19 @@ pub fn run_byzantine_consensus(cfg: &RunConfig) -> Result<RunOutcome, RunError> 
 /// # Errors
 ///
 /// As [`run_byzantine_consensus`], plus [`RunError::Sim`] on timeout.
+#[deprecated(
+    since = "0.1.0",
+    note = "use scenario::Scenario with the ByzantineWitness protocol and Runtime::Threaded"
+)]
 pub fn run_byzantine_consensus_threaded(
     cfg: &RunConfig,
     timeout: Duration,
 ) -> Result<RunOutcome, RunError> {
-    let topo = Arc::new(Topology::new(cfg.graph.clone(), cfg.f, cfg.flood_mode, cfg.budget)?);
-    let protocol = cfg.protocol();
-    let honest = cfg.honest_set();
-    let mut runtime: Threaded<HonestNode> = Threaded::new(Arc::new(cfg.graph.clone()));
-    for v in cfg.graph.nodes() {
-        if honest.contains(v) {
-            runtime.set_honest(
-                v,
-                HonestNode::new(Arc::clone(&topo), protocol, v, cfg.inputs[v.index()]),
-            );
-        }
-    }
-    for (v, kind) in &cfg.byzantine {
-        runtime.set_byzantine(*v, kind.build(Arc::clone(&topo), *v, protocol.rounds));
-    }
-    let seed = match cfg.scheduler {
-        SchedulerSpec::Random { seed, .. } => seed,
-        SchedulerSpec::Fixed(_) => 0,
-    };
-    let nodes =
-        runtime.run(HonestNode::is_done, ThreadedConfig { timeout, jitter_micros: 30, seed })?;
-    let mut outputs = vec![None; cfg.graph.node_count()];
-    let mut histories = vec![None; cfg.graph.node_count()];
-    for (i, node) in nodes.into_iter().enumerate() {
-        if let Some(node) = node {
-            outputs[i] = node.output();
-            histories[i] = Some(node.x_history().to_vec());
-        }
-    }
-    Ok(RunOutcome {
-        outputs,
-        honest,
-        epsilon: cfg.epsilon,
-        honest_input_range: honest_range(cfg),
-        rounds: protocol.rounds,
-        sim_stats: SimStats::default(),
-        histories,
-    })
-}
-
-fn honest_range(cfg: &RunConfig) -> (f64, f64) {
-    let honest = cfg.honest_set();
-    honest
-        .iter()
-        .map(|v| cfg.inputs[v.index()])
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| (lo.min(v), hi.max(v)))
+    Ok(cfg.to_scenario(Runtime::Threaded { timeout })?.run()?.into())
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the legacy shims on top of the scenario API
 mod tests {
     use super::*;
     use dbac_graph::generators;
@@ -457,10 +361,10 @@ mod tests {
     #[test]
     fn builder_validation() {
         let g = generators::clique(3);
-        // Wrong input count.
+        // Wrong input count (typed through the scenario layer).
         assert!(matches!(
             RunConfig::builder(g.clone(), 1).inputs(vec![1.0]).build(),
-            Err(RunError::InvalidConfig { .. })
+            Err(RunError::InputLengthMismatch { expected: 3, got: 1 })
         ));
         // Too many faults.
         let err = RunConfig::builder(g.clone(), 0)
@@ -474,7 +378,7 @@ mod tests {
             .byzantine(id(0), AdversaryKind::Crash)
             .byzantine(id(0), AdversaryKind::Crash)
             .build();
-        assert!(matches!(err, Err(RunError::InvalidConfig { .. })));
+        assert!(matches!(err, Err(RunError::DuplicateFault { node: 0 })));
         // Honest input outside declared range.
         let err = RunConfig::builder(g, 1).inputs(vec![0.0, 5.0, 99.0]).range((0.0, 10.0)).build();
         assert!(matches!(err, Err(RunError::InvalidConfig { .. })));
@@ -541,5 +445,23 @@ mod tests {
         for w in spreads.windows(2) {
             assert!(w[1] <= w[0] / 2.0 + 1e-12, "halving violated: {spreads:?}");
         }
+    }
+
+    /// The shim and the scenario path must agree bit-for-bit: same
+    /// protocol, same schedule, same outputs.
+    #[test]
+    fn shim_matches_direct_scenario() {
+        let cfg = RunConfig::builder(generators::clique(4), 1)
+            .inputs(vec![0.0, 10.0, 4.0, 6.0])
+            .epsilon(0.5)
+            .byzantine(id(3), AdversaryKind::ConstantLiar { value: 1e6 })
+            .seed(9)
+            .build()
+            .unwrap();
+        let legacy = run_byzantine_consensus(&cfg).unwrap();
+        let direct = cfg.to_scenario(Runtime::Sim).unwrap().run().unwrap();
+        assert_eq!(legacy.outputs, direct.outputs);
+        assert_eq!(legacy.sim_stats, direct.sim_stats);
+        assert_eq!(legacy.histories, direct.histories);
     }
 }

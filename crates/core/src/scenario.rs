@@ -1,0 +1,1251 @@
+//! The unified **Scenario → Outcome** experiment surface.
+//!
+//! Every protocol in the workspace — the paper's Algorithm BW, the
+//! crash-tolerant 2-reach variant, and the related-work baselines — runs
+//! through one composable pipeline:
+//!
+//! ```text
+//! Scenario::builder(graph, f)      // network + fault bound
+//!     .inputs(...)                 // one input per node
+//!     .epsilon(...)                // agreement parameter
+//!     .fault(v, FaultKind::...)    // protocol-agnostic fault assignment
+//!     .scheduler(SchedulerSpec::…) // who controls message timing
+//!     .runtime(Runtime::...)       // discrete-event sim or real threads
+//!     .protocol(ByzantineWitness::default())
+//!     .run()?                      // -> Outcome
+//! ```
+//!
+//! A [`Scenario`] is a pure *data-level* description: the network, the
+//! inputs, the fault assignment, the adversarial delivery schedule and the
+//! runtime. A [`Protocol`] owns the protocol-specific knobs (flood mode,
+//! path budgets, iteration counts) and turns a scenario into the single
+//! [`Outcome`] type — honest outputs, spread/convergence/validity,
+//! per-round spread, runtime statistics, and an optional delivery-trace
+//! handle. The [`sweep`] submodule runs cartesian grids of scenarios in
+//! parallel and emits `bench_trend`-compatible JSON.
+//!
+//! # Protocols and where they come from in the paper
+//!
+//! | `Protocol` implementation | Paper section it reproduces |
+//! |---------------------------|-----------------------------|
+//! | [`ByzantineWitness`] | Algorithms 1–3 (Sections 4.1–4.5): RedundantFlood, witness threads, Filter-and-Average; Theorem 4 under 3-reach |
+//! | [`CrashTwoReach`] | Table 2, asynchronous/crash cell: approximate consensus under 2-reach (Tseng–Vaidya 2012, per Section 2) |
+//! | `Aad04` (dbac-baselines) | Section 1 related work \[1\]: Abraham–Amit–Dolev OPODIS 2004, the complete-network algorithm BW generalizes |
+//! | `IterativeTrimmedMean` (dbac-baselines) | Related work \[13, 25\]: W-MSR iterative consensus, correct under `(f+1, f+1)`-robustness rather than 3-reach |
+//! | `ReliableBroadcastProbe` (dbac-baselines) | Bracha reliable broadcast, the substrate of AAD04 (one-shot trimmed-agreement probe) |
+//!
+//! The baseline implementations live in `dbac-baselines::scenario` (this
+//! crate sits below that one in the dependency order); the `dbac` facade
+//! re-exports the whole surface from a single `dbac::scenario` module.
+//!
+//! # Design notes
+//!
+//! * **Validation is typed.** Builder misuse returns precise
+//!   [`RunError`] variants (`InputLengthMismatch`, `NonPositiveEpsilon`,
+//!   `FaultOutsideGraph`, `TooManyFaults`, …) instead of stringly-typed
+//!   reasons, so harnesses can branch on failure causes.
+//! * **[`drive`] is the only place that touches the runtimes.** Protocol
+//!   implementations hand it a fully-assigned process fleet; no other
+//!   module constructs [`Simulation`] or [`Threaded`] (the one sanctioned
+//!   exception is the Appendix-B splice executor in `dbac-bench`, which
+//!   replays message-level traces below the scenario abstraction).
+//! * **Faults are protocol-agnostic data.** [`FaultKind`] is the union of
+//!   every behaviour the workspace knows; each protocol maps the subset it
+//!   can express and rejects the rest with a typed error.
+
+#![deny(missing_docs)]
+
+pub mod sweep;
+
+use crate::adversary::AdversaryKind;
+use crate::config::{num_rounds, FloodMode, ProtocolConfig};
+use crate::crash::{CrashAfter, CrashNode, CrashTopology};
+use crate::error::RunError;
+use crate::node::HonestNode;
+use crate::precompute::Topology;
+use dbac_graph::{Digraph, NodeId, NodeSet, PathBudget};
+use dbac_sim::process::{Adversary, Process};
+use dbac_sim::scheduler::{EdgeDelay, FixedDelay, RandomDelay};
+use dbac_sim::sim::{SimStats, Simulation};
+use dbac_sim::threaded::{Threaded, ThreadedConfig};
+use dbac_sim::{DeliveryPolicy, VirtualTime};
+use std::sync::Arc;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Schedule, runtime and fault descriptions
+// ---------------------------------------------------------------------------
+
+/// Message-delivery schedule for a run — the adversary's *timing* half
+/// (its *content* half is the fault assignment).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchedulerSpec {
+    /// Constant per-message delay.
+    Fixed(u64),
+    /// Seeded uniform-random delays in `[min, max]`.
+    Random {
+        /// RNG seed.
+        seed: u64,
+        /// Minimum delay.
+        min: u64,
+        /// Maximum delay.
+        max: u64,
+    },
+    /// Adversarial per-edge delays layered over a base schedule: selected
+    /// edges get a fixed (possibly enormous) delay, exactly the paper's
+    /// Appendix-B device ("the delivery delay of the latter messages is
+    /// lower bounded by an arbitrary number `T`").
+    EdgeDelays {
+        /// Schedule for every edge without an override.
+        base: Box<SchedulerSpec>,
+        /// `(from, to, delay)` overrides.
+        overrides: Vec<(NodeId, NodeId, u64)>,
+    },
+}
+
+impl SchedulerSpec {
+    /// Instantiates the delivery policy.
+    #[must_use]
+    pub fn build(&self) -> Box<dyn DeliveryPolicy + Send> {
+        match self {
+            SchedulerSpec::Fixed(d) => Box::new(FixedDelay::new(*d)),
+            SchedulerSpec::Random { seed, min, max } => {
+                Box::new(RandomDelay::new(*seed, *min, *max))
+            }
+            SchedulerSpec::EdgeDelays { base, overrides } => {
+                let mut policy = EdgeDelay::new(base.build());
+                for &(u, v, d) in overrides {
+                    policy.delay_edge(u, v, d);
+                }
+                Box::new(policy)
+            }
+        }
+    }
+
+    /// The historical default schedule of the pre-scenario entry points
+    /// (`run_crash_consensus`, `run_aad04`): seeded uniform delays in
+    /// `[1, 15]`. One named constructor so the deprecated shims, the
+    /// experiment bins and the tests that mirror legacy outputs all agree
+    /// on the same numbers.
+    #[must_use]
+    pub fn legacy_random(seed: u64) -> Self {
+        SchedulerSpec::Random { seed, min: 1, max: 15 }
+    }
+
+    /// The seed driving this schedule (0 for purely deterministic specs);
+    /// also seeds the threaded runtime's jitter.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        match self {
+            SchedulerSpec::Fixed(_) => 0,
+            SchedulerSpec::Random { seed, .. } => *seed,
+            SchedulerSpec::EdgeDelays { base, .. } => base.seed(),
+        }
+    }
+}
+
+/// Which runtime executes the scenario.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Runtime {
+    /// The deterministic discrete-event simulator — reproducible
+    /// bit-for-bit from the scenario.
+    Sim,
+    /// The thread-per-node runtime: genuine OS-level concurrency over
+    /// crossbeam channels. Delivery timing comes from real scheduling (the
+    /// [`SchedulerSpec`] seed only drives send jitter), so
+    /// [`Outcome::sim_stats`] is zeroed.
+    Threaded {
+        /// Wall-clock limit for the whole run.
+        timeout: Duration,
+    },
+}
+
+impl Runtime {
+    /// Short display name (also used in typed errors).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Runtime::Sim => "sim",
+            Runtime::Threaded { .. } => "threaded",
+        }
+    }
+}
+
+/// A protocol-agnostic fault behaviour: the union of every strategy the
+/// workspace implements. Each [`Protocol`] maps the subset it can express
+/// and rejects the rest with [`RunError::UnsupportedFault`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultKind {
+    /// Crashed from the start — sends nothing, ever.
+    Crash,
+    /// Behaves honestly for its first `sends` messages, then crashes (the
+    /// classic mid-protocol crash; crash-protocol specific).
+    CrashAfter {
+        /// Number of honest sends before dying.
+        sends: usize,
+    },
+    /// Floods a fixed extreme value but otherwise participates honestly (a
+    /// validity attack).
+    ConstantLiar {
+        /// The injected value.
+        value: f64,
+    },
+    /// Tells half of its out-neighbors `low` and the rest `high` (a
+    /// split-brain / agreement attack).
+    Equivocator {
+        /// Value for the first half.
+        low: f64,
+        /// Value for the second half.
+        high: f64,
+    },
+    /// Relays others' messages with the values replaced by `spoof` (an
+    /// integrity attack on indirect paths).
+    RelayTamperer {
+        /// The value written into every relayed flood.
+        spoof: f64,
+    },
+    /// Fabricates floods with forged (well-formed) propagation paths
+    /// claiming honest initiators reported `forged_value`.
+    PathFabricator {
+        /// The forged value attributed to other initiators.
+        forged_value: f64,
+    },
+    /// Sends `base + slope·round` — a drifting attack (iterative-protocol
+    /// specific).
+    Ramp {
+        /// Initial value.
+        base: f64,
+        /// Per-round drift.
+        slope: f64,
+    },
+    /// Seeded random mixture of lying, tampering and dropping.
+    Chaotic {
+        /// RNG seed (keeps runs reproducible).
+        seed: u64,
+    },
+}
+
+impl FaultKind {
+    /// Short kebab-case label, used in sweep labels and typed errors.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::Crash => "crash",
+            FaultKind::CrashAfter { .. } => "crash-after",
+            FaultKind::ConstantLiar { .. } => "constant-liar",
+            FaultKind::Equivocator { .. } => "equivocator",
+            FaultKind::RelayTamperer { .. } => "relay-tamperer",
+            FaultKind::PathFabricator { .. } => "path-fabricator",
+            FaultKind::Ramp { .. } => "ramp",
+            FaultKind::Chaotic { .. } => "chaotic",
+        }
+    }
+
+    /// The BW adversary realizing this fault, if Algorithm BW can express
+    /// it.
+    #[must_use]
+    pub fn adversary_kind(&self) -> Option<AdversaryKind> {
+        match *self {
+            FaultKind::Crash => Some(AdversaryKind::Crash),
+            FaultKind::ConstantLiar { value } => Some(AdversaryKind::ConstantLiar { value }),
+            FaultKind::Equivocator { low, high } => Some(AdversaryKind::Equivocator { low, high }),
+            FaultKind::RelayTamperer { spoof } => Some(AdversaryKind::RelayTamperer { spoof }),
+            FaultKind::PathFabricator { forged_value } => {
+                Some(AdversaryKind::PathFabricator { forged_value })
+            }
+            FaultKind::Chaotic { seed } => Some(AdversaryKind::Chaotic { seed }),
+            FaultKind::CrashAfter { .. } | FaultKind::Ramp { .. } => None,
+        }
+    }
+}
+
+impl From<AdversaryKind> for FaultKind {
+    fn from(kind: AdversaryKind) -> Self {
+        match kind {
+            AdversaryKind::Crash => FaultKind::Crash,
+            AdversaryKind::ConstantLiar { value } => FaultKind::ConstantLiar { value },
+            AdversaryKind::Equivocator { low, high } => FaultKind::Equivocator { low, high },
+            AdversaryKind::RelayTamperer { spoof } => FaultKind::RelayTamperer { spoof },
+            AdversaryKind::PathFabricator { forged_value } => {
+                FaultKind::PathFabricator { forged_value }
+            }
+            AdversaryKind::Chaotic { seed } => FaultKind::Chaotic { seed },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The Protocol trait
+// ---------------------------------------------------------------------------
+
+/// An algorithm that can execute a [`Scenario`].
+///
+/// Implementations own the protocol-specific knobs (flood discipline, path
+/// budgets, iteration counts) as struct fields; everything
+/// protocol-agnostic lives in the scenario. `check` rejects scenarios the
+/// protocol cannot express with typed errors *before* any expensive
+/// precomputation; `execute` performs the run. Call sites should prefer
+/// [`Scenario::run`], which chains the two.
+pub trait Protocol: Send + Sync {
+    /// Short name used in labels, errors and [`Outcome::protocol`].
+    fn name(&self) -> &'static str;
+
+    /// Validates protocol-specific requirements: fault-kind support,
+    /// runtime support, resilience bounds, network shape.
+    ///
+    /// # Errors
+    ///
+    /// A precise [`RunError`] variant describing the first mismatch.
+    fn check(&self, scenario: &Scenario) -> Result<(), RunError>;
+
+    /// Executes the scenario (assumes `check` passed).
+    ///
+    /// # Errors
+    ///
+    /// Topology precomputation or runtime failures.
+    fn execute(&self, scenario: &Scenario) -> Result<Outcome, RunError>;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario + builder
+// ---------------------------------------------------------------------------
+
+/// A fully specified, validated experiment: network, inputs, faults,
+/// schedule, runtime and protocol. Build one with [`Scenario::builder`].
+#[derive(Clone)]
+pub struct Scenario {
+    graph: Digraph,
+    f: usize,
+    inputs: Vec<f64>,
+    epsilon: f64,
+    range: (f64, f64),
+    faults: Vec<(NodeId, FaultKind)>,
+    scheduler: SchedulerSpec,
+    runtime: Runtime,
+    rounds_override: Option<u32>,
+    max_events: u64,
+    record_trace: bool,
+    protocol: Arc<dyn Protocol>,
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("protocol", &self.protocol.name())
+            .field("nodes", &self.graph.node_count())
+            .field("f", &self.f)
+            .field("epsilon", &self.epsilon)
+            .field("faults", &self.faults)
+            .field("scheduler", &self.scheduler)
+            .field("runtime", &self.runtime)
+            .finish()
+    }
+}
+
+impl Scenario {
+    /// Starts describing a scenario over `graph` with fault bound `f`.
+    #[must_use]
+    pub fn builder(graph: Digraph, f: usize) -> ScenarioBuilder {
+        ScenarioBuilder {
+            graph,
+            f,
+            inputs: Vec::new(),
+            epsilon: 0.1,
+            range: None,
+            faults: Vec::new(),
+            scheduler: SchedulerSpec::Fixed(1),
+            runtime: Runtime::Sim,
+            rounds_override: None,
+            max_events: 50_000_000,
+            record_trace: false,
+            protocol: None,
+        }
+    }
+
+    /// Runs the scenario: protocol-specific validation, then execution.
+    ///
+    /// # Errors
+    ///
+    /// Typed validation errors from [`Protocol::check`], then topology /
+    /// runtime failures from [`Protocol::execute`]. An honest node failing
+    /// to decide is *not* an error — it is reported through
+    /// [`Outcome::all_decided`], because on graphs violating the
+    /// protocol's condition that is the expected observable behaviour.
+    pub fn run(&self) -> Result<Outcome, RunError> {
+        let protocol = Arc::clone(&self.protocol);
+        protocol.check(self)?;
+        protocol.execute(self)
+    }
+
+    /// The network.
+    #[must_use]
+    pub fn graph(&self) -> &Digraph {
+        &self.graph
+    }
+
+    /// The fault bound `f`.
+    #[must_use]
+    pub fn f(&self) -> usize {
+        self.f
+    }
+
+    /// One input per node (fault nodes' entries are placeholders).
+    #[must_use]
+    pub fn inputs(&self) -> &[f64] {
+        &self.inputs
+    }
+
+    /// The agreement parameter ε.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The a-priori known input range (explicit, or the honest-input hull).
+    #[must_use]
+    pub fn range(&self) -> (f64, f64) {
+        self.range
+    }
+
+    /// The fault assignment.
+    #[must_use]
+    pub fn faults(&self) -> &[(NodeId, FaultKind)] {
+        &self.faults
+    }
+
+    /// The message-delivery schedule.
+    #[must_use]
+    pub fn scheduler(&self) -> &SchedulerSpec {
+        &self.scheduler
+    }
+
+    /// The selected runtime.
+    #[must_use]
+    pub fn runtime(&self) -> Runtime {
+        self.runtime
+    }
+
+    /// The round-count override, if any.
+    #[must_use]
+    pub fn rounds_override(&self) -> Option<u32> {
+        self.rounds_override
+    }
+
+    /// The simulator's event budget.
+    #[must_use]
+    pub fn max_events(&self) -> u64 {
+        self.max_events
+    }
+
+    /// Whether a delivery trace is recorded (Sim runtime only).
+    #[must_use]
+    pub fn records_trace(&self) -> bool {
+        self.record_trace
+    }
+
+    /// The selected protocol.
+    #[must_use]
+    pub fn protocol(&self) -> &dyn Protocol {
+        self.protocol.as_ref()
+    }
+
+    /// The same scenario on a different runtime (no re-validation — the
+    /// runtime does not affect any validity check).
+    #[must_use]
+    pub fn with_runtime(mut self, runtime: Runtime) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
+    /// The set of non-faulty nodes.
+    #[must_use]
+    pub fn honest_set(&self) -> NodeSet {
+        let faulty: NodeSet = self.faults.iter().map(|&(v, _)| v).collect();
+        self.graph.vertex_set() - faulty
+    }
+
+    /// The hull of the honest inputs (for validity checking).
+    #[must_use]
+    pub fn honest_input_range(&self) -> (f64, f64) {
+        self.honest_set()
+            .iter()
+            .map(|v| self.inputs[v.index()])
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| (lo.min(v), hi.max(v)))
+    }
+
+    /// The round count protocols derived from ε and the range honour,
+    /// unless overridden: the paper's termination bound (Section 4.6).
+    #[must_use]
+    pub fn rounds(&self) -> u32 {
+        self.rounds_override
+            .unwrap_or_else(|| num_rounds(self.range.1 - self.range.0, self.epsilon))
+    }
+}
+
+/// Builder for [`Scenario`]. Obtain via [`Scenario::builder`].
+#[derive(Clone)]
+pub struct ScenarioBuilder {
+    graph: Digraph,
+    f: usize,
+    inputs: Vec<f64>,
+    epsilon: f64,
+    range: Option<(f64, f64)>,
+    faults: Vec<(NodeId, FaultKind)>,
+    scheduler: SchedulerSpec,
+    runtime: Runtime,
+    rounds_override: Option<u32>,
+    max_events: u64,
+    record_trace: bool,
+    protocol: Option<Arc<dyn Protocol>>,
+}
+
+impl std::fmt::Debug for ScenarioBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScenarioBuilder")
+            .field("nodes", &self.graph.node_count())
+            .field("f", &self.f)
+            .finish()
+    }
+}
+
+impl ScenarioBuilder {
+    /// Sets one input per node (fault nodes' entries are ignored).
+    #[must_use]
+    pub fn inputs(mut self, inputs: Vec<f64>) -> Self {
+        self.inputs = inputs;
+        self
+    }
+
+    /// Sets the agreement parameter ε (default 0.1).
+    #[must_use]
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the a-priori known input range (default: the hull of the
+    /// honest inputs).
+    #[must_use]
+    pub fn range(mut self, range: (f64, f64)) -> Self {
+        self.range = Some(range);
+        self
+    }
+
+    /// Assigns a fault behaviour to `v`.
+    #[must_use]
+    pub fn fault(mut self, v: NodeId, kind: FaultKind) -> Self {
+        self.faults.push((v, kind));
+        self
+    }
+
+    /// Assigns several fault behaviours at once.
+    #[must_use]
+    pub fn faults(mut self, faults: impl IntoIterator<Item = (NodeId, FaultKind)>) -> Self {
+        self.faults.extend(faults);
+        self
+    }
+
+    /// Uses a seeded random schedule with delays in `[1, 20]`.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.scheduler = SchedulerSpec::Random { seed, min: 1, max: 20 };
+        self
+    }
+
+    /// Uses an explicit scheduler spec.
+    #[must_use]
+    pub fn scheduler(mut self, spec: SchedulerSpec) -> Self {
+        self.scheduler = spec;
+        self
+    }
+
+    /// Selects the runtime (default: the deterministic simulator).
+    #[must_use]
+    pub fn runtime(mut self, runtime: Runtime) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
+    /// Overrides the round count (default: the paper's termination bound).
+    #[must_use]
+    pub fn rounds(mut self, rounds: u32) -> Self {
+        self.rounds_override = Some(rounds);
+        self
+    }
+
+    /// Caps the simulator's event budget.
+    #[must_use]
+    pub fn max_events(mut self, max_events: u64) -> Self {
+        self.max_events = max_events;
+        self
+    }
+
+    /// Records a delivery trace (Sim runtime only; see [`Outcome::trace`]).
+    #[must_use]
+    pub fn record_trace(mut self, record: bool) -> Self {
+        self.record_trace = record;
+        self
+    }
+
+    /// Selects the protocol (default: [`ByzantineWitness`]).
+    #[must_use]
+    pub fn protocol(mut self, protocol: impl Protocol + 'static) -> Self {
+        self.protocol = Some(Arc::new(protocol));
+        self
+    }
+
+    /// Selects a shared protocol handle (useful in sweeps).
+    #[must_use]
+    pub fn protocol_arc(mut self, protocol: Arc<dyn Protocol>) -> Self {
+        self.protocol = Some(protocol);
+        self
+    }
+
+    /// Validates the description and produces the [`Scenario`].
+    ///
+    /// # Errors
+    ///
+    /// * [`RunError::InputLengthMismatch`] — not one input per node;
+    /// * [`RunError::NonPositiveEpsilon`] — `ε ≤ 0` or non-finite;
+    /// * [`RunError::FaultOutsideGraph`] / [`RunError::DuplicateFault`] —
+    ///   malformed fault assignment;
+    /// * [`RunError::TooManyFaults`] — more faults than the bound `f`;
+    /// * [`RunError::InvalidConfig`] — non-finite inputs, empty or
+    ///   violated a-priori range, no honest nodes.
+    pub fn build(self) -> Result<Scenario, RunError> {
+        let n = self.graph.node_count();
+        if self.inputs.len() != n {
+            return Err(RunError::InputLengthMismatch { expected: n, got: self.inputs.len() });
+        }
+        if self.inputs.iter().any(|v| !v.is_finite()) {
+            return Err(RunError::InvalidConfig { reason: "inputs must be finite".into() });
+        }
+        if !(self.epsilon > 0.0 && self.epsilon.is_finite()) {
+            return Err(RunError::NonPositiveEpsilon { epsilon: self.epsilon });
+        }
+        let mut faulty = NodeSet::EMPTY;
+        for &(v, _) in &self.faults {
+            if v.index() >= n {
+                return Err(RunError::FaultOutsideGraph { node: v.index(), nodes: n });
+            }
+            if !faulty.insert(v) {
+                return Err(RunError::DuplicateFault { node: v.index() });
+            }
+        }
+        if faulty.len() > self.f {
+            return Err(RunError::TooManyFaults { configured: faulty.len(), f: self.f });
+        }
+        if faulty.len() == n {
+            return Err(RunError::InvalidConfig { reason: "no honest nodes".into() });
+        }
+        let honest_inputs: Vec<f64> = self
+            .inputs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !faulty.contains(NodeId::new(*i)))
+            .map(|(_, &v)| v)
+            .collect();
+        let derived = honest_inputs
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        let range = self.range.unwrap_or(derived);
+        if range.0 > range.1 || !range.0.is_finite() || !range.1.is_finite() {
+            return Err(RunError::InvalidConfig { reason: "invalid input range".into() });
+        }
+        if honest_inputs.iter().any(|&v| v < range.0 || v > range.1) {
+            return Err(RunError::InvalidConfig {
+                reason: "honest inputs fall outside the a-priori range".into(),
+            });
+        }
+        Ok(Scenario {
+            graph: self.graph,
+            f: self.f,
+            inputs: self.inputs,
+            epsilon: self.epsilon,
+            range,
+            faults: self.faults,
+            scheduler: self.scheduler,
+            runtime: self.runtime,
+            rounds_override: self.rounds_override,
+            max_events: self.max_events,
+            record_trace: self.record_trace,
+            protocol: self.protocol.unwrap_or_else(|| Arc::new(ByzantineWitness::default())),
+        })
+    }
+
+    /// Builds and runs in one step.
+    ///
+    /// # Errors
+    ///
+    /// As [`ScenarioBuilder::build`] and [`Scenario::run`].
+    pub fn run(self) -> Result<Outcome, RunError> {
+        self.build()?.run()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Outcome
+// ---------------------------------------------------------------------------
+
+/// One delivered message: when and along which edge (the payload stays
+/// protocol-internal).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Delivery {
+    /// Virtual delivery time.
+    pub at: VirtualTime,
+    /// Authenticated sender.
+    pub from: NodeId,
+    /// Receiver.
+    pub to: NodeId,
+}
+
+/// A protocol-agnostic delivery trace: the global delivery order with
+/// payloads erased, recorded when [`ScenarioBuilder::record_trace`] is set
+/// and the runtime is [`Runtime::Sim`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Every delivery, in execution order.
+    pub deliveries: Vec<Delivery>,
+}
+
+/// The unified result of any scenario run.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// Name of the protocol that produced this outcome.
+    pub protocol: &'static str,
+    /// Per node: the decided output (`None` for faulty nodes and for
+    /// honest nodes that could not progress — e.g. when the graph violates
+    /// the protocol's condition).
+    pub outputs: Vec<Option<f64>>,
+    /// The honest node set.
+    pub honest: NodeSet,
+    /// Agreement parameter of the run.
+    pub epsilon: f64,
+    /// The hull of the honest inputs (for validity checking).
+    pub honest_input_range: (f64, f64),
+    /// Rounds each node was configured to execute.
+    pub rounds: u32,
+    /// Runtime counters (zeroed for the threaded runtime and for
+    /// synchronous protocols).
+    pub sim_stats: SimStats,
+    /// Per node: the state-value trajectory (honest nodes only).
+    pub histories: Vec<Option<Vec<f64>>>,
+    /// Protocol-level messages sent by honest nodes, where the protocol
+    /// counts them itself (AAD04's E9 metric); `None` otherwise.
+    pub honest_messages: Option<u64>,
+    /// The recorded delivery trace, if requested.
+    pub trace: Option<TraceSummary>,
+}
+
+impl Outcome {
+    /// The decided honest outputs (skips undecided nodes).
+    #[must_use]
+    pub fn honest_outputs(&self) -> Vec<f64> {
+        self.honest.iter().filter_map(|v| self.outputs[v.index()]).collect()
+    }
+
+    /// Returns `true` if every honest node decided.
+    #[must_use]
+    pub fn all_decided(&self) -> bool {
+        self.honest.iter().all(|v| self.outputs[v.index()].is_some())
+    }
+
+    /// Max − min over decided honest outputs (0 when fewer than two).
+    #[must_use]
+    pub fn spread(&self) -> f64 {
+        let outs = self.honest_outputs();
+        if outs.len() < 2 {
+            return 0.0;
+        }
+        outs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - outs.iter().cloned().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Convergence (Definition 1.1): all honest nodes decided within ε.
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        self.all_decided() && self.spread() < self.epsilon
+    }
+
+    /// Validity (Definition 1.2): every decided output lies in the hull of
+    /// the honest inputs.
+    #[must_use]
+    pub fn valid(&self) -> bool {
+        let (lo, hi) = self.honest_input_range;
+        self.honest_outputs().iter().all(|&v| v >= lo - 1e-12 && v <= hi + 1e-12)
+    }
+
+    /// The per-round honest spread `U[r] − µ[r]`, for the convergence
+    /// experiments (Lemma 15: it at least halves every round).
+    #[must_use]
+    pub fn spread_by_round(&self) -> Vec<f64> {
+        let histories: Vec<&Vec<f64>> =
+            self.honest.iter().filter_map(|v| self.histories[v.index()].as_ref()).collect();
+        if histories.is_empty() {
+            return Vec::new();
+        }
+        let rounds = histories.iter().map(|h| h.len()).min().unwrap_or(0);
+        (0..rounds)
+            .map(|r| {
+                let vals = histories.iter().map(|h| h[r]);
+                let hi = vals.clone().fold(f64::NEG_INFINITY, f64::max);
+                let lo = vals.fold(f64::INFINITY, f64::min);
+                hi - lo
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The runtime driver
+// ---------------------------------------------------------------------------
+
+/// The fault slots of a fleet handed to [`drive`]: one boxed adversary per
+/// fault node.
+pub type Adversaries<M> = Vec<(NodeId, Box<dyn Adversary<M> + Send>)>;
+
+/// Drives a fully-assigned process fleet on the scenario's runtime — the
+/// single place in the workspace that constructs [`Simulation`] or
+/// [`Threaded`]. Protocol implementations hand it one actor per node
+/// (honest processes plus boxed adversaries covering every fault slot) and
+/// an `extract` callback invoked with each surviving honest process after
+/// the run.
+///
+/// `done` is the per-node termination predicate the threaded runtime polls
+/// (the simulator instead runs to quiescence).
+///
+/// # Errors
+///
+/// [`RunError::Sim`] on unassigned nodes, event-budget exhaustion,
+/// timeouts or worker panics.
+pub fn drive<P>(
+    scenario: &Scenario,
+    honest: Vec<(NodeId, P)>,
+    byzantine: Adversaries<P::Message>,
+    done: fn(&P) -> bool,
+    extract: &mut dyn FnMut(NodeId, &P),
+) -> Result<(SimStats, Option<TraceSummary>), RunError>
+where
+    P: Process + Send + 'static,
+{
+    match scenario.runtime {
+        Runtime::Sim => {
+            let mut sim: Simulation<P> =
+                Simulation::new(Arc::new(scenario.graph.clone()), scenario.scheduler.build());
+            sim.set_max_events(scenario.max_events);
+            if scenario.record_trace {
+                sim.record_trace();
+            }
+            let mut honest_ids = Vec::with_capacity(honest.len());
+            for (v, p) in honest {
+                honest_ids.push(v);
+                sim.set_honest(v, p);
+            }
+            for (v, a) in byzantine {
+                sim.set_byzantine(v, a);
+            }
+            let stats = sim.run()?;
+            for v in honest_ids {
+                extract(v, sim.honest(v).expect("honest node present"));
+            }
+            let trace = sim.trace().map(|t| TraceSummary {
+                deliveries: t
+                    .events()
+                    .iter()
+                    .map(|e| Delivery { at: e.at, from: e.from, to: e.to })
+                    .collect(),
+            });
+            Ok((stats, trace))
+        }
+        Runtime::Threaded { timeout } => {
+            let mut runtime: Threaded<P> = Threaded::new(Arc::new(scenario.graph.clone()));
+            for (v, p) in honest {
+                runtime.set_honest(v, p);
+            }
+            for (v, a) in byzantine {
+                runtime.set_byzantine(v, a);
+            }
+            let config =
+                ThreadedConfig { timeout, jitter_micros: 30, seed: scenario.scheduler.seed() };
+            let nodes = runtime.run(done, config)?;
+            for (i, node) in nodes.iter().enumerate() {
+                if let Some(node) = node {
+                    extract(NodeId::new(i), node);
+                }
+            }
+            Ok((SimStats::default(), None))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Core protocol implementations
+// ---------------------------------------------------------------------------
+
+/// The paper's **Algorithm BW** (Byzantine Witness): RedundantFlood,
+/// per-guess witness threads with Maximal-Consistency, FIFO-Receive-All,
+/// and Filter-and-Average. Correct under 3-reach (Theorem 4); on violating
+/// graphs honest nodes may stall, reported via [`Outcome::all_decided`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ByzantineWitness {
+    /// Value-flood path discipline (default: redundant, as in the paper;
+    /// `SimpleOnly` is the E11b ablation).
+    pub flood_mode: FloodMode,
+    /// Path-enumeration budget for the topology precomputation.
+    pub budget: PathBudget,
+}
+
+impl ByzantineWitness {
+    /// The paper's configuration with a custom flood mode.
+    #[must_use]
+    pub fn with_flood_mode(mut self, mode: FloodMode) -> Self {
+        self.flood_mode = mode;
+        self
+    }
+
+    /// Overrides the path-enumeration budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: PathBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+}
+
+impl Protocol for ByzantineWitness {
+    fn name(&self) -> &'static str {
+        "byzantine-witness"
+    }
+
+    fn check(&self, scenario: &Scenario) -> Result<(), RunError> {
+        for (_, kind) in scenario.faults() {
+            if kind.adversary_kind().is_none() {
+                return Err(RunError::UnsupportedFault {
+                    protocol: self.name(),
+                    fault: kind.label(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn execute(&self, scenario: &Scenario) -> Result<Outcome, RunError> {
+        let topo = Arc::new(Topology::new(
+            scenario.graph().clone(),
+            scenario.f(),
+            self.flood_mode,
+            self.budget,
+        )?);
+        let mut config = ProtocolConfig::new(scenario.f(), scenario.epsilon(), scenario.range())
+            .with_flood_mode(self.flood_mode);
+        if let Some(r) = scenario.rounds_override() {
+            config = config.with_rounds(r);
+        }
+        let honest_set = scenario.honest_set();
+        let honest: Vec<(NodeId, HonestNode)> = honest_set
+            .iter()
+            .map(|v| {
+                (v, HonestNode::new(Arc::clone(&topo), config, v, scenario.inputs()[v.index()]))
+            })
+            .collect();
+        let byzantine = scenario
+            .faults()
+            .iter()
+            .map(|(v, kind)| {
+                let kind = kind.adversary_kind().expect("checked");
+                (*v, kind.build(Arc::clone(&topo), *v, config.rounds))
+            })
+            .collect();
+        let n = scenario.graph().node_count();
+        let mut outputs = vec![None; n];
+        let mut histories = vec![None; n];
+        let (stats, trace) =
+            drive(scenario, honest, byzantine, HonestNode::is_done, &mut |v, node| {
+                outputs[v.index()] = node.output();
+                histories[v.index()] = Some(node.x_history().to_vec());
+            })?;
+        Ok(Outcome {
+            protocol: self.name(),
+            outputs,
+            honest: honest_set,
+            epsilon: scenario.epsilon(),
+            honest_input_range: scenario.honest_input_range(),
+            rounds: config.rounds,
+            sim_stats: stats,
+            histories,
+            honest_messages: None,
+            trace,
+        })
+    }
+}
+
+/// The asynchronous **crash**-tolerant protocol under 2-reach (Table 2's
+/// other asynchronous cell, Tseng–Vaidya 2012): simple-path value floods,
+/// per-guess fullness threads, midpoint updates. Supports
+/// [`FaultKind::Crash`] and [`FaultKind::CrashAfter`] only — with crash
+/// faults nobody lies.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CrashTwoReach {
+    /// Path-enumeration budget for the simple-path population.
+    pub budget: PathBudget,
+}
+
+impl CrashTwoReach {
+    /// Overrides the path-enumeration budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: PathBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+}
+
+impl Protocol for CrashTwoReach {
+    fn name(&self) -> &'static str {
+        "crash-two-reach"
+    }
+
+    fn check(&self, scenario: &Scenario) -> Result<(), RunError> {
+        for (_, kind) in scenario.faults() {
+            if !matches!(kind, FaultKind::Crash | FaultKind::CrashAfter { .. }) {
+                return Err(RunError::UnsupportedFault {
+                    protocol: self.name(),
+                    fault: kind.label(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn execute(&self, scenario: &Scenario) -> Result<Outcome, RunError> {
+        let topo =
+            Arc::new(CrashTopology::new(scenario.graph().clone(), scenario.f(), self.budget)?);
+        let rounds = scenario.rounds();
+        let make_node = |v: NodeId| {
+            CrashNode::new(
+                Arc::clone(&topo),
+                v,
+                scenario.inputs()[v.index()],
+                scenario.epsilon(),
+                scenario.range(),
+            )
+            .with_rounds(rounds)
+        };
+        let honest_set = scenario.honest_set();
+        let honest: Vec<(NodeId, CrashNode)> =
+            honest_set.iter().map(|v| (v, make_node(v))).collect();
+        let byzantine = scenario
+            .faults()
+            .iter()
+            .map(|&(v, ref kind)| {
+                let sends = match kind {
+                    FaultKind::Crash => 0,
+                    FaultKind::CrashAfter { sends } => *sends,
+                    _ => unreachable!("checked"),
+                };
+                let boxed: Box<dyn Adversary<crate::crash::CrashMsg> + Send> =
+                    Box::new(CrashAfter::new(make_node(v), sends));
+                (v, boxed)
+            })
+            .collect();
+        let n = scenario.graph().node_count();
+        let mut outputs = vec![None; n];
+        let mut histories = vec![None; n];
+        let (stats, trace) =
+            drive(scenario, honest, byzantine, CrashNode::is_done, &mut |v, node| {
+                outputs[v.index()] = node.output();
+                histories[v.index()] = Some(node.x_history().to_vec());
+            })?;
+        Ok(Outcome {
+            protocol: self.name(),
+            outputs,
+            honest: honest_set,
+            epsilon: scenario.epsilon(),
+            honest_input_range: scenario.honest_input_range(),
+            rounds,
+            sim_stats: stats,
+            histories,
+            honest_messages: None,
+            trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbac_graph::generators;
+
+    fn id(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn typed_validation_errors() {
+        let g = generators::clique(3);
+        // Wrong input count.
+        assert_eq!(
+            Scenario::builder(g.clone(), 1).inputs(vec![1.0]).build().unwrap_err(),
+            RunError::InputLengthMismatch { expected: 3, got: 1 }
+        );
+        // Bad epsilon.
+        assert_eq!(
+            Scenario::builder(g.clone(), 1).inputs(vec![0.0; 3]).epsilon(0.0).build().unwrap_err(),
+            RunError::NonPositiveEpsilon { epsilon: 0.0 }
+        );
+        // Fault outside the graph.
+        assert_eq!(
+            Scenario::builder(g.clone(), 1)
+                .inputs(vec![0.0; 3])
+                .fault(id(7), FaultKind::Crash)
+                .build()
+                .unwrap_err(),
+            RunError::FaultOutsideGraph { node: 7, nodes: 3 }
+        );
+        // Duplicate fault.
+        assert_eq!(
+            Scenario::builder(g.clone(), 2)
+                .inputs(vec![0.0; 3])
+                .fault(id(0), FaultKind::Crash)
+                .fault(id(0), FaultKind::ConstantLiar { value: 1.0 })
+                .build()
+                .unwrap_err(),
+            RunError::DuplicateFault { node: 0 }
+        );
+        // Too many faults.
+        assert_eq!(
+            Scenario::builder(g.clone(), 0)
+                .inputs(vec![0.0; 3])
+                .fault(id(0), FaultKind::Crash)
+                .build()
+                .unwrap_err(),
+            RunError::TooManyFaults { configured: 1, f: 0 }
+        );
+        // Honest input outside the declared range.
+        assert!(matches!(
+            Scenario::builder(g, 1).inputs(vec![0.0, 5.0, 99.0]).range((0.0, 10.0)).build(),
+            Err(RunError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn bw_scenario_converges_and_is_valid() {
+        let out = Scenario::builder(generators::clique(4), 1)
+            .inputs(vec![0.0, 10.0, 2.0, 8.0])
+            .epsilon(0.5)
+            .seed(11)
+            .protocol(ByzantineWitness::default())
+            .run()
+            .unwrap();
+        assert_eq!(out.protocol, "byzantine-witness");
+        assert!(out.all_decided());
+        assert!(out.converged(), "outputs {:?}", out.outputs);
+        assert!(out.valid());
+        assert_eq!(out.rounds, 5);
+        let spreads = out.spread_by_round();
+        assert_eq!(spreads.len(), 6);
+        assert_eq!(spreads[0], 10.0);
+        assert!(spreads[5] < 0.5);
+        assert!(out.trace.is_none(), "trace not requested");
+    }
+
+    #[test]
+    fn bw_rejects_inexpressible_faults() {
+        let err = Scenario::builder(generators::clique(4), 1)
+            .inputs(vec![0.0; 4])
+            .fault(id(3), FaultKind::Ramp { base: 0.0, slope: 1.0 })
+            .run()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RunError::UnsupportedFault { protocol: "byzantine-witness", fault: "ramp" }
+        );
+    }
+
+    #[test]
+    fn crash_protocol_scenario_with_mid_run_crash() {
+        let out = Scenario::builder(generators::clique(4), 1)
+            .inputs(vec![0.0, 8.0, 4.0, 2.0])
+            .epsilon(0.5)
+            .range((0.0, 8.0))
+            .fault(id(1), FaultKind::CrashAfter { sends: 3 })
+            .scheduler(SchedulerSpec::Random { seed: 3, min: 1, max: 15 })
+            .protocol(CrashTwoReach::default())
+            .run()
+            .unwrap();
+        assert_eq!(out.protocol, "crash-two-reach");
+        assert!(out.converged(), "{:?}", out.outputs);
+        assert!(out.valid());
+        assert!(out.outputs[1].is_none());
+    }
+
+    #[test]
+    fn crash_protocol_rejects_byzantine_faults() {
+        let err = Scenario::builder(generators::clique(3), 1)
+            .inputs(vec![0.0; 3])
+            .fault(id(2), FaultKind::ConstantLiar { value: 9.0 })
+            .protocol(CrashTwoReach::default())
+            .run()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RunError::UnsupportedFault { protocol: "crash-two-reach", fault: "constant-liar" }
+        );
+    }
+
+    #[test]
+    fn edge_delay_scheduler_reaches_the_policy() {
+        // A huge delay on every edge into node 2 stalls its deliveries;
+        // with Fixed(1) elsewhere the run still quiesces and the trace
+        // shows nothing arriving at node 2 before the override delay.
+        let g = generators::clique(3);
+        let overrides =
+            vec![(id(0), id(2), 1_000_000), (id(1), id(2), 1_000_000), (id(2), id(0), 7)];
+        let out = Scenario::builder(g, 0)
+            .inputs(vec![1.0, 2.0, 3.0])
+            .epsilon(0.5)
+            .scheduler(SchedulerSpec::EdgeDelays {
+                base: Box::new(SchedulerSpec::Fixed(1)),
+                overrides,
+            })
+            .record_trace(true)
+            .protocol(CrashTwoReach::default())
+            .run()
+            .unwrap();
+        let trace = out.trace.expect("trace recorded");
+        assert!(!trace.deliveries.is_empty());
+        for d in &trace.deliveries {
+            if d.to == id(2) {
+                assert!(d.at.ticks() >= 1_000_000, "delayed edge delivered early at {:?}", d.at);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_recording_round_trips() {
+        let out = Scenario::builder(generators::clique(3), 0)
+            .inputs(vec![0.0, 4.0, 2.0])
+            .epsilon(0.5)
+            .record_trace(true)
+            .protocol(ByzantineWitness::default())
+            .run()
+            .unwrap();
+        let trace = out.trace.expect("requested");
+        assert_eq!(trace.deliveries.len() as u64, out.sim_stats.messages_delivered);
+    }
+
+    #[test]
+    fn scheduler_seed_extraction() {
+        assert_eq!(SchedulerSpec::Fixed(3).seed(), 0);
+        assert_eq!(SchedulerSpec::Random { seed: 9, min: 1, max: 2 }.seed(), 9);
+        let nested = SchedulerSpec::EdgeDelays {
+            base: Box::new(SchedulerSpec::Random { seed: 5, min: 1, max: 4 }),
+            overrides: vec![],
+        };
+        assert_eq!(nested.seed(), 5);
+    }
+
+    #[test]
+    fn default_protocol_is_byzantine_witness() {
+        let scn = Scenario::builder(generators::clique(3), 0).inputs(vec![0.0; 3]).build().unwrap();
+        assert_eq!(scn.protocol().name(), "byzantine-witness");
+    }
+}

@@ -1,0 +1,423 @@
+//! Cartesian scenario sweeps with parallel execution and
+//! `bench_trend`-compatible JSON emission.
+//!
+//! A [`Grid`] describes a product of protocols × graphs × fault bounds ×
+//! fault placements × seeds; [`Grid::build`] expands it into a [`Sweep`]
+//! of labelled scenarios, and [`Sweep::run`] executes every point across
+//! the available cores (via the workspace's scoped-thread
+//! [`par_map`]). The resulting [`SweepReport`]
+//! renders as the same `{"kernels": {<label>: {"mean_ns": …}}}` JSON shape
+//! the `bench_trend` CI gate consumes, so sweep wall-times ride the
+//! existing bench artifact pipeline unchanged.
+
+use super::{FaultKind, Protocol, Runtime, Scenario, SchedulerSpec};
+use dbac_graph::par::par_map;
+use dbac_graph::{Digraph, NodeId};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Places faults for one grid point, given the graph and the fault bound.
+pub type FaultPlacer = fn(&Digraph, usize) -> Vec<(NodeId, FaultKind)>;
+
+/// Produces one input per node for a grid point's graph.
+pub type InputsFn = fn(&Digraph) -> Vec<f64>;
+
+fn indexed_inputs(g: &Digraph) -> Vec<f64> {
+    (0..g.node_count()).map(|i| i as f64).collect()
+}
+
+/// A cartesian grid of scenarios. Dimensions left empty default to a
+/// single neutral entry (no faults, seed 0, fault bound taken per graph).
+pub struct Grid {
+    protocols: Vec<(String, Arc<dyn Protocol>)>,
+    graphs: Vec<(String, Digraph)>,
+    fault_bounds: Vec<usize>,
+    placements: Vec<(String, FaultPlacer)>,
+    seeds: Vec<u64>,
+    epsilon: f64,
+    inputs: InputsFn,
+    runtime: Runtime,
+    max_events: u64,
+    delays: (u64, u64),
+}
+
+impl Default for Grid {
+    fn default() -> Self {
+        Grid::new()
+    }
+}
+
+impl Grid {
+    /// An empty grid with ε = 0.5, indexed inputs (`v ↦ v`), the Sim
+    /// runtime and the default event budget.
+    #[must_use]
+    pub fn new() -> Self {
+        Grid {
+            protocols: Vec::new(),
+            graphs: Vec::new(),
+            fault_bounds: Vec::new(),
+            placements: Vec::new(),
+            seeds: Vec::new(),
+            epsilon: 0.5,
+            inputs: indexed_inputs,
+            runtime: Runtime::Sim,
+            max_events: 100_000_000,
+            delays: (1, 20),
+        }
+    }
+
+    /// Adds a protocol dimension entry.
+    #[must_use]
+    pub fn protocol(mut self, label: impl Into<String>, protocol: impl Protocol + 'static) -> Self {
+        self.protocols.push((label.into(), Arc::new(protocol)));
+        self
+    }
+
+    /// Adds a graph dimension entry.
+    #[must_use]
+    pub fn graph(mut self, label: impl Into<String>, graph: Digraph) -> Self {
+        self.graphs.push((label.into(), graph));
+        self
+    }
+
+    /// Adds a fault-bound dimension entry (default: `[1]`).
+    #[must_use]
+    pub fn fault_bound(mut self, f: usize) -> Self {
+        self.fault_bounds.push(f);
+        self
+    }
+
+    /// Adds a fault-placement dimension entry.
+    #[must_use]
+    pub fn placement(mut self, label: impl Into<String>, placer: FaultPlacer) -> Self {
+        self.placements.push((label.into(), placer));
+        self
+    }
+
+    /// Adds a seed dimension entry (each seeds a `[1, 20]` random
+    /// schedule; default: `[0]`).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seeds.push(seed);
+        self
+    }
+
+    /// Sets the agreement parameter for every point.
+    #[must_use]
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the input generator for every point.
+    #[must_use]
+    pub fn inputs(mut self, inputs: InputsFn) -> Self {
+        self.inputs = inputs;
+        self
+    }
+
+    /// Sets the runtime for every point.
+    #[must_use]
+    pub fn runtime(mut self, runtime: Runtime) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
+    /// Caps the simulator event budget for every point.
+    #[must_use]
+    pub fn max_events(mut self, max_events: u64) -> Self {
+        self.max_events = max_events;
+        self
+    }
+
+    /// Sets the random-schedule delay range `[min, max]` every seed draws
+    /// from (default `[1, 20]`, the workspace's `.seed()` convention).
+    /// Every grid point runs under the *same* schedule family — that
+    /// uniformity is what makes cross-protocol comparisons controlled.
+    #[must_use]
+    pub fn delays(mut self, min: u64, max: u64) -> Self {
+        self.delays = (min, max);
+        self
+    }
+
+    /// Expands the cartesian product into a labelled [`Sweep`].
+    ///
+    /// # Errors
+    ///
+    /// An empty protocol or graph dimension, or the first
+    /// scenario-validation failure labelled with its grid point (a grid
+    /// that cannot build should fail loudly, not at run time).
+    pub fn build(self) -> Result<Sweep, String> {
+        if self.protocols.is_empty() {
+            return Err("grid needs at least one protocol".into());
+        }
+        if self.graphs.is_empty() {
+            return Err("grid needs at least one graph".into());
+        }
+        let fault_bounds = if self.fault_bounds.is_empty() { vec![1] } else { self.fault_bounds };
+        let none: (String, FaultPlacer) = ("none".into(), |_, _| Vec::new());
+        let placements = if self.placements.is_empty() { vec![none] } else { self.placements };
+        let seeds = if self.seeds.is_empty() { vec![0] } else { self.seeds };
+        let mut points = Vec::new();
+        for (proto_label, protocol) in &self.protocols {
+            for (graph_label, graph) in &self.graphs {
+                for &f in &fault_bounds {
+                    for (place_label, placer) in &placements {
+                        for &seed in &seeds {
+                            let label =
+                                format!("{proto_label}/{graph_label}/f{f}/{place_label}/s{seed}");
+                            let scenario = Scenario::builder(graph.clone(), f)
+                                .inputs((self.inputs)(graph))
+                                .epsilon(self.epsilon)
+                                .faults(placer(graph, f))
+                                .scheduler(SchedulerSpec::Random {
+                                    seed,
+                                    min: self.delays.0,
+                                    max: self.delays.1,
+                                })
+                                .runtime(self.runtime)
+                                .max_events(self.max_events)
+                                .protocol_arc(Arc::clone(protocol))
+                                .build()
+                                .map_err(|e| format!("{label}: {e}"))?;
+                            points.push(SweepPoint { label, scenario });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Sweep { points })
+    }
+}
+
+/// One labelled scenario inside a sweep.
+#[derive(Debug)]
+pub struct SweepPoint {
+    /// `protocol/graph/f<f>/placement/s<seed>` label (the JSON kernel key).
+    pub label: String,
+    /// The scenario to execute.
+    pub scenario: Scenario,
+}
+
+/// A set of labelled scenarios executed together.
+#[derive(Debug)]
+pub struct Sweep {
+    points: Vec<SweepPoint>,
+}
+
+impl Sweep {
+    /// Builds a sweep from explicit points (the [`Grid`] shortcut covers
+    /// the cartesian case).
+    #[must_use]
+    pub fn from_points(points: Vec<SweepPoint>) -> Self {
+        Sweep { points }
+    }
+
+    /// The labelled points, in grid order.
+    #[must_use]
+    pub fn points(&self) -> &[SweepPoint] {
+        &self.points
+    }
+
+    /// Executes every point across the available cores and collects the
+    /// report (rows stay in grid order).
+    #[must_use]
+    pub fn run(&self) -> SweepReport {
+        let rows = par_map(&self.points, |_, point| {
+            let start = Instant::now();
+            let outcome = point.scenario.run();
+            let wall_ns = start.elapsed().as_nanos() as f64;
+            let summary = outcome
+                .map(|out| SweepSummary {
+                    converged: out.converged(),
+                    valid: out.valid(),
+                    all_decided: out.all_decided(),
+                    spread: out.spread(),
+                    messages_sent: out.sim_stats.messages_sent,
+                    honest_messages: out.honest_messages,
+                    rounds: out.rounds,
+                })
+                .map_err(|e| e.to_string());
+            SweepRow { label: point.label.clone(), wall_ns, summary }
+        });
+        SweepReport { rows }
+    }
+}
+
+/// Protocol-agnostic digest of one scenario outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepSummary {
+    /// All honest nodes decided within ε.
+    pub converged: bool,
+    /// Decided outputs stayed in the honest input hull.
+    pub valid: bool,
+    /// Every honest node decided.
+    pub all_decided: bool,
+    /// Max − min over decided honest outputs.
+    pub spread: f64,
+    /// Messages handed to the delivery queue (0 for synchronous and
+    /// threaded runs).
+    pub messages_sent: u64,
+    /// Protocol-counted honest messages, where available.
+    pub honest_messages: Option<u64>,
+    /// Configured round count.
+    pub rounds: u32,
+}
+
+/// One executed sweep point.
+#[derive(Clone, Debug)]
+pub struct SweepRow {
+    /// The point's label.
+    pub label: String,
+    /// Wall-clock nanoseconds for the whole run.
+    pub wall_ns: f64,
+    /// The outcome digest, or the run error rendered as text.
+    pub summary: Result<SweepSummary, String>,
+}
+
+/// The results of a sweep, renderable as `bench_trend` JSON.
+#[derive(Clone, Debug)]
+pub struct SweepReport {
+    /// Rows in grid order.
+    pub rows: Vec<SweepRow>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl SweepReport {
+    /// Rows whose scenario failed to run.
+    #[must_use]
+    pub fn failures(&self) -> Vec<&SweepRow> {
+        self.rows.iter().filter(|r| r.summary.is_err()).collect()
+    }
+
+    /// Renders the report in the `bench_trend` schema: each point becomes
+    /// a kernel keyed by its label, `mean_ns` carrying the wall time, and
+    /// the outcome digest flattened into extra numeric fields (which the
+    /// gate's parser accepts and ignores).
+    #[must_use]
+    pub fn to_bench_json(&self) -> String {
+        let mut out = String::from("{\n  \"kernels\": {\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let sep = if i + 1 == self.rows.len() { "" } else { "," };
+            match &row.summary {
+                Ok(s) => {
+                    let flag = |b: bool| if b { 1 } else { 0 };
+                    out.push_str(&format!(
+                        "    \"{}\": {{ \"mean_ns\": {:.1}, \"converged\": {}, \"valid\": {}, \
+                         \"decided\": {}, \"spread\": {:e}, \"messages\": {}, \"rounds\": {} }}{sep}\n",
+                        json_escape(&row.label),
+                        row.wall_ns,
+                        flag(s.converged),
+                        flag(s.valid),
+                        flag(s.all_decided),
+                        s.spread,
+                        s.honest_messages.unwrap_or(s.messages_sent),
+                        s.rounds,
+                    ));
+                }
+                Err(_) => {
+                    out.push_str(&format!(
+                        "    \"{}\": {{ \"mean_ns\": {:.1}, \"error\": 1 }}{sep}\n",
+                        json_escape(&row.label),
+                        row.wall_ns,
+                    ));
+                }
+            }
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Writes [`SweepReport::to_bench_json`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures creating or writing the file.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bench_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{ByzantineWitness, CrashTwoReach};
+    use super::*;
+    use dbac_graph::generators;
+
+    fn liar_at_last(g: &Digraph, _f: usize) -> Vec<(NodeId, FaultKind)> {
+        vec![(NodeId::new(g.node_count() - 1), FaultKind::ConstantLiar { value: 1e6 })]
+    }
+
+    #[test]
+    fn grid_expands_the_cartesian_product() {
+        let sweep = Grid::new()
+            .protocol("bw", ByzantineWitness::default())
+            .protocol("crash", CrashTwoReach::default())
+            .graph("k3", generators::clique(3))
+            .graph("k4", generators::clique(4))
+            .fault_bound(0)
+            .seed(1)
+            .seed(2)
+            .build()
+            .unwrap();
+        // 2 protocols × 2 graphs × 1 bound × 1 placement × 2 seeds.
+        assert_eq!(sweep.points().len(), 8);
+        assert_eq!(sweep.points()[0].label, "bw/k3/f0/none/s1");
+    }
+
+    #[test]
+    fn sweep_runs_and_reports_bench_json() {
+        let report = Grid::new()
+            .protocol("bw", ByzantineWitness::default())
+            .graph("k4", generators::clique(4))
+            .fault_bound(1)
+            .placement("liar", liar_at_last)
+            .seed(7)
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(report.rows.len(), 1);
+        assert!(report.failures().is_empty());
+        let row = &report.rows[0];
+        let summary = row.summary.as_ref().unwrap();
+        assert!(summary.converged && summary.valid, "{summary:?}");
+        assert!(row.wall_ns > 0.0);
+        let json = report.to_bench_json();
+        assert!(json.contains("\"kernels\""));
+        assert!(json.contains("\"bw/k4/f1/liar/s7\""));
+        assert!(json.contains("\"mean_ns\""));
+        assert!(json.contains("\"converged\": 1"));
+    }
+
+    #[test]
+    fn grid_rejects_invalid_points_at_build_time() {
+        // A placement naming a node outside K3 must fail while building.
+        let err = Grid::new()
+            .protocol("bw", ByzantineWitness::default())
+            .graph("k3", generators::clique(3))
+            .placement("oob", |_, _| vec![(NodeId::new(64), FaultKind::Crash)])
+            .build()
+            .unwrap_err();
+        assert!(err.contains("bw/k3/f1/oob/s0"), "{err}");
+        assert!(err.contains("64"), "{err}");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+}

@@ -27,7 +27,7 @@
 //!
 //! * **Avoiding masks** — per guess, the word bitmap
 //!   `terminal_words(me) ∧ ¬excluded(F_v)` over the node's contiguous
-//!   terminal-major id block ([`PathIndex::terminal_word_range`]): exactly
+//!   terminal-major id block (`PathIndex::terminal_word_range`): exactly
 //!   the flood pool the guess requires. Ingest probes one bit of it per
 //!   guess (replacing a `NodeSet` disjointness test plus hash-map update),
 //!   and a per-thread countdown of its popcount detects pool completion.

@@ -6,11 +6,10 @@
 
 use dbac::conditions::kreach::three_reach;
 use dbac::conditions::reduced::source_component;
-use dbac::core::adversary::AdversaryKind;
-use dbac::core::run::{run_byzantine_consensus, RunConfig};
 use dbac::graph::connectivity::vertex_connectivity;
 use dbac::graph::maxflow::max_vertex_disjoint_paths;
 use dbac::graph::{dot, generators, NodeId, NodeSet};
+use dbac::scenario::{ByzantineWitness, FaultKind, Scenario};
 
 fn main() {
     // ----- Figure 1(a): 5-node undirected, f = 1 -------------------------
@@ -41,14 +40,14 @@ fn main() {
 
     // ----- Run the protocol on the 8-node scale-down ----------------------
     let small = generators::figure_1b_small();
-    let cfg = RunConfig::builder(small, 1)
+    let out = Scenario::builder(small, 1)
         .inputs(vec![3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0])
         .epsilon(2.0)
-        .byzantine(NodeId::new(1), AdversaryKind::RelayTamperer { spoof: 1e4 })
+        .fault(NodeId::new(1), FaultKind::RelayTamperer { spoof: 1e4 })
         .seed(4)
-        .build()
-        .expect("valid configuration");
-    let out = run_byzantine_consensus(&cfg).expect("run completes");
+        .protocol(ByzantineWitness::default())
+        .run()
+        .expect("run completes");
     println!(
         "8-node scale-down with a relay-tampering Byzantine node: spread {:.4}, valid: {}",
         out.spread(),

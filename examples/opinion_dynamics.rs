@@ -16,11 +16,10 @@
 //! cargo run --release --example opinion_dynamics
 //! ```
 
-use dbac::baselines::iterative::{is_r_s_robust, run_iterative};
+use dbac::baselines::iterative::is_r_s_robust;
 use dbac::conditions::kreach::three_reach;
-use dbac::core::adversary::AdversaryKind;
-use dbac::core::run::{run_byzantine_consensus, RunConfig};
 use dbac::graph::{generators, NodeId};
+use dbac::scenario::{ByzantineWitness, FaultKind, IterativeTrimmedMean, Scenario};
 
 fn main() {
     // Two tightly-knit communities with a few directed "follows" across.
@@ -36,24 +35,29 @@ fn main() {
     // Local filtering (W-MSR), *nobody even faulty*: each community's
     // f-filter discards its scarce cross-community edges, so the two
     // camps freeze apart — defensive filtering causes the polarization.
-    let it = run_iterative(&graph, f, &opinions, &[], 80);
+    let it = Scenario::builder(graph.clone(), f)
+        .inputs(opinions.clone())
+        .epsilon(0.25)
+        .protocol(IterativeTrimmedMean::with_rounds(80))
+        .run()
+        .expect("iterative scenario runs");
     println!(
         "\niterative after 80 rounds (no faults at all): spread {:.3} (polarization persists: {})",
-        it.final_spread(),
-        it.final_spread() > 0.5,
+        it.spread(),
+        it.spread() > 0.5,
     );
 
     // BW: witnesses carry cross-community influence with Byzantine-proof
     // confirmation; honest opinions meet.
-    let cfg = RunConfig::builder(graph, f)
+    let out = Scenario::builder(graph, f)
         .inputs(opinions)
         .epsilon(0.25)
         .range((0.0, 1.0))
-        .byzantine(NodeId::new(3), AdversaryKind::ConstantLiar { value: 5.0 })
+        .fault(NodeId::new(3), FaultKind::ConstantLiar { value: 5.0 })
         .seed(12)
-        .build()
-        .expect("valid configuration");
-    let out = run_byzantine_consensus(&cfg).expect("run completes");
+        .protocol(ByzantineWitness::default())
+        .run()
+        .expect("run completes");
     println!("BW outputs:");
     for v in out.honest.iter() {
         println!("  agent {}: {:.4}", v.index(), out.outputs[v.index()].unwrap());
@@ -66,5 +70,5 @@ fn main() {
         out.valid(),
     );
     assert!(out.converged() && out.valid());
-    assert!(it.final_spread() > 0.5, "expected the iterative dynamic to stay polarized");
+    assert!(it.spread() > 0.5, "expected the iterative dynamic to stay polarized");
 }

@@ -5,9 +5,8 @@
 //! ```
 
 use dbac::conditions::kreach::three_reach;
-use dbac::core::adversary::AdversaryKind;
-use dbac::core::run::{run_byzantine_consensus, RunConfig};
 use dbac::graph::{generators, NodeId};
+use dbac::scenario::{ByzantineWitness, FaultKind, Scenario};
 
 fn main() {
     // 1. A network: the 8-node directed analogue of the paper's
@@ -21,20 +20,23 @@ fn main() {
     println!("3-reach (f = {f}): {condition}");
     assert!(condition.holds());
 
-    // 3. Configure a run: inputs, agreement parameter ε, one Byzantine
-    //    node (crashed — try `ConstantLiar { value: -40.0 }` for a noisier
-    //    adversary; it roughly 10×es the message count), and a seeded
-    //    random schedule.
-    let cfg = RunConfig::builder(graph, f)
+    // 3. Describe the scenario: inputs, agreement parameter ε, one faulty
+    //    node (crashed — try `FaultKind::ConstantLiar { value: -40.0 }`
+    //    for a noisier adversary; it roughly 10×es the message count), a
+    //    seeded random schedule, and the paper's protocol.
+    //
+    // 4. `run()` executes it on the deterministic discrete-event simulator
+    //    (swap in `.runtime(Runtime::Threaded { .. })` for real threads,
+    //    or `.protocol(CrashTwoReach::default())` for the 2-reach
+    //    crash-fault protocol — same builder, same Outcome).
+    let outcome = Scenario::builder(graph, f)
         .inputs(vec![20.1, 20.7, 20.3, 21.0, 24.9, 23.2, 24.0, 22.5])
         .epsilon(0.5)
-        .byzantine(NodeId::new(6), AdversaryKind::Crash)
+        .fault(NodeId::new(6), FaultKind::Crash)
         .seed(7)
-        .build()
-        .expect("valid configuration");
-
-    // 4. Execute on the deterministic discrete-event simulator.
-    let outcome = run_byzantine_consensus(&cfg).expect("run completes");
+        .protocol(ByzantineWitness::default())
+        .run()
+        .expect("scenario runs");
 
     println!("rounds executed : {}", outcome.rounds);
     println!("messages        : {}", outcome.sim_stats.messages_delivered);

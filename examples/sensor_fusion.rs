@@ -14,9 +14,8 @@
 //! ```
 
 use dbac::conditions::kreach::three_reach;
-use dbac::core::adversary::AdversaryKind;
-use dbac::core::run::{run_byzantine_consensus, RunConfig};
 use dbac::graph::{Digraph, NodeId};
+use dbac::scenario::{ByzantineWitness, FaultKind, Scenario};
 
 /// Builds the radio topology: sensor `i` sits at position `i` on a line;
 /// its transmission range depends on its battery. An edge `(i, j)` exists
@@ -66,16 +65,15 @@ fn main() {
     // slot is a placeholder — Byzantine nodes have no genuine reading).
     let readings = vec![19.8, 20.2, 20.1, 19.9, 0.0, 20.3];
 
-    let cfg = RunConfig::builder(graph, f)
+    let outcome = Scenario::builder(graph, f)
         .inputs(readings)
         .epsilon(0.5)
         .range((15.0, 25.0)) // the a-priori plausible temperature band
-        .byzantine(NodeId::new(4), AdversaryKind::Equivocator { low: 15.0, high: 25.0 })
+        .fault(NodeId::new(4), FaultKind::Equivocator { low: 15.0, high: 25.0 })
         .seed(99)
-        .build()
-        .expect("valid configuration");
-
-    let outcome = run_byzantine_consensus(&cfg).expect("fusion completes");
+        .protocol(ByzantineWitness::default())
+        .run()
+        .expect("fusion completes");
     println!("\nfused estimates:");
     for v in outcome.honest.iter() {
         println!("  sensor {}: {:.3} °C", v.index(), outcome.outputs[v.index()].unwrap());

@@ -6,21 +6,19 @@
 //! cargo run --release --example threaded_runtime
 //! ```
 
-use dbac::core::adversary::AdversaryKind;
-use dbac::core::run::{run_byzantine_consensus_threaded, RunConfig};
 use dbac::graph::{generators, NodeId};
+use dbac::scenario::{ByzantineWitness, FaultKind, Runtime, Scenario};
 use std::time::Duration;
 
 fn main() {
-    let cfg = RunConfig::builder(generators::clique(4), 1)
+    let out = Scenario::builder(generators::clique(4), 1)
         .inputs(vec![1.0, 9.0, 3.0, 0.0])
         .epsilon(0.5)
-        .byzantine(NodeId::new(3), AdversaryKind::Equivocator { low: -50.0, high: 50.0 })
+        .fault(NodeId::new(3), FaultKind::Equivocator { low: -50.0, high: 50.0 })
         .seed(1)
-        .build()
-        .expect("valid configuration");
-
-    let out = run_byzantine_consensus_threaded(&cfg, Duration::from_secs(60))
+        .runtime(Runtime::Threaded { timeout: Duration::from_secs(60) })
+        .protocol(ByzantineWitness::default())
+        .run()
         .expect("threaded run completes");
     println!("outputs (threads, real concurrency):");
     for v in out.honest.iter() {

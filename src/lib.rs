@@ -21,30 +21,61 @@
 //! * [`baselines`] — Bracha reliable broadcast, the Abraham–Amit–Dolev 2004
 //!   witness algorithm for complete networks, and iterative trimmed-mean
 //!   consensus.
+//! * [`scenario`] — the unified **Scenario → Outcome** experiment surface
+//!   over all of the above: one builder, five protocols, two runtimes,
+//!   plus parallel [`scenario::sweep`] grids with JSON reports.
 //!
 //! # Quickstart
 //!
+//! Describe an experiment as data — network, inputs, faults, schedule,
+//! runtime — pick a protocol, and run it:
+//!
 //! ```
 //! use dbac::conditions::kreach;
-//! use dbac::core::run::{run_byzantine_consensus, RunConfig};
-//! use dbac::graph::generators;
+//! use dbac::graph::{generators, NodeId};
+//! use dbac::scenario::{ByzantineWitness, FaultKind, Scenario};
 //!
 //! // A complete network on 4 nodes tolerates f = 1 (n > 3f ⇔ 3-reach).
 //! let g = generators::clique(4);
 //! assert!(kreach::three_reach(&g, 1).holds());
 //!
-//! let cfg = RunConfig::builder(g, 1)
+//! let outcome = Scenario::builder(g, 1)
 //!     .inputs(vec![0.0, 10.0, 4.0, 6.0])
 //!     .epsilon(0.5)
+//!     .fault(NodeId::new(3), FaultKind::ConstantLiar { value: 1e6 })
 //!     .seed(7)
-//!     .build()
-//!     .expect("valid configuration");
-//! let outcome = run_byzantine_consensus(&cfg).expect("run succeeds");
-//! assert!(outcome.converged());
+//!     .protocol(ByzantineWitness::default())
+//!     .run()
+//!     .expect("scenario runs");
+//! assert!(outcome.converged() && outcome.valid());
 //! ```
+//!
+//! Swapping `.protocol(...)` (and nothing else) re-runs the same scenario
+//! under a different algorithm; `.runtime(Runtime::Threaded { .. })` moves
+//! it onto real OS threads. The five protocols map onto the paper as
+//! follows:
+//!
+//! | `Protocol` | Paper section it reproduces |
+//! |------------|-----------------------------|
+//! | [`scenario::ByzantineWitness`] | Algorithms 1–3 (Sections 4.1–4.5); Theorem 4 under 3-reach |
+//! | [`scenario::CrashTwoReach`] | Table 2, asynchronous/crash cell (2-reach; Tseng–Vaidya 2012 per Section 2) |
+//! | [`scenario::Aad04`] | Section 1 related work \[1\]: Abraham–Amit–Dolev OPODIS 2004 on complete networks |
+//! | [`scenario::IterativeTrimmedMean`] | Related work \[13, 25\]: W-MSR under `(f+1, f+1)`-robustness |
+//! | [`scenario::ReliableBroadcastProbe`] | Bracha reliable broadcast, AAD04's substrate |
 
 pub use dbac_baselines as baselines;
 pub use dbac_conditions as conditions;
 pub use dbac_core as core;
 pub use dbac_graph as graph;
 pub use dbac_sim as sim;
+
+/// The unified **Scenario → Outcome** experiment surface: the core builder
+/// and protocols from [`dbac_core::scenario`] plus the baseline protocols
+/// from [`dbac_baselines::scenario`], in one namespace.
+pub mod scenario {
+    pub use dbac_baselines::scenario::{Aad04, IterativeTrimmedMean, ReliableBroadcastProbe};
+    pub use dbac_core::scenario::{
+        drive, sweep, ByzantineWitness, CrashTwoReach, Delivery, FaultKind, Outcome, Protocol,
+        Runtime, Scenario, ScenarioBuilder, SchedulerSpec, TraceSummary,
+    };
+}

@@ -2,39 +2,38 @@
 //! full protocol. Convergence and validity must survive them all — the
 //! paper's Theorem 4 promises exactly that on 3-reach graphs.
 
-use dbac::core::adversary::AdversaryKind;
 use dbac::core::config::{FloodMode, ProtocolConfig};
-use dbac::core::run::{run_byzantine_consensus, RunConfig};
 use dbac::core::{HonestNode, ProtocolMsg, Topology};
 use dbac::graph::generators;
 use dbac::graph::{NodeId, Path, PathBudget};
+use dbac::scenario::{ByzantineWitness, FaultKind, Scenario};
 use dbac::sim::process::{Context, Process};
 use std::sync::Arc;
 
-fn strategies() -> Vec<(&'static str, AdversaryKind)> {
+fn strategies() -> Vec<(&'static str, FaultKind)> {
     vec![
-        ("crash", AdversaryKind::Crash),
-        ("liar-high", AdversaryKind::ConstantLiar { value: 1e9 }),
-        ("liar-low", AdversaryKind::ConstantLiar { value: -1e9 }),
-        ("equivocator", AdversaryKind::Equivocator { low: -500.0, high: 500.0 }),
-        ("relay-tamperer", AdversaryKind::RelayTamperer { spoof: 123.0 }),
-        ("path-fabricator", AdversaryKind::PathFabricator { forged_value: -77.0 }),
-        ("chaotic-1", AdversaryKind::Chaotic { seed: 1 }),
-        ("chaotic-2", AdversaryKind::Chaotic { seed: 2 }),
+        ("crash", FaultKind::Crash),
+        ("liar-high", FaultKind::ConstantLiar { value: 1e9 }),
+        ("liar-low", FaultKind::ConstantLiar { value: -1e9 }),
+        ("equivocator", FaultKind::Equivocator { low: -500.0, high: 500.0 }),
+        ("relay-tamperer", FaultKind::RelayTamperer { spoof: 123.0 }),
+        ("path-fabricator", FaultKind::PathFabricator { forged_value: -77.0 }),
+        ("chaotic-1", FaultKind::Chaotic { seed: 1 }),
+        ("chaotic-2", FaultKind::Chaotic { seed: 2 }),
     ]
 }
 
 #[test]
 fn every_strategy_on_k4() {
     for (label, kind) in strategies() {
-        let cfg = RunConfig::builder(generators::clique(4), 1)
+        let cfg = Scenario::builder(generators::clique(4), 1)
             .inputs(vec![2.0, 4.0, 6.0, 0.0])
             .epsilon(0.5)
-            .byzantine(NodeId::new(3), kind)
+            .fault(NodeId::new(3), kind)
             .seed(11)
             .build()
             .unwrap();
-        let out = run_byzantine_consensus(&cfg).unwrap();
+        let out = cfg.run().unwrap();
         assert!(out.all_decided(), "{label}: honest node undecided");
         assert!(out.converged(), "{label}: spread {}", out.spread());
         assert!(out.valid(), "{label}: validity broken: {:?}", out.outputs);
@@ -44,14 +43,14 @@ fn every_strategy_on_k4() {
 #[test]
 fn every_strategy_on_figure_1a() {
     for (label, kind) in strategies() {
-        let cfg = RunConfig::builder(generators::figure_1a(), 1)
+        let cfg = Scenario::builder(generators::figure_1a(), 1)
             .inputs(vec![1.0, 3.0, 5.0, 7.0, 0.0])
             .epsilon(1.0)
-            .byzantine(NodeId::new(4), kind)
+            .fault(NodeId::new(4), kind)
             .seed(17)
             .build()
             .unwrap();
-        let out = run_byzantine_consensus(&cfg).unwrap();
+        let out = cfg.run().unwrap();
         assert!(out.converged() && out.valid(), "{label} on figure 1a failed");
     }
 }
@@ -61,14 +60,14 @@ fn byzantine_position_does_not_matter_on_k4() {
     for position in 0..4usize {
         let mut inputs = vec![2.0, 4.0, 6.0, 8.0];
         inputs[position] = 0.0; // ignored
-        let cfg = RunConfig::builder(generators::clique(4), 1)
+        let cfg = Scenario::builder(generators::clique(4), 1)
             .inputs(inputs)
             .epsilon(0.5)
-            .byzantine(NodeId::new(position), AdversaryKind::ConstantLiar { value: -1e6 })
+            .fault(NodeId::new(position), FaultKind::ConstantLiar { value: -1e6 })
             .seed(23)
             .build()
             .unwrap();
-        let out = run_byzantine_consensus(&cfg).unwrap();
+        let out = cfg.run().unwrap();
         assert!(out.converged() && out.valid(), "liar at position {position}");
     }
 }
@@ -134,15 +133,15 @@ fn e11b_simple_only_rejects_non_simple_floods_before_m_v() {
 /// mode accepts.
 #[test]
 fn e11b_ablation_converges_against_path_fabricator() {
-    let cfg = RunConfig::builder(generators::clique(4), 1)
+    let cfg = Scenario::builder(generators::clique(4), 1)
         .inputs(vec![2.0, 4.0, 6.0, 0.0])
         .epsilon(0.5)
-        .byzantine(NodeId::new(3), AdversaryKind::PathFabricator { forged_value: -77.0 })
-        .flood_mode(FloodMode::SimpleOnly)
+        .fault(NodeId::new(3), FaultKind::PathFabricator { forged_value: -77.0 })
+        .protocol(ByzantineWitness::default().with_flood_mode(FloodMode::SimpleOnly))
         .seed(11)
         .build()
         .unwrap();
-    let out = run_byzantine_consensus(&cfg).unwrap();
+    let out = cfg.run().unwrap();
     assert!(out.all_decided(), "ablation: honest node undecided");
     assert!(out.converged(), "ablation: spread {}", out.spread());
     assert!(out.valid(), "ablation: validity broken: {:?}", out.outputs);
@@ -151,15 +150,15 @@ fn e11b_ablation_converges_against_path_fabricator() {
 #[test]
 fn spread_halving_survives_adversaries() {
     for (label, kind) in strategies() {
-        let cfg = RunConfig::builder(generators::clique(4), 1)
+        let cfg = Scenario::builder(generators::clique(4), 1)
             .inputs(vec![0.0, 16.0, 4.0, 8.0])
             .epsilon(0.25)
             .range((0.0, 16.0))
-            .byzantine(NodeId::new(3), kind)
+            .fault(NodeId::new(3), kind)
             .seed(29)
             .build()
             .unwrap();
-        let out = run_byzantine_consensus(&cfg).unwrap();
+        let out = cfg.run().unwrap();
         let spreads = out.spread_by_round();
         for (r, w) in spreads.windows(2).enumerate() {
             assert!(

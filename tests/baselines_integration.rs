@@ -1,13 +1,38 @@
 //! Integration across the baseline algorithms and the crash-tolerant
 //! variant: the Table 2 / E9 / E10 claims at test scale.
 
-use dbac::baselines::aad04::{run_aad04, AadAdversary};
-use dbac::baselines::iterative::{is_r_s_robust, run_iterative, IterStrategy};
+use dbac::baselines::iterative::is_r_s_robust;
 use dbac::conditions::kreach::{three_reach, two_reach};
-use dbac::core::adversary::AdversaryKind;
-use dbac::core::crash::run_crash_consensus;
-use dbac::core::run::{run_byzantine_consensus, RunConfig};
-use dbac::graph::{generators, NodeId};
+use dbac::graph::{generators, Digraph, NodeId};
+use dbac::scenario::{
+    Aad04, ByzantineWitness, CrashTwoReach, FaultKind, IterativeTrimmedMean, Outcome, Scenario,
+    SchedulerSpec,
+};
+
+/// Mirrors the legacy crash-run semantics: the a-priori range covers every
+/// potential input (crashed nodes are honest until they crash), and the
+/// schedule is the crash protocol's historical `[1, 15]` random one.
+fn run_crash(
+    graph: Digraph,
+    f: usize,
+    inputs: &[f64],
+    epsilon: f64,
+    crashed: &[(NodeId, usize)],
+    seed: u64,
+) -> Outcome {
+    let range = inputs
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    Scenario::builder(graph, f)
+        .inputs(inputs.to_vec())
+        .epsilon(epsilon)
+        .range(range)
+        .faults(crashed.iter().map(|&(v, sends)| (v, FaultKind::CrashAfter { sends })))
+        .scheduler(SchedulerSpec::legacy_random(seed))
+        .protocol(CrashTwoReach::default())
+        .run()
+        .expect("crash scenario runs")
+}
 
 #[test]
 fn crash_protocol_matches_two_reach_feasibility() {
@@ -16,7 +41,7 @@ fn crash_protocol_matches_two_reach_feasibility() {
     let g = generators::clique(3);
     assert!(two_reach(&g, 1).holds());
     assert!(!three_reach(&g, 1).holds());
-    let out = run_crash_consensus(g, 1, &[0.0, 6.0, 3.0], 0.5, &[(NodeId::new(2), 1)], 3).unwrap();
+    let out = run_crash(g, 1, &[0.0, 6.0, 3.0], 0.5, &[(NodeId::new(2), 1)], 3);
     assert!(out.converged() && out.valid());
 }
 
@@ -27,19 +52,24 @@ fn aad04_and_bw_agree_on_cliques() {
     let inputs = vec![1.0, 5.0, 3.0, 0.0];
     let byz = NodeId::new(3);
 
-    let bw_cfg = RunConfig::builder(generators::clique(4), 1)
+    let bw = Scenario::builder(generators::clique(4), 1)
         .inputs(inputs.clone())
         .epsilon(0.5)
-        .byzantine(byz, AdversaryKind::ConstantLiar { value: -1e5 })
+        .fault(byz, FaultKind::ConstantLiar { value: -1e5 })
         .seed(7)
-        .build()
+        .protocol(ByzantineWitness::default())
+        .run()
         .unwrap();
-    let bw = run_byzantine_consensus(&bw_cfg).unwrap();
     assert!(bw.converged() && bw.valid());
 
-    let aad =
-        run_aad04(4, 1, &inputs, 0.5, &[(byz, AadAdversary::ConstantLiar { value: -1e5 })], 7)
-            .unwrap();
+    let aad = Scenario::builder(generators::clique(4), 1)
+        .inputs(inputs.clone())
+        .epsilon(0.5)
+        .fault(byz, FaultKind::ConstantLiar { value: -1e5 })
+        .scheduler(SchedulerSpec::legacy_random(7))
+        .protocol(Aad04)
+        .run()
+        .unwrap();
     assert!(aad.converged() && aad.valid());
 
     // Both respect the same honest hull [1, 5].
@@ -61,19 +91,24 @@ fn e10_separation_instance() {
     assert!(!is_r_s_robust(&g, 2, 2));
 
     let inputs = vec![0.0, 0.0, 0.0, 0.0, 10.0, 10.0, 10.0, 10.0];
-    let it = run_iterative(&g, 1, &inputs, &[], 60);
-    assert!(it.final_spread() > 9.0, "iterative should stall at {}", it.final_spread());
+    let it = Scenario::builder(g.clone(), 1)
+        .inputs(inputs.clone())
+        .epsilon(0.5)
+        .protocol(IterativeTrimmedMean::with_rounds(60))
+        .run()
+        .unwrap();
+    assert!(it.spread() > 9.0, "iterative should stall at {}", it.spread());
 
     // A crashed node keeps this affordable in debug builds (the release
     // `baseline_compare` binary runs the all-honest + liar variants).
-    let cfg = RunConfig::builder(g, 1)
+    let out = Scenario::builder(g, 1)
         .inputs(inputs)
         .epsilon(4.0)
-        .byzantine(NodeId::new(7), dbac::core::adversary::AdversaryKind::Crash)
+        .fault(NodeId::new(7), FaultKind::Crash)
         .seed(3)
-        .build()
+        .protocol(ByzantineWitness::default())
+        .run()
         .unwrap();
-    let out = run_byzantine_consensus(&cfg).unwrap();
     assert!(out.converged() && out.valid(), "BW must converge where W-MSR stalls");
 }
 
@@ -81,14 +116,15 @@ fn e10_separation_instance() {
 fn iterative_works_where_robustness_holds() {
     let g = generators::clique(5);
     assert!(is_r_s_robust(&g, 2, 2));
-    let run = run_iterative(
-        &g,
-        1,
-        &[0.0, 1.0, 2.0, 3.0, 0.0],
-        &[(NodeId::new(4), IterStrategy::Ramp { base: -10.0, slope: -5.0 })],
-        80,
-    );
-    assert!(run.final_spread() < 1e-6);
+    let run = Scenario::builder(g, 1)
+        .inputs(vec![0.0, 1.0, 2.0, 3.0, 0.0])
+        .epsilon(1e-6)
+        .fault(NodeId::new(4), FaultKind::Ramp { base: -10.0, slope: -5.0 })
+        .range((-10.0, 10.0))
+        .protocol(IterativeTrimmedMean::with_rounds(80))
+        .run()
+        .unwrap();
+    assert!(run.spread() < 1e-6);
     assert!(run.valid());
 }
 
@@ -99,9 +135,7 @@ fn crash_protocol_with_two_faults() {
     let g = generators::clique(6);
     assert!(two_reach(&g, 2).holds());
     let inputs: Vec<f64> = (0..6).map(|i| i as f64).collect();
-    let out =
-        run_crash_consensus(g, 2, &inputs, 0.5, &[(NodeId::new(4), 0), (NodeId::new(5), 7)], 13)
-            .unwrap();
+    let out = run_crash(g, 2, &inputs, 0.5, &[(NodeId::new(4), 0), (NodeId::new(5), 7)], 13);
     assert!(out.converged() && out.valid());
     assert!(out.outputs[4].is_none() && out.outputs[5].is_none());
 }
@@ -109,18 +143,15 @@ fn crash_protocol_with_two_faults() {
 #[test]
 fn aad04_with_two_faults() {
     let inputs: Vec<f64> = (0..7).map(|i| i as f64).collect();
-    let out = run_aad04(
-        7,
-        2,
-        &inputs,
-        0.5,
-        &[
-            (NodeId::new(5), AadAdversary::Crash),
-            (NodeId::new(6), AadAdversary::ConstantLiar { value: 1e8 }),
-        ],
-        21,
-    )
-    .unwrap();
+    let out = Scenario::builder(generators::clique(7), 2)
+        .inputs(inputs)
+        .epsilon(0.5)
+        .fault(NodeId::new(5), FaultKind::Crash)
+        .fault(NodeId::new(6), FaultKind::ConstantLiar { value: 1e8 })
+        .scheduler(SchedulerSpec::legacy_random(21))
+        .protocol(Aad04)
+        .run()
+        .unwrap();
     assert!(out.converged() && out.valid());
 }
 
@@ -129,15 +160,7 @@ fn crash_protocol_on_all_feasible_catalog_graphs() {
     for inst in dbac_bench::catalog::feasible_instances() {
         let n = inst.graph.node_count();
         let inputs: Vec<f64> = (0..n).map(|i| i as f64).collect();
-        let out = run_crash_consensus(
-            inst.graph.clone(),
-            inst.f,
-            &inputs,
-            0.5,
-            &[(NodeId::new(0), 3)],
-            11,
-        )
-        .unwrap();
+        let out = run_crash(inst.graph.clone(), inst.f, &inputs, 0.5, &[(NodeId::new(0), 3)], 11);
         assert!(out.converged() && out.valid(), "{} crash run failed", inst.name);
     }
 }

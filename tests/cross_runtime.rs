@@ -1,0 +1,94 @@
+//! Cross-runtime differential: one deterministic [`Scenario`] executed
+//! under both `Runtime::Sim` and `Runtime::Threaded` must produce
+//! identical honest decisions, and identical `Outcome` fields modulo
+//! runtime statistics and timing.
+//!
+//! The fixtures use `f = 0`: with a single fault guess (∅) every
+//! witness/fullness thread waits for the *complete* message pool before
+//! firing, so the value set a node aggregates each round — and therefore
+//! its decision — is independent of message interleaving. That makes the
+//! decisions a pure function of the scenario, which is exactly what a
+//! sim-vs-threads differential needs (with `f > 0` a node may legitimately
+//! fire on whichever guess completes first, which is schedule-dependent).
+
+use dbac::graph::generators;
+use dbac::scenario::{
+    ByzantineWitness, CrashTwoReach, Outcome, ReliableBroadcastProbe, Runtime, Scenario,
+    ScenarioBuilder,
+};
+use std::time::Duration;
+
+fn run_both(build: impl Fn() -> ScenarioBuilder) -> (Outcome, Outcome) {
+    let sim = build().runtime(Runtime::Sim).run().expect("sim run");
+    let threaded = build()
+        .runtime(Runtime::Threaded { timeout: Duration::from_secs(120) })
+        .run()
+        .expect("threaded run");
+    (sim, threaded)
+}
+
+/// Everything except runtime counters and the trace handle must agree.
+fn assert_identical(sim: &Outcome, threaded: &Outcome) {
+    assert_eq!(sim.outputs, threaded.outputs, "honest decisions must match bit-for-bit");
+    assert_eq!(sim.histories, threaded.histories, "state trajectories must match");
+    assert_eq!(sim.honest, threaded.honest);
+    assert_eq!(sim.epsilon, threaded.epsilon);
+    assert_eq!(sim.honest_input_range, threaded.honest_input_range);
+    assert_eq!(sim.rounds, threaded.rounds);
+    assert_eq!(sim.protocol, threaded.protocol);
+    // `sim_stats` (zeroed on threads) and `trace` (Sim-only) are exempt.
+}
+
+#[test]
+fn bw_decisions_are_runtime_independent() {
+    let (sim, threaded) = run_both(|| {
+        Scenario::builder(generators::clique(4), 0)
+            .inputs(vec![0.0, 10.0, 4.0, 6.0])
+            .epsilon(0.25)
+            .seed(5)
+            .protocol(ByzantineWitness::default())
+    });
+    assert!(sim.converged() && sim.valid(), "outputs {:?}", sim.outputs);
+    assert_identical(&sim, &threaded);
+}
+
+#[test]
+fn bw_on_a_directed_network_is_runtime_independent() {
+    let inputs: Vec<f64> = (0..8).map(|i| i as f64).collect();
+    let (sim, threaded) = run_both(|| {
+        Scenario::builder(generators::figure_1b_small(), 0)
+            .inputs(inputs.clone())
+            .epsilon(1.0)
+            .seed(11)
+            .protocol(ByzantineWitness::default())
+    });
+    assert!(sim.converged() && sim.valid(), "outputs {:?}", sim.outputs);
+    assert_identical(&sim, &threaded);
+}
+
+#[test]
+fn crash_protocol_decisions_are_runtime_independent() {
+    let inputs: Vec<f64> = (0..8).map(|i| (i % 4) as f64 * 2.0).collect();
+    let (sim, threaded) = run_both(|| {
+        Scenario::builder(generators::figure_1b_small(), 0)
+            .inputs(inputs.clone())
+            .epsilon(0.5)
+            .seed(3)
+            .protocol(CrashTwoReach::default())
+    });
+    assert!(sim.converged() && sim.valid(), "outputs {:?}", sim.outputs);
+    assert_identical(&sim, &threaded);
+}
+
+#[test]
+fn rbc_probe_decisions_are_runtime_independent() {
+    let (sim, threaded) = run_both(|| {
+        Scenario::builder(generators::clique(4), 0)
+            .inputs(vec![1.0, 9.0, 3.0, 5.0])
+            .epsilon(0.5)
+            .seed(7)
+            .protocol(ReliableBroadcastProbe)
+    });
+    assert!(sim.converged(), "outputs {:?}", sim.outputs);
+    assert_identical(&sim, &threaded);
+}

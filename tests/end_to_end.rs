@@ -1,12 +1,11 @@
 //! Cross-crate integration: the full BW protocol on the experiment
 //! catalog, checked for the paper's three properties (Definition 1).
 
-use dbac::core::adversary::AdversaryKind;
-use dbac::core::run::{run_byzantine_consensus, RunConfig};
 use dbac::graph::{generators, NodeId};
+use dbac::scenario::{FaultKind, Scenario};
 
-fn check(cfg: &RunConfig, label: &str) {
-    let out = run_byzantine_consensus(cfg).expect(label);
+fn check(scenario: &Scenario, label: &str) {
+    let out = scenario.run().expect(label);
     assert!(out.all_decided(), "{label}: some honest node undecided");
     assert!(out.converged(), "{label}: spread {} ≥ ε", out.spread());
     assert!(out.valid(), "{label}: output outside honest input hull");
@@ -15,7 +14,7 @@ fn check(cfg: &RunConfig, label: &str) {
 #[test]
 fn k4_all_honest_multiple_seeds() {
     for seed in [0, 1, 2, 3, 4] {
-        let cfg = RunConfig::builder(generators::clique(4), 1)
+        let cfg = Scenario::builder(generators::clique(4), 1)
             .inputs(vec![0.0, 10.0, 4.0, 6.0])
             .epsilon(0.5)
             .seed(seed)
@@ -28,23 +27,23 @@ fn k4_all_honest_multiple_seeds() {
 #[test]
 fn k4_determinism() {
     let run = |seed| {
-        let cfg = RunConfig::builder(generators::clique(4), 1)
+        let cfg = Scenario::builder(generators::clique(4), 1)
             .inputs(vec![0.0, 10.0, 4.0, 6.0])
             .epsilon(0.5)
             .seed(seed)
             .build()
             .unwrap();
-        run_byzantine_consensus(&cfg).unwrap().outputs
+        cfg.run().unwrap().outputs
     };
     assert_eq!(run(9), run(9), "same seed must reproduce outputs exactly");
 }
 
 #[test]
 fn figure_1a_with_crash() {
-    let cfg = RunConfig::builder(generators::figure_1a(), 1)
+    let cfg = Scenario::builder(generators::figure_1a(), 1)
         .inputs(vec![0.0, 10.0, 5.0, 2.0, 0.0])
         .epsilon(0.5)
-        .byzantine(NodeId::new(4), AdversaryKind::Crash)
+        .fault(NodeId::new(4), FaultKind::Crash)
         .seed(5)
         .build()
         .unwrap();
@@ -53,10 +52,10 @@ fn figure_1a_with_crash() {
 
 #[test]
 fn k5_with_liar() {
-    let cfg = RunConfig::builder(generators::clique(5), 1)
+    let cfg = Scenario::builder(generators::clique(5), 1)
         .inputs(vec![1.0, 2.0, 3.0, 4.0, 0.0])
         .epsilon(0.5)
-        .byzantine(NodeId::new(4), AdversaryKind::ConstantLiar { value: 1e7 })
+        .fault(NodeId::new(4), FaultKind::ConstantLiar { value: 1e7 })
         .seed(8)
         .build()
         .unwrap();
@@ -65,13 +64,13 @@ fn k5_with_liar() {
 
 #[test]
 fn epsilon_larger_than_range_decides_immediately() {
-    let cfg = RunConfig::builder(generators::clique(4), 1)
+    let cfg = Scenario::builder(generators::clique(4), 1)
         .inputs(vec![1.0, 1.1, 1.2, 1.3])
         .epsilon(10.0)
         .seed(0)
         .build()
         .unwrap();
-    let out = run_byzantine_consensus(&cfg).unwrap();
+    let out = cfg.run().unwrap();
     assert_eq!(out.rounds, 0);
     assert!(out.converged());
     assert_eq!(out.sim_stats.messages_sent, 0, "no communication needed");
@@ -80,10 +79,10 @@ fn epsilon_larger_than_range_decides_immediately() {
 #[test]
 fn directed_two_clique_network_with_crash() {
     // The structural heart of Figure 1(b), executable in test time.
-    let cfg = RunConfig::builder(generators::figure_1b_small(), 1)
+    let cfg = Scenario::builder(generators::figure_1b_small(), 1)
         .inputs(vec![0.0, 2.0, 4.0, 6.0, 10.0, 8.0, 7.0, 1.0])
         .epsilon(2.0)
-        .byzantine(NodeId::new(7), AdversaryKind::Crash)
+        .fault(NodeId::new(7), FaultKind::Crash)
         .seed(2)
         .build()
         .unwrap();
@@ -92,14 +91,14 @@ fn directed_two_clique_network_with_crash() {
 
 #[test]
 fn rounds_override_and_histories() {
-    let cfg = RunConfig::builder(generators::clique(4), 1)
+    let cfg = Scenario::builder(generators::clique(4), 1)
         .inputs(vec![0.0, 8.0, 2.0, 6.0])
         .epsilon(0.5)
         .rounds(3)
         .seed(6)
         .build()
         .unwrap();
-    let out = run_byzantine_consensus(&cfg).unwrap();
+    let out = cfg.run().unwrap();
     assert_eq!(out.rounds, 3);
     for v in out.honest.iter() {
         let h = out.histories[v.index()].as_ref().unwrap();

@@ -164,23 +164,22 @@ proptest! {
         seed in 0u64..1000,
         strategy in 0usize..4,
     ) {
-        use dbac::core::adversary::AdversaryKind;
-        use dbac::core::run::{run_byzantine_consensus, RunConfig};
+        use dbac::scenario::{ByzantineWitness, FaultKind, Scenario};
         let kind = match strategy {
-            0 => AdversaryKind::Crash,
-            1 => AdversaryKind::ConstantLiar { value: 1e6 },
-            2 => AdversaryKind::Equivocator { low: -1e3, high: 1e3 },
-            _ => AdversaryKind::Chaotic { seed },
+            0 => FaultKind::Crash,
+            1 => FaultKind::ConstantLiar { value: 1e6 },
+            2 => FaultKind::Equivocator { low: -1e3, high: 1e3 },
+            _ => FaultKind::Chaotic { seed },
         };
         let inputs = vec![raw[0], raw[1], raw[2], 0.0];
-        let cfg = RunConfig::builder(dbac::graph::generators::clique(4), 1)
+        let out = Scenario::builder(dbac::graph::generators::clique(4), 1)
             .inputs(inputs)
             .epsilon(1.0)
-            .byzantine(NodeId::new(3), kind)
+            .fault(NodeId::new(3), kind)
             .seed(seed)
-            .build()
+            .protocol(ByzantineWitness::default())
+            .run()
             .unwrap();
-        let out = run_byzantine_consensus(&cfg).unwrap();
         prop_assert!(out.all_decided());
         prop_assert!(out.converged(), "spread {}", out.spread());
         prop_assert!(out.valid(), "outputs {:?}", out.outputs);
@@ -196,17 +195,18 @@ proptest! {
         budget in 0usize..20,
         seed in 0u64..100,
     ) {
-        use dbac::core::crash::run_crash_consensus;
+        use dbac::scenario::{CrashTwoReach, FaultKind, Scenario, SchedulerSpec};
         prop_assume!(two_reach(&g, 1).holds());
         let inputs: Vec<f64> = (0..5).map(|i| i as f64 * 2.0).collect();
-        let out = run_crash_consensus(
-            g,
-            1,
-            &inputs,
-            0.5,
-            &[(NodeId::new(victim), budget)],
-            seed,
-        ).unwrap();
+        let out = Scenario::builder(g, 1)
+            .inputs(inputs)
+            .epsilon(0.5)
+            .range((0.0, 8.0))
+            .fault(NodeId::new(victim), FaultKind::CrashAfter { sends: budget })
+            .scheduler(SchedulerSpec::legacy_random(seed))
+            .protocol(CrashTwoReach::default())
+            .run()
+            .unwrap();
         prop_assert!(out.converged(), "outputs {:?}", out.outputs);
         prop_assert!(out.valid());
     }

@@ -1,20 +1,20 @@
 //! The protocol under real OS concurrency: the thread-per-node runtime
 //! must reach the same guarantees as the deterministic simulator.
 
-use dbac::core::adversary::AdversaryKind;
-use dbac::core::run::{run_byzantine_consensus_threaded, RunConfig};
 use dbac::graph::{generators, NodeId};
+use dbac::scenario::{FaultKind, Runtime, Scenario};
 use std::time::Duration;
 
 #[test]
 fn threaded_k4_all_honest() {
-    let cfg = RunConfig::builder(generators::clique(4), 1)
+    let cfg = Scenario::builder(generators::clique(4), 1)
         .inputs(vec![0.0, 10.0, 4.0, 6.0])
         .epsilon(0.5)
         .seed(1)
+        .runtime(Runtime::Threaded { timeout: Duration::from_secs(120) })
         .build()
         .unwrap();
-    let out = run_byzantine_consensus_threaded(&cfg, Duration::from_secs(120)).unwrap();
+    let out = cfg.run().unwrap();
     assert!(out.all_decided());
     assert!(out.converged(), "spread {}", out.spread());
     assert!(out.valid());
@@ -22,27 +22,29 @@ fn threaded_k4_all_honest() {
 
 #[test]
 fn threaded_k4_with_crash() {
-    let cfg = RunConfig::builder(generators::clique(4), 1)
+    let cfg = Scenario::builder(generators::clique(4), 1)
         .inputs(vec![2.0, 8.0, 4.0, 0.0])
         .epsilon(0.5)
-        .byzantine(NodeId::new(3), AdversaryKind::Crash)
+        .fault(NodeId::new(3), FaultKind::Crash)
         .seed(2)
+        .runtime(Runtime::Threaded { timeout: Duration::from_secs(120) })
         .build()
         .unwrap();
-    let out = run_byzantine_consensus_threaded(&cfg, Duration::from_secs(120)).unwrap();
+    let out = cfg.run().unwrap();
     assert!(out.converged() && out.valid());
     assert!(out.outputs[3].is_none());
 }
 
 #[test]
 fn threaded_k4_with_liar() {
-    let cfg = RunConfig::builder(generators::clique(4), 1)
+    let cfg = Scenario::builder(generators::clique(4), 1)
         .inputs(vec![2.0, 8.0, 4.0, 0.0])
         .epsilon(1.0)
-        .byzantine(NodeId::new(3), AdversaryKind::ConstantLiar { value: 1e6 })
+        .fault(NodeId::new(3), FaultKind::ConstantLiar { value: 1e6 })
         .seed(3)
+        .runtime(Runtime::Threaded { timeout: Duration::from_secs(120) })
         .build()
         .unwrap();
-    let out = run_byzantine_consensus_threaded(&cfg, Duration::from_secs(120)).unwrap();
+    let out = cfg.run().unwrap();
     assert!(out.converged() && out.valid());
 }
