@@ -558,6 +558,78 @@ mod tests {
         assert_eq!(out.rounds, 1);
     }
 
+    /// The W-MSR round count is a per-protocol knob: it rides the sweep's
+    /// protocol axis as distinctly configured instances, and the rounds
+    /// axis (the scenario override) reaches it through `rounds_opt`.
+    #[test]
+    fn iterative_rounds_knob_sweeps_as_a_protocol_axis() {
+        use dbac_core::scenario::sweep::ExperimentPlan;
+        let sweep = ExperimentPlan::new()
+            .protocol("wmsr10", IterativeTrimmedMean::with_rounds(10))
+            .protocol("wmsr60", IterativeTrimmedMean::with_rounds(60))
+            .graph("K5", generators::clique(5))
+            .fault_bound(1)
+            .faults("liar", vec![(id(4), FaultKind::ConstantLiar { value: 999.0 })])
+            .inputs(
+                "ramped",
+                dbac_core::scenario::sweep::InputSpec::from_fn(|g| {
+                    (0..g.node_count()).map(|i| i as f64).collect()
+                })
+                .with_range(0.0, 999.0),
+            )
+            .epsilon(1e-6)
+            .build()
+            .unwrap();
+        let report = sweep.run();
+        assert!(report.failures().is_empty());
+        let rounds: Vec<u32> =
+            report.rows.iter().map(|r| r.summary.as_ref().unwrap().rounds).collect();
+        assert_eq!(rounds, vec![10, 60], "each protocol axis point keeps its knob");
+
+        // The rounds axis overrides the knob for every instance.
+        let report = ExperimentPlan::new()
+            .protocol("wmsr", IterativeTrimmedMean::default())
+            .graph("K5", generators::clique(5))
+            .fault_bound(0)
+            .rounds(7)
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(report.rows[0].summary.as_ref().unwrap().rounds, 7);
+    }
+
+    /// A cross-baseline plan: AAD04 and the RBC probe sweep under one
+    /// schedule family; the probe is a one-round protocol, so only
+    /// validity (not ε-convergence) is asserted for it.
+    #[test]
+    fn baseline_protocols_sweep_under_one_plan() {
+        use dbac_core::scenario::sweep::{ExperimentPlan, SchedulerFamily};
+        let report = ExperimentPlan::new()
+            .protocol("aad04", Aad04)
+            .protocol("rbc", ReliableBroadcastProbe)
+            .graph("K4", generators::clique(4))
+            .fault_bound(1)
+            .faults("liar", vec![(id(3), FaultKind::ConstantLiar { value: 1e9 })])
+            .inputs("probe", dbac_core::scenario::sweep::InputSpec::fixed(vec![2.0, 4.0, 6.0, 0.0]))
+            .epsilon(10.0)
+            .scheduler("legacy", SchedulerFamily::legacy_random())
+            .seeds([2, 5])
+            .build()
+            .unwrap();
+        let report = report.run();
+        assert!(report.failures().is_empty());
+        for row in &report.rows {
+            let s = row.summary.as_ref().unwrap();
+            assert!(s.all_decided && s.valid, "{}: {s:?}", row.label);
+        }
+        let reduced = report.reduce();
+        assert_eq!(reduced.cells.len(), 2, "one group per protocol");
+        for cell in &reduced.cells {
+            assert_eq!(cell.runs, 2);
+            assert_eq!(cell.valid, 2);
+        }
+    }
+
     #[test]
     fn rbc_probe_all_honest_agrees_with_full_delivery() {
         // f = 0: every node waits for all n broadcasts, so the probe is

@@ -7,62 +7,75 @@
 //! *adversarial* executions, where Lemma 8's confirmations travel
 //! composite paths `p_{q,z} ∥ p_{z,v}`.
 //!
+//! The whole ablation is one [`ExperimentPlan`]: the flood mode rides the
+//! protocol axis as two labelled [`ByzantineWitness`] configurations,
+//! crossed with the graph and adversary axes.
+//!
 //! Run: `cargo run --release -p dbac-bench --bin ablation`
 
-use dbac_bench::table::{num, yes_no, Table};
+use dbac_bench::table::{yes_no, Table};
 use dbac_core::config::FloodMode;
-use dbac_core::scenario::{ByzantineWitness, FaultKind, Outcome, Scenario};
+use dbac_core::scenario::sweep::ExperimentPlan;
+use dbac_core::scenario::{ByzantineWitness, FaultKind};
 use dbac_graph::{generators, Digraph, NodeId};
 
-fn run_mode(g: &Digraph, f: usize, mode: FloodMode, byz: Option<(NodeId, FaultKind)>) -> Outcome {
-    let n = g.node_count();
-    let inputs: Vec<f64> = (0..n).map(|i| i as f64).collect();
-    let mut b = Scenario::builder(g.clone(), f)
-        .inputs(inputs)
-        .epsilon(1.0)
-        .seed(15)
-        .max_events(100_000_000)
-        .protocol(ByzantineWitness::default().with_flood_mode(mode));
-    if let Some((v, kind)) = byz {
-        b = b.fault(v, kind);
-    }
-    b.run().unwrap()
+fn last(g: &Digraph) -> NodeId {
+    NodeId::new(g.node_count() - 1)
 }
 
 fn main() {
     println!("E11b — redundant-path ablation\n");
+    const GRAPHS: [&str; 3] = ["K4", "K5", "two-K4 bridged"];
+    const ADVERSARIES: [&str; 4] = ["none", "crash", "liar", "tamperer"];
+    const MODES: [&str; 2] = ["Redundant", "SimpleOnly"];
+    let report = ExperimentPlan::new()
+        .protocol("Redundant", ByzantineWitness::default())
+        .protocol("SimpleOnly", ByzantineWitness::default().with_flood_mode(FloodMode::SimpleOnly))
+        .graph(GRAPHS[0], generators::clique(4))
+        .graph(GRAPHS[1], generators::clique(5))
+        .graph(GRAPHS[2], generators::figure_1b_small())
+        .fault_bound(1)
+        .placement(ADVERSARIES[0], |_, _| Vec::new())
+        .placement(ADVERSARIES[1], |g, _| vec![(last(g), FaultKind::Crash)])
+        .placement(ADVERSARIES[2], |g, _| vec![(last(g), FaultKind::ConstantLiar { value: 1e5 })])
+        .placement(ADVERSARIES[3], |g, _| vec![(last(g), FaultKind::RelayTamperer { spoof: -1e5 })])
+        .epsilon(1.0)
+        .seed(15)
+        .max_events(100_000_000)
+        .build()
+        .expect("E11b plan expands")
+        .run();
+
+    // Render graph-major (the paper's grouping); the plan expands with the
+    // protocol axis outermost.
     let mut t =
         Table::new(vec!["graph", "adversary", "mode", "decided", "converged", "valid", "messages"]);
-    let cases: Vec<(String, Digraph, usize)> = vec![
-        ("K4".into(), generators::clique(4), 1),
-        ("K5".into(), generators::clique(5), 1),
-        ("two-K4 bridged".into(), generators::figure_1b_small(), 1),
-    ];
-    for (name, g, f) in &cases {
-        let byz_node = NodeId::new(g.node_count() - 1);
-        let scenarios: Vec<(&str, Option<(NodeId, FaultKind)>)> = vec![
-            ("none", None),
-            ("crash", Some((byz_node, FaultKind::Crash))),
-            ("liar", Some((byz_node, FaultKind::ConstantLiar { value: 1e5 }))),
-            ("tamperer", Some((byz_node, FaultKind::RelayTamperer { spoof: -1e5 }))),
-        ];
-        for (adv, byz) in scenarios {
-            for mode in [FloodMode::Redundant, FloodMode::SimpleOnly] {
-                let out = run_mode(g, *f, mode, byz.clone());
+    for graph in GRAPHS {
+        for adversary in ADVERSARIES {
+            for mode in MODES {
+                let row = report
+                    .rows
+                    .iter()
+                    .find(|r| {
+                        r.coord("graph") == Some(graph)
+                            && r.coord("placement") == Some(adversary)
+                            && r.coord("protocol") == Some(mode)
+                    })
+                    .expect("every grid cell present");
+                let s = row.summary.as_ref().unwrap_or_else(|e| panic!("{}: {e}", row.label));
                 t.row(vec![
-                    name.clone(),
-                    adv.into(),
-                    format!("{mode:?}"),
-                    yes_no(out.all_decided()),
-                    yes_no(out.converged()),
-                    yes_no(out.valid()),
-                    out.sim_stats.messages_sent.to_string(),
+                    graph.into(),
+                    adversary.into(),
+                    mode.into(),
+                    yes_no(s.all_decided),
+                    yes_no(s.converged),
+                    yes_no(s.valid),
+                    s.messages_sent.to_string(),
                 ]);
                 // The paper's mode must always succeed.
-                if mode == FloodMode::Redundant {
-                    assert!(out.converged() && out.valid(), "{name}/{adv}: redundant mode failed");
+                if mode == "Redundant" {
+                    assert!(s.converged && s.valid, "{graph}/{adversary}: redundant mode failed");
                 }
-                let _ = num(out.spread());
             }
         }
     }

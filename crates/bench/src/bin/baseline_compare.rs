@@ -1,23 +1,27 @@
-//! Experiments **E9 / E10 — baselines**, as one scenario sweep.
+//! Experiments **E9 / E10 — baselines**.
 //!
 //! * E9: on cliques (the setting of Abraham–Amit–Dolev 2004), BW and AAD04
 //!   both converge with optimal resilience; BW pays exponential messages
 //!   for generality, AAD04 pays reliable-broadcast rounds. The comparison
-//!   is a single [`Grid`]: {BW, AAD04} × {K4, K5} × {crash, liar}.
+//!   is a single [`ExperimentPlan`] — {BW, AAD04} × {K4, K5} × {crash,
+//!   liar} × a three-seed batch — reduced into per-group statistics (the
+//!   table shows the mean message cost with its min/max envelope).
 //! * E10: on `figure_1b_small` — which satisfies 3-reach but is **not**
 //!   `(2,2)`-robust — the purely local iterative algorithm stalls at full
 //!   spread *even with zero actual faults* (its `f`-filtering discards the
 //!   scarce cross-clique edges), while BW converges with a live adversary.
+//!   Three individually-configured contrast runs, not a sweep.
 //!
 //! Run: `cargo run --release -p dbac-bench --bin baseline_compare`
-//! (`-- --json <path>` additionally writes the E9 sweep as a
-//! `bench_trend`-compatible JSON report, uploaded as a CI artifact).
+//! (`-- --json <path>` additionally writes the E9 sweep's *reduced*
+//! seed-aggregated report as `bench_trend`-compatible JSON, uploaded as a
+//! CI artifact).
 
 use dbac_baselines::iterative::is_r_s_robust;
 use dbac_baselines::{Aad04, IterativeTrimmedMean};
 use dbac_bench::table::{num, yes_no, Table};
 use dbac_conditions::kreach::three_reach;
-use dbac_core::scenario::sweep::{Grid, SweepReport};
+use dbac_core::scenario::sweep::{ExperimentPlan, ReducedReport};
 use dbac_core::scenario::{ByzantineWitness, FaultKind, Scenario};
 use dbac_graph::{generators, Digraph, NodeId};
 
@@ -26,7 +30,7 @@ fn main() {
     e10_iterative_contrast();
     if let Some(path) = json_path() {
         report.write_json(std::path::Path::new(&path)).expect("sweep JSON written");
-        println!("sweep report written to {path}");
+        println!("reduced sweep report written to {path}");
     }
 }
 
@@ -40,57 +44,58 @@ fn json_path() -> Option<String> {
     None
 }
 
-fn crash_at_last(g: &Digraph, _f: usize) -> Vec<(NodeId, FaultKind)> {
-    vec![(NodeId::new(g.node_count() - 1), FaultKind::Crash)]
+fn last(g: &Digraph) -> NodeId {
+    NodeId::new(g.node_count() - 1)
 }
 
-fn liar_at_last(g: &Digraph, _f: usize) -> Vec<(NodeId, FaultKind)> {
-    vec![(NodeId::new(g.node_count() - 1), FaultKind::ConstantLiar { value: 1e6 })]
-}
-
-fn e9_aad_comparison() -> SweepReport {
+fn e9_aad_comparison() -> ReducedReport {
     println!("E9 — BW (this paper) vs AAD04 on complete networks\n");
-    // Both algorithms run under the grid's single unified schedule
-    // (Random [1, 20] per seed). The pre-sweep version of this binary
-    // incidentally used [1, 15] for AAD04 and [1, 20] for BW; a uniform
-    // schedule is the controlled comparison, so absolute AAD04 message
-    // counts shifted slightly relative to older recorded output.
-    let sweep = Grid::new()
+    // Both algorithms run under the plan's single unified schedule family
+    // (Random [1, 20] per seed) — the controlled comparison — and each
+    // grid group aggregates a three-seed batch, so the message-cost gap is
+    // reported as a distribution rather than a single draw.
+    let sweep = ExperimentPlan::new()
         .protocol("BW", ByzantineWitness::default())
         .protocol("AAD04", Aad04)
         .graph("K4", generators::clique(4))
         .graph("K5", generators::clique(5))
         .fault_bound(1)
-        .placement("crash", crash_at_last)
-        .placement("liar", liar_at_last)
-        .seed(4)
+        .placement("crash", |g, _| vec![(last(g), FaultKind::Crash)])
+        .placement("liar", |g, _| vec![(last(g), FaultKind::ConstantLiar { value: 1e6 })])
         .epsilon(0.5)
+        .seeds([4, 5, 6])
         .build()
-        .expect("E9 grid builds");
-    let report = sweep.run();
+        .expect("E9 plan expands");
+    let reduced = sweep.run().reduce();
+    println!("plan: {} cells in {} seed-batch groups\n", sweep.cell_count(), reduced.cells.len());
 
     let mut t = Table::new(vec![
-        "n",
-        "f",
-        "adversary",
         "algorithm",
+        "graph",
+        "adversary",
         "converged",
         "valid",
-        "honest messages",
+        "honest messages (mean [min, max])",
     ]);
-    for (point, row) in sweep.points().iter().zip(&report.rows) {
-        let summary = row.summary.as_ref().unwrap_or_else(|e| panic!("{}: {e}", row.label));
-        assert!(summary.converged && summary.valid, "{} failed", row.label);
-        let algo = point.scenario.protocol().name();
-        let adversary = point.scenario.faults().first().map_or("none", |(_, k)| k.label());
+    for cell in &reduced.cells {
+        assert_eq!(cell.errors, 0, "{}: cells failed", cell.group);
+        assert!(
+            cell.converged == cell.runs && cell.valid == cell.runs,
+            "{} failed ({}/{} converged)",
+            cell.group,
+            cell.converged,
+            cell.runs
+        );
         t.row(vec![
-            point.scenario.graph().node_count().to_string(),
-            point.scenario.f().to_string(),
-            adversary.into(),
-            algo.into(),
-            yes_no(summary.converged),
-            yes_no(summary.valid),
-            summary.honest_messages.unwrap_or(summary.messages_sent).to_string(),
+            cell.coord("protocol").expect("protocol axis").into(),
+            cell.coord("graph").expect("graph axis").into(),
+            cell.coord("placement").expect("placement axis").into(),
+            format!("{}/{}", cell.converged, cell.runs),
+            format!("{}/{}", cell.valid, cell.runs),
+            format!(
+                "{:.0} [{:.0}, {:.0}]",
+                cell.messages.mean, cell.messages.min, cell.messages.max
+            ),
         ]);
     }
     println!("{}", t.render());
@@ -98,7 +103,7 @@ fn e9_aad_comparison() -> SweepReport {
         "Both achieve optimal resilience on cliques; BW's generality to directed,\n\
          incomplete networks costs redundant-path flooding (message counts above).\n"
     );
-    report
+    reduced
 }
 
 fn e10_iterative_contrast() {

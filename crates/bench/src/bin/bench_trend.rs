@@ -13,174 +13,15 @@
 //! bench_trend --baseline BENCH_BASELINE.json --current bench.json [--max-ratio 2.0]
 //! ```
 //!
+//! The report reader and the comparison live in [`dbac_bench::trend`]
+//! (shared with the sweep round-trip tests — the scenario sweeps' reduced
+//! reports emit the same schema).
+//!
 //! Exit status: 0 when every baseline kernel is present and within bounds,
 //! 1 otherwise.
 
-use std::collections::BTreeMap;
+use dbac_bench::trend::{compare, parse_report, Report};
 use std::process::ExitCode;
-
-/// Mean nanoseconds per kernel, keyed by benchmark name.
-type Report = BTreeMap<String, f64>;
-
-// ---------------------------------------------------------------------------
-// Minimal JSON reader for the bench report schema
-// ---------------------------------------------------------------------------
-// The workspace's serde shim has no JSON support (see shims/README.md), and
-// the report format is fully under our control:
-//   { "kernels": { "<name>": { "mean_ns": 1.0, ... }, ... } }
-// This parser handles exactly that shape: objects, string keys, and number
-// values, with arbitrary whitespace. Anything else is a hard error.
-
-struct Json<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Json<'a> {
-    fn new(text: &'a str) -> Self {
-        Json { bytes: text.as_bytes(), pos: 0 }
-    }
-
-    fn skip_ws(&mut self) {
-        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, c: u8) -> Result<(), String> {
-        self.skip_ws();
-        if self.bytes.get(self.pos) == Some(&c) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected '{}' at byte {}", c as char, self.pos))
-        }
-    }
-
-    fn peek(&mut self) -> Option<u8> {
-        self.skip_ws();
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            let Some(&b) = self.bytes.get(self.pos) else {
-                return Err("unterminated string".into());
-            };
-            self.pos += 1;
-            match b {
-                b'"' => return Ok(out),
-                b'\\' => {
-                    let Some(&esc) = self.bytes.get(self.pos) else {
-                        return Err("unterminated escape".into());
-                    };
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b't' => out.push('\t'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .ok_or("truncated \\u escape")?;
-                            self.pos += 4;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
-                                16,
-                            )
-                            .map_err(|e| e.to_string())?;
-                            out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
-                        }
-                        other => return Err(format!("unsupported escape '\\{}'", other as char)),
-                    }
-                }
-                other => out.push(other as char),
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<f64, String> {
-        self.skip_ws();
-        let start = self.pos;
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
-        {
-            self.pos += 1;
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|e| e.to_string())?
-            .parse()
-            .map_err(|e| format!("bad number at byte {start}: {e}"))
-    }
-
-    /// Parses an object, calling `visit` per key (after which the cursor
-    /// must stand past the key's value).
-    fn object(
-        &mut self,
-        visit: &mut dyn FnMut(&mut Json<'a>, &str) -> Result<(), String>,
-    ) -> Result<(), String> {
-        self.expect(b'{')?;
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(());
-        }
-        loop {
-            let key = self.string()?;
-            self.expect(b':')?;
-            visit(self, &key)?;
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(());
-                }
-                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
-            }
-        }
-    }
-}
-
-/// Extracts `name → mean_ns` from a bench report.
-fn parse_report(text: &str) -> Result<Report, String> {
-    let mut report = Report::new();
-    let mut json = Json::new(text);
-    json.object(&mut |j, key| {
-        if key != "kernels" {
-            return Err(format!("unexpected top-level key '{key}'"));
-        }
-        j.object(&mut |j, kernel| {
-            let mut mean = None;
-            j.object(&mut |j, field| {
-                let value = j.number()?;
-                if field == "mean_ns" {
-                    mean = Some(value);
-                }
-                Ok(())
-            })?;
-            let mean = mean.ok_or_else(|| format!("kernel '{kernel}' lacks mean_ns"))?;
-            report.insert(kernel.to_string(), mean);
-            Ok(())
-        })
-    })?;
-    Ok(report)
-}
-
-fn median(mut values: Vec<f64>) -> f64 {
-    values.sort_by(f64::total_cmp);
-    let n = values.len();
-    if n % 2 == 1 {
-        values[n / 2]
-    } else {
-        (values[n / 2 - 1] + values[n / 2]) / 2.0
-    }
-}
 
 struct Args {
     baseline: String,
@@ -209,47 +50,6 @@ fn parse_args() -> Result<Args, String> {
         current: current.ok_or("--current is required")?,
         max_ratio,
     })
-}
-
-/// The comparison proper, separated from I/O for testability. Returns the
-/// list of failures (empty = gate passes).
-fn compare(baseline: &Report, current: &Report, max_ratio: f64) -> Vec<String> {
-    let mut failures = Vec::new();
-    let ratios: Vec<(String, f64)> = baseline
-        .iter()
-        .filter_map(|(name, &base)| current.get(name).map(|&cur| (name.clone(), cur / base)))
-        .collect();
-    if ratios.is_empty() {
-        return vec!["no kernels in common between baseline and current".into()];
-    }
-    let med = median(ratios.iter().map(|&(_, r)| r).collect()).max(f64::MIN_POSITIVE);
-    println!("median current/baseline ratio: {med:.3} (machine-speed normalizer)");
-    println!("{:<55} {:>12} {:>12} {:>8} {:>8}", "kernel", "baseline", "current", "ratio", "norm");
-    for (name, ratio) in &ratios {
-        let norm = ratio / med;
-        let verdict = if norm > max_ratio { "REGRESSED" } else { "ok" };
-        println!(
-            "{:<55} {:>10.1}ns {:>10.1}ns {:>8.3} {:>8.3}  {}",
-            name, baseline[name], current[name], ratio, norm, verdict
-        );
-        if norm > max_ratio {
-            failures.push(format!(
-                "{name}: {:.1}ns → {:.1}ns ({norm:.2}x the median trend, limit {max_ratio}x)",
-                baseline[name], current[name]
-            ));
-        }
-    }
-    for name in baseline.keys() {
-        if !current.contains_key(name) {
-            failures.push(format!("{name}: present in baseline but missing from current run"));
-        }
-    }
-    for name in current.keys() {
-        if !baseline.contains_key(name) {
-            println!("note: new kernel '{name}' has no baseline yet (not gated)");
-        }
-    }
-    failures
 }
 
 fn main() -> ExitCode {
@@ -290,70 +90,5 @@ fn main() -> ExitCode {
             eprintln!("  {f}");
         }
         ExitCode::FAILURE
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    const SAMPLE: &str = r#"{
-      "kernels": {
-        "mc_scan/fig1b_small/batched": { "mean_ns": 100.0, "min_ns": 90.0, "max_ns": 120.0 },
-        "fra_scan/fig1b_small/batched": { "mean_ns": 50.5, "min_ns": 48.0, "max_ns": 52.0 }
-      }
-    }"#;
-
-    #[test]
-    fn parses_the_report_schema() {
-        let report = parse_report(SAMPLE).unwrap();
-        assert_eq!(report.len(), 2);
-        assert_eq!(report["mc_scan/fig1b_small/batched"], 100.0);
-        assert_eq!(report["fra_scan/fig1b_small/batched"], 50.5);
-    }
-
-    #[test]
-    fn rejects_malformed_reports() {
-        assert!(parse_report("{").is_err());
-        assert!(parse_report(r#"{"kernels": {"a": {"mean": 1}}}"#).is_err());
-        assert!(parse_report(r#"{"other": {}}"#).is_err());
-        assert!(parse_report(r#"{"kernels": {}}"#).unwrap().is_empty());
-    }
-
-    fn report(entries: &[(&str, f64)]) -> Report {
-        entries.iter().map(|&(k, v)| (k.to_string(), v)).collect()
-    }
-
-    #[test]
-    fn uniform_machine_speed_shift_passes() {
-        let base = report(&[("a", 100.0), ("b", 200.0), ("c", 300.0)]);
-        // A 3x slower machine across the board: no regression.
-        let cur = report(&[("a", 300.0), ("b", 600.0), ("c", 900.0)]);
-        assert!(compare(&base, &cur, 2.0).is_empty());
-    }
-
-    #[test]
-    fn single_kernel_regression_fails() {
-        let base = report(&[("a", 100.0), ("b", 200.0), ("c", 300.0)]);
-        // Same machine, but kernel c regressed 5x.
-        let cur = report(&[("a", 100.0), ("b", 200.0), ("c", 1500.0)]);
-        let failures = compare(&base, &cur, 2.0);
-        assert_eq!(failures.len(), 1);
-        assert!(failures[0].starts_with("c:"));
-    }
-
-    #[test]
-    fn missing_kernel_fails_and_new_kernel_does_not() {
-        let base = report(&[("a", 100.0), ("b", 200.0)]);
-        let cur = report(&[("a", 100.0), ("new", 1.0)]);
-        let failures = compare(&base, &cur, 2.0);
-        assert_eq!(failures.len(), 1);
-        assert!(failures[0].contains("missing"));
-    }
-
-    #[test]
-    fn median_of_even_and_odd_sets() {
-        assert_eq!(median(vec![1.0, 3.0, 2.0]), 2.0);
-        assert_eq!(median(vec![1.0, 2.0, 3.0, 4.0]), 2.5);
     }
 }

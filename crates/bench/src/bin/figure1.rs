@@ -13,6 +13,7 @@
 use dbac_bench::table::{num, yes_no, Table};
 use dbac_conditions::kreach::three_reach;
 use dbac_conditions::partition::bcs;
+use dbac_core::scenario::sweep::{ExperimentPlan, InputSpec};
 use dbac_core::scenario::{ByzantineWitness, FaultKind, Scenario};
 use dbac_graph::connectivity::vertex_connectivity;
 use dbac_graph::maxflow::max_vertex_disjoint_paths;
@@ -104,27 +105,30 @@ fn figure_1b() {
     ]);
     println!("8-node scale-down:\n{}", t.render());
 
-    let inputs: Vec<f64> = vec![0.0, 2.0, 4.0, 6.0, 10.0, 8.0, 7.0, 1.0];
-    for (label, byz, kind) in [
-        ("crash in K1", NodeId::new(2), FaultKind::Crash),
-        ("liar in K2", NodeId::new(6), FaultKind::ConstantLiar { value: -1e5 }),
-    ] {
-        let out = Scenario::builder(small.clone(), 1)
-            .inputs(inputs.clone())
-            .epsilon(1.0)
-            .fault(byz, kind)
-            .seed(9)
-            .protocol(ByzantineWitness::default())
-            .run()
-            .unwrap();
+    // The two adversarial runs are one plan: the fault placement is the
+    // only populated axis.
+    let report = ExperimentPlan::new()
+        .protocol("bw", ByzantineWitness::default())
+        .graph("scale-down", small)
+        .faults("crash in K1", vec![(NodeId::new(2), FaultKind::Crash)])
+        .faults("liar in K2", vec![(NodeId::new(6), FaultKind::ConstantLiar { value: -1e5 })])
+        .inputs("fig1b", InputSpec::fixed(vec![0.0, 2.0, 4.0, 6.0, 10.0, 8.0, 7.0, 1.0]))
+        .epsilon(1.0)
+        .seed(9)
+        .build()
+        .expect("figure 1(b) plan expands")
+        .run();
+    for row in &report.rows {
+        let label = row.coord("placement").expect("placement axis");
+        let s = row.summary.as_ref().unwrap_or_else(|e| panic!("{}: {e}", row.label));
         println!(
             "BW on scale-down with {label}: converged={} valid={} spread={} messages={}",
-            yes_no(out.converged()),
-            yes_no(out.valid()),
-            num(out.spread()),
-            out.sim_stats.messages_delivered,
+            yes_no(s.converged),
+            yes_no(s.valid),
+            num(s.spread),
+            s.messages_delivered,
         );
-        assert!(out.converged() && out.valid(), "{label} failed");
+        assert!(s.converged && s.valid, "{label} failed");
     }
     println!("\nRESULT: Figure 1 properties reproduced; consensus without all-pair RMT confirmed.");
 }

@@ -5,7 +5,7 @@
 //!
 //! Run: `cargo run --release -p dbac-bench --bin scaling`
 
-use dbac_bench::table::{num, yes_no, Table};
+use dbac_bench::table::{yes_no, Table};
 use dbac_core::config::FloodMode;
 use dbac_core::precompute::Topology;
 use dbac_core::scenario::{ByzantineWitness, FaultKind, Scenario};
@@ -95,7 +95,6 @@ fn end_to_end_scaling() {
             yes_no(out.converged()),
         ]);
         assert!(out.converged(), "{name} failed to converge");
-        let _ = num(out.spread());
     }
     println!("{}", t.render());
     println!(

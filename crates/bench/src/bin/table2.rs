@@ -6,14 +6,31 @@
 //! * async Byz approx     — 3-reach (**this paper**): BW *runs*; the
 //!   necessity side is executed by the `impossibility` binary.
 //!
+//! Every executed row is an [`ExperimentPlan`] over the graph catalog —
+//! the graph axis comes straight from [`catalog::feasible_instances`] /
+//! [`catalog::infeasible_instances`], and the renderer reads conditions
+//! off each cell's scenario.
+//!
 //! Run: `cargo run --release -p dbac-bench --bin table2`
 
 use dbac_bench::catalog;
 use dbac_bench::table::{yes_no, Table};
 use dbac_conditions::kreach::{one_reach, three_reach, two_reach};
 use dbac_conditions::partition::{bcs, cca, ccs};
-use dbac_core::scenario::{ByzantineWitness, CrashTwoReach, FaultKind, Scenario, SchedulerSpec};
-use dbac_graph::NodeId;
+use dbac_core::scenario::sweep::{Axis, ExperimentPlan, InputSpec, SchedulerFamily};
+use dbac_core::scenario::{ByzantineWitness, CrashTwoReach, FaultKind};
+use dbac_graph::{Digraph, NodeId};
+
+fn last(g: &Digraph) -> NodeId {
+    NodeId::new(g.node_count() - 1)
+}
+
+fn catalog_axis(instances: Vec<catalog::Instance>) -> Axis<Digraph> {
+    // Every catalog instance targets f = 1, so the graph axis can cross a
+    // single fault-bound point.
+    assert!(instances.iter().all(|i| i.f == 1), "catalog instances all use f = 1");
+    Axis::from_points(instances.into_iter().map(|i| (i.name, i.graph)))
+}
 
 fn main() {
     println!("E2 / Table 2 — directed tight conditions\n");
@@ -33,75 +50,84 @@ fn main() {
     println!("Theorem 17 equivalences:\n{}", t.render());
     assert!(all_equal, "equivalence mismatch");
 
-    // Async crash approx — the 2-reach cell, executed.
+    // Async crash approx — the 2-reach cell, executed. The a-priori range
+    // covers the crashed node's input too: it is honest until it crashes.
+    let sweep = ExperimentPlan::new()
+        .protocol("crash", CrashTwoReach::default())
+        .graphs_axis(catalog_axis(catalog::feasible_instances()))
+        .fault_bound(1)
+        .placement("crash-after", |g, _| vec![(last(g), FaultKind::CrashAfter { sends: 2 })])
+        .inputs(
+            "indexed",
+            InputSpec::indexed().with_range_fn(|g| (0.0, (g.node_count() - 1) as f64)),
+        )
+        .epsilon(0.5)
+        .scheduler("legacy", SchedulerFamily::legacy_random())
+        .seed(5)
+        .build()
+        .expect("crash-row plan expands");
+    let report = sweep.run();
     let mut t = Table::new(vec!["graph", "2-reach", "crash run converged", "valid"]);
-    for inst in catalog::feasible_instances() {
-        let n = inst.graph.node_count();
-        let inputs: Vec<f64> = (0..n).map(|i| i as f64).collect();
-        let holds = two_reach(&inst.graph, inst.f).holds();
-        let out = Scenario::builder(inst.graph.clone(), inst.f)
-            .inputs(inputs)
-            .epsilon(0.5)
-            // The a-priori range covers the crashed node's input too: it is
-            // honest until it crashes.
-            .range((0.0, (n - 1) as f64))
-            .fault(NodeId::new(n - 1), FaultKind::CrashAfter { sends: 2 })
-            .scheduler(SchedulerSpec::legacy_random(5))
-            .protocol(CrashTwoReach::default())
-            .run()
-            .unwrap();
-        t.row(vec![inst.name.clone(), yes_no(holds), yes_no(out.converged()), yes_no(out.valid())]);
-        assert!(holds && out.converged() && out.valid(), "{} failed", inst.name);
+    for (cell, row) in sweep.cells().iter().zip(&report.rows) {
+        let scn = cell.scenario().expect("catalog cell builds");
+        let holds = two_reach(scn.graph(), scn.f()).holds();
+        let s = row.summary.as_ref().unwrap_or_else(|e| panic!("{}: {e}", row.label));
+        let name = cell.coord("graph").expect("graph axis");
+        t.row(vec![name.into(), yes_no(holds), yes_no(s.converged), yes_no(s.valid)]);
+        assert!(holds && s.converged && s.valid, "{name} failed");
     }
     println!("Async crash approximate consensus (2-reach row):\n{}", t.render());
 
-    // Async Byzantine approx — the paper's cell, executed with a real fault.
+    // Async Byzantine approx — the paper's cell, executed with a real fault
+    // (the adversary is a second axis crossed with the catalog).
+    let sweep = ExperimentPlan::new()
+        .protocol("bw", ByzantineWitness::default())
+        .graphs_axis(catalog_axis(catalog::feasible_instances()))
+        .fault_bound(1)
+        .placement("crash", |g, _| vec![(last(g), FaultKind::Crash)])
+        .placement("liar", |g, _| vec![(last(g), FaultKind::ConstantLiar { value: 1e6 })])
+        .epsilon(0.5)
+        .seed(13)
+        .build()
+        .expect("BW-row plan expands");
+    let report = sweep.run();
     let mut t =
         Table::new(vec!["graph", "3-reach", "adversary", "BW converged", "valid", "messages"]);
-    for inst in catalog::feasible_instances() {
-        let n = inst.graph.node_count();
-        let inputs: Vec<f64> = (0..n).map(|i| i as f64).collect();
-        let byz = NodeId::new(n - 1);
-        for (label, kind) in
-            [("crash", FaultKind::Crash), ("liar", FaultKind::ConstantLiar { value: 1e6 })]
-        {
-            let out = Scenario::builder(inst.graph.clone(), inst.f)
-                .inputs(inputs.clone())
-                .epsilon(0.5)
-                .fault(byz, kind)
-                .seed(13)
-                .protocol(ByzantineWitness::default())
-                .run()
-                .unwrap();
-            t.row(vec![
-                inst.name.clone(),
-                yes_no(three_reach(&inst.graph, inst.f).holds()),
-                label.into(),
-                yes_no(out.converged()),
-                yes_no(out.valid()),
-                out.sim_stats.messages_delivered.to_string(),
-            ]);
-            assert!(out.converged() && out.valid(), "{} ({label}) failed", inst.name);
-        }
+    for (cell, row) in sweep.cells().iter().zip(&report.rows) {
+        let scn = cell.scenario().expect("catalog cell builds");
+        let s = row.summary.as_ref().unwrap_or_else(|e| panic!("{}: {e}", row.label));
+        let name = cell.coord("graph").expect("graph axis");
+        let adversary = cell.coord("placement").expect("placement axis");
+        t.row(vec![
+            name.into(),
+            yes_no(three_reach(scn.graph(), scn.f()).holds()),
+            adversary.into(),
+            yes_no(s.converged),
+            yes_no(s.valid),
+            s.messages_delivered.to_string(),
+        ]);
+        assert!(s.converged && s.valid, "{name} ({adversary}) failed");
     }
     println!("Async Byzantine approximate consensus (3-reach row, this paper):\n{}", t.render());
 
     // Infeasible side: BW stalls honestly on 3-reach violations.
+    let sweep = ExperimentPlan::new()
+        .protocol("bw", ByzantineWitness::default())
+        .graphs_axis(catalog_axis(catalog::infeasible_instances()))
+        .fault_bound(1)
+        .epsilon(0.5)
+        .seed(3)
+        .build()
+        .expect("infeasible-row plan expands");
+    let report = sweep.run();
     let mut t = Table::new(vec!["graph", "3-reach", "all honest decided"]);
-    for inst in catalog::infeasible_instances() {
-        let n = inst.graph.node_count();
-        let inputs: Vec<f64> = (0..n).map(|i| i as f64).collect();
-        let out = Scenario::builder(inst.graph.clone(), inst.f)
-            .inputs(inputs)
-            .epsilon(0.5)
-            .seed(3)
-            .protocol(ByzantineWitness::default())
-            .run()
-            .unwrap();
+    for (cell, row) in sweep.cells().iter().zip(&report.rows) {
+        let scn = cell.scenario().expect("catalog cell builds");
+        let s = row.summary.as_ref().unwrap_or_else(|e| panic!("{}: {e}", row.label));
         t.row(vec![
-            inst.name.clone(),
-            yes_no(three_reach(&inst.graph, inst.f).holds()),
-            yes_no(out.all_decided()),
+            cell.coord("graph").expect("graph axis").into(),
+            yes_no(three_reach(scn.graph(), scn.f()).holds()),
+            yes_no(s.all_decided),
         ]);
     }
     println!(

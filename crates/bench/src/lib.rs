@@ -11,3 +11,4 @@
 pub mod catalog;
 pub mod impossibility;
 pub mod table;
+pub mod trend;

@@ -1,0 +1,293 @@
+//! The `bench_trend` report schema: a minimal JSON reader and the
+//! machine-speed-normalized gate comparison, shared by the `bench_trend`
+//! CI binary and the sweep round-trip tests.
+//!
+//! The workspace's serde shim has no JSON support (see shims/README.md),
+//! and the report format is fully under our control:
+//!
+//! ```text
+//! { "kernels": { "<name>": { "mean_ns": 1.0, ... }, ... } }
+//! ```
+//!
+//! [`parse_report`] handles exactly that shape — objects, string keys, and
+//! number values, with arbitrary whitespace; anything else is a hard
+//! error. Both the hot-path bench report and the scenario sweeps' raw and
+//! reduced reports (`SweepReport::to_bench_json`,
+//! `ReducedReport::to_bench_json` in `dbac_core::scenario::sweep`) emit
+//! this schema, so every artifact rides the same gate.
+
+use std::collections::BTreeMap;
+
+/// Mean nanoseconds per kernel, keyed by benchmark name.
+pub type Report = BTreeMap<String, f64>;
+
+struct Json<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Json<'a> {
+    fn new(text: &'a str) -> Self {
+        Json { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, self.pos))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err("unterminated string".into());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err("unterminated escape".into());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                        }
+                        other => return Err(format!("unsupported escape '\\{}'", other as char)),
+                    }
+                }
+                other => out.push(other as char),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| e.to_string())?
+            .parse()
+            .map_err(|e| format!("bad number at byte {start}: {e}"))
+    }
+
+    /// Parses an object, calling `visit` per key (after which the cursor
+    /// must stand past the key's value).
+    fn object(
+        &mut self,
+        visit: &mut dyn FnMut(&mut Json<'a>, &str) -> Result<(), String>,
+    ) -> Result<(), String> {
+        self.expect(b'{')?;
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            visit(self, &key)?;
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+/// Extracts `name → mean_ns` from a bench report.
+///
+/// # Errors
+///
+/// Any deviation from the report schema (unknown top-level keys,
+/// non-numeric fields, a kernel without `mean_ns`, malformed JSON).
+pub fn parse_report(text: &str) -> Result<Report, String> {
+    let mut report = Report::new();
+    let mut json = Json::new(text);
+    json.object(&mut |j, key| {
+        if key != "kernels" {
+            return Err(format!("unexpected top-level key '{key}'"));
+        }
+        j.object(&mut |j, kernel| {
+            let mut mean = None;
+            j.object(&mut |j, field| {
+                let value = j.number()?;
+                if field == "mean_ns" {
+                    mean = Some(value);
+                }
+                Ok(())
+            })?;
+            let mean = mean.ok_or_else(|| format!("kernel '{kernel}' lacks mean_ns"))?;
+            report.insert(kernel.to_string(), mean);
+            Ok(())
+        })
+    })?;
+    Ok(report)
+}
+
+/// The median of a sample (mean of the middle pair for even sizes).
+///
+/// # Panics
+///
+/// Panics on an empty sample.
+#[must_use]
+pub fn median(mut values: Vec<f64>) -> f64 {
+    values.sort_by(f64::total_cmp);
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        (values[n / 2 - 1] + values[n / 2]) / 2.0
+    }
+}
+
+/// The gate comparison proper, separated from I/O for testability.
+/// Normalizes by the median `current / baseline` ratio across kernels (so
+/// a uniformly faster or slower machine does not trip the gate) and
+/// returns the list of failures (empty = gate passes).
+#[must_use]
+pub fn compare(baseline: &Report, current: &Report, max_ratio: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    let ratios: Vec<(String, f64)> = baseline
+        .iter()
+        .filter_map(|(name, &base)| current.get(name).map(|&cur| (name.clone(), cur / base)))
+        .collect();
+    if ratios.is_empty() {
+        return vec!["no kernels in common between baseline and current".into()];
+    }
+    let med = median(ratios.iter().map(|&(_, r)| r).collect()).max(f64::MIN_POSITIVE);
+    println!("median current/baseline ratio: {med:.3} (machine-speed normalizer)");
+    println!("{:<55} {:>12} {:>12} {:>8} {:>8}", "kernel", "baseline", "current", "ratio", "norm");
+    for (name, ratio) in &ratios {
+        let norm = ratio / med;
+        let verdict = if norm > max_ratio { "REGRESSED" } else { "ok" };
+        println!(
+            "{:<55} {:>10.1}ns {:>10.1}ns {:>8.3} {:>8.3}  {}",
+            name, baseline[name], current[name], ratio, norm, verdict
+        );
+        if norm > max_ratio {
+            failures.push(format!(
+                "{name}: {:.1}ns → {:.1}ns ({norm:.2}x the median trend, limit {max_ratio}x)",
+                baseline[name], current[name]
+            ));
+        }
+    }
+    for name in baseline.keys() {
+        if !current.contains_key(name) {
+            failures.push(format!("{name}: present in baseline but missing from current run"));
+        }
+    }
+    for name in current.keys() {
+        if !baseline.contains_key(name) {
+            println!("note: new kernel '{name}' has no baseline yet (not gated)");
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+      "kernels": {
+        "mc_scan/fig1b_small/batched": { "mean_ns": 100.0, "min_ns": 90.0, "max_ns": 120.0 },
+        "fra_scan/fig1b_small/batched": { "mean_ns": 50.5, "min_ns": 48.0, "max_ns": 52.0 }
+      }
+    }"#;
+
+    #[test]
+    fn parses_the_report_schema() {
+        let report = parse_report(SAMPLE).unwrap();
+        assert_eq!(report.len(), 2);
+        assert_eq!(report["mc_scan/fig1b_small/batched"], 100.0);
+        assert_eq!(report["fra_scan/fig1b_small/batched"], 50.5);
+    }
+
+    #[test]
+    fn rejects_malformed_reports() {
+        assert!(parse_report("{").is_err());
+        assert!(parse_report(r#"{"kernels": {"a": {"mean": 1}}}"#).is_err());
+        assert!(parse_report(r#"{"other": {}}"#).is_err());
+        assert!(parse_report(r#"{"kernels": {}}"#).unwrap().is_empty());
+    }
+
+    fn report(entries: &[(&str, f64)]) -> Report {
+        entries.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn uniform_machine_speed_shift_passes() {
+        let base = report(&[("a", 100.0), ("b", 200.0), ("c", 300.0)]);
+        // A 3x slower machine across the board: no regression.
+        let cur = report(&[("a", 300.0), ("b", 600.0), ("c", 900.0)]);
+        assert!(compare(&base, &cur, 2.0).is_empty());
+    }
+
+    #[test]
+    fn single_kernel_regression_fails() {
+        let base = report(&[("a", 100.0), ("b", 200.0), ("c", 300.0)]);
+        // Same machine, but kernel c regressed 5x.
+        let cur = report(&[("a", 100.0), ("b", 200.0), ("c", 1500.0)]);
+        let failures = compare(&base, &cur, 2.0);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].starts_with("c:"));
+    }
+
+    #[test]
+    fn missing_kernel_fails_and_new_kernel_does_not() {
+        let base = report(&[("a", 100.0), ("b", 200.0)]);
+        let cur = report(&[("a", 100.0), ("new", 1.0)]);
+        let failures = compare(&base, &cur, 2.0);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("missing"));
+    }
+
+    #[test]
+    fn median_of_even_and_odd_sets() {
+        assert_eq!(median(vec![1.0, 3.0, 2.0]), 2.0);
+        assert_eq!(median(vec![1.0, 2.0, 3.0, 4.0]), 2.5);
+    }
+}

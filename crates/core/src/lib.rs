@@ -19,8 +19,8 @@
 //! * [`crash`] — the asynchronous crash-tolerant 2-reach protocol
 //!   (Table 2's other asynchronous cell).
 //! * [`scenario`] — the unified **Scenario → Outcome** experiment surface:
-//!   one builder over every protocol and runtime, plus the parallel
-//!   [`scenario::sweep`] grid layer.
+//!   one builder over every protocol and runtime, plus the dimensional
+//!   [`scenario::sweep`] experiment-plan layer with seed-batch reduction.
 //! * [`run`] — the deprecated pre-scenario entry points, kept as thin
 //!   shims delegating to [`scenario`].
 //!

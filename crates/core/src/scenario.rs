@@ -21,8 +21,12 @@
 //! path budgets, iteration counts) and turns a scenario into the single
 //! [`Outcome`] type — honest outputs, spread/convergence/validity,
 //! per-round spread, runtime statistics, and an optional delivery-trace
-//! handle. The [`sweep`] submodule runs cartesian grids of scenarios in
-//! parallel and emits `bench_trend`-compatible JSON.
+//! handle. The [`sweep`] submodule turns scenarios into *experiment plans*:
+//! labelled axes over every knob here (protocols, graphs, fault bounds,
+//! placements, inputs, ε, scheduler families, runtimes, rounds), expanded
+//! into a cartesian cell product, run in parallel, and reduced over the
+//! seed batch into distributional statistics with `bench_trend`-compatible
+//! JSON reports.
 //!
 //! # Protocols and where they come from in the paper
 //!
@@ -314,7 +318,7 @@ pub trait Protocol: Send + Sync {
 /// schedule, runtime and protocol. Build one with [`Scenario::builder`].
 #[derive(Clone)]
 pub struct Scenario {
-    graph: Digraph,
+    graph: Arc<Digraph>,
     f: usize,
     inputs: Vec<f64>,
     epsilon: f64,
@@ -344,10 +348,14 @@ impl std::fmt::Debug for Scenario {
 
 impl Scenario {
     /// Starts describing a scenario over `graph` with fault bound `f`.
+    ///
+    /// Accepts the graph owned or pre-shared: an `Arc<Digraph>` is stored
+    /// as-is, so sweeps expanding many cells over one graph share a single
+    /// copy.
     #[must_use]
-    pub fn builder(graph: Digraph, f: usize) -> ScenarioBuilder {
+    pub fn builder(graph: impl Into<Arc<Digraph>>, f: usize) -> ScenarioBuilder {
         ScenarioBuilder {
-            graph,
+            graph: graph.into(),
             f,
             inputs: Vec::new(),
             epsilon: 0.1,
@@ -380,7 +388,7 @@ impl Scenario {
     /// The network.
     #[must_use]
     pub fn graph(&self) -> &Digraph {
-        &self.graph
+        self.graph.as_ref()
     }
 
     /// The fault bound `f`.
@@ -485,7 +493,7 @@ impl Scenario {
 /// Builder for [`Scenario`]. Obtain via [`Scenario::builder`].
 #[derive(Clone)]
 pub struct ScenarioBuilder {
-    graph: Digraph,
+    graph: Arc<Digraph>,
     f: usize,
     inputs: Vec<f64>,
     epsilon: f64,
@@ -531,6 +539,14 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Sets or clears the a-priori input range — the sweep layer's axis
+    /// application hook (`None` restores the derived honest-input hull).
+    #[must_use]
+    pub fn range_opt(mut self, range: Option<(f64, f64)>) -> Self {
+        self.range = range;
+        self
+    }
+
     /// Assigns a fault behaviour to `v`.
     #[must_use]
     pub fn fault(mut self, v: NodeId, kind: FaultKind) -> Self {
@@ -570,6 +586,14 @@ impl ScenarioBuilder {
     #[must_use]
     pub fn rounds(mut self, rounds: u32) -> Self {
         self.rounds_override = Some(rounds);
+        self
+    }
+
+    /// Sets or clears the round override — the sweep layer's axis
+    /// application hook (`None` restores the derived termination bound).
+    #[must_use]
+    pub fn rounds_opt(mut self, rounds: Option<u32>) -> Self {
+        self.rounds_override = rounds;
         self
     }
 
@@ -831,7 +855,7 @@ where
     match scenario.runtime {
         Runtime::Sim => {
             let mut sim: Simulation<P> =
-                Simulation::new(Arc::new(scenario.graph.clone()), scenario.scheduler.build());
+                Simulation::new(Arc::clone(&scenario.graph), scenario.scheduler.build());
             sim.set_max_events(scenario.max_events);
             if scenario.record_trace {
                 sim.record_trace();
@@ -858,7 +882,7 @@ where
             Ok((stats, trace))
         }
         Runtime::Threaded { timeout } => {
-            let mut runtime: Threaded<P> = Threaded::new(Arc::new(scenario.graph.clone()));
+            let mut runtime: Threaded<P> = Threaded::new(Arc::clone(&scenario.graph));
             for (v, p) in honest {
                 runtime.set_honest(v, p);
             }

@@ -23,7 +23,8 @@
 //!   consensus.
 //! * [`scenario`] — the unified **Scenario → Outcome** experiment surface
 //!   over all of the above: one builder, five protocols, two runtimes,
-//!   plus parallel [`scenario::sweep`] grids with JSON reports.
+//!   plus the dimensional [`scenario::sweep`] experiment plans with
+//!   seed-batch statistics and JSON reports.
 //!
 //! # Quickstart
 //!
@@ -52,8 +53,44 @@
 //!
 //! Swapping `.protocol(...)` (and nothing else) re-runs the same scenario
 //! under a different algorithm; `.runtime(Runtime::Threaded { .. })` moves
-//! it onto real OS threads. The five protocols map onto the paper as
-//! follows:
+//! it onto real OS threads.
+//!
+//! # Declare an experiment
+//!
+//! Parameter sweeps are *plans*, not loops: an
+//! [`ExperimentPlan`](scenario::sweep::ExperimentPlan) is a grid
+//! description whose axes cover every scenario knob — protocols (with
+//! their knobs), graphs, fault bounds, fault placements, inputs, ε,
+//! scheduler families, runtimes and round overrides — while the seeds form
+//! the statistical axis. `build()` expands the cartesian product,
+//! `run()` executes every cell in parallel, and `reduce()` aggregates each
+//! seed batch into distributional statistics (mean/median/min/max/stddev),
+//! renderable as `bench_trend`-compatible JSON:
+//!
+//! ```
+//! use dbac::graph::generators;
+//! use dbac::scenario::sweep::{ExperimentPlan, SchedulerFamily};
+//! use dbac::scenario::ByzantineWitness;
+//!
+//! let sweep = ExperimentPlan::new()
+//!     .protocol("bw", ByzantineWitness::default())
+//!     .graph("K4", generators::clique(4))
+//!     .epsilons([1.0, 0.5])                           // ε axis
+//!     .scheduler("rand", SchedulerFamily::random(1, 20))
+//!     .seeds([1, 2, 3])                               // statistical axis
+//!     .build()
+//!     .expect("plan expands");
+//! assert_eq!(sweep.cell_count(), 2 * 3);
+//! let stats = sweep.run().reduce();                   // groups: all axes except seed
+//! assert_eq!(stats.cells.len(), 2);
+//! assert!(stats.cells.iter().all(|c| c.converged == 3));
+//! ```
+//!
+//! A cell whose scenario is invalid (e.g. a protocol rejecting the graph)
+//! becomes a typed error row without poisoning its siblings; the
+//! experiment binaries (`convergence`, `ablation`, `figure1`, `table2`,
+//! `baseline_compare`) are exactly such plan descriptions plus table
+//! renderers. The five protocols map onto the paper as follows:
 //!
 //! | `Protocol` | Paper section it reproduces |
 //! |------------|-----------------------------|

@@ -1,0 +1,114 @@
+//! Sweep-plan behaviour at the facade level: failure isolation (an invalid
+//! cell must not poison its siblings) and the expansion-size property
+//! (cell count = product of axis lengths, with unique labels).
+
+use dbac::graph::{generators, NodeId};
+use dbac::scenario::sweep::{ExperimentPlan, InputSpec, SchedulerFamily};
+use dbac::scenario::{Aad04, ByzantineWitness, FaultKind};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// AAD04 requires `n > 3f`: on K3 with f = 1 the cell is rejected with
+/// `ResilienceExceeded` at run time, while the K4 sibling in the same grid
+/// still runs to convergence.
+#[test]
+fn run_time_rejection_surfaces_without_poisoning_siblings() {
+    let sweep = ExperimentPlan::new()
+        .protocol("aad04", Aad04)
+        .graph("K3", generators::clique(3))
+        .graph("K4", generators::clique(4))
+        .fault_bound(1)
+        .seed(7)
+        .build()
+        .expect("plan expands");
+    assert_eq!(sweep.cell_count(), 2);
+    // Both cells build — the resilience check is the protocol's, at run.
+    assert!(sweep.cells().iter().all(|c| c.scenario().is_some()));
+
+    let report = sweep.run();
+    let failures = report.failures();
+    assert_eq!(failures.len(), 1);
+    assert_eq!(failures[0].coord("graph"), Some("K3"));
+    let err = failures[0].summary.as_ref().unwrap_err();
+    assert!(err.to_string().contains("n > 3f"), "unexpected error: {err}");
+
+    let ok = report.rows.iter().find(|r| r.coord("graph") == Some("K4")).unwrap();
+    assert!(ok.summary.as_ref().unwrap().converged, "sibling cell must still converge");
+
+    // The reduced report keeps the failed group as an all-error row.
+    let reduced = report.reduce();
+    assert_eq!(reduced.cells.len(), 2);
+    let bad = reduced.cells.iter().find(|c| c.coord("graph") == Some("K3")).unwrap();
+    assert_eq!((bad.runs, bad.errors, bad.converged), (1, 1, 0));
+}
+
+/// A cell that fails scenario *validation* (fault node outside the graph)
+/// is likewise isolated — captured at build, reported as an error row.
+#[test]
+fn build_time_rejection_surfaces_without_poisoning_siblings() {
+    let sweep = ExperimentPlan::new()
+        .protocol("bw", ByzantineWitness::default())
+        .graph("K3", generators::clique(3))
+        .graph("K4", generators::clique(4))
+        .faults("liar@3", vec![(NodeId::new(3), FaultKind::ConstantLiar { value: 1e6 })])
+        .build()
+        .expect("plan expands despite the invalid cell");
+    assert_eq!(sweep.cell_count(), 2);
+    assert!(sweep.cells()[0].error().is_some(), "node 3 is outside K3");
+    assert!(sweep.cells()[1].scenario().is_some());
+
+    let report = sweep.run();
+    assert_eq!(report.failures().len(), 1);
+    let ok = report.rows.iter().find(|r| r.coord("graph") == Some("K4")).unwrap();
+    assert!(ok.summary.as_ref().unwrap().converged);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The expansion size equals the product of the axis lengths, and
+    /// every cell label is unique.
+    #[test]
+    fn expansion_size_is_the_product_of_axis_lengths(
+        n_graphs in 1usize..3,
+        n_eps in 1usize..4,
+        n_scheds in 1usize..3,
+        n_seeds in 1usize..4,
+        n_place in 1usize..3,
+        n_rounds in 1usize..3,
+        n_inputs in 1usize..3,
+    ) {
+        let mut plan = ExperimentPlan::new().protocol("bw", ByzantineWitness::default());
+        for i in 0..n_graphs {
+            plan = plan.graph(format!("g{i}"), generators::clique(3 + i));
+        }
+        for i in 0..n_eps {
+            plan = plan.epsilon(0.5 + i as f64);
+        }
+        for i in 0..n_scheds {
+            plan = plan.scheduler(format!("sch{i}"), SchedulerFamily::fixed(1 + i as u64));
+        }
+        for s in 0..n_seeds {
+            plan = plan.seed(s as u64);
+        }
+        for i in 0..n_place {
+            plan = plan.placement(format!("p{i}"), |_, _| Vec::new());
+        }
+        for i in 0..n_rounds {
+            plan = plan.rounds(3 + i as u32);
+        }
+        for i in 0..n_inputs {
+            let value = i as f64;
+            plan = plan.inputs(format!("in{i}"), InputSpec::from_fn(move |g| {
+                vec![value; g.node_count()]
+            }));
+        }
+        let sweep = plan.build().unwrap();
+        let expected = n_graphs * n_eps * n_scheds * n_seeds * n_place * n_rounds * n_inputs;
+        prop_assert_eq!(sweep.cell_count(), expected);
+        let labels: HashSet<&str> = sweep.cells().iter().map(|c| c.label()).collect();
+        prop_assert_eq!(labels.len(), expected, "labels must be unique");
+        // Every cell validates: closures produced consistent scenarios.
+        prop_assert!(sweep.cells().iter().all(|c| c.scenario().is_some()));
+    }
+}
