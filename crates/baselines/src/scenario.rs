@@ -100,12 +100,11 @@ impl Protocol for Aad04 {
         let mut outputs = vec![None; n];
         let mut histories = vec![None; n];
         let mut honest_messages = 0u64;
-        let (stats, trace) =
-            drive(scenario, honest, byzantine, AadNode::is_done, &mut |v, node| {
-                outputs[v.index()] = node.output();
-                histories[v.index()] = Some(node.x_history().to_vec());
-                honest_messages += node.sent;
-            })?;
+        let report = drive(scenario, honest, byzantine, AadNode::is_done, &mut |v, node| {
+            outputs[v.index()] = node.output();
+            histories[v.index()] = Some(node.x_history().to_vec());
+            honest_messages += node.sent;
+        })?;
         Ok(Outcome {
             protocol: self.name(),
             outputs,
@@ -113,10 +112,11 @@ impl Protocol for Aad04 {
             epsilon: scenario.epsilon(),
             honest_input_range: scenario.honest_input_range(),
             rounds,
-            sim_stats: stats,
+            sim_stats: report.stats,
+            incomplete: report.incomplete,
             histories,
             honest_messages: Some(honest_messages),
-            trace,
+            trace: report.trace,
         })
     }
 }
@@ -216,6 +216,7 @@ impl Protocol for IterativeTrimmedMean {
             honest_input_range: scenario.honest_input_range(),
             rounds: rounds as u32,
             sim_stats: Default::default(),
+            incomplete: Vec::new(),
             histories,
             honest_messages: None,
             trace: None,
@@ -387,14 +388,13 @@ impl Protocol for ReliableBroadcastProbe {
         let mut outputs = vec![None; n];
         let mut histories = vec![None; n];
         let mut honest_messages = 0u64;
-        let (stats, trace) =
-            drive(scenario, honest, byzantine, ProbeNode::is_done, &mut |v, node| {
-                outputs[v.index()] = node.output;
-                let mut h = vec![node.input];
-                h.extend(node.output);
-                histories[v.index()] = Some(h);
-                honest_messages += node.sent;
-            })?;
+        let report = drive(scenario, honest, byzantine, ProbeNode::is_done, &mut |v, node| {
+            outputs[v.index()] = node.output;
+            let mut h = vec![node.input];
+            h.extend(node.output);
+            histories[v.index()] = Some(h);
+            honest_messages += node.sent;
+        })?;
         Ok(Outcome {
             protocol: self.name(),
             outputs,
@@ -402,10 +402,11 @@ impl Protocol for ReliableBroadcastProbe {
             epsilon: scenario.epsilon(),
             honest_input_range: scenario.honest_input_range(),
             rounds: 1,
-            sim_stats: stats,
+            sim_stats: report.stats,
+            incomplete: report.incomplete,
             histories,
             honest_messages: Some(honest_messages),
-            trace,
+            trace: report.trace,
         })
     }
 }
@@ -516,7 +517,7 @@ mod tests {
     fn iterative_rejects_the_threaded_runtime() {
         let err = Scenario::builder(generators::clique(4), 1)
             .inputs(vec![0.0; 4])
-            .runtime(Runtime::Threaded { timeout: Duration::from_secs(1) })
+            .runtime(Runtime::threaded(Duration::from_secs(1)))
             .protocol(IterativeTrimmedMean::default())
             .run()
             .unwrap_err();

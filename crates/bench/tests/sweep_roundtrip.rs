@@ -19,7 +19,7 @@ fn full_dimensional_sweep_round_trips_through_the_gate() {
         .scheduler("fix1", SchedulerFamily::fixed(1))
         .scheduler("rand", SchedulerFamily::random(1, 10))
         .runtime(Runtime::Sim)
-        .runtime(Runtime::Threaded { timeout: Duration::from_secs(60) })
+        .runtime(Runtime::threaded(Duration::from_secs(60)))
         .seeds([1, 2])
         .build()
         .expect("plan expands");

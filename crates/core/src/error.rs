@@ -45,6 +45,31 @@ pub enum RunError {
         /// The doubly-assigned node index.
         node: usize,
     },
+    /// A link fault names an edge the graph does not contain.
+    LinkFaultOutsideGraph {
+        /// Source node index of the missing edge.
+        from: usize,
+        /// Target node index of the missing edge.
+        to: usize,
+    },
+    /// A link fault's parameters are malformed (probability outside
+    /// `[0, 1]`, inverted partition window, …).
+    InvalidLinkFault {
+        /// Source node index of the offending edge.
+        from: usize,
+        /// Target node index of the offending edge.
+        to: usize,
+        /// What is wrong with the fault.
+        reason: &'static str,
+    },
+    /// A link-fault plan touches more distinct edges than its declared
+    /// budget allows.
+    LinkFaultBudgetExceeded {
+        /// Distinct edges the plan touches.
+        edges: usize,
+        /// The declared budget.
+        budget: usize,
+    },
     /// The selected protocol cannot express the requested fault behaviour.
     UnsupportedFault {
         /// Protocol name (see `Protocol::name`).
@@ -108,6 +133,15 @@ impl fmt::Display for RunError {
             RunError::DuplicateFault { node } => {
                 write!(f, "node {node} was assigned two fault behaviours")
             }
+            RunError::LinkFaultOutsideGraph { from, to } => {
+                write!(f, "link fault on edge {from} -> {to}, which the graph does not contain")
+            }
+            RunError::InvalidLinkFault { from, to, reason } => {
+                write!(f, "invalid link fault on edge {from} -> {to}: {reason}")
+            }
+            RunError::LinkFaultBudgetExceeded { edges, budget } => {
+                write!(f, "link-fault plan touches {edges} edges, exceeding its budget {budget}")
+            }
             RunError::UnsupportedFault { protocol, fault } => {
                 write!(f, "protocol {protocol} cannot express the fault kind {fault}")
             }
@@ -166,5 +200,16 @@ mod tests {
         let e = RunError::TooManyFaults { configured: 2, f: 1 };
         assert!(e.to_string().contains("f = 1"));
         assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn link_fault_variants_display() {
+        let e = RunError::LinkFaultOutsideGraph { from: 2, to: 5 };
+        assert!(e.to_string().contains("2 -> 5"));
+        let e =
+            RunError::InvalidLinkFault { from: 0, to: 1, reason: "probability 2 not in [0, 1]" };
+        assert!(e.to_string().contains("probability"));
+        let e = RunError::LinkFaultBudgetExceeded { edges: 4, budget: 2 };
+        assert!(e.to_string().contains("budget 2"));
     }
 }

@@ -345,7 +345,7 @@ pub fn run_byzantine_consensus_threaded(
     cfg: &RunConfig,
     timeout: Duration,
 ) -> Result<RunOutcome, RunError> {
-    Ok(cfg.to_scenario(Runtime::Threaded { timeout })?.run()?.into())
+    Ok(cfg.to_scenario(Runtime::threaded(timeout))?.run()?.into())
 }
 
 #[cfg(test)]

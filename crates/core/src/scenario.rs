@@ -42,6 +42,47 @@
 //! crate sits below that one in the dependency order); the `dbac` facade
 //! re-exports the whole surface from a single `dbac::scenario` module.
 //!
+//! # Inject link faults
+//!
+//! [`FaultKind`] places faults on *nodes* — the paper's Byzantine model.
+//! [`LinkFaultPlan`] places faults on *edges*: the link-failure model of
+//! Tseng–Vaidya (arXiv 1401.6615), where the network itself drops,
+//! duplicates, reorders or corrupts messages while every node stays
+//! honest. The two compose freely on the builder, and both runtimes apply
+//! the plan through the same stateless seeded decision function, so the
+//! fate of the k-th message on an edge is runtime-independent:
+//!
+//! ```
+//! use dbac_core::scenario::{LinkFault, LinkFaultPlan, Scenario};
+//! use dbac_graph::{generators, NodeId};
+//!
+//! let plan = LinkFaultPlan::new(7)
+//!     .fault(NodeId::new(0), NodeId::new(1), LinkFault::Drop { prob: 0.9 })
+//!     .fault(NodeId::new(2), NodeId::new(3), LinkFault::Omit);
+//! let out = Scenario::builder(generators::clique(4), 0)
+//!     .inputs(vec![0.0, 10.0, 4.0, 6.0])
+//!     .epsilon(0.5)
+//!     .seed(1)
+//!     .link_faults(plan)
+//!     .run()
+//!     .expect("chaos is data, not an error");
+//! assert!(out.sim_stats.messages_dropped > 0, "the lossy links bit");
+//! assert!(out.valid(), "deciders never leave the honest-input hull");
+//! ```
+//!
+//! How the two fault axes map onto the models:
+//!
+//! | Axis | Lives on | Model | Examples |
+//! |------|----------|-------|----------|
+//! | [`FaultKind`] | nodes | Byzantine/crash nodes (this paper, Section 2) | `Crash`, `ConstantLiar`, `Equivocator` |
+//! | [`LinkFault`] | directed edges | link failures (arXiv 1401.6615: faults on edges, not nodes) | `Drop`, `Duplicate`, `Reorder`, `Corrupt`, `Partition`, `Omit` |
+//!
+//! Liveness loss under link faults is *observable*, never fatal: the
+//! simulator runs to quiescence and reports non-deciders through
+//! [`Outcome::all_decided`], while the threaded runtime's watchdog reports
+//! stragglers per node in [`Outcome::incomplete`] with a typed
+//! [`IncompleteReason`], still extracting and scoring every survivor.
+//!
 //! # Design notes
 //!
 //! * **Validation is typed.** Builder misuse returns precise
@@ -75,6 +116,9 @@ use dbac_sim::threaded::{Threaded, ThreadedConfig};
 use dbac_sim::{DeliveryPolicy, VirtualTime};
 use std::sync::Arc;
 use std::time::Duration;
+
+pub use dbac_sim::chaos::{LinkFault, LinkFaultPlan};
+pub use dbac_sim::threaded::{Incomplete, IncompleteReason};
 
 // ---------------------------------------------------------------------------
 // Schedule, runtime and fault descriptions
@@ -156,15 +200,30 @@ pub enum Runtime {
     Sim,
     /// The thread-per-node runtime: genuine OS-level concurrency over
     /// crossbeam channels. Delivery timing comes from real scheduling (the
-    /// [`SchedulerSpec`] seed only drives send jitter), so
-    /// [`Outcome::sim_stats`] is zeroed.
+    /// [`SchedulerSpec`] seed only drives send jitter); transport counters
+    /// in [`Outcome::sim_stats`] come from the send-path interposer, and
+    /// only `final_time` stays zero (wall-clock runs have no virtual
+    /// clock). Nodes that miss the watchdog deadline degrade into
+    /// [`Outcome::incomplete`] entries instead of failing the run.
     Threaded {
-        /// Wall-clock limit for the whole run.
+        /// Wall-clock watchdog deadline for the run.
         timeout: Duration,
+        /// Upper bound (exclusive) on the random per-send jitter, in
+        /// microseconds; 0 disables injected jitter.
+        jitter_micros: u64,
     },
 }
 
 impl Runtime {
+    /// Default send jitter of the threaded runtime, in microseconds.
+    pub const DEFAULT_JITTER_MICROS: u64 = 30;
+
+    /// The threaded runtime with the default send jitter.
+    #[must_use]
+    pub fn threaded(timeout: Duration) -> Runtime {
+        Runtime::Threaded { timeout, jitter_micros: Runtime::DEFAULT_JITTER_MICROS }
+    }
+
     /// Short display name (also used in typed errors).
     #[must_use]
     pub fn name(&self) -> &'static str {
@@ -324,6 +383,7 @@ pub struct Scenario {
     epsilon: f64,
     range: (f64, f64),
     faults: Vec<(NodeId, FaultKind)>,
+    link_faults: Option<LinkFaultPlan>,
     scheduler: SchedulerSpec,
     runtime: Runtime,
     rounds_override: Option<u32>,
@@ -340,6 +400,7 @@ impl std::fmt::Debug for Scenario {
             .field("f", &self.f)
             .field("epsilon", &self.epsilon)
             .field("faults", &self.faults)
+            .field("link_faults", &self.link_faults)
             .field("scheduler", &self.scheduler)
             .field("runtime", &self.runtime)
             .finish()
@@ -361,6 +422,7 @@ impl Scenario {
             epsilon: 0.1,
             range: None,
             faults: Vec::new(),
+            link_faults: None,
             scheduler: SchedulerSpec::Fixed(1),
             runtime: Runtime::Sim,
             rounds_override: None,
@@ -419,6 +481,12 @@ impl Scenario {
     #[must_use]
     pub fn faults(&self) -> &[(NodeId, FaultKind)] {
         &self.faults
+    }
+
+    /// The link-fault plan (the chaos layer), if any.
+    #[must_use]
+    pub fn link_faults(&self) -> Option<&LinkFaultPlan> {
+        self.link_faults.as_ref()
     }
 
     /// The message-delivery schedule.
@@ -499,6 +567,7 @@ pub struct ScenarioBuilder {
     epsilon: f64,
     range: Option<(f64, f64)>,
     faults: Vec<(NodeId, FaultKind)>,
+    link_faults: Option<LinkFaultPlan>,
     scheduler: SchedulerSpec,
     runtime: Runtime,
     rounds_override: Option<u32>,
@@ -558,6 +627,23 @@ impl ScenarioBuilder {
     #[must_use]
     pub fn faults(mut self, faults: impl IntoIterator<Item = (NodeId, FaultKind)>) -> Self {
         self.faults.extend(faults);
+        self
+    }
+
+    /// Attaches a deterministic link-fault plan (the chaos layer): seeded
+    /// per-edge drop / duplicate / reorder / corrupt / partition / omit
+    /// faults, honored identically by both runtimes.
+    #[must_use]
+    pub fn link_faults(mut self, plan: LinkFaultPlan) -> Self {
+        self.link_faults = Some(plan);
+        self
+    }
+
+    /// Sets or clears the link-fault plan — the sweep layer's axis
+    /// application hook.
+    #[must_use]
+    pub fn link_faults_opt(mut self, plan: Option<LinkFaultPlan>) -> Self {
+        self.link_faults = plan;
         self
     }
 
@@ -634,6 +720,9 @@ impl ScenarioBuilder {
     /// * [`RunError::FaultOutsideGraph`] / [`RunError::DuplicateFault`] —
     ///   malformed fault assignment;
     /// * [`RunError::TooManyFaults`] — more faults than the bound `f`;
+    /// * [`RunError::LinkFaultOutsideGraph`] /
+    ///   [`RunError::InvalidLinkFault`] /
+    ///   [`RunError::LinkFaultBudgetExceeded`] — malformed link-fault plan;
     /// * [`RunError::InvalidConfig`] — non-finite inputs, empty or
     ///   violated a-priori range, no honest nodes.
     pub fn build(self) -> Result<Scenario, RunError> {
@@ -662,6 +751,38 @@ impl ScenarioBuilder {
         if faulty.len() == n {
             return Err(RunError::InvalidConfig { reason: "no honest nodes".into() });
         }
+        if let Some(plan) = &self.link_faults {
+            for (u, v, fault) in plan.faults() {
+                if !self.graph.has_edge(*u, *v) {
+                    return Err(RunError::LinkFaultOutsideGraph { from: u.index(), to: v.index() });
+                }
+                let invalid =
+                    |reason| RunError::InvalidLinkFault { from: u.index(), to: v.index(), reason };
+                match fault {
+                    LinkFault::Drop { prob }
+                    | LinkFault::Duplicate { prob }
+                    | LinkFault::Corrupt { prob } => {
+                        // `contains` is false for NaN, so this also rejects
+                        // non-finite probabilities.
+                        if !(0.0..=1.0).contains(prob) {
+                            return Err(invalid("probability not in [0, 1]"));
+                        }
+                    }
+                    LinkFault::Partition { from_step, to_step } => {
+                        if from_step > to_step {
+                            return Err(invalid("partition window is inverted"));
+                        }
+                    }
+                    LinkFault::Reorder { .. } | LinkFault::Omit => {}
+                }
+            }
+            if let Some(budget) = plan.budget() {
+                let edges = plan.distinct_edges();
+                if edges > budget {
+                    return Err(RunError::LinkFaultBudgetExceeded { edges, budget });
+                }
+            }
+        }
         let honest_inputs: Vec<f64> = self
             .inputs
             .iter()
@@ -688,6 +809,7 @@ impl ScenarioBuilder {
             epsilon: self.epsilon,
             range,
             faults: self.faults,
+            link_faults: self.link_faults,
             scheduler: self.scheduler,
             runtime: self.runtime,
             rounds_override: self.rounds_override,
@@ -749,9 +871,15 @@ pub struct Outcome {
     pub honest_input_range: (f64, f64),
     /// Rounds each node was configured to execute.
     pub rounds: u32,
-    /// Runtime counters (zeroed for the threaded runtime and for
-    /// synchronous protocols).
+    /// Runtime counters. The simulator fills every field; the threaded
+    /// runtime fills the transport counters from its send-path interposer
+    /// (only `final_time` stays zero); synchronous protocols zero them.
     pub sim_stats: SimStats,
+    /// Honest nodes the threaded runtime's watchdog gave up on, each with
+    /// a typed reason (timeout, panic, starvation). Always empty under
+    /// [`Runtime::Sim`], which runs to quiescence instead. Survivors'
+    /// outputs are still extracted and scored — degradation is data.
+    pub incomplete: Vec<Incomplete>,
     /// Per node: the state-value trajectory (honest nodes only).
     pub histories: Vec<Option<Vec<f64>>>,
     /// Protocol-level messages sent by honest nodes, where the protocol
@@ -766,6 +894,13 @@ impl Outcome {
     #[must_use]
     pub fn honest_outputs(&self) -> Vec<f64> {
         self.honest.iter().filter_map(|v| self.outputs[v.index()]).collect()
+    }
+
+    /// True when the run degraded: at least one honest node missed its
+    /// watchdog deadline (see [`Outcome::incomplete`]).
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        !self.incomplete.is_empty()
     }
 
     /// Returns `true` if every honest node decided.
@@ -828,6 +963,20 @@ impl Outcome {
 /// fault node.
 pub type Adversaries<M> = Vec<(NodeId, Box<dyn Adversary<M> + Send>)>;
 
+/// What [`drive`] hands back to a protocol implementation: runtime
+/// counters, the optional delivery trace, and the stragglers of a
+/// gracefully-degraded threaded run.
+#[derive(Clone, Debug, Default)]
+pub struct DriveReport {
+    /// Runtime counters (transport counters under both runtimes).
+    pub stats: SimStats,
+    /// Recorded delivery trace ([`Runtime::Sim`] only, when requested).
+    pub trace: Option<TraceSummary>,
+    /// Honest nodes that failed to complete, with typed reasons
+    /// ([`Runtime::Threaded`] only — the simulator runs to quiescence).
+    pub incomplete: Vec<Incomplete>,
+}
+
 /// Drives a fully-assigned process fleet on the scenario's runtime — the
 /// single place in the workspace that constructs [`Simulation`] or
 /// [`Threaded`]. Protocol implementations hand it one actor per node
@@ -838,17 +987,21 @@ pub type Adversaries<M> = Vec<(NodeId, Box<dyn Adversary<M> + Send>)>;
 /// `done` is the per-node termination predicate the threaded runtime polls
 /// (the simulator instead runs to quiescence).
 ///
+/// Both runtimes honor the scenario's [`LinkFaultPlan`], if any, through
+/// the same seeded decision function. A threaded node that misses its
+/// watchdog deadline is *not* an error: it lands in
+/// [`DriveReport::incomplete`] and every survivor is still extracted.
+///
 /// # Errors
 ///
-/// [`RunError::Sim`] on unassigned nodes, event-budget exhaustion,
-/// timeouts or worker panics.
+/// [`RunError::Sim`] on unassigned nodes or event-budget exhaustion.
 pub fn drive<P>(
     scenario: &Scenario,
     honest: Vec<(NodeId, P)>,
     byzantine: Adversaries<P::Message>,
     done: fn(&P) -> bool,
     extract: &mut dyn FnMut(NodeId, &P),
-) -> Result<(SimStats, Option<TraceSummary>), RunError>
+) -> Result<DriveReport, RunError>
 where
     P: Process + Send + 'static,
 {
@@ -859,6 +1012,9 @@ where
             sim.set_max_events(scenario.max_events);
             if scenario.record_trace {
                 sim.record_trace();
+            }
+            if let Some(plan) = &scenario.link_faults {
+                sim.set_link_faults(plan.clone());
             }
             let mut honest_ids = Vec::with_capacity(honest.len());
             for (v, p) in honest {
@@ -879,9 +1035,9 @@ where
                     .map(|e| Delivery { at: e.at, from: e.from, to: e.to })
                     .collect(),
             });
-            Ok((stats, trace))
+            Ok(DriveReport { stats, trace, incomplete: Vec::new() })
         }
-        Runtime::Threaded { timeout } => {
+        Runtime::Threaded { timeout, jitter_micros } => {
             let mut runtime: Threaded<P> = Threaded::new(Arc::clone(&scenario.graph));
             for (v, p) in honest {
                 runtime.set_honest(v, p);
@@ -889,15 +1045,17 @@ where
             for (v, a) in byzantine {
                 runtime.set_byzantine(v, a);
             }
-            let config =
-                ThreadedConfig { timeout, jitter_micros: 30, seed: scenario.scheduler.seed() };
-            let nodes = runtime.run(done, config)?;
-            for (i, node) in nodes.iter().enumerate() {
+            if let Some(plan) = &scenario.link_faults {
+                runtime.set_link_faults(plan.clone());
+            }
+            let config = ThreadedConfig { timeout, jitter_micros, seed: scenario.scheduler.seed() };
+            let report = runtime.run(done, config)?;
+            for (i, node) in report.nodes.iter().enumerate() {
                 if let Some(node) = node {
                     extract(NodeId::new(i), node);
                 }
             }
-            Ok((SimStats::default(), None))
+            Ok(DriveReport { stats: report.stats, trace: None, incomplete: report.incomplete })
         }
     }
 }
@@ -982,11 +1140,10 @@ impl Protocol for ByzantineWitness {
         let n = scenario.graph().node_count();
         let mut outputs = vec![None; n];
         let mut histories = vec![None; n];
-        let (stats, trace) =
-            drive(scenario, honest, byzantine, HonestNode::is_done, &mut |v, node| {
-                outputs[v.index()] = node.output();
-                histories[v.index()] = Some(node.x_history().to_vec());
-            })?;
+        let report = drive(scenario, honest, byzantine, HonestNode::is_done, &mut |v, node| {
+            outputs[v.index()] = node.output();
+            histories[v.index()] = Some(node.x_history().to_vec());
+        })?;
         Ok(Outcome {
             protocol: self.name(),
             outputs,
@@ -994,10 +1151,11 @@ impl Protocol for ByzantineWitness {
             epsilon: scenario.epsilon(),
             honest_input_range: scenario.honest_input_range(),
             rounds: config.rounds,
-            sim_stats: stats,
+            sim_stats: report.stats,
+            incomplete: report.incomplete,
             histories,
             honest_messages: None,
-            trace,
+            trace: report.trace,
         })
     }
 }
@@ -1073,11 +1231,10 @@ impl Protocol for CrashTwoReach {
         let n = scenario.graph().node_count();
         let mut outputs = vec![None; n];
         let mut histories = vec![None; n];
-        let (stats, trace) =
-            drive(scenario, honest, byzantine, CrashNode::is_done, &mut |v, node| {
-                outputs[v.index()] = node.output();
-                histories[v.index()] = Some(node.x_history().to_vec());
-            })?;
+        let report = drive(scenario, honest, byzantine, CrashNode::is_done, &mut |v, node| {
+            outputs[v.index()] = node.output();
+            histories[v.index()] = Some(node.x_history().to_vec());
+        })?;
         Ok(Outcome {
             protocol: self.name(),
             outputs,
@@ -1085,10 +1242,11 @@ impl Protocol for CrashTwoReach {
             epsilon: scenario.epsilon(),
             honest_input_range: scenario.honest_input_range(),
             rounds,
-            sim_stats: stats,
+            sim_stats: report.stats,
+            incomplete: report.incomplete,
             histories,
             honest_messages: None,
-            trace,
+            trace: report.trace,
         })
     }
 }
@@ -1271,5 +1429,113 @@ mod tests {
     fn default_protocol_is_byzantine_witness() {
         let scn = Scenario::builder(generators::clique(3), 0).inputs(vec![0.0; 3]).build().unwrap();
         assert_eq!(scn.protocol().name(), "byzantine-witness");
+    }
+
+    #[test]
+    fn link_fault_validation_is_typed() {
+        let base = || Scenario::builder(generators::directed_cycle(3), 0).inputs(vec![0.0; 3]);
+        // Edge not in the graph (the cycle has 0 -> 1 but not 1 -> 0).
+        assert_eq!(
+            base()
+                .link_faults(LinkFaultPlan::new(0).fault(id(1), id(0), LinkFault::Omit))
+                .build()
+                .unwrap_err(),
+            RunError::LinkFaultOutsideGraph { from: 1, to: 0 }
+        );
+        // Probability outside [0, 1] (NaN included).
+        for bad in [-0.1, 1.5, f64::NAN] {
+            assert_eq!(
+                base()
+                    .link_faults(LinkFaultPlan::new(0).fault(
+                        id(0),
+                        id(1),
+                        LinkFault::Drop { prob: bad }
+                    ))
+                    .build()
+                    .unwrap_err(),
+                RunError::InvalidLinkFault { from: 0, to: 1, reason: "probability not in [0, 1]" }
+            );
+        }
+        // Inverted partition window.
+        assert_eq!(
+            base()
+                .link_faults(LinkFaultPlan::new(0).fault(
+                    id(0),
+                    id(1),
+                    LinkFault::Partition { from_step: 9, to_step: 3 }
+                ))
+                .build()
+                .unwrap_err(),
+            RunError::InvalidLinkFault { from: 0, to: 1, reason: "partition window is inverted" }
+        );
+        // Budget counts distinct edges.
+        assert_eq!(
+            base()
+                .link_faults(
+                    LinkFaultPlan::new(0)
+                        .with_budget(1)
+                        .fault(id(0), id(1), LinkFault::Omit)
+                        .fault(id(1), id(2), LinkFault::Omit)
+                )
+                .build()
+                .unwrap_err(),
+            RunError::LinkFaultBudgetExceeded { edges: 2, budget: 1 }
+        );
+        // Two faults on one edge fit a budget of one edge.
+        assert!(base()
+            .link_faults(
+                LinkFaultPlan::new(0)
+                    .with_budget(1)
+                    .fault(id(0), id(1), LinkFault::Drop { prob: 0.5 })
+                    .fault(id(0), id(1), LinkFault::Reorder { window: 4 })
+            )
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn chaos_scenario_reports_drops_and_stays_valid() {
+        let out =
+            Scenario::builder(generators::clique(4), 0)
+                .inputs(vec![0.0, 10.0, 4.0, 6.0])
+                .epsilon(0.5)
+                .seed(2)
+                .link_faults(
+                    LinkFaultPlan::new(77)
+                        .fault(id(0), id(1), LinkFault::Drop { prob: 0.5 })
+                        .fault(id(2), id(3), LinkFault::Omit),
+                )
+                .protocol(ByzantineWitness::default())
+                .run()
+                .unwrap();
+        assert!(out.sim_stats.messages_dropped > 0);
+        assert!(out.valid(), "deciders must stay in the honest hull");
+        assert!(out.incomplete.is_empty(), "the simulator runs to quiescence");
+        assert!(!out.degraded());
+    }
+
+    #[test]
+    fn chaos_replay_is_bit_identical() {
+        let run = || {
+            Scenario::builder(generators::clique(4), 0)
+                .inputs(vec![0.0, 10.0, 4.0, 6.0])
+                .epsilon(0.5)
+                .seed(9)
+                .record_trace(true)
+                .link_faults(
+                    LinkFaultPlan::new(5)
+                        .fault(id(0), id(1), LinkFault::Drop { prob: 0.3 })
+                        .fault(id(1), id(2), LinkFault::Duplicate { prob: 0.3 })
+                        .fault(id(2), id(3), LinkFault::Reorder { window: 7 }),
+                )
+                .protocol(CrashTwoReach::default())
+                .run()
+                .unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.histories, b.histories);
+        assert_eq!(a.sim_stats, b.sim_stats);
+        assert_eq!(a.trace, b.trace);
     }
 }

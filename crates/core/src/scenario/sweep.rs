@@ -7,7 +7,8 @@
 //! knobs such as flood mode, path budget or W-MSR round counts, which ride
 //! the protocol axis as distinct labelled entries), graphs, fault bounds,
 //! fault placements, input assignments (with an optional a-priori range),
-//! ε, [`SchedulerFamily`] schedule families, runtimes and round overrides.
+//! ε, [`SchedulerFamily`] schedule families, link-fault plans (chaos),
+//! runtimes and round overrides.
 //! Seeds form the *statistical* axis. [`ExperimentPlan::build`] expands the
 //! cartesian product into a [`Sweep`] of labelled [`Cell`]s (reporting the
 //! full cell count), and [`Sweep::run`] executes every cell across the
@@ -46,7 +47,7 @@
 //! assert!(stats.cells.iter().all(|c| c.converged == 2));
 //! ```
 
-use super::{FaultKind, Outcome, Protocol, Runtime, Scenario, SchedulerSpec};
+use super::{FaultKind, LinkFaultPlan, Outcome, Protocol, Runtime, Scenario, SchedulerSpec};
 use crate::error::RunError;
 use dbac_graph::par::par_map;
 use dbac_graph::{Digraph, NodeId};
@@ -71,16 +72,11 @@ pub type GenInputs = Arc<dyn Fn(&Digraph) -> Vec<f64> + Send + Sync>;
 /// of an [`InputSpec`]).
 pub type GenRange = Arc<dyn Fn(&Digraph) -> (f64, f64) + Send + Sync>;
 
-/// Bare-`fn` fault placer of the retired `Grid` API.
-#[deprecated(note = "use `PlaceFaults` — `ExperimentPlan::placement` accepts any \
-            `Fn(&Digraph, usize) -> Vec<(NodeId, FaultKind)> + Send + Sync` closure, \
-            which (unlike a bare fn) may capture state")]
-pub type FaultPlacer = fn(&Digraph, usize) -> Vec<(NodeId, FaultKind)>;
-
-/// Bare-`fn` input generator of the retired `Grid` API.
-#[deprecated(note = "use `GenInputs` / `InputSpec` — closure-backed input generators may \
-            capture state and carry an a-priori range")]
-pub type InputsFn = fn(&Digraph) -> Vec<f64>;
+/// Produces one cell's [`LinkFaultPlan`] from the graph and the cell's
+/// seed (`None`: clean links). Closure-backed, so a point can target
+/// graph-dependent edges (e.g. every in-edge of the last node) and derive
+/// the plan seed from the statistical axis.
+pub type GenLinkFaults = Arc<dyn Fn(&Digraph, u64) -> Option<LinkFaultPlan> + Send + Sync>;
 
 /// One labelled input assignment: a generator producing one input per node,
 /// plus an optional a-priori range closure (defaults to the honest-input
@@ -282,7 +278,8 @@ impl<T> Axis<T> {
 ///
 /// Dimensions left empty default to a single neutral point: fault bound 1,
 /// no faults, indexed inputs `v ↦ v`, ε = 0.5, the seeded `random(1, 20)`
-/// schedule family, the Sim runtime, the derived round count, seed 0.
+/// schedule family, clean links, the Sim runtime, the derived round count,
+/// seed 0.
 pub struct ExperimentPlan {
     protocols: Axis<Arc<dyn Protocol>>,
     graphs: Axis<Arc<Digraph>>,
@@ -291,6 +288,7 @@ pub struct ExperimentPlan {
     inputs: Axis<InputSpec>,
     epsilons: Vec<f64>,
     schedulers: Axis<SchedulerFamily>,
+    link_faults: Axis<GenLinkFaults>,
     runtimes: Axis<Runtime>,
     rounds: Vec<u32>,
     seeds: Vec<u64>,
@@ -313,6 +311,7 @@ impl std::fmt::Debug for ExperimentPlan {
             .field("inputs", &self.inputs.len())
             .field("epsilons", &self.epsilons)
             .field("schedulers", &self.schedulers.len())
+            .field("link_faults", &self.link_faults.len())
             .field("runtimes", &self.runtimes.len())
             .field("rounds", &self.rounds)
             .field("seeds", &self.seeds)
@@ -332,6 +331,7 @@ impl ExperimentPlan {
             inputs: Axis::new(),
             epsilons: Vec::new(),
             schedulers: Axis::new(),
+            link_faults: Axis::new(),
             runtimes: Axis::new(),
             rounds: Vec::new(),
             seeds: Vec::new(),
@@ -432,6 +432,19 @@ impl ExperimentPlan {
         self
     }
 
+    /// Adds a link-fault axis point: a closure producing the cell's
+    /// [`LinkFaultPlan`] from the graph and the cell's seed (`None`:
+    /// clean links — the default when the axis is left empty).
+    #[must_use]
+    pub fn link_faults(
+        mut self,
+        label: impl Into<String>,
+        gen: impl Fn(&Digraph, u64) -> Option<LinkFaultPlan> + Send + Sync + 'static,
+    ) -> Self {
+        self.link_faults = self.link_faults.point(label, Arc::new(gen) as GenLinkFaults);
+        self
+    }
+
     /// Adds a runtime axis point, labelled with [`Runtime::name`]
     /// (default: the Sim runtime). For several points of the same kind —
     /// e.g. a timeout sweep over threaded runtimes — use
@@ -511,6 +524,7 @@ impl ExperimentPlan {
         check_unique("inputs", self.inputs.points().iter().map(|(l, _)| l.clone()))?;
         check_unique("epsilon", self.epsilons.iter().map(|e| format!("eps{e}")))?;
         check_unique("scheduler", self.schedulers.points().iter().map(|(l, _)| l.clone()))?;
+        check_unique("link-faults", self.link_faults.points().iter().map(|(l, _)| l.clone()))?;
         check_unique("runtime", self.runtimes.points().iter().map(|(l, _)| l.clone()))?;
         check_unique("rounds", self.rounds.iter().map(|r| format!("r{r}")))?;
         check_unique("seed", self.seeds.iter().map(|s| format!("s{s}")))?;
@@ -530,6 +544,9 @@ impl ExperimentPlan {
         let epsilons = if self.epsilons.is_empty() { vec![0.5] } else { self.epsilons };
         let schedulers =
             self.schedulers.or_default((String::new(), SchedulerFamily::random(1, 20)));
+        let link_faults = self
+            .link_faults
+            .or_default((String::new(), Arc::new(|_: &Digraph, _: u64| None) as GenLinkFaults));
         let runtimes = self.runtimes.or_default((String::new(), Runtime::Sim));
         let rounds: Vec<Option<u32>> = if self.rounds.is_empty() {
             vec![None]
@@ -546,57 +563,61 @@ impl ExperimentPlan {
                         for (input_label, input) in &inputs {
                             for &epsilon in &epsilons {
                                 for (sched_label, family) in &schedulers {
-                                    for &(ref runtime_label, runtime) in &runtimes {
-                                        for &round in &rounds {
-                                            for &seed in &seeds {
-                                                let coords: Arc<[(&'static str, String)]> =
-                                                    Arc::from(vec![
-                                                        ("protocol", proto_label.clone()),
-                                                        ("graph", graph_label.clone()),
-                                                        ("f", format!("f{f}")),
-                                                        ("placement", place_label.clone()),
-                                                        ("inputs", input_label.clone()),
-                                                        (
-                                                            "epsilon",
-                                                            if eps_explicit {
-                                                                format!("eps{epsilon}")
-                                                            } else {
-                                                                String::new()
-                                                            },
-                                                        ),
-                                                        ("scheduler", sched_label.clone()),
-                                                        ("runtime", runtime_label.clone()),
-                                                        (
-                                                            "rounds",
-                                                            round.map_or(String::new(), |r| {
-                                                                format!("r{r}")
-                                                            }),
-                                                        ),
-                                                        ("seed", format!("s{seed}")),
-                                                    ]);
-                                                let group = join_fragments(
-                                                    coords.iter().take(coords.len() - 1),
-                                                );
-                                                let label = join_fragments(coords.iter());
-                                                let scenario =
-                                                    Scenario::builder(Arc::clone(graph), f)
-                                                        .inputs(input.values(graph))
-                                                        .epsilon(epsilon)
-                                                        .range_opt(input.range(graph))
-                                                        .faults(placer(graph, f))
-                                                        .scheduler(family.spec(seed))
-                                                        .runtime(runtime)
-                                                        .rounds_opt(round)
-                                                        .max_events(self.max_events)
-                                                        .protocol_arc(Arc::clone(protocol))
-                                                        .build();
-                                                cells.push(Cell {
-                                                    label,
-                                                    group,
-                                                    seed,
-                                                    coords,
-                                                    scenario,
-                                                });
+                                    for (links_label, links) in &link_faults {
+                                        for &(ref runtime_label, runtime) in &runtimes {
+                                            for &round in &rounds {
+                                                for &seed in &seeds {
+                                                    let coords: Arc<[(&'static str, String)]> =
+                                                        Arc::from(vec![
+                                                            ("protocol", proto_label.clone()),
+                                                            ("graph", graph_label.clone()),
+                                                            ("f", format!("f{f}")),
+                                                            ("placement", place_label.clone()),
+                                                            ("inputs", input_label.clone()),
+                                                            (
+                                                                "epsilon",
+                                                                if eps_explicit {
+                                                                    format!("eps{epsilon}")
+                                                                } else {
+                                                                    String::new()
+                                                                },
+                                                            ),
+                                                            ("scheduler", sched_label.clone()),
+                                                            ("links", links_label.clone()),
+                                                            ("runtime", runtime_label.clone()),
+                                                            (
+                                                                "rounds",
+                                                                round.map_or(String::new(), |r| {
+                                                                    format!("r{r}")
+                                                                }),
+                                                            ),
+                                                            ("seed", format!("s{seed}")),
+                                                        ]);
+                                                    let group = join_fragments(
+                                                        coords.iter().take(coords.len() - 1),
+                                                    );
+                                                    let label = join_fragments(coords.iter());
+                                                    let scenario =
+                                                        Scenario::builder(Arc::clone(graph), f)
+                                                            .inputs(input.values(graph))
+                                                            .epsilon(epsilon)
+                                                            .range_opt(input.range(graph))
+                                                            .faults(placer(graph, f))
+                                                            .scheduler(family.spec(seed))
+                                                            .link_faults_opt(links(graph, seed))
+                                                            .runtime(runtime)
+                                                            .rounds_opt(round)
+                                                            .max_events(self.max_events)
+                                                            .protocol_arc(Arc::clone(protocol))
+                                                            .build();
+                                                    cells.push(Cell {
+                                                        label,
+                                                        group,
+                                                        seed,
+                                                        coords,
+                                                        scenario,
+                                                    });
+                                                }
                                             }
                                         }
                                     }
@@ -695,7 +716,8 @@ impl Cell {
 
     /// The label fragment of one named axis (`"protocol"`, `"graph"`,
     /// `"f"`, `"placement"`, `"inputs"`, `"epsilon"`, `"scheduler"`,
-    /// `"runtime"`, `"rounds"`, `"seed"`); empty for defaulted dimensions.
+    /// `"links"`, `"runtime"`, `"rounds"`, `"seed"`); empty for defaulted
+    /// dimensions.
     #[must_use]
     pub fn coord(&self, axis: &str) -> Option<&str> {
         coord_of(&self.coords, axis)
@@ -784,6 +806,9 @@ pub struct CellSummary {
     pub messages_sent: u64,
     /// Messages actually delivered by the simulator.
     pub messages_delivered: u64,
+    /// Messages destroyed by the cell's link-fault plan (drops plus
+    /// corruptions; 0 for clean links).
+    pub messages_dropped: u64,
     /// Protocol-counted honest messages, where available.
     pub honest_messages: Option<u64>,
     /// Configured round count.
@@ -807,6 +832,7 @@ impl CellSummary {
             epsilon: out.epsilon,
             messages_sent: out.sim_stats.messages_sent,
             messages_delivered: out.sim_stats.messages_delivered,
+            messages_dropped: out.sim_stats.messages_dropped + out.sim_stats.messages_corrupted,
             honest_messages: out.honest_messages,
             rounds: out.rounds,
         }
@@ -924,6 +950,7 @@ impl SweepReport {
                         oks.iter().filter_map(|s| s.rounds_to_epsilon).map(f64::from),
                     ),
                     messages: Stats::of(oks.iter().map(|s| s.messages() as f64)),
+                    dropped: Stats::of(oks.iter().map(|s| s.messages_dropped as f64)),
                     wall_ns: Stats::of(
                         rows.iter().filter(|r| r.summary.is_ok()).map(|r| r.wall_ns),
                     ),
@@ -948,7 +975,8 @@ impl SweepReport {
                     let flag = |b: bool| u8::from(b);
                     out.push_str(&format!(
                         "    \"{}\": {{ \"mean_ns\": {:.1}, \"converged\": {}, \"valid\": {}, \
-                         \"decided\": {}, \"spread\": {}, \"messages\": {}, \"rounds\": {} }}{sep}\n",
+                         \"decided\": {}, \"spread\": {}, \"messages\": {}, \"dropped\": {}, \
+                         \"rounds\": {} }}{sep}\n",
                         json_escape(&row.label),
                         row.wall_ns,
                         flag(s.converged),
@@ -956,6 +984,7 @@ impl SweepReport {
                         flag(s.all_decided),
                         jnum(s.spread),
                         s.messages(),
+                        s.messages_dropped,
                         s.rounds,
                     ));
                 }
@@ -1047,6 +1076,8 @@ pub struct ReducedCell {
     pub rounds_to_epsilon: Stats,
     /// Message-count statistics (see [`CellSummary::messages`]).
     pub messages: Stats,
+    /// Link-fault destruction statistics (drops plus corruptions).
+    pub dropped: Stats,
     /// Wall-time statistics (nanoseconds) over successful cells.
     pub wall_ns: Stats,
 }
@@ -1088,7 +1119,7 @@ impl ReducedReport {
                  \"stddev_ns\": {:.1}, \"runs\": {}, \"errors\": {}, \"converged\": {}, \
                  \"valid\": {}, \"decided\": {}, \"spread_mean\": {}, \"spread_median\": {}, \
                  \"spread_max\": {}, \"rounds_to_eps_mean\": {}, \"messages_mean\": {:.1}, \
-                 \"messages_max\": {:.1} }}{sep}\n",
+                 \"messages_max\": {:.1}, \"dropped_mean\": {:.1} }}{sep}\n",
                 json_escape(&c.group),
                 c.wall_ns.mean,
                 c.wall_ns.min,
@@ -1105,6 +1136,7 @@ impl ReducedReport {
                 jnum(c.rounds_to_epsilon.mean),
                 c.messages.mean,
                 c.messages.max,
+                c.dropped.mean,
             ));
         }
         out.push_str("  }\n}\n");
@@ -1298,10 +1330,16 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_bare_fn_aliases_still_feed_the_plan() {
-        let placer: FaultPlacer = |_, _| Vec::new();
-        let inputs: InputsFn = |g| vec![0.0; g.node_count()];
+    fn bare_fns_still_feed_the_plan_through_the_closure_types() {
+        // Bare `fn` items coerce into the closure-backed axis types, so
+        // callers of the retired `FaultPlacer`/`InputsFn` aliases migrate
+        // by deleting the type ascription.
+        fn placer(_: &Digraph, _: usize) -> Vec<(NodeId, FaultKind)> {
+            Vec::new()
+        }
+        fn inputs(g: &Digraph) -> Vec<f64> {
+            vec![0.0; g.node_count()]
+        }
         let sweep = ExperimentPlan::new()
             .protocol("bw", ByzantineWitness::default())
             .graph("k3", generators::clique(3))
@@ -1310,6 +1348,44 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(sweep.cells()[0].scenario().unwrap().inputs(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn link_fault_axis_labels_cells_and_counts_drops() {
+        let report = ExperimentPlan::new()
+            .protocol("bw", ByzantineWitness::default())
+            .graph("k4", generators::clique(4))
+            .fault_bound(0)
+            .link_faults("clean", |_, _| None)
+            .link_faults("lossy", |g: &Digraph, seed| {
+                let mut plan = LinkFaultPlan::new(seed);
+                for (from, to) in g.edges() {
+                    plan = plan.fault(from, to, super::super::LinkFault::Drop { prob: 0.2 });
+                }
+                Some(plan)
+            })
+            .seeds([3, 4])
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(report.rows.len(), 4);
+        assert!(report.failures().is_empty(), "{:?}", report.failures());
+
+        let clean = report.get("bw/k4/f0/none/clean/s3").expect("clean cell labelled");
+        assert_eq!(clean.coord("links"), Some("clean"));
+        assert_eq!(clean.summary.as_ref().unwrap().messages_dropped, 0);
+
+        let lossy = report.get("bw/k4/f0/none/lossy/s3").expect("lossy cell labelled");
+        assert!(lossy.summary.as_ref().unwrap().messages_dropped > 0);
+
+        // The drop counts ride both JSON schemas and the reducer.
+        assert!(report.to_bench_json().contains("\"dropped\":"));
+        let reduced = report.reduce();
+        let group = reduced.get("bw/k4/f0/none/lossy").expect("group drops the seed");
+        assert_eq!(group.dropped.n, 2);
+        assert!(group.dropped.mean > 0.0);
+        assert_eq!(reduced.get("bw/k4/f0/none/clean").unwrap().dropped.max, 0.0);
+        assert!(reduced.to_bench_json().contains("\"dropped_mean\":"));
     }
 
     #[test]
@@ -1384,8 +1460,8 @@ mod tests {
         let err = ExperimentPlan::new()
             .protocol("bw", ByzantineWitness::default())
             .graph("k3", generators::clique(3))
-            .runtime(Runtime::Threaded { timeout: Duration::from_secs(30) })
-            .runtime(Runtime::Threaded { timeout: Duration::from_secs(60) })
+            .runtime(Runtime::threaded(Duration::from_secs(30)))
+            .runtime(Runtime::threaded(Duration::from_secs(60)))
             .build()
             .unwrap_err();
         assert!(err.contains("duplicate runtime axis label 'threaded'"), "{err}");
@@ -1394,15 +1470,15 @@ mod tests {
         let sweep = ExperimentPlan::new()
             .protocol("bw", ByzantineWitness::default())
             .graph("k3", generators::clique(3))
-            .runtime_labelled("thr30", Runtime::Threaded { timeout: Duration::from_secs(30) })
-            .runtime_labelled("thr60", Runtime::Threaded { timeout: Duration::from_secs(60) })
+            .runtime_labelled("thr30", Runtime::threaded(Duration::from_secs(30)))
+            .runtime_labelled("thr60", Runtime::threaded(Duration::from_secs(60)))
             .build()
             .unwrap();
         assert_eq!(sweep.cell_count(), 2);
         assert_eq!(sweep.cells()[0].coord("runtime"), Some("thr30"));
         assert_eq!(
             sweep.cells()[1].scenario().unwrap().runtime(),
-            Runtime::Threaded { timeout: Duration::from_secs(60) }
+            Runtime::threaded(Duration::from_secs(60))
         );
     }
 

@@ -19,14 +19,18 @@ pub enum SimError {
         delivered: u64,
     },
     /// The threaded runtime hit its wall-clock timeout before every honest
-    /// node reported completion.
+    /// node reported completion. Retained for downstream matches: since the
+    /// runtime learned to degrade gracefully it reports stragglers per node
+    /// (`ThreadedReport::incomplete`) instead of returning this.
     Timeout {
         /// Nodes that had completed when the timeout fired.
         completed: usize,
         /// Total honest nodes expected to complete.
         expected: usize,
     },
-    /// A worker thread panicked.
+    /// A worker thread panicked. Retained for downstream matches: the
+    /// threaded runtime now reports panics per node instead of returning
+    /// this.
     WorkerPanicked,
 }
 

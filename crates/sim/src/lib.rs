@@ -16,6 +16,11 @@
 //!   demonstrating that the protocol really is event-driven and
 //!   order-insensitive under true OS-level concurrency.
 //!
+//! Both runtimes honor the same optional [`chaos::LinkFaultPlan`] — a
+//! seeded, per-edge fault schedule (drop / duplicate / reorder / corrupt /
+//! partition / omit) whose every decision is a pure function of the plan,
+//! so the fate of the k-th message on an edge is runtime-independent.
+//!
 //! Both drive the same [`process::Process`] state machines; Byzantine nodes
 //! implement [`process::Adversary`] and may send arbitrary well-typed
 //! messages over their own out-edges (links are authenticated, so a faulty
@@ -56,6 +61,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod error;
 pub mod process;
 pub mod scheduler;
@@ -64,8 +70,10 @@ pub mod threaded;
 pub mod time;
 pub mod trace;
 
+pub use chaos::{EdgeCounters, LinkDecision, LinkFault, LinkFaultPlan};
 pub use error::SimError;
 pub use process::{Adversary, Context, Process};
 pub use scheduler::DeliveryPolicy;
 pub use sim::{SimStats, Simulation};
+pub use threaded::{Incomplete, IncompleteReason, ThreadedReport};
 pub use time::VirtualTime;

@@ -1,5 +1,6 @@
 //! The deterministic discrete-event simulator.
 
+use crate::chaos::{EdgeCounters, LinkDecision, LinkFaultPlan};
 use crate::error::SimError;
 use crate::process::{Adversary, Context, Process};
 use crate::scheduler::DeliveryPolicy;
@@ -20,6 +21,13 @@ pub struct SimStats {
     /// Messages still queued past the horizon when the run stopped
     /// (non-zero only with adversarial far-future delays).
     pub messages_undelivered: u64,
+    /// Messages destroyed by a link-fault plan (drop, partition, omit).
+    pub messages_dropped: u64,
+    /// Extra copies injected by a link-fault plan's duplication faults.
+    pub messages_duplicated: u64,
+    /// Messages damaged in flight by a link-fault plan and discarded on
+    /// receipt (counted separately from clean drops).
+    pub messages_corrupted: u64,
     /// Virtual time of the last delivery.
     pub final_time: VirtualTime,
 }
@@ -51,6 +59,7 @@ pub struct Simulation<P: Process> {
     max_events: u64,
     horizon: VirtualTime,
     trace: Option<Trace<P::Message>>,
+    chaos: Option<(LinkFaultPlan, EdgeCounters)>,
 }
 
 struct QueuedEvent<M> {
@@ -94,6 +103,7 @@ impl<P: Process> Simulation<P> {
             max_events: 50_000_000,
             horizon: VirtualTime::FAR_FUTURE,
             trace: None,
+            chaos: None,
         }
     }
 
@@ -125,6 +135,14 @@ impl<P: Process> Simulation<P> {
     /// past the decision point" (Appendix B).
     pub fn set_horizon(&mut self, horizon: VirtualTime) -> &mut Self {
         self.horizon = horizon;
+        self
+    }
+
+    /// Attaches a deterministic link-fault plan: every outgoing message is
+    /// judged by [`LinkFaultPlan::decide`] under a per-edge message index
+    /// before it reaches the delivery queue.
+    pub fn set_link_faults(&mut self, plan: LinkFaultPlan) -> &mut Self {
+        self.chaos = Some((plan, EdgeCounters::new()));
         self
     }
 
@@ -221,14 +239,51 @@ impl<P: Process> Simulation<P> {
 
     fn dispatch(&mut self, from: NodeId, ctx: &mut Context<P::Message>) {
         for (to, msg) in ctx.take_outbox() {
-            let mut at = self.policy.delivery_time(self.now, from, to);
-            if at < self.now {
-                at = self.now;
-            }
             self.stats.messages_sent += 1;
+            let decision = match self.chaos.as_mut() {
+                Some((plan, counters)) => {
+                    let k = counters.next(from, to);
+                    plan.decide(from, to, k)
+                }
+                None => LinkDecision::CLEAN,
+            };
+            if decision.copies == 0 {
+                // Destroyed messages must not advance the delivery policy's
+                // RNG stream — that keeps clean edges bit-identical whether
+                // or not a plan is attached.
+                if decision.corrupted {
+                    self.stats.messages_corrupted += 1;
+                } else {
+                    self.stats.messages_dropped += 1;
+                }
+                continue;
+            }
+            for _ in 1..decision.copies {
+                self.stats.messages_duplicated += 1;
+                let at = self.arrival(from, to, decision.extra_delay);
+                self.seq += 1;
+                self.queue.push(Reverse(QueuedEvent {
+                    at,
+                    seq: self.seq,
+                    from,
+                    to,
+                    msg: msg.clone(),
+                }));
+            }
+            let at = self.arrival(from, to, decision.extra_delay);
             self.seq += 1;
             self.queue.push(Reverse(QueuedEvent { at, seq: self.seq, from, to, msg }));
         }
+    }
+
+    /// One delivery-policy draw for a surviving copy, clamped to `now` and
+    /// shifted by the plan's reorder delay.
+    fn arrival(&mut self, from: NodeId, to: NodeId, extra: u64) -> VirtualTime {
+        let mut at = self.policy.delivery_time(self.now, from, to);
+        if at < self.now {
+            at = self.now;
+        }
+        VirtualTime::new(at.ticks().saturating_add(extra))
     }
 }
 
@@ -379,5 +434,91 @@ mod tests {
         let stats = sim.run().unwrap();
         assert_eq!(stats.final_time, VirtualTime::new(7));
         assert_eq!(sim.now(), VirtualTime::new(7));
+    }
+
+    #[test]
+    fn omitted_edge_delivers_nothing() {
+        use crate::chaos::{LinkFault, LinkFaultPlan};
+        let mut sim = gossip_sim(3, Box::new(FixedDelay::new(1)));
+        sim.set_link_faults(LinkFaultPlan::new(0).fault(id(0), id(1), LinkFault::Omit));
+        let stats = sim.run().unwrap();
+        assert_eq!(stats.messages_sent, 6);
+        assert_eq!(stats.messages_dropped, 1);
+        assert_eq!(stats.messages_delivered, 5);
+        assert_eq!(sim.honest(id(1)).unwrap().heard.len(), 1, "only node 2's message arrives");
+    }
+
+    #[test]
+    fn duplicated_edge_delivers_twice() {
+        use crate::chaos::{LinkFault, LinkFaultPlan};
+        let mut sim = gossip_sim(3, Box::new(FixedDelay::new(1)));
+        sim.set_link_faults(LinkFaultPlan::new(0).fault(
+            id(0),
+            id(1),
+            LinkFault::Duplicate { prob: 1.0 },
+        ));
+        let stats = sim.run().unwrap();
+        assert_eq!(stats.messages_duplicated, 1);
+        assert_eq!(stats.messages_delivered, 7);
+        assert_eq!(sim.honest(id(1)).unwrap().heard.len(), 3);
+    }
+
+    #[test]
+    fn corruption_is_counted_apart_from_drops() {
+        use crate::chaos::{LinkFault, LinkFaultPlan};
+        let mut sim = gossip_sim(3, Box::new(FixedDelay::new(1)));
+        sim.set_link_faults(
+            LinkFaultPlan::new(0).fault(id(0), id(1), LinkFault::Corrupt { prob: 1.0 }).fault(
+                id(1),
+                id(0),
+                LinkFault::Drop { prob: 1.0 },
+            ),
+        );
+        let stats = sim.run().unwrap();
+        assert_eq!(stats.messages_corrupted, 1);
+        assert_eq!(stats.messages_dropped, 1);
+        assert_eq!(stats.messages_delivered, 4);
+    }
+
+    #[test]
+    fn zero_probability_plan_is_bit_identical_to_no_plan() {
+        use crate::chaos::{LinkFault, LinkFaultPlan};
+        let run = |plan: Option<LinkFaultPlan>| {
+            let mut sim = gossip_sim(4, Box::new(RandomDelay::new(11, 1, 9)));
+            if let Some(plan) = plan {
+                sim.set_link_faults(plan);
+            }
+            sim.record_trace();
+            let stats = sim.run().unwrap();
+            (stats, sim.trace().unwrap().clone())
+        };
+        let zero = LinkFaultPlan::new(99)
+            .fault(id(0), id(1), LinkFault::Drop { prob: 0.0 })
+            .fault(id(1), id(2), LinkFault::Duplicate { prob: 0.0 })
+            .fault(id(2), id(3), LinkFault::Reorder { window: 0 });
+        assert_eq!(run(None), run(Some(zero)));
+    }
+
+    #[test]
+    fn reorder_shifts_arrival_times() {
+        use crate::chaos::{LinkFault, LinkFaultPlan};
+        let g = Arc::new(generators::clique(2));
+        let mut sim = Simulation::new(g, Box::new(FixedDelay::new(1)));
+        sim.set_honest(id(0), Gossip { input: 1, heard: Vec::new() });
+        sim.set_honest(id(1), Gossip { input: 2, heard: Vec::new() });
+        sim.set_link_faults(LinkFaultPlan::new(5).fault(
+            id(0),
+            id(1),
+            LinkFault::Reorder { window: 40 },
+        ));
+        sim.record_trace();
+        sim.run().unwrap();
+        let late = sim
+            .trace()
+            .unwrap()
+            .events()
+            .iter()
+            .any(|e| e.from == id(0) && e.to == id(1) && e.at > VirtualTime::new(1));
+        assert!(late, "a 40-tick window should displace the 0 -> 1 delivery");
     }
 }

@@ -6,21 +6,37 @@
 //! the paper's reliable asynchronous links. It demonstrates that the
 //! protocol logic is event-driven and insensitive to real interleavings,
 //! and it backs the crate's stress tests.
+//!
+//! Two production-shaped properties distinguish it from a toy harness:
+//!
+//! * **Graceful degradation.** A node that never completes — partitioned
+//!   by a link-fault plan, starved, or panicked — does not abort the run.
+//!   The watchdog deadline stops the network, every surviving node's final
+//!   state is extracted, and the stragglers are reported per node in
+//!   [`ThreadedReport::incomplete`] with a typed [`IncompleteReason`].
+//! * **Chaos parity.** An optional [`LinkFaultPlan`] interposes on the
+//!   crossbeam send path using the same stateless decision function as the
+//!   simulator, so the fate of the k-th message on an edge is identical in
+//!   both runtimes.
 
+use crate::chaos::{EdgeCounters, LinkDecision, LinkFaultPlan};
 use crate::error::SimError;
 use crate::process::{Adversary, Context, Process};
+use crate::sim::SimStats;
+use crate::time::VirtualTime;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use dbac_graph::{Digraph, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configuration for a threaded run.
 #[derive(Clone, Copy, Debug)]
 pub struct ThreadedConfig {
-    /// Wall-clock limit for the whole run.
+    /// Wall-clock watchdog deadline: nodes still incomplete when it expires
+    /// are reported in [`ThreadedReport::incomplete`], not errors.
     pub timeout: Duration,
     /// Upper bound (exclusive) on the random per-send delay, in
     /// microseconds; 0 disables injected jitter.
@@ -35,6 +51,84 @@ impl Default for ThreadedConfig {
     }
 }
 
+/// Why a node failed to complete within its watchdog deadline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum IncompleteReason {
+    /// The node was still running (not yet `done`) when the deadline fired.
+    Timeout,
+    /// The node's thread panicked; its state is unrecoverable.
+    Panicked,
+    /// The node's inbox disconnected before the run was stopped, so it
+    /// could no longer make progress.
+    Starved,
+}
+
+impl IncompleteReason {
+    /// Short display label.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            IncompleteReason::Timeout => "timeout",
+            IncompleteReason::Panicked => "panicked",
+            IncompleteReason::Starved => "starved",
+        }
+    }
+}
+
+/// One honest node that did not complete, with its reason.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Incomplete {
+    /// The straggler.
+    pub node: NodeId,
+    /// Why it never finished.
+    pub reason: IncompleteReason,
+}
+
+/// The outcome of a threaded run: per-node final states, per-node
+/// stragglers, and transport counters.
+#[derive(Debug)]
+pub struct ThreadedReport<P> {
+    /// Final process state per node: `None` for Byzantine slots and for
+    /// honest nodes whose thread panicked. Honest nodes that merely timed
+    /// out still surface their partial state here.
+    pub nodes: Vec<Option<P>>,
+    /// Honest nodes that failed to complete, in node order.
+    pub incomplete: Vec<Incomplete>,
+    /// Transport counters observed by the send-path interposer
+    /// (`final_time` stays zero — wall-clock runs have no virtual clock).
+    pub stats: SimStats,
+}
+
+/// Send-path counters shared by every node thread.
+#[derive(Default)]
+struct Transport {
+    sent: AtomicU64,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    corrupted: AtomicU64,
+}
+
+impl Transport {
+    fn stats(&self) -> SimStats {
+        let sent = self.sent.load(Ordering::Relaxed);
+        let delivered = self.delivered.load(Ordering::Relaxed);
+        let dropped = self.dropped.load(Ordering::Relaxed);
+        let duplicated = self.duplicated.load(Ordering::Relaxed);
+        let corrupted = self.corrupted.load(Ordering::Relaxed);
+        let expected = sent.saturating_sub(dropped + corrupted).saturating_add(duplicated);
+        SimStats {
+            messages_sent: sent,
+            messages_delivered: delivered,
+            messages_undelivered: expected.saturating_sub(delivered),
+            messages_dropped: dropped,
+            messages_duplicated: duplicated,
+            messages_corrupted: corrupted,
+            final_time: VirtualTime::ZERO,
+        }
+    }
+}
+
 enum Actor<P: Process> {
     Honest(P),
     Byzantine(Box<dyn Adversary<P::Message> + Send>),
@@ -45,6 +139,7 @@ enum Actor<P: Process> {
 pub struct Threaded<P: Process> {
     graph: Arc<Digraph>,
     actors: Vec<Option<Actor<P>>>,
+    link_faults: Option<Arc<LinkFaultPlan>>,
 }
 
 impl<P> Threaded<P>
@@ -56,7 +151,7 @@ where
     #[must_use]
     pub fn new(graph: Arc<Digraph>) -> Self {
         let n = graph.node_count();
-        Threaded { graph, actors: (0..n).map(|_| None).collect() }
+        Threaded { graph, actors: (0..n).map(|_| None).collect(), link_faults: None }
     }
 
     /// Assigns an honest process to `v`.
@@ -75,27 +170,36 @@ where
         self
     }
 
+    /// Attaches a deterministic link-fault plan, interposed on every send.
+    pub fn set_link_faults(&mut self, plan: LinkFaultPlan) -> &mut Self {
+        self.link_faults = Some(Arc::new(plan));
+        self
+    }
+
     /// Runs every node on its own thread until each honest node satisfies
     /// `done` (nodes keep relaying after finishing, so slower nodes are
-    /// never starved), then stops the network and hands back the final
-    /// process states (`None` for Byzantine slots).
+    /// never starved) or the watchdog deadline expires, then stops the
+    /// network and hands back a [`ThreadedReport`].
+    ///
+    /// Non-completion is data, not an error: a node that times out, is
+    /// starved, or panics lands in [`ThreadedReport::incomplete`] while
+    /// every other node's final state is still extracted.
     ///
     /// # Errors
     ///
-    /// [`SimError::UnassignedNode`] if a node has no actor,
-    /// [`SimError::Timeout`] if the wall-clock limit expires first, and
-    /// [`SimError::WorkerPanicked`] if a node thread panicked.
+    /// [`SimError::UnassignedNode`] if a node has no actor.
     pub fn run(
         mut self,
         done: impl Fn(&P) -> bool + Send + Sync + 'static,
         config: ThreadedConfig,
-    ) -> Result<Vec<Option<P>>, SimError> {
+    ) -> Result<ThreadedReport<P>, SimError> {
         if let Some(missing) = self.actors.iter().position(Option::is_none) {
             return Err(SimError::UnassignedNode { node: missing });
         }
         let n = self.graph.node_count();
-        let honest_total =
-            self.actors.iter().filter(|a| matches!(a, Some(Actor::Honest(_)))).count();
+        let honest_slots: Vec<bool> =
+            self.actors.iter().map(|a| matches!(a, Some(Actor::Honest(_)))).collect();
+        let honest_total = honest_slots.iter().filter(|h| **h).count();
 
         type Envelope<M> = (NodeId, M);
         let mut senders: Vec<Sender<Envelope<P::Message>>> = Vec::with_capacity(n);
@@ -109,6 +213,7 @@ where
         let stop = Arc::new(AtomicBool::new(false));
         let done_count = Arc::new(AtomicUsize::new(0));
         let done = Arc::new(done);
+        let transport = Arc::new(Transport::default());
 
         let mut handles = Vec::with_capacity(n);
         for (i, rx_slot) in receivers.iter_mut().enumerate() {
@@ -120,20 +225,49 @@ where
             let stop = Arc::clone(&stop);
             let done_count = Arc::clone(&done_count);
             let done = Arc::clone(&done);
+            let transport = Arc::clone(&transport);
+            let plan = self.link_faults.clone();
             let jitter = config.jitter_micros;
             let mut rng = SmallRng::seed_from_u64(config.seed ^ (i as u64).wrapping_mul(0x9E37));
 
             handles.push(std::thread::spawn(move || {
                 let mut actor = actor;
                 let mut reported_done = false;
+                // Edge (u, v) has exactly one sender, so this thread-local
+                // counter agrees with the simulator's global one.
+                let mut edge_counters = EdgeCounters::new();
                 let out = graph.out_neighbors(me);
-                let dispatch = |ctx: &mut Context<P::Message>, rng: &mut SmallRng| {
+                let mut dispatch = |ctx: &mut Context<P::Message>, rng: &mut SmallRng| {
                     for (to, msg) in ctx.take_outbox() {
-                        if jitter > 0 {
-                            std::thread::sleep(Duration::from_micros(rng.gen_range(0..jitter)));
+                        transport.sent.fetch_add(1, Ordering::Relaxed);
+                        let decision = match plan.as_deref() {
+                            Some(p) => p.decide(me, to, edge_counters.next(me, to)),
+                            None => LinkDecision::CLEAN,
+                        };
+                        if decision.copies == 0 {
+                            let counter = if decision.corrupted {
+                                &transport.corrupted
+                            } else {
+                                &transport.dropped
+                            };
+                            counter.fetch_add(1, Ordering::Relaxed);
+                            continue;
                         }
-                        // Receiver may already have shut down; ignore.
-                        let _ = senders[to.index()].send((me, msg));
+                        let deliver = |msg: P::Message, rng: &mut SmallRng| {
+                            if jitter > 0 {
+                                std::thread::sleep(Duration::from_micros(rng.gen_range(0..jitter)));
+                            }
+                            if decision.extra_delay > 0 {
+                                std::thread::sleep(Duration::from_micros(decision.extra_delay));
+                            }
+                            // Receiver may already have shut down; ignore.
+                            let _ = senders[to.index()].send((me, msg));
+                        };
+                        for _ in 1..decision.copies {
+                            transport.duplicated.fetch_add(1, Ordering::Relaxed);
+                            deliver(msg.clone(), rng);
+                        }
+                        deliver(msg, rng);
                     }
                 };
                 let check_done = |actor: &Actor<P>, reported: &mut bool| {
@@ -155,9 +289,11 @@ where
                 dispatch(&mut ctx, &mut rng);
                 check_done(&actor, &mut reported_done);
 
+                let mut starved = false;
                 while !stop.load(Ordering::SeqCst) {
                     match rx.recv_timeout(Duration::from_millis(1)) {
                         Ok((from, msg)) => {
+                            transport.delivered.fetch_add(1, Ordering::Relaxed);
                             let mut ctx = Context::new(me, out);
                             match &mut actor {
                                 Actor::Honest(p) => p.on_message(&mut ctx, from, msg),
@@ -167,55 +303,69 @@ where
                             check_done(&actor, &mut reported_done);
                         }
                         Err(RecvTimeoutError::Timeout) => {}
-                        Err(RecvTimeoutError::Disconnected) => break,
+                        Err(RecvTimeoutError::Disconnected) => {
+                            starved = !stop.load(Ordering::SeqCst);
+                            break;
+                        }
                     }
                 }
                 match actor {
-                    Actor::Honest(p) => Some(p),
-                    Actor::Byzantine(_) => None,
+                    Actor::Honest(p) => (Some(p), starved),
+                    Actor::Byzantine(_) => (None, starved),
                 }
             }));
         }
 
-        // Wait for completion or timeout.
+        // Watchdog: wait for completion or the deadline, then stop the
+        // network — stragglers become per-node reports, never a run error.
         let deadline = Instant::now() + config.timeout;
-        let completed = loop {
-            let completed = done_count.load(Ordering::SeqCst);
-            if completed >= honest_total {
-                break completed;
+        loop {
+            if done_count.load(Ordering::SeqCst) >= honest_total {
+                break;
             }
             if Instant::now() >= deadline {
-                break completed;
+                break;
             }
             std::thread::sleep(Duration::from_millis(1));
-        };
+        }
         stop.store(true, Ordering::SeqCst);
         drop(senders);
 
-        let mut out = Vec::with_capacity(n);
-        let mut panicked = false;
-        for h in handles {
+        let mut nodes = Vec::with_capacity(n);
+        let mut incomplete = Vec::new();
+        for (i, h) in handles.into_iter().enumerate() {
+            let node = NodeId::new(i);
             match h.join() {
-                Ok(p) => out.push(p),
+                Ok((state, starved)) => {
+                    if honest_slots[i] {
+                        let finished = state.as_ref().map(|p| done(p)).unwrap_or(false);
+                        if !finished {
+                            let reason = if starved {
+                                IncompleteReason::Starved
+                            } else {
+                                IncompleteReason::Timeout
+                            };
+                            incomplete.push(Incomplete { node, reason });
+                        }
+                    }
+                    nodes.push(state);
+                }
                 Err(_) => {
-                    panicked = true;
-                    out.push(None);
+                    if honest_slots[i] {
+                        incomplete.push(Incomplete { node, reason: IncompleteReason::Panicked });
+                    }
+                    nodes.push(None);
                 }
             }
         }
-        if panicked {
-            return Err(SimError::WorkerPanicked);
-        }
-        if completed < honest_total {
-            return Err(SimError::Timeout { completed, expected: honest_total });
-        }
-        Ok(out)
+        Ok(ThreadedReport { nodes, incomplete, stats: transport.stats() })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chaos::LinkFault;
     use crate::process::Silent;
     use dbac_graph::generators;
 
@@ -248,13 +398,16 @@ mod tests {
         for i in 0..4 {
             t.set_honest(id(i), Collect { expected: 3, input: i as u64, heard: Vec::new() });
         }
-        let out = t
+        let report = t
             .run(
                 |p| p.heard.len() >= p.expected,
                 ThreadedConfig { timeout: Duration::from_secs(10), jitter_micros: 20, seed: 1 },
             )
             .unwrap();
-        for p in out.iter().flatten() {
+        assert!(report.incomplete.is_empty());
+        assert_eq!(report.stats.messages_sent, 12);
+        assert!(report.stats.messages_delivered >= 12, "every broadcast reaches its target");
+        for p in report.nodes.iter().flatten() {
             assert!(p.heard.len() >= 3);
         }
     }
@@ -266,25 +419,36 @@ mod tests {
         t.set_honest(id(0), Collect { expected: 1, input: 0, heard: Vec::new() });
         t.set_honest(id(1), Collect { expected: 1, input: 1, heard: Vec::new() });
         t.set_byzantine(id(2), Box::new(Silent));
-        let out = t.run(|p| p.heard.len() >= p.expected, ThreadedConfig::default()).unwrap();
-        assert!(out[0].is_some() && out[1].is_some());
-        assert!(out[2].is_none(), "byzantine slot returns no process");
+        let report = t.run(|p| p.heard.len() >= p.expected, ThreadedConfig::default()).unwrap();
+        assert!(report.incomplete.is_empty());
+        assert!(report.nodes[0].is_some() && report.nodes[1].is_some());
+        assert!(report.nodes[2].is_none(), "byzantine slot returns no process");
     }
 
     #[test]
-    fn threaded_timeout_reports_progress() {
+    fn threaded_timeout_degrades_to_per_node_reports() {
         let g = Arc::new(generators::clique(2));
         let mut t = Threaded::new(g);
         for i in 0..2 {
             t.set_honest(id(i), Collect { expected: 99, input: 0, heard: Vec::new() });
         }
-        let err = t
+        let report = t
             .run(
                 |p| p.heard.len() >= p.expected,
                 ThreadedConfig { timeout: Duration::from_millis(50), jitter_micros: 0, seed: 0 },
             )
-            .unwrap_err();
-        assert!(matches!(err, SimError::Timeout { completed: 0, expected: 2 }));
+            .unwrap();
+        assert_eq!(
+            report.incomplete,
+            vec![
+                Incomplete { node: id(0), reason: IncompleteReason::Timeout },
+                Incomplete { node: id(1), reason: IncompleteReason::Timeout },
+            ]
+        );
+        for p in report.nodes.iter() {
+            let p = p.as_ref().expect("partial state survives a timeout");
+            assert_eq!(p.heard.len(), 1, "one exchange still happened");
+        }
     }
 
     #[test]
@@ -294,5 +458,80 @@ mod tests {
         t.set_honest(id(0), Collect { expected: 0, input: 0, heard: Vec::new() });
         let err = t.run(|_| true, ThreadedConfig::default()).unwrap_err();
         assert_eq!(err, SimError::UnassignedNode { node: 1 });
+    }
+
+    #[test]
+    fn threaded_panicked_node_is_reported_not_fatal() {
+        /// Panics as soon as it hears anything.
+        struct Grenade;
+        impl Process for Grenade {
+            type Message = u64;
+            fn on_start(&mut self, ctx: &mut Context<u64>) {
+                ctx.broadcast(&1);
+            }
+            fn on_message(&mut self, _ctx: &mut Context<u64>, _from: NodeId, _msg: u64) {
+                panic!("boom");
+            }
+        }
+        let g = Arc::new(generators::clique(2));
+        let mut t = Threaded::new(g);
+        t.set_honest(id(0), Grenade);
+        t.set_honest(id(1), Grenade);
+        let report = t
+            .run(
+                |_| false,
+                ThreadedConfig { timeout: Duration::from_millis(200), jitter_micros: 0, seed: 0 },
+            )
+            .unwrap();
+        assert_eq!(report.incomplete.len(), 2);
+        assert!(report.incomplete.iter().all(|inc| inc.reason == IncompleteReason::Panicked));
+        assert!(report.nodes.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn threaded_omit_starves_only_the_cut_edge() {
+        let g = Arc::new(generators::clique(3));
+        let mut t = Threaded::new(g);
+        for i in 0..3 {
+            t.set_honest(id(i), Collect { expected: 2, input: i as u64, heard: Vec::new() });
+        }
+        t.set_link_faults(LinkFaultPlan::new(0).fault(id(0), id(1), LinkFault::Omit));
+        let report = t
+            .run(
+                |p| p.heard.len() >= p.expected,
+                ThreadedConfig { timeout: Duration::from_millis(300), jitter_micros: 0, seed: 0 },
+            )
+            .unwrap();
+        assert_eq!(
+            report.incomplete,
+            vec![Incomplete { node: id(1), reason: IncompleteReason::Timeout }],
+            "only the node behind the cut edge misses its quota"
+        );
+        assert_eq!(report.stats.messages_dropped, 1);
+        assert_eq!(report.stats.messages_sent, 6);
+        let starved = report.nodes[1].as_ref().unwrap();
+        assert_eq!(starved.heard.len(), 1, "node 2's message still arrives");
+    }
+
+    #[test]
+    fn threaded_duplicate_doubles_the_edge() {
+        let g = Arc::new(generators::clique(2));
+        let mut t = Threaded::new(g);
+        t.set_honest(id(0), Collect { expected: 1, input: 7, heard: Vec::new() });
+        t.set_honest(id(1), Collect { expected: 2, input: 8, heard: Vec::new() });
+        t.set_link_faults(LinkFaultPlan::new(0).fault(
+            id(0),
+            id(1),
+            LinkFault::Duplicate { prob: 1.0 },
+        ));
+        let report = t
+            .run(
+                |p| p.heard.len() >= p.expected,
+                ThreadedConfig { timeout: Duration::from_secs(5), jitter_micros: 0, seed: 0 },
+            )
+            .unwrap();
+        assert!(report.incomplete.is_empty());
+        assert_eq!(report.stats.messages_duplicated, 1);
+        assert_eq!(report.nodes[1].as_ref().unwrap().heard, vec![7, 7]);
     }
 }

@@ -16,7 +16,7 @@ fn main() {
         .epsilon(0.5)
         .fault(NodeId::new(3), FaultKind::Equivocator { low: -50.0, high: 50.0 })
         .seed(1)
-        .runtime(Runtime::Threaded { timeout: Duration::from_secs(60) })
+        .runtime(Runtime::threaded(Duration::from_secs(60)))
         .protocol(ByzantineWitness::default())
         .run()
         .expect("threaded run completes");

@@ -61,7 +61,8 @@
 //! [`ExperimentPlan`](scenario::sweep::ExperimentPlan) is a grid
 //! description whose axes cover every scenario knob — protocols (with
 //! their knobs), graphs, fault bounds, fault placements, inputs, ε,
-//! scheduler families, runtimes and round overrides — while the seeds form
+//! scheduler families, link-fault plans, runtimes and round overrides —
+//! while the seeds form
 //! the statistical axis. `build()` expands the cartesian product,
 //! `run()` executes every cell in parallel, and `reduce()` aggregates each
 //! seed batch into distributional statistics (mean/median/min/max/stddev),
@@ -112,7 +113,8 @@ pub use dbac_sim as sim;
 pub mod scenario {
     pub use dbac_baselines::scenario::{Aad04, IterativeTrimmedMean, ReliableBroadcastProbe};
     pub use dbac_core::scenario::{
-        drive, sweep, ByzantineWitness, CrashTwoReach, Delivery, FaultKind, Outcome, Protocol,
-        Runtime, Scenario, ScenarioBuilder, SchedulerSpec, TraceSummary,
+        drive, sweep, ByzantineWitness, CrashTwoReach, Delivery, DriveReport, FaultKind,
+        Incomplete, IncompleteReason, LinkFault, LinkFaultPlan, Outcome, Protocol, Runtime,
+        Scenario, ScenarioBuilder, SchedulerSpec, TraceSummary,
     };
 }

@@ -1,0 +1,255 @@
+//! Chaos invariant harness: randomized, seeded link-fault plans must never
+//! cost *safety* — only liveness, and liveness loss must always surface as
+//! data (a stalled node, a typed error, a per-node `incomplete` entry),
+//! never as a panic or a hang past the watchdog.
+//!
+//! Three invariant families:
+//!
+//! 1. **Safety under arbitrary chaos** (f = 0, Sim): whatever a random
+//!    plan does to the links, decided honest outputs stay in the honest
+//!    input hull and deciders ε-agree. Nodes starved of messages simply
+//!    do not decide.
+//! 2. **Graceful degradation** (Threaded): a fully partitioned node makes
+//!    the run return a scored partial [`Outcome`] with that node in
+//!    `incomplete`, not a whole-run error.
+//! 3. **Determinism**: a zero-probability plan is bit-identical to no
+//!    plan, and the same (plan, seed) replays bit-identically — on both
+//!    runtimes.
+
+use dbac::core::error::RunError;
+use dbac::graph::{generators, Digraph, NodeId};
+use dbac::scenario::{
+    ByzantineWitness, CrashTwoReach, FaultKind, IncompleteReason, LinkFault, LinkFaultPlan,
+    Outcome, Runtime, Scenario,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// A random plan over the graph's real edges: 1–6 faults drawn from every
+/// [`LinkFault`] kind, with destructive probabilities kept below 1 so the
+/// chaos is severe but not trivially total.
+fn random_plan(g: &Digraph, seed: u64) -> LinkFaultPlan {
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+    let edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+    let count = rng.gen_range(1..=edges.len().min(6));
+    let mut plan = LinkFaultPlan::new(seed);
+    for _ in 0..count {
+        let (from, to) = edges[rng.gen_range(0..edges.len())];
+        let fault = match rng.gen_range(0u32..6) {
+            0 => LinkFault::Drop { prob: rng.gen_range(0.0..0.9) },
+            1 => LinkFault::Duplicate { prob: rng.gen_range(0.0..0.9) },
+            2 => LinkFault::Reorder { window: rng.gen_range(0u64..32) },
+            3 => LinkFault::Corrupt { prob: rng.gen_range(0.0..0.6) },
+            4 => {
+                let from_step = rng.gen_range(0u64..40);
+                LinkFault::Partition { from_step, to_step: from_step + rng.gen_range(0u64..80) }
+            }
+            _ => LinkFault::Omit,
+        };
+        plan = plan.fault(from, to, fault);
+    }
+    plan
+}
+
+/// Case rotation: both protocols on the cliques, CrashTwoReach on the
+/// 8-node bridged Figure 1(b) topology (BW's redundant flooding is too
+/// heavy there for a 240-case loop — seconds per case).
+fn case_shape(case: u64) -> (&'static str, Digraph, bool) {
+    match case % 6 {
+        0 => ("K4", generators::clique(4), true),
+        1 => ("K5", generators::clique(5), true),
+        2 => ("fig1b-small", generators::figure_1b_small(), false),
+        3 => ("K4", generators::clique(4), false),
+        4 => ("K5", generators::clique(5), false),
+        _ => ("fig1b-small", generators::figure_1b_small(), false),
+    }
+}
+
+/// Safety among deciders: hull containment always, ε-agreement among the
+/// honest nodes that decided. Vacuously true when chaos starved everyone.
+fn assert_safe(out: &Outcome, case: u64, graph: &str) {
+    assert!(out.valid(), "validity violated: case {case} on {graph}: {:?}", out.outputs);
+    assert!(
+        out.spread() <= out.epsilon,
+        "ε-agreement violated among deciders: case {case} on {graph}: spread {} > ε {}",
+        out.spread(),
+        out.epsilon
+    );
+}
+
+/// Invariant family 1: 240 randomized fault-free (f = 0) cases across
+/// three topologies and both core protocols. Chaos may stall nodes but
+/// never corrupts a decision, and every failure mode is typed.
+#[test]
+fn randomized_chaos_never_violates_safety() {
+    let (mut decided_runs, mut stalled_runs) = (0u32, 0u32);
+    for case in 0..240u64 {
+        let (graph_label, g, bw) = case_shape(case);
+        let n = g.node_count();
+        let plan = random_plan(&g, case);
+        let builder = Scenario::builder(g, 0)
+            .inputs((0..n).map(|i| i as f64).collect())
+            .epsilon(0.5)
+            .seed(case)
+            .link_faults(plan);
+        let cfg = if bw {
+            builder.protocol(ByzantineWitness::default())
+        } else {
+            builder.protocol(CrashTwoReach::default())
+        }
+        .build()
+        .expect("random plans over real edges validate");
+        match cfg.run() {
+            Ok(out) => {
+                assert_safe(&out, case, graph_label);
+                if out.all_decided() {
+                    decided_runs += 1;
+                } else {
+                    stalled_runs += 1;
+                }
+            }
+            // Liveness loss is allowed, but only as a typed runtime error.
+            Err(RunError::Sim(_)) => stalled_runs += 1,
+            Err(e) => panic!("untyped failure under chaos: case {case} on {graph_label}: {e}"),
+        }
+    }
+    // The harness must exercise both regimes, or the invariants are vacuous.
+    assert!(decided_runs > 0, "no chaos case ever decided");
+    assert!(stalled_runs > 0, "no chaos case ever lost liveness");
+}
+
+/// Invariant family 1, f = 1: chaos composed with a node-level crash fault
+/// keeps hull containment (the crash input sits inside the honest hull).
+#[test]
+fn randomized_chaos_composes_with_crash_faults() {
+    for case in 0..40u64 {
+        let g = generators::clique(4);
+        let plan = random_plan(&g, 1_000 + case);
+        let cfg = Scenario::builder(g, 1)
+            .inputs(vec![0.0, 10.0, 5.0, 5.0])
+            .epsilon(1.0)
+            .fault(NodeId::new(3), FaultKind::Crash)
+            .seed(case)
+            .link_faults(plan)
+            .protocol(CrashTwoReach::default())
+            .build()
+            .unwrap();
+        match cfg.run() {
+            Ok(out) => assert!(out.valid(), "case {case}: {:?}", out.outputs),
+            Err(RunError::Sim(_)) => {}
+            Err(e) => panic!("untyped failure under chaos: case {case}: {e}"),
+        }
+    }
+}
+
+/// Invariant family 2: a Threaded run with one fully partitioned node
+/// degrades to a scored partial outcome — survivors decide and ε-agree,
+/// the victim is reported per-node in `incomplete`, and nothing errors.
+#[test]
+fn threaded_partitioned_node_degrades_to_partial_outcome() {
+    let g = generators::clique(4);
+    let victim = NodeId::new(3);
+    let mut plan = LinkFaultPlan::new(11);
+    for v in 0..3 {
+        plan = plan.fault(NodeId::new(v), victim, LinkFault::Omit);
+    }
+    let out = Scenario::builder(g, 1)
+        .inputs(vec![0.0, 10.0, 4.0, 6.0])
+        .epsilon(0.5)
+        .seed(4)
+        .link_faults(plan)
+        .runtime(Runtime::Threaded { timeout: Duration::from_secs(4), jitter_micros: 0 })
+        .protocol(ByzantineWitness::default())
+        .build()
+        .unwrap()
+        .run()
+        .expect("degradation must not be a whole-run error");
+    for v in 0..3 {
+        assert!(out.outputs[v].is_some(), "survivor {v} must still decide");
+    }
+    assert!(out.valid());
+    assert!(out.spread() <= out.epsilon, "survivors must ε-agree, spread {}", out.spread());
+    assert_eq!(out.outputs[3], None, "the starved node cannot have decided");
+    assert!(out.degraded());
+    assert_eq!(out.incomplete.len(), 1, "exactly the victim is incomplete: {:?}", out.incomplete);
+    assert_eq!(out.incomplete[0].node, victim);
+    assert_eq!(out.incomplete[0].reason, IncompleteReason::Timeout);
+    assert!(out.sim_stats.messages_dropped > 0, "the omitted edges must count their losses");
+}
+
+/// Runs one Sim scenario with full trace recording.
+fn sim_outcome(plan: Option<LinkFaultPlan>, seed: u64) -> Outcome {
+    Scenario::builder(generators::clique(4), 0)
+        .inputs(vec![0.0, 10.0, 4.0, 6.0])
+        .epsilon(0.25)
+        .seed(seed)
+        .record_trace(true)
+        .link_faults_opt(plan)
+        .protocol(ByzantineWitness::default())
+        .run()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Invariant family 3: all-zero probabilities make the chaos layer
+    /// invisible — bit-identical to a run with no plan at all, because
+    /// link decisions never consume scheduler randomness.
+    #[test]
+    fn zero_probability_plan_is_bit_identical_to_no_plan(seed in 0u64..1_000) {
+        let zero = LinkFaultPlan::new(seed ^ 0xABCD)
+            .fault(NodeId::new(0), NodeId::new(1), LinkFault::Drop { prob: 0.0 })
+            .fault(NodeId::new(1), NodeId::new(2), LinkFault::Duplicate { prob: 0.0 })
+            .fault(NodeId::new(2), NodeId::new(3), LinkFault::Corrupt { prob: 0.0 })
+            .fault(NodeId::new(3), NodeId::new(0), LinkFault::Reorder { window: 0 })
+            .fault(NodeId::new(0), NodeId::new(2), LinkFault::Partition { from_step: 5, to_step: 5 });
+        let (plain, chaotic) = (sim_outcome(None, seed), sim_outcome(Some(zero), seed));
+        prop_assert_eq!(&plain.outputs, &chaotic.outputs);
+        prop_assert_eq!(&plain.histories, &chaotic.histories);
+        prop_assert_eq!(&plain.sim_stats, &chaotic.sim_stats);
+        prop_assert_eq!(&plain.trace, &chaotic.trace);
+    }
+
+    /// Invariant family 3: the same (plan, seed) replays bit-identically
+    /// under the simulator, trace and counters included.
+    #[test]
+    fn sim_chaos_replay_is_bit_identical(seed in 0u64..1_000) {
+        let g = generators::clique(4);
+        let run = || sim_outcome(Some(random_plan(&g, seed)), seed);
+        let (a, b) = (run(), run());
+        prop_assert_eq!(&a.outputs, &b.outputs);
+        prop_assert_eq!(&a.histories, &b.histories);
+        prop_assert_eq!(&a.sim_stats, &b.sim_stats);
+        prop_assert_eq!(&a.trace, &b.trace);
+    }
+}
+
+/// Invariant family 3 under real threads: for f = 0 the protocol's
+/// decisions are schedule-independent, so the same (plan, seed) must give
+/// identical outputs, histories and stragglers across Threaded replays.
+#[test]
+fn threaded_chaos_replay_is_identical() {
+    let run = || {
+        Scenario::builder(generators::clique(4), 0)
+            .inputs(vec![0.0, 10.0, 4.0, 6.0])
+            .epsilon(0.25)
+            .seed(21)
+            .link_faults(
+                LinkFaultPlan::new(21)
+                    .fault(NodeId::new(0), NodeId::new(1), LinkFault::Duplicate { prob: 0.4 })
+                    .fault(NodeId::new(2), NodeId::new(3), LinkFault::Reorder { window: 50 }),
+            )
+            .runtime(Runtime::Threaded { timeout: Duration::from_secs(120), jitter_micros: 0 })
+            .protocol(ByzantineWitness::default())
+            .run()
+            .unwrap()
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.outputs, b.outputs);
+    assert_eq!(a.histories, b.histories);
+    assert_eq!(a.incomplete, b.incomplete);
+    assert!(a.converged() && a.valid());
+}

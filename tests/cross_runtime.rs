@@ -20,10 +20,8 @@ use std::time::Duration;
 
 fn run_both(build: impl Fn() -> ScenarioBuilder) -> (Outcome, Outcome) {
     let sim = build().runtime(Runtime::Sim).run().expect("sim run");
-    let threaded = build()
-        .runtime(Runtime::Threaded { timeout: Duration::from_secs(120) })
-        .run()
-        .expect("threaded run");
+    let threaded =
+        build().runtime(Runtime::threaded(Duration::from_secs(120))).run().expect("threaded run");
     (sim, threaded)
 }
 
@@ -36,7 +34,8 @@ fn assert_identical(sim: &Outcome, threaded: &Outcome) {
     assert_eq!(sim.honest_input_range, threaded.honest_input_range);
     assert_eq!(sim.rounds, threaded.rounds);
     assert_eq!(sim.protocol, threaded.protocol);
-    // `sim_stats` (zeroed on threads) and `trace` (Sim-only) are exempt.
+    // `sim_stats` (transport counters differ between the event queue and
+    // real channels) and `trace` (Sim-only) are exempt.
 }
 
 #[test]

@@ -159,7 +159,7 @@ fn unsupported_runtimes_are_typed() {
     // The iterative protocol is synchronous — no threaded execution.
     let err = Scenario::builder(generators::clique(4), 1)
         .inputs(vec![0.0; 4])
-        .runtime(Runtime::Threaded { timeout: Duration::from_secs(1) })
+        .runtime(Runtime::threaded(Duration::from_secs(1)))
         .protocol(IterativeTrimmedMean::default())
         .run()
         .unwrap_err();

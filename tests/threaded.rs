@@ -11,7 +11,7 @@ fn threaded_k4_all_honest() {
         .inputs(vec![0.0, 10.0, 4.0, 6.0])
         .epsilon(0.5)
         .seed(1)
-        .runtime(Runtime::Threaded { timeout: Duration::from_secs(120) })
+        .runtime(Runtime::threaded(Duration::from_secs(120)))
         .build()
         .unwrap();
     let out = cfg.run().unwrap();
@@ -27,7 +27,7 @@ fn threaded_k4_with_crash() {
         .epsilon(0.5)
         .fault(NodeId::new(3), FaultKind::Crash)
         .seed(2)
-        .runtime(Runtime::Threaded { timeout: Duration::from_secs(120) })
+        .runtime(Runtime::threaded(Duration::from_secs(120)))
         .build()
         .unwrap();
     let out = cfg.run().unwrap();
@@ -42,7 +42,7 @@ fn threaded_k4_with_liar() {
         .epsilon(1.0)
         .fault(NodeId::new(3), FaultKind::ConstantLiar { value: 1e6 })
         .seed(3)
-        .runtime(Runtime::Threaded { timeout: Duration::from_secs(120) })
+        .runtime(Runtime::threaded(Duration::from_secs(120)))
         .build()
         .unwrap();
     let out = cfg.run().unwrap();
