@@ -24,5 +24,6 @@ pub mod aad04;
 pub mod iterative;
 pub mod reliable_broadcast;
 pub mod scenario;
+pub mod wire;
 
 pub use scenario::{Aad04, IterativeTrimmedMean, ReliableBroadcastProbe};

@@ -58,6 +58,7 @@ pub mod node;
 pub mod precompute;
 pub mod run;
 pub mod scenario;
+pub mod wire;
 pub mod witness;
 
 #[cfg(test)]

@@ -10,7 +10,7 @@
 //!     .epsilon(...)                // agreement parameter
 //!     .fault(v, FaultKind::...)    // protocol-agnostic fault assignment
 //!     .scheduler(SchedulerSpec::…) // who controls message timing
-//!     .runtime(Runtime::...)       // discrete-event sim or real threads
+//!     .runtime(Runtime::...)       // discrete-event sim, real threads, or the network
 //!     .protocol(ByzantineWitness::default())
 //!     .run()?                      // -> Outcome
 //! ```
@@ -79,9 +79,45 @@
 //!
 //! Liveness loss under link faults is *observable*, never fatal: the
 //! simulator runs to quiescence and reports non-deciders through
-//! [`Outcome::all_decided`], while the threaded runtime's watchdog reports
-//! stragglers per node in [`Outcome::incomplete`] with a typed
-//! [`IncompleteReason`], still extracting and scoring every survivor.
+//! [`Outcome::all_decided`], while the threaded and network runtimes'
+//! watchdogs report stragglers per node in [`Outcome::incomplete`] with a
+//! typed [`IncompleteReason`], still extracting and scoring every survivor.
+//!
+//! # Run over the network
+//!
+//! [`Runtime::Net`] executes the same scenario with every message
+//! **serialized onto a real byte stream** — the only runtime in which the
+//! wire actually exists. The three runtimes compare as follows:
+//!
+//! | | [`Runtime::Sim`] | [`Runtime::Threaded`] | [`Runtime::Net`] |
+//! |---|---|---|---|
+//! | Concurrency | none (virtual time) | OS threads | OS threads |
+//! | Message transport | in-memory event queue | crossbeam channels | framed duplex connections (loopback TCP, or in-process byte pipes) |
+//! | Serialization | none | none | length-prefixed binary codec ([`WireMessage`]) |
+//! | Determinism | bit-for-bit from the seed | schedule-dependent | schedule-dependent |
+//! | Non-completion | quiescence, [`Outcome::all_decided`] | watchdog → [`Outcome::incomplete`] | watchdog → [`Outcome::incomplete`] |
+//! | Extra counters | `final_time` | — | [`SimStats::messages_rejected`] |
+//!
+//! **Codec wire format.** Each frame is `len:u32le ‖ body` with `len`
+//! capped at 1 MiB; the body is one hand-rolled little-endian message
+//! encoding (see each protocol's [`WireMessage`] impl — path ids travel as
+//! raw `u32`s, suspect sets as `u128` bitmasks, values as `f64` bit
+//! patterns, so NaN payloads and the `0.0`/`-0.0` distinction survive
+//! bit-exactly). Connections begin with a 7-byte handshake
+//! (`magic ‖ version ‖ node-id`) in both directions. The codec is total:
+//! adversarial bytes produce typed [`WireError`]s, never panics.
+//!
+//! **Degradation semantics.** A frame that fails to decode is counted in
+//! [`SimStats::messages_rejected`] and skipped; a framing-level error
+//! (oversize length prefix, mid-frame truncation) closes that one
+//! connection; a node left behind — partitioned, starved, or panicked —
+//! lands in [`Outcome::incomplete`] with the same typed
+//! [`IncompleteReason`]s as the threaded runtime, while every survivor is
+//! still extracted and scored.
+//!
+//! At `f = 0` the honest decisions are interleaving-independent, so all
+//! three runtimes must produce bit-identical outputs and histories —
+//! `tests/cross_runtime.rs` enforces exactly that three-way gate.
 //!
 //! # Design notes
 //!
@@ -91,7 +127,7 @@
 //!   reasons, so harnesses can branch on failure causes.
 //! * **[`drive`] is the only place that touches the runtimes.** Protocol
 //!   implementations hand it a fully-assigned process fleet; no other
-//!   module constructs [`Simulation`] or [`Threaded`] (the one sanctioned
+//!   module constructs [`Simulation`], [`Threaded`] or `Net` (the one sanctioned
 //!   exception is the Appendix-B splice executor in `dbac-bench`, which
 //!   replays message-level traces below the scenario abstraction).
 //! * **Faults are protocol-agnostic data.** [`FaultKind`] is the union of
@@ -109,6 +145,7 @@ use crate::error::RunError;
 use crate::node::HonestNode;
 use crate::precompute::Topology;
 use dbac_graph::{Digraph, NodeId, NodeSet, PathBudget};
+use dbac_sim::net::{Net, NetConfig};
 use dbac_sim::process::{Adversary, Process};
 use dbac_sim::scheduler::{EdgeDelay, FixedDelay, RandomDelay};
 use dbac_sim::sim::{SimStats, Simulation};
@@ -118,6 +155,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 pub use dbac_sim::chaos::{LinkFault, LinkFaultPlan};
+pub use dbac_sim::net::codec::{WireError, WireMessage};
+pub use dbac_sim::net::connection::TransportKind;
 pub use dbac_sim::threaded::{Incomplete, IncompleteReason};
 
 // ---------------------------------------------------------------------------
@@ -212,6 +251,19 @@ pub enum Runtime {
         /// microseconds; 0 disables injected jitter.
         jitter_micros: u64,
     },
+    /// The network runtime: one event loop per node, every message
+    /// serialized through the length-prefixed binary wire codec and moved
+    /// over framed, handshaken duplex connections — loopback TCP when the
+    /// environment can bind a socket, byte-real in-process pipes
+    /// otherwise. Degradation semantics are shared with
+    /// [`Runtime::Threaded`]: stragglers land in [`Outcome::incomplete`],
+    /// and decode-rejected frames are counted in
+    /// [`SimStats::messages_rejected`]. See the module-level
+    /// ["Run over the network"](self#run-over-the-network) section.
+    Net {
+        /// Wall-clock watchdog deadline for the run.
+        timeout: Duration,
+    },
 }
 
 impl Runtime {
@@ -224,12 +276,20 @@ impl Runtime {
         Runtime::Threaded { timeout, jitter_micros: Runtime::DEFAULT_JITTER_MICROS }
     }
 
+    /// The network runtime (transport auto-detected: loopback TCP when
+    /// available, in-process framed pipes otherwise).
+    #[must_use]
+    pub fn net(timeout: Duration) -> Runtime {
+        Runtime::Net { timeout }
+    }
+
     /// Short display name (also used in typed errors).
     #[must_use]
     pub fn name(&self) -> &'static str {
         match self {
             Runtime::Sim => "sim",
             Runtime::Threaded { .. } => "threaded",
+            Runtime::Net { .. } => "net",
         }
     }
 }
@@ -984,17 +1044,22 @@ pub struct DriveReport {
 /// an `extract` callback invoked with each surviving honest process after
 /// the run.
 ///
-/// `done` is the per-node termination predicate the threaded runtime polls
-/// (the simulator instead runs to quiescence).
+/// `done` is the per-node termination predicate the threaded and network
+/// runtimes poll (the simulator instead runs to quiescence).
 ///
-/// Both runtimes honor the scenario's [`LinkFaultPlan`], if any, through
-/// the same seeded decision function. A threaded node that misses its
-/// watchdog deadline is *not* an error: it lands in
+/// All three runtimes honor the scenario's [`LinkFaultPlan`], if any,
+/// through the same seeded decision function. A threaded or network node
+/// that misses its watchdog deadline is *not* an error: it lands in
 /// [`DriveReport::incomplete`] and every survivor is still extracted.
+///
+/// The `P::Message: WireMessage` bound is what lets one fleet run on any
+/// runtime: every drivable protocol message carries a canonical binary
+/// wire form, even when the selected runtime never serializes it.
 ///
 /// # Errors
 ///
-/// [`RunError::Sim`] on unassigned nodes or event-budget exhaustion.
+/// [`RunError::Sim`] on unassigned nodes, event-budget exhaustion, or
+/// network-transport setup failure.
 pub fn drive<P>(
     scenario: &Scenario,
     honest: Vec<(NodeId, P)>,
@@ -1004,6 +1069,7 @@ pub fn drive<P>(
 ) -> Result<DriveReport, RunError>
 where
     P: Process + Send + 'static,
+    P::Message: WireMessage,
 {
     match scenario.runtime {
         Runtime::Sim => {
@@ -1049,6 +1115,26 @@ where
                 runtime.set_link_faults(plan.clone());
             }
             let config = ThreadedConfig { timeout, jitter_micros, seed: scenario.scheduler.seed() };
+            let report = runtime.run(done, config)?;
+            for (i, node) in report.nodes.iter().enumerate() {
+                if let Some(node) = node {
+                    extract(NodeId::new(i), node);
+                }
+            }
+            Ok(DriveReport { stats: report.stats, trace: None, incomplete: report.incomplete })
+        }
+        Runtime::Net { timeout } => {
+            let mut runtime: Net<P> = Net::new(Arc::clone(&scenario.graph));
+            for (v, p) in honest {
+                runtime.set_honest(v, p);
+            }
+            for (v, a) in byzantine {
+                runtime.set_byzantine(v, a);
+            }
+            if let Some(plan) = &scenario.link_faults {
+                runtime.set_link_faults(plan.clone());
+            }
+            let config = NetConfig { timeout, transport: TransportKind::Auto };
             let report = runtime.run(done, config)?;
             for (i, node) in report.nodes.iter().enumerate() {
                 if let Some(node) = node {

@@ -1,0 +1,359 @@
+//! Binary wire codecs for the core protocol messages.
+//!
+//! [`Runtime::Net`](crate::scenario::Runtime::Net) serializes every
+//! message through the workspace's hand-rolled little-endian codec (the
+//! serde shim is marker-only and never produces bytes). The encodings
+//! reuse the canonical sparse wire form the in-memory types already
+//! document: a [`CompletePayload`] travels as its `(PathId, f64)` entry
+//! list in id order, path ids as raw `u32`s, suspect sets as `u128`
+//! bitmasks, and values as `f64` bit patterns.
+//!
+//! ```text
+//! ProtocolMsg::Flood    := 0x00 round:u32 value:f64bits path:u32
+//! ProtocolMsg::Complete := 0x01 round:u32 suspects:u128 path:u32 seq:u64
+//!                          count:u32 (path:u32 valuebits:u64)^count
+//! CrashMsg              := round:u32 value:f64bits path:u32
+//! ```
+//!
+//! Two invariants the tests below pin down:
+//!
+//! * **Byte-identical round trips.** `encode ∘ decode ∘ encode` is the
+//!   identity on bytes for every message — including NaN payloads, where
+//!   structural equality cannot express the property.
+//! * **Trust boundary.** The decoder is total and *structural only*: any
+//!   `u32` decodes into a path-id-shaped field, and forged ids are
+//!   rejected later by `validate_flood`/`validate_complete`, exactly as
+//!   for in-process adversaries. The one semantic rule the decoder does
+//!   enforce is that a [`CompletePayload`] is rebuilt through
+//!   [`CompletePayload::from_entries`], so a wire peer can never supply
+//!   its own fingerprint.
+
+use crate::crash::CrashMsg;
+use crate::message::ProtocolMsg;
+use crate::message_set::CompletePayload;
+use dbac_graph::{NodeSet, PathId};
+use dbac_sim::net::codec::{WireError, WireMessage, WireReader};
+use std::sync::Arc;
+
+const TAG_FLOOD: u8 = 0;
+const TAG_COMPLETE: u8 = 1;
+
+/// Bytes per `(PathId, f64)` payload entry on the wire.
+const ENTRY_BYTES: usize = 4 + 8;
+
+fn encode_payload(payload: &CompletePayload, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    for &(path, value) in payload.entries() {
+        out.extend_from_slice(&path.raw().to_le_bytes());
+        out.extend_from_slice(&value.to_bits().to_le_bytes());
+    }
+}
+
+fn decode_payload(r: &mut WireReader<'_>) -> Result<CompletePayload, WireError> {
+    let count = r.u32()? as usize;
+    // Bound the allocation by the bytes actually present, so a forged
+    // count cannot balloon memory before the reads fail.
+    if r.remaining() / ENTRY_BYTES < count {
+        return Err(WireError::Truncated { needed: count * ENTRY_BYTES, available: r.remaining() });
+    }
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let path = PathId::from_raw(r.u32()?);
+        let value = r.f64()?;
+        entries.push((path, value));
+    }
+    Ok(CompletePayload::from_entries(entries))
+}
+
+impl WireMessage for ProtocolMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ProtocolMsg::Flood { round, value, path } => {
+                out.push(TAG_FLOOD);
+                out.extend_from_slice(&round.to_le_bytes());
+                out.extend_from_slice(&value.to_bits().to_le_bytes());
+                out.extend_from_slice(&path.raw().to_le_bytes());
+            }
+            ProtocolMsg::Complete { round, suspects, payload, path, seq } => {
+                out.push(TAG_COMPLETE);
+                out.extend_from_slice(&round.to_le_bytes());
+                out.extend_from_slice(&suspects.bits().to_le_bytes());
+                out.extend_from_slice(&path.raw().to_le_bytes());
+                out.extend_from_slice(&seq.to_le_bytes());
+                encode_payload(payload, out);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            TAG_FLOOD => Ok(ProtocolMsg::Flood {
+                round: r.u32()?,
+                value: r.f64()?,
+                path: PathId::from_raw(r.u32()?),
+            }),
+            TAG_COMPLETE => {
+                let round = r.u32()?;
+                let suspects = NodeSet::from_bits(r.u128()?);
+                let path = PathId::from_raw(r.u32()?);
+                let seq = r.u64()?;
+                let payload = Arc::new(decode_payload(r)?);
+                Ok(ProtocolMsg::Complete { round, suspects, payload, path, seq })
+            }
+            tag => Err(WireError::UnknownTag { tag }),
+        }
+    }
+}
+
+impl WireMessage for CrashMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.round.to_le_bytes());
+        out.extend_from_slice(&self.value.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.path.raw().to_le_bytes());
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(CrashMsg { round: r.u32()?, value: r.f64()?, path: PathId::from_raw(r.u32()?) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FloodMode;
+    use crate::message::validate_flood;
+    use crate::test_support::topo_of;
+    use dbac_graph::{generators, NodeId};
+    use dbac_sim::net::codec::MAX_FRAME;
+
+    /// One splitmix64 step — the corpus generator (no fuzzer dependency).
+    fn mix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Round trip must reproduce the exact bytes (structural equality
+    /// cannot cover NaN values; byte identity covers everything).
+    fn assert_bytes_round_trip(msg: &ProtocolMsg) {
+        let bytes = msg.to_bytes();
+        let decoded = ProtocolMsg::from_bytes(&bytes).expect("own encoding decodes");
+        assert_eq!(decoded.to_bytes(), bytes, "re-encoding must be byte-identical");
+    }
+
+    /// Draws an f64 covering the awkward corners: negatives, subnormals,
+    /// ±0.0, infinities, NaN, and plain random bit patterns.
+    fn draw_value(state: &mut u64) -> f64 {
+        match mix(state) % 8 {
+            0 => -1234.5678,
+            1 => f64::from_bits(1), // smallest positive subnormal
+            2 => -f64::from_bits(mix(state) % 0x000F_FFFF_FFFF_FFFF), // subnormal range
+            3 => -0.0,
+            4 => f64::NEG_INFINITY,
+            5 => f64::NAN,
+            _ => f64::from_bits(mix(state)),
+        }
+    }
+
+    fn draw_msg(state: &mut u64) -> ProtocolMsg {
+        if mix(state) % 2 == 0 {
+            ProtocolMsg::Flood {
+                round: mix(state) as u32,
+                value: draw_value(state),
+                path: PathId::from_raw(mix(state) as u32),
+            }
+        } else {
+            // Dense (contiguous ids from 0) or sparse (random ids) sets.
+            let dense = mix(state) % 2 == 0;
+            let count = (mix(state) % 40) as usize;
+            let entries = (0..count)
+                .map(|i| {
+                    let id = if dense { i as u32 } else { mix(state) as u32 };
+                    (PathId::from_raw(id), draw_value(state))
+                })
+                .collect();
+            ProtocolMsg::Complete {
+                round: mix(state) as u32,
+                suspects: NodeSet::from_bits(mix(state) as u128 | ((mix(state) as u128) << 64)),
+                payload: Arc::new(CompletePayload::from_entries(entries)),
+                path: PathId::from_raw(mix(state) as u32),
+                seq: mix(state),
+            }
+        }
+    }
+
+    #[test]
+    fn protocol_msg_round_trips_byte_identically() {
+        let mut state = 0xC0DE_C0DE;
+        for _ in 0..500 {
+            assert_bytes_round_trip(&draw_msg(&mut state));
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// Arbitrary messages (every variant, dense and sparse path
+            /// sets, negative/subnormal/NaN values) re-encode to the
+            /// exact bytes they decoded from.
+            #[test]
+            fn arbitrary_messages_round_trip(seed in 0u64..u64::MAX) {
+                let mut state = seed;
+                assert_bytes_round_trip(&draw_msg(&mut state));
+            }
+
+            /// Decoding an arbitrary buffer never panics — it returns a
+            /// message or a typed error.
+            #[test]
+            fn arbitrary_buffers_never_panic(
+                buf in prop::collection::vec(0u8..=255, 0..64),
+            ) {
+                let _ = ProtocolMsg::from_bytes(&buf);
+                let _ = CrashMsg::from_bytes(&buf);
+            }
+        }
+    }
+
+    #[test]
+    fn structural_round_trip_for_non_nan_messages() {
+        let mut state = 7;
+        let mut checked = 0;
+        while checked < 200 {
+            let msg = draw_msg(&mut state);
+            let has_nan = match &msg {
+                ProtocolMsg::Flood { value, .. } => value.is_nan(),
+                ProtocolMsg::Complete { payload, .. } => {
+                    payload.entries().iter().any(|(_, v)| v.is_nan())
+                }
+            };
+            if has_nan {
+                continue;
+            }
+            assert_eq!(ProtocolMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);
+            checked += 1;
+        }
+    }
+
+    #[test]
+    fn max_length_frame_round_trips() {
+        // The largest Complete that still fits the 1 MiB frame cap.
+        let header = 1 + 4 + 16 + 4 + 8 + 4;
+        let count = (MAX_FRAME - header) / ENTRY_BYTES;
+        let entries: Vec<(PathId, f64)> =
+            (0..count).map(|i| (PathId::from_raw(i as u32), i as f64 * 0.5)).collect();
+        let msg = ProtocolMsg::Complete {
+            round: 9,
+            suspects: NodeSet::from_bits(u128::MAX),
+            payload: Arc::new(CompletePayload::from_entries(entries)),
+            path: PathId::from_raw(3),
+            seq: 77,
+        };
+        let bytes = msg.to_bytes();
+        assert!(bytes.len() <= MAX_FRAME, "{} bytes exceeds the frame cap", bytes.len());
+        assert!(bytes.len() > MAX_FRAME - ENTRY_BYTES, "test should sit at the cap");
+        assert_bytes_round_trip(&msg);
+    }
+
+    #[test]
+    fn decode_never_panics_on_random_buffers() {
+        // Seeded corpus: pure-random buffers plus corrupted truncations /
+        // extensions of genuine encodings, across the interesting length
+        // range. Every outcome must be Ok or a typed WireError.
+        let mut state = 0xBAD_5EED;
+        for case in 0..20_000u32 {
+            let len = (mix(&mut state) % 96) as usize;
+            let mut buf: Vec<u8> = (0..len).map(|_| (mix(&mut state) & 0xFF) as u8).collect();
+            if case % 3 == 0 {
+                // Start from a real message, then truncate and flip a byte.
+                buf = draw_msg(&mut state).to_bytes();
+                let cut = (mix(&mut state) as usize) % (buf.len() + 1);
+                buf.truncate(cut);
+                if !buf.is_empty() {
+                    let i = (mix(&mut state) as usize) % buf.len();
+                    buf[i] ^= (mix(&mut state) & 0xFF) as u8;
+                }
+            }
+            let _ = ProtocolMsg::from_bytes(&buf);
+            let _ = CrashMsg::from_bytes(&buf);
+        }
+    }
+
+    #[test]
+    fn forged_count_is_rejected_before_allocation() {
+        // A Complete header advertising u32::MAX entries with no bytes
+        // behind it must fail with Truncated, not try to allocate.
+        let mut buf = vec![TAG_COMPLETE];
+        buf.extend_from_slice(&1u32.to_le_bytes()); // round
+        buf.extend_from_slice(&0u128.to_le_bytes()); // suspects
+        buf.extend_from_slice(&0u32.to_le_bytes()); // path
+        buf.extend_from_slice(&1u64.to_le_bytes()); // seq
+        buf.extend_from_slice(&u32::MAX.to_le_bytes()); // entry count
+        assert!(matches!(ProtocolMsg::from_bytes(&buf).unwrap_err(), WireError::Truncated { .. }));
+    }
+
+    #[test]
+    fn unknown_tag_and_trailing_bytes_are_typed_errors() {
+        assert_eq!(
+            ProtocolMsg::from_bytes(&[0x7F]).unwrap_err(),
+            WireError::UnknownTag { tag: 0x7F }
+        );
+        let mut bytes =
+            ProtocolMsg::Flood { round: 1, value: 2.0, path: PathId::from_raw(0) }.to_bytes();
+        bytes.push(0);
+        assert_eq!(ProtocolMsg::from_bytes(&bytes).unwrap_err(), WireError::Trailing { extra: 1 });
+    }
+
+    #[test]
+    fn forged_path_id_decodes_but_fails_validation() {
+        // The codec is topology-agnostic: a forged id decodes fine …
+        let forged =
+            ProtocolMsg::Flood { round: 0, value: 1.0, path: PathId::from_raw(u32::MAX - 1) };
+        let decoded = ProtocolMsg::from_bytes(&forged.to_bytes()).unwrap();
+        let ProtocolMsg::Flood { path, .. } = decoded else { panic!("flood expected") };
+        // … and the validation boundary rejects it, exactly as it does
+        // for forged ids from in-process adversaries.
+        let topo = topo_of(generators::clique(4), 1, FloodMode::Redundant);
+        assert!(validate_flood(&topo, NodeId::new(2), NodeId::new(1), path).is_none());
+    }
+
+    #[test]
+    fn payload_fingerprint_is_recomputed_not_trusted() {
+        // Two payloads with the same entries must compare equal after a
+        // round trip — the fingerprint comes from from_entries, never
+        // from the wire.
+        let entries = vec![(PathId::from_raw(4), 2.5), (PathId::from_raw(1), -3.0)];
+        let original = Arc::new(CompletePayload::from_entries(entries.clone()));
+        let msg = ProtocolMsg::Complete {
+            round: 1,
+            suspects: NodeSet::EMPTY,
+            payload: Arc::clone(&original),
+            path: PathId::from_raw(0),
+            seq: 1,
+        };
+        let decoded = ProtocolMsg::from_bytes(&msg.to_bytes()).unwrap();
+        let ProtocolMsg::Complete { payload, .. } = decoded else { panic!("complete expected") };
+        assert_eq!(*payload, *original);
+        assert_eq!(payload.fingerprint(), original.fingerprint());
+    }
+
+    #[test]
+    fn crash_msg_round_trips() {
+        let mut state = 11;
+        for _ in 0..200 {
+            let msg = CrashMsg {
+                round: mix(&mut state) as u32,
+                value: draw_value(&mut state),
+                path: PathId::from_raw(mix(&mut state) as u32),
+            };
+            let bytes = msg.to_bytes();
+            let decoded = CrashMsg::from_bytes(&bytes).unwrap();
+            assert_eq!(decoded.to_bytes(), bytes);
+        }
+    }
+}

@@ -64,7 +64,7 @@ pub use digraph::Digraph;
 pub use error::GraphError;
 pub use fasthash::{FastHashMap, FastHashSet};
 pub use node::NodeId;
-pub use nodeset::NodeSet;
+pub use nodeset::{NodeSet, MAX_NODES};
 pub use path_index::{PathId, PathIndex};
 pub use paths::{Path, PathBudget};
 pub use subsets::SubsetsUpTo;

@@ -32,6 +32,13 @@ pub enum SimError {
     /// threaded runtime now reports panics per node instead of returning
     /// this.
     WorkerPanicked,
+    /// The network runtime could not establish or handshake a connection
+    /// (socket failure, handshake rejection). Setup-time only: once the
+    /// mesh is up, peer failures degrade per node instead.
+    Transport {
+        /// Human-readable failure description, including the edge.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -47,6 +54,9 @@ impl fmt::Display for SimError {
                 write!(f, "timed out with {completed}/{expected} nodes complete")
             }
             SimError::WorkerPanicked => write!(f, "a worker thread panicked"),
+            SimError::Transport { detail } => {
+                write!(f, "network transport setup failed: {detail}")
+            }
         }
     }
 }

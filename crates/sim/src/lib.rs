@@ -4,7 +4,7 @@
 //!
 //! The paper's system model (Section 2): reliable directed links, unbounded
 //! but finite message delays, event-driven nodes, up to `f` Byzantine
-//! nodes. Two interchangeable runtimes realize the model:
+//! nodes. Three interchangeable runtimes realize the model:
 //!
 //! * [`sim::Simulation`] — a **deterministic discrete-event simulator**.
 //!   Delivery times come from a pluggable [`scheduler::DeliveryPolicy`]
@@ -15,13 +15,17 @@
 //! * [`threaded`] — a **thread-per-node runtime** over crossbeam channels,
 //!   demonstrating that the protocol really is event-driven and
 //!   order-insensitive under true OS-level concurrency.
+//! * [`net`] — a **network runtime**: every message serialized through the
+//!   length-prefixed binary codec ([`net::codec`]) and moved over framed,
+//!   handshaken duplex connections ([`net::connection`]) — loopback TCP
+//!   when the sandbox allows sockets, byte-real in-process pipes otherwise.
 //!
-//! Both runtimes honor the same optional [`chaos::LinkFaultPlan`] — a
+//! All three honor the same optional [`chaos::LinkFaultPlan`] — a
 //! seeded, per-edge fault schedule (drop / duplicate / reorder / corrupt /
 //! partition / omit) whose every decision is a pure function of the plan,
 //! so the fate of the k-th message on an edge is runtime-independent.
 //!
-//! Both drive the same [`process::Process`] state machines; Byzantine nodes
+//! All three drive the same [`process::Process`] state machines; Byzantine nodes
 //! implement [`process::Adversary`] and may send arbitrary well-typed
 //! messages over their own out-edges (links are authenticated, so a faulty
 //! node cannot impersonate another sender — receivers always learn the true
@@ -63,6 +67,7 @@
 
 pub mod chaos;
 pub mod error;
+pub mod net;
 pub mod process;
 pub mod scheduler;
 pub mod sim;
@@ -72,6 +77,9 @@ pub mod trace;
 
 pub use chaos::{EdgeCounters, LinkDecision, LinkFault, LinkFaultPlan};
 pub use error::SimError;
+pub use net::codec::{WireError, WireMessage};
+pub use net::connection::TransportKind;
+pub use net::{Net, NetConfig};
 pub use process::{Adversary, Context, Process};
 pub use scheduler::DeliveryPolicy;
 pub use sim::{SimStats, Simulation};

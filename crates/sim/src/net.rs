@@ -1,0 +1,568 @@
+//! Network runtime: one event loop per node over framed byte streams.
+//!
+//! The third runtime of the workspace. Where [`crate::sim`] delivers
+//! in-memory messages from a virtual-time queue and [`crate::threaded`]
+//! clones them across crossbeam channels, this runtime **serializes every
+//! message** through the length-prefixed binary codec
+//! ([`codec::WireMessage`]) and moves the bytes over per-peer duplex
+//! connections with a connect/accept handshake
+//! ([`connection::establish`]) — loopback TCP when the sandbox allows
+//! binding a socket, an in-process byte pipe otherwise. Either way the
+//! codec and connection layers are byte-real: frames, size caps, decode
+//! errors and handshake validation all actually run.
+//!
+//! Architecture per run:
+//!
+//! * one **duplex connection** per unordered node pair with at least one
+//!   directed edge, established and handshaken sequentially before any
+//!   node starts;
+//! * one **reader thread** per connection end, pumping frames into the
+//!   owning node's inbox; a frame that fails to decode is counted in
+//!   [`SimStats::messages_rejected`](crate::sim::SimStats::messages_rejected)
+//!   and skipped — a framing-level error
+//!   (oversize prefix, truncation) closes that connection, and neither
+//!   ever wedges the node's event loop;
+//! * one **node thread** per node running the same
+//!   [`Process`]/[`Adversary`] dispatch loop as the threaded runtime, with
+//!   [`LinkFaultPlan`] decisions interposed on the send path through the
+//!   same per-edge message-index function, so the fate of the k-th message
+//!   on an edge is identical across all three runtimes;
+//! * the **watchdog and straggler classification are shared** with the
+//!   threaded runtime (`await_completion` / `join_and_classify`), so a
+//!   partitioned or panicked node degrades into the same typed
+//!   [`Incomplete`](crate::threaded::Incomplete) reports.
+
+pub mod codec;
+pub mod connection;
+
+use crate::chaos::{EdgeCounters, LinkDecision, LinkFaultPlan};
+use crate::error::SimError;
+use crate::process::{Adversary, Context, Process};
+use crate::threaded::{await_completion, join_and_classify, ThreadedReport, Transport};
+use codec::{write_frame, FrameReader, WireMessage};
+use connection::{establish, Duplex, TransportKind};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use dbac_graph::{Digraph, NodeId};
+use std::io::Read;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration for a network run.
+#[derive(Clone, Copy, Debug)]
+pub struct NetConfig {
+    /// Wall-clock watchdog deadline: nodes still incomplete when it
+    /// expires are reported per node, not errors.
+    pub timeout: Duration,
+    /// Byte transport selection (default: probe TCP, fall back to pipes).
+    pub transport: TransportKind,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig { timeout: Duration::from_secs(30), transport: TransportKind::Auto }
+    }
+}
+
+/// A node's frame inbox: decoded messages tagged with their sender.
+type Inbox<M> = Sender<(NodeId, M)>;
+/// The receiving half a node thread drains.
+type InboxRx<M> = Receiver<(NodeId, M)>;
+
+enum Actor<P: Process> {
+    Honest(P),
+    Byzantine(Box<dyn Adversary<P::Message> + Send>),
+}
+
+/// A network execution: every node on its own thread, every message
+/// through the wire codec and a framed duplex connection. Assign an actor
+/// to every node, then [`run`](Net::run). The report type is shared with
+/// the threaded runtime — both degrade identically.
+pub struct Net<P: Process> {
+    graph: Arc<Digraph>,
+    actors: Vec<Option<Actor<P>>>,
+    link_faults: Option<Arc<LinkFaultPlan>>,
+}
+
+impl<P> Net<P>
+where
+    P: Process + Send + 'static,
+    P::Message: WireMessage + Send,
+{
+    /// Creates a network execution over `graph`.
+    #[must_use]
+    pub fn new(graph: Arc<Digraph>) -> Self {
+        let n = graph.node_count();
+        Net { graph, actors: (0..n).map(|_| None).collect(), link_faults: None }
+    }
+
+    /// Assigns an honest process to `v`.
+    pub fn set_honest(&mut self, v: NodeId, process: P) -> &mut Self {
+        self.actors[v.index()] = Some(Actor::Honest(process));
+        self
+    }
+
+    /// Assigns a Byzantine adversary to `v`.
+    pub fn set_byzantine(
+        &mut self,
+        v: NodeId,
+        adversary: Box<dyn Adversary<P::Message> + Send>,
+    ) -> &mut Self {
+        self.actors[v.index()] = Some(Actor::Byzantine(adversary));
+        self
+    }
+
+    /// Attaches a deterministic link-fault plan, interposed on every send
+    /// (before serialization, through the same per-edge message-index
+    /// function as the other runtimes).
+    pub fn set_link_faults(&mut self, plan: LinkFaultPlan) -> &mut Self {
+        self.link_faults = Some(Arc::new(plan));
+        self
+    }
+
+    /// Runs every node on its own thread until each honest node satisfies
+    /// `done` or the watchdog deadline expires, then stops the network and
+    /// hands back the shared per-node report.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnassignedNode`] if a node has no actor;
+    /// [`SimError::Transport`] if a connection cannot be established or
+    /// handshaken.
+    pub fn run(
+        mut self,
+        done: impl Fn(&P) -> bool + Send + Sync + 'static,
+        config: NetConfig,
+    ) -> Result<ThreadedReport<P>, SimError> {
+        if let Some(missing) = self.actors.iter().position(Option::is_none) {
+            return Err(SimError::UnassignedNode { node: missing });
+        }
+        let n = self.graph.node_count();
+        let honest_slots: Vec<bool> =
+            self.actors.iter().map(|a| matches!(a, Some(Actor::Honest(_)))).collect();
+        let honest_total = honest_slots.iter().filter(|h| **h).count();
+        let kind = config.transport.resolve();
+
+        let mut inbox_tx: Vec<Option<Inbox<P::Message>>> = Vec::with_capacity(n);
+        let mut inbox_rx: Vec<Option<InboxRx<P::Message>>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            inbox_tx.push(Some(tx));
+            inbox_rx.push(Some(rx));
+        }
+
+        // Establish one handshaken duplex connection per unordered pair
+        // with at least one directed edge, sequentially in this thread.
+        let mut writers: Vec<Vec<Option<Box<dyn std::io::Write + Send>>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        let mut reader_specs: Vec<(NodeId, NodeId, Box<dyn Read + Send>)> = Vec::new();
+        #[allow(clippy::needless_range_loop)] // `u < v` pair walk, indexing two rows at once
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let (u_id, v_id) = (NodeId::new(u), NodeId::new(v));
+                if !self.graph.has_edge(u_id, v_id) && !self.graph.has_edge(v_id, u_id) {
+                    continue;
+                }
+                let (u_end, v_end) = establish(kind, u_id, v_id)
+                    .map_err(|e| SimError::Transport { detail: format!("{u_id}<->{v_id}: {e}") })?;
+                let Duplex { reader: u_reader, writer: u_writer } = u_end;
+                let Duplex { reader: v_reader, writer: v_writer } = v_end;
+                writers[u][v] = Some(u_writer);
+                writers[v][u] = Some(v_writer);
+                // Node u hears v on u's end of the pair, and vice versa.
+                reader_specs.push((u_id, v_id, u_reader));
+                reader_specs.push((v_id, u_id, v_reader));
+            }
+        }
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let done_count = Arc::new(AtomicUsize::new(0));
+        let done = Arc::new(done);
+        let transport = Arc::new(Transport::default());
+
+        let mut reader_handles = Vec::with_capacity(reader_specs.len());
+        for (owner, from, reader) in reader_specs {
+            let inbox = inbox_tx[owner.index()].as_ref().expect("sender alive").clone();
+            let stop = Arc::clone(&stop);
+            let transport = Arc::clone(&transport);
+            reader_handles.push(std::thread::spawn(move || {
+                pump_frames::<P::Message>(reader, from, &inbox, &stop, &transport);
+            }));
+        }
+        // Reader threads hold the only inbox senders from here on, so a
+        // node whose connections all die sees Disconnected — starvation.
+        drop(inbox_tx);
+
+        let mut handles = Vec::with_capacity(n);
+        for (i, rx_slot) in inbox_rx.iter_mut().enumerate() {
+            let me = NodeId::new(i);
+            let actor = self.actors[i].take().expect("checked above");
+            let rx = rx_slot.take().expect("taken once");
+            let graph = Arc::clone(&self.graph);
+            let mut writers = std::mem::take(&mut writers[i]);
+            let stop = Arc::clone(&stop);
+            let done_count = Arc::clone(&done_count);
+            let done = Arc::clone(&done);
+            let transport = Arc::clone(&transport);
+            let plan = self.link_faults.clone();
+
+            handles.push(std::thread::spawn(move || {
+                let mut actor = actor;
+                let mut reported_done = false;
+                // Edge (u, v) has exactly one sender, so this thread-local
+                // counter agrees with the simulator's global one.
+                let mut edge_counters = EdgeCounters::new();
+                let out = graph.out_neighbors(me);
+                let mut dispatch = |ctx: &mut Context<P::Message>| {
+                    for (to, msg) in ctx.take_outbox() {
+                        transport.sent.fetch_add(1, Ordering::Relaxed);
+                        let decision = match plan.as_deref() {
+                            Some(p) => p.decide(me, to, edge_counters.next(me, to)),
+                            None => LinkDecision::CLEAN,
+                        };
+                        if decision.copies == 0 {
+                            let counter = if decision.corrupted {
+                                &transport.corrupted
+                            } else {
+                                &transport.dropped
+                            };
+                            counter.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                        if decision.extra_delay > 0 {
+                            std::thread::sleep(Duration::from_micros(decision.extra_delay));
+                        }
+                        let body = msg.to_bytes();
+                        let writer = writers[to.index()].as_mut().expect("edge has a connection");
+                        for _ in 1..decision.copies {
+                            transport.duplicated.fetch_add(1, Ordering::Relaxed);
+                            // Peer may already have shut down; ignore.
+                            let _ = write_frame(&mut **writer, &body);
+                        }
+                        let _ = write_frame(&mut **writer, &body);
+                    }
+                };
+                let check_done = |actor: &Actor<P>, reported: &mut bool| {
+                    if !*reported {
+                        if let Actor::Honest(p) = actor {
+                            if done(p) {
+                                *reported = true;
+                                done_count.fetch_add(1, Ordering::SeqCst);
+                            }
+                        }
+                    }
+                };
+
+                let mut ctx = Context::new(me, out);
+                match &mut actor {
+                    Actor::Honest(p) => p.on_start(&mut ctx),
+                    Actor::Byzantine(a) => a.on_start(&mut ctx),
+                }
+                dispatch(&mut ctx);
+                check_done(&actor, &mut reported_done);
+
+                let mut starved = false;
+                while !stop.load(Ordering::SeqCst) {
+                    match rx.recv_timeout(Duration::from_millis(1)) {
+                        Ok((from, msg)) => {
+                            transport.delivered.fetch_add(1, Ordering::Relaxed);
+                            let mut ctx = Context::new(me, out);
+                            match &mut actor {
+                                Actor::Honest(p) => p.on_message(&mut ctx, from, msg),
+                                Actor::Byzantine(a) => a.on_message(&mut ctx, from, msg),
+                            }
+                            dispatch(&mut ctx);
+                            check_done(&actor, &mut reported_done);
+                        }
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => {
+                            starved = !stop.load(Ordering::SeqCst);
+                            break;
+                        }
+                    }
+                }
+                match actor {
+                    Actor::Honest(p) => (Some(p), starved),
+                    Actor::Byzantine(_) => (None, starved),
+                }
+            }));
+        }
+
+        await_completion(&done_count, honest_total, Instant::now() + config.timeout);
+        stop.store(true, Ordering::SeqCst);
+
+        let (nodes, incomplete) = join_and_classify(handles, &honest_slots, &*done);
+        // Node threads have dropped their writer halves; readers unblock
+        // via their read timeout, observe the stop flag or EOF, and exit.
+        for h in reader_handles {
+            let _ = h.join();
+        }
+        Ok(ThreadedReport { nodes, incomplete, stats: transport.stats() })
+    }
+}
+
+/// The per-connection reader loop: pulls frames, decodes, forwards into
+/// the owner's inbox. Total by construction — an undecodable frame is
+/// counted in [`messages_rejected`](crate::sim::SimStats::messages_rejected)
+/// and **skipped** (the loop
+/// keeps pumping), while a framing-level error (oversize length prefix,
+/// mid-frame truncation) also counts once and closes this connection. A
+/// Byzantine byte stream can therefore never wedge the peer's event loop.
+fn pump_frames<M: WireMessage>(
+    reader: Box<dyn Read + Send>,
+    from: NodeId,
+    inbox: &Inbox<M>,
+    stop: &AtomicBool,
+    transport: &Transport,
+) {
+    // Buffer socket reads so a burst of small frames costs one syscall,
+    // not two per frame. `BufReader` passes the transport's `WouldBlock`
+    // read timeouts straight through when its buffer is empty, so the
+    // stop-flag polling in `read_frame` keeps working.
+    let mut frames = FrameReader::new(std::io::BufReader::with_capacity(1 << 16, reader));
+    let stopped = || stop.load(Ordering::SeqCst);
+    loop {
+        match frames.read_frame(&stopped) {
+            Ok(Some(body)) => match M::from_bytes(&body) {
+                // Owner may already have shut down; ignore.
+                Ok(msg) => {
+                    let _ = inbox.send((from, msg));
+                }
+                Err(_) => {
+                    transport.rejected.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+            Ok(None) => break,
+            Err(_) => {
+                transport.rejected.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::LinkFault;
+    use crate::process::Silent;
+    use crate::threaded::{Incomplete, IncompleteReason};
+    use codec::MAX_FRAME;
+    use dbac_graph::generators;
+    use std::io::Write;
+
+    fn id(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn config(kind: TransportKind, timeout_ms: u64) -> NetConfig {
+        NetConfig { timeout: Duration::from_millis(timeout_ms), transport: kind }
+    }
+
+    /// Collects one value from every in-neighbor, then is done.
+    #[derive(Debug)]
+    struct Collect {
+        expected: usize,
+        input: u64,
+        heard: Vec<u64>,
+    }
+
+    impl Process for Collect {
+        type Message = u64;
+        fn on_start(&mut self, ctx: &mut Context<u64>) {
+            ctx.broadcast(&self.input);
+        }
+        fn on_message(&mut self, _ctx: &mut Context<u64>, _from: NodeId, msg: u64) {
+            self.heard.push(msg);
+        }
+    }
+
+    fn gossip_on(kind: TransportKind) {
+        let g = Arc::new(generators::clique(4));
+        let mut net = Net::new(g);
+        for i in 0..4 {
+            net.set_honest(id(i), Collect { expected: 3, input: i as u64, heard: Vec::new() });
+        }
+        let report = net.run(|p| p.heard.len() >= p.expected, config(kind, 10_000)).unwrap();
+        assert!(report.incomplete.is_empty(), "{:?}", report.incomplete);
+        assert_eq!(report.stats.messages_sent, 12);
+        assert!(report.stats.messages_delivered >= 12);
+        assert_eq!(report.stats.messages_rejected, 0, "honest peers encode cleanly");
+        for p in report.nodes.iter().flatten() {
+            assert!(p.heard.len() >= 3);
+        }
+    }
+
+    #[test]
+    fn net_clique_gossip_completes_in_process() {
+        gossip_on(TransportKind::InProcess);
+    }
+
+    #[test]
+    fn net_clique_gossip_completes_auto() {
+        gossip_on(TransportKind::Auto);
+    }
+
+    #[test]
+    fn net_with_byzantine_silent() {
+        let g = Arc::new(generators::clique(3));
+        let mut net = Net::new(g);
+        net.set_honest(id(0), Collect { expected: 1, input: 0, heard: Vec::new() });
+        net.set_honest(id(1), Collect { expected: 1, input: 1, heard: Vec::new() });
+        net.set_byzantine(id(2), Box::new(Silent));
+        let report = net.run(|p| p.heard.len() >= p.expected, NetConfig::default()).unwrap();
+        assert!(report.incomplete.is_empty());
+        assert!(report.nodes[0].is_some() && report.nodes[1].is_some());
+        assert!(report.nodes[2].is_none(), "byzantine slot returns no process");
+    }
+
+    #[test]
+    fn net_timeout_degrades_to_per_node_reports() {
+        let g = Arc::new(generators::clique(2));
+        let mut net = Net::new(g);
+        for i in 0..2 {
+            net.set_honest(id(i), Collect { expected: 99, input: 0, heard: Vec::new() });
+        }
+        let report = net
+            .run(|p| p.heard.len() >= p.expected, config(TransportKind::InProcess, 300))
+            .unwrap();
+        assert_eq!(
+            report.incomplete,
+            vec![
+                Incomplete { node: id(0), reason: IncompleteReason::Timeout },
+                Incomplete { node: id(1), reason: IncompleteReason::Timeout },
+            ]
+        );
+        for p in report.nodes.iter() {
+            let p = p.as_ref().expect("partial state survives a timeout");
+            assert_eq!(p.heard.len(), 1, "one exchange still happened");
+        }
+    }
+
+    #[test]
+    fn net_unassigned_node() {
+        let g = Arc::new(generators::clique(2));
+        let mut net: Net<Collect> = Net::new(g);
+        net.set_honest(id(0), Collect { expected: 0, input: 0, heard: Vec::new() });
+        let err = net.run(|_| true, NetConfig::default()).unwrap_err();
+        assert_eq!(err, SimError::UnassignedNode { node: 1 });
+    }
+
+    #[test]
+    fn net_omit_starves_only_the_cut_edge() {
+        let g = Arc::new(generators::clique(3));
+        let mut net = Net::new(g);
+        for i in 0..3 {
+            net.set_honest(id(i), Collect { expected: 2, input: i as u64, heard: Vec::new() });
+        }
+        net.set_link_faults(LinkFaultPlan::new(0).fault(id(0), id(1), LinkFault::Omit));
+        let report = net
+            .run(|p| p.heard.len() >= p.expected, config(TransportKind::InProcess, 700))
+            .unwrap();
+        assert_eq!(
+            report.incomplete,
+            vec![Incomplete { node: id(1), reason: IncompleteReason::Timeout }],
+            "only the node behind the cut edge misses its quota"
+        );
+        assert_eq!(report.stats.messages_dropped, 1);
+        assert_eq!(report.stats.messages_sent, 6);
+        let starved = report.nodes[1].as_ref().unwrap();
+        assert_eq!(starved.heard.len(), 1, "node 2's message still arrives");
+    }
+
+    #[test]
+    fn net_duplicate_doubles_the_edge() {
+        let g = Arc::new(generators::clique(2));
+        let mut net = Net::new(g);
+        net.set_honest(id(0), Collect { expected: 1, input: 7, heard: Vec::new() });
+        net.set_honest(id(1), Collect { expected: 2, input: 8, heard: Vec::new() });
+        net.set_link_faults(LinkFaultPlan::new(0).fault(
+            id(0),
+            id(1),
+            LinkFault::Duplicate { prob: 1.0 },
+        ));
+        let report = net
+            .run(|p| p.heard.len() >= p.expected, config(TransportKind::InProcess, 5_000))
+            .unwrap();
+        assert!(report.incomplete.is_empty());
+        assert_eq!(report.stats.messages_duplicated, 1);
+        assert_eq!(report.nodes[1].as_ref().unwrap().heard, vec![7, 7]);
+    }
+
+    // -- adversarial byte streams never wedge the pump ---------------------
+
+    #[test]
+    fn pump_skips_undecodable_frames_and_keeps_going() {
+        let (mut w, r) = connection::pipe();
+        write_frame(&mut w, &7u64.to_le_bytes()).unwrap();
+        write_frame(&mut w, b"garbage").unwrap(); // wrong length for u64
+        write_frame(&mut w, &9u64.to_le_bytes()).unwrap();
+        drop(w); // EOF ends the pump
+        let (tx, rx) = unbounded();
+        let stop = AtomicBool::new(false);
+        let transport = Transport::default();
+        pump_frames::<u64>(Box::new(r), id(3), &tx, &stop, &transport);
+        let got: Vec<(NodeId, u64)> = rx.try_iter().collect();
+        assert_eq!(got, vec![(id(3), 7), (id(3), 9)], "good frames flow past the bad one");
+        assert_eq!(transport.rejected.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn pump_closes_connection_on_framing_error() {
+        let (mut w, r) = connection::pipe();
+        write_frame(&mut w, &1u64.to_le_bytes()).unwrap();
+        // A length prefix far beyond MAX_FRAME desynchronizes the stream.
+        w.write_all(&(MAX_FRAME as u32 * 2).to_le_bytes()).unwrap();
+        w.write_all(&2u64.to_le_bytes()).unwrap();
+        let (tx, rx) = unbounded();
+        let stop = AtomicBool::new(false);
+        let transport = Transport::default();
+        // The writer stays alive: the pump must exit via the framing
+        // error, not EOF — that is exactly the no-wedge guarantee.
+        pump_frames::<u64>(Box::new(r), id(0), &tx, &stop, &transport);
+        let got: Vec<(NodeId, u64)> = rx.try_iter().collect();
+        assert_eq!(got, vec![(id(0), 1)], "frames before the error were delivered");
+        assert_eq!(transport.rejected.load(Ordering::Relaxed), 1);
+        drop(w);
+    }
+
+    #[test]
+    fn pump_survives_a_seeded_corrupt_prefix_corpus() {
+        // Seeded corpus: random byte blobs framed as payloads plus raw
+        // corrupt prefixes, in every case the pump terminates without
+        // panicking and accounts each discarded frame.
+        let mut state = 0x5EED_u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for _ in 0..64 {
+            let (mut w, r) = connection::pipe();
+            let frames = (next() % 6) as usize;
+            for _ in 0..frames {
+                let len = (next() % 24) as usize;
+                let body: Vec<u8> = (0..len).map(|_| (next() & 0xFF) as u8).collect();
+                write_frame(&mut w, &body).unwrap();
+            }
+            // Tail: a corrupt raw prefix fragment, not a whole frame.
+            let tail = (next() % 4) as usize;
+            let junk: Vec<u8> = (0..tail).map(|_| (next() & 0xFF) as u8).collect();
+            w.write_all(&junk).unwrap();
+            drop(w);
+            let (tx, rx) = unbounded();
+            let stop = AtomicBool::new(false);
+            let transport = Transport::default();
+            pump_frames::<u64>(Box::new(r), id(1), &tx, &stop, &transport);
+            let delivered = rx.try_iter().count() as u64;
+            let rejected = transport.rejected.load(Ordering::Relaxed);
+            assert!(
+                delivered + rejected <= frames as u64 + 1,
+                "every frame is either delivered or rejected (plus at most \
+                 one rejection for the corrupt tail)"
+            );
+        }
+    }
+}

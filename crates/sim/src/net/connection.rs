@@ -1,0 +1,371 @@
+//! Framed duplex connections with a connect/accept handshake.
+//!
+//! One duplex byte stream per *unordered* node pair carries both directed
+//! edges of that pair; each end is split into an owned writer half (held
+//! by the node's event loop) and an owned reader half (pumped by a
+//! dedicated reader thread). Two transports provide the bytes:
+//!
+//! * **loopback TCP** (`std::net`) — a fresh `127.0.0.1:0` listener per
+//!   connection, connect then accept, `TCP_NODELAY` on;
+//! * **in-process pipes** — a `Mutex<VecDeque<u8>>`/`Condvar` byte queue
+//!   per direction, for sandboxes where binding a socket is not allowed.
+//!
+//! Both transports are **byte-real**: the codec layer sees an opaque
+//! `Read`/`Write` stream either way, with the same short read timeout so
+//! reader loops can poll their stop flag. [`TransportKind::Auto`] probes
+//! for a bindable loopback socket once per run and falls back to pipes.
+//!
+//! The handshake exchanges `magic(2) ‖ version(1) ‖ node-id(4, u32le)` in
+//! both directions before any frame flows, so a peer that speaks the wrong
+//! protocol, the wrong version, or claims the wrong identity is rejected
+//! with a typed [`WireError`] before it can inject traffic.
+
+use super::codec::{WireError, WIRE_VERSION};
+use dbac_graph::NodeId;
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Handshake magic bytes ("dbac").
+pub const HANDSHAKE_MAGIC: [u8; 2] = [0xDB, 0xAC];
+
+/// Read timeout applied to every reader half, so pump loops can poll their
+/// stop flag between blocking reads.
+const READ_TIMEOUT: Duration = Duration::from_millis(10);
+
+/// Wall-clock budget for a 7-byte handshake reply to arrive.
+const HANDSHAKE_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Which byte transport carries the frames.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Probe for loopback TCP once, fall back to in-process pipes.
+    #[default]
+    Auto,
+    /// Loopback TCP via `std::net`.
+    Tcp,
+    /// In-process byte pipes (no sockets required).
+    InProcess,
+}
+
+impl TransportKind {
+    /// Resolves `Auto` by probing whether a loopback socket can be bound.
+    #[must_use]
+    pub fn resolve(self) -> TransportKind {
+        match self {
+            TransportKind::Auto => {
+                if TcpListener::bind("127.0.0.1:0").is_ok() {
+                    TransportKind::Tcp
+                } else {
+                    TransportKind::InProcess
+                }
+            }
+            concrete => concrete,
+        }
+    }
+
+    /// Short display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            TransportKind::Auto => "auto",
+            TransportKind::Tcp => "tcp",
+            TransportKind::InProcess => "in-process",
+        }
+    }
+}
+
+/// One end of an established duplex connection, split into owned halves.
+pub struct Duplex {
+    /// The readable half (short read timeout pre-configured).
+    pub reader: Box<dyn Read + Send>,
+    /// The writable half.
+    pub writer: Box<dyn Write + Send>,
+}
+
+impl std::fmt::Debug for Duplex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Duplex").finish_non_exhaustive()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-process byte pipe
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct PipeState {
+    buf: VecDeque<u8>,
+    closed: bool,
+}
+
+#[derive(Default)]
+struct PipeShared {
+    state: Mutex<PipeState>,
+    cond: Condvar,
+}
+
+/// Read half of an in-process byte pipe. Blocks up to the shared read
+/// timeout, then reports `WouldBlock` so callers can poll a stop flag —
+/// the same contract a TCP stream with a read timeout provides.
+pub struct PipeReader(Arc<PipeShared>);
+
+/// Write half of an in-process byte pipe; dropping it closes the stream
+/// (readers see EOF once the buffer drains).
+pub struct PipeWriter(Arc<PipeShared>);
+
+/// Creates a one-way in-process byte pipe.
+#[must_use]
+pub fn pipe() -> (PipeWriter, PipeReader) {
+    let shared = Arc::new(PipeShared::default());
+    (PipeWriter(Arc::clone(&shared)), PipeReader(shared))
+}
+
+impl Read for PipeReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let mut state = self.0.state.lock().expect("pipe poisoned");
+        loop {
+            if !state.buf.is_empty() {
+                let n = buf.len().min(state.buf.len());
+                for slot in buf.iter_mut().take(n) {
+                    *slot = state.buf.pop_front().expect("len checked");
+                }
+                return Ok(n);
+            }
+            if state.closed {
+                return Ok(0);
+            }
+            let (guard, wait) =
+                self.0.cond.wait_timeout(state, READ_TIMEOUT).expect("pipe poisoned");
+            state = guard;
+            if wait.timed_out() && state.buf.is_empty() && !state.closed {
+                return Err(std::io::Error::from(ErrorKind::WouldBlock));
+            }
+        }
+    }
+}
+
+impl Write for PipeWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let mut state = self.0.state.lock().expect("pipe poisoned");
+        state.buf.extend(buf.iter().copied());
+        self.0.cond.notify_all();
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for PipeWriter {
+    fn drop(&mut self) {
+        let mut state = self.0.state.lock().expect("pipe poisoned");
+        state.closed = true;
+        self.0.cond.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connection establishment
+// ---------------------------------------------------------------------------
+
+fn tcp_pair() -> Result<(Duplex, Duplex), WireError> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    // Loopback connect completes through the kernel backlog without a
+    // userspace accept, so connect-then-accept is safe sequentially.
+    let connector = TcpStream::connect(addr)?;
+    let (acceptor, _) = listener.accept()?;
+    let mut ends = Vec::with_capacity(2);
+    for stream in [connector, acceptor] {
+        stream.set_nodelay(true)?;
+        let reader = stream.try_clone()?;
+        reader.set_read_timeout(Some(READ_TIMEOUT))?;
+        ends.push(Duplex { reader: Box::new(reader), writer: Box::new(stream) });
+    }
+    let acceptor = ends.pop().expect("two ends");
+    let connector = ends.pop().expect("two ends");
+    Ok((connector, acceptor))
+}
+
+fn pipe_pair() -> (Duplex, Duplex) {
+    let (w_ab, r_ab) = pipe();
+    let (w_ba, r_ba) = pipe();
+    let a = Duplex { reader: Box::new(r_ba), writer: Box::new(w_ab) };
+    let b = Duplex { reader: Box::new(r_ab), writer: Box::new(w_ba) };
+    (a, b)
+}
+
+/// Creates a connected but not-yet-handshaken duplex pair over the
+/// resolved transport.
+///
+/// # Errors
+///
+/// [`WireError::Io`] if the socket layer fails (TCP only).
+pub fn duplex_pair(kind: TransportKind) -> Result<(Duplex, Duplex), WireError> {
+    match kind.resolve() {
+        TransportKind::Tcp => tcp_pair(),
+        TransportKind::InProcess => Ok(pipe_pair()),
+        TransportKind::Auto => unreachable!("resolve() never returns Auto"),
+    }
+}
+
+/// Writes this end's 7-byte hello: magic, version, node id.
+///
+/// # Errors
+///
+/// [`WireError::Io`] on transport failure.
+pub fn send_hello(w: &mut dyn Write, me: NodeId) -> Result<(), WireError> {
+    let mut hello = [0u8; 7];
+    hello[..2].copy_from_slice(&HANDSHAKE_MAGIC);
+    hello[2] = WIRE_VERSION;
+    hello[3..].copy_from_slice(&(me.index() as u32).to_le_bytes());
+    w.write_all(&hello)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads and validates the peer's hello, returning the node it claims to
+/// be. Tolerates read timeouts up to a fixed deadline (the peer's hello is
+/// in flight during sequential setup).
+///
+/// # Errors
+///
+/// [`WireError::BadMagic`], [`WireError::VersionMismatch`] or
+/// [`WireError::BadNodeId`] on a malformed hello; [`WireError::Truncated`]
+/// on EOF mid-hello; [`WireError::Io`] on transport failure or deadline.
+pub fn recv_hello(r: &mut dyn Read) -> Result<NodeId, WireError> {
+    let mut hello = [0u8; 7];
+    let deadline = Instant::now() + HANDSHAKE_DEADLINE;
+    let mut filled = 0;
+    while filled < hello.len() {
+        match r.read(&mut hello[filled..]) {
+            Ok(0) => return Err(WireError::Truncated { needed: 7, available: filled }),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if Instant::now() >= deadline {
+                    return Err(WireError::Io(ErrorKind::TimedOut));
+                }
+            }
+            Err(e) => return Err(WireError::Io(e.kind())),
+        }
+    }
+    if hello[..2] != HANDSHAKE_MAGIC {
+        return Err(WireError::BadMagic { got: [hello[0], hello[1]] });
+    }
+    if hello[2] != WIRE_VERSION {
+        return Err(WireError::VersionMismatch { got: hello[2], want: WIRE_VERSION });
+    }
+    let raw = u32::from_le_bytes(hello[3..].try_into().expect("4 bytes"));
+    if raw as usize >= dbac_graph::MAX_NODES {
+        return Err(WireError::BadNodeId { raw });
+    }
+    Ok(NodeId::new(raw as usize))
+}
+
+/// Establishes one handshaken duplex connection between nodes `u` (the
+/// connector) and `v` (the acceptor): `u` sends its hello, `v` validates
+/// it and replies, `u` validates the reply. Returns `(u_end, v_end)`.
+///
+/// # Errors
+///
+/// Any handshake [`WireError`], including [`WireError::PeerMismatch`] if
+/// an end identifies as a node the edge does not expect.
+pub fn establish(kind: TransportKind, u: NodeId, v: NodeId) -> Result<(Duplex, Duplex), WireError> {
+    let (mut u_end, mut v_end) = duplex_pair(kind)?;
+    send_hello(&mut *u_end.writer, u)?;
+    let claimed = recv_hello(&mut *v_end.reader)?;
+    if claimed != u {
+        return Err(WireError::PeerMismatch {
+            got: claimed.index() as u32,
+            want: u.index() as u32,
+        });
+    }
+    send_hello(&mut *v_end.writer, v)?;
+    let claimed = recv_hello(&mut *u_end.reader)?;
+    if claimed != v {
+        return Err(WireError::PeerMismatch {
+            got: claimed.index() as u32,
+            want: v.index() as u32,
+        });
+    }
+    Ok((u_end, v_end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn pipe_is_a_byte_stream_with_eof_on_writer_drop() {
+        let (mut w, mut r) = pipe();
+        w.write_all(b"abc").unwrap();
+        let mut buf = [0u8; 2];
+        r.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ab");
+        drop(w);
+        let mut rest = Vec::new();
+        // Remaining buffered byte, then EOF.
+        r.read_to_end(&mut rest).unwrap();
+        assert_eq!(rest, b"c");
+    }
+
+    #[test]
+    fn empty_pipe_read_times_out_as_would_block() {
+        let (_w, mut r) = pipe();
+        let err = r.read(&mut [0u8; 1]).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::WouldBlock);
+    }
+
+    #[test]
+    fn handshake_succeeds_on_both_transports() {
+        for kind in [TransportKind::InProcess, TransportKind::Auto] {
+            let (u_end, v_end) = establish(kind, id(2), id(5)).expect("handshake");
+            drop((u_end, v_end));
+        }
+    }
+
+    #[test]
+    fn handshake_rejects_garbage() {
+        // Bad magic.
+        let mut bytes: &[u8] = &[0x00, 0x01, WIRE_VERSION, 0, 0, 0, 0];
+        assert_eq!(recv_hello(&mut bytes).unwrap_err(), WireError::BadMagic { got: [0x00, 0x01] });
+        // Wrong version.
+        let mut bytes: &[u8] = &[0xDB, 0xAC, 99, 0, 0, 0, 0];
+        assert_eq!(
+            recv_hello(&mut bytes).unwrap_err(),
+            WireError::VersionMismatch { got: 99, want: WIRE_VERSION }
+        );
+        // Node index out of range.
+        let mut hello = vec![0xDB, 0xAC, WIRE_VERSION];
+        hello.extend_from_slice(&4096u32.to_le_bytes());
+        assert_eq!(
+            recv_hello(&mut hello.as_slice()).unwrap_err(),
+            WireError::BadNodeId { raw: 4096 }
+        );
+        // Truncated hello.
+        let mut bytes: &[u8] = &[0xDB, 0xAC];
+        assert_eq!(
+            recv_hello(&mut bytes).unwrap_err(),
+            WireError::Truncated { needed: 7, available: 2 }
+        );
+    }
+
+    #[test]
+    fn hello_round_trip_carries_the_node_id() {
+        let mut buf = Vec::new();
+        send_hello(&mut buf, id(42)).unwrap();
+        assert_eq!(recv_hello(&mut buf.as_slice()).unwrap(), id(42));
+    }
+}

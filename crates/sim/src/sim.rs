@@ -28,6 +28,12 @@ pub struct SimStats {
     /// Messages damaged in flight by a link-fault plan and discarded on
     /// receipt (counted separately from clean drops).
     pub messages_corrupted: u64,
+    /// Frames that arrived over a real byte stream but failed to decode
+    /// and were discarded by the receiver ([`Runtime::Net`]-only — the
+    /// in-process runtimes never serialize, so this stays zero there).
+    ///
+    /// [`Runtime::Net`]: https://docs.rs/dbac/latest/dbac/scenario/enum.Runtime.html
+    pub messages_rejected: u64,
     /// Virtual time of the last delivery.
     pub final_time: VirtualTime,
 }

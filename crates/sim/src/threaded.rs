@@ -99,24 +99,32 @@ pub struct ThreadedReport<P> {
     pub stats: SimStats,
 }
 
-/// Send-path counters shared by every node thread.
+/// Send-path counters shared by every node thread (and, in the network
+/// runtime, by every connection reader thread).
 #[derive(Default)]
-struct Transport {
-    sent: AtomicU64,
-    delivered: AtomicU64,
-    dropped: AtomicU64,
-    duplicated: AtomicU64,
-    corrupted: AtomicU64,
+pub(crate) struct Transport {
+    pub(crate) sent: AtomicU64,
+    pub(crate) delivered: AtomicU64,
+    pub(crate) dropped: AtomicU64,
+    pub(crate) duplicated: AtomicU64,
+    pub(crate) corrupted: AtomicU64,
+    /// Frames discarded by a receiver because they failed to decode
+    /// (network runtime only; always zero for in-process channels).
+    pub(crate) rejected: AtomicU64,
 }
 
 impl Transport {
-    fn stats(&self) -> SimStats {
+    pub(crate) fn stats(&self) -> SimStats {
         let sent = self.sent.load(Ordering::Relaxed);
         let delivered = self.delivered.load(Ordering::Relaxed);
         let dropped = self.dropped.load(Ordering::Relaxed);
         let duplicated = self.duplicated.load(Ordering::Relaxed);
         let corrupted = self.corrupted.load(Ordering::Relaxed);
-        let expected = sent.saturating_sub(dropped + corrupted).saturating_add(duplicated);
+        let rejected = self.rejected.load(Ordering::Relaxed);
+        let expected = sent
+            .saturating_sub(dropped + corrupted)
+            .saturating_add(duplicated)
+            .saturating_sub(rejected);
         SimStats {
             messages_sent: sent,
             messages_delivered: delivered,
@@ -124,9 +132,64 @@ impl Transport {
             messages_dropped: dropped,
             messages_duplicated: duplicated,
             messages_corrupted: corrupted,
+            messages_rejected: rejected,
             final_time: VirtualTime::ZERO,
         }
     }
+}
+
+/// Blocks until every honest node has reported completion or the watchdog
+/// deadline expires — the shared degradation clock of the threaded and
+/// network runtimes.
+pub(crate) fn await_completion(done_count: &AtomicUsize, honest_total: usize, deadline: Instant) {
+    loop {
+        if done_count.load(Ordering::SeqCst) >= honest_total {
+            break;
+        }
+        if Instant::now() >= deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Joins every node thread and classifies stragglers: a missing state is
+/// [`IncompleteReason::Panicked`], an unfinished one is `Starved` or
+/// `Timeout` depending on whether its inbox disconnected early. Shared by
+/// the threaded and network runtimes so both degrade identically.
+pub(crate) fn join_and_classify<P: Process>(
+    handles: Vec<std::thread::JoinHandle<(Option<P>, bool)>>,
+    honest_slots: &[bool],
+    done: &dyn Fn(&P) -> bool,
+) -> (Vec<Option<P>>, Vec<Incomplete>) {
+    let mut nodes = Vec::with_capacity(handles.len());
+    let mut incomplete = Vec::new();
+    for (i, h) in handles.into_iter().enumerate() {
+        let node = NodeId::new(i);
+        match h.join() {
+            Ok((state, starved)) => {
+                if honest_slots[i] {
+                    let finished = state.as_ref().map(done).unwrap_or(false);
+                    if !finished {
+                        let reason = if starved {
+                            IncompleteReason::Starved
+                        } else {
+                            IncompleteReason::Timeout
+                        };
+                        incomplete.push(Incomplete { node, reason });
+                    }
+                }
+                nodes.push(state);
+            }
+            Err(_) => {
+                if honest_slots[i] {
+                    incomplete.push(Incomplete { node, reason: IncompleteReason::Panicked });
+                }
+                nodes.push(None);
+            }
+        }
+    }
+    (nodes, incomplete)
 }
 
 enum Actor<P: Process> {
@@ -318,46 +381,11 @@ where
 
         // Watchdog: wait for completion or the deadline, then stop the
         // network — stragglers become per-node reports, never a run error.
-        let deadline = Instant::now() + config.timeout;
-        loop {
-            if done_count.load(Ordering::SeqCst) >= honest_total {
-                break;
-            }
-            if Instant::now() >= deadline {
-                break;
-            }
-            std::thread::sleep(Duration::from_millis(1));
-        }
+        await_completion(&done_count, honest_total, Instant::now() + config.timeout);
         stop.store(true, Ordering::SeqCst);
         drop(senders);
 
-        let mut nodes = Vec::with_capacity(n);
-        let mut incomplete = Vec::new();
-        for (i, h) in handles.into_iter().enumerate() {
-            let node = NodeId::new(i);
-            match h.join() {
-                Ok((state, starved)) => {
-                    if honest_slots[i] {
-                        let finished = state.as_ref().map(|p| done(p)).unwrap_or(false);
-                        if !finished {
-                            let reason = if starved {
-                                IncompleteReason::Starved
-                            } else {
-                                IncompleteReason::Timeout
-                            };
-                            incomplete.push(Incomplete { node, reason });
-                        }
-                    }
-                    nodes.push(state);
-                }
-                Err(_) => {
-                    if honest_slots[i] {
-                        incomplete.push(Incomplete { node, reason: IncompleteReason::Panicked });
-                    }
-                    nodes.push(None);
-                }
-            }
-        }
+        let (nodes, incomplete) = join_and_classify(handles, &honest_slots, &*done);
         Ok(ThreadedReport { nodes, incomplete, stats: transport.stats() })
     }
 }

@@ -12,8 +12,9 @@
 //!   reduced graphs, source components, the k-reach family, CCS/CCA/BCS,
 //!   f-covers and the propagation relation.
 //! * [`sim`] — asynchronous message-passing runtimes: a deterministic
-//!   discrete-event simulator with adversarial schedulers and a
-//!   thread-per-node runtime.
+//!   discrete-event simulator with adversarial schedulers, a
+//!   thread-per-node runtime, and a socket-backed net runtime with a
+//!   length-prefixed binary wire codec.
 //! * [`core`] — the paper's algorithm: RedundantFlood, FIFO flooding,
 //!   Algorithm BW (Byzantine Witness), Algorithm 2 (Completeness),
 //!   Algorithm 3 (Filter-and-Average), and the crash-tolerant 2-reach
@@ -22,7 +23,7 @@
 //!   witness algorithm for complete networks, and iterative trimmed-mean
 //!   consensus.
 //! * [`scenario`] — the unified **Scenario → Outcome** experiment surface
-//!   over all of the above: one builder, five protocols, two runtimes,
+//!   over all of the above: one builder, five protocols, three runtimes,
 //!   plus the dimensional [`scenario::sweep`] experiment plans with
 //!   seed-batch statistics and JSON reports.
 //!
@@ -53,7 +54,8 @@
 //!
 //! Swapping `.protocol(...)` (and nothing else) re-runs the same scenario
 //! under a different algorithm; `.runtime(Runtime::Threaded { .. })` moves
-//! it onto real OS threads.
+//! it onto real OS threads, and `.runtime(Runtime::net(..))` onto real
+//! sockets with every message crossing the binary wire codec.
 //!
 //! # Declare an experiment
 //!
@@ -115,6 +117,7 @@ pub mod scenario {
     pub use dbac_core::scenario::{
         drive, sweep, ByzantineWitness, CrashTwoReach, Delivery, DriveReport, FaultKind,
         Incomplete, IncompleteReason, LinkFault, LinkFaultPlan, Outcome, Protocol, Runtime,
-        Scenario, ScenarioBuilder, SchedulerSpec, TraceSummary,
+        Scenario, ScenarioBuilder, SchedulerSpec, TraceSummary, TransportKind, WireError,
+        WireMessage,
     };
 }

@@ -14,7 +14,14 @@
 //!    `incomplete`, not a whole-run error.
 //! 3. **Determinism**: a zero-probability plan is bit-identical to no
 //!    plan, and the same (plan, seed) replays bit-identically — on both
-//!    runtimes.
+//!    in-process runtimes.
+//! 4. **Wire parity** (Sim vs Net): fault plans whose per-edge decisions
+//!    are independent of message arrival order (`Omit`, `Drop {1.0}`,
+//!    `Duplicate {1.0}`, all-covering `Partition` windows) must agree
+//!    message-for-message between the event-queue simulator and the real
+//!    socket runtime — same decisions, same histories, same per-edge loss
+//!    and duplication counters. A partition that starves nodes over real
+//!    sockets must surface as `Outcome::incomplete`, never as an error.
 
 use dbac::core::error::RunError;
 use dbac::graph::{generators, Digraph, NodeId};
@@ -177,6 +184,125 @@ fn threaded_partitioned_node_degrades_to_partial_outcome() {
     assert_eq!(out.incomplete[0].node, victim);
     assert_eq!(out.incomplete[0].reason, IncompleteReason::Timeout);
     assert!(out.sim_stats.messages_dropped > 0, "the omitted edges must count their losses");
+}
+
+/// Invariant family 4: a deterministic duplicate storm (every copy doubled
+/// on two edges) agrees message-for-message between Sim and Net — the
+/// decisions, trajectories, and every transport counter except the
+/// Net-only rejection count, which must stay zero.
+#[test]
+fn net_duplicate_storm_matches_sim_message_for_message() {
+    let plan = || {
+        LinkFaultPlan::new(9)
+            .fault(NodeId::new(0), NodeId::new(1), LinkFault::Duplicate { prob: 1.0 })
+            .fault(NodeId::new(2), NodeId::new(3), LinkFault::Duplicate { prob: 1.0 })
+    };
+    let run = |rt: Runtime| {
+        Scenario::builder(generators::clique(4), 0)
+            .inputs(vec![0.0, 10.0, 4.0, 6.0])
+            .epsilon(0.25)
+            .seed(9)
+            .link_faults(plan())
+            .runtime(rt)
+            .protocol(ByzantineWitness::default())
+            .run()
+            .unwrap()
+    };
+    let sim = run(Runtime::Sim);
+    let net = run(Runtime::net(Duration::from_secs(120)));
+    assert!(sim.converged() && sim.valid());
+    assert_eq!(sim.outputs, net.outputs, "decisions must survive the duplicate storm identically");
+    assert_eq!(sim.histories, net.histories);
+    assert!(net.incomplete.is_empty(), "duplicates must not cost liveness: {:?}", net.incomplete);
+    assert_eq!(sim.sim_stats.messages_sent, net.sim_stats.messages_sent);
+    assert_eq!(sim.sim_stats.messages_duplicated, net.sim_stats.messages_duplicated);
+    assert!(net.sim_stats.messages_duplicated > 0, "the storm must actually duplicate");
+    assert_eq!(sim.sim_stats.messages_dropped, 0);
+    assert_eq!(net.sim_stats.messages_dropped, 0);
+    assert_eq!(net.sim_stats.messages_rejected, 0, "every duplicated frame must still decode");
+}
+
+/// Invariant family 4: an order-independent loss schedule — one edge under
+/// a total `Partition` window, another under `Drop {1.0}` — starves the
+/// same pools on both runtimes: identical (non-)decisions, *exactly* equal
+/// per-edge loss counters, and over real sockets the starvation lands as
+/// per-node `incomplete` entries once the watchdog fires, not as an error.
+#[test]
+fn net_total_loss_schedule_matches_sim_and_degrades_to_incomplete() {
+    let plan = || {
+        LinkFaultPlan::new(17)
+            .fault(
+                NodeId::new(0),
+                NodeId::new(1),
+                LinkFault::Partition { from_step: 0, to_step: u64::MAX },
+            )
+            .fault(NodeId::new(2), NodeId::new(3), LinkFault::Drop { prob: 1.0 })
+    };
+    let run = |rt: Runtime| {
+        Scenario::builder(generators::clique(4), 0)
+            .inputs(vec![0.0, 10.0, 4.0, 6.0])
+            .epsilon(0.25)
+            .seed(17)
+            .link_faults(plan())
+            .runtime(rt)
+            .protocol(ByzantineWitness::default())
+            .run()
+            .unwrap()
+    };
+    let sim = run(Runtime::Sim);
+    let net = run(Runtime::net(Duration::from_secs(3)));
+    assert_safe(&sim, 17, "K4");
+    assert_eq!(sim.outputs, net.outputs, "starvation must be runtime-independent");
+    assert_eq!(sim.histories, net.histories);
+    assert_eq!(
+        sim.sim_stats.messages_dropped, net.sim_stats.messages_dropped,
+        "the loss schedule must cut exactly the same messages on both runtimes"
+    );
+    assert!(net.sim_stats.messages_dropped > 0, "the schedule must actually cut messages");
+    assert!(!sim.all_decided(), "a total cut through a flood edge must starve someone");
+    assert!(net.degraded(), "net starvation must surface as degradation");
+    assert!(!net.incomplete.is_empty(), "starved nodes must be reported per-node");
+    for entry in &net.incomplete {
+        assert_eq!(entry.reason, IncompleteReason::Timeout, "starvation is a timeout: {entry:?}");
+    }
+    assert_eq!(net.sim_stats.messages_rejected, 0, "loss must come from the plan, not the codec");
+}
+
+/// Invariant family 2 over real sockets, mirroring
+/// [`threaded_partitioned_node_degrades_to_partial_outcome`]: with `f = 1`
+/// headroom, a node whose in-edges are all omitted times out as a per-node
+/// `incomplete` entry while the survivors still decide and ε-agree.
+#[test]
+fn net_partitioned_node_degrades_to_partial_outcome() {
+    let g = generators::clique(4);
+    let victim = NodeId::new(3);
+    let mut plan = LinkFaultPlan::new(11);
+    for v in 0..3 {
+        plan = plan.fault(NodeId::new(v), victim, LinkFault::Omit);
+    }
+    let out = Scenario::builder(g, 1)
+        .inputs(vec![0.0, 10.0, 4.0, 6.0])
+        .epsilon(0.5)
+        .seed(4)
+        .link_faults(plan)
+        .runtime(Runtime::net(Duration::from_secs(4)))
+        .protocol(ByzantineWitness::default())
+        .build()
+        .unwrap()
+        .run()
+        .expect("degradation must not be a whole-run error");
+    for v in 0..3 {
+        assert!(out.outputs[v].is_some(), "survivor {v} must still decide");
+    }
+    assert!(out.valid());
+    assert!(out.spread() <= out.epsilon, "survivors must ε-agree, spread {}", out.spread());
+    assert_eq!(out.outputs[3], None, "the starved node cannot have decided");
+    assert!(out.degraded());
+    assert_eq!(out.incomplete.len(), 1, "exactly the victim is incomplete: {:?}", out.incomplete);
+    assert_eq!(out.incomplete[0].node, victim);
+    assert_eq!(out.incomplete[0].reason, IncompleteReason::Timeout);
+    assert!(out.sim_stats.messages_dropped > 0, "the omitted edges must count their losses");
+    assert_eq!(out.sim_stats.messages_rejected, 0, "every delivered frame must decode");
 }
 
 /// Runs one Sim scenario with full trace recording.

@@ -1,15 +1,24 @@
 //! Cross-runtime differential: one deterministic [`Scenario`] executed
-//! under both `Runtime::Sim` and `Runtime::Threaded` must produce
-//! identical honest decisions, and identical `Outcome` fields modulo
-//! runtime statistics and timing.
+//! under `Runtime::Sim`, `Runtime::Threaded`, *and* `Runtime::Net` must
+//! produce identical honest decisions, and identical `Outcome` fields
+//! modulo runtime statistics and timing. The net arm additionally proves
+//! that a full encode → frame → socket → decode round trip per message
+//! changes nothing: the wire codec is semantics-preserving.
 //!
 //! The fixtures use `f = 0`: with a single fault guess (∅) every
 //! witness/fullness thread waits for the *complete* message pool before
 //! firing, so the value set a node aggregates each round — and therefore
 //! its decision — is independent of message interleaving. That makes the
 //! decisions a pure function of the scenario, which is exactly what a
-//! sim-vs-threads differential needs (with `f > 0` a node may legitimately
+//! three-way differential needs (with `f > 0` a node may legitimately
 //! fire on whichever guess completes first, which is schedule-dependent).
+//!
+//! One sizing note: the full `figure_1b_small` BW flood moves ~1.1M
+//! messages, which is fine in-process but minutes of wall clock once every
+//! message crosses a real socket in a debug build. That fixture therefore
+//! stays a sim-vs-threaded pair, and the three-way gate exercises the same
+//! directed two-clique family at `k = 3` instead — same bridge structure,
+//! ~10k messages.
 
 use dbac::graph::generators;
 use dbac::scenario::{
@@ -25,22 +34,40 @@ fn run_both(build: impl Fn() -> ScenarioBuilder) -> (Outcome, Outcome) {
     (sim, threaded)
 }
 
+fn run_all(build: impl Fn() -> ScenarioBuilder) -> (Outcome, Outcome, Outcome) {
+    let (sim, threaded) = run_both(&build);
+    let net = build().runtime(Runtime::net(Duration::from_secs(120))).run().expect("net run");
+    (sim, threaded, net)
+}
+
 /// Everything except runtime counters and the trace handle must agree.
-fn assert_identical(sim: &Outcome, threaded: &Outcome) {
-    assert_eq!(sim.outputs, threaded.outputs, "honest decisions must match bit-for-bit");
-    assert_eq!(sim.histories, threaded.histories, "state trajectories must match");
-    assert_eq!(sim.honest, threaded.honest);
-    assert_eq!(sim.epsilon, threaded.epsilon);
-    assert_eq!(sim.honest_input_range, threaded.honest_input_range);
-    assert_eq!(sim.rounds, threaded.rounds);
-    assert_eq!(sim.protocol, threaded.protocol);
+fn assert_identical(sim: &Outcome, other: &Outcome, runtime: &str) {
+    assert_eq!(sim.outputs, other.outputs, "{runtime}: honest decisions must match bit-for-bit");
+    assert_eq!(sim.histories, other.histories, "{runtime}: state trajectories must match");
+    assert_eq!(sim.honest, other.honest, "{runtime}");
+    assert_eq!(sim.epsilon, other.epsilon, "{runtime}");
+    assert_eq!(sim.honest_input_range, other.honest_input_range, "{runtime}");
+    assert_eq!(sim.rounds, other.rounds, "{runtime}");
+    assert_eq!(sim.protocol, other.protocol, "{runtime}");
     // `sim_stats` (transport counters differ between the event queue and
     // real channels) and `trace` (Sim-only) are exempt.
 }
 
+/// Three-way gate: Sim is the reference; Threaded and Net must both agree
+/// with it, and the net run must have completed without watchdog losses.
+fn assert_three_way(sim: &Outcome, threaded: &Outcome, net: &Outcome) {
+    assert_identical(sim, threaded, "threaded");
+    assert_identical(sim, net, "net");
+    assert!(net.incomplete.is_empty(), "net run lost nodes: {:?}", net.incomplete);
+    assert_eq!(
+        net.sim_stats.messages_rejected, 0,
+        "no frame may fail to decode in a fault-free net run"
+    );
+}
+
 #[test]
 fn bw_decisions_are_runtime_independent() {
-    let (sim, threaded) = run_both(|| {
+    let (sim, threaded, net) = run_all(|| {
         Scenario::builder(generators::clique(4), 0)
             .inputs(vec![0.0, 10.0, 4.0, 6.0])
             .epsilon(0.25)
@@ -48,7 +75,7 @@ fn bw_decisions_are_runtime_independent() {
             .protocol(ByzantineWitness::default())
     });
     assert!(sim.converged() && sim.valid(), "outputs {:?}", sim.outputs);
-    assert_identical(&sim, &threaded);
+    assert_three_way(&sim, &threaded, &net);
 }
 
 #[test]
@@ -62,13 +89,28 @@ fn bw_on_a_directed_network_is_runtime_independent() {
             .protocol(ByzantineWitness::default())
     });
     assert!(sim.converged() && sim.valid(), "outputs {:?}", sim.outputs);
-    assert_identical(&sim, &threaded);
+    assert_identical(&sim, &threaded, "threaded");
+}
+
+#[test]
+fn bw_on_a_directed_two_clique_bridge_is_runtime_independent() {
+    let graph = generators::two_cliques_bridged(3, &[(0, 0), (1, 1)], &[(1, 1), (2, 2)]);
+    let inputs: Vec<f64> = (0..6).map(|i| i as f64).collect();
+    let (sim, threaded, net) = run_all(|| {
+        Scenario::builder(graph.clone(), 0)
+            .inputs(inputs.clone())
+            .epsilon(1.0)
+            .seed(11)
+            .protocol(ByzantineWitness::default())
+    });
+    assert!(sim.converged() && sim.valid(), "outputs {:?}", sim.outputs);
+    assert_three_way(&sim, &threaded, &net);
 }
 
 #[test]
 fn crash_protocol_decisions_are_runtime_independent() {
     let inputs: Vec<f64> = (0..8).map(|i| (i % 4) as f64 * 2.0).collect();
-    let (sim, threaded) = run_both(|| {
+    let (sim, threaded, net) = run_all(|| {
         Scenario::builder(generators::figure_1b_small(), 0)
             .inputs(inputs.clone())
             .epsilon(0.5)
@@ -76,12 +118,12 @@ fn crash_protocol_decisions_are_runtime_independent() {
             .protocol(CrashTwoReach::default())
     });
     assert!(sim.converged() && sim.valid(), "outputs {:?}", sim.outputs);
-    assert_identical(&sim, &threaded);
+    assert_three_way(&sim, &threaded, &net);
 }
 
 #[test]
 fn rbc_probe_decisions_are_runtime_independent() {
-    let (sim, threaded) = run_both(|| {
+    let (sim, threaded, net) = run_all(|| {
         Scenario::builder(generators::clique(4), 0)
             .inputs(vec![1.0, 9.0, 3.0, 5.0])
             .epsilon(0.5)
@@ -89,5 +131,5 @@ fn rbc_probe_decisions_are_runtime_independent() {
             .protocol(ReliableBroadcastProbe)
     });
     assert!(sim.converged(), "outputs {:?}", sim.outputs);
-    assert_identical(&sim, &threaded);
+    assert_three_way(&sim, &threaded, &net);
 }
