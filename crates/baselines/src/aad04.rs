@@ -15,11 +15,12 @@
 
 use crate::reliable_broadcast::{RbcEngine, RbcMsg};
 use dbac_core::config::num_rounds;
-use dbac_graph::{generators, NodeId, NodeSet};
+use dbac_graph::NodeId;
 use dbac_sim::process::{Context, Process};
-use dbac_sim::sim::SimStats;
-use dbac_sim::SimError;
 use std::collections::{BTreeMap, HashMap, HashSet};
+
+#[cfg(test)]
+use dbac_graph::generators;
 
 /// RBC payloads exchanged by the algorithm.
 ///
@@ -269,6 +270,10 @@ impl Process for AadNode {
     fn on_message(&mut self, ctx: &mut Context<AadMsg>, from: NodeId, msg: AadMsg) {
         self.handle_rbc(ctx, from, msg);
     }
+
+    fn classify(_msg: &AadMsg) -> dbac_sim::stats::MsgClass {
+        dbac_sim::stats::MsgClass::Aad
+    }
 }
 
 impl std::fmt::Debug for AadNode {
@@ -287,104 +292,6 @@ pub enum AadAdversary {
         /// The injected value.
         value: f64,
     },
-}
-
-/// Outcome of an AAD04 run.
-#[derive(Clone, Debug)]
-pub struct AadOutcome {
-    /// Per node outputs (`None` for Byzantine nodes).
-    pub outputs: Vec<Option<f64>>,
-    /// Honest set.
-    pub honest: NodeSet,
-    /// ε of the run.
-    pub epsilon: f64,
-    /// Honest input hull.
-    pub honest_input_range: (f64, f64),
-    /// Runtime statistics.
-    pub sim_stats: SimStats,
-    /// Total protocol messages sent by honest nodes.
-    pub honest_messages: u64,
-}
-
-impl AadOutcome {
-    /// All honest nodes decided within ε.
-    #[must_use]
-    pub fn converged(&self) -> bool {
-        let outs: Vec<f64> = self.honest.iter().filter_map(|v| self.outputs[v.index()]).collect();
-        if outs.len() < self.honest.len() {
-            return false;
-        }
-        let hi = outs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let lo = outs.iter().cloned().fold(f64::INFINITY, f64::min);
-        hi - lo < self.epsilon
-    }
-
-    /// Outputs lie within the honest input hull.
-    #[must_use]
-    pub fn valid(&self) -> bool {
-        let (lo, hi) = self.honest_input_range;
-        self.honest
-            .iter()
-            .filter_map(|v| self.outputs[v.index()])
-            .all(|v| v >= lo - 1e-12 && v <= hi + 1e-12)
-    }
-}
-
-/// Runs AAD04 on the complete `n`-node network.
-///
-/// # Errors
-///
-/// Propagates runtime failures.
-///
-/// # Panics
-///
-/// Panics unless `n > 3f` and `inputs.len() == n`.
-#[deprecated(
-    since = "0.1.0",
-    note = "use dbac_core::scenario::Scenario with the Aad04 protocol from this crate"
-)]
-pub fn run_aad04(
-    n: usize,
-    f: usize,
-    inputs: &[f64],
-    epsilon: f64,
-    byzantine: &[(NodeId, AadAdversary)],
-    seed: u64,
-) -> Result<AadOutcome, SimError> {
-    use dbac_core::scenario::{FaultKind, Scenario, SchedulerSpec};
-    use std::collections::BTreeMap;
-    assert!(n > 3 * f, "AAD04 requires n > 3f");
-    assert_eq!(inputs.len(), n, "one input per node");
-    let byz: NodeSet = byzantine.iter().map(|&(v, _)| v).collect();
-    assert!(byz.len() <= f, "at most f Byzantine nodes");
-    // Historical behaviour: a node listed twice got its actor overwritten
-    // (last entry wins); fold duplicates before the stricter builder.
-    let byzantine: BTreeMap<NodeId, AadAdversary> = byzantine.iter().copied().collect();
-    let out = Scenario::builder(generators::clique(n), f)
-        .inputs(inputs.to_vec())
-        .epsilon(epsilon)
-        .faults(byzantine.iter().map(|(&v, &kind)| {
-            let fault = match kind {
-                AadAdversary::Crash => FaultKind::Crash,
-                AadAdversary::ConstantLiar { value } => FaultKind::ConstantLiar { value },
-            };
-            (v, fault)
-        }))
-        .scheduler(SchedulerSpec::legacy_random(seed))
-        .protocol(crate::scenario::Aad04)
-        .run()
-        .map_err(|e| match e {
-            dbac_core::RunError::Sim(e) => e,
-            other => panic!("scenario rejected a pre-validated AAD04 config: {other}"),
-        })?;
-    Ok(AadOutcome {
-        outputs: out.outputs,
-        honest: out.honest,
-        epsilon,
-        honest_input_range: out.honest_input_range,
-        sim_stats: out.sim_stats,
-        honest_messages: out.honest_messages.unwrap_or(0),
-    })
 }
 
 /// A liar that follows the protocol with a planted extreme value — RBC
@@ -411,33 +318,59 @@ impl dbac_sim::process::Adversary<AadMsg> for LiarAdversary {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // exercises the legacy shim on top of the scenario API
 mod tests {
     use super::*;
+    use dbac_core::error::RunError;
+    use dbac_core::scenario::{FaultKind, Outcome, Scenario, SchedulerSpec};
 
     fn id(i: usize) -> NodeId {
         NodeId::new(i)
     }
 
+    /// The historical AAD04 run shape on the scenario surface: a complete
+    /// `n`-node network under the legacy `[1, 15]` random schedule.
+    fn run_aad(
+        n: usize,
+        f: usize,
+        inputs: &[f64],
+        epsilon: f64,
+        byzantine: &[(NodeId, AadAdversary)],
+        seed: u64,
+    ) -> Result<Outcome, RunError> {
+        Scenario::builder(generators::clique(n), f)
+            .inputs(inputs.to_vec())
+            .epsilon(epsilon)
+            .faults(byzantine.iter().map(|&(v, kind)| {
+                let fault = match kind {
+                    AadAdversary::Crash => FaultKind::Crash,
+                    AadAdversary::ConstantLiar { value } => FaultKind::ConstantLiar { value },
+                };
+                (v, fault)
+            }))
+            .scheduler(SchedulerSpec::legacy_random(seed))
+            .protocol(crate::scenario::Aad04)
+            .run()
+    }
+
     #[test]
     fn all_honest_converges() {
-        let out = run_aad04(4, 1, &[0.0, 10.0, 4.0, 6.0], 0.5, &[], 3).unwrap();
+        let out = run_aad(4, 1, &[0.0, 10.0, 4.0, 6.0], 0.5, &[], 3).unwrap();
         assert!(out.converged(), "{:?}", out.outputs);
         assert!(out.valid());
-        assert!(out.honest_messages > 0);
+        assert!(out.honest_messages.unwrap() > 0);
     }
 
     #[test]
     fn tolerates_crash() {
-        let out = run_aad04(4, 1, &[0.0, 10.0, 4.0, 0.0], 0.5, &[(id(3), AadAdversary::Crash)], 9)
-            .unwrap();
+        let out =
+            run_aad(4, 1, &[0.0, 10.0, 4.0, 0.0], 0.5, &[(id(3), AadAdversary::Crash)], 9).unwrap();
         assert!(out.converged(), "{:?}", out.outputs);
         assert!(out.valid());
     }
 
     #[test]
     fn liar_cannot_break_validity() {
-        let out = run_aad04(
+        let out = run_aad(
             4,
             1,
             &[2.0, 4.0, 6.0, 0.0],
@@ -453,7 +386,7 @@ mod tests {
     #[test]
     fn larger_network_with_two_faults() {
         let inputs: Vec<f64> = (0..7).map(|i| i as f64).collect();
-        let out = run_aad04(
+        let out = run_aad(
             7,
             2,
             &inputs,
@@ -467,8 +400,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "n > 3f")]
-    fn resilience_bound() {
-        let _ = run_aad04(3, 1, &[0.0; 3], 0.5, &[], 0);
+    fn resilience_bound_is_typed() {
+        let err = run_aad(3, 1, &[0.0; 3], 0.5, &[], 0).unwrap_err();
+        assert_eq!(
+            err,
+            RunError::ResilienceExceeded { protocol: "aad04", n: 3, f: 1, requires: "n > 3f" }
+        );
     }
 }

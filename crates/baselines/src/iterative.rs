@@ -159,28 +159,12 @@ pub fn wmsr_step(own: f64, mut received: Vec<f64>, f: usize) -> f64 {
     sum / (kept.len() + 1) as f64
 }
 
-/// Runs the synchronous iterative protocol for `rounds` rounds.
+/// The synchronous W-MSR loop backing the scenario-layer
+/// `IterativeTrimmedMean` protocol.
 ///
 /// # Panics
 ///
 /// Panics if `inputs.len() != n` or a faulty node is listed twice.
-#[deprecated(
-    since = "0.1.0",
-    note = "use dbac_core::scenario::Scenario with the IterativeTrimmedMean protocol from this crate"
-)]
-#[must_use]
-pub fn run_iterative(
-    g: &Digraph,
-    f: usize,
-    inputs: &[f64],
-    faulty: &[(NodeId, IterStrategy)],
-    rounds: usize,
-) -> IterativeRun {
-    iterate(g, f, inputs, faulty, rounds)
-}
-
-/// The synchronous W-MSR loop shared by the deprecated entry point and the
-/// scenario-layer `IterativeTrimmedMean` protocol.
 pub(crate) fn iterate(
     g: &Digraph,
     f: usize,
@@ -221,7 +205,6 @@ pub(crate) fn iterate(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // exercises the legacy shim on top of the shared loop
 mod tests {
     use super::*;
     use dbac_graph::generators;
@@ -275,7 +258,7 @@ mod tests {
     #[test]
     fn honest_iteration_converges_on_clique() {
         let g = generators::clique(5);
-        let run = run_iterative(&g, 1, &[0.0, 1.0, 2.0, 3.0, 4.0], &[], 40);
+        let run = iterate(&g, 1, &[0.0, 1.0, 2.0, 3.0, 4.0], &[], 40);
         assert!(run.final_spread() < 1e-6);
         assert!(run.valid());
     }
@@ -285,7 +268,7 @@ mod tests {
         // K5 is (2,2)-robust: W-MSR with f=1 resists one malicious node.
         let g = generators::clique(5);
         assert!(is_r_s_robust(&g, 2, 2));
-        let run = run_iterative(
+        let run = iterate(
             &g,
             1,
             &[0.0, 1.0, 2.0, 3.0, 999.0],
@@ -299,7 +282,7 @@ mod tests {
     #[test]
     fn ramp_attack_on_robust_graph() {
         let g = generators::clique(5);
-        let run = run_iterative(
+        let run = iterate(
             &g,
             1,
             &[0.0, 1.0, 2.0, 3.0, 0.0],
@@ -313,7 +296,7 @@ mod tests {
     #[test]
     fn silent_fault_is_harmless() {
         let g = generators::clique(4);
-        let run = run_iterative(&g, 1, &[0.0, 4.0, 8.0, 0.0], &[(id(3), IterStrategy::Silent)], 40);
+        let run = iterate(&g, 1, &[0.0, 4.0, 8.0, 0.0], &[(id(3), IterStrategy::Silent)], 40);
         assert!(run.final_spread() < 1e-6);
         assert!(run.valid());
     }
@@ -323,7 +306,7 @@ mod tests {
         // Directed cycle: one malicious node pins its successors apart.
         let g = generators::directed_cycle(6);
         assert!(!is_r_s_robust(&g, 2, 2));
-        let run = run_iterative(
+        let run = iterate(
             &g,
             1,
             &[0.0, 0.0, 0.0, 10.0, 10.0, 10.0],
@@ -338,7 +321,7 @@ mod tests {
     #[test]
     fn history_shape() {
         let g = generators::clique(3);
-        let run = run_iterative(&g, 0, &[1.0, 2.0, 3.0], &[], 5);
+        let run = iterate(&g, 0, &[1.0, 2.0, 3.0], &[], 5);
         assert_eq!(run.history.len(), 6);
         assert_eq!(run.spread_at(0), 2.0);
     }

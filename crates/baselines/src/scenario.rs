@@ -97,14 +97,16 @@ impl Protocol for Aad04 {
                 (v, boxed)
             })
             .collect();
+        let registry = scenario.resolve_stats();
         let mut outputs = vec![None; n];
         let mut histories = vec![None; n];
         let mut honest_messages = 0u64;
-        let report = drive(scenario, honest, byzantine, AadNode::is_done, &mut |v, node| {
-            outputs[v.index()] = node.output();
-            histories[v.index()] = Some(node.x_history().to_vec());
-            honest_messages += node.sent;
-        })?;
+        let report =
+            drive(scenario, &registry, honest, byzantine, AadNode::is_done, &mut |v, node| {
+                outputs[v.index()] = node.output();
+                histories[v.index()] = Some(node.x_history().to_vec());
+                honest_messages += node.sent;
+            })?;
         Ok(Outcome {
             protocol: self.name(),
             outputs,
@@ -129,9 +131,11 @@ impl Protocol for Aad04 {
 /// purely local `f`-filtering each synchronous round, correct under
 /// `(f+1, f+1)`-robustness rather than 3-reach (the E10 contrast).
 ///
-/// Synchronous by construction — it supports [`Runtime::Sim`] only, and
-/// [`Outcome::sim_stats`] stays zeroed (there is no message passing to
-/// count). The round count is a protocol knob (default 60, enough for the
+/// Synchronous by construction — it supports [`Runtime::Sim`] only. There
+/// is no message passing to count, so [`Outcome::sim_stats`] reports the
+/// transport as `NotObservable` rather than a wall of zeros; rounds fired,
+/// per-node done gauges and wall-clock elapsed are still measured. The
+/// round count is a protocol knob (default 60, enough for the
 /// experiments' geometric convergence), overridable per scenario via
 /// `ScenarioBuilder::rounds`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -208,6 +212,17 @@ impl Protocol for IterativeTrimmedMean {
             histories[v.index()] =
                 Some(run.history.iter().map(|row| row[v.index()]).collect::<Vec<f64>>());
         }
+        // No transport exists for a synchronous protocol, so transport
+        // coverage stays NotObservable; progress and completion are still
+        // real measurements.
+        let registry = scenario.resolve_stats();
+        registry.note_nodes_observed();
+        let handle = registry.register();
+        handle.add_rounds_fired(rounds as u64 * run.honest.len() as u64);
+        for v in run.honest.iter() {
+            handle.mark_done(v.index());
+        }
+        registry.finalize_wall();
         Ok(Outcome {
             protocol: self.name(),
             outputs,
@@ -215,7 +230,7 @@ impl Protocol for IterativeTrimmedMean {
             epsilon: scenario.epsilon(),
             honest_input_range: scenario.honest_input_range(),
             rounds: rounds as u32,
-            sim_stats: Default::default(),
+            sim_stats: registry.snapshot(),
             incomplete: Vec::new(),
             histories,
             honest_messages: None,
@@ -311,6 +326,10 @@ impl Process for ProbeNode {
     fn on_message(&mut self, ctx: &mut Context<ProbeMsg>, from: NodeId, msg: ProbeMsg) {
         self.handle_rbc(ctx, from, msg);
     }
+
+    fn classify(_msg: &ProbeMsg) -> dbac_sim::stats::MsgClass {
+        dbac_sim::stats::MsgClass::Rbc
+    }
 }
 
 impl std::fmt::Debug for ProbeNode {
@@ -385,16 +404,18 @@ impl Protocol for ReliableBroadcastProbe {
                 (v, boxed)
             })
             .collect();
+        let registry = scenario.resolve_stats();
         let mut outputs = vec![None; n];
         let mut histories = vec![None; n];
         let mut honest_messages = 0u64;
-        let report = drive(scenario, honest, byzantine, ProbeNode::is_done, &mut |v, node| {
-            outputs[v.index()] = node.output;
-            let mut h = vec![node.input];
-            h.extend(node.output);
-            histories[v.index()] = Some(h);
-            honest_messages += node.sent;
-        })?;
+        let report =
+            drive(scenario, &registry, honest, byzantine, ProbeNode::is_done, &mut |v, node| {
+                outputs[v.index()] = node.output;
+                let mut h = vec![node.input];
+                h.extend(node.output);
+                histories[v.index()] = Some(h);
+                honest_messages += node.sent;
+            })?;
         Ok(Outcome {
             protocol: self.name(),
             outputs,

@@ -143,7 +143,7 @@ fn e10_iterative_contrast() {
         yes_no(out.converged()),
         yes_no(out.valid()),
         num(out.spread()),
-        out.sim_stats.messages_delivered,
+        out.sim_stats.messages_delivered(),
     );
     assert!(out.converged() && out.valid());
 

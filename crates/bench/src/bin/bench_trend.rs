@@ -11,36 +11,45 @@
 //!
 //! ```text
 //! bench_trend --baseline BENCH_BASELINE.json --current bench.json [--max-ratio 2.0]
+//! bench_trend --registry --baseline stats_base.json --current stats.json [--max-ratio 1.2]
 //! ```
 //!
-//! The report reader and the comparison live in [`dbac_bench::trend`]
+//! With `--registry` both files carry the stats-registry snapshot schema
+//! (`{"registry": {"<counter>": 123, ...}}` — the `dbacd --smoke --json`
+//! artifact), and the gate flags message-ledger counters that grew beyond
+//! the allowed ratio instead of nanosecond kernels.
+//!
+//! The report readers and the comparisons live in [`dbac_bench::trend`]
 //! (shared with the sweep round-trip tests — the scenario sweeps' reduced
 //! reports emit the same schema).
 //!
 //! Exit status: 0 when every baseline kernel is present and within bounds,
 //! 1 otherwise.
 
-use dbac_bench::trend::{compare, parse_report, Report};
+use dbac_bench::trend::{compare, compare_registry, parse_registry_report, parse_report, Report};
 use std::process::ExitCode;
 
 struct Args {
     baseline: String,
     current: String,
     max_ratio: f64,
+    registry: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut baseline = None;
     let mut current = None;
-    let mut max_ratio = 2.0;
+    let mut max_ratio = None;
+    let mut registry = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value = |name: &str| it.next().ok_or(format!("{name} requires a value"));
         match arg.as_str() {
             "--baseline" => baseline = Some(value("--baseline")?),
             "--current" => current = Some(value("--current")?),
+            "--registry" => registry = true,
             "--max-ratio" => {
-                max_ratio = value("--max-ratio")?.parse().map_err(|e| format!("{e}"))?;
+                max_ratio = Some(value("--max-ratio")?.parse().map_err(|e| format!("{e}"))?);
             }
             other => return Err(format!("unknown argument '{other}'")),
         }
@@ -48,8 +57,25 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args {
         baseline: baseline.ok_or("--baseline is required")?,
         current: current.ok_or("--current is required")?,
-        max_ratio,
+        // Counter ledgers are deterministic; timings are not.
+        max_ratio: max_ratio.unwrap_or(if registry { 1.2 } else { 2.0 }),
+        registry,
     })
+}
+
+fn registry_gate(args: &Args) -> Result<Vec<String>, String> {
+    let read = |path: &str| -> Result<_, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        parse_registry_report(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (baseline, current) = (read(&args.baseline)?, read(&args.current)?);
+    println!(
+        "registry gate: {} baseline counters vs {} current (limit {}x)",
+        baseline.len(),
+        current.len(),
+        args.max_ratio
+    );
+    Ok(compare_registry(&baseline, &current, args.max_ratio))
 }
 
 fn main() -> ExitCode {
@@ -58,11 +84,31 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("bench_trend: {e}");
             eprintln!(
-                "usage: bench_trend --baseline <json> --current <json> [--max-ratio <factor>]"
+                "usage: bench_trend [--registry] --baseline <json> --current <json> \
+                 [--max-ratio <factor>]"
             );
             return ExitCode::FAILURE;
         }
     };
+    if args.registry {
+        return match registry_gate(&args) {
+            Ok(failures) if failures.is_empty() => {
+                println!("registry trend OK");
+                ExitCode::SUCCESS
+            }
+            Ok(failures) => {
+                eprintln!("registry trend FAILED:");
+                for f in &failures {
+                    eprintln!("  {f}");
+                }
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("bench_trend: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let read = |path: &str| -> Result<Report, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         parse_report(&text).map_err(|e| format!("{path}: {e}"))

@@ -89,8 +89,8 @@ fn end_to_end_scaling() {
         t.row(vec![
             name.clone(),
             f.to_string(),
-            out.sim_stats.messages_sent.to_string(),
-            out.sim_stats.messages_delivered.to_string(),
+            out.sim_stats.messages_sent().to_string(),
+            out.sim_stats.messages_delivered().to_string(),
             elapsed.to_string(),
             yes_no(out.converged()),
         ]);

@@ -1,0 +1,296 @@
+//! The `dbacd` operator daemon: run a [`Scenario`] in a background
+//! thread and serve its live [`StatsRegistry`] over a tiny
+//! line-delimited JSON-over-TCP RPC.
+//!
+//! Protocol: the client sends one command per line — `stats`, `nodes`,
+//! `progress` or `shutdown` — and receives exactly one JSON line back.
+//! Responses:
+//!
+//! ```text
+//! stats    → {"registry":{"sent":123,"delivered":120,...}}
+//! nodes    → {"nodes":[{"node":0,"enqueued":9,"consumed":9,"queue_depth":0,"done":true},...]}
+//! progress → {"running":true,"node_count":4,"nodes_done":1,"rounds_fired":12,"sent":123,"delivered":119}
+//! shutdown → {"ok":true}          (stops the RPC listener, not the run)
+//! ```
+//!
+//! The `stats` payload is exactly the registry-snapshot schema that
+//! [`crate::trend::parse_registry_report`] reads and the bench-trend
+//! gate compares, so a `stats.json` captured from a live daemon can be
+//! diffed against a stored baseline with no translation step.
+//!
+//! The daemon never interrupts the scenario: `shutdown` (or
+//! [`Daemon::join`]) tears down the listener while the run proceeds to
+//! its natural outcome, whose `sim_stats` is bit-for-bit the final
+//! registry snapshot.
+
+use dbac_core::error::RunError;
+use dbac_core::scenario::{Outcome, Scenario, StatsRegistry, StatsSnapshot};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running scenario plus the RPC listener observing it.
+pub struct Daemon {
+    registry: Arc<StatsRegistry>,
+    addr: SocketAddr,
+    runner: JoinHandle<Result<Outcome, RunError>>,
+    server: JoinHandle<()>,
+    stop: Arc<AtomicBool>,
+    finished: Arc<AtomicBool>,
+}
+
+impl Daemon {
+    /// Starts `scenario` in a background thread with a fresh attached
+    /// registry (any registry already attached to the scenario is
+    /// honored instead) and binds the RPC listener on a loopback
+    /// ephemeral port.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener bind failures; scenario validation errors
+    /// surface later, from [`Daemon::join`].
+    pub fn spawn(scenario: Scenario) -> std::io::Result<Daemon> {
+        let registry = scenario.resolve_stats();
+        let scenario = scenario.with_stats(Arc::clone(&registry));
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let finished = Arc::new(AtomicBool::new(false));
+
+        let run_finished = Arc::clone(&finished);
+        let runner = std::thread::spawn(move || {
+            let out = scenario.run();
+            run_finished.store(true, Ordering::Release);
+            out
+        });
+
+        let srv_registry = Arc::clone(&registry);
+        let srv_stop = Arc::clone(&stop);
+        let srv_finished = Arc::clone(&finished);
+        let server = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if srv_stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = conn else { break };
+                // One client at a time: the RPC is a few bytes per line
+                // and every handler is non-blocking on the run itself.
+                serve_client(stream, &srv_registry, &srv_stop, &srv_finished);
+                if srv_stop.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+        });
+
+        Ok(Daemon { registry, addr, runner, server, stop, finished })
+    }
+
+    /// The listener's address (loopback, ephemeral port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The registry the running scenario writes into — the same totals
+    /// the RPC serves, for in-process observers.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<StatsRegistry> {
+        &self.registry
+    }
+
+    /// Whether the scenario thread has produced its outcome.
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        self.finished.load(Ordering::Acquire)
+    }
+
+    /// Waits for the scenario to finish, tears down the RPC listener,
+    /// and returns the outcome.
+    ///
+    /// # Errors
+    ///
+    /// The scenario's own [`RunError`], if it failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either background thread itself panicked.
+    pub fn join(self) -> Result<Outcome, RunError> {
+        let outcome = self.runner.join().expect("scenario thread panicked");
+        self.stop.store(true, Ordering::Release);
+        // Poke the accept loop so it observes the stop flag even with no
+        // client connected; the listener may already be gone if a client
+        // sent `shutdown`.
+        if let Ok(mut poke) = TcpStream::connect(self.addr) {
+            let _ = poke.write_all(b"shutdown\n");
+        }
+        self.server.join().expect("rpc thread panicked");
+        outcome
+    }
+}
+
+fn serve_client(
+    stream: TcpStream,
+    registry: &StatsRegistry,
+    stop: &AtomicBool,
+    finished: &AtomicBool,
+) {
+    let Ok(write_half) = stream.try_clone() else { return };
+    let mut writer = write_half;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        let reply = match line.trim() {
+            "" => continue,
+            "stats" => stats_json(&registry.snapshot()),
+            "nodes" => nodes_json(&registry.snapshot()),
+            "progress" => progress_json(registry, finished.load(Ordering::Acquire)),
+            "shutdown" => {
+                stop.store(true, Ordering::Release);
+                let _ = writer.write_all(b"{\"ok\":true}\n");
+                return;
+            }
+            other => format!("{{\"error\":\"unknown command '{}'\"}}", escape(other)),
+        };
+        if writer.write_all(reply.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
+            return;
+        }
+    }
+}
+
+fn escape(raw: &str) -> String {
+    raw.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            '\t' => vec!['\\', 't'],
+            c if (c as u32) < 0x20 => vec![' '],
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// The `stats` RPC payload — also the `stats.json` artifact schema and
+/// the input to [`crate::trend::parse_registry_report`].
+#[must_use]
+pub fn stats_json(snapshot: &StatsSnapshot) -> String {
+    let body = snapshot
+        .to_kv()
+        .into_iter()
+        .map(|(k, v)| format!("\"{}\":{v}", escape(&k)))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("{{\"registry\":{{{body}}}}}")
+}
+
+fn nodes_json(snapshot: &StatsSnapshot) -> String {
+    match snapshot.nodes.measured() {
+        None => "{\"nodes\":null}".to_string(),
+        Some(nodes) => {
+            let rows = nodes
+                .iter()
+                .enumerate()
+                .map(|(i, n)| {
+                    format!(
+                        "{{\"node\":{i},\"enqueued\":{},\"consumed\":{},\
+                         \"queue_depth\":{},\"done\":{}}}",
+                        n.enqueued,
+                        n.consumed,
+                        n.queue_depth(),
+                        n.done
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            format!("{{\"nodes\":[{rows}]}}")
+        }
+    }
+}
+
+fn progress_json(registry: &StatsRegistry, finished: bool) -> String {
+    let snap = registry.snapshot();
+    let nodes_done =
+        snap.nodes.measured().map_or(0, |nodes| nodes.iter().filter(|n| n.done).count());
+    format!(
+        "{{\"running\":{},\"node_count\":{},\"nodes_done\":{nodes_done},\
+         \"rounds_fired\":{},\"sent\":{},\"delivered\":{}}}",
+        !finished,
+        registry.node_count(),
+        snap.protocol.rounds_fired,
+        snap.messages_sent(),
+        snap.messages_delivered(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trend::parse_registry_report;
+    use dbac_core::scenario::ByzantineWitness;
+    use dbac_graph::generators;
+
+    fn smoke_scenario() -> Scenario {
+        Scenario::builder(generators::clique(4), 0)
+            .inputs(vec![0.0, 10.0, 4.0, 6.0])
+            .epsilon(0.5)
+            .seed(9)
+            .protocol(ByzantineWitness::default())
+            .build()
+            .expect("smoke scenario builds")
+    }
+
+    fn rpc(addr: SocketAddr, command: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect to daemon");
+        stream.write_all(command.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut line = String::new();
+        BufReader::new(stream).read_line(&mut line).expect("one reply line");
+        line.trim_end().to_string()
+    }
+
+    #[test]
+    fn daemon_serves_stats_and_progress_then_joins() {
+        let daemon = Daemon::spawn(smoke_scenario()).expect("daemon binds");
+        let addr = daemon.addr();
+
+        let stats = rpc(addr, "stats");
+        let report = parse_registry_report(&stats).expect("stats line is valid registry JSON");
+        // The run may or may not have finished by now; either way the
+        // totals are well-formed and the schema round-trips.
+        assert!(report.contains_key("rounds_fired"), "schema carries protocol counters");
+
+        let progress = rpc(addr, "progress");
+        assert!(progress.starts_with("{\"running\":"), "progress replies: {progress}");
+        assert!(progress.contains("\"node_count\":4"));
+
+        let nodes = rpc(addr, "nodes");
+        assert!(nodes.starts_with("{\"nodes\":"), "nodes replies: {nodes}");
+
+        assert!(rpc(addr, "bogus").contains("unknown command"));
+
+        let registry = Arc::clone(daemon.registry());
+        let out = daemon.join().expect("smoke scenario converges");
+        assert!(out.converged() && out.valid());
+        assert_eq!(registry.snapshot(), out.sim_stats, "registry is the outcome's ground truth");
+
+        // The final stats payload parses into exactly the outcome's kv.
+        let final_report =
+            parse_registry_report(&stats_json(&out.sim_stats)).expect("final schema");
+        let expected: Vec<(String, u64)> = out.sim_stats.to_kv();
+        assert_eq!(final_report.len(), expected.len());
+        for (k, v) in expected {
+            assert_eq!(final_report.get(&k), Some(&v), "counter {k}");
+        }
+    }
+
+    #[test]
+    fn client_shutdown_stops_the_listener_but_not_the_run() {
+        let daemon = Daemon::spawn(smoke_scenario()).expect("daemon binds");
+        let addr = daemon.addr();
+        assert_eq!(rpc(addr, "shutdown"), "{\"ok\":true}");
+        let out = daemon.join().expect("run still completes");
+        assert!(out.converged());
+    }
+}

@@ -2,13 +2,15 @@
 //!
 //! Experiment harness regenerating every table and figure of the paper
 //! (see DESIGN.md §4 for the experiment index E1–E11), plus shared
-//! utilities: text tables, graph catalogs, and the Appendix-B
-//! indistinguishability splice.
+//! utilities: text tables, graph catalogs, the Appendix-B
+//! indistinguishability splice, and the [`daemon`] module backing the
+//! `dbacd` live-stats operator binary.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod daemon;
 pub mod impossibility;
 pub mod table;
 pub mod trend;

@@ -167,6 +167,76 @@ pub fn parse_report(text: &str) -> Result<Report, String> {
     Ok(report)
 }
 
+/// Counter totals from a stats-registry snapshot, keyed by counter name
+/// (the keys of `StatsSnapshot::to_kv`).
+pub type RegistryReport = BTreeMap<String, u64>;
+
+/// Extracts `counter → total` from a registry-snapshot report:
+///
+/// ```text
+/// { "registry": { "<counter>": 123, ... } }
+/// ```
+///
+/// This is the `stats` RPC payload of the `dbacd` daemon and the
+/// `stats.json` CI artifact; parsing it here lets `bench_trend` gate on
+/// counter regressions next to the nanosecond kernels.
+///
+/// # Errors
+///
+/// Any deviation from the schema (unknown top-level keys, negative or
+/// fractional counters, malformed JSON).
+pub fn parse_registry_report(text: &str) -> Result<RegistryReport, String> {
+    let mut report = RegistryReport::new();
+    let mut json = Json::new(text);
+    json.object(&mut |j, key| {
+        if key != "registry" {
+            return Err(format!("unexpected top-level key '{key}'"));
+        }
+        j.object(&mut |j, counter| {
+            let value = j.number()?;
+            if value < 0.0 || value.fract() != 0.0 || value > u64::MAX as f64 {
+                return Err(format!("counter '{counter}' is not a u64: {value}"));
+            }
+            report.insert(counter.to_string(), value as u64);
+            Ok(())
+        })
+    })?;
+    Ok(report)
+}
+
+/// The registry-counter gate: message-ledger counters may not *grow*
+/// beyond `max_ratio` times the baseline (more traffic for the same
+/// scenario is the regression; less is an improvement), and no baseline
+/// counter may disappear. Timing-valued counters (`wall_nanos`) and
+/// in-flight gauges are skipped — they vary run to run by construction.
+/// Returns the list of failures (empty = gate passes).
+#[must_use]
+pub fn compare_registry(
+    baseline: &RegistryReport,
+    current: &RegistryReport,
+    max_ratio: f64,
+) -> Vec<String> {
+    const UNGATED: &[&str] = &["wall_nanos", "undelivered", "max_queue_depth", "virtual_time"];
+    let mut failures = Vec::new();
+    for (name, &base) in baseline {
+        if UNGATED.contains(&name.as_str()) {
+            continue;
+        }
+        let Some(&cur) = current.get(name) else {
+            failures.push(format!("{name}: present in baseline but missing from current run"));
+            continue;
+        };
+        if base == 0 {
+            continue; // a zero baseline cannot anchor a ratio
+        }
+        let ratio = cur as f64 / base as f64;
+        if ratio > max_ratio {
+            failures.push(format!("{name}: {base} → {cur} ({ratio:.2}x, limit {max_ratio}x)"));
+        }
+    }
+    failures
+}
+
 /// The median of a sample (mean of the middle pair for even sizes).
 ///
 /// # Panics
@@ -289,5 +359,52 @@ mod tests {
     fn median_of_even_and_odd_sets() {
         assert_eq!(median(vec![1.0, 3.0, 2.0]), 2.0);
         assert_eq!(median(vec![1.0, 2.0, 3.0, 4.0]), 2.5);
+    }
+
+    #[test]
+    fn parses_the_registry_schema() {
+        let report = parse_registry_report(
+            r#"{ "registry": { "sent": 120, "delivered": 118, "rounds_fired": 12 } }"#,
+        )
+        .unwrap();
+        assert_eq!(report.len(), 3);
+        assert_eq!(report["sent"], 120);
+        assert_eq!(report["rounds_fired"], 12);
+    }
+
+    #[test]
+    fn rejects_malformed_registry_reports() {
+        assert!(parse_registry_report(r#"{"kernels": {}}"#).is_err());
+        assert!(parse_registry_report(r#"{"registry": {"sent": -1}}"#).is_err());
+        assert!(parse_registry_report(r#"{"registry": {"sent": 1.5}}"#).is_err());
+        assert!(parse_registry_report(r#"{"registry": {}}"#).unwrap().is_empty());
+    }
+
+    fn registry(entries: &[(&str, u64)]) -> RegistryReport {
+        entries.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn registry_gate_flags_growth_and_missing_counters() {
+        let base = registry(&[("sent", 100), ("delivered", 98), ("wall_nanos", 5)]);
+        let ok = registry(&[("sent", 110), ("delivered", 98), ("wall_nanos", 900)]);
+        assert!(compare_registry(&base, &ok, 1.5).is_empty(), "10% growth under a 1.5x limit");
+
+        let grown = registry(&[("sent", 300), ("delivered", 98), ("wall_nanos", 5)]);
+        let failures = compare_registry(&base, &grown, 1.5);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].starts_with("sent:"));
+
+        let missing = registry(&[("sent", 100)]);
+        let failures = compare_registry(&base, &missing, 1.5);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("missing"));
+    }
+
+    #[test]
+    fn registry_gate_ignores_timing_counters_and_zero_baselines() {
+        let base = registry(&[("dropped", 0), ("wall_nanos", 10), ("undelivered", 1)]);
+        let cur = registry(&[("dropped", 50), ("wall_nanos", 10_000), ("undelivered", 40)]);
+        assert!(compare_registry(&base, &cur, 1.1).is_empty());
     }
 }

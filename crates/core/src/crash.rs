@@ -270,6 +270,10 @@ impl Process for CrashNode {
         }
         self.record(msg.round, stored, msg.value, ctx);
     }
+
+    fn classify(_msg: &CrashMsg) -> dbac_sim::stats::MsgClass {
+        dbac_sim::stats::MsgClass::Crash
+    }
 }
 
 impl std::fmt::Debug for CrashNode {
@@ -324,92 +328,10 @@ impl CrashAfter {
     }
 }
 
-/// Outcome of a crash-consensus run.
-#[derive(Clone, Debug)]
-pub struct CrashOutcome {
-    /// Per node: decided output (`None` for crashed nodes).
-    pub outputs: Vec<Option<f64>>,
-    /// The non-crashed node set.
-    pub honest: NodeSet,
-    /// ε of the run.
-    pub epsilon: f64,
-    /// Hull of the honest inputs.
-    pub honest_input_range: (f64, f64),
-}
-
-impl CrashOutcome {
-    /// All honest nodes decided within ε.
-    #[must_use]
-    pub fn converged(&self) -> bool {
-        let outs: Vec<f64> = self.honest.iter().filter_map(|v| self.outputs[v.index()]).collect();
-        if outs.len() < self.honest.len() {
-            return false;
-        }
-        let hi = outs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let lo = outs.iter().cloned().fold(f64::INFINITY, f64::min);
-        hi - lo < self.epsilon
-    }
-
-    /// All decided outputs lie within the honest input hull.
-    #[must_use]
-    pub fn valid(&self) -> bool {
-        let (lo, hi) = self.honest_input_range;
-        self.honest
-            .iter()
-            .filter_map(|v| self.outputs[v.index()])
-            .all(|v| v >= lo - 1e-12 && v <= hi + 1e-12)
-    }
-}
-
-/// Runs the crash-tolerant protocol; `crashed` maps nodes to the number of
-/// sends they perform before dying (0 = crashed from the start).
-///
-/// # Errors
-///
-/// Propagates configuration, topology and runtime errors.
-#[deprecated(
-    since = "0.1.0",
-    note = "use scenario::Scenario with the CrashTwoReach protocol and FaultKind::CrashAfter"
-)]
-pub fn run_crash_consensus(
-    graph: Digraph,
-    f: usize,
-    inputs: &[f64],
-    epsilon: f64,
-    crashed: &[(NodeId, usize)],
-    seed: u64,
-) -> Result<CrashOutcome, RunError> {
-    use crate::scenario::{CrashTwoReach, FaultKind, Scenario, SchedulerSpec};
-    use std::collections::BTreeMap;
-    // The a-priori range must cover every potential input, including the
-    // crashed nodes' (they are honest until they crash).
-    let range = inputs
-        .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
-    // Historical behaviour: a node listed twice got its actor overwritten,
-    // so the last entry won. The scenario builder rejects duplicates; fold
-    // them here to keep published call sites running.
-    let crashed: BTreeMap<NodeId, usize> = crashed.iter().copied().collect();
-    let out = Scenario::builder(graph, f)
-        .inputs(inputs.to_vec())
-        .epsilon(epsilon)
-        .range(range)
-        .faults(crashed.iter().map(|(&v, &sends)| (v, FaultKind::CrashAfter { sends })))
-        .scheduler(SchedulerSpec::legacy_random(seed))
-        .protocol(CrashTwoReach::default())
-        .run()?;
-    Ok(CrashOutcome {
-        outputs: out.outputs,
-        honest: out.honest,
-        epsilon,
-        honest_input_range: out.honest_input_range,
-    })
-}
-
 #[cfg(test)]
-#[allow(deprecated)] // exercises the legacy shim on top of the scenario API
 mod tests {
     use super::*;
+    use crate::scenario::{CrashTwoReach, FaultKind, Outcome, Scenario, SchedulerSpec};
     use dbac_conditions::kreach::two_reach;
     use dbac_graph::generators;
     use dbac_graph::Path;
@@ -418,10 +340,33 @@ mod tests {
         NodeId::new(i)
     }
 
+    /// The historical crash-consensus shape on the scenario surface: the
+    /// a-priori range covers every input (crashed nodes are honest until
+    /// they die), `crashed` maps nodes to their send budget.
+    fn run_crash(
+        graph: Digraph,
+        f: usize,
+        inputs: &[f64],
+        epsilon: f64,
+        crashed: &[(NodeId, usize)],
+        seed: u64,
+    ) -> Result<Outcome, RunError> {
+        let range = inputs
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        Scenario::builder(graph, f)
+            .inputs(inputs.to_vec())
+            .epsilon(epsilon)
+            .range(range)
+            .faults(crashed.iter().map(|&(v, sends)| (v, FaultKind::CrashAfter { sends })))
+            .scheduler(SchedulerSpec::legacy_random(seed))
+            .protocol(CrashTwoReach::default())
+            .run()
+    }
+
     #[test]
     fn all_honest_clique_converges() {
-        let out =
-            run_crash_consensus(generators::clique(3), 1, &[0.0, 6.0, 3.0], 0.5, &[], 1).unwrap();
+        let out = run_crash(generators::clique(3), 1, &[0.0, 6.0, 3.0], 0.5, &[], 1).unwrap();
         assert!(out.converged(), "{:?}", out.outputs);
         assert!(out.valid());
     }
@@ -431,7 +376,7 @@ mod tests {
         // K3 satisfies 2-reach for f = 1 (n > 2f).
         let g = generators::clique(3);
         assert!(two_reach(&g, 1).holds());
-        let out = run_crash_consensus(g, 1, &[0.0, 6.0, 100.0], 0.5, &[(id(2), 0)], 7).unwrap();
+        let out = run_crash(g, 1, &[0.0, 6.0, 100.0], 0.5, &[(id(2), 0)], 7).unwrap();
         assert!(out.converged(), "{:?}", out.outputs);
         assert!(out.valid());
         assert!(out.outputs[2].is_none());
@@ -440,7 +385,7 @@ mod tests {
     #[test]
     fn tolerates_mid_protocol_crash() {
         for budget in [1, 3, 10, 50] {
-            let out = run_crash_consensus(
+            let out = run_crash(
                 generators::clique(4),
                 1,
                 &[0.0, 8.0, 4.0, 2.0],
@@ -460,7 +405,7 @@ mod tests {
         let g = generators::figure_1b_small();
         assert!(two_reach(&g, 1).holds());
         let inputs: Vec<f64> = (0..8).map(|i| i as f64).collect();
-        let out = run_crash_consensus(g, 1, &inputs, 0.5, &[(id(5), 4)], 3).unwrap();
+        let out = run_crash(g, 1, &inputs, 0.5, &[(id(5), 4)], 3).unwrap();
         assert!(out.converged(), "{:?}", out.outputs);
         assert!(out.valid());
     }
@@ -562,14 +507,7 @@ mod tests {
 
     #[test]
     fn too_many_crashes_rejected() {
-        let err = run_crash_consensus(
-            generators::clique(3),
-            1,
-            &[0.0; 3],
-            0.5,
-            &[(id(0), 0), (id(1), 0)],
-            0,
-        );
+        let err = run_crash(generators::clique(3), 1, &[0.0; 3], 0.5, &[(id(0), 0), (id(1), 0)], 0);
         assert!(matches!(err, Err(RunError::TooManyFaults { .. })));
     }
 }

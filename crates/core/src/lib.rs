@@ -20,9 +20,8 @@
 //!   (Table 2's other asynchronous cell).
 //! * [`scenario`] — the unified **Scenario → Outcome** experiment surface:
 //!   one builder over every protocol and runtime, plus the dimensional
-//!   [`scenario::sweep`] experiment-plan layer with seed-batch reduction.
-//! * [`run`] — the deprecated pre-scenario entry points, kept as thin
-//!   shims delegating to [`scenario`].
+//!   [`scenario::sweep`] experiment-plan layer with seed-batch reduction,
+//!   and the live [`scenario::StatsRegistry`] observability plane.
 //!
 //! # Example
 //!
@@ -56,7 +55,6 @@ pub mod message;
 pub mod message_set;
 pub mod node;
 pub mod precompute;
-pub mod run;
 pub mod scenario;
 pub mod wire;
 pub mod witness;
@@ -71,12 +69,6 @@ pub use message_set::{CompletePayload, MessageSet};
 pub use node::HonestNode;
 pub use precompute::Topology;
 pub use scenario::{
-    ByzantineWitness, CrashTwoReach, FaultKind, Outcome, Protocol, Runtime, Scenario, SchedulerSpec,
+    ByzantineWitness, CrashTwoReach, FaultKind, Outcome, Protocol, Runtime, Scenario,
+    SchedulerSpec, StatsRegistry, StatsSnapshot,
 };
-
-// Legacy root paths: published call sites used `dbac_core::RunConfig` and
-// `dbac_core::run_byzantine_consensus` — keep them resolving (deprecation
-// fires at the use site, not at this re-export).
-#[allow(deprecated)]
-pub use run::run_byzantine_consensus;
-pub use run::{RunConfig, RunOutcome};

@@ -10,6 +10,7 @@ use crate::precompute::Topology;
 use crate::witness::{NodePlan, RoundAction, RoundCore, WitnessScratch};
 use dbac_graph::{NodeId, NodeSet, PathId};
 use dbac_sim::process::{Context, Process};
+use dbac_sim::stats::{MsgClass, StatsHandle};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
@@ -55,6 +56,9 @@ pub struct HonestNode {
     scratch: WitnessScratch,
     output: Option<f64>,
     stats: NodeStats,
+    /// Live-registry handle: protocol progress (rounds, MC firings,
+    /// witness completions, FRA marks) is reported here as it happens.
+    live: Option<StatsHandle>,
 }
 
 impl HonestNode {
@@ -77,6 +81,35 @@ impl HonestNode {
             scratch: WitnessScratch::new(),
             output: None,
             stats: NodeStats::default(),
+            live: None,
+        }
+    }
+
+    /// Attaches a live-registry handle; the node reports its protocol
+    /// progress counters (rounds fired, MC firings, witness completions,
+    /// FRA marks) through it. One handle per node — the handle's shard
+    /// is written only from the thread running this node.
+    #[must_use]
+    pub fn with_stats(mut self, handle: StatsHandle) -> Self {
+        self.live = Some(handle);
+        self
+    }
+
+    /// Drains the scratch-accumulated witness counters into the live
+    /// handle. Called after every externally-driven activation.
+    fn drain_live(&mut self) {
+        let Some(live) = &self.live else {
+            self.scratch.fra_marks = 0;
+            self.scratch.witness_completions = 0;
+            return;
+        };
+        if self.scratch.fra_marks > 0 {
+            live.add_fra_marks(self.scratch.fra_marks);
+            self.scratch.fra_marks = 0;
+        }
+        if self.scratch.witness_completions > 0 {
+            live.add_witness_completions(self.scratch.witness_completions);
+            self.scratch.witness_completions = 0;
         }
     }
 
@@ -149,6 +182,9 @@ impl HonestNode {
         while let Some((r, action)) = queue.pop_front() {
             match action {
                 RoundAction::FloodComplete { guess, payload } => {
+                    if let Some(live) = &self.live {
+                        live.record_mc_firing();
+                    }
                     self.fifo_counter += 1;
                     let seq = self.fifo_counter;
                     for (to, msg) in
@@ -176,6 +212,9 @@ impl HonestNode {
                     queue.extend(acts.into_iter().map(|a| (r, a)));
                 }
                 RoundAction::Advance { guess, outcome } => {
+                    if let Some(live) = &self.live {
+                        live.record_round_fired();
+                    }
                     debug_assert_eq!(self.x.len(), r as usize + 1, "rounds advance in order");
                     self.x.push(outcome.value);
                     self.fired_guesses.push(guess);
@@ -297,6 +336,7 @@ impl Process for HonestNode {
         }
         let actions = self.begin_round(0, ctx);
         self.execute(ctx, 0, actions);
+        self.drain_live();
     }
 
     fn on_message(&mut self, ctx: &mut Context<ProtocolMsg>, from: NodeId, msg: ProtocolMsg) {
@@ -307,6 +347,14 @@ impl Process for HonestNode {
             ProtocolMsg::Complete { round, suspects, payload, path, seq } => {
                 self.on_complete(ctx, from, round, suspects, payload, path, seq);
             }
+        }
+        self.drain_live();
+    }
+
+    fn classify(msg: &ProtocolMsg) -> MsgClass {
+        match msg {
+            ProtocolMsg::Flood { .. } => MsgClass::Flood,
+            ProtocolMsg::Complete { .. } => MsgClass::Complete,
         }
     }
 }

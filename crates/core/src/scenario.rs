@@ -66,7 +66,7 @@
 //!     .link_faults(plan)
 //!     .run()
 //!     .expect("chaos is data, not an error");
-//! assert!(out.sim_stats.messages_dropped > 0, "the lossy links bit");
+//! assert!(out.sim_stats.messages_dropped() > 0, "the lossy links bit");
 //! assert!(out.valid(), "deciders never leave the honest-input hull");
 //! ```
 //!
@@ -96,7 +96,7 @@
 //! | Serialization | none | none | length-prefixed binary codec ([`WireMessage`]) |
 //! | Determinism | bit-for-bit from the seed | schedule-dependent | schedule-dependent |
 //! | Non-completion | quiescence, [`Outcome::all_decided`] | watchdog → [`Outcome::incomplete`] | watchdog → [`Outcome::incomplete`] |
-//! | Extra counters | `final_time` | — | [`SimStats::messages_rejected`] |
+//! | Stats coverage ([`Outcome::sim_stats`]) | transport + virtual time + wall clock | transport + wall clock | transport + wall clock + rejected frames |
 //!
 //! **Codec wire format.** Each frame is `len:u32le ‖ body` with `len`
 //! capped at 1 MiB; the body is one hand-rolled little-endian message
@@ -108,7 +108,8 @@
 //! adversarial bytes produce typed [`WireError`]s, never panics.
 //!
 //! **Degradation semantics.** A frame that fails to decode is counted in
-//! [`SimStats::messages_rejected`] and skipped; a framing-level error
+//! the `rejected` transport bucket of [`Outcome::sim_stats`] and skipped;
+//! a framing-level error
 //! (oversize length prefix, mid-frame truncation) closes that one
 //! connection; a node left behind — partitioned, starved, or panicked —
 //! lands in [`Outcome::incomplete`] with the same typed
@@ -118,6 +119,46 @@
 //! At `f = 0` the honest decisions are interleaving-independent, so all
 //! three runtimes must produce bit-identical outputs and histories —
 //! `tests/cross_runtime.rs` enforces exactly that three-way gate.
+//!
+//! # Observe a live run
+//!
+//! Every run feeds a contention-free [`StatsRegistry`]: per-thread
+//! sharded counters covering transport traffic **by message class**
+//! ([`MsgClass`]), protocol progress (rounds, witness completions,
+//! Maximal-Consistency firings, FRA marks) and per-node queue/done
+//! gauges. By default the registry is private to the run and its final
+//! merged [`StatsSnapshot`] lands in [`Outcome::sim_stats`]. Attach your
+//! own registry with [`ScenarioBuilder::stats`] to watch the same
+//! counters *while the run is in flight* — snapshots are safe from any
+//! thread, never block a writer, and never regress between polls:
+//!
+//! ```
+//! use dbac_core::scenario::{Scenario, StatsRegistry};
+//! use dbac_graph::generators;
+//! use std::sync::Arc;
+//!
+//! let registry = StatsRegistry::new(4);
+//! let out = Scenario::builder(generators::clique(4), 0)
+//!     .inputs(vec![0.0, 10.0, 4.0, 6.0])
+//!     .epsilon(0.5)
+//!     .stats(Arc::clone(&registry))
+//!     .run()
+//!     .expect("clique converges");
+//! // Any thread could have polled `registry.snapshot()` during the run
+//! // (the `dbacd` daemon serves exactly that over a socket). After the
+//! // run, the registry and the outcome agree bit-for-bit.
+//! assert_eq!(registry.snapshot(), out.sim_stats);
+//! assert!(out.sim_stats.messages_delivered() > 0);
+//! assert!(out.sim_stats.protocol.rounds_fired > 0);
+//! ```
+//!
+//! Quantities a runtime genuinely cannot measure are typed
+//! [`Coverage::NotObservable`] markers, never silent zeros: virtual time
+//! exists only under [`Runtime::Sim`], while wall-clock elapsed is
+//! measured everywhere. The `dbacd` binary (dbac-bench) wraps this plane
+//! in an operator daemon: it runs a scenario in a background thread and
+//! answers `stats` / `nodes` / `progress` requests over line-delimited
+//! JSON while the run makes progress.
 //!
 //! # Design notes
 //!
@@ -148,7 +189,7 @@ use dbac_graph::{Digraph, NodeId, NodeSet, PathBudget};
 use dbac_sim::net::{Net, NetConfig};
 use dbac_sim::process::{Adversary, Process};
 use dbac_sim::scheduler::{EdgeDelay, FixedDelay, RandomDelay};
-use dbac_sim::sim::{SimStats, Simulation};
+use dbac_sim::sim::Simulation;
 use dbac_sim::threaded::{Threaded, ThreadedConfig};
 use dbac_sim::{DeliveryPolicy, VirtualTime};
 use std::sync::Arc;
@@ -157,6 +198,10 @@ use std::time::Duration;
 pub use dbac_sim::chaos::{LinkFault, LinkFaultPlan};
 pub use dbac_sim::net::codec::{WireError, WireMessage};
 pub use dbac_sim::net::connection::TransportKind;
+pub use dbac_sim::stats::{
+    ClassCounters, Coverage, MsgClass, NodeCounters, ProtocolCounters, StatsHandle, StatsRegistry,
+    StatsSnapshot, TransportSnapshot,
+};
 pub use dbac_sim::threaded::{Incomplete, IncompleteReason};
 
 // ---------------------------------------------------------------------------
@@ -209,11 +254,10 @@ impl SchedulerSpec {
         }
     }
 
-    /// The historical default schedule of the pre-scenario entry points
-    /// (`run_crash_consensus`, `run_aad04`): seeded uniform delays in
-    /// `[1, 15]`. One named constructor so the deprecated shims, the
-    /// experiment bins and the tests that mirror legacy outputs all agree
-    /// on the same numbers.
+    /// The historical default schedule of the retired pre-scenario entry
+    /// points: seeded uniform delays in `[1, 15]`. One named constructor
+    /// so the experiment bins and the tests that mirror legacy outputs
+    /// all agree on the same numbers.
     #[must_use]
     pub fn legacy_random(seed: u64) -> Self {
         SchedulerSpec::Random { seed, min: 1, max: 15 }
@@ -240,10 +284,12 @@ pub enum Runtime {
     /// The thread-per-node runtime: genuine OS-level concurrency over
     /// crossbeam channels. Delivery timing comes from real scheduling (the
     /// [`SchedulerSpec`] seed only drives send jitter); transport counters
-    /// in [`Outcome::sim_stats`] come from the send-path interposer, and
-    /// only `final_time` stays zero (wall-clock runs have no virtual
-    /// clock). Nodes that miss the watchdog deadline degrade into
-    /// [`Outcome::incomplete`] entries instead of failing the run.
+    /// in [`Outcome::sim_stats`] come from the per-thread stats shards of
+    /// the send-path interposer and the node event loops. Virtual time is
+    /// reported as [`Coverage::NotObservable`] — wall-clock runs have no
+    /// virtual clock; wall-clock elapsed is measured instead. Nodes that
+    /// miss the watchdog deadline degrade into [`Outcome::incomplete`]
+    /// entries instead of failing the run.
     Threaded {
         /// Wall-clock watchdog deadline for the run.
         timeout: Duration,
@@ -257,8 +303,8 @@ pub enum Runtime {
     /// environment can bind a socket, byte-real in-process pipes
     /// otherwise. Degradation semantics are shared with
     /// [`Runtime::Threaded`]: stragglers land in [`Outcome::incomplete`],
-    /// and decode-rejected frames are counted in
-    /// [`SimStats::messages_rejected`]. See the module-level
+    /// and decode-rejected frames are counted in the `rejected` transport
+    /// bucket of [`Outcome::sim_stats`]. See the module-level
     /// ["Run over the network"](self#run-over-the-network) section.
     Net {
         /// Wall-clock watchdog deadline for the run.
@@ -449,6 +495,7 @@ pub struct Scenario {
     rounds_override: Option<u32>,
     max_events: u64,
     record_trace: bool,
+    stats: Option<Arc<StatsRegistry>>,
     protocol: Arc<dyn Protocol>,
 }
 
@@ -488,6 +535,7 @@ impl Scenario {
             rounds_override: None,
             max_events: 50_000_000,
             record_trace: false,
+            stats: None,
             protocol: None,
         }
     }
@@ -579,6 +627,31 @@ impl Scenario {
         self.record_trace
     }
 
+    /// The externally attached live stats registry, if any.
+    #[must_use]
+    pub fn stats_registry(&self) -> Option<&Arc<StatsRegistry>> {
+        self.stats.as_ref()
+    }
+
+    /// Returns the scenario with `registry` attached, replacing any
+    /// previously attached registry — the post-build counterpart of
+    /// [`ScenarioBuilder::stats`], for callers (like the `dbacd` daemon)
+    /// that receive a ready-built scenario and still need a shared
+    /// observation handle.
+    #[must_use]
+    pub fn with_stats(mut self, registry: Arc<StatsRegistry>) -> Self {
+        self.stats = Some(registry);
+        self
+    }
+
+    /// The registry this scenario's run will feed: the attached one, or a
+    /// fresh private registry. Protocol implementations call this once per
+    /// run, register per-node handles on it, and hand it to [`drive`].
+    #[must_use]
+    pub fn resolve_stats(&self) -> Arc<StatsRegistry> {
+        self.stats.clone().unwrap_or_else(|| StatsRegistry::new(self.graph.node_count()))
+    }
+
     /// The selected protocol.
     #[must_use]
     pub fn protocol(&self) -> &dyn Protocol {
@@ -633,6 +706,7 @@ pub struct ScenarioBuilder {
     rounds_override: Option<u32>,
     max_events: u64,
     record_trace: bool,
+    stats: Option<Arc<StatsRegistry>>,
     protocol: Option<Arc<dyn Protocol>>,
 }
 
@@ -757,6 +831,18 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Attaches a live stats registry: the run feeds this registry
+    /// instead of a private one, so any thread holding the same `Arc` can
+    /// poll [`StatsRegistry::snapshot`] while the run is in flight (see
+    /// the module-level ["Observe a live run"](self#observe-a-live-run)
+    /// section). The registry must cover at least as many nodes as the
+    /// graph; after the run, its snapshot equals [`Outcome::sim_stats`].
+    #[must_use]
+    pub fn stats(mut self, registry: Arc<StatsRegistry>) -> Self {
+        self.stats = Some(registry);
+        self
+    }
+
     /// Selects the protocol (default: [`ByzantineWitness`]).
     #[must_use]
     pub fn protocol(mut self, protocol: impl Protocol + 'static) -> Self {
@@ -875,6 +961,7 @@ impl ScenarioBuilder {
             rounds_override: self.rounds_override,
             max_events: self.max_events,
             record_trace: self.record_trace,
+            stats: self.stats,
             protocol: self.protocol.unwrap_or_else(|| Arc::new(ByzantineWitness::default())),
         })
     }
@@ -931,10 +1018,15 @@ pub struct Outcome {
     pub honest_input_range: (f64, f64),
     /// Rounds each node was configured to execute.
     pub rounds: u32,
-    /// Runtime counters. The simulator fills every field; the threaded
-    /// runtime fills the transport counters from its send-path interposer
-    /// (only `final_time` stays zero); synchronous protocols zero them.
-    pub sim_stats: SimStats,
+    /// The merged statistics of the run: the final snapshot of the run's
+    /// [`StatsRegistry`]. One schema on every runtime — transport
+    /// counters by [`MsgClass`], protocol progress counters, per-node
+    /// queue/done gauges — with quantities a runtime genuinely cannot
+    /// measure reported as typed [`Coverage::NotObservable`] markers
+    /// instead of silent zeros. When the scenario attached a registry via
+    /// [`ScenarioBuilder::stats`], this equals that registry's post-run
+    /// snapshot bit-for-bit.
+    pub sim_stats: StatsSnapshot,
     /// Honest nodes the threaded runtime's watchdog gave up on, each with
     /// a typed reason (timeout, panic, starvation). Always empty under
     /// [`Runtime::Sim`], which runs to quiescence instead. Survivors'
@@ -1028,8 +1120,8 @@ pub type Adversaries<M> = Vec<(NodeId, Box<dyn Adversary<M> + Send>)>;
 /// gracefully-degraded threaded run.
 #[derive(Clone, Debug, Default)]
 pub struct DriveReport {
-    /// Runtime counters (transport counters under both runtimes).
-    pub stats: SimStats,
+    /// The final merged snapshot of the run's [`StatsRegistry`].
+    pub stats: StatsSnapshot,
     /// Recorded delivery trace ([`Runtime::Sim`] only, when requested).
     pub trace: Option<TraceSummary>,
     /// Honest nodes that failed to complete, with typed reasons
@@ -1039,10 +1131,15 @@ pub struct DriveReport {
 
 /// Drives a fully-assigned process fleet on the scenario's runtime — the
 /// single place in the workspace that constructs [`Simulation`] or
-/// [`Threaded`]. Protocol implementations hand it one actor per node
-/// (honest processes plus boxed adversaries covering every fault slot) and
-/// an `extract` callback invoked with each surviving honest process after
-/// the run.
+/// [`Threaded`]. Protocol implementations hand it the run's stats
+/// registry (from [`Scenario::resolve_stats`], so an externally attached
+/// registry is honored), one actor per node (honest processes plus boxed
+/// adversaries covering every fault slot) and an `extract` callback
+/// invoked with each surviving honest process after the run.
+///
+/// `drive` attaches the registry to the runtime, freezes the wall clock
+/// when the run lands, and returns the final merged snapshot in
+/// [`DriveReport::stats`].
 ///
 /// `done` is the per-node termination predicate the threaded and network
 /// runtimes poll (the simulator instead runs to quiescence).
@@ -1062,6 +1159,7 @@ pub struct DriveReport {
 /// network-transport setup failure.
 pub fn drive<P>(
     scenario: &Scenario,
+    registry: &Arc<StatsRegistry>,
     honest: Vec<(NodeId, P)>,
     byzantine: Adversaries<P::Message>,
     done: fn(&P) -> bool,
@@ -1071,11 +1169,12 @@ where
     P: Process + Send + 'static,
     P::Message: WireMessage,
 {
-    match scenario.runtime {
+    let (trace, incomplete) = match scenario.runtime {
         Runtime::Sim => {
             let mut sim: Simulation<P> =
                 Simulation::new(Arc::clone(&scenario.graph), scenario.scheduler.build());
             sim.set_max_events(scenario.max_events);
+            sim.set_stats(Arc::clone(registry));
             if scenario.record_trace {
                 sim.record_trace();
             }
@@ -1090,9 +1189,16 @@ where
             for (v, a) in byzantine {
                 sim.set_byzantine(v, a);
             }
-            let stats = sim.run()?;
+            sim.run()?;
+            // The simulator has no in-loop done polling (it runs to
+            // quiescence), so the done gauges are settled here instead.
+            let gauge = registry.register();
             for v in honest_ids {
-                extract(v, sim.honest(v).expect("honest node present"));
+                let node = sim.honest(v).expect("honest node present");
+                if done(node) {
+                    gauge.mark_done(v.index());
+                }
+                extract(v, node);
             }
             let trace = sim.trace().map(|t| TraceSummary {
                 deliveries: t
@@ -1101,10 +1207,11 @@ where
                     .map(|e| Delivery { at: e.at, from: e.from, to: e.to })
                     .collect(),
             });
-            Ok(DriveReport { stats, trace, incomplete: Vec::new() })
+            (trace, Vec::new())
         }
         Runtime::Threaded { timeout, jitter_micros } => {
             let mut runtime: Threaded<P> = Threaded::new(Arc::clone(&scenario.graph));
+            runtime.set_stats(Arc::clone(registry));
             for (v, p) in honest {
                 runtime.set_honest(v, p);
             }
@@ -1121,10 +1228,11 @@ where
                     extract(NodeId::new(i), node);
                 }
             }
-            Ok(DriveReport { stats: report.stats, trace: None, incomplete: report.incomplete })
+            (None, report.incomplete)
         }
         Runtime::Net { timeout } => {
             let mut runtime: Net<P> = Net::new(Arc::clone(&scenario.graph));
+            runtime.set_stats(Arc::clone(registry));
             for (v, p) in honest {
                 runtime.set_honest(v, p);
             }
@@ -1141,9 +1249,11 @@ where
                     extract(NodeId::new(i), node);
                 }
             }
-            Ok(DriveReport { stats: report.stats, trace: None, incomplete: report.incomplete })
+            (None, report.incomplete)
         }
-    }
+    };
+    registry.finalize_wall();
+    Ok(DriveReport { stats: registry.snapshot(), trace, incomplete })
 }
 
 // ---------------------------------------------------------------------------
@@ -1208,11 +1318,16 @@ impl Protocol for ByzantineWitness {
         if let Some(r) = scenario.rounds_override() {
             config = config.with_rounds(r);
         }
+        let registry = scenario.resolve_stats();
         let honest_set = scenario.honest_set();
         let honest: Vec<(NodeId, HonestNode)> = honest_set
             .iter()
             .map(|v| {
-                (v, HonestNode::new(Arc::clone(&topo), config, v, scenario.inputs()[v.index()]))
+                (
+                    v,
+                    HonestNode::new(Arc::clone(&topo), config, v, scenario.inputs()[v.index()])
+                        .with_stats(registry.register()),
+                )
             })
             .collect();
         let byzantine = scenario
@@ -1226,10 +1341,11 @@ impl Protocol for ByzantineWitness {
         let n = scenario.graph().node_count();
         let mut outputs = vec![None; n];
         let mut histories = vec![None; n];
-        let report = drive(scenario, honest, byzantine, HonestNode::is_done, &mut |v, node| {
-            outputs[v.index()] = node.output();
-            histories[v.index()] = Some(node.x_history().to_vec());
-        })?;
+        let report =
+            drive(scenario, &registry, honest, byzantine, HonestNode::is_done, &mut |v, node| {
+                outputs[v.index()] = node.output();
+                histories[v.index()] = Some(node.x_history().to_vec());
+            })?;
         Ok(Outcome {
             protocol: self.name(),
             outputs,
@@ -1297,6 +1413,7 @@ impl Protocol for CrashTwoReach {
             )
             .with_rounds(rounds)
         };
+        let registry = scenario.resolve_stats();
         let honest_set = scenario.honest_set();
         let honest: Vec<(NodeId, CrashNode)> =
             honest_set.iter().map(|v| (v, make_node(v))).collect();
@@ -1317,10 +1434,11 @@ impl Protocol for CrashTwoReach {
         let n = scenario.graph().node_count();
         let mut outputs = vec![None; n];
         let mut histories = vec![None; n];
-        let report = drive(scenario, honest, byzantine, CrashNode::is_done, &mut |v, node| {
-            outputs[v.index()] = node.output();
-            histories[v.index()] = Some(node.x_history().to_vec());
-        })?;
+        let report =
+            drive(scenario, &registry, honest, byzantine, CrashNode::is_done, &mut |v, node| {
+                outputs[v.index()] = node.output();
+                histories[v.index()] = Some(node.x_history().to_vec());
+            })?;
         Ok(Outcome {
             protocol: self.name(),
             outputs,
@@ -1416,6 +1534,47 @@ mod tests {
     }
 
     #[test]
+    fn bw_crash_fault_tolerated_on_k4() {
+        let out = Scenario::builder(generators::clique(4), 1)
+            .inputs(vec![0.0, 10.0, 2.0, 0.0])
+            .epsilon(1.0)
+            .fault(id(3), FaultKind::Crash)
+            .seed(3)
+            .run()
+            .unwrap();
+        assert!(out.converged(), "outputs {:?}", out.outputs);
+        assert!(out.valid());
+        assert!(out.outputs[3].is_none());
+    }
+
+    #[test]
+    fn bw_constant_liar_cannot_break_validity_on_k4() {
+        let out = Scenario::builder(generators::clique(4), 1)
+            .inputs(vec![2.0, 4.0, 6.0, 0.0])
+            .epsilon(0.5)
+            .fault(id(3), FaultKind::ConstantLiar { value: 1_000.0 })
+            .seed(17)
+            .run()
+            .unwrap();
+        assert!(out.converged(), "outputs {:?}", out.outputs);
+        assert!(out.valid(), "liar dragged outputs outside [2, 6]: {:?}", out.outputs);
+    }
+
+    #[test]
+    fn bw_spread_by_round_halves() {
+        let out = Scenario::builder(generators::clique(4), 1)
+            .inputs(vec![0.0, 16.0, 4.0, 12.0])
+            .epsilon(0.25)
+            .seed(23)
+            .run()
+            .unwrap();
+        let spreads = out.spread_by_round();
+        for w in spreads.windows(2) {
+            assert!(w[1] <= w[0] / 2.0 + 1e-12, "halving violated: {spreads:?}");
+        }
+    }
+
+    #[test]
     fn bw_rejects_inexpressible_faults() {
         let err = Scenario::builder(generators::clique(4), 1)
             .inputs(vec![0.0; 4])
@@ -1497,7 +1656,7 @@ mod tests {
             .run()
             .unwrap();
         let trace = out.trace.expect("requested");
-        assert_eq!(trace.deliveries.len() as u64, out.sim_stats.messages_delivered);
+        assert_eq!(trace.deliveries.len() as u64, out.sim_stats.messages_delivered());
     }
 
     #[test]
@@ -1594,7 +1753,7 @@ mod tests {
                 .protocol(ByzantineWitness::default())
                 .run()
                 .unwrap();
-        assert!(out.sim_stats.messages_dropped > 0);
+        assert!(out.sim_stats.messages_dropped() > 0);
         assert!(out.valid(), "deciders must stay in the honest hull");
         assert!(out.incomplete.is_empty(), "the simulator runs to quiescence");
         assert!(!out.degraded());
@@ -1621,7 +1780,11 @@ mod tests {
         let (a, b) = (run(), run());
         assert_eq!(a.outputs, b.outputs);
         assert_eq!(a.histories, b.histories);
-        assert_eq!(a.sim_stats, b.sim_stats);
+        // Everything but the wall clock replays bit-identically.
+        assert_eq!(a.sim_stats.transport, b.sim_stats.transport);
+        assert_eq!(a.sim_stats.protocol, b.sim_stats.protocol);
+        assert_eq!(a.sim_stats.nodes, b.sim_stats.nodes);
+        assert_eq!(a.sim_stats.virtual_time, b.sim_stats.virtual_time);
         assert_eq!(a.trace, b.trace);
     }
 }

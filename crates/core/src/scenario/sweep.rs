@@ -830,9 +830,9 @@ impl CellSummary {
             spread_by_round,
             rounds_to_epsilon,
             epsilon: out.epsilon,
-            messages_sent: out.sim_stats.messages_sent,
-            messages_delivered: out.sim_stats.messages_delivered,
-            messages_dropped: out.sim_stats.messages_dropped + out.sim_stats.messages_corrupted,
+            messages_sent: out.sim_stats.messages_sent(),
+            messages_delivered: out.sim_stats.messages_delivered(),
+            messages_dropped: out.sim_stats.messages_dropped() + out.sim_stats.messages_corrupted(),
             honest_messages: out.honest_messages,
             rounds: out.rounds,
         }

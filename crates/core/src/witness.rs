@@ -346,6 +346,12 @@ pub enum RoundAction {
 #[derive(Debug, Default)]
 pub struct WitnessScratch {
     columns: Vec<Vec<u64>>,
+    /// Fresh FRA `(path, fingerprint)` marks recorded since the owner
+    /// last drained this counter into its stats handle.
+    pub fra_marks: u64,
+    /// FIFO-Receive-All witnesses completed since the owner last
+    /// drained this counter into its stats handle.
+    pub witness_completions: u64,
 }
 
 impl WitnessScratch {
@@ -797,11 +803,13 @@ impl RoundCore {
                 continue; // duplicate (path, fingerprint): the bitmap is the dedup
             }
             progress.seen[w] |= bit;
+            scratch.fra_marks += 1;
             if progress.remaining > 0 {
                 progress.remaining -= 1;
                 if progress.remaining == 0 {
                     state.done = true;
                     thread.fra_remaining -= 1;
+                    scratch.witness_completions += 1;
                     for (_, fp) in state.by_fp.take_entries() {
                         scratch.recycle(fp.seen);
                     }

@@ -71,6 +71,7 @@ pub mod net;
 pub mod process;
 pub mod scheduler;
 pub mod sim;
+pub mod stats;
 pub mod threaded;
 pub mod time;
 pub mod trace;
@@ -83,5 +84,9 @@ pub use net::{Net, NetConfig};
 pub use process::{Adversary, Context, Process};
 pub use scheduler::DeliveryPolicy;
 pub use sim::{SimStats, Simulation};
+pub use stats::{
+    ClassCounters, Coverage, MsgClass, NodeCounters, ProtocolCounters, StatsHandle, StatsRegistry,
+    StatsSnapshot, TransportSnapshot,
+};
 pub use threaded::{Incomplete, IncompleteReason, ThreadedReport};
 pub use time::VirtualTime;

@@ -38,6 +38,7 @@ pub mod connection;
 use crate::chaos::{EdgeCounters, LinkDecision, LinkFaultPlan};
 use crate::error::SimError;
 use crate::process::{Adversary, Context, Process};
+use crate::stats::{MsgClass, StatsHandle, StatsRegistry};
 use crate::threaded::{await_completion, join_and_classify, ThreadedReport, Transport};
 use codec::{write_frame, FrameReader, WireMessage};
 use connection::{establish, Duplex, TransportKind};
@@ -82,6 +83,7 @@ pub struct Net<P: Process> {
     graph: Arc<Digraph>,
     actors: Vec<Option<Actor<P>>>,
     link_faults: Option<Arc<LinkFaultPlan>>,
+    registry: Option<Arc<StatsRegistry>>,
 }
 
 impl<P> Net<P>
@@ -93,7 +95,7 @@ where
     #[must_use]
     pub fn new(graph: Arc<Digraph>) -> Self {
         let n = graph.node_count();
-        Net { graph, actors: (0..n).map(|_| None).collect(), link_faults: None }
+        Net { graph, actors: (0..n).map(|_| None).collect(), link_faults: None, registry: None }
     }
 
     /// Assigns an honest process to `v`.
@@ -117,6 +119,18 @@ where
     /// function as the other runtimes).
     pub fn set_link_faults(&mut self, plan: LinkFaultPlan) -> &mut Self {
         self.link_faults = Some(Arc::new(plan));
+        self
+    }
+
+    /// Attaches a live stats registry: every node thread and every
+    /// connection reader thread registers its own shard. Node threads
+    /// mirror send/delivery counters (per message class via
+    /// [`Process::classify`]) plus the per-node gauges; reader threads
+    /// account undecodable frames as rejected.
+    pub fn set_stats(&mut self, registry: Arc<StatsRegistry>) -> &mut Self {
+        registry.note_transport_observed();
+        registry.note_nodes_observed();
+        self.registry = Some(registry);
         self
     }
 
@@ -185,8 +199,9 @@ where
             let inbox = inbox_tx[owner.index()].as_ref().expect("sender alive").clone();
             let stop = Arc::clone(&stop);
             let transport = Arc::clone(&transport);
+            let stats = self.registry.as_ref().map(|r| r.register());
             reader_handles.push(std::thread::spawn(move || {
-                pump_frames::<P::Message>(reader, from, &inbox, &stop, &transport);
+                pump_frames::<P::Message>(reader, from, &inbox, &stop, &transport, stats.as_ref());
             }));
         }
         // Reader threads hold the only inbox senders from here on, so a
@@ -205,6 +220,7 @@ where
             let done = Arc::clone(&done);
             let transport = Arc::clone(&transport);
             let plan = self.link_faults.clone();
+            let stats = self.registry.as_ref().map(|r| r.register());
 
             handles.push(std::thread::spawn(move || {
                 let mut actor = actor;
@@ -216,6 +232,10 @@ where
                 let mut dispatch = |ctx: &mut Context<P::Message>| {
                     for (to, msg) in ctx.take_outbox() {
                         transport.sent.fetch_add(1, Ordering::Relaxed);
+                        let class = P::classify(&msg);
+                        if let Some(h) = &stats {
+                            h.record_sent(class);
+                        }
                         let decision = match plan.as_deref() {
                             Some(p) => p.decide(me, to, edge_counters.next(me, to)),
                             None => LinkDecision::CLEAN,
@@ -227,6 +247,13 @@ where
                                 &transport.dropped
                             };
                             counter.fetch_add(1, Ordering::Relaxed);
+                            if let Some(h) = &stats {
+                                if decision.corrupted {
+                                    h.record_corrupted(class);
+                                } else {
+                                    h.record_dropped(class);
+                                }
+                            }
                             continue;
                         }
                         if decision.extra_delay > 0 {
@@ -236,8 +263,15 @@ where
                         let writer = writers[to.index()].as_mut().expect("edge has a connection");
                         for _ in 1..decision.copies {
                             transport.duplicated.fetch_add(1, Ordering::Relaxed);
+                            if let Some(h) = &stats {
+                                h.record_duplicated(class);
+                                h.record_enqueued(to.index());
+                            }
                             // Peer may already have shut down; ignore.
                             let _ = write_frame(&mut **writer, &body);
+                        }
+                        if let Some(h) = &stats {
+                            h.record_enqueued(to.index());
                         }
                         let _ = write_frame(&mut **writer, &body);
                     }
@@ -248,6 +282,9 @@ where
                             if done(p) {
                                 *reported = true;
                                 done_count.fetch_add(1, Ordering::SeqCst);
+                                if let Some(h) = &stats {
+                                    h.mark_done(me.index());
+                                }
                             }
                         }
                     }
@@ -266,6 +303,10 @@ where
                     match rx.recv_timeout(Duration::from_millis(1)) {
                         Ok((from, msg)) => {
                             transport.delivered.fetch_add(1, Ordering::Relaxed);
+                            if let Some(h) = &stats {
+                                h.record_delivered(P::classify(&msg));
+                                h.record_consumed(me.index());
+                            }
                             let mut ctx = Context::new(me, out);
                             match &mut actor {
                                 Actor::Honest(p) => p.on_message(&mut ctx, from, msg),
@@ -314,6 +355,7 @@ fn pump_frames<M: WireMessage>(
     inbox: &Inbox<M>,
     stop: &AtomicBool,
     transport: &Transport,
+    stats: Option<&StatsHandle>,
 ) {
     // Buffer socket reads so a burst of small frames costs one syscall,
     // not two per frame. `BufReader` passes the transport's `WouldBlock`
@@ -330,11 +372,19 @@ fn pump_frames<M: WireMessage>(
                 }
                 Err(_) => {
                     transport.rejected.fetch_add(1, Ordering::Relaxed);
+                    // A frame that fails to decode has no classifiable
+                    // payload; it lands in the `Other` bucket.
+                    if let Some(h) = stats {
+                        h.record_rejected(MsgClass::Other);
+                    }
                 }
             },
             Ok(None) => break,
             Err(_) => {
                 transport.rejected.fetch_add(1, Ordering::Relaxed);
+                if let Some(h) = stats {
+                    h.record_rejected(MsgClass::Other);
+                }
                 break;
             }
         }
@@ -501,7 +551,7 @@ mod tests {
         let (tx, rx) = unbounded();
         let stop = AtomicBool::new(false);
         let transport = Transport::default();
-        pump_frames::<u64>(Box::new(r), id(3), &tx, &stop, &transport);
+        pump_frames::<u64>(Box::new(r), id(3), &tx, &stop, &transport, None);
         let got: Vec<(NodeId, u64)> = rx.try_iter().collect();
         assert_eq!(got, vec![(id(3), 7), (id(3), 9)], "good frames flow past the bad one");
         assert_eq!(transport.rejected.load(Ordering::Relaxed), 1);
@@ -519,7 +569,7 @@ mod tests {
         let transport = Transport::default();
         // The writer stays alive: the pump must exit via the framing
         // error, not EOF — that is exactly the no-wedge guarantee.
-        pump_frames::<u64>(Box::new(r), id(0), &tx, &stop, &transport);
+        pump_frames::<u64>(Box::new(r), id(0), &tx, &stop, &transport, None);
         let got: Vec<(NodeId, u64)> = rx.try_iter().collect();
         assert_eq!(got, vec![(id(0), 1)], "frames before the error were delivered");
         assert_eq!(transport.rejected.load(Ordering::Relaxed), 1);
@@ -555,7 +605,7 @@ mod tests {
             let (tx, rx) = unbounded();
             let stop = AtomicBool::new(false);
             let transport = Transport::default();
-            pump_frames::<u64>(Box::new(r), id(1), &tx, &stop, &transport);
+            pump_frames::<u64>(Box::new(r), id(1), &tx, &stop, &transport, None);
             let delivered = rx.try_iter().count() as u64;
             let rejected = transport.rejected.load(Ordering::Relaxed);
             assert!(

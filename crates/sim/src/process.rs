@@ -1,6 +1,7 @@
 //! Node behaviours: honest [`Process`] state machines and Byzantine
 //! [`Adversary`] strategies, plus the [`Context`] through which both send.
 
+use crate::stats::MsgClass;
 use dbac_graph::{NodeId, NodeSet};
 
 /// An event-driven honest node, matching the paper's model: nodes react to
@@ -17,6 +18,16 @@ pub trait Process {
     /// Invoked on each delivered message. `from` is the authenticated
     /// sender — the actual tail of the edge the message arrived on.
     fn on_message(&mut self, ctx: &mut Context<Self::Message>, from: NodeId, msg: Self::Message);
+
+    /// Buckets a wire message for the live stats registry
+    /// ([`crate::stats::StatsRegistry`]). Runtimes call this at each
+    /// send/delivery so transport counters can be kept per message
+    /// class. The default lumps everything into [`MsgClass::Other`];
+    /// protocols override it to split their traffic.
+    #[must_use]
+    fn classify(_msg: &Self::Message) -> MsgClass {
+        MsgClass::Other
+    }
 }
 
 /// A Byzantine node. It sees exactly what an honest node would see, but may

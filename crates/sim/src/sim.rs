@@ -4,6 +4,7 @@ use crate::chaos::{EdgeCounters, LinkDecision, LinkFaultPlan};
 use crate::error::SimError;
 use crate::process::{Adversary, Context, Process};
 use crate::scheduler::DeliveryPolicy;
+use crate::stats::{StatsHandle, StatsRegistry};
 use crate::time::VirtualTime;
 use crate::trace::Trace;
 use dbac_graph::{Digraph, NodeId};
@@ -66,6 +67,7 @@ pub struct Simulation<P: Process> {
     horizon: VirtualTime,
     trace: Option<Trace<P::Message>>,
     chaos: Option<(LinkFaultPlan, EdgeCounters)>,
+    registry: Option<(Arc<StatsRegistry>, StatsHandle)>,
 }
 
 struct QueuedEvent<M> {
@@ -110,6 +112,7 @@ impl<P: Process> Simulation<P> {
             horizon: VirtualTime::FAR_FUTURE,
             trace: None,
             chaos: None,
+            registry: None,
         }
     }
 
@@ -149,6 +152,19 @@ impl<P: Process> Simulation<P> {
     /// before it reaches the delivery queue.
     pub fn set_link_faults(&mut self, plan: LinkFaultPlan) -> &mut Self {
         self.chaos = Some((plan, EdgeCounters::new()));
+        self
+    }
+
+    /// Attaches a live stats registry. The single-threaded event loop
+    /// registers one shard and mirrors every [`SimStats`] increment into
+    /// it (bucketed per message class via [`Process::classify`]), so the
+    /// registry's merged snapshot agrees with the returned `SimStats`
+    /// totals message-for-message.
+    pub fn set_stats(&mut self, registry: Arc<StatsRegistry>) -> &mut Self {
+        registry.note_transport_observed();
+        registry.note_nodes_observed();
+        let handle = registry.register();
+        self.registry = Some((registry, handle));
         self
     }
 
@@ -228,6 +244,11 @@ impl<P: Process> Simulation<P> {
             self.now = ev.at;
             self.stats.messages_delivered += 1;
             self.stats.final_time = ev.at;
+            if let Some((registry, handle)) = self.registry.as_ref() {
+                handle.record_delivered(P::classify(&ev.msg));
+                handle.record_consumed(ev.to.index());
+                registry.record_virtual_time(ev.at.ticks());
+            }
             if let Some(trace) = self.trace.as_mut() {
                 trace.record(ev.at, ev.from, ev.to, ev.msg.clone());
             }
@@ -246,6 +267,10 @@ impl<P: Process> Simulation<P> {
     fn dispatch(&mut self, from: NodeId, ctx: &mut Context<P::Message>) {
         for (to, msg) in ctx.take_outbox() {
             self.stats.messages_sent += 1;
+            let class = P::classify(&msg);
+            if let Some((_, handle)) = self.registry.as_ref() {
+                handle.record_sent(class);
+            }
             let decision = match self.chaos.as_mut() {
                 Some((plan, counters)) => {
                     let k = counters.next(from, to);
@@ -262,7 +287,22 @@ impl<P: Process> Simulation<P> {
                 } else {
                     self.stats.messages_dropped += 1;
                 }
+                if let Some((_, handle)) = self.registry.as_ref() {
+                    if decision.corrupted {
+                        handle.record_corrupted(class);
+                    } else {
+                        handle.record_dropped(class);
+                    }
+                }
                 continue;
+            }
+            if let Some((_, handle)) = self.registry.as_ref() {
+                for _ in 0..decision.copies {
+                    handle.record_enqueued(to.index());
+                }
+                for _ in 1..decision.copies {
+                    handle.record_duplicated(class);
+                }
             }
             for _ in 1..decision.copies {
                 self.stats.messages_duplicated += 1;

@@ -23,6 +23,7 @@ use crate::chaos::{EdgeCounters, LinkDecision, LinkFaultPlan};
 use crate::error::SimError;
 use crate::process::{Adversary, Context, Process};
 use crate::sim::SimStats;
+use crate::stats::StatsRegistry;
 use crate::time::VirtualTime;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use dbac_graph::{Digraph, NodeId};
@@ -203,6 +204,7 @@ pub struct Threaded<P: Process> {
     graph: Arc<Digraph>,
     actors: Vec<Option<Actor<P>>>,
     link_faults: Option<Arc<LinkFaultPlan>>,
+    registry: Option<Arc<StatsRegistry>>,
 }
 
 impl<P> Threaded<P>
@@ -214,7 +216,12 @@ where
     #[must_use]
     pub fn new(graph: Arc<Digraph>) -> Self {
         let n = graph.node_count();
-        Threaded { graph, actors: (0..n).map(|_| None).collect(), link_faults: None }
+        Threaded {
+            graph,
+            actors: (0..n).map(|_| None).collect(),
+            link_faults: None,
+            registry: None,
+        }
     }
 
     /// Assigns an honest process to `v`.
@@ -236,6 +243,18 @@ where
     /// Attaches a deterministic link-fault plan, interposed on every send.
     pub fn set_link_faults(&mut self, plan: LinkFaultPlan) -> &mut Self {
         self.link_faults = Some(Arc::new(plan));
+        self
+    }
+
+    /// Attaches a live stats registry: every node thread registers its
+    /// own shard and mirrors the send-interposer / delivery counters
+    /// into it (per message class via [`Process::classify`]), plus the
+    /// per-node queue and done gauges. Snapshots taken from other
+    /// threads while the run is live are safe and monotone.
+    pub fn set_stats(&mut self, registry: Arc<StatsRegistry>) -> &mut Self {
+        registry.note_transport_observed();
+        registry.note_nodes_observed();
+        self.registry = Some(registry);
         self
     }
 
@@ -290,6 +309,7 @@ where
             let done = Arc::clone(&done);
             let transport = Arc::clone(&transport);
             let plan = self.link_faults.clone();
+            let stats = self.registry.as_ref().map(|r| r.register());
             let jitter = config.jitter_micros;
             let mut rng = SmallRng::seed_from_u64(config.seed ^ (i as u64).wrapping_mul(0x9E37));
 
@@ -303,6 +323,10 @@ where
                 let mut dispatch = |ctx: &mut Context<P::Message>, rng: &mut SmallRng| {
                     for (to, msg) in ctx.take_outbox() {
                         transport.sent.fetch_add(1, Ordering::Relaxed);
+                        let class = P::classify(&msg);
+                        if let Some(h) = &stats {
+                            h.record_sent(class);
+                        }
                         let decision = match plan.as_deref() {
                             Some(p) => p.decide(me, to, edge_counters.next(me, to)),
                             None => LinkDecision::CLEAN,
@@ -314,6 +338,13 @@ where
                                 &transport.dropped
                             };
                             counter.fetch_add(1, Ordering::Relaxed);
+                            if let Some(h) = &stats {
+                                if decision.corrupted {
+                                    h.record_corrupted(class);
+                                } else {
+                                    h.record_dropped(class);
+                                }
+                            }
                             continue;
                         }
                         let deliver = |msg: P::Message, rng: &mut SmallRng| {
@@ -325,9 +356,15 @@ where
                             }
                             // Receiver may already have shut down; ignore.
                             let _ = senders[to.index()].send((me, msg));
+                            if let Some(h) = &stats {
+                                h.record_enqueued(to.index());
+                            }
                         };
                         for _ in 1..decision.copies {
                             transport.duplicated.fetch_add(1, Ordering::Relaxed);
+                            if let Some(h) = &stats {
+                                h.record_duplicated(class);
+                            }
                             deliver(msg.clone(), rng);
                         }
                         deliver(msg, rng);
@@ -339,6 +376,9 @@ where
                             if done(p) {
                                 *reported = true;
                                 done_count.fetch_add(1, Ordering::SeqCst);
+                                if let Some(h) = &stats {
+                                    h.mark_done(me.index());
+                                }
                             }
                         }
                     }
@@ -357,6 +397,10 @@ where
                     match rx.recv_timeout(Duration::from_millis(1)) {
                         Ok((from, msg)) => {
                             transport.delivered.fetch_add(1, Ordering::Relaxed);
+                            if let Some(h) = &stats {
+                                h.record_delivered(P::classify(&msg));
+                                h.record_consumed(me.index());
+                            }
                             let mut ctx = Context::new(me, out);
                             match &mut actor {
                                 Actor::Honest(p) => p.on_message(&mut ctx, from, msg),

@@ -30,8 +30,8 @@ fn main() {
         out.spread(),
         out.converged(),
         out.valid(),
-        out.sim_stats.messages_rejected
+        out.sim_stats.messages_rejected()
     );
     assert!(out.converged() && out.valid());
-    assert_eq!(out.sim_stats.messages_rejected, 0, "honest traffic always decodes");
+    assert_eq!(out.sim_stats.messages_rejected(), 0, "honest traffic always decodes");
 }

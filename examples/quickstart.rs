@@ -6,7 +6,8 @@
 
 use dbac::conditions::kreach::three_reach;
 use dbac::graph::{generators, NodeId};
-use dbac::scenario::{ByzantineWitness, FaultKind, Scenario};
+use dbac::scenario::{ByzantineWitness, FaultKind, MsgClass, Scenario, StatsRegistry};
+use std::sync::Arc;
 
 fn main() {
     // 1. A network: the 8-node directed analogue of the paper's
@@ -29,17 +30,23 @@ fn main() {
     //    (swap in `.runtime(Runtime::Threaded { .. })` for real threads,
     //    or `.protocol(CrashTwoReach::default())` for the 2-reach
     //    crash-fault protocol — same builder, same Outcome).
+    //    Attaching a `StatsRegistry` is optional — `outcome.sim_stats`
+    //    always carries the final snapshot — but a shared registry can be
+    //    polled live from another thread (or served by the `dbacd`
+    //    daemon) while the run executes.
+    let registry = StatsRegistry::new(8);
     let outcome = Scenario::builder(graph, f)
         .inputs(vec![20.1, 20.7, 20.3, 21.0, 24.9, 23.2, 24.0, 22.5])
         .epsilon(0.5)
         .fault(NodeId::new(6), FaultKind::Crash)
         .seed(7)
+        .stats(Arc::clone(&registry))
         .protocol(ByzantineWitness::default())
         .run()
         .expect("scenario runs");
 
     println!("rounds executed : {}", outcome.rounds);
-    println!("messages        : {}", outcome.sim_stats.messages_delivered);
+    println!("messages        : {}", outcome.sim_stats.messages_delivered());
     for v in outcome.honest.iter() {
         println!("  node {v}: output {:?}", outcome.outputs[v.index()]);
     }
@@ -47,4 +54,15 @@ fn main() {
     println!("converged       : {}", outcome.converged());
     println!("validity        : {}", outcome.valid());
     assert!(outcome.converged() && outcome.valid());
+
+    // 5. The attached registry and the outcome agree exactly, and the
+    //    transport ledger breaks down by message class.
+    assert_eq!(registry.snapshot(), outcome.sim_stats);
+    let transport = outcome.sim_stats.transport.measured().expect("sim runs measure transport");
+    for class in MsgClass::ALL {
+        let c = transport.class(class);
+        if c.sent > 0 {
+            println!("  {:<8} sent {:>6} delivered {:>6}", class.label(), c.sent, c.delivered);
+        }
+    }
 }

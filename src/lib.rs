@@ -50,12 +50,21 @@
 //!     .run()
 //!     .expect("scenario runs");
 //! assert!(outcome.converged() && outcome.valid());
+//! assert!(outcome.sim_stats.messages_delivered() > 0);
 //! ```
 //!
 //! Swapping `.protocol(...)` (and nothing else) re-runs the same scenario
 //! under a different algorithm; `.runtime(Runtime::Threaded { .. })` moves
 //! it onto real OS threads, and `.runtime(Runtime::net(..))` onto real
 //! sockets with every message crossing the binary wire codec.
+//!
+//! Every outcome carries a [`scenario::StatsSnapshot`] — per-class
+//! transport counters, protocol progress, and per-node queue gauges. To
+//! watch those counters *while* a run executes, attach a shared
+//! [`scenario::StatsRegistry`] via `.stats(..)` and poll
+//! `registry.snapshot()` from another thread (or point the `dbacd`
+//! daemon binary at a scenario and query it over a socket); see
+//! "Observe a live run" in [`core::scenario`].
 //!
 //! # Declare an experiment
 //!
@@ -115,9 +124,10 @@ pub use dbac_sim as sim;
 pub mod scenario {
     pub use dbac_baselines::scenario::{Aad04, IterativeTrimmedMean, ReliableBroadcastProbe};
     pub use dbac_core::scenario::{
-        drive, sweep, ByzantineWitness, CrashTwoReach, Delivery, DriveReport, FaultKind,
-        Incomplete, IncompleteReason, LinkFault, LinkFaultPlan, Outcome, Protocol, Runtime,
-        Scenario, ScenarioBuilder, SchedulerSpec, TraceSummary, TransportKind, WireError,
-        WireMessage,
+        drive, sweep, ByzantineWitness, ClassCounters, Coverage, CrashTwoReach, Delivery,
+        DriveReport, FaultKind, Incomplete, IncompleteReason, LinkFault, LinkFaultPlan, MsgClass,
+        NodeCounters, Outcome, Protocol, ProtocolCounters, Runtime, Scenario, ScenarioBuilder,
+        SchedulerSpec, StatsHandle, StatsRegistry, StatsSnapshot, TraceSummary, TransportKind,
+        TransportSnapshot, WireError, WireMessage,
     };
 }

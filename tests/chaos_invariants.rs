@@ -27,7 +27,7 @@ use dbac::core::error::RunError;
 use dbac::graph::{generators, Digraph, NodeId};
 use dbac::scenario::{
     ByzantineWitness, CrashTwoReach, FaultKind, IncompleteReason, LinkFault, LinkFaultPlan,
-    Outcome, Runtime, Scenario,
+    MsgClass, Outcome, Runtime, Scenario,
 };
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -84,6 +84,33 @@ fn assert_safe(out: &Outcome, case: u64, graph: &str) {
         out.spread(),
         out.epsilon
     );
+    audit_transport_ledger(out, &format!("case {case} on {graph}"));
+}
+
+/// The transport ledger must balance, per message class: everything that
+/// entered the system (`sent + duplicated`) reached at most one terminal
+/// state (`delivered + dropped + corrupted + rejected`), with the rest
+/// still in flight. `undelivered()` saturates, so the inequality is
+/// asserted explicitly — the ledger identity alone would mask overcounts.
+fn audit_transport_ledger(out: &Outcome, context: &str) {
+    let Some(transport) = out.sim_stats.transport.measured() else { return };
+    for class in MsgClass::ALL {
+        let c = transport.class(class);
+        let inflow = c.sent + c.duplicated;
+        let terminal = c.delivered + c.dropped + c.corrupted + c.rejected;
+        assert!(
+            terminal <= inflow,
+            "{context}: {} ledger overdrawn: {terminal} terminal events from {inflow} inputs \
+             ({c:?})",
+            class.label(),
+        );
+        assert_eq!(
+            inflow,
+            terminal + c.undelivered(),
+            "{context}: {} ledger does not balance ({c:?})",
+            class.label(),
+        );
+    }
 }
 
 /// Invariant family 1: 240 randomized fault-free (f = 0) cases across
@@ -183,7 +210,8 @@ fn threaded_partitioned_node_degrades_to_partial_outcome() {
     assert_eq!(out.incomplete.len(), 1, "exactly the victim is incomplete: {:?}", out.incomplete);
     assert_eq!(out.incomplete[0].node, victim);
     assert_eq!(out.incomplete[0].reason, IncompleteReason::Timeout);
-    assert!(out.sim_stats.messages_dropped > 0, "the omitted edges must count their losses");
+    assert!(out.sim_stats.messages_dropped() > 0, "the omitted edges must count their losses");
+    audit_transport_ledger(&out, "threaded partition");
 }
 
 /// Invariant family 4: a deterministic duplicate storm (every copy doubled
@@ -214,12 +242,14 @@ fn net_duplicate_storm_matches_sim_message_for_message() {
     assert_eq!(sim.outputs, net.outputs, "decisions must survive the duplicate storm identically");
     assert_eq!(sim.histories, net.histories);
     assert!(net.incomplete.is_empty(), "duplicates must not cost liveness: {:?}", net.incomplete);
-    assert_eq!(sim.sim_stats.messages_sent, net.sim_stats.messages_sent);
-    assert_eq!(sim.sim_stats.messages_duplicated, net.sim_stats.messages_duplicated);
-    assert!(net.sim_stats.messages_duplicated > 0, "the storm must actually duplicate");
-    assert_eq!(sim.sim_stats.messages_dropped, 0);
-    assert_eq!(net.sim_stats.messages_dropped, 0);
-    assert_eq!(net.sim_stats.messages_rejected, 0, "every duplicated frame must still decode");
+    assert_eq!(sim.sim_stats.messages_sent(), net.sim_stats.messages_sent());
+    assert_eq!(sim.sim_stats.messages_duplicated(), net.sim_stats.messages_duplicated());
+    assert!(net.sim_stats.messages_duplicated() > 0, "the storm must actually duplicate");
+    assert_eq!(sim.sim_stats.messages_dropped(), 0);
+    assert_eq!(net.sim_stats.messages_dropped(), 0);
+    assert_eq!(net.sim_stats.messages_rejected(), 0, "every duplicated frame must still decode");
+    audit_transport_ledger(&sim, "duplicate storm (sim)");
+    audit_transport_ledger(&net, "duplicate storm (net)");
 }
 
 /// Invariant family 4: an order-independent loss schedule — one edge under
@@ -255,17 +285,20 @@ fn net_total_loss_schedule_matches_sim_and_degrades_to_incomplete() {
     assert_eq!(sim.outputs, net.outputs, "starvation must be runtime-independent");
     assert_eq!(sim.histories, net.histories);
     assert_eq!(
-        sim.sim_stats.messages_dropped, net.sim_stats.messages_dropped,
+        sim.sim_stats.messages_dropped(),
+        net.sim_stats.messages_dropped(),
         "the loss schedule must cut exactly the same messages on both runtimes"
     );
-    assert!(net.sim_stats.messages_dropped > 0, "the schedule must actually cut messages");
+    assert!(net.sim_stats.messages_dropped() > 0, "the schedule must actually cut messages");
     assert!(!sim.all_decided(), "a total cut through a flood edge must starve someone");
     assert!(net.degraded(), "net starvation must surface as degradation");
     assert!(!net.incomplete.is_empty(), "starved nodes must be reported per-node");
     for entry in &net.incomplete {
         assert_eq!(entry.reason, IncompleteReason::Timeout, "starvation is a timeout: {entry:?}");
     }
-    assert_eq!(net.sim_stats.messages_rejected, 0, "loss must come from the plan, not the codec");
+    assert_eq!(net.sim_stats.messages_rejected(), 0, "loss must come from the plan, not the codec");
+    audit_transport_ledger(&sim, "loss schedule (sim)");
+    audit_transport_ledger(&net, "loss schedule (net)");
 }
 
 /// Invariant family 2 over real sockets, mirroring
@@ -301,8 +334,9 @@ fn net_partitioned_node_degrades_to_partial_outcome() {
     assert_eq!(out.incomplete.len(), 1, "exactly the victim is incomplete: {:?}", out.incomplete);
     assert_eq!(out.incomplete[0].node, victim);
     assert_eq!(out.incomplete[0].reason, IncompleteReason::Timeout);
-    assert!(out.sim_stats.messages_dropped > 0, "the omitted edges must count their losses");
-    assert_eq!(out.sim_stats.messages_rejected, 0, "every delivered frame must decode");
+    assert!(out.sim_stats.messages_dropped() > 0, "the omitted edges must count their losses");
+    assert_eq!(out.sim_stats.messages_rejected(), 0, "every delivered frame must decode");
+    audit_transport_ledger(&out, "net partition");
 }
 
 /// Runs one Sim scenario with full trace recording.
@@ -335,7 +369,11 @@ proptest! {
         let (plain, chaotic) = (sim_outcome(None, seed), sim_outcome(Some(zero), seed));
         prop_assert_eq!(&plain.outputs, &chaotic.outputs);
         prop_assert_eq!(&plain.histories, &chaotic.histories);
-        prop_assert_eq!(&plain.sim_stats, &chaotic.sim_stats);
+        // Everything but the wall clock is replay-deterministic.
+        prop_assert_eq!(&plain.sim_stats.transport, &chaotic.sim_stats.transport);
+        prop_assert_eq!(&plain.sim_stats.protocol, &chaotic.sim_stats.protocol);
+        prop_assert_eq!(&plain.sim_stats.nodes, &chaotic.sim_stats.nodes);
+        prop_assert_eq!(&plain.sim_stats.virtual_time, &chaotic.sim_stats.virtual_time);
         prop_assert_eq!(&plain.trace, &chaotic.trace);
     }
 
@@ -348,7 +386,10 @@ proptest! {
         let (a, b) = (run(), run());
         prop_assert_eq!(&a.outputs, &b.outputs);
         prop_assert_eq!(&a.histories, &b.histories);
-        prop_assert_eq!(&a.sim_stats, &b.sim_stats);
+        prop_assert_eq!(&a.sim_stats.transport, &b.sim_stats.transport);
+        prop_assert_eq!(&a.sim_stats.protocol, &b.sim_stats.protocol);
+        prop_assert_eq!(&a.sim_stats.nodes, &b.sim_stats.nodes);
+        prop_assert_eq!(&a.sim_stats.virtual_time, &b.sim_stats.virtual_time);
         prop_assert_eq!(&a.trace, &b.trace);
     }
 }

@@ -60,7 +60,8 @@ fn assert_three_way(sim: &Outcome, threaded: &Outcome, net: &Outcome) {
     assert_identical(sim, net, "net");
     assert!(net.incomplete.is_empty(), "net run lost nodes: {:?}", net.incomplete);
     assert_eq!(
-        net.sim_stats.messages_rejected, 0,
+        net.sim_stats.messages_rejected(),
+        0,
         "no frame may fail to decode in a fault-free net run"
     );
 }

@@ -73,7 +73,7 @@ fn epsilon_larger_than_range_decides_immediately() {
     let out = cfg.run().unwrap();
     assert_eq!(out.rounds, 0);
     assert!(out.converged());
-    assert_eq!(out.sim_stats.messages_sent, 0, "no communication needed");
+    assert_eq!(out.sim_stats.messages_sent(), 0, "no communication needed");
 }
 
 #[test]
