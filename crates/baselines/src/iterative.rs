@@ -99,7 +99,9 @@ pub enum IterStrategy {
 }
 
 impl IterStrategy {
-    fn value(self, round: usize) -> Option<f64> {
+    /// The value broadcast at `round`, or `None` when silent.
+    #[must_use]
+    pub fn value(self, round: usize) -> Option<f64> {
         match self {
             IterStrategy::Constant(v) => Some(v),
             IterStrategy::Ramp { base, slope } => Some(base + slope * round as f64),
@@ -147,25 +149,25 @@ impl IterativeRun {
 }
 
 /// One W-MSR update for a node holding `own`, given received values.
+/// Delegates to the engine's in-place kernel
+/// ([`crate::iterengine::wmsr_step_in_place`]) so the synchronous loop and
+/// the message-passing engine share one set of semantics.
 #[must_use]
 pub fn wmsr_step(own: f64, mut received: Vec<f64>, f: usize) -> f64 {
-    received.sort_by(f64::total_cmp);
-    // Remove up to f values strictly larger than own (from the top) and up
-    // to f strictly smaller (from the bottom).
-    let larger = received.iter().filter(|&&v| v > own).count().min(f);
-    let smaller = received.iter().filter(|&&v| v < own).count().min(f);
-    let kept = &received[smaller..received.len() - larger];
-    let sum: f64 = kept.iter().sum::<f64>() + own;
-    sum / (kept.len() + 1) as f64
+    crate::iterengine::wmsr_step_in_place(own, &mut received, f)
 }
 
-/// The synchronous W-MSR loop backing the scenario-layer
-/// `IterativeTrimmedMean` protocol.
+/// The synchronous closed-form W-MSR loop: the *reference semantics* for
+/// the message-passing [`crate::iterengine`]. With `f = 0` the engine's
+/// trajectory is bit-identical to this loop on any runtime (the
+/// differential tests pin that); with `f > 0` only the convergence and
+/// validity properties are shared, since asynchronous firing order is
+/// schedule-dependent.
 ///
 /// # Panics
 ///
 /// Panics if `inputs.len() != n` or a faulty node is listed twice.
-pub(crate) fn iterate(
+pub fn iterate(
     g: &Digraph,
     f: usize,
     inputs: &[f64],

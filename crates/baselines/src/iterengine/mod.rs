@@ -1,0 +1,305 @@
+//! The message-passing **iterative W-MSR engine**.
+//!
+//! Historically the `IterativeTrimmedMean` protocol was a synchronous
+//! closed-form loop ([`crate::iterative::iterate`]) that only the simulated
+//! runtime could host. This module promotes it to a first-class
+//! [`Process`]: nodes exchange explicit per-round [`IterMsg`] values, so
+//! the same fleet runs on [`Runtime::Sim`], [`Runtime::Threaded`] and
+//! [`Runtime::Net`] — and through the shared fault-injection, stats and
+//! chaos machinery of the runtime layer.
+//!
+//! # Asynchronous round structure
+//!
+//! Node `v` enters round `r` holding value `x_v[r]` (round 0 holds the
+//! input) and broadcasts `(r, x_v[r])` to its out-neighbors. It **fires**
+//! round `r` once values from at least `indegree − f` distinct in-neighbors
+//! for round `r` have arrived, applying the W-MSR trimmed-mean rule
+//! ([`wmsr_step_in_place`]) to move to `x_v[r+1]`. With `f = 0` a node
+//! waits for *every* in-neighbor, which makes the computation
+//! schedule-independent: any runtime, any adversarial delivery order,
+//! produces bit-identical trajectories (the cross-runtime gate relies on
+//! this, exactly like the BW `f = 0` gate).
+//!
+//! # Columnar buffering
+//!
+//! The engine is built to scale past 10⁴ nodes, so per-round
+//! `HashMap<NodeId, f64>` buffers are out. Each node stores its
+//! in-neighborhood once as a sorted id slice and keeps one flat
+//! **round-major value buffer** (`rounds × indegree` floats) plus a
+//! presence bitmap; an incoming `(r, value)` from neighbor slot `i` lands
+//! at offset `r·indegree + i` with one binary search and two writes, and
+//! duplicated deliveries (chaos plans re-deliver frames) are absorbed by
+//! the bitmap without perturbing the value column.
+//!
+//! [`Runtime::Sim`]: dbac_core::scenario::Runtime::Sim
+//! [`Runtime::Threaded`]: dbac_core::scenario::Runtime::Threaded
+//! [`Runtime::Net`]: dbac_core::scenario::Runtime::Net
+
+mod kernel;
+
+pub use kernel::wmsr_step_in_place;
+
+use crate::iterative::IterStrategy;
+use dbac_graph::{Digraph, NodeId};
+use dbac_sim::net::codec::{WireError, WireMessage, WireReader};
+use dbac_sim::process::{Adversary, Context, Process};
+use dbac_sim::stats::MsgClass;
+
+/// One round's value exchange: "entering round `round` I hold `value`".
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IterMsg {
+    /// The 0-based round this value enters.
+    pub round: u32,
+    /// The sender's value at that round.
+    pub value: f64,
+}
+
+/// Wire layout: `round: u32 LE` then `value: f64 bits LE` — 12 bytes,
+/// total (every 12-byte frame decodes; bounds are enforced at the
+/// protocol layer, where the round is checked against the run length).
+impl WireMessage for IterMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.round.to_le_bytes());
+        out.extend_from_slice(&self.value.to_bits().to_le_bytes());
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let round = r.u32()?;
+        let value = r.f64()?;
+        Ok(IterMsg { round, value })
+    }
+}
+
+/// An honest W-MSR node: columnar round buffers plus the in-place
+/// trimmed-mean kernel.
+#[derive(Clone, Debug)]
+pub struct IterNode {
+    f: usize,
+    /// Total rounds to execute; the node is done entering round `rounds`.
+    rounds: u32,
+    /// In-neighbor ids, sorted ascending — the column order of `buf`.
+    in_ids: Vec<NodeId>,
+    /// Round-major value buffer: `buf[r * indegree + slot]`.
+    buf: Vec<f64>,
+    /// Presence bitmap over the same index space (dedups re-deliveries).
+    present: Vec<u64>,
+    /// Distinct round-`r` values received so far.
+    counts: Vec<u32>,
+    /// The round this node is currently waiting to fire.
+    round: u32,
+    /// Current value (`history.last()`).
+    value: f64,
+    /// `history[r]`: the value entering round `r`; `history[0]` is the input.
+    history: Vec<f64>,
+    /// Messages sent (the honest-traffic tally of the outcome).
+    pub sent: u64,
+    /// Reusable kernel scratch (cleared each fire, never shrunk).
+    scratch: Vec<f64>,
+}
+
+impl IterNode {
+    /// A node for `me` on `g`, filtering up to `f` extremes per side,
+    /// running `rounds` rounds from `input`.
+    #[must_use]
+    pub fn new(me: NodeId, g: &Digraph, f: usize, rounds: u32, input: f64) -> Self {
+        let in_ids: Vec<NodeId> = g.in_neighbors(me).iter().collect();
+        let deg = in_ids.len();
+        let cells = rounds as usize * deg;
+        IterNode {
+            f,
+            rounds,
+            in_ids,
+            buf: vec![0.0; cells],
+            present: vec![0u64; cells.div_ceil(64)],
+            counts: vec![0; rounds as usize],
+            round: 0,
+            value: input,
+            history: vec![input],
+            sent: 0,
+            scratch: Vec::with_capacity(deg),
+        }
+    }
+
+    /// Whether the node has fired all of its rounds.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.round >= self.rounds
+    }
+
+    /// The rounds fired so far.
+    #[must_use]
+    pub fn rounds_fired(&self) -> u32 {
+        self.round
+    }
+
+    /// The current value (the output once [`Self::is_done`]).
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// The full trajectory: `history()[r]` is the value entering round `r`.
+    #[must_use]
+    pub fn history(&self) -> &[f64] {
+        &self.history
+    }
+
+    /// Values from at least `indegree − f` in-neighbors unlock a round.
+    fn fire_threshold(&self) -> u32 {
+        (self.in_ids.len() - self.f.min(self.in_ids.len())) as u32
+    }
+
+    fn broadcast_current(&mut self, ctx: &mut Context<IterMsg>) {
+        let msg = IterMsg { round: self.round, value: self.value };
+        self.sent += ctx.out_neighbors().len() as u64;
+        ctx.broadcast(&msg);
+    }
+
+    /// Fires every round whose threshold is met, in order. Rounds unlock
+    /// strictly in sequence: round `r + 1` values can only be *used* after
+    /// round `r` fires, however early they arrive.
+    fn fire_ready_rounds(&mut self, ctx: &mut Context<IterMsg>) {
+        let deg = self.in_ids.len();
+        let need = self.fire_threshold();
+        while !self.is_done() && self.counts[self.round as usize] >= need {
+            let base = self.round as usize * deg;
+            self.scratch.clear();
+            for slot in 0..deg {
+                let idx = base + slot;
+                if self.present[idx / 64] >> (idx % 64) & 1 == 1 {
+                    self.scratch.push(self.buf[idx]);
+                }
+            }
+            let mut received = std::mem::take(&mut self.scratch);
+            self.value = wmsr_step_in_place(self.value, &mut received, self.f);
+            self.scratch = received;
+            self.round += 1;
+            self.history.push(self.value);
+            if !self.is_done() {
+                self.broadcast_current(ctx);
+            }
+        }
+    }
+}
+
+impl Process for IterNode {
+    type Message = IterMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<IterMsg>) {
+        if self.rounds == 0 {
+            return;
+        }
+        self.broadcast_current(ctx);
+        // A node with an empty (or all-faulty) in-neighborhood free-runs:
+        // every round's threshold is zero.
+        self.fire_ready_rounds(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<IterMsg>, from: NodeId, msg: IterMsg) {
+        if msg.round >= self.rounds {
+            return; // out-of-range round: undecodable intent, drop
+        }
+        let Ok(slot) = self.in_ids.binary_search(&from) else {
+            return; // not an in-neighbor (runtime misdelivery guard)
+        };
+        let idx = msg.round as usize * self.in_ids.len() + slot;
+        let (word, bit) = (idx / 64, idx % 64);
+        if self.present[word] >> bit & 1 == 1 {
+            return; // duplicate delivery (chaos): first value wins
+        }
+        self.present[word] |= 1 << bit;
+        self.buf[idx] = msg.value;
+        self.counts[msg.round as usize] += 1;
+        if msg.round == self.round {
+            self.fire_ready_rounds(ctx);
+        }
+    }
+
+    fn classify(_msg: &IterMsg) -> MsgClass {
+        MsgClass::Iter
+    }
+}
+
+/// A malicious node in the `f`-total *malicious* model: it sends the same
+/// planted per-round value to all out-neighbors. Since it answers to no
+/// threshold of its own, it broadcasts its entire round schedule eagerly at
+/// start — the strongest timing for a value attack, and exactly the
+/// per-round values [`crate::iterative::iterate`] models.
+#[derive(Clone, Debug)]
+pub struct IterLiar {
+    rounds: u32,
+    strategy: IterStrategy,
+}
+
+impl IterLiar {
+    /// A liar following `strategy` for a `rounds`-round run.
+    #[must_use]
+    pub fn new(strategy: IterStrategy, rounds: u32) -> Self {
+        IterLiar { rounds, strategy }
+    }
+}
+
+impl Adversary<IterMsg> for IterLiar {
+    fn on_start(&mut self, ctx: &mut Context<IterMsg>) {
+        for round in 0..self.rounds {
+            if let Some(value) = self.strategy.value(round as usize) {
+                ctx.broadcast(&IterMsg { round, value });
+            }
+        }
+    }
+
+    fn on_message(&mut self, _ctx: &mut Context<IterMsg>, _from: NodeId, _msg: IterMsg) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbac_graph::generators;
+
+    #[test]
+    fn iter_msg_wire_round_trips() {
+        for msg in [
+            IterMsg { round: 0, value: 0.0 },
+            IterMsg { round: 59, value: -1.5e300 },
+            IterMsg { round: u32::MAX, value: f64::NAN },
+            IterMsg { round: 7, value: f64::NEG_INFINITY },
+        ] {
+            let bytes = msg.to_bytes();
+            assert_eq!(bytes.len(), 12);
+            let back = IterMsg::from_bytes(&bytes).unwrap();
+            assert_eq!(back.round, msg.round);
+            assert_eq!(back.value.to_bits(), msg.value.to_bits());
+        }
+        assert!(IterMsg::from_bytes(&[0u8; 11]).is_err(), "truncated");
+        assert!(IterMsg::from_bytes(&[0u8; 13]).is_err(), "trailing");
+    }
+
+    #[test]
+    fn node_tracks_rounds_and_history() {
+        let g = generators::clique(3);
+        let node = IterNode::new(NodeId::new(0), &g, 1, 10, 4.5);
+        assert!(!node.is_done());
+        assert_eq!(node.rounds_fired(), 0);
+        assert_eq!(node.history(), &[4.5]);
+        assert_eq!(node.fire_threshold(), 1, "indegree 2, f 1");
+    }
+
+    #[test]
+    fn zero_round_node_is_born_done() {
+        let g = generators::clique(3);
+        let node = IterNode::new(NodeId::new(0), &g, 0, 0, 1.0);
+        assert!(node.is_done());
+    }
+
+    #[test]
+    fn duplicate_deliveries_do_not_double_count() {
+        let g = generators::directed_cycle(3);
+        let mut node = IterNode::new(NodeId::new(1), &g, 0, 5, 1.0);
+        let mut ctx = Context::new(NodeId::new(1), g.out_neighbors(NodeId::new(1)));
+        // Node 1's only in-neighbor on the cycle is node 0.
+        node.on_message(&mut ctx, NodeId::new(0), IterMsg { round: 1, value: 9.0 });
+        node.on_message(&mut ctx, NodeId::new(0), IterMsg { round: 1, value: 7.0 });
+        assert_eq!(node.counts[1], 1, "second delivery is a duplicate");
+        assert_eq!(node.buf[1], 9.0, "first value wins");
+    }
+}

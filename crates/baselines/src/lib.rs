@@ -13,6 +13,10 @@
 //!   the related work ([13, 25]): purely local filtering, correct under
 //!   graph *robustness* rather than 3-reach; experiment E10 contrasts the
 //!   two conditions.
+//! * [`iterengine`] — the message-passing W-MSR engine: columnar per-round
+//!   value buffers and an in-place trimmed-mean kernel, runnable on all
+//!   three runtimes (Sim, Threaded, Net) and built to scale past 10⁴
+//!   nodes.
 //! * [`scenario`] — [`Protocol`](dbac_core::scenario::Protocol)
 //!   implementations plugging all three baselines into the workspace's
 //!   unified **Scenario → Outcome** experiment surface.
@@ -22,6 +26,7 @@
 
 pub mod aad04;
 pub mod iterative;
+pub mod iterengine;
 pub mod reliable_broadcast;
 pub mod scenario;
 pub mod wire;

@@ -6,7 +6,7 @@
 //! | `Protocol` | Paper positioning |
 //! |------------|-------------------|
 //! | [`Aad04`] | Abraham–Amit–Dolev OPODIS 2004 (related work \[1\]): the complete-network algorithm BW generalizes |
-//! | [`IterativeTrimmedMean`] | W-MSR iterative consensus (related work \[13, 25\]): local filtering under `(f+1, f+1)`-robustness |
+//! | [`IterativeTrimmedMean`] | W-MSR iterative consensus (related work \[13, 25\]; Vaidya–Tseng–Liang arXiv [1201.4183](https://arxiv.org/abs/1201.4183) / [1202.6094](https://arxiv.org/abs/1202.6094)): local filtering under `(f+1, f+1)`-robustness, engine in [`crate::iterengine`] |
 //! | [`ReliableBroadcastProbe`] | Bracha reliable broadcast, AAD04's substrate, as a one-shot trimmed-agreement probe |
 //!
 //! Each implementation maps the protocol-agnostic
@@ -17,10 +17,11 @@
 #![deny(missing_docs)]
 
 use crate::aad04::{AadNode, LiarAdversary};
-use crate::iterative::{iterate, IterStrategy};
+use crate::iterative::IterStrategy;
+use crate::iterengine::{IterLiar, IterMsg, IterNode};
 use crate::reliable_broadcast::{RbcEngine, RbcMsg};
 use dbac_core::error::RunError;
-use dbac_core::scenario::{drive, FaultKind, Outcome, Protocol, Runtime, Scenario};
+use dbac_core::scenario::{drive, FaultKind, Outcome, Protocol, Scenario};
 use dbac_graph::{Digraph, NodeId};
 use dbac_sim::process::{Adversary, Context, Process, Silent};
 use std::collections::HashSet;
@@ -128,16 +129,19 @@ impl Protocol for Aad04 {
 // ---------------------------------------------------------------------------
 
 /// The **iterative trimmed-mean** (W-MSR) algorithm of the related work:
-/// purely local `f`-filtering each synchronous round, correct under
+/// purely local `f`-filtering each round, correct under
 /// `(f+1, f+1)`-robustness rather than 3-reach (the E10 contrast).
 ///
-/// Synchronous by construction — it supports [`Runtime::Sim`] only. There
-/// is no message passing to count, so [`Outcome::sim_stats`] reports the
-/// transport as `NotObservable` rather than a wall of zeros; rounds fired,
-/// per-node done gauges and wall-clock elapsed are still measured. The
-/// round count is a protocol knob (default 60, enough for the
-/// experiments' geometric convergence), overridable per scenario via
-/// `ScenarioBuilder::rounds`.
+/// Backed by the message-passing [`crate::iterengine`] since PR 9: nodes
+/// exchange explicit per-round [`IterMsg`]
+/// values, so the protocol runs on **all three runtimes** (Sim, Threaded,
+/// Net) with real transport counters under [`Outcome::sim_stats`]'s
+/// `iter` message class. With `f = 0` each node waits for every
+/// in-neighbor's round value, making the trajectory schedule-independent
+/// — bit-identical across runtimes, and bit-identical to the synchronous
+/// reference loop [`crate::iterative::iterate`]. The round count is a
+/// protocol knob (default 60, enough for the experiments' geometric
+/// convergence), overridable per scenario via `ScenarioBuilder::rounds`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct IterativeTrimmedMean {
     /// Synchronous rounds to execute.
@@ -164,12 +168,6 @@ impl Protocol for IterativeTrimmedMean {
     }
 
     fn check(&self, scenario: &Scenario) -> Result<(), RunError> {
-        if !matches!(scenario.runtime(), Runtime::Sim) {
-            return Err(RunError::UnsupportedRuntime {
-                protocol: self.name(),
-                runtime: scenario.runtime().name(),
-            });
-        }
         for (_, kind) in scenario.faults() {
             if !matches!(
                 kind,
@@ -185,7 +183,19 @@ impl Protocol for IterativeTrimmedMean {
     }
 
     fn execute(&self, scenario: &Scenario) -> Result<Outcome, RunError> {
-        let faulty: Vec<(NodeId, IterStrategy)> = scenario
+        let g = scenario.graph();
+        let n = g.node_count();
+        let f = scenario.f();
+        let rounds = match scenario.rounds_override() {
+            Some(r) => r as usize,
+            None => self.rounds,
+        } as u32;
+        let honest_set = scenario.honest_set();
+        let honest: Vec<(NodeId, IterNode)> = honest_set
+            .iter()
+            .map(|v| (v, IterNode::new(v, g, f, rounds, scenario.inputs()[v.index()])))
+            .collect();
+        let byzantine = scenario
             .faults()
             .iter()
             .map(|&(v, ref kind)| {
@@ -195,46 +205,42 @@ impl Protocol for IterativeTrimmedMean {
                     FaultKind::Ramp { base, slope } => IterStrategy::Ramp { base, slope },
                     _ => unreachable!("checked"),
                 };
-                (v, strategy)
+                let boxed: Box<dyn Adversary<IterMsg> + Send> = match strategy {
+                    IterStrategy::Silent => Box::new(Silent),
+                    lie => Box::new(IterLiar::new(lie, rounds)),
+                };
+                (v, boxed)
             })
             .collect();
-        let rounds = match scenario.rounds_override() {
-            Some(r) => r as usize,
-            None => self.rounds,
-        };
-        let run = iterate(scenario.graph(), scenario.f(), scenario.inputs(), &faulty, rounds);
-        let n = scenario.graph().node_count();
+        let registry = scenario.resolve_stats();
+        // One shared gauge handle for progress: a per-node handle would
+        // cost O(n) atomics *per registration* — 10⁴-node runs register
+        // exactly one.
+        let gauge = registry.register();
         let mut outputs = vec![None; n];
         let mut histories = vec![None; n];
-        let last = run.history.last().expect("history has the initial row");
-        for v in run.honest.iter() {
-            outputs[v.index()] = Some(last[v.index()]);
-            histories[v.index()] =
-                Some(run.history.iter().map(|row| row[v.index()]).collect::<Vec<f64>>());
-        }
-        // No transport exists for a synchronous protocol, so transport
-        // coverage stays NotObservable; progress and completion are still
-        // real measurements.
-        let registry = scenario.resolve_stats();
-        registry.note_nodes_observed();
-        let handle = registry.register();
-        handle.add_rounds_fired(rounds as u64 * run.honest.len() as u64);
-        for v in run.honest.iter() {
-            handle.mark_done(v.index());
-        }
-        registry.finalize_wall();
+        let mut honest_messages = 0u64;
+        let report =
+            drive(scenario, &registry, honest, byzantine, IterNode::is_done, &mut |v, node| {
+                if node.is_done() {
+                    outputs[v.index()] = Some(node.value());
+                }
+                histories[v.index()] = Some(node.history().to_vec());
+                honest_messages += node.sent;
+                gauge.add_rounds_fired(u64::from(node.rounds_fired()));
+            })?;
         Ok(Outcome {
             protocol: self.name(),
             outputs,
-            honest: run.honest,
+            honest: honest_set,
             epsilon: scenario.epsilon(),
             honest_input_range: scenario.honest_input_range(),
-            rounds: rounds as u32,
-            sim_stats: registry.snapshot(),
-            incomplete: Vec::new(),
+            rounds,
+            sim_stats: report.stats,
+            incomplete: report.incomplete,
             histories,
-            honest_messages: None,
-            trace: None,
+            honest_messages: Some(honest_messages),
+            trace: report.trace,
         })
     }
 }
@@ -435,7 +441,7 @@ impl Protocol for ReliableBroadcastProbe {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dbac_core::scenario::SchedulerSpec;
+    use dbac_core::scenario::{Runtime, SchedulerSpec};
     use dbac_graph::generators;
     use std::time::Duration;
 
@@ -534,21 +540,53 @@ mod tests {
         assert_eq!(h[0], 0.0);
     }
 
+    /// The engine runs on the threaded runtime (the legacy implementation
+    /// rejected everything but Sim), and at `f = 0` its trajectory is
+    /// schedule-independent: bit-identical to the simulated run.
     #[test]
-    fn iterative_rejects_the_threaded_runtime() {
-        let err = Scenario::builder(generators::clique(4), 1)
-            .inputs(vec![0.0; 4])
-            .runtime(Runtime::threaded(Duration::from_secs(1)))
+    fn iterative_runs_on_the_threaded_runtime() {
+        let build = |runtime| {
+            Scenario::builder(generators::clique(4), 0)
+                .inputs(vec![0.0, 1.0, 2.0, 7.0])
+                .epsilon(1e-9)
+                .rounds(20)
+                .runtime(runtime)
+                .protocol(IterativeTrimmedMean::default())
+                .run()
+                .unwrap()
+        };
+        let sim = build(Runtime::Sim);
+        let threaded = build(Runtime::threaded(Duration::from_secs(20)));
+        assert!(threaded.incomplete.is_empty(), "{:?}", threaded.incomplete);
+        assert!(sim.converged() && threaded.converged());
+        for (a, b) in sim.outputs.iter().zip(&threaded.outputs) {
+            assert_eq!(a.unwrap().to_bits(), b.unwrap().to_bits(), "f=0 is runtime-independent");
+        }
+        assert_eq!(sim.histories, threaded.histories);
+    }
+
+    /// With `f = 0` the message-passing engine reproduces the synchronous
+    /// reference loop [`iterate`] bit-for-bit, trajectory included.
+    #[test]
+    fn iterative_engine_matches_the_synchronous_loop_at_f0() {
+        let g = generators::bidirectional_cycle(7);
+        let inputs: Vec<f64> = (0..7).map(|i| (i as f64).sin() * 10.0).collect();
+        let rounds = 12;
+        let reference = crate::iterative::iterate(&g, 0, &inputs, &[], rounds);
+        let out = Scenario::builder(g, 0)
+            .inputs(inputs)
+            .rounds(rounds as u32)
             .protocol(IterativeTrimmedMean::default())
             .run()
-            .unwrap_err();
-        assert_eq!(
-            err,
-            RunError::UnsupportedRuntime {
-                protocol: "iterative-trimmed-mean",
-                runtime: "threaded"
+            .unwrap();
+        for v in out.honest.iter() {
+            let engine = out.histories[v.index()].as_ref().unwrap();
+            let sync: Vec<f64> = reference.history.iter().map(|row| row[v.index()]).collect();
+            assert_eq!(engine.len(), sync.len());
+            for (a, b) in engine.iter().zip(&sync) {
+                assert_eq!(a.to_bits(), b.to_bits(), "node {v} diverged from the reference");
             }
-        );
+        }
     }
 
     #[test]

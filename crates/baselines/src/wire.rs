@@ -173,11 +173,12 @@ mod tests {
 
     #[test]
     fn oversized_origin_is_a_typed_error() {
+        let raw = dbac_graph::MAX_NODES as u32;
         let mut buf = vec![TAG_INIT];
-        buf.extend_from_slice(&999u32.to_le_bytes());
+        buf.extend_from_slice(&raw.to_le_bytes());
         buf.extend_from_slice(&1u64.to_le_bytes());
         buf.extend_from_slice(&7u64.to_le_bytes());
-        assert_eq!(RbcMsg::<u64>::from_bytes(&buf).unwrap_err(), WireError::BadNodeId { raw: 999 });
+        assert_eq!(RbcMsg::<u64>::from_bytes(&buf).unwrap_err(), WireError::BadNodeId { raw });
     }
 
     #[test]

@@ -762,6 +762,51 @@ fn bench_fra_scan(c: &mut Criterion) {
     }
 }
 
+/// The iterative engine's per-round update: W-MSR trimmed mean over one
+/// in-neighborhood. The *columnar* variant models the engine (values
+/// already contiguous, one reusable scratch sort); the *legacy* variant
+/// models the pre-engine design sketch — a per-round `HashMap<NodeId,
+/// f64>` buffer collected into a fresh `Vec` every step.
+fn bench_wmsr_step(c: &mut Criterion) {
+    use dbac_baselines::iterative::wmsr_step;
+    use dbac_baselines::iterengine::wmsr_step_in_place;
+    for deg in [8usize, 64] {
+        let rounds = 60usize;
+        // Deterministic pseudo-values: one flat rounds × deg column block.
+        let columns: Vec<f64> =
+            (0..rounds * deg).map(|i| ((i * 2_654_435_761) % 1_000) as f64 / 10.0).collect();
+        let f = deg / 8;
+
+        let mut group = c.benchmark_group(format!("wmsr_step/deg{deg}"));
+        group.sample_size(20);
+        group.bench_function("columnar", |b| {
+            b.iter(|| {
+                let mut own = 50.0f64;
+                let mut scratch: Vec<f64> = Vec::with_capacity(deg);
+                for r in 0..rounds {
+                    scratch.clear();
+                    scratch.extend_from_slice(&columns[r * deg..(r + 1) * deg]);
+                    own = wmsr_step_in_place(own, &mut scratch, f);
+                }
+                black_box(own)
+            });
+        });
+        group.bench_function("legacy", |b| {
+            b.iter(|| {
+                let mut own = 50.0f64;
+                for r in 0..rounds {
+                    let map: HashMap<NodeId, f64> =
+                        (0..deg).map(|i| (NodeId::new(i), columns[r * deg + i])).collect();
+                    let received: Vec<f64> = map.values().copied().collect();
+                    own = wmsr_step(own, received, f);
+                }
+                black_box(own)
+            });
+        });
+        group.finish();
+    }
+}
+
 criterion_group!(
     benches,
     bench_fifo_accept,
@@ -770,6 +815,7 @@ criterion_group!(
     bench_message_set_fullness,
     bench_round_core_ingest,
     bench_mc_scan,
-    bench_fra_scan
+    bench_fra_scan,
+    bench_wmsr_step
 );
 criterion_main!(benches);

@@ -41,8 +41,8 @@ pub fn reach_set(g: &Digraph, v: NodeId, removed: NodeSet) -> NodeSet {
 /// set of *every* node at once.
 #[derive(Debug, Default)]
 pub struct ReachCache {
-    /// removal-set bits → reach set per node index (EMPTY for removed nodes).
-    by_removed: HashMap<u128, Vec<NodeSet>>,
+    /// removal set → reach set per node index (EMPTY for removed nodes).
+    by_removed: HashMap<NodeSet, Vec<NodeSet>>,
 }
 
 impl ReachCache {
@@ -55,7 +55,7 @@ impl ReachCache {
     /// Returns `reach_v(removed)`, computing and caching all nodes' reach
     /// sets for this removal set on first use.
     pub fn reach(&mut self, g: &Digraph, v: NodeId, removed: NodeSet) -> NodeSet {
-        let entry = self.by_removed.entry(removed.bits()).or_insert_with(|| {
+        let entry = self.by_removed.entry(removed).or_insert_with(|| {
             let keep = removed.complement_in(g.node_count());
             let sub = g.induced(keep);
             (0..g.node_count())

@@ -57,7 +57,7 @@ pub fn source_component_of_silenced(g: &Digraph, silenced: NodeSet) -> NodeSet {
 /// the number of distinct *unions* is far smaller than the number of pairs.
 #[derive(Debug, Default)]
 pub struct SourceComponentCache {
-    by_silenced: HashMap<u128, NodeSet>,
+    by_silenced: HashMap<NodeSet, NodeSet>,
 }
 
 impl SourceComponentCache {
@@ -72,7 +72,7 @@ impl SourceComponentCache {
         let silenced = f1 | f2;
         *self
             .by_silenced
-            .entry(silenced.bits())
+            .entry(silenced)
             .or_insert_with(|| source_component_of_silenced(g, silenced))
     }
 

@@ -34,12 +34,12 @@ pub struct Topology {
     /// The interned path population (the value-flood requirement pools).
     index: PathIndex,
     guesses: Vec<NodeSet>,
-    /// Guess bits → per-node reach sets.
-    reach: HashMap<u128, Vec<NodeSet>>,
-    /// Silenced-set bits (size ≤ 2f) → source component.
-    sources: HashMap<u128, NodeSet>,
-    /// Guess bits (the `F_u`) → deduplicated `(S_{F_u,F_w}, q)` pairs.
-    obligations: HashMap<u128, Vec<(NodeSet, NodeId)>>,
+    /// Guess → per-node reach sets.
+    reach: HashMap<NodeSet, Vec<NodeSet>>,
+    /// Silenced set (size ≤ 2f) → source component.
+    sources: HashMap<NodeSet, NodeSet>,
+    /// Guess (the `F_u`) → deduplicated `(S_{F_u,F_w}, q)` pairs.
+    obligations: HashMap<NodeSet, Vec<(NodeSet, NodeId)>>,
 }
 
 impl Topology {
@@ -75,7 +75,7 @@ impl Topology {
         let index = PathIndex::build(&graph, &pools);
 
         // Per-guess reach sets, also in parallel.
-        let reach: HashMap<u128, Vec<NodeSet>> = par_map(&guesses, |_, &guess| {
+        let reach: HashMap<NodeSet, Vec<NodeSet>> = par_map(&guesses, |_, &guess| {
             let keep = guess.complement_in(n);
             let sub = graph.induced(keep);
             let per_node: Vec<NodeSet> =
@@ -89,14 +89,14 @@ impl Topology {
                         }
                     })
                     .collect();
-            (guess.bits(), per_node)
+            (guess, per_node)
         })
         .into_iter()
         .collect();
 
         let silenced_sets: Vec<NodeSet> = SubsetsUpTo::new(all, 2 * f).collect();
-        let sources: HashMap<u128, NodeSet> = par_map(&silenced_sets, |_, &silenced| {
-            (silenced.bits(), source_component_of_silenced(&graph, silenced))
+        let sources: HashMap<NodeSet, NodeSet> = par_map(&silenced_sets, |_, &silenced| {
+            (silenced, source_component_of_silenced(&graph, silenced))
         })
         .into_iter()
         .collect();
@@ -104,20 +104,20 @@ impl Topology {
         let mut obligations = HashMap::with_capacity(guesses.len());
         for &fu in &guesses {
             let mut pairs: Vec<(NodeSet, NodeId)> = Vec::new();
-            let mut seen_components: HashSet<u128> = HashSet::new();
+            let mut seen_components: HashSet<NodeSet> = HashSet::new();
             for &fw in &guesses {
                 if fw == fu {
                     continue;
                 }
-                let s = sources[&(fu | fw).bits()];
-                if s.is_empty() || !seen_components.insert(s.bits()) {
+                let s = sources[&(fu | fw)];
+                if s.is_empty() || !seen_components.insert(s) {
                     continue;
                 }
                 for q in s.iter() {
                     pairs.push((s, q));
                 }
             }
-            obligations.insert(fu.bits(), pairs);
+            obligations.insert(fu, pairs);
         }
 
         Ok(Topology { graph, f, flood_mode, index, guesses, reach, sources, obligations })
@@ -173,7 +173,7 @@ impl Topology {
     /// Panics if `guess` is not one of [`Topology::guesses`].
     #[must_use]
     pub fn reach_of(&self, v: NodeId, guess: NodeSet) -> NodeSet {
-        self.reach.get(&guess.bits()).expect("guess was enumerated")[v.index()]
+        self.reach.get(&guess).expect("guess was enumerated")[v.index()]
     }
 
     /// `S_{F1,F2}` — precomputed for every silenced union of size ≤ 2f.
@@ -183,7 +183,7 @@ impl Topology {
     /// Panics if `|F1 ∪ F2| > 2f`.
     #[must_use]
     pub fn source_component(&self, f1: NodeSet, f2: NodeSet) -> NodeSet {
-        *self.sources.get(&(f1 | f2).bits()).expect("silenced union within 2f")
+        *self.sources.get(&(f1 | f2)).expect("silenced union within 2f")
     }
 
     /// Algorithm 2's obligation list for suspect set `F_u`: the
@@ -194,7 +194,7 @@ impl Topology {
     /// Panics if `fu` is not one of [`Topology::guesses`].
     #[must_use]
     pub fn completeness_obligations(&self, fu: NodeSet) -> &[(NodeSet, NodeId)] {
-        self.obligations.get(&fu.bits()).expect("fu is an enumerated guess")
+        self.obligations.get(&fu).expect("fu is an enumerated guess")
     }
 }
 
@@ -290,8 +290,8 @@ mod tests {
                 assert!(!s.is_empty());
             }
             // Dedup: no repeated (S, q) pair.
-            let mut keys: Vec<(u128, usize)> =
-                obs.iter().map(|&(s, q)| (s.bits(), q.index())).collect();
+            let mut keys: Vec<(NodeSet, usize)> =
+                obs.iter().map(|&(s, q)| (s, q.index())).collect();
             keys.sort_unstable();
             let before = keys.len();
             keys.dedup();

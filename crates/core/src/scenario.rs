@@ -35,12 +35,36 @@
 //! | [`ByzantineWitness`] | Algorithms 1–3 (Sections 4.1–4.5): RedundantFlood, witness threads, Filter-and-Average; Theorem 4 under 3-reach |
 //! | [`CrashTwoReach`] | Table 2, asynchronous/crash cell: approximate consensus under 2-reach (Tseng–Vaidya 2012, per Section 2) |
 //! | `Aad04` (dbac-baselines) | Section 1 related work \[1\]: Abraham–Amit–Dolev OPODIS 2004, the complete-network algorithm BW generalizes |
-//! | `IterativeTrimmedMean` (dbac-baselines) | Related work \[13, 25\]: W-MSR iterative consensus, correct under `(f+1, f+1)`-robustness rather than 3-reach |
+//! | `IterativeTrimmedMean` (dbac-baselines) | Related work \[13, 25\] — Vaidya–Tseng–Liang, arXiv [1201.4183](https://arxiv.org/abs/1201.4183) (synchronous) and [1202.6094](https://arxiv.org/abs/1202.6094) (asynchronous): W-MSR iterative consensus, correct under `(f+1, f+1)`-robustness rather than 3-reach; message-passing engine in `dbac-baselines::iterengine`, all three runtimes |
 //! | `ReliableBroadcastProbe` (dbac-baselines) | Bracha reliable broadcast, the substrate of AAD04 (one-shot trimmed-agreement probe) |
 //!
 //! The baseline implementations live in `dbac-baselines::scenario` (this
 //! crate sits below that one in the dependency order); the `dbac` facade
 //! re-exports the whole surface from a single `dbac::scenario` module.
+//!
+//! # Scale past 128 nodes
+//!
+//! `NodeSet` was a `u128` bitset through PR 8, capping every topology at
+//! 128 nodes. It is now a const-generic multi-word bitset: 256 nodes at
+//! the default width, 16 384 under the `huge-graphs` cargo feature — and
+//! the retired u128 implementation survives as a differential oracle
+//! behind `reference-nodeset`. Which protocols actually *reach* those
+//! widths is a different question:
+//!
+//! * [`ByzantineWitness`] enumerates simple paths, which is exponential
+//!   in `n` — it stays the small-`n` exact reference (experiment E11a
+//!   quantifies the footprint).
+//! * `IterativeTrimmedMean` needs only per-neighbor state. Its
+//!   message-passing engine (`dbac-baselines::iterengine`) keeps one flat
+//!   round-major value column per node and runs 10⁴-node circulant
+//!   scenarios through this builder unchanged — see the
+//!   `scaling_iterative` bin for the sweep, and
+//!   `dbac_graph::generators::circulant_pow2` /
+//!   `dbac_graph::generators::layered_expander` for robust digraph
+//!   families with constant or logarithmic degree at any `n`.
+//!
+//! The scenario surface itself is width-agnostic: nothing here changes
+//! between a 4-node clique and a 10⁴-node circulant except the numbers.
 //!
 //! # Inject link faults
 //!

@@ -5,12 +5,14 @@
 //! serde shim is marker-only and never produces bytes). The encodings
 //! reuse the canonical sparse wire form the in-memory types already
 //! document: a [`CompletePayload`] travels as its `(PathId, f64)` entry
-//! list in id order, path ids as raw `u32`s, suspect sets as `u128`
-//! bitmasks, and values as `f64` bit patterns.
+//! list in id order, path ids as raw `u32`s, suspect sets as their
+//! `NODE_WORDS` little-endian backing words (width-honest: 32 bytes by
+//! default, wider under `huge-graphs` — both endpoints share the binary,
+//! so they always agree), and values as `f64` bit patterns.
 //!
 //! ```text
 //! ProtocolMsg::Flood    := 0x00 round:u32 value:f64bits path:u32
-//! ProtocolMsg::Complete := 0x01 round:u32 suspects:u128 path:u32 seq:u64
+//! ProtocolMsg::Complete := 0x01 round:u32 suspects:[u64; NODE_WORDS] path:u32 seq:u64
 //!                          count:u32 (path:u32 valuebits:u64)^count
 //! CrashMsg              := round:u32 value:f64bits path:u32
 //! ```
@@ -31,8 +33,8 @@
 use crate::crash::CrashMsg;
 use crate::message::ProtocolMsg;
 use crate::message_set::CompletePayload;
-use dbac_graph::{NodeSet, PathId};
-use dbac_sim::net::codec::{WireError, WireMessage, WireReader};
+use dbac_graph::PathId;
+use dbac_sim::net::codec::{encode_node_set, WireError, WireMessage, WireReader};
 use std::sync::Arc;
 
 const TAG_FLOOD: u8 = 0;
@@ -77,7 +79,7 @@ impl WireMessage for ProtocolMsg {
             ProtocolMsg::Complete { round, suspects, payload, path, seq } => {
                 out.push(TAG_COMPLETE);
                 out.extend_from_slice(&round.to_le_bytes());
-                out.extend_from_slice(&suspects.bits().to_le_bytes());
+                encode_node_set(*suspects, out);
                 out.extend_from_slice(&path.raw().to_le_bytes());
                 out.extend_from_slice(&seq.to_le_bytes());
                 encode_payload(payload, out);
@@ -94,7 +96,7 @@ impl WireMessage for ProtocolMsg {
             }),
             TAG_COMPLETE => {
                 let round = r.u32()?;
-                let suspects = NodeSet::from_bits(r.u128()?);
+                let suspects = r.node_set()?;
                 let path = PathId::from_raw(r.u32()?);
                 let seq = r.u64()?;
                 let payload = Arc::new(decode_payload(r)?);
@@ -123,8 +125,9 @@ mod tests {
     use crate::config::FloodMode;
     use crate::message::validate_flood;
     use crate::test_support::topo_of;
-    use dbac_graph::{generators, NodeId};
+    use dbac_graph::{generators, NodeId, NodeSet};
     use dbac_sim::net::codec::MAX_FRAME;
+    use dbac_sim::net::codec::NODE_SET_BYTES;
 
     /// One splitmix64 step — the corpus generator (no fuzzer dependency).
     fn mix(state: &mut u64) -> u64 {
@@ -176,7 +179,13 @@ mod tests {
                 .collect();
             ProtocolMsg::Complete {
                 round: mix(state) as u32,
-                suspects: NodeSet::from_bits(mix(state) as u128 | ((mix(state) as u128) << 64)),
+                suspects: {
+                    let mut words = [0u64; dbac_graph::NODE_WORDS];
+                    for w in &mut words {
+                        *w = mix(state);
+                    }
+                    NodeSet::from_words(words)
+                },
                 payload: Arc::new(CompletePayload::from_entries(entries)),
                 path: PathId::from_raw(mix(state) as u32),
                 seq: mix(state),
@@ -243,13 +252,13 @@ mod tests {
     #[test]
     fn max_length_frame_round_trips() {
         // The largest Complete that still fits the 1 MiB frame cap.
-        let header = 1 + 4 + 16 + 4 + 8 + 4;
+        let header = 1 + 4 + NODE_SET_BYTES + 4 + 8 + 4;
         let count = (MAX_FRAME - header) / ENTRY_BYTES;
         let entries: Vec<(PathId, f64)> =
             (0..count).map(|i| (PathId::from_raw(i as u32), i as f64 * 0.5)).collect();
         let msg = ProtocolMsg::Complete {
             round: 9,
-            suspects: NodeSet::from_bits(u128::MAX),
+            suspects: NodeSet::universe(dbac_graph::MAX_NODES),
             payload: Arc::new(CompletePayload::from_entries(entries)),
             path: PathId::from_raw(3),
             seq: 77,
@@ -290,7 +299,7 @@ mod tests {
         // behind it must fail with Truncated, not try to allocate.
         let mut buf = vec![TAG_COMPLETE];
         buf.extend_from_slice(&1u32.to_le_bytes()); // round
-        buf.extend_from_slice(&0u128.to_le_bytes()); // suspects
+        buf.extend_from_slice(&[0u8; NODE_SET_BYTES]); // suspects
         buf.extend_from_slice(&0u32.to_le_bytes()); // path
         buf.extend_from_slice(&1u64.to_le_bytes()); // seq
         buf.extend_from_slice(&u32::MAX.to_le_bytes()); // entry count

@@ -543,7 +543,7 @@ pub struct RoundCore {
     trackers: Vec<CompletenessTracker>,
     // The maps below key on value bits or payload fingerprints — bytes a
     // Byzantine sender chooses — so they use the seeded default hasher.
-    tracker_index: HashMap<(u128, u64), usize>,
+    tracker_index: HashMap<(NodeSet, u64), usize>,
     /// (q, value-bits) → obligations waiting on new paths carrying it.
     waiters: HashMap<(NodeId, u64), Vec<(usize, usize)>>,
 }
@@ -827,7 +827,7 @@ impl RoundCore {
         fingerprint: u64,
         topo: &Topology,
     ) -> usize {
-        if let Some(&idx) = self.tracker_index.get(&(suspects.bits(), fingerprint)) {
+        if let Some(&idx) = self.tracker_index.get(&(suspects, fingerprint)) {
             return idx;
         }
         let consistent = payload.is_consistent(topo.index());
@@ -861,7 +861,7 @@ impl RoundCore {
             }
         }
         self.trackers.push(tracker);
-        self.tracker_index.insert((suspects.bits(), fingerprint), idx);
+        self.tracker_index.insert((suspects, fingerprint), idx);
         idx
     }
 

@@ -141,7 +141,7 @@ pub struct RoundCore {
     paths_by_init_value: HashMap<(NodeId, u64), Vec<NodeSet>>,
     threads: Vec<ThreadState>,
     trackers: Vec<CompletenessTracker>,
-    tracker_index: HashMap<(u128, u64), usize>,
+    tracker_index: HashMap<(NodeSet, u64), usize>,
     /// (q, value-bits) → obligations waiting on new paths carrying it.
     waiters: HashMap<(NodeId, u64), Vec<(usize, usize)>>,
 }
@@ -371,7 +371,7 @@ impl RoundCore {
         fingerprint: u64,
         topo: &Topology,
     ) -> usize {
-        if let Some(&idx) = self.tracker_index.get(&(suspects.bits(), fingerprint)) {
+        if let Some(&idx) = self.tracker_index.get(&(suspects, fingerprint)) {
             return idx;
         }
         let consistent = payload.is_consistent(topo.index());
@@ -403,7 +403,7 @@ impl RoundCore {
             }
         }
         self.trackers.push(tracker);
-        self.tracker_index.insert((suspects.bits(), fingerprint), idx);
+        self.tracker_index.insert((suspects, fingerprint), idx);
         idx
     }
 

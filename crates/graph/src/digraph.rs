@@ -39,7 +39,7 @@ impl Digraph {
     /// # Errors
     ///
     /// Returns [`GraphError::EmptyGraph`] if `n == 0` and
-    /// [`GraphError::TooManyNodes`] if `n > 128`.
+    /// [`GraphError::TooManyNodes`] if `n > MAX_NODES`.
     pub fn new(n: usize) -> Result<Self, GraphError> {
         if n == 0 {
             return Err(GraphError::EmptyGraph);
@@ -285,10 +285,10 @@ mod tests {
     fn construction_bounds() {
         assert_eq!(Digraph::new(0).unwrap_err(), GraphError::EmptyGraph);
         assert!(matches!(
-            Digraph::new(200).unwrap_err(),
-            GraphError::TooManyNodes { requested: 200 }
+            Digraph::new(MAX_NODES + 1).unwrap_err(),
+            GraphError::TooManyNodes { requested } if requested == MAX_NODES + 1
         ));
-        assert!(Digraph::new(128).is_ok());
+        assert!(Digraph::new(MAX_NODES).is_ok());
     }
 
     #[test]

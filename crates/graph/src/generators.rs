@@ -11,7 +11,7 @@ use rand::Rng;
 ///
 /// # Panics
 ///
-/// Panics if `n == 0` or `n > 128`.
+/// Panics if `n == 0` or `n > MAX_NODES`.
 #[must_use]
 pub fn clique(n: usize) -> Digraph {
     let mut g = Digraph::new(n).expect("valid clique size");
@@ -29,7 +29,7 @@ pub fn clique(n: usize) -> Digraph {
 ///
 /// # Panics
 ///
-/// Panics if `n < 2` or `n > 128`.
+/// Panics if `n < 2` or `n > MAX_NODES`.
 #[must_use]
 pub fn directed_cycle(n: usize) -> Digraph {
     assert!(n >= 2, "a cycle needs at least two nodes");
@@ -44,7 +44,7 @@ pub fn directed_cycle(n: usize) -> Digraph {
 ///
 /// # Panics
 ///
-/// Panics if `n < 3` or `n > 128`.
+/// Panics if `n < 3` or `n > MAX_NODES`.
 #[must_use]
 pub fn bidirectional_cycle(n: usize) -> Digraph {
     assert!(n >= 3, "an undirected cycle needs at least three nodes");
@@ -56,7 +56,7 @@ pub fn bidirectional_cycle(n: usize) -> Digraph {
 ///
 /// # Panics
 ///
-/// Panics if `n == 0` or `n > 128`.
+/// Panics if `n == 0` or `n > MAX_NODES`.
 #[must_use]
 pub fn directed_path(n: usize) -> Digraph {
     let mut g = Digraph::new(n).expect("valid path size");
@@ -71,7 +71,7 @@ pub fn directed_path(n: usize) -> Digraph {
 ///
 /// # Panics
 ///
-/// Panics if `n < 4` or `n > 128`.
+/// Panics if `n < 4` or `n > MAX_NODES`.
 #[must_use]
 pub fn wheel(n: usize) -> Digraph {
     assert!(n >= 4, "a wheel needs at least four nodes");
@@ -134,7 +134,7 @@ pub fn figure_1b() -> Digraph {
 ///
 /// # Panics
 ///
-/// Panics if `2k > 128` or an index is out of `0..k`.
+/// Panics if `2k > MAX_NODES` or an index is out of `0..k`.
 #[must_use]
 pub fn two_cliques_bridged(
     k: usize,
@@ -170,12 +170,97 @@ pub fn figure_1b_small() -> Digraph {
     two_cliques_bridged(4, &[(0, 0), (1, 1)], &[(1, 1), (2, 2), (3, 3)])
 }
 
+/// The **`k`-circulant** digraph: node `u` has an edge to
+/// `u + o (mod n)` for every offset `o` in `offsets`. Every node has
+/// in-degree and out-degree `|offsets|`, so the family scales to tens of
+/// thousands of nodes with constant-size neighborhoods — the workhorse of
+/// the iterative scaling runs.
+///
+/// With power-of-two offsets (see [`circulant_pow2`]) the graph mixes
+/// like a hypercube: an averaging iteration contracts the value spread
+/// geometrically with a rate that degrades only logarithmically in `n`.
+/// Offsets `{1, …, k}` with `k ≥ 2f + 1` give the classical
+/// `(f+1, f+1)`-robust family of the W-MSR literature.
+///
+/// # Panics
+///
+/// Panics if `n > MAX_NODES`, `offsets` is empty, or an offset is `0` or
+/// `≥ n` (a zero offset would be a self-loop; offsets are distinct mod
+/// `n` by the same check).
+#[must_use]
+pub fn circulant(n: usize, offsets: &[usize]) -> Digraph {
+    assert!(!offsets.is_empty(), "a circulant needs at least one offset");
+    let mut g = Digraph::new(n).expect("valid circulant size");
+    for &o in offsets {
+        assert!(o > 0 && o < n, "offset {o} out of range 1..{n}");
+        for u in 0..n {
+            g.add_edge(NodeId::new(u), NodeId::new((u + o) % n)).expect("valid edge");
+        }
+    }
+    g
+}
+
+/// The circulant on the power-of-two offsets `{1, 2, 4, …}` below `n` —
+/// `⌈log₂ n⌉` offsets, so the degree (and the per-round message bill)
+/// grows logarithmically while the averaging iteration keeps an
+/// expander-grade spectral gap. The default topology of the 10⁴-node
+/// scaling story.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `n > MAX_NODES`.
+#[must_use]
+pub fn circulant_pow2(n: usize) -> Digraph {
+    assert!(n >= 2, "need at least two nodes");
+    let mut offsets = Vec::new();
+    let mut o = 1usize;
+    while o < n {
+        offsets.push(o);
+        o *= 2;
+    }
+    circulant(n, &offsets)
+}
+
+/// A **layered expander**: `layers` layers of `width` nodes each. Within a
+/// layer, nodes form a bidirectional cycle; between consecutive layers
+/// (cyclically, so the last layer feeds the first), node `i` of layer `l`
+/// sends to nodes `i`, `i+1` and `i+stride` of layer `l+1`. Strongly
+/// connected, constant degree, and — unlike the circulant — strongly
+/// *asymmetric*: information flows forward through layers an order of
+/// magnitude faster than backward, which stresses schedule-dependent
+/// protocol paths that symmetric families never exercise.
+///
+/// # Panics
+///
+/// Panics if `layers < 2`, `width < 3`, or `layers * width > MAX_NODES`.
+#[must_use]
+pub fn layered_expander(layers: usize, width: usize) -> Digraph {
+    assert!(layers >= 2, "need at least two layers");
+    assert!(width >= 3, "need at least three nodes per layer");
+    let n = layers * width;
+    let stride = (width / 2).max(2);
+    let mut g = Digraph::new(n).expect("valid layered size");
+    let id = |layer: usize, i: usize| NodeId::new((layer % layers) * width + i % width);
+    for l in 0..layers {
+        for i in 0..width {
+            // Intra-layer bidirectional ring.
+            g.add_edge(id(l, i), id(l, i + 1)).expect("valid edge");
+            g.add_edge(id(l, i + 1), id(l, i)).expect("valid edge");
+            // Forward inter-layer fan: aligned, shifted, and strided.
+            for &j in &[i, i + 1, i + stride] {
+                let _ = g.add_edge(id(l, i), id(l + 1, j));
+            }
+        }
+    }
+    g
+}
+
 /// Erdős–Rényi style random digraph: each ordered pair `(u, v)`, `u ≠ v`,
 /// is an edge independently with probability `p`.
 ///
 /// # Panics
 ///
-/// Panics if `n == 0`, `n > 128` or `p ∉ [0, 1]`.
+/// Panics if `n == 0`, `n > MAX_NODES` or `p ∉ [0, 1]`.
 pub fn random_digraph<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Digraph {
     assert!((0.0..=1.0).contains(&p), "probability out of range");
     let mut g = Digraph::new(n).expect("valid size");
@@ -287,6 +372,48 @@ mod tests {
         assert_eq!(g.node_count(), 8);
         // Two K4 cliques (2 * 12) + 5 bridges.
         assert_eq!(g.edge_count(), 29);
+    }
+
+    #[test]
+    fn circulant_shape_and_degrees() {
+        let g = circulant(10, &[1, 3]);
+        assert_eq!(g.edge_count(), 20);
+        for u in 0..10 {
+            assert_eq!(g.out_neighbors(NodeId::new(u)).len(), 2);
+            assert_eq!(g.in_neighbors(NodeId::new(u)).len(), 2);
+        }
+        assert!(g.has_edge(NodeId::new(9), NodeId::new(2)), "wraps mod n");
+        assert!(crate::connectivity::is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn circulant_pow2_degree_is_logarithmic() {
+        let g = circulant_pow2(200);
+        // Offsets 1, 2, 4, …, 128 → 8 offsets.
+        assert_eq!(g.out_neighbors(NodeId::new(0)).len(), 8);
+        assert!(crate::connectivity::is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn circulant_past_128_nodes() {
+        // The u128-era NodeSet capped graphs at 128 nodes; the multi-word
+        // set carries the same generator family past it.
+        let g = circulant(200, &[1, 2, 3]);
+        assert_eq!(g.node_count(), 200);
+        assert_eq!(g.edge_count(), 600);
+        assert!(g.has_edge(NodeId::new(199), NodeId::new(1)));
+    }
+
+    #[test]
+    fn layered_expander_is_strongly_connected() {
+        let g = layered_expander(4, 5);
+        assert_eq!(g.node_count(), 20);
+        assert!(crate::connectivity::is_strongly_connected(&g));
+        // Constant out-degree: ring (2) + up to 3 forward fan edges.
+        for u in 0..20 {
+            let d = g.out_neighbors(NodeId::new(u)).len();
+            assert!((4..=5).contains(&d), "node {u} degree {d}");
+        }
     }
 
     #[test]

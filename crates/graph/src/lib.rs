@@ -10,8 +10,9 @@
 //! paths*. This crate provides the pieces everything else is built on:
 //!
 //! * [`NodeId`] — a typed node identifier.
-//! * [`NodeSet`] — a bitset over nodes (`|V| ≤ 128`), the workhorse for the
-//!   paper's ubiquitous "for any `F ⊆ V` with `|F| ≤ f`" quantifiers.
+//! * [`NodeSet`] — a multi-word bitset over nodes (`|V| ≤ MAX_NODES`: 256
+//!   by default, 16384 under the `huge-graphs` feature), the workhorse for
+//!   the paper's ubiquitous "for any `F ⊆ V` with `|F| ≤ f`" quantifiers.
 //! * [`Digraph`] — the directed network.
 //! * [`Path`] — directed paths, with the paper's *simple* and *redundant*
 //!   path notions (Section 3) and exhaustive enumeration with budget guards.
@@ -64,7 +65,7 @@ pub use digraph::Digraph;
 pub use error::GraphError;
 pub use fasthash::{FastHashMap, FastHashSet};
 pub use node::NodeId;
-pub use nodeset::{NodeSet, MAX_NODES};
+pub use nodeset::{NodeSet, WordSet, MAX_NODES, NODE_WORDS};
 pub use path_index::{PathId, PathIndex};
 pub use paths::{Path, PathBudget};
 pub use subsets::SubsetsUpTo;

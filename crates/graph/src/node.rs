@@ -25,8 +25,9 @@ impl NodeId {
     ///
     /// # Panics
     ///
-    /// Panics if `index` exceeds the maximum supported node count (128),
-    /// which is the capacity of [`NodeSet`](crate::NodeSet).
+    /// Panics if `index` exceeds the maximum supported node count
+    /// ([`MAX_NODES`](crate::MAX_NODES)), which is the capacity of
+    /// [`NodeSet`](crate::NodeSet).
     #[must_use]
     pub fn new(index: usize) -> Self {
         assert!(
@@ -76,7 +77,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceeds the supported maximum")]
     fn new_rejects_out_of_range() {
-        let _ = NodeId::new(128);
+        let _ = NodeId::new(crate::nodeset::MAX_NODES);
     }
 
     #[test]

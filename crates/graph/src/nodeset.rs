@@ -2,18 +2,39 @@
 //!
 //! The paper quantifies over node subsets constantly ("for any `F ⊆ V` such
 //! that `|F| ≤ f` …"). [`NodeSet`] makes those subsets cheap values: a
-//! `u128` bitset with *O(1)* union/intersection/containment, `Copy`
-//! semantics and deterministic iteration order.
+//! const-generic multi-word bitset with *O(W)* union/intersection/
+//! containment, `Copy` semantics and deterministic iteration order.
+//!
+//! # Width
+//!
+//! [`NodeSet`] is [`WordSet`] instantiated at [`NODE_WORDS`] 64-bit words,
+//! so it holds node indices `0 .. MAX_NODES` where
+//! `MAX_NODES = NODE_WORDS * 64`:
+//!
+//! * default build — 4 words, 256 nodes, a 32-byte `Copy` value;
+//! * `huge-graphs` feature — 256 words, 16384 nodes, for the
+//!   tens-of-thousands iterative scaling runs.
+//!
+//! The original `u128` single-word implementation survives as the
+//! differential oracle in [`reference`] (compiled under `cfg(test)` and the
+//! `reference-nodeset` feature, in the same spirit as the
+//! `reference-messageset` / `reference-witness` backends): the in-module
+//! proptests and `tests/nodeset_differential.rs` drive both through the
+//! same operation sequences for `n ≤ 128` and require identical answers.
 
 use crate::node::NodeId;
-use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, Sub, SubAssign};
 
-/// Maximum number of nodes representable in a [`NodeSet`].
-pub const MAX_NODES: usize = 128;
+/// Number of 64-bit words backing a [`NodeSet`].
+pub const NODE_WORDS: usize = if cfg!(feature = "huge-graphs") { 256 } else { 4 };
 
-/// A set of [`NodeId`]s backed by a 128-bit mask.
+/// Maximum number of nodes representable in a [`NodeSet`].
+pub const MAX_NODES: usize = NODE_WORDS * 64;
+
+/// A set of [`NodeId`]s backed by [`NODE_WORDS`] × 64-bit words.
 ///
 /// # Example
 ///
@@ -29,175 +50,316 @@ pub const MAX_NODES: usize = 128;
 /// assert_eq!(complement.len(), 4);
 /// assert!(complement.is_disjoint(f));
 /// ```
-#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct NodeSet(u128);
+pub type NodeSet = WordSet<NODE_WORDS>;
 
-impl NodeSet {
+/// Iterator over the nodes of a [`NodeSet`], produced by [`NodeSet::iter`].
+pub type Iter = WordIter<NODE_WORDS>;
+
+/// A fixed-width bitset over node indices `0 .. W * 64`.
+///
+/// [`NodeSet`] is the workspace-wide instantiation; the width is generic so
+/// the differential harness can pin a 128-bit instance (`WordSet<2>`)
+/// against the [`reference`] `u128` oracle regardless of the build's
+/// [`NODE_WORDS`].
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct WordSet<const W: usize>([u64; W]);
+
+impl<const W: usize> WordSet<W> {
     /// The empty set.
-    pub const EMPTY: NodeSet = NodeSet(0);
+    pub const EMPTY: WordSet<W> = WordSet([0; W]);
+
+    /// Node-index capacity of this width (`W * 64`).
+    pub const CAPACITY: usize = W * 64;
 
     /// Creates an empty set.
     #[must_use]
     pub fn new() -> Self {
-        NodeSet(0)
+        Self::EMPTY
     }
 
     /// Creates a set containing exactly one node.
     #[must_use]
     pub fn singleton(v: NodeId) -> Self {
-        NodeSet(1u128 << v.index())
+        let mut s = Self::EMPTY;
+        s.0[v.index() / 64] = 1u64 << (v.index() % 64);
+        s
     }
 
     /// Creates the full universe `{0, …, n-1}`.
     ///
     /// # Panics
     ///
-    /// Panics if `n > 128`.
+    /// Panics if `n` exceeds the width's capacity (`MAX_NODES` for
+    /// [`NodeSet`]).
     #[must_use]
     pub fn universe(n: usize) -> Self {
-        assert!(n <= MAX_NODES, "universe size {n} exceeds {MAX_NODES}");
-        if n == MAX_NODES {
-            NodeSet(u128::MAX)
-        } else {
-            NodeSet((1u128 << n) - 1)
+        assert!(n <= Self::CAPACITY, "universe size {n} exceeds {}", Self::CAPACITY);
+        let mut s = Self::EMPTY;
+        for (i, w) in s.0.iter_mut().enumerate() {
+            let lo = i * 64;
+            if n >= lo + 64 {
+                *w = u64::MAX;
+            } else if n > lo {
+                *w = (1u64 << (n - lo)) - 1;
+            }
         }
+        s
     }
 
     /// Inserts a node; returns `true` if it was not already present.
     pub fn insert(&mut self, v: NodeId) -> bool {
-        let bit = 1u128 << v.index();
-        let was_absent = self.0 & bit == 0;
-        self.0 |= bit;
+        let (word, bit) = (v.index() / 64, 1u64 << (v.index() % 64));
+        let was_absent = self.0[word] & bit == 0;
+        self.0[word] |= bit;
         was_absent
     }
 
     /// Removes a node; returns `true` if it was present.
     pub fn remove(&mut self, v: NodeId) -> bool {
-        let bit = 1u128 << v.index();
-        let was_present = self.0 & bit != 0;
-        self.0 &= !bit;
+        let (word, bit) = (v.index() / 64, 1u64 << (v.index() % 64));
+        let was_present = self.0[word] & bit != 0;
+        self.0[word] &= !bit;
         was_present
     }
 
     /// Returns `true` if the set contains `v`.
     #[must_use]
     pub fn contains(self, v: NodeId) -> bool {
-        self.0 & (1u128 << v.index()) != 0
+        self.0[v.index() / 64] & (1u64 << (v.index() % 64)) != 0
     }
 
     /// Number of nodes in the set.
     #[must_use]
     pub fn len(self) -> usize {
-        self.0.count_ones() as usize
+        self.0.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Returns `true` if the set is empty.
     #[must_use]
     pub fn is_empty(self) -> bool {
-        self.0 == 0
+        self.0.iter().all(|&w| w == 0)
     }
 
     /// Set union `self ∪ other`.
     #[must_use]
-    pub fn union(self, other: NodeSet) -> NodeSet {
-        NodeSet(self.0 | other.0)
+    pub fn union(self, other: Self) -> Self {
+        let mut out = self;
+        for (o, w) in out.0.iter_mut().zip(other.0) {
+            *o |= w;
+        }
+        out
     }
 
     /// Set intersection `self ∩ other`.
     #[must_use]
-    pub fn intersection(self, other: NodeSet) -> NodeSet {
-        NodeSet(self.0 & other.0)
+    pub fn intersection(self, other: Self) -> Self {
+        let mut out = self;
+        for (o, w) in out.0.iter_mut().zip(other.0) {
+            *o &= w;
+        }
+        out
     }
 
     /// Set difference `self ∖ other`.
     #[must_use]
-    pub fn difference(self, other: NodeSet) -> NodeSet {
-        NodeSet(self.0 & !other.0)
+    pub fn difference(self, other: Self) -> Self {
+        let mut out = self;
+        for (o, w) in out.0.iter_mut().zip(other.0) {
+            *o &= !w;
+        }
+        out
     }
 
     /// Complement within the universe `{0, …, n-1}` — the paper's `X̄`.
     #[must_use]
-    pub fn complement_in(self, n: usize) -> NodeSet {
-        NodeSet(!self.0 & NodeSet::universe(n).0)
+    pub fn complement_in(self, n: usize) -> Self {
+        let mut out = Self::universe(n);
+        for (o, w) in out.0.iter_mut().zip(self.0) {
+            *o &= !w;
+        }
+        out
     }
 
     /// Returns `true` if `self ⊆ other`.
     #[must_use]
-    pub fn is_subset(self, other: NodeSet) -> bool {
-        self.0 & !other.0 == 0
+    pub fn is_subset(self, other: Self) -> bool {
+        self.0.iter().zip(other.0).all(|(&a, b)| a & !b == 0)
     }
 
     /// Returns `true` if the sets share no node.
     #[must_use]
-    pub fn is_disjoint(self, other: NodeSet) -> bool {
-        self.0 & other.0 == 0
+    pub fn is_disjoint(self, other: Self) -> bool {
+        self.0.iter().zip(other.0).all(|(&a, b)| a & b == 0)
     }
 
     /// Smallest node in the set, if non-empty.
     #[must_use]
     pub fn first(self) -> Option<NodeId> {
-        if self.0 == 0 {
-            None
-        } else {
-            Some(NodeId::new(self.0.trailing_zeros() as usize))
-        }
+        self.0
+            .iter()
+            .position(|&w| w != 0)
+            .map(|i| NodeId::new(i * 64 + self.0[i].trailing_zeros() as usize))
+    }
+
+    /// Number of members with index strictly below `v` — the rank `v`
+    /// would occupy in the set's sorted iteration order. This is the
+    /// opaque replacement for the old `bits() & (bit - 1)` popcount
+    /// idiom (dense per-neighbor slot assignment in `PathIndex`).
+    #[must_use]
+    pub fn rank_below(self, v: NodeId) -> usize {
+        let (word, bit) = (v.index() / 64, v.index() % 64);
+        let below: usize = self.0[..word].iter().map(|w| w.count_ones() as usize).sum();
+        below + (self.0[word] & ((1u64 << bit) - 1)).count_ones() as usize
     }
 
     /// Iterates over the nodes in ascending index order.
-    pub fn iter(self) -> Iter {
-        Iter(self.0)
+    pub fn iter(self) -> WordIter<W> {
+        WordIter { words: self.0, word: 0 }
     }
 
-    /// Returns the raw 128-bit mask (for hashing / compact serialization).
+    /// The backing words, least-significant first — the compact,
+    /// width-honest form for wire codecs and snapshots.
+    #[must_use]
+    pub fn words(&self) -> &[u64; W] {
+        &self.0
+    }
+
+    /// Reconstructs a set from backing words produced by
+    /// [`WordSet::words`].
+    #[must_use]
+    pub fn from_words(words: [u64; W]) -> Self {
+        WordSet(words)
+    }
+
+    /// Returns the low 128 bits as a mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set contains a member with index ≥ 128 — the mask
+    /// cannot represent it.
+    #[deprecated(
+        since = "0.1.0",
+        note = "128-bit escape hatch from the u128 era; use words()/from_words(), \
+                rank_below(), or key maps by NodeSet directly"
+    )]
     #[must_use]
     pub fn bits(self) -> u128 {
-        self.0
+        assert!(
+            self.0.iter().skip(2).all(|&w| w == 0),
+            "NodeSet::bits: set {self} has members ≥ 128"
+        );
+        let lo = self.0.first().copied().unwrap_or(0) as u128;
+        let hi = if W > 1 { self.0[1] as u128 } else { 0 };
+        lo | hi << 64
     }
 
-    /// Reconstructs a set from a raw mask produced by [`NodeSet::bits`].
+    /// Reconstructs a set from a raw 128-bit mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width cannot hold 128 bits and `bits` has high bits
+    /// set.
+    #[deprecated(
+        since = "0.1.0",
+        note = "128-bit escape hatch from the u128 era; use from_words()"
+    )]
     #[must_use]
     pub fn from_bits(bits: u128) -> Self {
-        NodeSet(bits)
+        let mut s = Self::EMPTY;
+        s.0[0] = bits as u64;
+        let hi = (bits >> 64) as u64;
+        if W > 1 {
+            s.0[1] = hi;
+        } else {
+            assert!(hi == 0, "WordSet<1>::from_bits: mask has bits ≥ 64");
+        }
+        s
     }
 }
 
-/// Iterator over the nodes of a [`NodeSet`], produced by [`NodeSet::iter`].
-#[derive(Clone, Debug)]
-pub struct Iter(u128);
+impl<const W: usize> Default for WordSet<W> {
+    fn default() -> Self {
+        Self::EMPTY
+    }
+}
 
-impl Iterator for Iter {
+/// Numeric mask order, most-significant word first — coincides with the
+/// old `u128` ordering for sets confined to the low 128 bits, so sorted
+/// collections of sets keep their historical order.
+impl<const W: usize> Ord for WordSet<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for i in (0..W).rev() {
+            match self.0[i].cmp(&other.0[i]) {
+                Ordering::Equal => {}
+                unequal => return unequal,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl<const W: usize> PartialOrd for WordSet<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Hashes only the non-zero word prefix (plus its length), so small sets
+/// in a wide build don't pay for hashing kilobytes of zero words. Equal
+/// sets share the same prefix, keeping the impl consistent with `Eq`.
+impl<const W: usize> Hash for WordSet<W> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        let len = W - self.0.iter().rev().take_while(|&&w| w == 0).count();
+        state.write_usize(len);
+        for &w in &self.0[..len] {
+            state.write_u64(w);
+        }
+    }
+}
+
+/// Iterator over the nodes of a [`WordSet`], produced by
+/// [`WordSet::iter`].
+#[derive(Clone, Debug)]
+pub struct WordIter<const W: usize> {
+    words: [u64; W],
+    word: usize,
+}
+
+impl<const W: usize> Iterator for WordIter<W> {
     type Item = NodeId;
 
     fn next(&mut self) -> Option<NodeId> {
-        if self.0 == 0 {
-            None
-        } else {
-            let idx = self.0.trailing_zeros() as usize;
-            self.0 &= self.0 - 1;
-            Some(NodeId::new(idx))
+        while self.word < W {
+            let w = self.words[self.word];
+            if w != 0 {
+                self.words[self.word] = w & (w - 1);
+                return Some(NodeId::new(self.word * 64 + w.trailing_zeros() as usize));
+            }
+            self.word += 1;
         }
+        None
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let n = self.0.count_ones() as usize;
+        let n = self.words[self.word..].iter().map(|w| w.count_ones() as usize).sum();
         (n, Some(n))
     }
 }
 
-impl ExactSizeIterator for Iter {}
+impl<const W: usize> ExactSizeIterator for WordIter<W> {}
 
-impl IntoIterator for NodeSet {
+impl<const W: usize> IntoIterator for WordSet<W> {
     type Item = NodeId;
-    type IntoIter = Iter;
+    type IntoIter = WordIter<W>;
 
-    fn into_iter(self) -> Iter {
+    fn into_iter(self) -> WordIter<W> {
         self.iter()
     }
 }
 
-impl FromIterator<NodeId> for NodeSet {
+impl<const W: usize> FromIterator<NodeId> for WordSet<W> {
     fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
-        let mut s = NodeSet::new();
+        let mut s = Self::new();
         for v in iter {
             s.insert(v);
         }
@@ -205,7 +367,7 @@ impl FromIterator<NodeId> for NodeSet {
     }
 }
 
-impl Extend<NodeId> for NodeSet {
+impl<const W: usize> Extend<NodeId> for WordSet<W> {
     fn extend<I: IntoIterator<Item = NodeId>>(&mut self, iter: I) {
         for v in iter {
             self.insert(v);
@@ -213,52 +375,58 @@ impl Extend<NodeId> for NodeSet {
     }
 }
 
-impl BitOr for NodeSet {
-    type Output = NodeSet;
-    fn bitor(self, rhs: NodeSet) -> NodeSet {
+impl<const W: usize> BitOr for WordSet<W> {
+    type Output = Self;
+    fn bitor(self, rhs: Self) -> Self {
         self.union(rhs)
     }
 }
 
-impl BitOrAssign for NodeSet {
-    fn bitor_assign(&mut self, rhs: NodeSet) {
-        self.0 |= rhs.0;
+impl<const W: usize> BitOrAssign for WordSet<W> {
+    fn bitor_assign(&mut self, rhs: Self) {
+        for (o, w) in self.0.iter_mut().zip(rhs.0) {
+            *o |= w;
+        }
     }
 }
 
-impl BitAnd for NodeSet {
-    type Output = NodeSet;
-    fn bitand(self, rhs: NodeSet) -> NodeSet {
+impl<const W: usize> BitAnd for WordSet<W> {
+    type Output = Self;
+    fn bitand(self, rhs: Self) -> Self {
         self.intersection(rhs)
     }
 }
 
-impl BitAndAssign for NodeSet {
-    fn bitand_assign(&mut self, rhs: NodeSet) {
-        self.0 &= rhs.0;
+impl<const W: usize> BitAndAssign for WordSet<W> {
+    fn bitand_assign(&mut self, rhs: Self) {
+        for (o, w) in self.0.iter_mut().zip(rhs.0) {
+            *o &= w;
+        }
     }
 }
 
-impl Sub for NodeSet {
-    type Output = NodeSet;
-    fn sub(self, rhs: NodeSet) -> NodeSet {
+impl<const W: usize> Sub for WordSet<W> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
         self.difference(rhs)
     }
 }
 
-impl SubAssign for NodeSet {
-    fn sub_assign(&mut self, rhs: NodeSet) {
-        self.0 &= !rhs.0;
+impl<const W: usize> SubAssign for WordSet<W> {
+    fn sub_assign(&mut self, rhs: Self) {
+        for (o, w) in self.0.iter_mut().zip(rhs.0) {
+            *o &= !w;
+        }
     }
 }
 
-impl fmt::Debug for NodeSet {
+impl<const W: usize> fmt::Debug for WordSet<W> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{self}")
     }
 }
 
-impl fmt::Display for NodeSet {
+impl<const W: usize> fmt::Display for WordSet<W> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
         let mut first = true;
@@ -273,15 +441,139 @@ impl fmt::Display for NodeSet {
     }
 }
 
-impl From<NodeId> for NodeSet {
-    fn from(v: NodeId) -> NodeSet {
-        NodeSet::singleton(v)
+impl<const W: usize> From<NodeId> for WordSet<W> {
+    fn from(v: NodeId) -> Self {
+        Self::singleton(v)
+    }
+}
+
+/// The retired `u128` single-word bitset, kept verbatim-in-spirit as the
+/// differential oracle for the multi-word [`WordSet`] (the PR 2/3
+/// reference-backend idiom). Capacity is fixed at 128 nodes; the harness
+/// therefore only compares behaviours for `n ≤ 128`.
+#[cfg(any(test, feature = "reference-nodeset"))]
+pub mod reference {
+    /// Reference bitset over node *indices* (plain `usize`, so the oracle
+    /// stays independent of [`NodeId`](crate::NodeId)'s own bounds).
+    #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+    pub struct RefNodeSet(pub u128);
+
+    impl RefNodeSet {
+        /// The empty set.
+        pub const EMPTY: RefNodeSet = RefNodeSet(0);
+
+        /// The full universe `{0, …, n-1}` (`n ≤ 128`).
+        #[must_use]
+        pub fn universe(n: usize) -> Self {
+            assert!(n <= 128);
+            if n == 128 {
+                RefNodeSet(u128::MAX)
+            } else {
+                RefNodeSet((1u128 << n) - 1)
+            }
+        }
+
+        /// Inserts index `i`; returns `true` if it was absent.
+        pub fn insert(&mut self, i: usize) -> bool {
+            let bit = 1u128 << i;
+            let was_absent = self.0 & bit == 0;
+            self.0 |= bit;
+            was_absent
+        }
+
+        /// Removes index `i`; returns `true` if it was present.
+        pub fn remove(&mut self, i: usize) -> bool {
+            let bit = 1u128 << i;
+            let was_present = self.0 & bit != 0;
+            self.0 &= !bit;
+            was_present
+        }
+
+        /// Membership test.
+        #[must_use]
+        pub fn contains(self, i: usize) -> bool {
+            self.0 & (1u128 << i) != 0
+        }
+
+        /// Cardinality.
+        #[must_use]
+        pub fn len(self) -> usize {
+            self.0.count_ones() as usize
+        }
+
+        /// Emptiness test.
+        #[must_use]
+        pub fn is_empty(self) -> bool {
+            self.0 == 0
+        }
+
+        /// Set union.
+        #[must_use]
+        pub fn union(self, o: Self) -> Self {
+            RefNodeSet(self.0 | o.0)
+        }
+
+        /// Set intersection.
+        #[must_use]
+        pub fn intersection(self, o: Self) -> Self {
+            RefNodeSet(self.0 & o.0)
+        }
+
+        /// Set difference.
+        #[must_use]
+        pub fn difference(self, o: Self) -> Self {
+            RefNodeSet(self.0 & !o.0)
+        }
+
+        /// Complement within `{0, …, n-1}`.
+        #[must_use]
+        pub fn complement_in(self, n: usize) -> Self {
+            RefNodeSet(!self.0 & Self::universe(n).0)
+        }
+
+        /// Subset test.
+        #[must_use]
+        pub fn is_subset(self, o: Self) -> bool {
+            self.0 & !o.0 == 0
+        }
+
+        /// Disjointness test.
+        #[must_use]
+        pub fn is_disjoint(self, o: Self) -> bool {
+            self.0 & o.0 == 0
+        }
+
+        /// Smallest member, if any.
+        #[must_use]
+        pub fn first(self) -> Option<usize> {
+            (self.0 != 0).then(|| self.0.trailing_zeros() as usize)
+        }
+
+        /// Members with index strictly below `i`.
+        #[must_use]
+        pub fn rank_below(self, i: usize) -> usize {
+            (self.0 & ((1u128 << i) - 1)).count_ones() as usize
+        }
+
+        /// Ascending member indices.
+        #[must_use]
+        pub fn indices(self) -> Vec<usize> {
+            let mut out = Vec::with_capacity(self.len());
+            let mut bits = self.0;
+            while bits != 0 {
+                out.push(bits.trailing_zeros() as usize);
+                bits &= bits - 1;
+            }
+            out
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::reference::RefNodeSet;
     use super::*;
+    use proptest::prelude::*;
 
     fn ns(ids: &[usize]) -> NodeSet {
         ids.iter().map(|&i| NodeId::new(i)).collect()
@@ -324,7 +616,18 @@ mod tests {
     #[test]
     fn universe_edges() {
         assert_eq!(NodeSet::universe(0), NodeSet::EMPTY);
-        assert_eq!(NodeSet::universe(128).len(), 128);
+        assert_eq!(NodeSet::universe(MAX_NODES).len(), MAX_NODES);
+        // Word-boundary sizes are where a multi-word fill goes wrong.
+        for n in [63, 64, 65, 127, 128, 129] {
+            assert_eq!(NodeSet::universe(n).len(), n);
+            assert_eq!(NodeSet::universe(n).first(), (n > 0).then(|| NodeId::new(0)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn universe_rejects_oversize() {
+        let _ = NodeSet::universe(MAX_NODES + 1);
     }
 
     #[test]
@@ -356,8 +659,139 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn bits_round_trip() {
         let s = ns(&[0, 64, 127]);
         assert_eq!(NodeSet::from_bits(s.bits()), s);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    #[should_panic(expected = "members ≥ 128")]
+    fn bits_rejects_members_past_128() {
+        let _ = ns(&[130]).bits();
+    }
+
+    #[test]
+    fn words_round_trip_past_128() {
+        let s = ns(&[0, 64, 127, 128, MAX_NODES - 1]);
+        assert_eq!(NodeSet::from_words(*s.words()), s);
+        assert_eq!(s.len(), 5);
+        let order: Vec<usize> = s.iter().map(NodeId::index).collect();
+        assert_eq!(order, vec![0, 64, 127, 128, MAX_NODES - 1]);
+    }
+
+    #[test]
+    fn rank_below_counts_smaller_members() {
+        let s = ns(&[2, 5, 64, 130]);
+        assert_eq!(s.rank_below(NodeId::new(0)), 0);
+        assert_eq!(s.rank_below(NodeId::new(2)), 0);
+        assert_eq!(s.rank_below(NodeId::new(3)), 1);
+        assert_eq!(s.rank_below(NodeId::new(64)), 2);
+        assert_eq!(s.rank_below(NodeId::new(65)), 3);
+        assert_eq!(s.rank_below(NodeId::new(130)), 3);
+        assert_eq!(s.rank_below(NodeId::new(MAX_NODES - 1)), 4);
+    }
+
+    #[test]
+    fn order_matches_the_u128_numeric_order() {
+        // For sets within 128 bits the multi-word Ord must coincide with
+        // the historical u128 comparison (sorted snapshots stay stable).
+        let cases = [ns(&[0]), ns(&[1]), ns(&[0, 1]), ns(&[64]), ns(&[127]), ns(&[5, 127])];
+        for a in &cases {
+            for b in &cases {
+                #[allow(deprecated)]
+                let expect = a.bits().cmp(&b.bits());
+                assert_eq!(a.cmp(b), expect, "{a} vs {b}");
+            }
+        }
+        // Past 128 bits the order is still total and mask-numeric.
+        assert!(ns(&[130]) > ns(&[127]));
+    }
+
+    #[test]
+    fn hash_is_consistent_for_equal_sets() {
+        use std::collections::hash_map::DefaultHasher;
+        let hash = |s: &NodeSet| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        let a = ns(&[3, 70]);
+        let mut b = ns(&[3, 70, 200]);
+        b.remove(NodeId::new(200));
+        assert_eq!(a, b);
+        assert_eq!(hash(&a), hash(&b));
+        assert_ne!(hash(&ns(&[0])), hash(&ns(&[1])));
+    }
+
+    // -----------------------------------------------------------------
+    // Differential: WordSet vs the retired u128 oracle, n ≤ 128.
+    // -----------------------------------------------------------------
+
+    /// Builds both representations from one index list.
+    fn both(ids: &[usize]) -> (WordSet<2>, RefNodeSet) {
+        let mut w = WordSet::<2>::new();
+        let mut r = RefNodeSet::EMPTY;
+        for &i in ids {
+            w.insert(NodeId::new(i));
+            r.insert(i);
+        }
+        (w, r)
+    }
+
+    fn agree(w: WordSet<2>, r: RefNodeSet) {
+        assert_eq!(w.len(), r.len());
+        assert_eq!(w.is_empty(), r.is_empty());
+        assert_eq!(w.first().map(|v| v.index()), r.first());
+        let order: Vec<usize> = w.iter().map(NodeId::index).collect();
+        assert_eq!(order, r.indices(), "iteration order diverged");
+    }
+
+    proptest! {
+        #[test]
+        fn differential_vs_u128_reference(
+            a in proptest::collection::vec(0usize..128, 0..24),
+            b in proptest::collection::vec(0usize..128, 0..24),
+            probe in 0usize..128,
+            n in 0usize..=128,
+        ) {
+            let (wa, ra) = both(&a);
+            let (wb, rb) = both(&b);
+            agree(wa, ra);
+            agree(wb, rb);
+            agree(wa.union(wb), ra.union(rb));
+            agree(wa.intersection(wb), ra.intersection(rb));
+            agree(wa.difference(wb), ra.difference(rb));
+            prop_assert_eq!(wa.contains(NodeId::new(probe)), ra.contains(probe));
+            prop_assert_eq!(wa.is_subset(wb), ra.is_subset(rb));
+            prop_assert_eq!(wa.is_disjoint(wb), ra.is_disjoint(rb));
+            prop_assert_eq!(wa.rank_below(NodeId::new(probe)), ra.rank_below(probe));
+            let masked = wa.intersection(WordSet::<2>::universe(n));
+            agree(masked, ra.intersection(RefNodeSet::universe(n)));
+            agree(wa.complement_in(128).intersection(WordSet::<2>::universe(n)),
+                  ra.complement_in(128).intersection(RefNodeSet::universe(n)));
+            // Ord agrees with the u128 numeric order.
+            prop_assert_eq!(wa.cmp(&wb), ra.0.cmp(&rb.0));
+        }
+
+        #[test]
+        fn differential_insert_remove_sequences(
+            // Each op packs (kind, index): 0..128 inserts i, 128..256 removes
+            // i − 128 (the shim has no tuple strategies).
+            ops in proptest::collection::vec(0usize..256, 0..64),
+        ) {
+            let mut w = WordSet::<2>::new();
+            let mut r = RefNodeSet::EMPTY;
+            for op in ops {
+                let i = op % 128;
+                if op < 128 {
+                    prop_assert_eq!(w.insert(NodeId::new(i)), r.insert(i));
+                } else {
+                    prop_assert_eq!(w.remove(NodeId::new(i)), r.remove(i));
+                }
+                agree(w, r);
+            }
+        }
     }
 }

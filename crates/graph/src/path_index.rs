@@ -10,8 +10,8 @@
 //! values per message, per hop. Interning replaces every hot-path `Path` by
 //! a `u32` [`PathId`] into a [`PathIndex`] that precomputes, per path:
 //!
-//! * its [`NodeSet`] bitmask — `intersects` / `is_within` become a single
-//!   `u128` AND;
+//! * its [`NodeSet`] bitmask — `intersects` / `is_within` become a handful
+//!   of word-wise ANDs;
 //! * `init` / `ter` endpoints and simple/trivial classification;
 //! * a forwarding table `extend: PathId × NodeId → Option<PathId>`, so
 //!   "does `p‖w` stay admissible, and which path is it?" is one array
@@ -249,10 +249,9 @@ impl PathIndex {
                     bucket.iter().copied().find(|&c| paths[c.index()].nodes() == prefix)
                 })
                 .expect("one-step prefix of an interned path is interned");
-            let neighbors = out[prefix.last().expect("non-empty prefix").index()].bits();
-            let bit = 1u128 << last.index();
-            debug_assert!(neighbors & bit != 0, "pooled path uses a non-edge");
-            let rank = (neighbors & (bit - 1)).count_ones() as usize;
+            let neighbors = out[prefix.last().expect("non-empty prefix").index()];
+            debug_assert!(neighbors.contains(last), "pooled path uses a non-edge");
+            let rank = neighbors.rank_below(last);
             ext_entries[ext_offsets[pid.index()] as usize + rank] = id as u32;
         }
 
@@ -398,12 +397,11 @@ impl PathIndex {
     #[must_use]
     pub fn extend(&self, id: PathId, w: NodeId) -> Option<PathId> {
         let t = self.ters[id.index()];
-        let neighbors = self.out[t.index()].bits();
-        let bit = 1u128 << w.index();
-        if neighbors & bit == 0 {
+        let neighbors = self.out[t.index()];
+        if !neighbors.contains(w) {
             return None;
         }
-        let rank = (neighbors & (bit - 1)).count_ones() as usize;
+        let rank = neighbors.rank_below(w);
         let entry = self.ext_entries[self.ext_offsets[id.index()] as usize + rank];
         (entry != NO_EXT).then_some(PathId(entry))
     }

@@ -160,7 +160,7 @@ mod tests {
         assert_eq!(all.len(), 16);
         assert!(all.iter().all(|s| s.len() <= 2));
         // No duplicates.
-        let mut sorted: Vec<u128> = all.iter().map(|s| s.bits()).collect();
+        let mut sorted = all.clone();
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), 16);

@@ -10,7 +10,7 @@
 //! ```
 //!
 //! The codec layer is **topology-agnostic and total**: any `u32` decodes
-//! into a `PathId`-shaped field and any `u128` into a suspect set — the
+//! into a `PathId`-shaped field and any word run into a suspect set — the
 //! protocol validation boundary (`validate_flood` / `validate_complete`)
 //! is what rejects forged contents, exactly as it already does for
 //! in-process adversaries. What the codec *does* enforce is structural
@@ -18,7 +18,7 @@
 //! trailing bytes — every violation is a typed [`WireError`], never a
 //! panic, so a Byzantine peer cannot wedge a reader loop.
 
-use dbac_graph::NodeId;
+use dbac_graph::{NodeId, NodeSet};
 use std::io::{ErrorKind, Read, Write};
 
 /// Protocol version byte exchanged in the connection handshake.
@@ -58,7 +58,7 @@ pub enum WireError {
         /// The maximum allowed.
         max: u64,
     },
-    /// A node index at or above the graph-layer `MAX_NODES` bound (128);
+    /// A node index at or above the graph-layer `MAX_NODES` bound;
     /// constructing a [`NodeId`] from it would panic, so the decoder
     /// rejects it first.
     BadNodeId {
@@ -185,6 +185,17 @@ impl<'a> WireReader<'a> {
         Ok(NodeId::new(raw as usize))
     }
 
+    /// Reads a [`NodeSet`] as its `NODE_WORDS` little-endian backing
+    /// words (the width-honest form written by [`encode_node_set`]). The
+    /// read is structural only — every bit pattern is a valid set.
+    pub fn node_set(&mut self) -> Result<NodeSet, WireError> {
+        let mut words = [0u64; dbac_graph::NODE_WORDS];
+        for w in &mut words {
+            *w = self.u64()?;
+        }
+        Ok(NodeSet::from_words(words))
+    }
+
     /// Asserts the frame was consumed exactly.
     pub fn finish(self) -> Result<(), WireError> {
         match self.remaining() {
@@ -234,6 +245,19 @@ impl WireMessage for u64 {
         r.u64()
     }
 }
+
+/// Appends a [`NodeSet`]'s canonical wire form — its `NODE_WORDS`
+/// little-endian backing words — to `out`. The fixed width keeps the
+/// frame layout static per build; both endpoints share the binary, so
+/// they always agree on it.
+pub fn encode_node_set(set: NodeSet, out: &mut Vec<u8>) {
+    for w in set.words() {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+}
+
+/// Bytes a [`NodeSet`] occupies on the wire.
+pub const NODE_SET_BYTES: usize = dbac_graph::NODE_WORDS * 8;
 
 /// Writes one length-prefixed frame and flushes.
 ///
@@ -408,12 +432,28 @@ mod tests {
 
     #[test]
     fn node_id_bound_is_enforced() {
-        let bytes = 500u32.to_le_bytes();
+        let max = dbac_graph::MAX_NODES as u32;
+        let bytes = max.to_le_bytes();
         let mut r = WireReader::new(&bytes);
-        assert_eq!(r.node_id().unwrap_err(), WireError::BadNodeId { raw: 500 });
-        let bytes = 127u32.to_le_bytes();
+        assert_eq!(r.node_id().unwrap_err(), WireError::BadNodeId { raw: max });
+        let bytes = (max - 1).to_le_bytes();
         let mut r = WireReader::new(&bytes);
-        assert_eq!(r.node_id().unwrap(), NodeId::new(127));
+        assert_eq!(r.node_id().unwrap(), NodeId::new(max as usize - 1));
+    }
+
+    #[test]
+    fn node_set_wire_round_trip() {
+        let set: NodeSet =
+            [0, 63, 64, 127, 128, dbac_graph::MAX_NODES - 1].into_iter().map(NodeId::new).collect();
+        let mut bytes = Vec::new();
+        encode_node_set(set, &mut bytes);
+        assert_eq!(bytes.len(), NODE_SET_BYTES);
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.node_set().unwrap(), set);
+        r.finish().unwrap();
+
+        let mut r = WireReader::new(&bytes[..NODE_SET_BYTES - 1]);
+        assert!(matches!(r.node_set().unwrap_err(), WireError::Truncated { .. }));
     }
 
     #[test]

@@ -50,12 +50,14 @@ pub enum MsgClass {
     Rbc,
     /// AAD04 baseline traffic.
     Aad,
+    /// Iterative W-MSR traffic (per-round trimmed-mean value exchange).
+    Iter,
     /// Anything else: test harness payloads, undecodable frames.
     Other,
 }
 
 /// Number of [`MsgClass`] variants (the per-shard array width).
-pub const MSG_CLASS_COUNT: usize = 6;
+pub const MSG_CLASS_COUNT: usize = 7;
 
 impl MsgClass {
     /// All classes, in array-index order.
@@ -65,6 +67,7 @@ impl MsgClass {
         MsgClass::Crash,
         MsgClass::Rbc,
         MsgClass::Aad,
+        MsgClass::Iter,
         MsgClass::Other,
     ];
 
@@ -77,7 +80,8 @@ impl MsgClass {
             MsgClass::Crash => 2,
             MsgClass::Rbc => 3,
             MsgClass::Aad => 4,
-            MsgClass::Other => 5,
+            MsgClass::Iter => 5,
+            MsgClass::Other => 6,
         }
     }
 
@@ -90,6 +94,7 @@ impl MsgClass {
             MsgClass::Crash => "crash",
             MsgClass::Rbc => "rbc",
             MsgClass::Aad => "aad",
+            MsgClass::Iter => "iter",
             MsgClass::Other => "other",
         }
     }

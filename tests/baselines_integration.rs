@@ -164,3 +164,31 @@ fn crash_protocol_on_all_feasible_catalog_graphs() {
         assert!(out.converged() && out.valid(), "{} crash run failed", inst.name);
     }
 }
+
+/// Scale smoke: a 220-node layered-expander run — a topology the u128-era
+/// `NodeSet` could not even represent — through the full Scenario →
+/// Outcome surface, with faults. No BW `Topology` precomputation is
+/// involved (the iterative engine is purely local), so the only scale
+/// limits are `MAX_NODES` and the event budget.
+#[test]
+fn iterative_smoke_on_a_220_node_layered_expander() {
+    let g = generators::layered_expander(11, 20);
+    let n = g.node_count();
+    assert_eq!(n, 220);
+    let out = Scenario::builder(g, 2)
+        .inputs((0..n).map(|i| (i % 50) as f64).collect())
+        .epsilon(1e-2)
+        .range((0.0, 49.0))
+        .rounds(150)
+        .fault(NodeId::new(7), FaultKind::ConstantLiar { value: 1e6 })
+        .fault(NodeId::new(140), FaultKind::Crash)
+        .protocol(IterativeTrimmedMean::default())
+        .run()
+        .expect("a 220-node iterative scenario runs");
+    assert!(out.valid(), "W-MSR must keep outputs in the honest hull");
+    // Progress is observable through the PR 8 stats registry: rounds fired
+    // accumulate on the shared gauge even when convergence is partial.
+    assert!(out.sim_stats.protocol.rounds_fired > 0);
+    let transport = out.sim_stats.transport.measured().expect("message-passing engine");
+    assert!(transport.class(dbac::scenario::MsgClass::Iter).delivered > 0);
+}

@@ -26,8 +26,8 @@
 use dbac::core::error::RunError;
 use dbac::graph::{generators, Digraph, NodeId};
 use dbac::scenario::{
-    ByzantineWitness, CrashTwoReach, FaultKind, IncompleteReason, LinkFault, LinkFaultPlan,
-    MsgClass, Outcome, Runtime, Scenario,
+    ByzantineWitness, CrashTwoReach, FaultKind, IncompleteReason, IterativeTrimmedMean, LinkFault,
+    LinkFaultPlan, MsgClass, Outcome, Runtime, Scenario,
 };
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -419,4 +419,74 @@ fn threaded_chaos_replay_is_identical() {
     assert_eq!(a.histories, b.histories);
     assert_eq!(a.incomplete, b.incomplete);
     assert!(a.converged() && a.valid());
+}
+
+/// Invariant family 1 for the iterative W-MSR engine, past the 128-node
+/// wall: chaos over a 150-node circulant may stall rounds but never
+/// perturbs a fired one. At `f = 0` a node fires only on its complete
+/// in-neighborhood, so every node that finishes holds exactly the
+/// chaos-free trajectory value — and the `iter` message class must keep a
+/// balanced transport ledger (`sent + duplicated` equals terminal states
+/// plus in-flight) while every other class stays silent.
+#[test]
+fn iterative_chaos_balances_the_iter_ledger() {
+    let n = 150;
+    let rounds = 40;
+    let reference = Scenario::builder(generators::circulant_pow2(n), 0)
+        .inputs((0..n).map(|i| i as f64).collect())
+        .epsilon(1e-3)
+        .rounds(rounds)
+        .protocol(IterativeTrimmedMean::default())
+        .run()
+        .expect("chaos-free reference");
+    assert!(reference.all_decided() && reference.converged());
+
+    let (mut decided_runs, mut stalled_runs) = (0u32, 0u32);
+    for case in 0..12u64 {
+        let g = generators::circulant_pow2(n);
+        let plan = random_plan(&g, case.wrapping_add(7_000));
+        let out = Scenario::builder(g, 0)
+            .inputs((0..n).map(|i| i as f64).collect())
+            .epsilon(1e-3)
+            .rounds(rounds)
+            .seed(case)
+            .link_faults(plan)
+            .protocol(IterativeTrimmedMean::default())
+            .run()
+            .expect("chaos stalls the iterative engine, it never errors");
+        assert_safe(&out, case, "circulant-pow2-150");
+        let transport = out.sim_stats.transport.measured().expect("sim transport is observable");
+        assert!(transport.class(MsgClass::Iter).sent > 0, "case {case}: no iter traffic");
+        for class in MsgClass::ALL {
+            if class != MsgClass::Iter {
+                let c = transport.class(class);
+                assert_eq!(
+                    (c.sent, c.duplicated),
+                    (0, 0),
+                    "case {case}: {} traffic in an iterative run",
+                    class.label()
+                );
+            }
+        }
+        // Fired rounds are chaos-proof: whoever decided matches the
+        // chaos-free trajectory bit-for-bit.
+        let mut all = true;
+        for (v, decided) in out.outputs.iter().enumerate() {
+            match decided {
+                Some(x) => assert_eq!(
+                    x.to_bits(),
+                    reference.outputs[v].unwrap().to_bits(),
+                    "case {case}: node {v} fired a perturbed round"
+                ),
+                None => all = false,
+            }
+        }
+        if all {
+            decided_runs += 1;
+        } else {
+            stalled_runs += 1;
+        }
+    }
+    assert!(decided_runs > 0, "no iterative chaos case ever finished");
+    assert!(stalled_runs > 0, "no iterative chaos case ever lost liveness");
 }

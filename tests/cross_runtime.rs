@@ -22,8 +22,8 @@
 
 use dbac::graph::generators;
 use dbac::scenario::{
-    ByzantineWitness, CrashTwoReach, Outcome, ReliableBroadcastProbe, Runtime, Scenario,
-    ScenarioBuilder,
+    ByzantineWitness, CrashTwoReach, IterativeTrimmedMean, Outcome, ReliableBroadcastProbe,
+    Runtime, Scenario, ScenarioBuilder,
 };
 use std::time::Duration;
 
@@ -133,4 +133,34 @@ fn rbc_probe_decisions_are_runtime_independent() {
     });
     assert!(sim.converged(), "outputs {:?}", sim.outputs);
     assert_three_way(&sim, &threaded, &net);
+}
+
+/// The iterative W-MSR engine, past the historical 128-node wall: a
+/// 132-node circulant (offsets {1, 2}) is inexpressible on the u128-era
+/// `NodeSet`, and the legacy synchronous loop rejected every runtime but
+/// Sim. At `f = 0` each node waits for both in-neighbors' round values, so
+/// the trajectory is schedule-independent — the three-way gate demands
+/// bit-identical decisions AND trajectories across Sim, Threaded and Net.
+/// Degree 2 keeps it to 132 threads and ~2.1k messages per arm.
+#[test]
+fn iterative_engine_past_128_nodes_is_runtime_independent() {
+    let n = 132;
+    let graph = generators::circulant(n, &[1, 2]);
+    let inputs: Vec<f64> = (0..n).map(|i| ((i * 37) % n) as f64 / 10.0).collect();
+    let (sim, threaded, net) = run_all(|| {
+        Scenario::builder(graph.clone(), 0)
+            .inputs(inputs.clone())
+            .epsilon(1e-3)
+            .rounds(8)
+            .seed(13)
+            .protocol(IterativeTrimmedMean::default())
+    });
+    assert!(sim.all_decided(), "every node fires all rounds at f = 0");
+    assert!(sim.valid(), "outputs {:?}", sim.outputs);
+    assert_three_way(&sim, &threaded, &net);
+    // The honest traffic tally is deterministic too: rounds × out-degree
+    // per node, on every runtime.
+    assert_eq!(sim.honest_messages, Some(8 * 2 * n as u64));
+    assert_eq!(threaded.honest_messages, sim.honest_messages);
+    assert_eq!(net.honest_messages, sim.honest_messages);
 }

@@ -13,6 +13,12 @@ use dbac::graph::subsets::subsets_up_to;
 use dbac::graph::{Digraph, NodeId, NodeSet, Path, PathBudget};
 use proptest::prelude::*;
 
+/// A `NodeSet` from the low bits of a word (the fixtures never draw masks
+/// past 64 nodes, so one word is plenty at any compiled width).
+fn mask_set(bits: u64) -> NodeSet {
+    (0..64).filter(|i| bits >> i & 1 == 1).map(NodeId::new).collect()
+}
+
 /// Strategy: a digraph on `n` nodes from an edge bitmask.
 fn digraph(n: usize) -> impl Strategy<Value = Digraph> {
     let pairs: Vec<(usize, usize)> =
@@ -43,8 +49,8 @@ proptest! {
     /// Reach sets are antitone in the removal set and always contain v.
     #[test]
     fn reach_set_monotonicity(g in digraph(5), a in 0u64..32, b in 0u64..32) {
-        let small = NodeSet::from_bits((a & b) as u128);
-        let large = NodeSet::from_bits((a | b) as u128);
+        let small = mask_set(a & b);
+        let large = mask_set(a | b);
         for v in g.nodes() {
             if large.contains(v) { continue; }
             let r_small = reach_set(&g, v, small);
@@ -75,8 +81,8 @@ proptest! {
     /// symmetric in their two arguments (Definition 6 remarks).
     #[test]
     fn source_component_invariants(g in digraph(5), f1 in 0u64..32, f2 in 0u64..32) {
-        let f1 = NodeSet::from_bits(f1 as u128);
-        let f2 = NodeSet::from_bits(f2 as u128);
+        let f1 = mask_set(f1);
+        let f2 = mask_set(f2);
         let s = source_component(&g, f1, f2);
         prop_assert_eq!(s, source_component(&g, f2, f1));
         prop_assert!(s.is_disjoint(f1 | f2));
@@ -141,7 +147,7 @@ proptest! {
     ) {
         let paths: Vec<NodeSet> = paths
             .into_iter()
-            .map(|bits| NodeSet::from_bits((bits | 1) as u128)) // non-empty
+            .map(|bits| mask_set(bits | 1)) // non-empty
             .collect();
         let allowed = NodeSet::universe(6);
         let found = find_cover(&paths, f, allowed);

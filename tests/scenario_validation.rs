@@ -155,16 +155,18 @@ fn complete_network_requirements_are_typed() {
 }
 
 #[test]
-fn unsupported_runtimes_are_typed() {
-    // The iterative protocol is synchronous — no threaded execution.
-    let err = Scenario::builder(generators::clique(4), 1)
-        .inputs(vec![0.0; 4])
-        .runtime(Runtime::threaded(Duration::from_secs(1)))
+fn iterative_accepts_every_runtime() {
+    // PR 9 replaced the synchronous iterative loop with a message-passing
+    // engine: the historical `UnsupportedRuntime` rejection is gone and a
+    // threaded run completes like any other protocol.
+    let out = Scenario::builder(generators::clique(4), 1)
+        .inputs(vec![0.0, 1.0, 2.0, 50.0])
+        .rounds(15)
+        .fault(NodeId::new(3), FaultKind::ConstantLiar { value: 50.0 })
+        .runtime(Runtime::threaded(Duration::from_secs(20)))
         .protocol(IterativeTrimmedMean::default())
         .run()
-        .unwrap_err();
-    assert_eq!(
-        err,
-        RunError::UnsupportedRuntime { protocol: "iterative-trimmed-mean", runtime: "threaded" }
-    );
+        .unwrap();
+    assert!(out.incomplete.is_empty(), "{:?}", out.incomplete);
+    assert!(out.valid(), "{:?}", out.outputs);
 }
