@@ -20,6 +20,7 @@ use crate::aad04::{AadNode, LiarAdversary};
 use crate::iterative::IterStrategy;
 use crate::iterengine::{IterLiar, IterMsg, IterNode};
 use crate::reliable_broadcast::{RbcEngine, RbcMsg};
+use dbac_conditions::robustness::CertificationStatus;
 use dbac_core::error::RunError;
 use dbac_core::scenario::{drive, FaultKind, Outcome, Protocol, Scenario};
 use dbac_graph::{Digraph, NodeId};
@@ -120,6 +121,7 @@ impl Protocol for Aad04 {
             histories,
             honest_messages: Some(honest_messages),
             trace: report.trace,
+            certification: None,
         })
     }
 }
@@ -160,6 +162,19 @@ impl IterativeTrimmedMean {
     pub fn with_rounds(rounds: usize) -> Self {
         IterativeTrimmedMean { rounds }
     }
+
+    /// The certification status of the scenario's topology for this
+    /// protocol's correctness condition, `(f+1, f+1)`-robustness: a
+    /// [`RobustnessCertificate`](dbac_conditions::robustness::RobustnessCertificate)
+    /// when a polynomial sufficient rule covers the graph, or a typed
+    /// [`Uncertified`](CertificationStatus::Uncertified) warning
+    /// otherwise. Polynomial in the graph size, so safe at any `n` —
+    /// unlike the exact checker.
+    #[must_use]
+    pub fn certification(scenario: &Scenario) -> CertificationStatus {
+        let rs = scenario.f() + 1;
+        dbac_conditions::robustness::certification(scenario.graph(), rs, rs)
+    }
 }
 
 impl Protocol for IterativeTrimmedMean {
@@ -179,6 +194,12 @@ impl Protocol for IterativeTrimmedMean {
                 });
             }
         }
+        // Robustness is consulted, not enforced: an `Uncertified` topology
+        // may still be (f+1, f+1)-robust (the rules are sufficient, not
+        // necessary), and running on a non-robust graph is itself an
+        // experiment (E10). The status is recomputed in `execute` and
+        // attached to the outcome so callers see the warning.
+        let _ = Self::certification(scenario);
         Ok(())
     }
 
@@ -241,6 +262,7 @@ impl Protocol for IterativeTrimmedMean {
             histories,
             honest_messages: Some(honest_messages),
             trace: report.trace,
+            certification: Some(Self::certification(scenario)),
         })
     }
 }
@@ -434,6 +456,7 @@ impl Protocol for ReliableBroadcastProbe {
             histories,
             honest_messages: Some(honest_messages),
             trace: report.trace,
+            certification: None,
         })
     }
 }

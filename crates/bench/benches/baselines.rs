@@ -2,8 +2,9 @@
 //! iterative W-MSR round, for comparison against BW's kernels.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use dbac_baselines::iterative::{is_r_s_robust, wmsr_step};
+use dbac_baselines::iterative::wmsr_step;
 use dbac_baselines::{Aad04, IterativeTrimmedMean};
+use dbac_conditions::robustness::is_r_s_robust;
 use dbac_core::scenario::{FaultKind, Scenario, SchedulerSpec};
 use dbac_graph::{generators, NodeId};
 

@@ -17,10 +17,10 @@
 //! seed-aggregated report as `bench_trend`-compatible JSON, uploaded as a
 //! CI artifact).
 
-use dbac_baselines::iterative::is_r_s_robust;
 use dbac_baselines::{Aad04, IterativeTrimmedMean};
 use dbac_bench::table::{num, yes_no, Table};
 use dbac_conditions::kreach::three_reach;
+use dbac_conditions::robustness::is_r_s_robust;
 use dbac_core::scenario::sweep::{ExperimentPlan, ReducedReport};
 use dbac_core::scenario::{ByzantineWitness, FaultKind, Scenario};
 use dbac_graph::{generators, Digraph, NodeId};

@@ -19,6 +19,11 @@
 //! * [`propagate`] — the propagation relation `A ⇝_C B` (Definition 10).
 //! * [`theorems`] — executable verifiers for Theorem 5 (source components
 //!   propagate) and Theorem 12 (source components overlap).
+//! * [`robustness`] — the related work's `(r, s)`-robustness (tight for
+//!   iterative W-MSR consensus): a typed exact checker, polynomial
+//!   sufficient conditions issuing serializable
+//!   [`RobustnessCertificate`]s, and an O(V+E) certificate verifier so
+//!   large-n topologies ship with proof instead of faith.
 //!
 //! # Example
 //!
@@ -40,8 +45,12 @@ pub mod partition;
 pub mod propagate;
 pub mod reach;
 pub mod reduced;
+pub mod robustness;
 pub mod theorems;
 
 pub use kreach::{k_reach, one_reach, three_reach, two_reach, ConditionOutcome, ReachViolation};
 pub use reach::{reach_set, ReachCache};
 pub use reduced::{source_component, SourceComponentCache};
+pub use robustness::{
+    certify, verify_certificate, CertificationStatus, RobustnessCertificate, RobustnessVerdict,
+};

@@ -1,0 +1,62 @@
+//! `(r, s)`-robustness: the exact checker, certified sufficient
+//! conditions, and the O(V+E) certificate verifier.
+//!
+//! Robustness (LeBlanc–Zhang–Koutsoukos–Sundaram) is the tight condition
+//! for the *iterative* consensus family of the related work
+//! (Vaidya–Tseng–Liang, arXiv 1201.4183 and its asynchronous Part II,
+//! arXiv 1202.6094): under the `f`-total malicious model, W-MSR with
+//! parameter `f` is correct iff the network is `(f+1, f+1)`-robust. The
+//! exact decision procedure quantifies over subset pairs and is
+//! exponential — fine at experiment scale, unusable past ~20 nodes — so
+//! this subsystem splits the problem in three:
+//!
+//! * [`exact`] — the typed exponential checker
+//!   ([`exact_verdict`] / [`is_r_s_robust`] / [`robustness_violation`]),
+//!   rewritten with candidate pruning and early-exit witness search.
+//! * [`sufficient`] — polynomial rules ([`certify`]) that issue a
+//!   serializable [`RobustnessCertificate`] naming the rule, its
+//!   parameters and per-node evidence; when none applies the result is a
+//!   typed, non-fatal [`CertificationStatus::Uncertified`] warning.
+//! * [`certificate`] — the certificate types and [`verify_certificate`],
+//!   which re-checks any certificate in O(V+E) without re-running the
+//!   search: certificates are trust-but-verify artifacts that ship next
+//!   to large-n experiment outputs.
+//!
+//! [`certified`] wraps the scalable generator families
+//! (`circulant`, `circulant_pow2`, `layered_expander`) into certified
+//! constructions.
+//!
+//! # Example
+//!
+//! ```
+//! use dbac_conditions::robustness::{certify, is_r_s_robust, verify_certificate};
+//! use dbac_graph::generators;
+//!
+//! // K5 supports f = 1 ((2,2)-robust); the in-degree rule proves it in
+//! // polynomial time and the exact checker agrees.
+//! let g = generators::clique(5);
+//! let cert = certify(&g, 2, 2).expect("a rule applies");
+//! verify_certificate(&g, &cert).expect("O(V+E) re-check passes");
+//! assert!(is_r_s_robust(&g, 2, 2));
+//!
+//! // At 10^4 nodes only the certificate path is feasible:
+//! let big = generators::circulant_pow2(256);
+//! let cert = certify(&big, 1, 1).expect("circulant window rule");
+//! verify_certificate(&big, &cert).expect("still O(V+E)");
+//! ```
+
+pub mod certificate;
+pub mod certified;
+pub mod exact;
+pub mod sufficient;
+
+pub use certificate::{
+    required_circulant_k, verify_certificate, CertificateError, CertificateRule,
+    RobustnessCertificate,
+};
+pub use certified::CertifiedTopology;
+pub use exact::{
+    exact_verdict, is_r_s_robust, r_reachable_subset, robustness_violation, RobustnessVerdict,
+    RobustnessViolation,
+};
+pub use sufficient::{certification, certify, CertificationStatus};

@@ -66,6 +66,45 @@
 //! The scenario surface itself is width-agnostic: nothing here changes
 //! between a 4-node clique and a 10⁴-node circulant except the numbers.
 //!
+//! # Certify a topology
+//!
+//! Whether a graph satisfies a protocol's correctness condition is
+//! decidable exactly only at small `n`: the `(r, s)`-robustness condition
+//! of `IterativeTrimmedMean` quantifies over subset pairs, and the exact
+//! checker (`dbac_conditions::robustness::exact_verdict`) hits a size
+//! cliff around 20 nodes — at the 10⁴-node scale of the `scaling_iterative`
+//! sweep it would not finish in the lifetime of the experiment. The
+//! `dbac_conditions::robustness` subsystem closes the gap with
+//! **certificates**: polynomial sufficient rules
+//! (`dbac_conditions::robustness::certify`) issue a serializable
+//! `RobustnessCertificate` naming the rule, its parameters and per-node
+//! evidence, and an O(V+E) verifier
+//! (`dbac_conditions::robustness::verify_certificate`) re-checks any
+//! certificate without re-running the search. When each rule applies:
+//!
+//! * `min-in-degree` — dense graphs: every in-degree ≥ `⌊n/2⌋ + r − 1`
+//!   (cliques, near-complete graphs; certifies every `s`).
+//! * `circulant-prefix` — ring-structured graphs where every node sees
+//!   its `k` predecessors, `k ≥ max(2r−1, 2r−2+⌈s/2⌉)` (the circulant
+//!   families, bidirectional cycles; the rule behind the 10⁴-node runs).
+//! * `strongly-connected` — any strongly connected graph, for
+//!   `(1, s ≤ 2)`.
+//! * `layered-expander` — graphs containing a
+//!   `generators::layered_expander(L ≥ 2, w ≥ 3)` spanning subgraph, for
+//!   `(1, s ≤ 4)`.
+//!
+//! Reading a certificate: `n`/`r`/`s` state the claim, `rule` + params
+//! name the argument, and `evidence` holds the per-node quantities the
+//! verifier recomputes entry-by-entry (in-degrees, prefix lengths), so a
+//! tampered certificate is rejected with a typed error. When no rule
+//! fires the result is a typed `Uncertified` warning — the rules are
+//! sufficient, not necessary, and running unproven topologies is itself
+//! an experiment. `IterativeTrimmedMean` attaches the status to
+//! [`Outcome::certification`]; sweep plans label graph-axis points with
+//! it via [`sweep::ExperimentPlan::certify_graphs`]; the `certify` bin
+//! sweeps the generator families and emits the certificate JSON that CI
+//! archives next to `net.json`/`stats.json`.
+//!
 //! # Inject link faults
 //!
 //! [`FaultKind`] places faults on *nodes* — the paper's Byzantine model.
@@ -1063,6 +1102,15 @@ pub struct Outcome {
     pub honest_messages: Option<u64>,
     /// The recorded delivery trace, if requested.
     pub trace: Option<TraceSummary>,
+    /// Whether the topology's correctness condition was *certified* by a
+    /// polynomial sufficient rule
+    /// ([`dbac_conditions::robustness::certification`]). Populated by
+    /// protocols whose condition has certificate machinery (today: the
+    /// iterative W-MSR baseline, whose condition is
+    /// `(f+1, f+1)`-robustness); `None` where certification does not
+    /// apply. An `Uncertified` value is a warning, not a failure — the
+    /// run proceeded on unproven topology.
+    pub certification: Option<dbac_conditions::robustness::CertificationStatus>,
 }
 
 impl Outcome {
@@ -1382,6 +1430,7 @@ impl Protocol for ByzantineWitness {
             histories,
             honest_messages: None,
             trace: report.trace,
+            certification: None,
         })
     }
 }
@@ -1475,6 +1524,7 @@ impl Protocol for CrashTwoReach {
             histories,
             honest_messages: None,
             trace: report.trace,
+            certification: None,
         })
     }
 }

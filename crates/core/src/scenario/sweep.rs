@@ -78,6 +78,12 @@ pub type GenRange = Arc<dyn Fn(&Digraph) -> (f64, f64) + Send + Sync>;
 /// the plan seed from the statistical axis.
 pub type GenLinkFaults = Arc<dyn Fn(&Digraph, u64) -> Option<LinkFaultPlan> + Send + Sync>;
 
+/// Derives an extra label tag from a graph-axis point (`None`: leave the
+/// label alone). Closure-backed; installed via
+/// [`ExperimentPlan::graph_tagger`], with
+/// [`ExperimentPlan::certify_graphs`] as the canonical instance.
+pub type GraphTag = Arc<dyn Fn(&Digraph) -> Option<String> + Send + Sync>;
+
 /// One labelled input assignment: a generator producing one input per node,
 /// plus an optional a-priori range closure (defaults to the honest-input
 /// hull, exactly as [`ScenarioBuilder::range`](super::ScenarioBuilder::range)).
@@ -283,6 +289,7 @@ impl<T> Axis<T> {
 pub struct ExperimentPlan {
     protocols: Axis<Arc<dyn Protocol>>,
     graphs: Axis<Arc<Digraph>>,
+    graph_tag: Option<GraphTag>,
     fault_bounds: Vec<usize>,
     placements: Axis<PlaceFaults>,
     inputs: Axis<InputSpec>,
@@ -326,6 +333,7 @@ impl ExperimentPlan {
         ExperimentPlan {
             protocols: Axis::new(),
             graphs: Axis::new(),
+            graph_tag: None,
             fault_bounds: Vec::new(),
             placements: Axis::new(),
             inputs: Axis::new(),
@@ -374,6 +382,33 @@ impl ExperimentPlan {
     pub fn graphs_axis(mut self, axis: Axis<Digraph>) -> Self {
         self.graphs = Axis::from_points(axis.points.into_iter().map(|(l, g)| (l, Arc::new(g))));
         self
+    }
+
+    /// Installs a graph-axis labelling hook: at [`ExperimentPlan::build`]
+    /// time, each graph point whose hook returns `Some(tag)` has its label
+    /// rewritten to `label[tag]`, so every expanded cell — and every
+    /// reduced row downstream — carries the tag in its `graph` coordinate.
+    /// The hook runs once per graph point, not once per cell.
+    #[must_use]
+    pub fn graph_tagger(
+        mut self,
+        tag: impl Fn(&Digraph) -> Option<String> + Send + Sync + 'static,
+    ) -> Self {
+        self.graph_tag = Some(Arc::new(tag) as GraphTag);
+        self
+    }
+
+    /// The canonical [`ExperimentPlan::graph_tagger`]: tags every graph
+    /// point with its `(r, s)`-robustness certification status, so reduced
+    /// rows read `graph[cert=circulant-prefix]` or `graph[cert=UNCERTIFIED]`
+    /// — certified and unproven topologies can no longer be confused in
+    /// sweep output. Polynomial per graph (the exact checker is never run).
+    #[must_use]
+    pub fn certify_graphs(self, r: usize, s: usize) -> Self {
+        self.graph_tagger(move |g| {
+            let status = dbac_conditions::robustness::certification(g, r, s);
+            Some(format!("cert={}", status.rule_label()))
+        })
     }
 
     /// Adds a fault-bound axis point (labelled `f<n>`; default `[1]`).
@@ -555,9 +590,25 @@ impl ExperimentPlan {
         };
         let seeds = if self.seeds.is_empty() { vec![0] } else { self.seeds };
 
+        // Apply the graph-axis labelling hook once per point (labels were
+        // checked unique above; a tag only appends, per-graph, so tagged
+        // labels stay unique).
+        let graph_points: Vec<(String, Arc<Digraph>)> = self
+            .graphs
+            .points()
+            .iter()
+            .map(|(label, graph)| {
+                let label = match self.graph_tag.as_ref().and_then(|tag| tag(graph)) {
+                    Some(tag) => format!("{label}[{tag}]"),
+                    None => label.clone(),
+                };
+                (label, Arc::clone(graph))
+            })
+            .collect();
+
         let mut cells = Vec::new();
         for (proto_label, protocol) in self.protocols.points() {
-            for (graph_label, graph) in self.graphs.points() {
+            for (graph_label, graph) in &graph_points {
                 for &f in &fault_bounds {
                     for (place_label, placer) in &placements {
                         for (input_label, input) in &inputs {
@@ -1202,6 +1253,23 @@ mod tests {
         let scn = sweep.cells()[0].scenario().unwrap();
         assert_eq!(scn.epsilon(), 0.5);
         assert_eq!(scn.scheduler(), &SchedulerSpec::Random { seed: 0, min: 1, max: 20 });
+    }
+
+    #[test]
+    fn certify_graphs_tags_the_graph_coordinate() {
+        let sweep = ExperimentPlan::new()
+            .protocol("bw", ByzantineWitness::default())
+            .graph("k5", generators::clique(5))
+            .graph("ring", generators::directed_cycle(5))
+            .certify_graphs(2, 2)
+            .build()
+            .unwrap();
+        assert_eq!(sweep.cell_count(), 2);
+        assert_eq!(sweep.cells()[0].coord("graph"), Some("k5[cert=min-in-degree]"));
+        assert_eq!(sweep.cells()[0].label(), "bw/k5[cert=min-in-degree]/f1/none/s0");
+        // A sparse ring is honestly unprovable at (2, 2): the marker is
+        // explicit, not silent.
+        assert_eq!(sweep.cells()[1].coord("graph"), Some("ring[cert=UNCERTIFIED]"));
     }
 
     #[test]

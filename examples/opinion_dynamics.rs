@@ -16,8 +16,8 @@
 //! cargo run --release --example opinion_dynamics
 //! ```
 
-use dbac::baselines::iterative::is_r_s_robust;
 use dbac::conditions::kreach::three_reach;
+use dbac::conditions::robustness::is_r_s_robust;
 use dbac::graph::{generators, NodeId};
 use dbac::scenario::{ByzantineWitness, FaultKind, IterativeTrimmedMean, Scenario};
 

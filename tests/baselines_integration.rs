@@ -1,8 +1,8 @@
 //! Integration across the baseline algorithms and the crash-tolerant
 //! variant: the Table 2 / E9 / E10 claims at test scale.
 
-use dbac::baselines::iterative::is_r_s_robust;
 use dbac::conditions::kreach::{three_reach, two_reach};
+use dbac::conditions::robustness::is_r_s_robust;
 use dbac::graph::{generators, Digraph, NodeId};
 use dbac::scenario::{
     Aad04, ByzantineWitness, CrashTwoReach, FaultKind, IterativeTrimmedMean, Outcome, Scenario,
